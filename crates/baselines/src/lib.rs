@@ -1,0 +1,22 @@
+//! Baseline pipeline schedules compared against Tessel.
+//!
+//! The paper compares Tessel's searched schedules against pre-defined
+//! schedules: 1F1B (DAPPLE/PipeDream-flush), GPipe, Chimera(-direct), 1F1B+
+//! (the authors' manual adaptation of 1F1B to Tessel's advanced placements)
+//! and plain tensor parallelism for inference. All of them are implemented
+//! here against the same `PlacementSpec` IR so their schedules can be
+//! validated, measured and simulated with the same machinery as Tessel's.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chimera;
+pub mod discipline;
+pub mod tensor_parallel;
+
+pub use chimera::{chimera_estimate, ChimeraEstimate};
+pub use discipline::{baseline_schedule, gpipe, one_f_one_b, one_f_one_b_plus, Discipline};
+pub use tensor_parallel::{tensor_parallel_latency, tensor_parallel_schedule};
+
+/// Result alias re-using the core error type.
+pub type Result<T> = std::result::Result<T, tessel_core::CoreError>;

@@ -1,0 +1,156 @@
+//! Pure tensor parallelism: every operator is split across all devices and
+//! the micro-batches run strictly one after another.
+//!
+//! This is the latency-oriented baseline of the Flava inference comparison
+//! (Fig. 15): a single micro-batch finishes as fast as the hardware allows,
+//! but devices never overlap different micro-batches, so throughput is capped
+//! and the per-operator kernels are small and less efficient.
+
+use crate::Result;
+use tessel_core::ir::{BlockKind, PlacementSpec};
+use tessel_core::schedule::{scheduled_block, Schedule};
+use tessel_core::CoreError;
+
+/// Parallel efficiency of slicing individual operators across all devices.
+/// The paper observes that tensor-parallel kernels under-utilise the GPU
+/// compared to whole-operator execution (small per-GPU GEMMs at micro-batch
+/// size 1, plus an all-reduce after every sliced operator), which is why its
+/// Fig. 15 shows lower throughput for tensor parallelism than for Tessel's
+/// K-shape pipeline.
+pub const TENSOR_PARALLEL_EFFICIENCY: f64 = 0.5;
+
+/// Builds an all-device tensor-parallel placement equivalent of `placement`:
+/// a single forward block (and, for training placements, a single backward
+/// block) per micro-batch spanning every device, whose time is the sum of the
+/// original block times divided by the device count and discounted by
+/// [`TENSOR_PARALLEL_EFFICIENCY`].
+///
+/// # Errors
+///
+/// Propagates placement-construction errors (cannot occur for valid input
+/// placements).
+pub fn tensor_parallel_placement(placement: &PlacementSpec) -> Result<PlacementSpec> {
+    placement.validate()?;
+    let devices = placement.num_devices();
+    let all: Vec<usize> = (0..devices).collect();
+    let scale = |time: u64| -> u64 {
+        ((time as f64 / (devices as f64 * TENSOR_PARALLEL_EFFICIENCY)).round() as u64).max(1)
+    };
+    let forward_time: u64 = placement
+        .blocks()
+        .iter()
+        .filter(|b| b.kind == BlockKind::Forward)
+        .map(|b| b.time)
+        .sum();
+    let backward_time: u64 = placement
+        .blocks()
+        .iter()
+        .filter(|b| b.kind == BlockKind::Backward)
+        .map(|b| b.time)
+        .sum();
+    let forward_flops: f64 = placement
+        .blocks()
+        .iter()
+        .filter(|b| b.kind == BlockKind::Forward)
+        .map(|b| b.flops)
+        .sum();
+
+    let mut b = PlacementSpec::builder(format!("{}-tensor-parallel", placement.name()), devices);
+    b.set_memory_capacity(placement.memory_capacity());
+    let fwd = b.push_block(
+        tessel_core::ir::BlockSpec::new("tp-forward", BlockKind::Forward, all.clone(), scale(forward_time), 1)
+            .with_flops(forward_flops),
+    )?;
+    if backward_time > 0 {
+        b.push_block(
+            tessel_core::ir::BlockSpec::new("tp-backward", BlockKind::Backward, all, scale(backward_time), -1)
+                .with_deps([fwd]),
+        )?;
+    }
+    b.build()
+}
+
+/// The latency of a single micro-batch under tensor parallelism, in time
+/// units.
+///
+/// # Errors
+///
+/// See [`tensor_parallel_placement`].
+pub fn tensor_parallel_latency(placement: &PlacementSpec) -> Result<u64> {
+    let tp = tensor_parallel_placement(placement)?;
+    Ok(tp.total_block_time())
+}
+
+/// A schedule executing `n` micro-batches strictly sequentially under tensor
+/// parallelism.
+///
+/// # Errors
+///
+/// See [`tensor_parallel_placement`].
+pub fn tensor_parallel_schedule(placement: &PlacementSpec, n: usize) -> Result<(PlacementSpec, Schedule)> {
+    let tp = tensor_parallel_placement(placement)?;
+    let mut blocks = Vec::new();
+    let mut clock = 0u64;
+    for mb in 0..n {
+        for stage in 0..tp.num_blocks() {
+            blocks.push(scheduled_block(&tp, stage, mb, clock));
+            clock += tp.block(stage).time;
+        }
+    }
+    let schedule = Schedule::new(tp.num_devices(), n, blocks);
+    schedule
+        .validate(&tp)
+        .map_err(|e| CoreError::InvalidSchedule(e.to_string()))?;
+    Ok((tp, schedule))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tessel_core::ir::BlockKind;
+
+    fn inference_pipeline(d: usize, stage_time: u64) -> PlacementSpec {
+        let mut b = PlacementSpec::builder(format!("inf{d}"), d);
+        let mut prev: Option<usize> = None;
+        for dev in 0..d {
+            let deps: Vec<usize> = prev.into_iter().collect();
+            prev = Some(
+                b.add_block(format!("f{dev}"), BlockKind::Forward, [dev], stage_time, 0, deps)
+                    .unwrap(),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn tensor_parallel_lowers_single_micro_batch_latency() {
+        let p = inference_pipeline(4, 8);
+        // Pipeline latency of one micro-batch: 4 stages * 8 = 32.
+        let pipeline_latency = p.total_block_time();
+        let tp_latency = tensor_parallel_latency(&p).unwrap();
+        assert!(tp_latency < pipeline_latency);
+        // But not below the ideal 1/D speedup.
+        assert!(tp_latency >= pipeline_latency / 4);
+    }
+
+    #[test]
+    fn tensor_parallel_throughput_is_serialised() {
+        let p = inference_pipeline(4, 8);
+        let (tp, schedule) = tensor_parallel_schedule(&p, 5).unwrap();
+        schedule.validate(&tp).unwrap();
+        assert_eq!(schedule.makespan(), 5 * tensor_parallel_latency(&p).unwrap());
+        // Every block uses all devices.
+        assert!(schedule.blocks().iter().all(|b| b.devices.len() == 4));
+    }
+
+    #[test]
+    fn training_placements_get_a_backward_block() {
+        let mut b = PlacementSpec::builder("train", 2);
+        let f = b.add_block("f", BlockKind::Forward, [0], 4, 1, []).unwrap();
+        b.add_block("bwd", BlockKind::Backward, [1], 8, -1, [f]).unwrap();
+        let p = b.build().unwrap();
+        let tp = tensor_parallel_placement(&p).unwrap();
+        assert_eq!(tp.num_blocks(), 2);
+        assert!(tp.block(1).kind.is_backward());
+    }
+}

@@ -1,0 +1,81 @@
+//! Criterion bench backing Figs. 13–17: baseline schedule generation, the
+//! cluster simulator and the full search-plus-simulate pipeline on the
+//! model-driven placements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tessel_baselines::{one_f_one_b, one_f_one_b_plus};
+use tessel_bench::{run_tessel, simulate_schedule, EvalModel};
+use tessel_runtime::CommMode;
+
+fn bench_baseline_schedules(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_baseline_schedules");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    let placement = EvalModel::Gpt.baseline_placement(4).expect("placement");
+    group.bench_function("1f1b_gpt_4gpu", |b| {
+        b.iter(|| one_f_one_b(&placement, 8).expect("schedule"));
+    });
+    let advanced = EvalModel::Gpt.advanced_placement(4).expect("placement");
+    group.bench_function("1f1b_plus_gpt_4gpu", |b| {
+        b.iter(|| one_f_one_b_plus(&advanced, 8).expect("schedule"));
+    });
+    group.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_simulator");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for model in [EvalModel::Gpt, EvalModel::Mt5] {
+        let placement = model.advanced_placement(4).expect("placement");
+        let outcome = run_tessel(&placement, 8).expect("search");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(model.name()),
+            &(placement, outcome.schedule),
+            |b, (placement, schedule)| {
+                b.iter(|| {
+                    simulate_schedule(placement, schedule, 4, CommMode::NonBlocking).expect("simulate")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_blocking_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_comm_modes");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    let placement = EvalModel::Gpt.advanced_placement(4).expect("placement");
+    let outcome = run_tessel(&placement, 8).expect("search");
+    for (name, mode) in [("blocking", CommMode::Blocking), ("non_blocking", CommMode::NonBlocking)] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            b.iter(|| simulate_schedule(&placement, &outcome.schedule, 4, mode).expect("simulate"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_inference_search");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    let placement = EvalModel::Flava.advanced_placement(4).expect("placement");
+    group.bench_function("tessel_flava_search", |b| {
+        b.iter(|| run_tessel(&placement, 8).expect("search"));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_baseline_schedules,
+    bench_simulator,
+    bench_blocking_modes,
+    bench_inference
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion bench backing Figs. 9–12: the cost of the Tessel search itself
+//! (lazy and eager) and of the NR / memory ablations on the synthetic shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+use tessel_bench::experiment_search_config;
+use tessel_core::search::{SearchConfig, TesselSearch};
+use tessel_placement::shapes::{synthetic_placement, ShapeKind};
+
+/// A trimmed search configuration so the Criterion runs stay in the seconds
+/// range; the experiment binaries use the full configuration.
+fn bench_config(n: usize) -> SearchConfig {
+    let mut config = experiment_search_config(n).with_max_repetend_micro_batches(4);
+    config.candidate_limit = Some(200);
+    config
+}
+
+fn bench_tessel_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig09_tessel_search");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_secs(1));
+    group.measurement_time(Duration::from_secs(5));
+    for shape in [ShapeKind::M, ShapeKind::NN, ShapeKind::K] {
+        let placement = synthetic_placement(shape, 4).expect("placement");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shape.to_string()),
+            &placement,
+            |b, placement| {
+                b.iter(|| {
+                    TesselSearch::new(bench_config(8))
+                        .run(placement)
+                        .expect("search")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_lazy_vs_eager(c: &mut Criterion) {
+    let placement = synthetic_placement(ShapeKind::M, 4).expect("placement");
+    let mut group = c.benchmark_group("fig10_lazy_search");
+    group.sample_size(10);
+    group.bench_function("lazy", |b| {
+        b.iter(|| {
+            TesselSearch::new(bench_config(8).with_lazy(true))
+                .run(&placement)
+                .expect("search")
+        });
+    });
+    group.bench_function("eager", |b| {
+        b.iter(|| {
+            TesselSearch::new(bench_config(8).with_lazy(false))
+                .run(&placement)
+                .expect("search")
+        });
+    });
+    group.finish();
+}
+
+fn bench_nr_ablation(c: &mut Criterion) {
+    let placement = synthetic_placement(ShapeKind::V, 4).expect("placement");
+    let mut group = c.benchmark_group("fig11_nr_ablation");
+    group.sample_size(10);
+    for nr in [2usize, 4, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(nr), &nr, |b, &nr| {
+            b.iter(|| {
+                TesselSearch::new(
+                    bench_config(12).with_max_repetend_micro_batches(nr),
+                )
+                .run(&placement)
+                .expect("search")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tessel_search, bench_lazy_vs_eager, bench_nr_ablation);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion bench backing Fig. 3: cost of the time-optimal (whole-schedule)
+//! solve as the number of micro-batches grows on the V-shape placement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tessel_bench::time_optimal_instance;
+use tessel_placement::shapes::{synthetic_placement, ShapeKind};
+use tessel_solver::{Solver, SolverConfig};
+
+fn bench_time_optimal(c: &mut Criterion) {
+    let placement = synthetic_placement(ShapeKind::V, 4).expect("placement");
+    let mut group = c.benchmark_group("fig03_time_optimal_search");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for micro_batches in [1usize, 2, 3, 4] {
+        let instance = time_optimal_instance(&placement, micro_batches).expect("instance");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(micro_batches),
+            &instance,
+            |b, instance| {
+                b.iter(|| {
+                    Solver::new(SolverConfig::default())
+                        .minimize(instance)
+                        .expect("solve")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_repetend_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("repetend_solve");
+    group.sample_size(20);
+    for shape in [ShapeKind::V, ShapeKind::M, ShapeKind::NN] {
+        let placement = synthetic_placement(shape, 4).expect("placement");
+        let candidates = tessel_core::repetend::enumerate_candidates(&placement, 2);
+        let candidate = candidates.into_iter().next().expect("candidate");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(shape.to_string()),
+            &(placement, candidate),
+            |b, (placement, candidate)| {
+                b.iter(|| {
+                    tessel_core::repetend::solve_repetend(
+                        placement,
+                        candidate,
+                        &Solver::new(SolverConfig::default()),
+                        u64::MAX,
+                    )
+                    .expect("solve")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_time_optimal, bench_repetend_solve);
+criterion_main!(benches);

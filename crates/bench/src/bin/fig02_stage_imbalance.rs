@@ -1,0 +1,57 @@
+//! Fig. 2: GPT training iteration time with a growing number of layers under
+//! the 1F1B/Piper placement — the fastest and slowest stage drift apart as
+//! the large embedding pins compute-heavy layers onto few devices.
+
+use tessel_bench::{print_table, save_record, ExperimentRecord};
+use tessel_models::config::ModelConfig;
+use tessel_models::cost::CostModel;
+use tessel_placement::shapes::gpt_v_shape_baseline;
+
+fn main() {
+    let cost = CostModel::paper_default();
+    let micro_batches = 128u64;
+    let mut rows = Vec::new();
+    let mut data = Vec::new();
+    for layers in [24usize, 28, 32, 36, 40] {
+        let config = ModelConfig {
+            name: "gpt".into(),
+            num_layers: layers,
+            hidden_size: 4096,
+            num_heads: 32,
+            vocab_size: 768_000,
+            seq_len: 1024,
+            micro_batch_size: 1,
+        };
+        let placement = match gpt_v_shape_baseline(&config, &cost, 4) {
+            Ok(p) => p,
+            Err(e) => {
+                rows.push(vec![layers.to_string(), "OOM".into(), "OOM".into(), e.to_string()]);
+                continue;
+            }
+        };
+        let loads: Vec<u64> = (0..placement.num_devices())
+            .map(|d| placement.device_load(d))
+            .filter(|&l| l > 0)
+            .collect();
+        let slowest = *loads.iter().max().unwrap();
+        let fastest = *loads.iter().min().unwrap();
+        let to_seconds = |units: u64| units as f64 * micro_batches as f64 * cost.device.time_unit_seconds;
+        rows.push(vec![
+            layers.to_string(),
+            format!("{:.1}", to_seconds(fastest)),
+            format!("{:.1}", to_seconds(slowest)),
+            format!("{:.2}x", slowest as f64 / fastest as f64),
+        ]);
+        data.push((layers, to_seconds(fastest), to_seconds(slowest)));
+    }
+    print_table(
+        "Fig. 2 — GPT iteration time per stage (768k vocab, 4 GPUs, 1F1B/Piper placement)",
+        &["layers", "fastest stage (s)", "slowest stage (s)", "imbalance"],
+        &rows,
+    );
+    save_record(&ExperimentRecord {
+        id: "fig02".into(),
+        description: "Fastest vs slowest stage iteration time for GPT under the 1F1B/Piper placement".into(),
+        data,
+    });
+}

@@ -1,0 +1,44 @@
+//! Fig. 3: search time of the time-optimal (whole-schedule) formulation on
+//! the V-shape placement as the number of micro-batches grows. The blow-up
+//! motivates Tessel's repetend-based two-phase search.
+
+use std::time::Instant;
+use tessel_bench::{print_table, save_record, time_optimal_instance, ExperimentRecord};
+use tessel_placement::shapes::{synthetic_placement, ShapeKind};
+use tessel_solver::{Solver, SolverConfig};
+
+fn main() {
+    let placement = synthetic_placement(ShapeKind::V, 4).expect("V-shape placement");
+    let mut rows = Vec::new();
+    let mut data = Vec::new();
+    for micro_batches in 1..=8usize {
+        let instance = time_optimal_instance(&placement, micro_batches).expect("instance");
+        let mut config = SolverConfig::exhaustive();
+        config.time_limit = Some(std::time::Duration::from_secs(30));
+        config.max_nodes = 50_000_000;
+        let solver = Solver::new(config);
+        let started = Instant::now();
+        let outcome = solver.minimize(&instance).expect("solve");
+        let elapsed = started.elapsed().as_secs_f64();
+        let makespan = outcome.solution().map(|s| s.makespan()).unwrap_or(0);
+        let status = if outcome.is_optimal() { "optimal" } else { "time/node limit" };
+        rows.push(vec![
+            micro_batches.to_string(),
+            format!("{elapsed:.3}"),
+            makespan.to_string(),
+            outcome.stats().nodes.to_string(),
+            status.to_string(),
+        ]);
+        data.push((micro_batches, elapsed, outcome.stats().nodes));
+    }
+    print_table(
+        "Fig. 3 — time-optimal search cost on the V-shape placement",
+        &["micro-batches", "search time (s)", "makespan", "nodes", "status"],
+        &rows,
+    );
+    save_record(&ExperimentRecord {
+        id: "fig03".into(),
+        description: "Time-optimal (whole schedule) search time vs number of micro-batches".into(),
+        data,
+    });
+}

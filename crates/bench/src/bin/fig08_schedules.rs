@@ -1,0 +1,70 @@
+//! Fig. 8: the searched training and inference schedules for the three
+//! model placements, rendered as ASCII timelines with repetend markers.
+
+use tessel_bench::run_tessel;
+use tessel_core::ir::{BlockKind, PlacementSpec};
+use tessel_placement::shapes::{synthetic_placement, ShapeKind};
+
+/// Derives the inference variant of a synthetic training placement by
+/// dropping its backward blocks.
+fn inference_variant(placement: &PlacementSpec) -> PlacementSpec {
+    let mut builder = PlacementSpec::builder(
+        format!("{}-inference", placement.name()),
+        placement.num_devices(),
+    );
+    builder.set_memory_capacity(placement.memory_capacity());
+    let mut kept = Vec::new();
+    for (idx, block) in placement.blocks().iter().enumerate() {
+        if block.kind != BlockKind::Forward {
+            continue;
+        }
+        let deps: Vec<usize> = block
+            .deps
+            .iter()
+            .filter_map(|d| kept.iter().position(|&k| k == *d))
+            .collect();
+        let mut spec = block.clone();
+        spec.deps = deps;
+        builder.push_block(spec).expect("forward block");
+        kept.push(idx);
+    }
+    builder.build().expect("inference placement")
+}
+
+fn main() {
+    let devices = 4;
+    for (label, shape) in [
+        ("GPT — M-Shape", ShapeKind::M),
+        ("mT5 — NN-Shape", ShapeKind::NN),
+        ("Flava — K-Shape", ShapeKind::K),
+    ] {
+        let placement = synthetic_placement(shape, devices).expect("placement");
+        println!("\n==== {label}: operator placement ({} blocks) ====", placement.num_blocks());
+
+        match run_tessel(&placement, 8) {
+            Ok(outcome) => {
+                println!(
+                    "training schedule (NR={}, period={}, bubble={:.0}%):",
+                    outcome.repetend.num_micro_batches(),
+                    outcome.repetend.period,
+                    outcome.repetend.bubble_rate(&placement) * 100.0
+                );
+                println!("{}", outcome.schedule.render_ascii());
+            }
+            Err(e) => println!("training search failed: {e}"),
+        }
+
+        let inference = inference_variant(&placement);
+        match run_tessel(&inference, 8) {
+            Ok(outcome) => {
+                println!(
+                    "inference schedule (NR={}, period={}):",
+                    outcome.repetend.num_micro_batches(),
+                    outcome.repetend.period
+                );
+                println!("{}", outcome.schedule.render_ascii());
+            }
+            Err(e) => println!("inference search failed: {e}"),
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Fig. 11: steady-state bubble rate as a function of the number of
+//! micro-batches allowed in the repetend (`NR`), for every placement shape,
+//! with unconstrained memory.
+
+use tessel_bench::{experiment_search_config, print_table, save_record, ExperimentRecord};
+use tessel_core::search::TesselSearch;
+use tessel_placement::shapes::{synthetic_placement, ShapeKind};
+
+fn main() {
+    let devices = 4;
+    let max_nr = 8usize;
+    let mut rows = Vec::new();
+    let mut data = Vec::new();
+    for shape in ShapeKind::all() {
+        let placement = synthetic_placement(shape, devices).expect("placement");
+        let mut row = vec![shape.to_string()];
+        let mut series = Vec::new();
+        for nr in 1..=max_nr {
+            let config = experiment_search_config(nr.max(2) * 2)
+                .with_max_repetend_micro_batches(nr);
+            let bubble = TesselSearch::new(config)
+                .run(&placement)
+                .map(|o| o.repetend.bubble_rate(&placement))
+                .unwrap_or(f64::NAN);
+            row.push(if bubble.is_nan() {
+                "x".into()
+            } else {
+                format!("{:.2}", bubble)
+            });
+            series.push((nr, bubble));
+        }
+        rows.push(row);
+        data.push((shape.to_string(), series));
+    }
+    let header: Vec<String> = std::iter::once("shape".to_string())
+        .chain((1..=max_nr).map(|nr| format!("NR={nr}")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table(
+        "Fig. 11 — bubble rate vs number of micro-batches in the repetend (unconstrained memory)",
+        &header_refs,
+        &rows,
+    );
+    save_record(&ExperimentRecord {
+        id: "fig11".into(),
+        description: "Bubble rate vs NR for the five placement shapes".into(),
+        data,
+    });
+}

@@ -1,0 +1,48 @@
+//! Fig. 12: steady-state bubble rate as a function of the per-device memory
+//! capacity, for every placement shape (unit block memory).
+
+use tessel_bench::{experiment_search_config, print_table, save_record, ExperimentRecord};
+use tessel_core::search::TesselSearch;
+use tessel_placement::shapes::{synthetic_placement, ShapeKind};
+
+fn main() {
+    let devices = 4;
+    let capacities: Vec<i64> = vec![1, 3, 5, 7, 9, 11];
+    let mut rows = Vec::new();
+    let mut data = Vec::new();
+    for shape in ShapeKind::all() {
+        let base = synthetic_placement(shape, devices).expect("placement");
+        let mut row = vec![shape.to_string()];
+        let mut series = Vec::new();
+        for &capacity in &capacities {
+            let placement = base.with_memory_capacity(Some(capacity));
+            let config = experiment_search_config(12).with_max_repetend_micro_batches(8);
+            let bubble = TesselSearch::new(config)
+                .run(&placement)
+                .map(|o| o.repetend.bubble_rate(&placement))
+                .unwrap_or(f64::NAN);
+            row.push(if bubble.is_nan() {
+                "x".into()
+            } else {
+                format!("{:.2}", bubble)
+            });
+            series.push((capacity, bubble));
+        }
+        rows.push(row);
+        data.push((shape.to_string(), series));
+    }
+    let header: Vec<String> = std::iter::once("shape".to_string())
+        .chain(capacities.iter().map(|c| format!("M={c}")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table(
+        "Fig. 12 — bubble rate vs per-device memory capacity",
+        &header_refs,
+        &rows,
+    );
+    save_record(&ExperimentRecord {
+        id: "fig12".into(),
+        description: "Bubble rate vs memory capacity for the five placement shapes".into(),
+        data,
+    });
+}

@@ -1,0 +1,32 @@
+//! Fig. 13: GPT end-to-end training throughput (PFLOPS) of Tessel, 1F1B+,
+//! 1F1B and Chimera as the GPU count scales from 4 to 32.
+
+use tessel_bench::{print_table, save_record, training_comparison, EvalModel, ExperimentRecord};
+
+fn main() {
+    let micro_batches = 8;
+    let mut rows = Vec::new();
+    let mut data = Vec::new();
+    for gpus in [4usize, 8, 16, 32] {
+        let comparison = training_comparison(EvalModel::Gpt, gpus, micro_batches);
+        let fmt = |x: Option<f64>| x.map_or("x (OOM)".to_string(), |v| format!("{v:.3}"));
+        rows.push(vec![
+            gpus.to_string(),
+            fmt(comparison.tessel_pflops),
+            fmt(comparison.one_f_one_b_plus_pflops),
+            fmt(comparison.one_f_one_b_pflops),
+            fmt(comparison.chimera_pflops),
+        ]);
+        data.push(comparison);
+    }
+    print_table(
+        "Fig. 13 — GPT end-to-end training throughput (PFLOPS)",
+        &["GPUs", "Tessel", "1F1B+", "1F1B", "Chimera"],
+        &rows,
+    );
+    save_record(&ExperimentRecord {
+        id: "fig13".into(),
+        description: "GPT training throughput per schedule and GPU count".into(),
+        data,
+    });
+}

@@ -1,0 +1,82 @@
+//! Fig. 16: runtime performance breakdown — block execution time of the
+//! slowest device and device wait-time occupation — for 1F1B, 1F1B+ and
+//! Tessel on GPT and mT5.
+
+use tessel_baselines::{one_f_one_b, one_f_one_b_plus};
+use tessel_bench::{
+    cluster_for, print_table, run_tessel, save_record, simulate_schedule, EvalModel,
+    ExperimentRecord,
+};
+use tessel_runtime::CommMode;
+
+fn main() {
+    let micro_batches = 8;
+    let mut exec_rows = Vec::new();
+    let mut wait_rows = Vec::new();
+    let mut data = Vec::new();
+    for model in [EvalModel::Gpt, EvalModel::Mt5] {
+        for gpus in [4usize, 8, 16, 32] {
+            let label = format!("{} @ {gpus} GPUs", model.name());
+            let mut exec_row = vec![label.clone()];
+            let mut wait_row = vec![label.clone()];
+            let mut entry = Vec::new();
+            // (name, placement, schedule) triples for the three schedules.
+            let mut cases = Vec::new();
+            if let Ok(p) = model.baseline_placement(gpus) {
+                if let Ok(s) = one_f_one_b(&p, micro_batches) {
+                    cases.push(("1F1B", p, s));
+                }
+            }
+            if let Ok(p) = model.advanced_placement(gpus) {
+                if let Ok(s) = one_f_one_b_plus(&p, micro_batches) {
+                    cases.push(("1F1B+", p.clone(), s));
+                }
+                if let Ok(o) = run_tessel(&p, micro_batches) {
+                    cases.push(("Tessel", p, o.schedule));
+                }
+            }
+            for expected in ["1F1B", "1F1B+", "Tessel"] {
+                match cases.iter().find(|(name, _, _)| *name == expected) {
+                    Some((name, placement, schedule)) => {
+                        match simulate_schedule(placement, schedule, gpus, CommMode::NonBlocking) {
+                            Ok(report) => {
+                                let cluster = cluster_for(placement, gpus);
+                                let exec_seconds = report.slowest_device_busy() as f64
+                                    * cluster.time_unit_seconds;
+                                exec_row.push(format!("{exec_seconds:.2}s"));
+                                wait_row.push(format!("{:.0}%", report.max_wait_fraction() * 100.0));
+                                entry.push((name.to_string(), exec_seconds, report.max_wait_fraction()));
+                            }
+                            Err(_) => {
+                                exec_row.push("x".into());
+                                wait_row.push("x".into());
+                            }
+                        }
+                    }
+                    None => {
+                        exec_row.push("x".into());
+                        wait_row.push("x".into());
+                    }
+                }
+            }
+            exec_rows.push(exec_row);
+            wait_rows.push(wait_row);
+            data.push((model.name().to_string(), gpus, entry));
+        }
+    }
+    print_table(
+        "Fig. 16(a) — block execution time on the slowest device",
+        &["configuration", "1F1B", "1F1B+", "Tessel"],
+        &exec_rows,
+    );
+    print_table(
+        "Fig. 16(b) — device wait-time occupation",
+        &["configuration", "1F1B", "1F1B+", "Tessel"],
+        &wait_rows,
+    );
+    save_record(&ExperimentRecord {
+        id: "fig16".into(),
+        description: "Runtime breakdown: slowest-device execution time and wait occupation".into(),
+        data,
+    });
+}

@@ -1,0 +1,55 @@
+//! Fig. 17: end-to-end training time of Tessel's schedules with blocking
+//! versus non-blocking communication, for GPT (M-shape) and mT5 (NN-shape).
+
+use tessel_bench::{
+    cluster_for, print_table, run_tessel, save_record, simulate_schedule, EvalModel,
+    ExperimentRecord,
+};
+use tessel_runtime::CommMode;
+
+fn main() {
+    let micro_batches = 8;
+    let mut rows = Vec::new();
+    let mut data = Vec::new();
+    for model in [EvalModel::Gpt, EvalModel::Mt5] {
+        for gpus in [4usize, 8, 16, 32] {
+            let label = format!("{} @ {gpus} GPUs", model.name());
+            let Ok(placement) = model.advanced_placement(gpus) else {
+                rows.push(vec![label, "x".into(), "x".into(), "x".into()]);
+                continue;
+            };
+            let Ok(outcome) = run_tessel(&placement, micro_batches) else {
+                rows.push(vec![label, "x".into(), "x".into(), "x".into()]);
+                continue;
+            };
+            let cluster = cluster_for(&placement, gpus);
+            let seconds = |mode| {
+                simulate_schedule(&placement, &outcome.schedule, gpus, mode)
+                    .map(|r| r.iteration_seconds(&cluster))
+                    .ok()
+            };
+            match (seconds(CommMode::Blocking), seconds(CommMode::NonBlocking)) {
+                (Some(blocking), Some(non_blocking)) => {
+                    rows.push(vec![
+                        label.clone(),
+                        format!("{blocking:.2}s"),
+                        format!("{non_blocking:.2}s"),
+                        format!("{:.2}x", blocking / non_blocking),
+                    ]);
+                    data.push((label, blocking, non_blocking));
+                }
+                _ => rows.push(vec![label, "x".into(), "x".into(), "x".into()]),
+            }
+        }
+    }
+    print_table(
+        "Fig. 17 — blocking vs non-blocking communication (iteration time)",
+        &["configuration", "blocking", "non-blocking", "speedup"],
+        &rows,
+    );
+    save_record(&ExperimentRecord {
+        id: "fig17".into(),
+        description: "Iteration time with blocking vs non-blocking communication".into(),
+        data,
+    });
+}

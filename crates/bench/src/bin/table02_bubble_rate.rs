@@ -1,0 +1,66 @@
+//! Table II: steady-state bubble rate of 1F1B, Chimera-direct, 1F1B+ and
+//! Tessel on the three evaluation placements, assuming balanced per-device
+//! workloads and numerous micro-batches.
+
+use tessel_baselines::{chimera_estimate, one_f_one_b, one_f_one_b_plus};
+use tessel_bench::{print_table, run_tessel, save_record, ExperimentRecord};
+use tessel_placement::shapes::{synthetic_placement, ShapeKind};
+
+fn main() {
+    let devices = 4;
+    let micro_batches = 64;
+    let mut rows = Vec::new();
+    let mut data = Vec::new();
+    for (label, shape) in [
+        ("GPT (M-Shape)", ShapeKind::M),
+        ("mT5 (NN-Shape)", ShapeKind::NN),
+        ("Flava (K-Shape)", ShapeKind::K),
+    ] {
+        let advanced = synthetic_placement(shape, devices).expect("placement");
+        let v_shape = synthetic_placement(ShapeKind::V, devices).expect("v placement");
+
+        // 1F1B on its native V-shape placement reaches ~0% with many
+        // micro-batches.
+        let f1b = one_f_one_b(&v_shape, micro_batches)
+            .map(|s| s.steady_state_bubble_rate())
+            .unwrap_or(f64::NAN);
+        // Chimera-direct: the paper's reported steady-state bubble.
+        let chimera = chimera_estimate(
+            v_shape.repetend_lower_bound(),
+            micro_batches,
+            devices,
+            0,
+            i64::MAX,
+        )
+        .bubble_rate;
+        // 1F1B+ on the advanced placement.
+        let plus = match one_f_one_b_plus(&advanced, micro_batches) {
+            Ok(s) => s.steady_state_bubble_rate(),
+            Err(_) => f64::NAN,
+        };
+        // Tessel's searched schedule on the advanced placement.
+        let tessel = run_tessel(&advanced, micro_batches.min(12))
+            .map(|o| o.repetend.bubble_rate(&advanced))
+            .unwrap_or(f64::NAN);
+
+        let pct = |x: f64| {
+            if x.is_nan() {
+                "x".to_string()
+            } else {
+                format!("{:.0}%", (x * 100.0).round())
+            }
+        };
+        rows.push(vec![label.to_string(), pct(f1b), pct(chimera), pct(plus), pct(tessel)]);
+        data.push((label.to_string(), f1b, chimera, plus, tessel));
+    }
+    print_table(
+        "Table II — steady-state bubble rate per training schedule",
+        &["model", "1F1B", "Chimera-direct", "1F1B+", "Tessel"],
+        &rows,
+    );
+    save_record(&ExperimentRecord {
+        id: "table02".into(),
+        description: "Bubble rate of each training schedule with numerous micro-batches".into(),
+        data,
+    });
+}

@@ -1,0 +1,263 @@
+//! Composition of warmup, repeated repetend and cooldown into one schedule,
+//! generalised to an arbitrary number of micro-batches (§III-C).
+//!
+//! The repetend schedule found for `NR` micro-batches is replicated `C = N -
+//! NR + 1` times with micro-batch indices shifted by one per copy; the warmup
+//! phase is placed before the first copy and the cooldown phase after the
+//! last copy, each shifted by the minimum amount that preserves per-device
+//! exclusivity and cross-phase data dependencies.
+
+use crate::completion::PhasePlan;
+use crate::error::CoreError;
+use crate::ir::PlacementSpec;
+use crate::repetend::Repetend;
+use crate::schedule::{scheduled_block, RepetendSpan, Schedule, ScheduledBlock};
+
+/// Composes the full schedule for `num_micro_batches` micro-batches.
+///
+/// # Errors
+///
+/// Returns [`CoreError::TooFewMicroBatches`] if fewer micro-batches are
+/// requested than the repetend uses, and [`CoreError::InvalidSchedule`] if the
+/// composed schedule fails validation (which would indicate a bug in the
+/// search rather than user error).
+pub fn compose_schedule(
+    placement: &PlacementSpec,
+    repetend: &Repetend,
+    warmup: &PhasePlan,
+    cooldown: &PhasePlan,
+    num_micro_batches: usize,
+) -> Result<Schedule, CoreError> {
+    let nr = repetend.num_micro_batches();
+    if num_micro_batches < nr {
+        return Err(CoreError::TooFewMicroBatches {
+            requested: num_micro_batches,
+            required: nr,
+        });
+    }
+    let copies = num_micro_batches - nr + 1;
+    let num_devices = placement.num_devices();
+    let mut blocks: Vec<ScheduledBlock> = Vec::new();
+
+    // 1. Warmup blocks at their solved start times.
+    for (&(stage, mb), &start) in warmup.blocks.iter().zip(&warmup.starts) {
+        blocks.push(scheduled_block(placement, stage, mb, start));
+    }
+
+    // 2. Repetend copies, shifted to clear the warmup phase.
+    let warmup_device_finish: Vec<u64> = (0..num_devices)
+        .map(|d| warmup.device_finish(placement, d))
+        .collect();
+    let mut repetend_shift = 0u64;
+    // Device exclusivity against the warmup (the first copy is binding).
+    for (stage, block) in placement.blocks().iter().enumerate() {
+        for &d in &block.devices {
+            let needed = warmup_device_finish[d].saturating_sub(repetend.starts[stage]);
+            repetend_shift = repetend_shift.max(needed);
+        }
+    }
+    // Cross-phase data dependencies: copy `r` of stage `j` (micro-batch
+    // `indices[j] + r`) may depend on a warmup block of stage `i`.
+    for (stage, block) in placement.blocks().iter().enumerate() {
+        for &dep in &block.deps {
+            for r in 0..copies {
+                let needed_mb = repetend.candidate.indices[stage] + r;
+                if needed_mb < repetend.candidate.indices[dep] {
+                    if let Some(finish) = warmup.finish_of(placement, dep, needed_mb) {
+                        let rel = repetend.starts[stage] + r as u64 * repetend.period;
+                        repetend_shift = repetend_shift.max(finish.saturating_sub(rel));
+                    }
+                }
+            }
+        }
+    }
+    for r in 0..copies {
+        for (stage, _block) in placement.blocks().iter().enumerate() {
+            let mb = repetend.candidate.indices[stage] + r;
+            let start = repetend_shift + repetend.starts[stage] + r as u64 * repetend.period;
+            blocks.push(scheduled_block(placement, stage, mb, start));
+        }
+    }
+
+    // 3. Cooldown blocks, shifted to clear everything scheduled so far.
+    let mut prior_device_finish = vec![0u64; num_devices];
+    let mut prior_finish_of = std::collections::HashMap::new();
+    for b in &blocks {
+        for &d in &b.devices {
+            prior_device_finish[d] = prior_device_finish[d].max(b.end());
+        }
+        prior_finish_of.insert((b.stage, b.micro_batch), b.end());
+    }
+    let mut cooldown_shift = 0u64;
+    for (&(stage, _mb), &start) in cooldown.blocks.iter().zip(&cooldown.starts) {
+        for &d in &placement.block(stage).devices {
+            let needed = prior_device_finish[d].saturating_sub(start);
+            cooldown_shift = cooldown_shift.max(needed);
+        }
+    }
+    for (&(stage, mb), &start) in cooldown.blocks.iter().zip(&cooldown.starts) {
+        // The cooldown plan was solved for `NR` micro-batches; in the extended
+        // schedule its blocks carry indices shifted by the extra copies.
+        let final_mb = mb + copies - 1;
+        for &dep in &placement.block(stage).deps {
+            // Intra-phase dependencies were already honoured by the phase
+            // solve; only constrain against warmup/repetend blocks.
+            if let Some(&finish) = prior_finish_of.get(&(dep, final_mb)) {
+                cooldown_shift = cooldown_shift.max(finish.saturating_sub(start));
+            }
+        }
+    }
+    for (&(stage, mb), &start) in cooldown.blocks.iter().zip(&cooldown.starts) {
+        let final_mb = mb + copies - 1;
+        blocks.push(scheduled_block(placement, stage, final_mb, cooldown_shift + start));
+    }
+
+    let span = RepetendSpan {
+        start: repetend_shift,
+        period: repetend.period,
+        copies,
+    };
+    let schedule = Schedule::new(num_devices, num_micro_batches, blocks).with_repetend(span);
+    schedule
+        .validate(placement)
+        .map_err(|e| CoreError::InvalidSchedule(e.to_string()))?;
+    Ok(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::completion::{complete_schedule, cooldown_blocks, warmup_blocks};
+    use crate::ir::BlockKind;
+    use crate::repetend::{solve_repetend, RepetendCandidate};
+    use tessel_solver::{Solver, SolverConfig};
+
+    fn v_shape(d: usize, bwd: u64, capacity: Option<i64>) -> PlacementSpec {
+        let mut b = PlacementSpec::builder(format!("v{d}"), d);
+        b.set_memory_capacity(capacity);
+        let mut prev: Option<usize> = None;
+        for dev in 0..d {
+            let deps: Vec<usize> = prev.into_iter().collect();
+            prev = Some(
+                b.add_block(format!("f{dev}"), BlockKind::Forward, [dev], 1, 1, deps)
+                    .unwrap(),
+            );
+        }
+        for dev in (0..d).rev() {
+            let deps: Vec<usize> = prev.into_iter().collect();
+            prev = Some(
+                b.add_block(format!("b{dev}"), BlockKind::Backward, [dev], bwd, -1, deps)
+                    .unwrap(),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    fn one_f_one_b_candidate(d: usize) -> RepetendCandidate {
+        let mut indices = Vec::new();
+        for i in 0..d {
+            indices.push(d - 1 - i);
+        }
+        for _ in 0..d {
+            indices.push(0);
+        }
+        RepetendCandidate { indices }
+    }
+
+    fn compose_for(d: usize, n: usize) -> (PlacementSpec, Schedule) {
+        let p = v_shape(d, 2, Some(d as i64 + 1));
+        let cand = one_f_one_b_candidate(d);
+        let solver = Solver::new(SolverConfig::default());
+        let repetend = solve_repetend(&p, &cand, &solver, u64::MAX).unwrap().unwrap();
+        let copies = n - repetend.num_micro_batches() + 1;
+        let (warmup, cooldown) = complete_schedule(&p, &repetend, copies, &solver).unwrap();
+        let schedule = compose_schedule(&p, &repetend, &warmup, &cooldown, n).unwrap();
+        (p, schedule)
+    }
+
+    #[test]
+    fn composed_schedule_is_valid_and_complete() {
+        let (p, schedule) = compose_for(2, 4);
+        schedule.validate(&p).unwrap();
+        assert_eq!(schedule.num_micro_batches(), 4);
+        assert_eq!(schedule.blocks().len(), 4 * p.num_blocks());
+    }
+
+    #[test]
+    fn extension_to_more_micro_batches_keeps_validity() {
+        let p = v_shape(2, 2, Some(3));
+        let cand = one_f_one_b_candidate(2);
+        let solver = Solver::new(SolverConfig::default());
+        let repetend = solve_repetend(&p, &cand, &solver, u64::MAX).unwrap().unwrap();
+        let (warmup, cooldown) = complete_schedule(&p, &repetend, 1, &solver).unwrap();
+        for n in 2..=8 {
+            let schedule = compose_schedule(&p, &repetend, &warmup, &cooldown, n).unwrap();
+            schedule.validate(&p).unwrap();
+            assert_eq!(schedule.num_micro_batches(), n);
+        }
+    }
+
+    #[test]
+    fn makespan_grows_by_one_period_per_extra_micro_batch() {
+        let p = v_shape(4, 2, None);
+        let cand = one_f_one_b_candidate(4);
+        let solver = Solver::new(SolverConfig::default());
+        let repetend = solve_repetend(&p, &cand, &solver, u64::MAX).unwrap().unwrap();
+        let (warmup, cooldown) = complete_schedule(&p, &repetend, 1, &solver).unwrap();
+        let s6 = compose_schedule(&p, &repetend, &warmup, &cooldown, 6).unwrap();
+        let s7 = compose_schedule(&p, &repetend, &warmup, &cooldown, 7).unwrap();
+        assert_eq!(s7.makespan() - s6.makespan(), repetend.period);
+    }
+
+    #[test]
+    fn bubble_rate_converges_to_the_repetend_steady_state() {
+        // As the number of micro-batches grows, the overall bubble rate of
+        // the composed schedule converges to the steady-state bubble rate of
+        // its repetend (the warmup/cooldown contribution washes out).
+        let p = v_shape(2, 2, Some(3));
+        let cand = one_f_one_b_candidate(2);
+        let solver = Solver::new(SolverConfig::default());
+        let repetend = solve_repetend(&p, &cand, &solver, u64::MAX).unwrap().unwrap();
+        let (warmup, cooldown) = complete_schedule(&p, &repetend, 1, &solver).unwrap();
+        let steady = repetend.bubble_rate(&p);
+        let small = compose_schedule(&p, &repetend, &warmup, &cooldown, 3).unwrap();
+        let large = compose_schedule(&p, &repetend, &warmup, &cooldown, 64).unwrap();
+        let small_gap = (small.bubble_rate() - steady).abs();
+        let large_gap = (large.bubble_rate() - steady).abs();
+        assert!(large_gap <= small_gap + 1e-9, "large {large_gap} small {small_gap}");
+        assert!(large_gap < 0.1, "large schedule bubble {} vs steady {}", large.bubble_rate(), steady);
+    }
+
+    #[test]
+    fn too_few_micro_batches_is_rejected() {
+        let p = v_shape(2, 2, None);
+        let cand = one_f_one_b_candidate(2);
+        let solver = Solver::new(SolverConfig::default());
+        let repetend = solve_repetend(&p, &cand, &solver, u64::MAX).unwrap().unwrap();
+        let (warmup, cooldown) = complete_schedule(&p, &repetend, 1, &solver).unwrap();
+        let err = compose_schedule(&p, &repetend, &warmup, &cooldown, 1).unwrap_err();
+        assert!(matches!(err, CoreError::TooFewMicroBatches { .. }));
+    }
+
+    #[test]
+    fn repetend_metadata_matches_composition() {
+        let (_, schedule) = compose_for(2, 6);
+        let span = schedule.repetend().expect("repetend metadata");
+        assert_eq!(span.copies, 5);
+        assert!(span.period > 0);
+    }
+
+    #[test]
+    fn phase_block_sets_partition_all_blocks() {
+        let cand = one_f_one_b_candidate(3);
+        let nr = cand.num_micro_batches();
+        let mut all: Vec<(usize, usize)> = warmup_blocks(&cand);
+        all.extend(cooldown_blocks(&cand));
+        for (stage, &idx) in cand.indices.iter().enumerate() {
+            all.push((stage, idx));
+        }
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), nr * cand.indices.len());
+    }
+}

@@ -1,0 +1,597 @@
+//! Problem intermediate representation: blocks, placements and their costs.
+//!
+//! This module encodes the formulation of §III-A of the Tessel paper
+//! (Table I): a DNN iteration runs `N` independent micro-batches, each made of
+//! `K` *execution blocks* `B_i` with an integer time cost `tB`, a signed
+//! memory cost `mB`, a device set `dB` and intra-micro-batch data
+//! dependencies `B_i → B_j`.
+
+use crate::error::CoreError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a block belongs to the forward or backward pass of a micro-batch.
+///
+/// Inference placements only use forward blocks; training placements use
+/// both, with backward blocks typically releasing activation memory (negative
+/// [`BlockSpec::memory`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// Forward computation; usually allocates activation memory.
+    Forward,
+    /// Backward computation; usually releases activation memory.
+    Backward,
+}
+
+impl BlockKind {
+    /// `true` for forward blocks.
+    #[must_use]
+    pub fn is_forward(self) -> bool {
+        matches!(self, BlockKind::Forward)
+    }
+
+    /// `true` for backward blocks.
+    #[must_use]
+    pub fn is_backward(self) -> bool {
+        matches!(self, BlockKind::Backward)
+    }
+}
+
+impl fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockKind::Forward => write!(f, "forward"),
+            BlockKind::Backward => write!(f, "backward"),
+        }
+    }
+}
+
+/// One execution block of a micro-batch: a sub-set of the model's operators
+/// placed on one device or a tensor-parallel group of devices.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockSpec {
+    /// Human readable name (e.g. `"fwd-stage2"` or `"embed-backward"`).
+    pub name: String,
+    /// Forward or backward computation.
+    pub kind: BlockKind,
+    /// Devices occupied while this block runs (`dB`). More than one device
+    /// means the block is tensor-parallel across them.
+    pub devices: Vec<usize>,
+    /// Integer execution time (`tB`).
+    pub time: u64,
+    /// Signed memory cost applied to every device in [`BlockSpec::devices`]
+    /// when the block starts (`mB`).
+    pub memory: i64,
+    /// Indices (into [`PlacementSpec::blocks`]) of blocks of the *same*
+    /// micro-batch this block depends on.
+    pub deps: Vec<usize>,
+    /// Floating point operations performed by the block, used only for
+    /// throughput metrics (PFLOPS) in the runtime crate.
+    pub flops: f64,
+    /// Bytes of activation/gradient data this block sends to each dependent
+    /// block on a different device; used by the communication model.
+    pub output_bytes: u64,
+}
+
+impl BlockSpec {
+    /// Creates a block with the given name, kind, devices, time and memory.
+    ///
+    /// FLOPs and output bytes default to zero; use the struct-update syntax or
+    /// the setters on [`PlacementBuilder`] to refine them.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        kind: BlockKind,
+        devices: impl IntoIterator<Item = usize>,
+        time: u64,
+        memory: i64,
+    ) -> Self {
+        BlockSpec {
+            name: name.into(),
+            kind,
+            devices: devices.into_iter().collect(),
+            time,
+            memory,
+            deps: Vec::new(),
+            flops: 0.0,
+            output_bytes: 0,
+        }
+    }
+
+    /// Returns a copy with the given intra-micro-batch dependencies.
+    #[must_use]
+    pub fn with_deps(mut self, deps: impl IntoIterator<Item = usize>) -> Self {
+        self.deps = deps.into_iter().collect();
+        self
+    }
+
+    /// Returns a copy with the given FLOP count.
+    #[must_use]
+    pub fn with_flops(mut self, flops: f64) -> Self {
+        self.flops = flops;
+        self
+    }
+
+    /// Returns a copy with the given output tensor size in bytes.
+    #[must_use]
+    pub fn with_output_bytes(mut self, bytes: u64) -> Self {
+        self.output_bytes = bytes;
+        self
+    }
+
+    /// `true` if the block occupies `device`.
+    #[must_use]
+    pub fn uses_device(&self, device: usize) -> bool {
+        self.devices.contains(&device)
+    }
+}
+
+/// An operator placement strategy: the per-micro-batch block structure plus
+/// the device and memory environment it targets.
+///
+/// A placement is the sole input to the Tessel search (besides the memory
+/// budget); Figs. 1 and 8 of the paper show the V-, X-, M-, K- and NN-shape
+/// instances that the `tessel-placement` crate generates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementSpec {
+    name: String,
+    num_devices: usize,
+    memory_capacity: Option<i64>,
+    blocks: Vec<BlockSpec>,
+}
+
+impl PlacementSpec {
+    /// Starts building a placement over `num_devices` devices.
+    #[must_use]
+    pub fn builder(name: impl Into<String>, num_devices: usize) -> PlacementBuilder {
+        PlacementBuilder {
+            name: name.into(),
+            num_devices,
+            memory_capacity: None,
+            blocks: Vec::new(),
+        }
+    }
+
+    /// Placement name (used in reports and rendered schedules).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of devices the placement targets (`D`).
+    #[must_use]
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+
+    /// Per-device memory capacity (`M`), or `None` when unconstrained.
+    #[must_use]
+    pub fn memory_capacity(&self) -> Option<i64> {
+        self.memory_capacity
+    }
+
+    /// The blocks of one micro-batch, in id order (`K` entries).
+    #[must_use]
+    pub fn blocks(&self) -> &[BlockSpec] {
+        &self.blocks
+    }
+
+    /// Number of blocks per micro-batch (`K`).
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The block with index `stage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage >= self.num_blocks()`.
+    #[must_use]
+    pub fn block(&self, stage: usize) -> &BlockSpec {
+        &self.blocks[stage]
+    }
+
+    /// Direct dependents of `stage` (blocks that list `stage` in their deps).
+    #[must_use]
+    pub fn dependents(&self, stage: usize) -> Vec<usize> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.deps.contains(&stage))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Total execution time of one micro-batch on `device` — the per-device
+    /// work used by `GetLowerBound` in Algorithm 1.
+    #[must_use]
+    pub fn device_load(&self, device: usize) -> u64 {
+        self.blocks
+            .iter()
+            .filter(|b| b.uses_device(device))
+            .map(|b| b.time)
+            .sum()
+    }
+
+    /// The repetend-time lower bound of Algorithm 1: the busiest device's work
+    /// for a single micro-batch.
+    #[must_use]
+    pub fn repetend_lower_bound(&self) -> u64 {
+        (0..self.num_devices)
+            .map(|d| self.device_load(d))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Sum of all block times of one micro-batch — the initial upper bound on
+    /// the repetend time in Algorithm 1 (a fully sequential micro-batch).
+    #[must_use]
+    pub fn total_block_time(&self) -> u64 {
+        self.blocks.iter().map(|b| b.time).sum()
+    }
+
+    /// Net memory change of one full micro-batch on `device` (usually zero
+    /// for training placements, positive for inference placements).
+    #[must_use]
+    pub fn net_memory(&self, device: usize) -> i64 {
+        self.blocks
+            .iter()
+            .filter(|b| b.uses_device(device))
+            .map(|b| b.memory)
+            .sum()
+    }
+
+    /// Peak forward memory of one micro-batch on `device`: the sum of
+    /// positive memory costs, i.e. the footprint of keeping one micro-batch
+    /// in flight.
+    #[must_use]
+    pub fn forward_memory(&self, device: usize) -> i64 {
+        self.blocks
+            .iter()
+            .filter(|b| b.uses_device(device) && b.memory > 0)
+            .map(|b| b.memory)
+            .sum()
+    }
+
+    /// Maximum number of in-flight micro-batches the memory budget allows
+    /// (`CalMaxInflight` in Algorithm 1). Returns `fallback` when memory is
+    /// unconstrained or no block allocates memory.
+    #[must_use]
+    pub fn max_inflight_micro_batches(&self, fallback: usize) -> usize {
+        let Some(capacity) = self.memory_capacity else {
+            return fallback;
+        };
+        let mut inflight = usize::MAX;
+        for d in 0..self.num_devices {
+            let per_mb = self.forward_memory(d);
+            if per_mb <= 0 {
+                continue;
+            }
+            let fit = (capacity / per_mb).max(0) as usize;
+            inflight = inflight.min(fit);
+        }
+        if inflight == usize::MAX || inflight == 0 {
+            inflight = if inflight == 0 { 1 } else { fallback };
+        }
+        inflight.min(fallback.max(1))
+    }
+
+    /// Total FLOPs of one micro-batch (forward and backward).
+    #[must_use]
+    pub fn total_flops(&self) -> f64 {
+        self.blocks.iter().map(|b| b.flops).sum()
+    }
+
+    /// One topological order of the block stages under intra-micro-batch
+    /// dependencies (deterministic, smallest index first).
+    #[must_use]
+    pub fn topological_stages(&self) -> Vec<usize> {
+        let k = self.blocks.len();
+        let mut indegree = vec![0usize; k];
+        for (i, b) in self.blocks.iter().enumerate() {
+            indegree[i] = b.deps.len();
+        }
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..k)
+            .filter(|&i| indegree[i] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(k);
+        while let Some(std::cmp::Reverse(i)) = heap.pop() {
+            order.push(i);
+            for (j, b) in self.blocks.iter().enumerate() {
+                if b.deps.contains(&i) {
+                    indegree[j] -= 1;
+                    if indegree[j] == 0 {
+                        heap.push(std::cmp::Reverse(j));
+                    }
+                }
+            }
+        }
+        order
+    }
+
+    /// Validates internal consistency (device ranges, dependency indices,
+    /// acyclicity). Placements coming out of [`PlacementBuilder::build`] are
+    /// always valid; this is public for placements deserialised from files.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated structural constraint.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if self.blocks.is_empty() {
+            return Err(CoreError::EmptyPlacement);
+        }
+        for b in &self.blocks {
+            if b.devices.is_empty() {
+                return Err(CoreError::EmptyDeviceSet {
+                    block: b.name.clone(),
+                });
+            }
+            for &d in &b.devices {
+                if d >= self.num_devices {
+                    return Err(CoreError::DeviceOutOfRange {
+                        block: b.name.clone(),
+                        device: d,
+                        num_devices: self.num_devices,
+                    });
+                }
+            }
+            for &dep in &b.deps {
+                if dep >= self.blocks.len() {
+                    return Err(CoreError::UnknownBlock {
+                        index: dep,
+                        num_blocks: self.blocks.len(),
+                    });
+                }
+            }
+        }
+        if self.topological_stages().len() != self.blocks.len() {
+            return Err(CoreError::CyclicDependencies);
+        }
+        Ok(())
+    }
+
+    /// Returns a copy of this placement with a different memory capacity;
+    /// used by the memory-capacity ablation (Fig. 12 of the paper).
+    #[must_use]
+    pub fn with_memory_capacity(&self, capacity: Option<i64>) -> Self {
+        let mut copy = self.clone();
+        copy.memory_capacity = capacity;
+        copy
+    }
+}
+
+/// Builder for [`PlacementSpec`].
+///
+/// # Example
+///
+/// ```
+/// use tessel_core::ir::{BlockKind, PlacementSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = PlacementSpec::builder("two-stage", 2);
+/// b.set_memory_capacity(Some(4));
+/// let f0 = b.add_block("f0", BlockKind::Forward, [0], 1, 1, [])?;
+/// let f1 = b.add_block("f1", BlockKind::Forward, [1], 1, 1, [f0])?;
+/// let b1 = b.add_block("b1", BlockKind::Backward, [1], 2, -1, [f1])?;
+/// b.add_block("b0", BlockKind::Backward, [0], 2, -1, [b1])?;
+/// let placement = b.build()?;
+/// assert_eq!(placement.num_blocks(), 4);
+/// assert_eq!(placement.repetend_lower_bound(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlacementBuilder {
+    name: String,
+    num_devices: usize,
+    memory_capacity: Option<i64>,
+    blocks: Vec<BlockSpec>,
+}
+
+impl PlacementBuilder {
+    /// Sets or clears the per-device memory capacity.
+    pub fn set_memory_capacity(&mut self, capacity: Option<i64>) -> &mut Self {
+        self.memory_capacity = capacity;
+        self
+    }
+
+    /// Adds a block and returns its stage index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the device set is empty or out of range, or if a
+    /// dependency references a block that has not been added yet.
+    pub fn add_block(
+        &mut self,
+        name: impl Into<String>,
+        kind: BlockKind,
+        devices: impl IntoIterator<Item = usize>,
+        time: u64,
+        memory: i64,
+        deps: impl IntoIterator<Item = usize>,
+    ) -> Result<usize, CoreError> {
+        let block = BlockSpec::new(name, kind, devices, time, memory).with_deps(deps);
+        self.push_block(block)
+    }
+
+    /// Adds a fully specified block (including FLOPs and output bytes).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PlacementBuilder::add_block`].
+    pub fn push_block(&mut self, block: BlockSpec) -> Result<usize, CoreError> {
+        if block.devices.is_empty() {
+            return Err(CoreError::EmptyDeviceSet {
+                block: block.name.clone(),
+            });
+        }
+        for &d in &block.devices {
+            if d >= self.num_devices {
+                return Err(CoreError::DeviceOutOfRange {
+                    block: block.name.clone(),
+                    device: d,
+                    num_devices: self.num_devices,
+                });
+            }
+        }
+        for &dep in &block.deps {
+            if dep >= self.blocks.len() {
+                return Err(CoreError::UnknownBlock {
+                    index: dep,
+                    num_blocks: self.blocks.len(),
+                });
+            }
+        }
+        let id = self.blocks.len();
+        self.blocks.push(block);
+        Ok(id)
+    }
+
+    /// Number of blocks added so far.
+    #[must_use]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Finalises the placement.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no blocks were added or dependencies are cyclic.
+    pub fn build(self) -> Result<PlacementSpec, CoreError> {
+        let spec = PlacementSpec {
+            name: self.name,
+            num_devices: self.num_devices,
+            memory_capacity: self.memory_capacity,
+            blocks: self.blocks,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v2_placement() -> PlacementSpec {
+        let mut b = PlacementSpec::builder("v2", 2);
+        b.set_memory_capacity(Some(4));
+        let f0 = b.add_block("f0", BlockKind::Forward, [0], 1, 1, []).unwrap();
+        let f1 = b.add_block("f1", BlockKind::Forward, [1], 1, 1, [f0]).unwrap();
+        let b1 = b
+            .add_block("b1", BlockKind::Backward, [1], 2, -1, [f1])
+            .unwrap();
+        b.add_block("b0", BlockKind::Backward, [0], 2, -1, [b1]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_produces_valid_placement() {
+        let p = v2_placement();
+        assert_eq!(p.num_blocks(), 4);
+        assert_eq!(p.num_devices(), 2);
+        assert_eq!(p.memory_capacity(), Some(4));
+        assert!(p.validate().is_ok());
+        assert_eq!(p.name(), "v2");
+    }
+
+    #[test]
+    fn loads_and_bounds_are_computed_per_device() {
+        let p = v2_placement();
+        assert_eq!(p.device_load(0), 3);
+        assert_eq!(p.device_load(1), 3);
+        assert_eq!(p.repetend_lower_bound(), 3);
+        assert_eq!(p.total_block_time(), 6);
+        assert_eq!(p.net_memory(0), 0);
+        assert_eq!(p.forward_memory(0), 1);
+    }
+
+    #[test]
+    fn max_inflight_follows_memory_capacity() {
+        let p = v2_placement();
+        assert_eq!(p.max_inflight_micro_batches(8), 4);
+        let unconstrained = p.with_memory_capacity(None);
+        assert_eq!(unconstrained.max_inflight_micro_batches(8), 8);
+        let tiny = p.with_memory_capacity(Some(1));
+        assert_eq!(tiny.max_inflight_micro_batches(8), 1);
+    }
+
+    #[test]
+    fn dependents_inverts_deps() {
+        let p = v2_placement();
+        assert_eq!(p.dependents(0), vec![1]);
+        assert_eq!(p.dependents(3), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn topological_stages_respects_dependencies() {
+        let p = v2_placement();
+        let order = p.topological_stages();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn builder_rejects_bad_devices_and_deps() {
+        let mut b = PlacementSpec::builder("bad", 1);
+        assert!(matches!(
+            b.add_block("x", BlockKind::Forward, [1], 1, 0, []),
+            Err(CoreError::DeviceOutOfRange { .. })
+        ));
+        assert!(matches!(
+            b.add_block("x", BlockKind::Forward, Vec::<usize>::new(), 1, 0, []),
+            Err(CoreError::EmptyDeviceSet { .. })
+        ));
+        assert!(matches!(
+            b.add_block("x", BlockKind::Forward, [0], 1, 0, [3]),
+            Err(CoreError::UnknownBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_placement_is_rejected() {
+        let b = PlacementSpec::builder("empty", 2);
+        assert!(matches!(b.build(), Err(CoreError::EmptyPlacement)));
+    }
+
+    #[test]
+    fn block_kind_predicates() {
+        assert!(BlockKind::Forward.is_forward());
+        assert!(!BlockKind::Forward.is_backward());
+        assert!(BlockKind::Backward.is_backward());
+        assert_eq!(BlockKind::Forward.to_string(), "forward");
+        assert_eq!(BlockKind::Backward.to_string(), "backward");
+    }
+
+    #[test]
+    fn block_spec_setters_chain() {
+        let b = BlockSpec::new("x", BlockKind::Forward, [0], 2, 1)
+            .with_deps([0usize; 0])
+            .with_flops(1e12)
+            .with_output_bytes(1024);
+        assert_eq!(b.flops, 1e12);
+        assert_eq!(b.output_bytes, 1024);
+        assert!(b.uses_device(0));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_placement() {
+        let p = v2_placement();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: PlacementSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn total_flops_sums_blocks() {
+        let mut b = PlacementSpec::builder("flops", 1);
+        b.push_block(BlockSpec::new("a", BlockKind::Forward, [0], 1, 0).with_flops(2.0))
+            .unwrap();
+        b.push_block(BlockSpec::new("c", BlockKind::Backward, [0], 1, 0).with_flops(4.0))
+            .unwrap();
+        let p = b.build().unwrap();
+        assert!((p.total_flops() - 6.0).abs() < 1e-12);
+    }
+}

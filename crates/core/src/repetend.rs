@@ -1,0 +1,515 @@
+//! Repetend construction (§IV-B of the Tessel paper).
+//!
+//! A *repetend* is a set of blocks — one per stage, each tagged with a
+//! micro-batch index — whose schedule can be repeated back to back with the
+//! micro-batch indices shifted by one between repetitions. For large numbers
+//! of micro-batches the repetend dominates the iteration time, so Tessel
+//! searches for the repetend with the smallest period first and only then
+//! completes the warmup and cooldown phases around it.
+
+use crate::error::CoreError;
+use crate::ir::PlacementSpec;
+use serde::{Deserialize, Serialize};
+use tessel_solver::{Instance, InstanceBuilder, Solution, Solver, TaskId};
+
+/// An assignment of micro-batch indices to stages (Eq. 3): stage `i` of the
+/// repetend executes micro-batch `indices[i]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RepetendCandidate {
+    /// Micro-batch index per stage; `indices.len() == K`.
+    pub indices: Vec<usize>,
+}
+
+impl RepetendCandidate {
+    /// Number of distinct micro-batches the candidate draws blocks from
+    /// (`NR`): one plus the largest index (indices are normalised to start at
+    /// zero).
+    #[must_use]
+    pub fn num_micro_batches(&self) -> usize {
+        self.indices.iter().max().map_or(0, |&m| m + 1)
+    }
+
+    /// Number of warmup blocks implied by this candidate
+    /// (`sum_i indices[i]`).
+    #[must_use]
+    pub fn warmup_size(&self) -> usize {
+        self.indices.iter().sum()
+    }
+}
+
+/// Enumerates every repetend candidate over exactly `nr` micro-batches,
+/// pruned by Properties 4.1 and 4.2 of the paper:
+///
+/// * indices are normalised so the smallest used index is `0` and the largest
+///   is `nr - 1` (candidates that use fewer micro-batches are enumerated for
+///   the smaller `nr` instead);
+/// * along every dependency edge `B_i -> B_j` the index of the predecessor is
+///   at least the index of the successor (`indices[i] >= indices[j]`).
+#[must_use]
+pub fn enumerate_candidates(placement: &PlacementSpec, nr: usize) -> Vec<RepetendCandidate> {
+    if nr == 0 {
+        return Vec::new();
+    }
+    let k = placement.num_blocks();
+    let order = placement.topological_stages();
+    let mut indices = vec![0usize; k];
+    let mut out = Vec::new();
+    assign(placement, &order, 0, nr, &mut indices, &mut out);
+    out
+}
+
+fn assign(
+    placement: &PlacementSpec,
+    order: &[usize],
+    pos: usize,
+    nr: usize,
+    indices: &mut Vec<usize>,
+    out: &mut Vec<RepetendCandidate>,
+) {
+    if pos == order.len() {
+        let min = indices.iter().min().copied().unwrap_or(0);
+        let max = indices.iter().max().copied().unwrap_or(0);
+        if min == 0 && max + 1 == nr {
+            out.push(RepetendCandidate {
+                indices: indices.clone(),
+            });
+        }
+        return;
+    }
+    let stage = order[pos];
+    // Property 4.2: the index of a stage may not exceed the index of any of
+    // its predecessors.
+    let upper = placement
+        .block(stage)
+        .deps
+        .iter()
+        .map(|&d| indices[d])
+        .min()
+        .unwrap_or(nr - 1);
+    for idx in 0..=upper {
+        indices[stage] = idx;
+        assign(placement, order, pos + 1, nr, indices, out);
+    }
+    indices[stage] = 0;
+}
+
+/// Memory already resident on each device when the repetend starts: the sum
+/// of the memory deltas of all warmup blocks (`B_i^n` with `n <
+/// indices[i]`).
+#[must_use]
+pub fn entry_memory(placement: &PlacementSpec, candidate: &RepetendCandidate) -> Vec<i64> {
+    let mut mem = vec![0i64; placement.num_devices()];
+    for (stage, block) in placement.blocks().iter().enumerate() {
+        let copies = candidate.indices[stage] as i64;
+        for &d in &block.devices {
+            mem[d] += copies * block.memory;
+        }
+    }
+    mem
+}
+
+/// Builds the solver instance for a repetend candidate: one task per stage,
+/// intra-repetend dependencies only between blocks carrying the same
+/// micro-batch index, and the warmup entry memory as the initial occupancy.
+///
+/// # Errors
+///
+/// Returns an error if the placement references devices inconsistently (which
+/// cannot happen for placements built through [`PlacementSpec::builder`]).
+pub fn build_repetend_instance(
+    placement: &PlacementSpec,
+    candidate: &RepetendCandidate,
+) -> Result<Instance, CoreError> {
+    let mut builder = InstanceBuilder::new(placement.num_devices());
+    builder.set_memory_capacity(placement.memory_capacity());
+    builder.set_initial_memory(entry_memory(placement, candidate))?;
+    let mut ids = Vec::with_capacity(placement.num_blocks());
+    for (stage, block) in placement.blocks().iter().enumerate() {
+        let label = format!("{}^{}", block.name, candidate.indices[stage]);
+        let id = builder.add_task(label, block.time, block.devices.iter().copied(), block.memory)?;
+        ids.push(id);
+        debug_assert_eq!(id.index(), stage);
+    }
+    for (stage, block) in placement.blocks().iter().enumerate() {
+        for &dep in &block.deps {
+            if candidate.indices[dep] == candidate.indices[stage] {
+                builder.add_precedence(ids[dep], ids[stage])?;
+            }
+        }
+    }
+    Ok(builder.build()?)
+}
+
+/// A solved repetend: relative start times, its period (`t_R`) and the
+/// per-device execution/wait decomposition of Eq. 4.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Repetend {
+    /// The candidate this repetend was built from.
+    pub candidate: RepetendCandidate,
+    /// Relative start time of each stage (normalised so the earliest is 0).
+    pub starts: Vec<u64>,
+    /// The repetend period `t_R`: the time between the starts of consecutive
+    /// repetitions after tight compaction (Fig. 6b).
+    pub period: u64,
+    /// Per-device execution span `E_R^d`.
+    pub exec_time: Vec<u64>,
+    /// Per-device wait time `W_R^d = t_R - E_R^d`.
+    pub wait_time: Vec<u64>,
+    /// Memory resident on each device when a repetition starts.
+    pub entry_memory: Vec<i64>,
+}
+
+impl Repetend {
+    /// Number of micro-batches involved in the repetend (`NR`).
+    #[must_use]
+    pub fn num_micro_batches(&self) -> usize {
+        self.candidate.num_micro_batches()
+    }
+
+    /// Steady-state bubble rate of this repetend: the fraction of device time
+    /// left idle during one period, which is the schedule's bubble rate in
+    /// the limit of many micro-batches (Figs. 11 and 12 of the paper).
+    #[must_use]
+    pub fn bubble_rate(&self, placement: &PlacementSpec) -> f64 {
+        if self.period == 0 {
+            return 0.0;
+        }
+        let busy: u64 = (0..placement.num_devices())
+            .map(|d| placement.device_load(d))
+            .sum();
+        let total = self.period * placement.num_devices() as u64;
+        1.0 - busy as f64 / total as f64
+    }
+
+    /// The makespan of a single repetition in isolation (without compaction).
+    #[must_use]
+    pub fn span(&self, placement: &PlacementSpec) -> u64 {
+        self.starts
+            .iter()
+            .zip(placement.blocks())
+            .map(|(s, b)| s + b.time)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Evaluates a solver solution for a repetend candidate: computes the tight
+/// compaction period and the per-device execution/wait decomposition.
+///
+/// Two timing variants are considered — the solver's earliest-start layout
+/// and a right-justified layout (every block shifted as late as the makespan
+/// allows) — and the one with the smaller compacted period wins. The solver
+/// minimises the repetend *makespan*, which leaves slack in where
+/// non-critical blocks sit; right-justification closes per-device gaps that
+/// would otherwise inflate the period (Fig. 6 of the paper).
+#[must_use]
+pub fn evaluate_repetend(
+    placement: &PlacementSpec,
+    candidate: &RepetendCandidate,
+    solution: &Solution,
+) -> Repetend {
+    let k = placement.num_blocks();
+    let min_start = (0..k)
+        .map(|i| solution.start(TaskId::from_index(i)))
+        .min()
+        .unwrap_or(0);
+    let starts: Vec<u64> = (0..k)
+        .map(|i| solution.start(TaskId::from_index(i)) - min_start)
+        .collect();
+    let shifted = right_justify(placement, candidate, &starts);
+    let original = evaluate_starts(placement, candidate, starts);
+    let justified = evaluate_starts(placement, candidate, shifted);
+    if justified.period < original.period {
+        justified
+    } else {
+        original
+    }
+}
+
+/// Shifts every block as late as possible without changing the repetend
+/// makespan, the per-device block order or any intra-repetend dependency.
+fn right_justify(
+    placement: &PlacementSpec,
+    candidate: &RepetendCandidate,
+    starts: &[u64],
+) -> Vec<u64> {
+    let k = placement.num_blocks();
+    let makespan = (0..k)
+        .map(|i| starts[i] + placement.block(i).time)
+        .max()
+        .unwrap_or(0);
+    let mut new_starts = starts.to_vec();
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(starts[i]));
+    for &i in &order {
+        let block = placement.block(i);
+        let mut upper = makespan - block.time;
+        // Intra-repetend successors (same micro-batch index).
+        for (j, other) in placement.blocks().iter().enumerate() {
+            if other.deps.contains(&i) && candidate.indices[j] == candidate.indices[i] {
+                upper = upper.min(new_starts[j].saturating_sub(block.time));
+            }
+        }
+        // Preserve the per-device order of the original layout.
+        for (j, other) in placement.blocks().iter().enumerate() {
+            if j == i || !other.devices.iter().any(|d| block.devices.contains(d)) {
+                continue;
+            }
+            if starts[j] > starts[i] || (starts[j] == starts[i] && j > i) {
+                upper = upper.min(new_starts[j].saturating_sub(block.time));
+            }
+        }
+        new_starts[i] = new_starts[i].max(upper);
+    }
+    new_starts
+}
+
+/// Computes the repetend metrics for a fixed start-time layout.
+fn evaluate_starts(
+    placement: &PlacementSpec,
+    candidate: &RepetendCandidate,
+    starts: Vec<u64>,
+) -> Repetend {
+
+    let num_devices = placement.num_devices();
+    let mut exec_time = vec![0u64; num_devices];
+    let mut first_start = vec![u64::MAX; num_devices];
+    let mut last_finish = vec![0u64; num_devices];
+    for (stage, block) in placement.blocks().iter().enumerate() {
+        for &d in &block.devices {
+            first_start[d] = first_start[d].min(starts[stage]);
+            last_finish[d] = last_finish[d].max(starts[stage] + block.time);
+        }
+    }
+    for d in 0..num_devices {
+        if first_start[d] != u64::MAX {
+            exec_time[d] = last_finish[d] - first_start[d];
+        }
+    }
+
+    // Tight compaction (Fig. 6b): the period is the smallest shift `delta`
+    // such that (a) consecutive repetitions do not overlap on any device and
+    // (b) every cross-repetition data dependency is satisfied. A dependency
+    // B_i -> B_j with indices[i] = indices[j] + c (c >= 1) connects stage i of
+    // one repetition to stage j of the repetition c steps later, giving
+    // `c * delta >= finish_i - start_j`.
+    let mut period: u64 = exec_time.iter().copied().max().unwrap_or(0);
+    for (stage, block) in placement.blocks().iter().enumerate() {
+        for &dep in &block.deps {
+            let c = candidate.indices[dep] as i64 - candidate.indices[stage] as i64;
+            if c >= 1 {
+                let finish_dep = starts[dep] + placement.block(dep).time;
+                let gap = finish_dep.saturating_sub(starts[stage]);
+                let needed = gap.div_ceil(c as u64);
+                period = period.max(needed);
+            }
+        }
+    }
+
+    let wait_time: Vec<u64> = exec_time.iter().map(|&e| period - e).collect();
+    Repetend {
+        candidate: candidate.clone(),
+        starts,
+        period,
+        exec_time,
+        wait_time,
+        entry_memory: entry_memory(placement, candidate),
+    }
+}
+
+/// Solves a repetend candidate to optimality (below `upper_bound`) and
+/// evaluates its period. Returns `Ok(None)` if the candidate admits no
+/// schedule below the bound (or none at all, e.g. for memory reasons).
+///
+/// # Errors
+///
+/// Propagates solver construction errors, which cannot occur for valid
+/// placements.
+pub fn solve_repetend(
+    placement: &PlacementSpec,
+    candidate: &RepetendCandidate,
+    solver: &Solver,
+    upper_bound: u64,
+) -> Result<Option<Repetend>, CoreError> {
+    // Candidates whose warmup already overflows the memory budget can never
+    // lead to a feasible schedule.
+    if let Some(capacity) = placement.memory_capacity() {
+        let entry = entry_memory(placement, candidate);
+        if entry.iter().any(|&m| m > capacity) {
+            return Ok(None);
+        }
+    }
+    let instance = build_repetend_instance(placement, candidate)?;
+    let outcome = solver.minimize_below(&instance, upper_bound)?;
+    Ok(outcome
+        .solution()
+        .map(|solution| evaluate_repetend(placement, candidate, solution)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BlockKind, PlacementSpec};
+    use tessel_solver::SolverConfig;
+
+    /// V-shape placement over `d` devices with forward cost 1 and backward
+    /// cost `bwd`.
+    fn v_shape(d: usize, bwd: u64, capacity: Option<i64>) -> PlacementSpec {
+        let mut b = PlacementSpec::builder(format!("v{d}"), d);
+        b.set_memory_capacity(capacity);
+        let mut prev: Option<usize> = None;
+        for dev in 0..d {
+            let deps: Vec<usize> = prev.into_iter().collect();
+            prev = Some(
+                b.add_block(format!("f{dev}"), BlockKind::Forward, [dev], 1, 1, deps)
+                    .unwrap(),
+            );
+        }
+        for dev in (0..d).rev() {
+            let deps: Vec<usize> = prev.into_iter().collect();
+            prev = Some(
+                b.add_block(format!("b{dev}"), BlockKind::Backward, [dev], bwd, -1, deps)
+                    .unwrap(),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn enumeration_respects_dependency_ordering() {
+        let p = v_shape(2, 2, None);
+        for nr in 1..=3 {
+            for cand in enumerate_candidates(&p, nr) {
+                assert_eq!(cand.num_micro_batches(), nr);
+                // Along the chain f0 -> f1 -> b1 -> b0 indices must not
+                // increase.
+                for (stage, block) in p.blocks().iter().enumerate() {
+                    for &dep in &block.deps {
+                        assert!(
+                            cand.indices[dep] >= cand.indices[stage],
+                            "candidate {cand:?} violates property 4.2"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn enumeration_counts_are_exact_for_a_chain() {
+        // For a chain of K blocks, candidates over exactly nr micro-batches
+        // are the non-increasing sequences with min 0 and max nr-1.
+        let p = v_shape(2, 2, None); // chain of 4 blocks
+        assert_eq!(enumerate_candidates(&p, 1).len(), 1);
+        // Non-increasing sequences of length 4 over {0,1} touching both
+        // values: choose the switch position: 3.
+        assert_eq!(enumerate_candidates(&p, 2).len(), 3);
+        // Over {0,1,2}: the first element must be 2 and the last 0, leaving 6
+        // non-increasing middle pairs.
+        assert_eq!(enumerate_candidates(&p, 3).len(), 6);
+        assert!(enumerate_candidates(&p, 0).is_empty());
+    }
+
+    #[test]
+    fn entry_memory_counts_warmup_blocks() {
+        let p = v_shape(2, 2, None);
+        // Candidate: f0 -> mb1, f1 -> mb1, b1 -> mb0, b0 -> mb0 (the classic
+        // 1F1B steady state over 2 devices).
+        let cand = RepetendCandidate {
+            indices: vec![1, 1, 0, 0],
+        };
+        // Device 0 executed one prior forward of f0 (mb0): +1. Device 1
+        // executed one prior forward of f1 (mb0): +1.
+        assert_eq!(entry_memory(&p, &cand), vec![1, 1]);
+        assert_eq!(cand.warmup_size(), 2);
+    }
+
+    #[test]
+    fn one_f_one_b_repetend_reaches_the_lower_bound() {
+        // The classic 1F1B repetend over 4 devices (fwd=1, bwd=2) has period
+        // equal to the per-device load of one micro-batch (zero bubble).
+        let p = v_shape(4, 2, None);
+        let nr = 4;
+        let solver = Solver::new(SolverConfig::default());
+        let lower = p.repetend_lower_bound();
+        let mut best: Option<u64> = None;
+        for cand in enumerate_candidates(&p, nr) {
+            if let Some(rep) = solve_repetend(&p, &cand, &solver, u64::MAX).unwrap() {
+                best = Some(best.map_or(rep.period, |b: u64| b.min(rep.period)));
+            }
+        }
+        assert_eq!(best, Some(lower));
+    }
+
+    #[test]
+    fn repetend_period_includes_cross_repetition_dependencies() {
+        // A single-device placement: the repetend is one forward + one
+        // backward; the period must cover both.
+        let p = v_shape(1, 2, None);
+        let cand = RepetendCandidate {
+            indices: vec![0, 0],
+        };
+        let solver = Solver::new(SolverConfig::default());
+        let rep = solve_repetend(&p, &cand, &solver, u64::MAX)
+            .unwrap()
+            .expect("feasible");
+        assert_eq!(rep.period, 3);
+        assert_eq!(rep.exec_time, vec![3]);
+        assert_eq!(rep.wait_time, vec![0]);
+        assert!((rep.bubble_rate(&p) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_exhausted_candidates_are_rejected() {
+        // Capacity 1: a candidate whose warmup leaves 2 forwards resident can
+        // never start.
+        let p = v_shape(2, 2, Some(1));
+        let cand = RepetendCandidate {
+            indices: vec![2, 1, 0, 0],
+        };
+        let solver = Solver::new(SolverConfig::default());
+        let result = solve_repetend(&p, &cand, &solver, u64::MAX).unwrap();
+        assert!(result.is_none());
+    }
+
+    #[test]
+    fn evaluate_normalises_start_times() {
+        let p = v_shape(2, 2, None);
+        let cand = RepetendCandidate {
+            indices: vec![0, 0, 0, 0],
+        };
+        let instance = build_repetend_instance(&p, &cand).unwrap();
+        let solver = Solver::new(SolverConfig::default());
+        let outcome = solver.minimize(&instance).unwrap();
+        let rep = evaluate_repetend(&p, &cand, outcome.solution().unwrap());
+        assert_eq!(rep.starts.iter().min().copied(), Some(0));
+        assert_eq!(rep.span(&p), 6);
+    }
+
+    #[test]
+    fn instance_contains_only_same_index_dependencies() {
+        let p = v_shape(2, 2, None);
+        let cand = RepetendCandidate {
+            indices: vec![1, 1, 0, 0],
+        };
+        let instance = build_repetend_instance(&p, &cand).unwrap();
+        // f0->f1 (both index 1) and b1->b0 (both index 0) stay; f1->b1 drops
+        // because it crosses repetitions.
+        assert_eq!(instance.precedences().count(), 2);
+    }
+
+    #[test]
+    fn serde_round_trip_for_repetend() {
+        let p = v_shape(2, 2, None);
+        let cand = RepetendCandidate {
+            indices: vec![1, 1, 0, 0],
+        };
+        let solver = Solver::new(SolverConfig::default());
+        let rep = solve_repetend(&p, &cand, &solver, u64::MAX)
+            .unwrap()
+            .unwrap();
+        let json = serde_json::to_string(&rep).unwrap();
+        let back: Repetend = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rep);
+    }
+}

@@ -1,0 +1,493 @@
+//! The Tessel schedule search (Algorithm 1 of the paper).
+//!
+//! Given an operator placement and a memory budget, the search enumerates
+//! repetend candidates over a growing number of micro-batches, solves each to
+//! optimality with the exact scheduling solver, keeps the one with the
+//! smallest period and finally completes warmup and cooldown phases around
+//! it. The *lazy search* optimisation (§V) replaces per-candidate phase
+//! optimisation with a cheap satisfiability probe and only optimises the
+//! phases once, for the winning repetend.
+
+use crate::completion::{
+    cooldown_blocks, cooldown_entry_memory, probe_phase, solve_phase, warmup_blocks, Phase,
+    PhasePlan,
+};
+use crate::compose::compose_schedule;
+use crate::error::CoreError;
+use crate::ir::PlacementSpec;
+use crate::repetend::{enumerate_candidates, solve_repetend, Repetend};
+use crate::schedule::Schedule;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+use tessel_solver::{Solver, SolverConfig};
+
+/// Configuration of the Tessel search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchConfig {
+    /// Number of micro-batches the final composed schedule should cover (`N`).
+    pub num_micro_batches: usize,
+    /// Upper limit on the number of micro-batches considered for the repetend
+    /// (`NR`); the memory budget may cap it further via `CalMaxInflight`.
+    pub max_repetend_micro_batches: usize,
+    /// Solver configuration for repetend optimisation.
+    pub repetend_solver: SolverConfig,
+    /// Solver configuration for warmup/cooldown optimisation.
+    pub phase_solver: SolverConfig,
+    /// Enables the lazy-search optimisation of §V (on by default).
+    pub lazy: bool,
+    /// Optional cap on the number of candidates examined per `NR` value;
+    /// `None` enumerates all of them.
+    pub candidate_limit: Option<usize>,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        SearchConfig {
+            num_micro_batches: 8,
+            max_repetend_micro_batches: 6,
+            repetend_solver: SolverConfig::default(),
+            phase_solver: SolverConfig::default(),
+            lazy: true,
+            candidate_limit: None,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// Returns a copy targeting `n` micro-batches in the composed schedule.
+    #[must_use]
+    pub fn with_micro_batches(mut self, n: usize) -> Self {
+        self.num_micro_batches = n;
+        self
+    }
+
+    /// Returns a copy with the lazy-search optimisation enabled or disabled
+    /// (used by the Fig. 10 ablation).
+    #[must_use]
+    pub fn with_lazy(mut self, lazy: bool) -> Self {
+        self.lazy = lazy;
+        self
+    }
+
+    /// Returns a copy with a different repetend micro-batch cap (`NR` limit),
+    /// used by the Fig. 11 ablation.
+    #[must_use]
+    pub fn with_max_repetend_micro_batches(mut self, nr: usize) -> Self {
+        self.max_repetend_micro_batches = nr;
+        self
+    }
+}
+
+/// Wall-clock time spent in each search phase; the breakdown reported in
+/// Fig. 10 of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    /// Time spent solving repetend candidates.
+    pub repetend: Duration,
+    /// Time spent probing/optimising warmup phases.
+    pub warmup: Duration,
+    /// Time spent probing/optimising cooldown phases.
+    pub cooldown: Duration,
+}
+
+impl PhaseBreakdown {
+    /// Total time across the three phases.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.repetend + self.warmup + self.cooldown
+    }
+}
+
+/// Statistics of one search run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Number of repetend candidates enumerated.
+    pub candidates_considered: usize,
+    /// Number of repetend candidates handed to the solver.
+    pub repetend_solves: usize,
+    /// Number of lazy feasibility probes issued for completion phases.
+    pub feasibility_probes: usize,
+    /// Number of candidates that improved on the incumbent repetend.
+    pub improving_repetends: usize,
+    /// `true` if the search stopped early because the repetend reached the
+    /// per-device load lower bound (line 19 of Algorithm 1).
+    pub early_exit: bool,
+    /// `NR` of the winning repetend.
+    pub chosen_nr: usize,
+    /// Per-phase time breakdown.
+    pub phase_times: PhaseBreakdown,
+    /// Total wall-clock search time.
+    #[serde(skip)]
+    pub total_time: Duration,
+}
+
+/// The result of a Tessel search: the composed schedule plus everything
+/// needed to re-compose it for a different number of micro-batches.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome {
+    /// The composed schedule for [`SearchConfig::num_micro_batches`].
+    pub schedule: Schedule,
+    /// The winning repetend.
+    pub repetend: Repetend,
+    /// The solved warmup phase.
+    pub warmup: PhasePlan,
+    /// The solved cooldown phase.
+    pub cooldown: PhasePlan,
+    /// Search statistics.
+    pub stats: SearchStats,
+}
+
+impl SearchOutcome {
+    /// Re-composes the schedule for a different number of micro-batches
+    /// without searching again — the schedule-generalisation property of
+    /// §III-C.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `n` is smaller than the repetend's micro-batch
+    /// count.
+    pub fn schedule_for(
+        &self,
+        placement: &PlacementSpec,
+        n: usize,
+    ) -> Result<Schedule, CoreError> {
+        compose_schedule(placement, &self.repetend, &self.warmup, &self.cooldown, n)
+    }
+}
+
+/// The Tessel schedule search engine.
+#[derive(Debug, Clone, Default)]
+pub struct TesselSearch {
+    config: SearchConfig,
+}
+
+impl TesselSearch {
+    /// Creates a search engine with the given configuration.
+    #[must_use]
+    pub fn new(config: SearchConfig) -> Self {
+        TesselSearch { config }
+    }
+
+    /// The configuration the search runs with.
+    #[must_use]
+    pub fn config(&self) -> &SearchConfig {
+        &self.config
+    }
+
+    /// Runs Algorithm 1 on `placement` and composes the final schedule for
+    /// [`SearchConfig::num_micro_batches`] micro-batches.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::NoFeasibleRepetend`] if no repetend fits within
+    /// the memory budget, or a phase/composition error if completion fails.
+    pub fn run(&self, placement: &PlacementSpec) -> Result<SearchOutcome, CoreError> {
+        placement.validate()?;
+        let started = Instant::now();
+        let mut stats = SearchStats::default();
+
+        let repetend_solver = Solver::new(self.config.repetend_solver.clone());
+        let phase_solver = Solver::new(self.config.phase_solver.clone());
+        let probe_solver = Solver::new(SolverConfig::probe());
+
+        // Lines 1-6 of Algorithm 1: bounds and the in-flight micro-batch cap.
+        let mut optimal = placement.total_block_time() + 1;
+        let lower_bound = placement.repetend_lower_bound();
+        let inflights = placement
+            .max_inflight_micro_batches(self.config.max_repetend_micro_batches)
+            .min(self.config.max_repetend_micro_batches)
+            .min(self.config.num_micro_batches)
+            .max(1);
+
+        let mut best: Option<Repetend> = None;
+        let mut best_phases: Option<(PhasePlan, PhasePlan)> = None;
+
+        'outer: for nr in 1..=inflights {
+            let mut candidates = enumerate_candidates(placement, nr);
+            if let Some(limit) = self.config.candidate_limit {
+                candidates.truncate(limit);
+            }
+            stats.candidates_considered += candidates.len();
+            for candidate in candidates {
+                let repetend_clock = Instant::now();
+                let solved = solve_repetend(placement, &candidate, &repetend_solver, optimal)?;
+                stats.repetend_solves += 1;
+                stats.phase_times.repetend += repetend_clock.elapsed();
+                let Some(repetend) = solved else { continue };
+                if repetend.period >= optimal {
+                    continue;
+                }
+
+                let copies = self.copies_for(&repetend);
+                if self.config.lazy {
+                    // Lazy search: a cheap satisfiability check instead of a
+                    // time-optimal solve per improving candidate.
+                    let warmup_clock = Instant::now();
+                    let warmup_ok = probe_phase(
+                        placement,
+                        &warmup_blocks(&repetend.candidate),
+                        vec![0; placement.num_devices()],
+                        &probe_solver,
+                    )?;
+                    stats.feasibility_probes += 1;
+                    stats.phase_times.warmup += warmup_clock.elapsed();
+                    if !warmup_ok {
+                        continue;
+                    }
+                    let cooldown_clock = Instant::now();
+                    let cooldown_ok = probe_phase(
+                        placement,
+                        &cooldown_blocks(&repetend.candidate),
+                        cooldown_entry_memory(placement, &repetend.candidate, copies),
+                        &probe_solver,
+                    )?;
+                    stats.feasibility_probes += 1;
+                    stats.phase_times.cooldown += cooldown_clock.elapsed();
+                    if !cooldown_ok {
+                        continue;
+                    }
+                    best_phases = None;
+                } else {
+                    // Eager mode: optimise the completion phases for every
+                    // improving repetend (the configuration compared against
+                    // in the Fig. 10(b) ablation).
+                    let warmup_clock = Instant::now();
+                    let warmup = solve_phase(
+                        placement,
+                        Phase::Warmup,
+                        &warmup_blocks(&repetend.candidate),
+                        vec![0; placement.num_devices()],
+                        &phase_solver,
+                    );
+                    stats.phase_times.warmup += warmup_clock.elapsed();
+                    let Ok(warmup) = warmup else { continue };
+                    let cooldown_clock = Instant::now();
+                    let cooldown = solve_phase(
+                        placement,
+                        Phase::Cooldown,
+                        &cooldown_blocks(&repetend.candidate),
+                        cooldown_entry_memory(placement, &repetend.candidate, copies),
+                        &phase_solver,
+                    );
+                    stats.phase_times.cooldown += cooldown_clock.elapsed();
+                    let Ok(cooldown) = cooldown else { continue };
+                    best_phases = Some((warmup, cooldown));
+                }
+
+                optimal = repetend.period;
+                stats.improving_repetends += 1;
+                stats.chosen_nr = nr;
+                best = Some(repetend);
+                if optimal <= lower_bound {
+                    stats.early_exit = true;
+                    break 'outer;
+                }
+            }
+        }
+
+        let repetend = best.ok_or(CoreError::NoFeasibleRepetend)?;
+        let copies = self.copies_for(&repetend);
+        let (warmup, cooldown) = match best_phases {
+            Some(phases) => phases,
+            None => {
+                // Lazy mode (or the winning candidate changed after its eager
+                // phases were solved): optimise the phases once, now.
+                let warmup_clock = Instant::now();
+                let warmup = solve_phase(
+                    placement,
+                    Phase::Warmup,
+                    &warmup_blocks(&repetend.candidate),
+                    vec![0; placement.num_devices()],
+                    &phase_solver,
+                )?;
+                stats.phase_times.warmup += warmup_clock.elapsed();
+                let cooldown_clock = Instant::now();
+                let cooldown = solve_phase(
+                    placement,
+                    Phase::Cooldown,
+                    &cooldown_blocks(&repetend.candidate),
+                    cooldown_entry_memory(placement, &repetend.candidate, copies),
+                    &phase_solver,
+                )?;
+                stats.phase_times.cooldown += cooldown_clock.elapsed();
+                (warmup, cooldown)
+            }
+        };
+
+        let schedule = compose_schedule(
+            placement,
+            &repetend,
+            &warmup,
+            &cooldown,
+            self.config.num_micro_batches.max(repetend.num_micro_batches()),
+        )?;
+        stats.total_time = started.elapsed();
+        Ok(SearchOutcome {
+            schedule,
+            repetend,
+            warmup,
+            cooldown,
+            stats,
+        })
+    }
+
+    fn copies_for(&self, repetend: &Repetend) -> usize {
+        let nr = repetend.num_micro_batches();
+        let n = self.config.num_micro_batches.max(nr);
+        n - nr + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BlockKind, PlacementSpec};
+
+    /// V-shape placement: one forward and one backward block per device,
+    /// sequential stages (Fig. 1a).
+    fn v_shape(d: usize, fwd: u64, bwd: u64, capacity: Option<i64>) -> PlacementSpec {
+        let mut b = PlacementSpec::builder(format!("v{d}"), d);
+        b.set_memory_capacity(capacity);
+        let mut prev: Option<usize> = None;
+        for dev in 0..d {
+            let deps: Vec<usize> = prev.into_iter().collect();
+            prev = Some(
+                b.add_block(format!("f{dev}"), BlockKind::Forward, [dev], fwd, 1, deps)
+                    .unwrap(),
+            );
+        }
+        for dev in (0..d).rev() {
+            let deps: Vec<usize> = prev.into_iter().collect();
+            prev = Some(
+                b.add_block(format!("b{dev}"), BlockKind::Backward, [dev], bwd, -1, deps)
+                    .unwrap(),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    /// X-shape placement (Chimera-style, Fig. 1b): two pipelines flowing in
+    /// opposite directions across two devices.
+    fn x_shape() -> PlacementSpec {
+        let mut b = PlacementSpec::builder("x2", 2);
+        b.set_memory_capacity(Some(4));
+        // Branch "down": stage0 on dev0, stage1 on dev1.
+        let f0 = b.add_block("d-f0", BlockKind::Forward, [0], 1, 1, []).unwrap();
+        let f1 = b.add_block("d-f1", BlockKind::Forward, [1], 1, 1, [f0]).unwrap();
+        let b1 = b.add_block("d-b1", BlockKind::Backward, [1], 2, -1, [f1]).unwrap();
+        let _b0 = b.add_block("d-b0", BlockKind::Backward, [0], 2, -1, [b1]).unwrap();
+        // Branch "up": stage0 on dev1, stage1 on dev0.
+        let g0 = b.add_block("u-f0", BlockKind::Forward, [1], 1, 1, []).unwrap();
+        let g1 = b.add_block("u-f1", BlockKind::Forward, [0], 1, 1, [g0]).unwrap();
+        let c1 = b.add_block("u-b1", BlockKind::Backward, [0], 2, -1, [g1]).unwrap();
+        let _c0 = b.add_block("u-b0", BlockKind::Backward, [1], 2, -1, [c1]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn search_finds_zero_bubble_schedule_for_v_shape() {
+        let p = v_shape(2, 1, 2, Some(3));
+        let search = TesselSearch::new(SearchConfig::default().with_micro_batches(8));
+        let outcome = search.run(&p).unwrap();
+        outcome.schedule.validate(&p).unwrap();
+        // The repetend should reach the per-device lower bound (3): a
+        // zero-bubble steady state, exactly like 1F1B.
+        assert_eq!(outcome.repetend.period, p.repetend_lower_bound());
+        assert!(outcome.stats.early_exit);
+        assert!((outcome.repetend.bubble_rate(&p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn search_handles_x_shape_placement() {
+        let p = x_shape();
+        let search = TesselSearch::new(SearchConfig::default().with_micro_batches(6));
+        let outcome = search.run(&p).unwrap();
+        outcome.schedule.validate(&p).unwrap();
+        // Each device carries 6 time units of work per micro-batch; a good
+        // repetend gets close to that bound.
+        assert!(outcome.repetend.period <= p.total_block_time());
+        assert!(outcome.repetend.period >= p.repetend_lower_bound());
+    }
+
+    #[test]
+    fn lazy_and_eager_search_find_equally_good_repetends() {
+        let p = v_shape(2, 1, 2, Some(3));
+        let lazy = TesselSearch::new(SearchConfig::default().with_lazy(true))
+            .run(&p)
+            .unwrap();
+        let eager = TesselSearch::new(SearchConfig::default().with_lazy(false))
+            .run(&p)
+            .unwrap();
+        assert_eq!(lazy.repetend.period, eager.repetend.period);
+        // Lazy mode replaces per-candidate phase optimisation with probes.
+        assert!(lazy.stats.feasibility_probes > 0);
+        assert_eq!(eager.stats.feasibility_probes, 0);
+    }
+
+    #[test]
+    fn memory_budget_limits_repetend_micro_batches() {
+        // Capacity 1 allows a single in-flight micro-batch: the schedule
+        // degenerates towards sequential execution and the bubble rate grows.
+        let tight = v_shape(2, 1, 2, Some(1));
+        let roomy = v_shape(2, 1, 2, Some(4));
+        let search = TesselSearch::new(SearchConfig::default());
+        let tight_outcome = search.run(&tight).unwrap();
+        let roomy_outcome = search.run(&roomy).unwrap();
+        assert!(tight_outcome.repetend.period >= roomy_outcome.repetend.period);
+        assert!(
+            tight_outcome.repetend.bubble_rate(&tight)
+                >= roomy_outcome.repetend.bubble_rate(&roomy) - 1e-9
+        );
+    }
+
+    #[test]
+    fn schedule_for_recomposes_other_micro_batch_counts() {
+        let p = v_shape(2, 1, 2, Some(3));
+        let outcome = TesselSearch::new(SearchConfig::default()).run(&p).unwrap();
+        for n in [2usize, 4, 16] {
+            if n >= outcome.repetend.num_micro_batches() {
+                let schedule = outcome.schedule_for(&p, n).unwrap();
+                schedule.validate(&p).unwrap();
+                assert_eq!(schedule.num_micro_batches(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_report_search_effort() {
+        let p = v_shape(2, 1, 2, Some(3));
+        let outcome = TesselSearch::new(SearchConfig::default()).run(&p).unwrap();
+        let stats = &outcome.stats;
+        assert!(stats.candidates_considered > 0);
+        assert!(stats.repetend_solves > 0);
+        assert!(stats.improving_repetends >= 1);
+        assert!(stats.chosen_nr >= 1);
+        assert!(stats.phase_times.total() <= stats.total_time + Duration::from_secs(1));
+    }
+
+    #[test]
+    fn inference_only_placement_is_supported() {
+        // Forward-only blocks (an inference pipeline): the search still finds
+        // a repetend with period equal to the busiest stage.
+        let mut b = PlacementSpec::builder("inference", 2);
+        let f0 = b.add_block("f0", BlockKind::Forward, [0], 2, 0, []).unwrap();
+        b.add_block("f1", BlockKind::Forward, [1], 2, 0, [f0]).unwrap();
+        let p = b.build().unwrap();
+        let outcome = TesselSearch::new(SearchConfig::default().with_micro_batches(4))
+            .run(&p)
+            .unwrap();
+        outcome.schedule.validate(&p).unwrap();
+        assert_eq!(outcome.repetend.period, 2);
+    }
+
+    #[test]
+    fn config_builders_adjust_fields() {
+        let config = SearchConfig::default()
+            .with_micro_batches(12)
+            .with_lazy(false)
+            .with_max_repetend_micro_batches(3);
+        assert_eq!(config.num_micro_batches, 12);
+        assert!(!config.lazy);
+        assert_eq!(config.max_repetend_micro_batches, 3);
+    }
+}

@@ -1,0 +1,126 @@
+//! Flava layer graph: independent text and vision encoder branches whose
+//! outputs meet in a multi-modal cross encoder (the 2-branch structure behind
+//! the paper's K-shape placement).
+
+use crate::config::FlavaConfig;
+use crate::cost::CostModel;
+use crate::layer_graph::{LayerGraph, LayerKind};
+
+/// Builds the Flava layer graph for `config`.
+#[must_use]
+pub fn build_flava(config: &FlavaConfig, cost: &CostModel) -> LayerGraph {
+    let mut graph = LayerGraph::new(format!(
+        "flava-{}t-{}v-{}x",
+        config.text_layers, config.vision_layers, config.cross_layers
+    ));
+
+    let mut prev_text: Option<usize> = None;
+    for i in 0..config.text_layers {
+        let layer_cost = cost.transformer_layer(
+            config.hidden_size,
+            config.text_seq_len,
+            config.micro_batch_size,
+        );
+        let deps: Vec<usize> = prev_text.into_iter().collect();
+        prev_text = Some(graph.add_layer(
+            format!("text{i:02}"),
+            LayerKind::TextEncoder,
+            layer_cost,
+            deps,
+        ));
+    }
+    let mut prev_vision: Option<usize> = None;
+    for i in 0..config.vision_layers {
+        let layer_cost = cost.transformer_layer(
+            config.hidden_size,
+            config.vision_seq_len,
+            config.micro_batch_size,
+        );
+        let deps: Vec<usize> = prev_vision.into_iter().collect();
+        prev_vision = Some(graph.add_layer(
+            format!("vision{i:02}"),
+            LayerKind::VisionEncoder,
+            layer_cost,
+            deps,
+        ));
+    }
+    let mut prev_cross: Vec<usize> = vec![
+        prev_text.expect("text branch has at least one layer"),
+        prev_vision.expect("vision branch has at least one layer"),
+    ];
+    for i in 0..config.cross_layers {
+        let layer_cost = cost.transformer_layer(
+            config.hidden_size,
+            config.text_seq_len + config.vision_seq_len,
+            config.micro_batch_size,
+        );
+        let idx = graph.add_layer(
+            format!("cross{i:02}"),
+            LayerKind::CrossEncoder,
+            layer_cost,
+            prev_cross.clone(),
+        );
+        prev_cross = vec![idx];
+    }
+    let head_cost = cost.transformer_layer(
+        config.hidden_size,
+        config.text_seq_len + config.vision_seq_len,
+        config.micro_batch_size,
+    );
+    let head_cost = crate::cost::LayerCost {
+        forward_flops: head_cost.forward_flops * 0.05,
+        backward_flops: head_cost.backward_flops * 0.05,
+        param_bytes: 0,
+        activation_bytes: head_cost.activation_bytes / 8,
+        output_bytes: head_cost.output_bytes / 8,
+    };
+    graph.add_layer("head", LayerKind::Head, head_cost, prev_cross);
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flava_graph_has_two_independent_branches() {
+        let config = FlavaConfig::default();
+        let graph = build_flava(&config, &CostModel::paper_default());
+        assert!(graph.is_well_formed());
+        let text = graph.layers_of_kind(LayerKind::TextEncoder);
+        let vision = graph.layers_of_kind(LayerKind::VisionEncoder);
+        assert_eq!(text.len(), config.text_layers);
+        assert_eq!(vision.len(), config.vision_layers);
+        // The first layers of both branches have no dependencies: they can
+        // run concurrently, which is what the K-shape exploits.
+        assert!(graph.layers[text[0]].deps.is_empty());
+        assert!(graph.layers[vision[0]].deps.is_empty());
+    }
+
+    #[test]
+    fn cross_encoder_joins_both_branches() {
+        let config = FlavaConfig::default();
+        let graph = build_flava(&config, &CostModel::paper_default());
+        let cross = graph.layers_of_kind(LayerKind::CrossEncoder);
+        assert_eq!(cross.len(), config.cross_layers);
+        let first_cross = &graph.layers[cross[0]];
+        assert_eq!(first_cross.deps.len(), 2);
+    }
+
+    #[test]
+    fn cross_layers_are_the_most_expensive() {
+        let config = FlavaConfig::default();
+        let graph = build_flava(&config, &CostModel::paper_default());
+        let text = graph.layers_of_kind(LayerKind::TextEncoder)[0];
+        let cross = graph.layers_of_kind(LayerKind::CrossEncoder)[0];
+        assert!(graph.layers[cross].cost.forward_flops > graph.layers[text].cost.forward_flops);
+    }
+
+    #[test]
+    fn total_layer_count_matches_config() {
+        let config = FlavaConfig::default();
+        let graph = build_flava(&config, &CostModel::paper_default());
+        // text + vision + cross + head
+        assert_eq!(graph.len(), config.total_layers() + 1);
+    }
+}

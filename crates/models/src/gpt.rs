@@ -1,0 +1,90 @@
+//! GPT layer graph: a large (multilingual) embedding, a stack of homogeneous
+//! transformer layers and a tied language-model head.
+
+use crate::config::ModelConfig;
+use crate::cost::CostModel;
+use crate::layer_graph::{LayerGraph, LayerKind};
+
+/// Builds the GPT layer graph for `config`.
+///
+/// The embedding and the tied LM head are modelled as a single
+/// [`LayerKind::Embedding`] node (they share the same parameter table), which
+/// is how the paper's M-shape placement treats them: one memory-dominant
+/// operator distributed across all devices.
+#[must_use]
+pub fn build_gpt(config: &ModelConfig, cost: &CostModel) -> LayerGraph {
+    let mut graph = LayerGraph::new(format!("gpt-{}l-{}h", config.num_layers, config.hidden_size));
+    let embed_cost = cost.embedding_layer(
+        config.hidden_size,
+        config.vocab_size,
+        config.seq_len,
+        config.micro_batch_size,
+    );
+    let embed = graph.add_layer("embedding", LayerKind::Embedding, embed_cost, []);
+    let mut prev = embed;
+    for i in 0..config.num_layers {
+        let layer_cost =
+            cost.transformer_layer(config.hidden_size, config.seq_len, config.micro_batch_size);
+        prev = graph.add_layer(format!("layer{i:02}"), LayerKind::Transformer, layer_cost, [prev]);
+    }
+    // The LM head reuses the embedding table; model it as a light head layer
+    // that depends on both the last transformer layer and the embedding.
+    let head_cost = cost.transformer_layer(config.hidden_size, config.seq_len, config.micro_batch_size);
+    let head_cost = crate::cost::LayerCost {
+        forward_flops: head_cost.forward_flops * 0.1,
+        backward_flops: head_cost.backward_flops * 0.1,
+        param_bytes: 0,
+        activation_bytes: head_cost.activation_bytes / 4,
+        output_bytes: head_cost.output_bytes / 4,
+    };
+    graph.add_layer("lm-head", LayerKind::Head, head_cost, [prev, embed]);
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::gpt_config_for_gpus;
+
+    #[test]
+    fn gpt_graph_has_embedding_layers_and_head() {
+        let config = gpt_config_for_gpus(4).unwrap();
+        let graph = build_gpt(&config, &CostModel::paper_default());
+        assert_eq!(graph.len(), config.num_layers + 2);
+        assert!(graph.is_well_formed());
+        assert_eq!(graph.layers_of_kind(LayerKind::Embedding).len(), 1);
+        assert_eq!(graph.layers_of_kind(LayerKind::Transformer).len(), config.num_layers);
+        assert_eq!(graph.layers_of_kind(LayerKind::Head).len(), 1);
+    }
+
+    #[test]
+    fn gpt_layers_form_a_chain_through_the_stack() {
+        let config = gpt_config_for_gpus(4).unwrap();
+        let graph = build_gpt(&config, &CostModel::paper_default());
+        for i in 2..graph.len() - 1 {
+            assert_eq!(graph.layers[i].deps, vec![i - 1]);
+        }
+        // The head depends on the last layer and the embedding.
+        let head = graph.layers.last().unwrap();
+        assert_eq!(head.deps.len(), 2);
+    }
+
+    #[test]
+    fn embedding_dominates_parameter_bytes() {
+        let config = gpt_config_for_gpus(4).unwrap();
+        let graph = build_gpt(&config, &CostModel::paper_default());
+        let embed = &graph.layers[0];
+        let one_layer = &graph.layers[1];
+        assert!(embed.cost.param_bytes > 10 * one_layer.cost.param_bytes);
+        assert!(embed.cost.forward_flops < graph.total_forward_flops() / 2.0);
+    }
+
+    #[test]
+    fn larger_configs_cost_more() {
+        let cm = CostModel::paper_default();
+        let small = build_gpt(&gpt_config_for_gpus(4).unwrap(), &cm);
+        let large = build_gpt(&gpt_config_for_gpus(16).unwrap(), &cm);
+        assert!(large.total_forward_flops() > small.total_forward_flops());
+        assert!(large.total_param_bytes() > small.total_param_bytes());
+    }
+}

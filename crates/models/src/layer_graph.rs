@@ -1,0 +1,211 @@
+//! Layer-level model graphs consumed by the placement crate.
+//!
+//! A [`LayerGraph`] is a coarse DAG of model layers (embedding, transformer,
+//! cross-encoder, head, ...) annotated with the costs computed by the
+//! [`cost`](crate::cost) module. The placement crate groups layers into
+//! execution blocks and assigns them to devices, producing the
+//! `PlacementSpec` that the Tessel search consumes.
+
+use crate::cost::LayerCost;
+use serde::{Deserialize, Serialize};
+
+/// The role of a layer in the model; placements treat some kinds specially
+/// (e.g. distributing the embedding across all devices in the M-shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LayerKind {
+    /// Token embedding table (and tied output projection).
+    Embedding,
+    /// A standard transformer layer.
+    Transformer,
+    /// An encoder layer (mT5 encoder stack).
+    Encoder,
+    /// A decoder layer (mT5 decoder stack, with cross attention).
+    Decoder,
+    /// A text-branch layer (Flava).
+    TextEncoder,
+    /// A vision-branch layer (Flava).
+    VisionEncoder,
+    /// A multi-modal cross-encoder layer (Flava).
+    CrossEncoder,
+    /// The language-model / task head.
+    Head,
+}
+
+impl LayerKind {
+    /// `true` for the memory-dominant embedding layer.
+    #[must_use]
+    pub fn is_embedding(self) -> bool {
+        matches!(self, LayerKind::Embedding)
+    }
+}
+
+/// One layer of the model with its analytical costs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerNode {
+    /// Display name (e.g. `"layer07"`, `"embedding"`).
+    pub name: String,
+    /// What kind of layer this is.
+    pub kind: LayerKind,
+    /// Analytical costs of the layer for one micro-batch.
+    pub cost: LayerCost,
+    /// Indices of layers this one consumes activations from.
+    pub deps: Vec<usize>,
+}
+
+/// A DAG of layers describing one model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerGraph {
+    /// Model name.
+    pub name: String,
+    /// The layers in topological order of construction.
+    pub layers: Vec<LayerNode>,
+}
+
+impl LayerGraph {
+    /// Creates an empty graph for `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        LayerGraph {
+            name: name.into(),
+            layers: Vec::new(),
+        }
+    }
+
+    /// Adds a layer and returns its index.
+    pub fn add_layer(
+        &mut self,
+        name: impl Into<String>,
+        kind: LayerKind,
+        cost: LayerCost,
+        deps: impl IntoIterator<Item = usize>,
+    ) -> usize {
+        let idx = self.layers.len();
+        self.layers.push(LayerNode {
+            name: name.into(),
+            kind,
+            cost,
+            deps: deps.into_iter().collect(),
+        });
+        idx
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if the graph has no layers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total forward FLOPs of one micro-batch.
+    #[must_use]
+    pub fn total_forward_flops(&self) -> f64 {
+        self.layers.iter().map(|l| l.cost.forward_flops).sum()
+    }
+
+    /// Total parameter bytes of the model.
+    #[must_use]
+    pub fn total_param_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.cost.param_bytes).sum()
+    }
+
+    /// Indices of layers of a given kind.
+    #[must_use]
+    pub fn layers_of_kind(&self, kind: LayerKind) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.kind == kind)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of all layers that are *not* embeddings, in order; these are
+    /// the layers the Piper-style partitioner spreads across pipeline stages.
+    #[must_use]
+    pub fn compute_layers(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.kind.is_embedding())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Checks the dependency indices are in range and acyclic (layers may only
+    /// depend on earlier layers, which the builders guarantee).
+    #[must_use]
+    pub fn is_well_formed(&self) -> bool {
+        self.layers
+            .iter()
+            .enumerate()
+            .all(|(i, l)| l.deps.iter().all(|&d| d < i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::LayerCost;
+
+    fn cost(flops: f64) -> LayerCost {
+        LayerCost {
+            forward_flops: flops,
+            backward_flops: 2.0 * flops,
+            param_bytes: 100,
+            activation_bytes: 10,
+            output_bytes: 10,
+        }
+    }
+
+    #[test]
+    fn graph_builder_assigns_indices_and_deps() {
+        let mut g = LayerGraph::new("toy");
+        let a = g.add_layer("embed", LayerKind::Embedding, cost(1.0), []);
+        let b = g.add_layer("layer0", LayerKind::Transformer, cost(2.0), [a]);
+        let c = g.add_layer("head", LayerKind::Head, cost(1.0), [b]);
+        assert_eq!((a, b, c), (0, 1, 2));
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+        assert!(g.is_well_formed());
+    }
+
+    #[test]
+    fn aggregates_sum_layer_costs() {
+        let mut g = LayerGraph::new("toy");
+        g.add_layer("a", LayerKind::Transformer, cost(1.0), []);
+        g.add_layer("b", LayerKind::Transformer, cost(2.0), [0]);
+        assert!((g.total_forward_flops() - 3.0).abs() < 1e-12);
+        assert_eq!(g.total_param_bytes(), 200);
+    }
+
+    #[test]
+    fn kind_filters_work() {
+        let mut g = LayerGraph::new("toy");
+        g.add_layer("embed", LayerKind::Embedding, cost(0.1), []);
+        g.add_layer("l0", LayerKind::Transformer, cost(1.0), [0]);
+        g.add_layer("l1", LayerKind::Transformer, cost(1.0), [1]);
+        assert_eq!(g.layers_of_kind(LayerKind::Embedding), vec![0]);
+        assert_eq!(g.compute_layers(), vec![1, 2]);
+        assert!(LayerKind::Embedding.is_embedding());
+        assert!(!LayerKind::Transformer.is_embedding());
+    }
+
+    #[test]
+    fn forward_references_are_detected() {
+        let g = LayerGraph {
+            name: "bad".into(),
+            layers: vec![LayerNode {
+                name: "a".into(),
+                kind: LayerKind::Transformer,
+                cost: cost(1.0),
+                deps: vec![5],
+            }],
+        };
+        assert!(!g.is_well_formed());
+    }
+}

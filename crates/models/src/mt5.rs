@@ -1,0 +1,107 @@
+//! mT5 layer graph: a shared multilingual embedding, an encoder stack and a
+//! decoder stack that attends to the encoder output.
+
+use crate::config::ModelConfig;
+use crate::cost::CostModel;
+use crate::layer_graph::{LayerGraph, LayerKind};
+
+/// Builds the mT5 layer graph for `config`.
+///
+/// `config.num_layers` is split evenly between the encoder and decoder. Both
+/// stacks read the shared embedding (the paper's NN-shape distributes that
+/// embedding across all devices); every decoder layer additionally depends on
+/// the final encoder layer through cross-attention.
+#[must_use]
+pub fn build_mt5(config: &ModelConfig, cost: &CostModel) -> LayerGraph {
+    let mut graph = LayerGraph::new(format!("mt5-{}l-{}h", config.num_layers, config.hidden_size));
+    let embed_cost = cost.embedding_layer(
+        config.hidden_size,
+        config.vocab_size,
+        config.seq_len,
+        config.micro_batch_size,
+    );
+    let embed = graph.add_layer("shared-embedding", LayerKind::Embedding, embed_cost, []);
+
+    let encoder_layers = config.num_layers / 2;
+    let decoder_layers = config.num_layers - encoder_layers;
+
+    let mut prev = embed;
+    let mut last_encoder = embed;
+    for i in 0..encoder_layers {
+        let layer_cost =
+            cost.transformer_layer(config.hidden_size, config.seq_len, config.micro_batch_size);
+        prev = graph.add_layer(format!("enc{i:02}"), LayerKind::Encoder, layer_cost, [prev]);
+        last_encoder = prev;
+    }
+    let mut prev_dec = embed;
+    for i in 0..decoder_layers {
+        let layer_cost =
+            cost.decoder_layer(config.hidden_size, config.seq_len, config.micro_batch_size);
+        let deps = if i == 0 {
+            vec![prev_dec, last_encoder]
+        } else {
+            vec![prev_dec, last_encoder]
+        };
+        prev_dec = graph.add_layer(format!("dec{i:02}"), LayerKind::Decoder, layer_cost, deps);
+    }
+    let head_cost = cost.transformer_layer(config.hidden_size, config.seq_len, config.micro_batch_size);
+    let head_cost = crate::cost::LayerCost {
+        forward_flops: head_cost.forward_flops * 0.1,
+        backward_flops: head_cost.backward_flops * 0.1,
+        param_bytes: 0,
+        activation_bytes: head_cost.activation_bytes / 4,
+        output_bytes: head_cost.output_bytes / 4,
+    };
+    graph.add_layer("lm-head", LayerKind::Head, head_cost, [prev_dec, embed]);
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::mt5_config_for_gpus;
+
+    #[test]
+    fn mt5_graph_splits_layers_between_encoder_and_decoder() {
+        let config = mt5_config_for_gpus(4).unwrap();
+        let graph = build_mt5(&config, &CostModel::paper_default());
+        assert!(graph.is_well_formed());
+        let enc = graph.layers_of_kind(LayerKind::Encoder).len();
+        let dec = graph.layers_of_kind(LayerKind::Decoder).len();
+        assert_eq!(enc + dec, config.num_layers);
+        assert!((enc as i64 - dec as i64).abs() <= 1);
+        assert_eq!(graph.layers_of_kind(LayerKind::Embedding).len(), 1);
+    }
+
+    #[test]
+    fn decoder_layers_depend_on_the_encoder_output() {
+        let config = mt5_config_for_gpus(4).unwrap();
+        let graph = build_mt5(&config, &CostModel::paper_default());
+        let encoder_last = *graph.layers_of_kind(LayerKind::Encoder).last().unwrap();
+        for &idx in &graph.layers_of_kind(LayerKind::Decoder) {
+            assert!(
+                graph.layers[idx].deps.contains(&encoder_last),
+                "decoder layer {idx} misses cross-attention dependency"
+            );
+        }
+    }
+
+    #[test]
+    fn decoder_layers_are_heavier_than_encoder_layers() {
+        let config = mt5_config_for_gpus(4).unwrap();
+        let graph = build_mt5(&config, &CostModel::paper_default());
+        let enc = graph.layers_of_kind(LayerKind::Encoder)[0];
+        let dec = graph.layers_of_kind(LayerKind::Decoder)[0];
+        assert!(graph.layers[dec].cost.forward_flops > graph.layers[enc].cost.forward_flops);
+    }
+
+    #[test]
+    fn both_stacks_read_the_shared_embedding() {
+        let config = mt5_config_for_gpus(4).unwrap();
+        let graph = build_mt5(&config, &CostModel::paper_default());
+        let first_enc = graph.layers_of_kind(LayerKind::Encoder)[0];
+        let first_dec = graph.layers_of_kind(LayerKind::Decoder)[0];
+        assert!(graph.layers[first_enc].deps.contains(&0));
+        assert!(graph.layers[first_dec].deps.contains(&0));
+    }
+}

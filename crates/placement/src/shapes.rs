@@ -1,0 +1,923 @@
+//! Placement shapes: the synthetic unit-cost shapes of Fig. 1 and the
+//! model-driven placements of Fig. 8.
+
+use crate::groups::DeviceGroups;
+use crate::piper::{partition_layers, PartitionItem};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tessel_core::ir::{BlockKind, BlockSpec, PlacementSpec};
+use tessel_core::CoreError;
+use tessel_models::config::{FlavaConfig, ModelConfig};
+use tessel_models::cost::CostModel;
+
+/// The placement shapes studied in the paper (Fig. 1 and Fig. 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShapeKind {
+    /// Sequential stages, one per device (1F1B's placement).
+    V,
+    /// Bidirectional pipelines (Chimera's placement).
+    X,
+    /// Memory-heavy operators distributed across all devices, compute stages
+    /// in a V between them (GPT with a large embedding).
+    M,
+    /// Two independent branches on disjoint devices joining in an all-device
+    /// cross stage (Flava).
+    K,
+    /// Shared embedding across all devices feeding separate encoder and
+    /// decoder pipelines (mT5).
+    NN,
+}
+
+impl ShapeKind {
+    /// All shapes, in the order the paper's figures list them.
+    #[must_use]
+    pub fn all() -> [ShapeKind; 5] {
+        [ShapeKind::V, ShapeKind::X, ShapeKind::M, ShapeKind::K, ShapeKind::NN]
+    }
+}
+
+impl fmt::Display for ShapeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ShapeKind::V => "V-Shape",
+            ShapeKind::X => "X-Shape",
+            ShapeKind::M => "M-Shape",
+            ShapeKind::K => "K-Shape",
+            ShapeKind::NN => "NN-Shape",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Builds a synthetic, unit-cost placement of the given shape over `devices`
+/// devices: forward blocks cost 1 time unit and +1 memory unit, backward
+/// blocks cost 2 time units and -1 memory unit (the convention of §III-B and
+/// the Fig. 11/12 ablations). Memory is left unconstrained; use
+/// [`PlacementSpec::with_memory_capacity`] for the Fig. 12 study.
+///
+/// # Errors
+///
+/// Returns an error for fewer than two devices (the K/X/NN shapes need at
+/// least two).
+pub fn synthetic_placement(kind: ShapeKind, devices: usize) -> Result<PlacementSpec> {
+    if devices < 2 {
+        return Err(CoreError::EmptyPlacement);
+    }
+    let mut b = PlacementSpec::builder(format!("{kind}-{devices}dev"), devices);
+    match kind {
+        ShapeKind::V => {
+            let mut prev: Option<usize> = None;
+            let forwards: Vec<usize> = (0..devices)
+                .map(|d| {
+                    let deps: Vec<usize> = prev.into_iter().collect();
+                    let id = b
+                        .add_block(format!("f{d}"), BlockKind::Forward, [d], 1, 1, deps)
+                        .expect("valid block");
+                    prev = Some(id);
+                    id
+                })
+                .collect();
+            let _ = forwards;
+            for d in (0..devices).rev() {
+                let deps: Vec<usize> = prev.into_iter().collect();
+                prev = Some(
+                    b.add_block(format!("b{d}"), BlockKind::Backward, [d], 2, -1, deps)
+                        .expect("valid block"),
+                );
+            }
+        }
+        ShapeKind::X => {
+            // Two pipelines in opposite directions, as in Chimera.
+            for (branch, down) in [("d", true), ("u", false)] {
+                let mut prev: Option<usize> = None;
+                let order: Vec<usize> = if down {
+                    (0..devices).collect()
+                } else {
+                    (0..devices).rev().collect()
+                };
+                for &d in &order {
+                    let deps: Vec<usize> = prev.into_iter().collect();
+                    prev = Some(
+                        b.add_block(format!("{branch}-f{d}"), BlockKind::Forward, [d], 1, 1, deps)
+                            .expect("valid block"),
+                    );
+                }
+                for &d in order.iter().rev() {
+                    let deps: Vec<usize> = prev.into_iter().collect();
+                    prev = Some(
+                        b.add_block(format!("{branch}-b{d}"), BlockKind::Backward, [d], 2, -1, deps)
+                            .expect("valid block"),
+                    );
+                }
+            }
+        }
+        ShapeKind::M => {
+            let all: Vec<usize> = (0..devices).collect();
+            let embed_f = b
+                .add_block("embed-f", BlockKind::Forward, all.clone(), 1, 1, [])
+                .expect("valid block");
+            let mut prev = embed_f;
+            for d in 0..devices {
+                prev = b
+                    .add_block(format!("f{d}"), BlockKind::Forward, [d], 1, 1, [prev])
+                    .expect("valid block");
+            }
+            for d in (0..devices).rev() {
+                prev = b
+                    .add_block(format!("b{d}"), BlockKind::Backward, [d], 2, -1, [prev])
+                    .expect("valid block");
+            }
+            b.add_block("embed-b", BlockKind::Backward, all, 2, -1, [prev])
+                .expect("valid block");
+        }
+        ShapeKind::K => {
+            let half = devices / 2;
+            let mut branch_ends = Vec::new();
+            for (branch, range) in [("text", 0..half), ("vision", half..devices)] {
+                let mut prev: Option<usize> = None;
+                for d in range {
+                    let deps: Vec<usize> = prev.into_iter().collect();
+                    prev = Some(
+                        b.add_block(format!("{branch}-f{d}"), BlockKind::Forward, [d], 1, 1, deps)
+                            .expect("valid block"),
+                    );
+                }
+                branch_ends.push(prev.expect("branch has at least one stage"));
+            }
+            let all: Vec<usize> = (0..devices).collect();
+            let cross_f = b
+                .add_block("cross-f", BlockKind::Forward, all.clone(), 1, 1, branch_ends.clone())
+                .expect("valid block");
+            let cross_b = b
+                .add_block("cross-b", BlockKind::Backward, all, 2, -1, [cross_f])
+                .expect("valid block");
+            for (branch, range) in [("text", 0..half), ("vision", half..devices)] {
+                let mut prev = cross_b;
+                for d in range.rev() {
+                    prev = b
+                        .add_block(format!("{branch}-b{d}"), BlockKind::Backward, [d], 2, -1, [prev])
+                        .expect("valid block");
+                }
+            }
+        }
+        ShapeKind::NN => {
+            let half = devices / 2;
+            let all: Vec<usize> = (0..devices).collect();
+            let embed_f = b
+                .add_block("embed-f", BlockKind::Forward, all.clone(), 1, 1, [])
+                .expect("valid block");
+            let mut enc_prev = embed_f;
+            for d in 0..half {
+                enc_prev = b
+                    .add_block(format!("enc-f{d}"), BlockKind::Forward, [d], 1, 1, [enc_prev])
+                    .expect("valid block");
+            }
+            let mut dec_prev = enc_prev;
+            let mut first_dec = None;
+            for d in half..devices {
+                let deps = if first_dec.is_none() {
+                    vec![embed_f, enc_prev]
+                } else {
+                    vec![dec_prev]
+                };
+                dec_prev = b
+                    .add_block(format!("dec-f{d}"), BlockKind::Forward, [d], 1, 1, deps)
+                    .expect("valid block");
+                first_dec.get_or_insert(dec_prev);
+            }
+            let mut prev = dec_prev;
+            for d in (half..devices).rev() {
+                prev = b
+                    .add_block(format!("dec-b{d}"), BlockKind::Backward, [d], 2, -1, [prev])
+                    .expect("valid block");
+            }
+            for d in (0..half).rev() {
+                prev = b
+                    .add_block(format!("enc-b{d}"), BlockKind::Backward, [d], 2, -1, [prev])
+                    .expect("valid block");
+            }
+            b.add_block("embed-b", BlockKind::Backward, all, 2, -1, [prev])
+                .expect("valid block");
+        }
+    }
+    b.build()
+}
+
+/// Memory multiplier covering parameters, gradients and (distributed)
+/// optimizer state relative to half-precision parameter bytes.
+const STATE_FACTOR: u64 = 4;
+
+/// Internal description of one pipeline stage of a model-driven placement.
+struct StagePlan {
+    name: String,
+    devices: Vec<usize>,
+    forward_time: u64,
+    backward_time: u64,
+    forward_flops: f64,
+    backward_flops: f64,
+    activation_mem: i64,
+    static_mem: i64,
+    output_bytes: u64,
+    deps: Vec<usize>,
+}
+
+/// Assembles a training (or inference) placement out of stage plans.
+fn assemble(
+    name: String,
+    num_devices: usize,
+    capacity_units: i64,
+    stages: Vec<StagePlan>,
+    inference: bool,
+) -> Result<PlacementSpec> {
+    // Static memory check: every schedule device must hold the parameter and
+    // optimizer state of the stages mapped onto it.
+    let mut static_per_device = vec![0i64; num_devices];
+    for stage in &stages {
+        for &d in &stage.devices {
+            static_per_device[d] += stage.static_mem;
+        }
+    }
+    let mut available = capacity_units;
+    for (device, &static_mem) in static_per_device.iter().enumerate() {
+        if static_mem >= capacity_units {
+            return Err(CoreError::PlacementOutOfMemory {
+                device,
+                required: static_mem,
+                capacity: capacity_units,
+            });
+        }
+        available = available.min(capacity_units - static_mem);
+    }
+
+    let mut builder = PlacementSpec::builder(name, num_devices);
+    builder.set_memory_capacity(Some(available));
+    // Forward blocks in stage order. Training forwards keep their activations
+    // alive until the matching backward releases them; inference activations
+    // are transient (consumed by the next stage), so they do not accumulate
+    // against the budget.
+    let mut forward_ids = Vec::with_capacity(stages.len());
+    for stage in &stages {
+        let deps: Vec<usize> = stage.deps.iter().map(|&s| forward_ids[s]).collect();
+        let forward_memory = if inference { 0 } else { stage.activation_mem };
+        let block = BlockSpec::new(
+            format!("{}-f", stage.name),
+            BlockKind::Forward,
+            stage.devices.iter().copied(),
+            stage.forward_time,
+            forward_memory,
+        )
+        .with_deps(deps)
+        .with_flops(stage.forward_flops)
+        .with_output_bytes(stage.output_bytes);
+        forward_ids.push(builder.push_block(block)?);
+    }
+    if !inference {
+        // Backward blocks in reverse stage order; the backward of a stage
+        // depends on its forward and on the backward of every stage that
+        // consumed its output.
+        let mut backward_ids: Vec<Option<usize>> = vec![None; stages.len()];
+        for (idx, stage) in stages.iter().enumerate().rev() {
+            let mut deps = vec![forward_ids[idx]];
+            for (succ_idx, succ) in stages.iter().enumerate() {
+                if succ.deps.contains(&idx) {
+                    if let Some(bid) = backward_ids[succ_idx] {
+                        deps.push(bid);
+                    }
+                }
+            }
+            let block = BlockSpec::new(
+                format!("{}-b", stage.name),
+                BlockKind::Backward,
+                stage.devices.iter().copied(),
+                stage.backward_time,
+                -stage.activation_mem,
+            )
+            .with_deps(deps)
+            .with_flops(stage.backward_flops)
+            .with_output_bytes(stage.output_bytes);
+            backward_ids[idx] = Some(builder.push_block(block)?);
+        }
+    }
+    builder.build()
+}
+
+/// Scales a block running across `width` GPUs.
+fn scale_over(time: u64, width: usize, efficiency: f64) -> u64 {
+    if time == 0 {
+        return 0;
+    }
+    ((time as f64 / (width as f64 * efficiency)).round() as u64).max(1)
+}
+
+/// The M-shape GPT placement of Fig. 8(a): the large embedding is
+/// tensor-parallel across every GPU while the transformer layers form a
+/// pipeline over the schedule devices (GPU groups).
+///
+/// # Errors
+///
+/// Returns [`CoreError::PlacementOutOfMemory`] when the static state does not
+/// fit (which does not happen for the Table III configurations).
+pub fn gpt_m_shape(
+    config: &ModelConfig,
+    cost: &CostModel,
+    total_gpus: usize,
+) -> Result<PlacementSpec> {
+    let groups = DeviceGroups::for_gpus(total_gpus, 4);
+    let s = groups.stages;
+    let capacity = cost.device.memory_capacity_units();
+    let layer = cost.transformer_layer(config.hidden_size, config.seq_len, config.micro_batch_size);
+    let embed = cost.embedding_layer(
+        config.hidden_size,
+        config.vocab_size,
+        config.seq_len,
+        config.micro_batch_size,
+    );
+
+    let total = groups.total_gpus();
+    let mut stages = Vec::new();
+    // Stage 0: the embedding, spread across every GPU.
+    stages.push(StagePlan {
+        name: "embed".into(),
+        devices: (0..s).collect(),
+        forward_time: scale_over(cost.forward_time(&embed), total, groups.efficiency),
+        backward_time: scale_over(cost.backward_time(&embed), total, groups.efficiency),
+        forward_flops: embed.forward_flops,
+        backward_flops: embed.backward_flops * cost.recompute_factor,
+        activation_mem: cost.memory_units(embed.activation_bytes),
+        static_mem: cost.memory_units(embed.param_bytes * STATE_FACTOR / total as u64),
+        output_bytes: embed.output_bytes,
+        deps: vec![],
+    });
+    // Transformer layers balanced across the schedule devices.
+    let per_layer_fwd = scale_over(cost.forward_time(&layer), groups.gpus_per_group, groups.efficiency);
+    let per_layer_bwd = scale_over(cost.backward_time(&layer), groups.gpus_per_group, groups.efficiency);
+    let items: Vec<PartitionItem> = (0..config.num_layers)
+        .map(|_| PartitionItem {
+            time: per_layer_fwd + per_layer_bwd,
+            memory: cost.memory_units(layer.param_bytes * STATE_FACTOR / groups.gpus_per_group as u64),
+        })
+        .collect();
+    let partition = partition_layers(&items, s, None).ok_or(CoreError::EmptyPlacement)?;
+    for (stage_idx, &(lo, hi)) in partition.stages.iter().enumerate() {
+        let layers = (hi - lo) as u64;
+        stages.push(StagePlan {
+            name: format!("layers{stage_idx}"),
+            devices: vec![stage_idx],
+            forward_time: (per_layer_fwd * layers).max(1),
+            backward_time: (per_layer_bwd * layers).max(1),
+            forward_flops: layer.forward_flops * layers as f64,
+            backward_flops: layer.backward_flops * cost.recompute_factor * layers as f64,
+            activation_mem: cost
+                .memory_units(layer.activation_bytes * layers / groups.gpus_per_group as u64)
+                .max(1),
+            static_mem: cost.memory_units(
+                layer.param_bytes * STATE_FACTOR * layers / groups.gpus_per_group as u64,
+            ),
+            output_bytes: layer.output_bytes,
+            deps: vec![stage_idx], // previous stage (embed is 0, layers start at 1)
+        });
+    }
+    assemble(
+        format!("gpt-m-shape-{total_gpus}gpu"),
+        s,
+        capacity,
+        stages,
+        false,
+    )
+}
+
+/// The baseline V-shape GPT placement used by 1F1B (Piper policy): the
+/// embedding takes as many leading GPU groups as its state needs, the
+/// transformer layers share whatever is left — which is exactly the
+/// imbalance Fig. 2 of the paper demonstrates.
+///
+/// # Errors
+///
+/// Returns [`CoreError::PlacementOutOfMemory`] if even dedicating all but one
+/// group to the embedding is not enough.
+pub fn gpt_v_shape_baseline(
+    config: &ModelConfig,
+    cost: &CostModel,
+    total_gpus: usize,
+) -> Result<PlacementSpec> {
+    let groups = DeviceGroups::for_gpus(total_gpus, 4);
+    let s = groups.stages;
+    let capacity = cost.device.memory_capacity_units();
+    let layer = cost.transformer_layer(config.hidden_size, config.seq_len, config.micro_batch_size);
+    let embed = cost.embedding_layer(
+        config.hidden_size,
+        config.vocab_size,
+        config.seq_len,
+        config.micro_batch_size,
+    );
+
+    // How many schedule devices must the embedding span so its static state
+    // fits, leaving a small activation margin?
+    let embed_state = cost.memory_units(embed.param_bytes * STATE_FACTOR);
+    let usable_per_group = ((capacity - 4).max(1)) * groups.gpus_per_group as i64;
+    let embed_groups = ((embed_state + usable_per_group - 1) / usable_per_group).max(1) as usize;
+    if embed_groups >= s {
+        return Err(CoreError::PlacementOutOfMemory {
+            device: 0,
+            required: embed_state,
+            capacity: usable_per_group * (s as i64 - 1),
+        });
+    }
+    let layer_groups = s - embed_groups;
+
+    let embed_width = embed_groups * groups.gpus_per_group;
+    let mut stages = Vec::new();
+    stages.push(StagePlan {
+        name: "embed".into(),
+        devices: (0..embed_groups).collect(),
+        forward_time: scale_over(cost.forward_time(&embed), embed_width, groups.efficiency),
+        backward_time: scale_over(cost.backward_time(&embed), embed_width, groups.efficiency),
+        forward_flops: embed.forward_flops,
+        backward_flops: embed.backward_flops * cost.recompute_factor,
+        activation_mem: cost.memory_units(embed.activation_bytes),
+        static_mem: cost.memory_units(embed.param_bytes * STATE_FACTOR / embed_width as u64),
+        output_bytes: embed.output_bytes,
+        deps: vec![],
+    });
+    let per_layer_fwd = scale_over(cost.forward_time(&layer), groups.gpus_per_group, groups.efficiency);
+    let per_layer_bwd = scale_over(cost.backward_time(&layer), groups.gpus_per_group, groups.efficiency);
+    let items: Vec<PartitionItem> = (0..config.num_layers)
+        .map(|_| PartitionItem {
+            time: per_layer_fwd + per_layer_bwd,
+            memory: cost.memory_units(layer.param_bytes * STATE_FACTOR / groups.gpus_per_group as u64),
+        })
+        .collect();
+    let partition = partition_layers(&items, layer_groups, None).ok_or(CoreError::EmptyPlacement)?;
+    for (stage_idx, &(lo, hi)) in partition.stages.iter().enumerate() {
+        let layers = (hi - lo) as u64;
+        let device = embed_groups + stage_idx;
+        stages.push(StagePlan {
+            name: format!("layers{stage_idx}"),
+            devices: vec![device],
+            forward_time: (per_layer_fwd * layers).max(1),
+            backward_time: (per_layer_bwd * layers).max(1),
+            forward_flops: layer.forward_flops * layers as f64,
+            backward_flops: layer.backward_flops * cost.recompute_factor * layers as f64,
+            activation_mem: cost
+                .memory_units(layer.activation_bytes * layers / groups.gpus_per_group as u64)
+                .max(1),
+            static_mem: cost.memory_units(
+                layer.param_bytes * STATE_FACTOR * layers / groups.gpus_per_group as u64,
+            ),
+            output_bytes: layer.output_bytes,
+            deps: vec![stages.len() - 1],
+        });
+    }
+    assemble(
+        format!("gpt-v-shape-{total_gpus}gpu"),
+        s,
+        capacity,
+        stages,
+        false,
+    )
+}
+
+/// The NN-shape mT5 placement of Fig. 8(d): the shared embedding is spread
+/// across every GPU, the encoder pipeline runs on the first half of the
+/// schedule devices and the decoder pipeline on the second half.
+///
+/// # Errors
+///
+/// Returns [`CoreError::PlacementOutOfMemory`] when the static state does not
+/// fit.
+pub fn mt5_nn_shape(
+    config: &ModelConfig,
+    cost: &CostModel,
+    total_gpus: usize,
+) -> Result<PlacementSpec> {
+    let groups = DeviceGroups::for_gpus(total_gpus, 4);
+    let s = groups.stages;
+    let half = (s / 2).max(1);
+    let capacity = cost.device.memory_capacity_units();
+    let enc = cost.transformer_layer(config.hidden_size, config.seq_len, config.micro_batch_size);
+    let dec = cost.decoder_layer(config.hidden_size, config.seq_len, config.micro_batch_size);
+    let embed = cost.embedding_layer(
+        config.hidden_size,
+        config.vocab_size,
+        config.seq_len,
+        config.micro_batch_size,
+    );
+    let total = groups.total_gpus();
+
+    let mut stages = Vec::new();
+    stages.push(StagePlan {
+        name: "embed".into(),
+        devices: (0..s).collect(),
+        forward_time: scale_over(cost.forward_time(&embed), total, groups.efficiency),
+        backward_time: scale_over(cost.backward_time(&embed), total, groups.efficiency),
+        forward_flops: embed.forward_flops,
+        backward_flops: embed.backward_flops * cost.recompute_factor,
+        activation_mem: cost.memory_units(embed.activation_bytes),
+        static_mem: cost.memory_units(embed.param_bytes * STATE_FACTOR / total as u64),
+        output_bytes: embed.output_bytes,
+        deps: vec![],
+    });
+
+    let encoder_layers = config.num_layers / 2;
+    let decoder_layers = config.num_layers - encoder_layers;
+    let add_stack = |stages: &mut Vec<StagePlan>,
+                         name: &str,
+                         layer_cost: &tessel_models::cost::LayerCost,
+                         num_layers: usize,
+                         device_range: std::ops::Range<usize>,
+                         extra_dep: Option<usize>| {
+        let num_stages = device_range.len();
+        let per_fwd = scale_over(cost.forward_time(layer_cost), groups.gpus_per_group, groups.efficiency);
+        let per_bwd = scale_over(cost.backward_time(layer_cost), groups.gpus_per_group, groups.efficiency);
+        let per_stage = (num_layers / num_stages).max(1) as u64;
+        let mut prev: Option<usize> = None;
+        for (i, device) in device_range.enumerate() {
+            let mut deps = vec![0usize]; // the shared embedding
+            if let Some(p) = prev {
+                deps.push(p);
+            } else if let Some(extra) = extra_dep {
+                deps.push(extra);
+            }
+            let idx = stages.len();
+            stages.push(StagePlan {
+                name: format!("{name}{i}"),
+                devices: vec![device],
+                forward_time: (per_fwd * per_stage).max(1),
+                backward_time: (per_bwd * per_stage).max(1),
+                forward_flops: layer_cost.forward_flops * per_stage as f64,
+                backward_flops: layer_cost.backward_flops * cost.recompute_factor * per_stage as f64,
+                activation_mem: cost
+                    .memory_units(layer_cost.activation_bytes * per_stage / groups.gpus_per_group as u64)
+                    .max(1),
+                static_mem: cost.memory_units(
+                    layer_cost.param_bytes * STATE_FACTOR * per_stage / groups.gpus_per_group as u64,
+                ),
+                output_bytes: layer_cost.output_bytes,
+                deps,
+            });
+            prev = Some(idx);
+        }
+        prev
+    };
+    let last_enc = add_stack(&mut stages, "enc", &enc, encoder_layers, 0..half, None);
+    add_stack(&mut stages, "dec", &dec, decoder_layers, half..s, last_enc);
+
+    assemble(
+        format!("mt5-nn-shape-{total_gpus}gpu"),
+        s,
+        capacity,
+        stages,
+        false,
+    )
+}
+
+/// Baseline V-shape mT5 placement (Piper policy, for 1F1B): the shared
+/// embedding gets its own leading stage(s), encoder and decoder layers are
+/// laid out sequentially over the remaining groups.
+///
+/// # Errors
+///
+/// Returns [`CoreError::PlacementOutOfMemory`] if the embedding cannot fit on
+/// the available groups.
+pub fn mt5_v_shape_baseline(
+    config: &ModelConfig,
+    cost: &CostModel,
+    total_gpus: usize,
+) -> Result<PlacementSpec> {
+    // Reuse the GPT baseline construction with a mixed layer cost: encoder
+    // layers followed by (heavier) decoder layers, laid out sequentially.
+    let groups = DeviceGroups::for_gpus(total_gpus, 4);
+    let s = groups.stages;
+    let capacity = cost.device.memory_capacity_units();
+    let enc = cost.transformer_layer(config.hidden_size, config.seq_len, config.micro_batch_size);
+    let dec = cost.decoder_layer(config.hidden_size, config.seq_len, config.micro_batch_size);
+    let embed = cost.embedding_layer(
+        config.hidden_size,
+        config.vocab_size,
+        config.seq_len,
+        config.micro_batch_size,
+    );
+
+    let embed_state = cost.memory_units(embed.param_bytes * STATE_FACTOR);
+    let usable_per_group = ((capacity - 4).max(1)) * groups.gpus_per_group as i64;
+    let embed_groups = ((embed_state + usable_per_group - 1) / usable_per_group).max(1) as usize;
+    if embed_groups >= s {
+        return Err(CoreError::PlacementOutOfMemory {
+            device: 0,
+            required: embed_state,
+            capacity: usable_per_group * (s as i64 - 1),
+        });
+    }
+    let layer_groups = s - embed_groups;
+    let embed_width = embed_groups * groups.gpus_per_group;
+
+    let mut stages = Vec::new();
+    stages.push(StagePlan {
+        name: "embed".into(),
+        devices: (0..embed_groups).collect(),
+        forward_time: scale_over(cost.forward_time(&embed), embed_width, groups.efficiency),
+        backward_time: scale_over(cost.backward_time(&embed), embed_width, groups.efficiency),
+        forward_flops: embed.forward_flops,
+        backward_flops: embed.backward_flops * cost.recompute_factor,
+        activation_mem: cost.memory_units(embed.activation_bytes),
+        static_mem: cost.memory_units(embed.param_bytes * STATE_FACTOR / embed_width as u64),
+        output_bytes: embed.output_bytes,
+        deps: vec![],
+    });
+    let encoder_layers = config.num_layers / 2;
+    let decoder_layers = config.num_layers - encoder_layers;
+    let mut items: Vec<PartitionItem> = Vec::new();
+    for _ in 0..encoder_layers {
+        items.push(PartitionItem {
+            time: scale_over(cost.forward_time(&enc), groups.gpus_per_group, groups.efficiency)
+                + scale_over(cost.backward_time(&enc), groups.gpus_per_group, groups.efficiency),
+            memory: cost.memory_units(enc.param_bytes * STATE_FACTOR / groups.gpus_per_group as u64),
+        });
+    }
+    for _ in 0..decoder_layers {
+        items.push(PartitionItem {
+            time: scale_over(cost.forward_time(&dec), groups.gpus_per_group, groups.efficiency)
+                + scale_over(cost.backward_time(&dec), groups.gpus_per_group, groups.efficiency),
+            memory: cost.memory_units(dec.param_bytes * STATE_FACTOR / groups.gpus_per_group as u64),
+        });
+    }
+    let partition = partition_layers(&items, layer_groups, None).ok_or(CoreError::EmptyPlacement)?;
+    for (stage_idx, &(lo, hi)) in partition.stages.iter().enumerate() {
+        let device = embed_groups + stage_idx;
+        let fwd: u64 = items[lo..hi].iter().map(|i| i.time / 4).sum::<u64>().max(1);
+        let bwd: u64 = items[lo..hi].iter().map(|i| i.time - i.time / 4).sum::<u64>().max(1);
+        let static_mem: i64 = items[lo..hi].iter().map(|i| i.memory).sum();
+        stages.push(StagePlan {
+            name: format!("stack{stage_idx}"),
+            devices: vec![device],
+            forward_time: fwd,
+            backward_time: bwd,
+            forward_flops: enc.forward_flops * (hi - lo) as f64,
+            backward_flops: enc.backward_flops * cost.recompute_factor * (hi - lo) as f64,
+            activation_mem: cost
+                .memory_units(enc.activation_bytes * (hi - lo) as u64 / groups.gpus_per_group as u64)
+                .max(1),
+            static_mem,
+            output_bytes: enc.output_bytes,
+            deps: vec![stages.len() - 1],
+        });
+    }
+    assemble(
+        format!("mt5-v-shape-{total_gpus}gpu"),
+        s,
+        capacity,
+        stages,
+        false,
+    )
+}
+
+/// The K-shape Flava placement of Fig. 8(g): the text branch runs on the
+/// first half of the schedule devices, the vision branch on the second half,
+/// and the cross encoder is tensor-parallel across all of them. With
+/// `inference = true` only forward blocks are emitted (the Fig. 15 setup).
+///
+/// # Errors
+///
+/// Returns [`CoreError::PlacementOutOfMemory`] when the static state does not
+/// fit.
+pub fn flava_k_shape(
+    config: &FlavaConfig,
+    cost: &CostModel,
+    total_gpus: usize,
+    inference: bool,
+) -> Result<PlacementSpec> {
+    let groups = DeviceGroups::for_gpus(total_gpus, 4);
+    let s = groups.stages.max(2);
+    let half = (s / 2).max(1);
+    let capacity = cost.device.memory_capacity_units();
+    let text = cost.transformer_layer(config.hidden_size, config.text_seq_len, config.micro_batch_size);
+    let vision =
+        cost.transformer_layer(config.hidden_size, config.vision_seq_len, config.micro_batch_size);
+    let cross = cost.transformer_layer(
+        config.hidden_size,
+        config.text_seq_len + config.vision_seq_len,
+        config.micro_batch_size,
+    );
+    let total = groups.total_gpus();
+
+    let mut stages = Vec::new();
+    let add_branch = |stages: &mut Vec<StagePlan>,
+                          name: &str,
+                          layer_cost: &tessel_models::cost::LayerCost,
+                          num_layers: usize,
+                          device_range: std::ops::Range<usize>| {
+        let num_stages = device_range.len();
+        let per_fwd = scale_over(cost.forward_time(layer_cost), groups.gpus_per_group, groups.efficiency);
+        let per_bwd = scale_over(cost.backward_time(layer_cost), groups.gpus_per_group, groups.efficiency);
+        let per_stage = (num_layers / num_stages).max(1) as u64;
+        let mut prev: Option<usize> = None;
+        for (i, device) in device_range.enumerate() {
+            let deps: Vec<usize> = prev.into_iter().collect();
+            let idx = stages.len();
+            stages.push(StagePlan {
+                name: format!("{name}{i}"),
+                devices: vec![device],
+                forward_time: (per_fwd * per_stage).max(1),
+                backward_time: (per_bwd * per_stage).max(1),
+                forward_flops: layer_cost.forward_flops * per_stage as f64,
+                backward_flops: layer_cost.backward_flops * cost.recompute_factor * per_stage as f64,
+                activation_mem: cost
+                    .memory_units(layer_cost.activation_bytes * per_stage / groups.gpus_per_group as u64)
+                    .max(1),
+                static_mem: cost.memory_units(
+                    layer_cost.param_bytes * STATE_FACTOR * per_stage / groups.gpus_per_group as u64,
+                ),
+                output_bytes: layer_cost.output_bytes,
+                deps,
+            });
+            prev = Some(idx);
+        }
+        prev.expect("branch has at least one stage")
+    };
+    let text_end = add_branch(&mut stages, "text", &text, config.text_layers, 0..half);
+    let vision_end = add_branch(&mut stages, "vision", &vision, config.vision_layers, half..s);
+    let cross_layers = config.cross_layers as u64;
+    stages.push(StagePlan {
+        name: "cross".into(),
+        devices: (0..s).collect(),
+        forward_time: (scale_over(cost.forward_time(&cross), total, groups.efficiency) * cross_layers).max(1),
+        backward_time: (scale_over(cost.backward_time(&cross), total, groups.efficiency) * cross_layers).max(1),
+        forward_flops: cross.forward_flops * cross_layers as f64,
+        backward_flops: cross.backward_flops * cost.recompute_factor * cross_layers as f64,
+        activation_mem: cost
+            .memory_units(cross.activation_bytes * cross_layers / total as u64)
+            .max(1),
+        static_mem: cost.memory_units(cross.param_bytes * STATE_FACTOR * cross_layers / total as u64),
+        output_bytes: cross.output_bytes,
+        deps: vec![text_end, vision_end],
+    });
+
+    assemble(
+        format!(
+            "flava-k-shape-{total_gpus}gpu-{}",
+            if inference { "inference" } else { "training" }
+        ),
+        s,
+        capacity,
+        stages,
+        inference,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tessel_models::config::{gpt_config_for_gpus, mt5_config_for_gpus};
+
+    #[test]
+    fn synthetic_shapes_are_valid_for_various_device_counts() {
+        for kind in ShapeKind::all() {
+            for devices in [2usize, 4, 8] {
+                let p = synthetic_placement(kind, devices).unwrap();
+                assert!(p.validate().is_ok(), "{kind} on {devices} devices");
+                assert!(p.num_blocks() >= 2 * devices, "{kind}");
+                // Every training shape is memory neutral per micro-batch.
+                for d in 0..devices {
+                    assert_eq!(p.net_memory(d), 0, "{kind} device {d}");
+                }
+            }
+        }
+        assert!(synthetic_placement(ShapeKind::V, 1).is_err());
+    }
+
+    #[test]
+    fn synthetic_shape_block_counts_match_their_structure() {
+        let d = 4;
+        assert_eq!(synthetic_placement(ShapeKind::V, d).unwrap().num_blocks(), 2 * d);
+        assert_eq!(synthetic_placement(ShapeKind::X, d).unwrap().num_blocks(), 4 * d);
+        assert_eq!(synthetic_placement(ShapeKind::M, d).unwrap().num_blocks(), 2 * d + 2);
+        assert_eq!(synthetic_placement(ShapeKind::K, d).unwrap().num_blocks(), 2 * d + 2);
+        assert_eq!(synthetic_placement(ShapeKind::NN, d).unwrap().num_blocks(), 2 * d + 2);
+    }
+
+    #[test]
+    fn m_and_nn_shapes_have_all_device_embedding_blocks() {
+        for kind in [ShapeKind::M, ShapeKind::NN] {
+            let p = synthetic_placement(kind, 4).unwrap();
+            let all_device_blocks = p
+                .blocks()
+                .iter()
+                .filter(|b| b.devices.len() == 4)
+                .count();
+            assert_eq!(all_device_blocks, 2, "{kind} has embed fwd+bwd on all devices");
+        }
+    }
+
+    #[test]
+    fn gpt_m_shape_balances_stage_loads() {
+        let config = gpt_config_for_gpus(4).unwrap();
+        let p = gpt_m_shape(&config, &CostModel::paper_default(), 4).unwrap();
+        p.validate().unwrap();
+        let loads: Vec<u64> = (0..p.num_devices()).map(|d| p.device_load(d)).collect();
+        let max = *loads.iter().max().unwrap() as f64;
+        let min = *loads.iter().min().unwrap() as f64;
+        assert!(
+            max / min < 1.6,
+            "M-shape should balance device loads, got {loads:?}"
+        );
+    }
+
+    #[test]
+    fn gpt_v_baseline_is_imbalanced_compared_to_m_shape() {
+        // The Fig. 2 motivation: with the embedding pinned to its own stage,
+        // the compute-heavy stages are much slower than the embedding stage.
+        let config = gpt_config_for_gpus(4).unwrap();
+        let cm = CostModel::paper_default();
+        let v = gpt_v_shape_baseline(&config, &cm, 4).unwrap();
+        let m = gpt_m_shape(&config, &cm, 4).unwrap();
+        let imbalance = |p: &PlacementSpec| {
+            let loads: Vec<u64> = (0..p.num_devices())
+                .map(|d| p.device_load(d))
+                .filter(|&l| l > 0)
+                .collect();
+            *loads.iter().max().unwrap() as f64 / *loads.iter().min().unwrap() as f64
+        };
+        assert!(
+            imbalance(&v) > 1.1 * imbalance(&m),
+            "V-shape imbalance {} should exceed M-shape imbalance {}",
+            imbalance(&v),
+            imbalance(&m)
+        );
+        // The M-shape bottleneck stage is faster than the V-shape one.
+        let bottleneck = |p: &PlacementSpec| (0..p.num_devices()).map(|d| p.device_load(d)).max().unwrap();
+        assert!(bottleneck(&m) < bottleneck(&v));
+    }
+
+    #[test]
+    fn model_placements_scale_to_larger_gpu_counts() {
+        let cm = CostModel::paper_default();
+        for gpus in [4usize, 8, 16, 32] {
+            let gpt = gpt_config_for_gpus(gpus).unwrap();
+            let p = gpt_m_shape(&gpt, &cm, gpus).unwrap();
+            assert!(p.num_devices() <= 4);
+            p.validate().unwrap();
+            let mt5 = mt5_config_for_gpus(gpus).unwrap();
+            let p = mt5_nn_shape(&mt5, &cm, gpus).unwrap();
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn flava_k_shape_has_parallel_branches_and_cross_stage() {
+        let config = FlavaConfig::default();
+        let cm = CostModel::paper_default();
+        let train = flava_k_shape(&config, &cm, 4, false).unwrap();
+        train.validate().unwrap();
+        let inference = flava_k_shape(&config, &cm, 4, true).unwrap();
+        inference.validate().unwrap();
+        // Inference has only forward blocks; training doubles them.
+        assert_eq!(train.num_blocks(), 2 * inference.num_blocks());
+        // The first text and vision stages are independent (can run in
+        // parallel on different devices).
+        let first_text = inference.block(0);
+        assert!(first_text.deps.is_empty());
+        let cross = inference
+            .blocks()
+            .iter()
+            .find(|b| b.name.starts_with("cross"))
+            .unwrap();
+        assert_eq!(cross.devices.len(), inference.num_devices());
+    }
+
+    #[test]
+    fn mt5_nn_shape_keeps_encoder_and_decoder_on_disjoint_devices() {
+        let config = mt5_config_for_gpus(4).unwrap();
+        let p = mt5_nn_shape(&config, &CostModel::paper_default(), 4).unwrap();
+        let enc_devices: Vec<usize> = p
+            .blocks()
+            .iter()
+            .filter(|b| b.name.starts_with("enc"))
+            .flat_map(|b| b.devices.clone())
+            .collect();
+        let dec_devices: Vec<usize> = p
+            .blocks()
+            .iter()
+            .filter(|b| b.name.starts_with("dec"))
+            .flat_map(|b| b.devices.clone())
+            .collect();
+        assert!(enc_devices.iter().all(|d| !dec_devices.contains(d)));
+    }
+
+    #[test]
+    fn baseline_reports_oom_when_embedding_cannot_fit() {
+        // An absurdly large vocabulary on 2 GPUs: the embedding alone
+        // overflows every stage the baseline could give it.
+        let mut config = gpt_config_for_gpus(4).unwrap();
+        config.vocab_size = 10_000_000;
+        let err = gpt_v_shape_baseline(&config, &CostModel::paper_default(), 2).unwrap_err();
+        assert!(matches!(err, CoreError::PlacementOutOfMemory { .. }));
+    }
+
+    #[test]
+    fn shape_kind_display_names() {
+        assert_eq!(ShapeKind::V.to_string(), "V-Shape");
+        assert_eq!(ShapeKind::NN.to_string(), "NN-Shape");
+        assert_eq!(ShapeKind::all().len(), 5);
+    }
+}

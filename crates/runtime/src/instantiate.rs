@@ -1,0 +1,225 @@
+//! Runtime instantiation: turning a schedule into per-device programs with
+//! communication primitives (§IV-D of the paper).
+//!
+//! The schedule only fixes the per-device execution order of blocks; data
+//! still has to move between devices. Following the paper, the blocks are
+//! topologically ordered (by start time), and each send/receive pair is
+//! placed immediately after the block that produces the tensor — on every
+//! device involved — which guarantees a consistent global ordering of
+//! communication calls and therefore deadlock freedom.
+
+use crate::program::{CommTag, DeviceProgram, Instr, Program};
+use crate::Result;
+use tessel_core::ir::PlacementSpec;
+use tessel_core::schedule::Schedule;
+
+/// Whether communication blocks the compute stream or runs on a separate
+/// stream (Fig. 7 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommMode {
+    /// Send/recv occupy the compute stream of both devices (Fig. 7a).
+    Blocking,
+    /// Send/recv run on a dedicated communication stream and overlap with
+    /// compute; blocks wait only for the tensors they consume (Fig. 7b).
+    NonBlocking,
+}
+
+use serde::{Deserialize, Serialize};
+
+/// Instantiates `schedule` into per-device instruction programs.
+///
+/// Cross-device dependencies become send/receive pairs (the payload size is
+/// the producing block's `output_bytes`); dependencies between blocks sharing
+/// a device need no communication.
+///
+/// # Errors
+///
+/// Returns an error if the schedule does not validate against the placement.
+pub fn instantiate(
+    placement: &PlacementSpec,
+    schedule: &Schedule,
+    _mode: CommMode,
+) -> Result<Program> {
+    schedule.validate(placement)?;
+    let num_devices = placement.num_devices();
+    let mut programs: Vec<DeviceProgram> = (0..num_devices)
+        .map(|device| DeviceProgram {
+            device,
+            instrs: Vec::new(),
+        })
+        .collect();
+
+    // Blocks in global (topological) order: the schedule keeps them sorted by
+    // start time, and ties preserve stage order, which respects dependencies.
+    for block in schedule.blocks() {
+        let spec = placement.block(block.stage);
+        // Receives for the tensors this block consumes were already emitted
+        // right after their producers; nothing to do before the compute.
+        for &device in &block.devices {
+            programs[device].instrs.push(Instr::Compute {
+                stage: block.stage,
+                micro_batch: block.micro_batch,
+                duration: spec.time,
+                flops: spec.flops,
+                memory: spec.memory,
+            });
+        }
+        // Emit send/recv pairs for every dependent block that lives on a
+        // different primary device, right after the producing block.
+        let producer_device = block.devices[0];
+        for (consumer_stage, consumer_spec) in placement.blocks().iter().enumerate() {
+            if !consumer_spec.deps.contains(&block.stage) {
+                continue;
+            }
+            let consumer_device = consumer_spec.devices[0];
+            if consumer_device == producer_device {
+                continue;
+            }
+            let tag = CommTag {
+                producer_stage: block.stage,
+                consumer_stage,
+                micro_batch: block.micro_batch,
+            };
+            programs[producer_device].instrs.push(Instr::Send {
+                to: consumer_device,
+                bytes: spec.output_bytes,
+                tag,
+            });
+            programs[consumer_device].instrs.push(Instr::Recv {
+                from: producer_device,
+                bytes: spec.output_bytes,
+                tag,
+            });
+        }
+    }
+
+    Ok(Program {
+        devices: programs,
+        num_micro_batches: schedule.num_micro_batches(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tessel_core::ir::{BlockKind, BlockSpec, PlacementSpec};
+    use tessel_core::schedule::scheduled_block;
+
+    fn two_stage_placement(bytes: u64) -> PlacementSpec {
+        let mut b = PlacementSpec::builder("two", 2);
+        b.push_block(
+            BlockSpec::new("f0", BlockKind::Forward, [0], 1, 1).with_output_bytes(bytes),
+        )
+        .unwrap();
+        b.push_block(
+            BlockSpec::new("f1", BlockKind::Forward, [1], 1, 1)
+                .with_deps([0])
+                .with_output_bytes(bytes),
+        )
+        .unwrap();
+        b.push_block(
+            BlockSpec::new("b1", BlockKind::Backward, [1], 2, -1)
+                .with_deps([1])
+                .with_output_bytes(bytes),
+        )
+        .unwrap();
+        b.push_block(
+            BlockSpec::new("b0", BlockKind::Backward, [0], 2, -1)
+                .with_deps([2])
+                .with_output_bytes(bytes),
+        )
+        .unwrap();
+        b.build().unwrap()
+    }
+
+    fn single_mb_schedule(p: &PlacementSpec) -> Schedule {
+        Schedule::new(
+            2,
+            1,
+            vec![
+                scheduled_block(p, 0, 0, 0),
+                scheduled_block(p, 1, 0, 1),
+                scheduled_block(p, 2, 0, 2),
+                scheduled_block(p, 3, 0, 4),
+            ],
+        )
+    }
+
+    #[test]
+    fn cross_device_dependencies_get_send_recv_pairs() {
+        let p = two_stage_placement(1 << 20);
+        let schedule = single_mb_schedule(&p);
+        let program = instantiate(&p, &schedule, CommMode::NonBlocking).unwrap();
+        // Three cross-device edges: f0->f1, f1->b1 is same device, b1->b0.
+        assert_eq!(program.total_transfers(), 2);
+        assert_eq!(program.total_compute(), 4);
+        // Send appears on the producer device, recv on the consumer device.
+        let sends_dev0 = program.devices[0]
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Send { .. }))
+            .count();
+        assert_eq!(sends_dev0, 1);
+        let recvs_dev0 = program.devices[0]
+            .instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Recv { .. }))
+            .count();
+        assert_eq!(recvs_dev0, 1);
+    }
+
+    #[test]
+    fn same_device_dependencies_need_no_communication() {
+        // The f1 -> b1 edge stays on device 1, so only the two cross-device
+        // edges become transfers; zero-byte payloads still carry the
+        // dependency so the simulator can order the blocks correctly.
+        let p = two_stage_placement(0);
+        let schedule = single_mb_schedule(&p);
+        let program = instantiate(&p, &schedule, CommMode::Blocking).unwrap();
+        assert_eq!(program.total_transfers(), 2);
+    }
+
+    #[test]
+    fn send_recv_pairs_share_a_consistent_global_order() {
+        // Two micro-batches: the send/recv pairs must appear in the same
+        // relative order on both devices (deadlock freedom).
+        let p = two_stage_placement(1024);
+        let blocks = vec![
+            scheduled_block(&p, 0, 0, 0),
+            scheduled_block(&p, 0, 1, 1),
+            scheduled_block(&p, 1, 0, 1),
+            scheduled_block(&p, 1, 1, 2),
+            scheduled_block(&p, 2, 0, 3),
+            scheduled_block(&p, 2, 1, 5),
+            scheduled_block(&p, 3, 0, 7),
+            scheduled_block(&p, 3, 1, 9),
+        ];
+        let schedule = Schedule::new(2, 2, blocks);
+        let program = instantiate(&p, &schedule, CommMode::Blocking).unwrap();
+        let order_on = |device: usize, outgoing: bool| -> Vec<CommTag> {
+            program.devices[device]
+                .instrs
+                .iter()
+                .filter_map(|i| match i {
+                    Instr::Send { tag, .. } if outgoing => Some(*tag),
+                    Instr::Recv { tag, .. } if !outgoing => Some(*tag),
+                    _ => None,
+                })
+                .collect()
+        };
+        // Tags sent by device 0 must be received by device 1 in the same order.
+        let sent: Vec<CommTag> = order_on(0, true);
+        let received: Vec<CommTag> = order_on(1, false)
+            .into_iter()
+            .filter(|t| sent.contains(t))
+            .collect();
+        assert_eq!(sent, received);
+    }
+
+    #[test]
+    fn invalid_schedules_are_rejected() {
+        let p = two_stage_placement(8);
+        let schedule = Schedule::new(2, 1, vec![scheduled_block(&p, 0, 0, 0)]);
+        assert!(instantiate(&p, &schedule, CommMode::Blocking).is_err());
+    }
+}

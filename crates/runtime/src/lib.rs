@@ -1,0 +1,33 @@
+//! Runtime instantiation and a discrete-event cluster simulator.
+//!
+//! The paper's runtime turns a searched schedule into per-device PyTorch code
+//! with NCCL send/recv pairs (§IV-D) and runs it on a 32× V100 cluster. This
+//! crate reproduces that pipeline against a simulated cluster:
+//!
+//! * [`network`] — the cluster topology (NVLink inside a server, InfiniBand
+//!   across servers) and its transfer-time model.
+//! * [`program`] — per-device instruction sequences (compute, send, receive)
+//!   produced by runtime instantiation.
+//! * [`instantiate`] — topological-sort based communication insertion with
+//!   deadlock-free send/recv ordering, in blocking or non-blocking mode.
+//! * [`sim`] — a deterministic simulator that executes a program on the
+//!   cluster model and reports iteration time, per-device busy/wait
+//!   breakdowns, peak memory and achieved PFLOPS (the metrics of Figs. 13–17).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod instantiate;
+pub mod metrics;
+pub mod network;
+pub mod program;
+pub mod sim;
+
+pub use instantiate::{instantiate, CommMode};
+pub use metrics::ExecutionReport;
+pub use network::ClusterSpec;
+pub use program::{DeviceProgram, Instr, Program};
+pub use sim::simulate;
+
+/// Result alias re-using the core error type.
+pub type Result<T> = std::result::Result<T, tessel_core::CoreError>;

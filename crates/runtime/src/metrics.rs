@@ -1,0 +1,126 @@
+//! Execution metrics reported by the simulator.
+
+use crate::network::ClusterSpec;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of simulating one iteration of a schedule on the cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionReport {
+    /// End-to-end completion time of the iteration, in time units.
+    pub makespan: u64,
+    /// Per-device time spent executing compute blocks.
+    pub device_busy: Vec<u64>,
+    /// Per-device time spent in blocking communication on the compute stream.
+    pub device_comm: Vec<u64>,
+    /// Peak memory per device in memory units.
+    pub peak_memory: Vec<i64>,
+    /// Total FLOPs executed across devices.
+    pub total_flops: f64,
+    /// Number of micro-batches executed.
+    pub num_micro_batches: usize,
+}
+
+impl ExecutionReport {
+    /// Iteration time in seconds under the cluster's time-unit scale.
+    #[must_use]
+    pub fn iteration_seconds(&self, cluster: &ClusterSpec) -> f64 {
+        self.makespan as f64 * cluster.time_unit_seconds
+    }
+
+    /// Aggregate throughput in PFLOPS (the Fig. 13/14 metric).
+    #[must_use]
+    pub fn pflops(&self, cluster: &ClusterSpec) -> f64 {
+        let seconds = self.iteration_seconds(cluster);
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        self.total_flops / seconds / 1e15
+    }
+
+    /// Busy time of the slowest device — the Fig. 16(a) metric.
+    #[must_use]
+    pub fn slowest_device_busy(&self) -> u64 {
+        self.device_busy.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Wait-time occupation of `device`: the fraction of the iteration the
+    /// device spends neither computing nor in blocking communication — the
+    /// Fig. 16(b) metric.
+    #[must_use]
+    pub fn wait_fraction(&self, device: usize) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        let used = self.device_busy[device] + self.device_comm[device];
+        1.0 - used.min(self.makespan) as f64 / self.makespan as f64
+    }
+
+    /// The largest wait fraction across devices.
+    #[must_use]
+    pub fn max_wait_fraction(&self) -> f64 {
+        (0..self.device_busy.len())
+            .map(|d| self.wait_fraction(d))
+            .fold(0.0, f64::max)
+    }
+
+    /// Requests served per second for inference workloads (micro-batches per
+    /// second).
+    #[must_use]
+    pub fn requests_per_second(&self, cluster: &ClusterSpec) -> f64 {
+        let seconds = self.iteration_seconds(cluster);
+        if seconds <= 0.0 {
+            return 0.0;
+        }
+        self.num_micro_batches as f64 / seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> ExecutionReport {
+        ExecutionReport {
+            makespan: 100,
+            device_busy: vec![90, 50],
+            device_comm: vec![5, 10],
+            peak_memory: vec![4, 3],
+            total_flops: 2e15,
+            num_micro_batches: 8,
+        }
+    }
+
+    #[test]
+    fn wait_fraction_accounts_for_busy_and_comm_time() {
+        let r = report();
+        assert!((r.wait_fraction(0) - 0.05).abs() < 1e-9);
+        assert!((r.wait_fraction(1) - 0.40).abs() < 1e-9);
+        assert!((r.max_wait_fraction() - 0.40).abs() < 1e-9);
+        assert_eq!(r.slowest_device_busy(), 90);
+    }
+
+    #[test]
+    fn throughput_metrics_follow_the_time_unit() {
+        let cluster = ClusterSpec::v100_cluster(2);
+        let r = report();
+        assert!((r.iteration_seconds(&cluster) - 0.1).abs() < 1e-12);
+        assert!((r.pflops(&cluster) - 20.0).abs() < 1e-9);
+        assert!((r.requests_per_second(&cluster) - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_reports_do_not_divide_by_zero() {
+        let r = ExecutionReport {
+            makespan: 0,
+            device_busy: vec![0],
+            device_comm: vec![0],
+            peak_memory: vec![0],
+            total_flops: 0.0,
+            num_micro_batches: 0,
+        };
+        let cluster = ClusterSpec::v100_cluster(1);
+        assert_eq!(r.pflops(&cluster), 0.0);
+        assert_eq!(r.wait_fraction(0), 0.0);
+        assert_eq!(r.requests_per_second(&cluster), 0.0);
+    }
+}

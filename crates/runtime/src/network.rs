@@ -1,0 +1,105 @@
+//! Cluster topology and transfer-time model.
+
+use serde::{Deserialize, Serialize};
+
+/// A homogeneous GPU cluster: servers of `gpus_per_server` GPUs linked by
+/// NVLink inside a server and InfiniBand across servers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Total number of schedule-level devices.
+    pub num_devices: usize,
+    /// Devices per server (NVLink domain).
+    pub gpus_per_server: usize,
+    /// Intra-server bandwidth in bytes per second (NVLink).
+    pub nvlink_bytes_per_sec: f64,
+    /// Inter-server bandwidth in bytes per second (InfiniBand).
+    pub ib_bytes_per_sec: f64,
+    /// Per-message latency in seconds.
+    pub latency_seconds: f64,
+    /// Seconds represented by one integer time unit (must match the cost
+    /// model used to build the placement).
+    pub time_unit_seconds: f64,
+}
+
+impl ClusterSpec {
+    /// The paper's testbed: servers of 8 V100 GPUs with 300 GB/s NVLink and a
+    /// 100 Gb/s InfiniBand network, on a 1 ms time-unit scale.
+    #[must_use]
+    pub fn v100_cluster(num_devices: usize) -> Self {
+        ClusterSpec {
+            num_devices,
+            gpus_per_server: 8,
+            nvlink_bytes_per_sec: 300e9,
+            ib_bytes_per_sec: 12.5e9,
+            latency_seconds: 10e-6,
+            time_unit_seconds: 1e-3,
+        }
+    }
+
+    /// Which server a device belongs to.
+    #[must_use]
+    pub fn server_of(&self, device: usize) -> usize {
+        device / self.gpus_per_server.max(1)
+    }
+
+    /// `true` if the two devices share a server (NVLink domain).
+    #[must_use]
+    pub fn same_server(&self, a: usize, b: usize) -> bool {
+        self.server_of(a) == self.server_of(b)
+    }
+
+    /// Transfer time of `bytes` from `from` to `to`, in integer time units
+    /// (zero for device-local transfers).
+    #[must_use]
+    pub fn transfer_time_units(&self, from: usize, to: usize, bytes: u64) -> u64 {
+        if from == to || bytes == 0 {
+            return 0;
+        }
+        let bandwidth = if self.same_server(from, to) {
+            self.nvlink_bytes_per_sec
+        } else {
+            self.ib_bytes_per_sec
+        };
+        let seconds = self.latency_seconds + bytes as f64 / bandwidth;
+        (seconds / self.time_unit_seconds).ceil() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_mapping_groups_eight_gpus() {
+        let cluster = ClusterSpec::v100_cluster(32);
+        assert_eq!(cluster.server_of(0), 0);
+        assert_eq!(cluster.server_of(7), 0);
+        assert_eq!(cluster.server_of(8), 1);
+        assert!(cluster.same_server(0, 7));
+        assert!(!cluster.same_server(7, 8));
+    }
+
+    #[test]
+    fn cross_server_transfers_are_slower() {
+        let cluster = ClusterSpec::v100_cluster(16);
+        let bytes = 256 * 1024 * 1024;
+        let local = cluster.transfer_time_units(0, 1, bytes);
+        let remote = cluster.transfer_time_units(0, 8, bytes);
+        assert!(remote > local, "IB transfer {remote} should exceed NVLink {local}");
+    }
+
+    #[test]
+    fn degenerate_transfers_cost_nothing() {
+        let cluster = ClusterSpec::v100_cluster(4);
+        assert_eq!(cluster.transfer_time_units(2, 2, 1 << 20), 0);
+        assert_eq!(cluster.transfer_time_units(0, 1, 0), 0);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let cluster = ClusterSpec::v100_cluster(4);
+        let small = cluster.transfer_time_units(0, 1, 1 << 20);
+        let large = cluster.transfer_time_units(0, 1, 1 << 30);
+        assert!(large >= small);
+    }
+}

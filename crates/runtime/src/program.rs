@@ -1,0 +1,173 @@
+//! Per-device instruction programs produced by runtime instantiation.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one tensor transfer: the producing block, the consuming block
+/// and the micro-batch they belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CommTag {
+    /// Stage index of the producing block.
+    pub producer_stage: usize,
+    /// Stage index of the consuming block.
+    pub consumer_stage: usize,
+    /// Micro-batch index.
+    pub micro_batch: usize,
+}
+
+/// One instruction of a device program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Instr {
+    /// Execute a block of the placement.
+    Compute {
+        /// Stage index into the placement.
+        stage: usize,
+        /// Micro-batch index.
+        micro_batch: usize,
+        /// Duration in time units (copied from the placement).
+        duration: u64,
+        /// FLOPs performed (for throughput accounting).
+        flops: f64,
+        /// Signed memory delta applied to the device.
+        memory: i64,
+    },
+    /// Send a tensor to another device.
+    Send {
+        /// Destination device.
+        to: usize,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Transfer identity.
+        tag: CommTag,
+    },
+    /// Receive a tensor from another device.
+    Recv {
+        /// Source device.
+        from: usize,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Transfer identity.
+        tag: CommTag,
+    },
+}
+
+impl Instr {
+    /// `true` for compute instructions.
+    #[must_use]
+    pub fn is_compute(&self) -> bool {
+        matches!(self, Instr::Compute { .. })
+    }
+
+    /// `true` for send/recv instructions.
+    #[must_use]
+    pub fn is_comm(&self) -> bool {
+        !self.is_compute()
+    }
+}
+
+/// The ordered instruction list of one device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProgram {
+    /// The device this program runs on.
+    pub device: usize,
+    /// Instructions in execution order.
+    pub instrs: Vec<Instr>,
+}
+
+impl DeviceProgram {
+    /// Number of compute instructions.
+    #[must_use]
+    pub fn num_compute(&self) -> usize {
+        self.instrs.iter().filter(|i| i.is_compute()).count()
+    }
+
+    /// Number of communication instructions.
+    #[must_use]
+    pub fn num_comm(&self) -> usize {
+        self.instrs.iter().filter(|i| i.is_comm()).count()
+    }
+}
+
+/// A complete program: one instruction list per device.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Per-device programs, indexed by device id.
+    pub devices: Vec<DeviceProgram>,
+    /// Number of micro-batches the program executes.
+    pub num_micro_batches: usize,
+}
+
+impl Program {
+    /// Total number of compute instructions across devices.
+    #[must_use]
+    pub fn total_compute(&self) -> usize {
+        self.devices.iter().map(DeviceProgram::num_compute).sum()
+    }
+
+    /// Total number of send instructions (each transfer counted once).
+    #[must_use]
+    pub fn total_transfers(&self) -> usize {
+        self.devices
+            .iter()
+            .flat_map(|d| d.instrs.iter())
+            .filter(|i| matches!(i, Instr::Send { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute(stage: usize) -> Instr {
+        Instr::Compute {
+            stage,
+            micro_batch: 0,
+            duration: 1,
+            flops: 1.0,
+            memory: 1,
+        }
+    }
+
+    #[test]
+    fn instruction_kind_predicates() {
+        let tag = CommTag {
+            producer_stage: 0,
+            consumer_stage: 1,
+            micro_batch: 0,
+        };
+        assert!(compute(0).is_compute());
+        assert!(!compute(0).is_comm());
+        let send = Instr::Send {
+            to: 1,
+            bytes: 10,
+            tag,
+        };
+        assert!(send.is_comm());
+    }
+
+    #[test]
+    fn program_counts_instructions() {
+        let tag = CommTag {
+            producer_stage: 0,
+            consumer_stage: 1,
+            micro_batch: 0,
+        };
+        let program = Program {
+            devices: vec![
+                DeviceProgram {
+                    device: 0,
+                    instrs: vec![compute(0), Instr::Send { to: 1, bytes: 8, tag }],
+                },
+                DeviceProgram {
+                    device: 1,
+                    instrs: vec![Instr::Recv { from: 0, bytes: 8, tag }, compute(1)],
+                },
+            ],
+            num_micro_batches: 1,
+        };
+        assert_eq!(program.total_compute(), 2);
+        assert_eq!(program.total_transfers(), 1);
+        assert_eq!(program.devices[0].num_comm(), 1);
+        assert_eq!(program.devices[1].num_compute(), 1);
+    }
+}

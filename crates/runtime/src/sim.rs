@@ -1,0 +1,347 @@
+//! Deterministic cluster simulator.
+//!
+//! The simulator executes a [`Program`] on a [`ClusterSpec`], respecting the
+//! per-device instruction order produced by runtime instantiation. Two
+//! communication modes are supported, mirroring Fig. 7 of the paper:
+//!
+//! * **blocking** — a send/recv pair occupies the compute stream of both
+//!   devices for the duration of the transfer (plus any rendezvous wait);
+//! * **non-blocking** — transfers run on a dedicated channel per device pair
+//!   and only the consuming compute block waits for them.
+
+use crate::instantiate::CommMode;
+use crate::metrics::ExecutionReport;
+use crate::network::ClusterSpec;
+use crate::program::{CommTag, Instr, Program};
+use crate::Result;
+use std::collections::HashMap;
+use tessel_core::CoreError;
+
+/// Simulates `program` on `cluster` and returns the execution report.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidSchedule`] if the program deadlocks (cannot
+/// happen for programs produced by [`instantiate`](crate::instantiate)).
+pub fn simulate(program: &Program, cluster: &ClusterSpec, mode: CommMode) -> Result<ExecutionReport> {
+    let num_devices = program.devices.len();
+    let mut pc = vec![0usize; num_devices];
+    let mut clock = vec![0u64; num_devices];
+    let mut busy = vec![0u64; num_devices];
+    let mut comm = vec![0u64; num_devices];
+    let mut memory = vec![0i64; num_devices];
+    let mut peak_memory = vec![0i64; num_devices];
+    let mut total_flops = 0.0f64;
+    // Completion time of each transfer, keyed by tag.
+    let mut transfer_done: HashMap<CommTag, u64> = HashMap::new();
+    // Non-blocking: next free time of each directed channel.
+    let mut channel_free: HashMap<(usize, usize), u64> = HashMap::new();
+
+    let total_instrs: usize = program.devices.iter().map(|d| d.instrs.len()).sum();
+    let mut executed = 0usize;
+
+    while executed < total_instrs {
+        let mut progressed = false;
+        for device in 0..num_devices {
+            let Some(instr) = program.devices[device].instrs.get(pc[device]) else {
+                continue;
+            };
+            match instr {
+                Instr::Compute {
+                    stage,
+                    micro_batch,
+                    duration,
+                    flops,
+                    memory: mem_delta,
+                } => {
+                    // Wait for every tensor this block consumes. In
+                    // non-blocking mode the receives do not occupy the
+                    // compute stream, so the dependency is expressed here.
+                    let mut ready_at = clock[device];
+                    let mut waiting = false;
+                    for d in &program.devices {
+                        for i in &d.instrs {
+                            if let Instr::Recv { tag, .. } = i {
+                                if tag.consumer_stage == *stage
+                                    && tag.micro_batch == *micro_batch
+                                    && program.devices[device]
+                                        .instrs
+                                        .iter()
+                                        .any(|x| matches!(x, Instr::Recv { tag: t2, .. } if t2 == tag))
+                                {
+                                    match transfer_done.get(tag) {
+                                        Some(&done) => ready_at = ready_at.max(done),
+                                        None => waiting = true,
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if waiting {
+                        continue;
+                    }
+                    let start = ready_at;
+                    clock[device] = start + duration;
+                    busy[device] += duration;
+                    // Only count the flops once even for multi-device blocks:
+                    // attribute them to the first device that executes it.
+                    total_flops += flops / count_devices_running(program, *stage, *micro_batch) as f64;
+                    memory[device] += mem_delta;
+                    peak_memory[device] = peak_memory[device].max(memory[device]);
+                    pc[device] += 1;
+                    executed += 1;
+                    progressed = true;
+                }
+                Instr::Recv { from, bytes, tag } => match mode {
+                    CommMode::NonBlocking => {
+                        // The matching send schedules the transfer; the recv
+                        // itself costs nothing on the compute stream.
+                        if transfer_done.contains_key(tag) || *bytes == 0 {
+                            pc[device] += 1;
+                            executed += 1;
+                            progressed = true;
+                        } else {
+                            // Wait until the sender posts the transfer.
+                            let sender_posted = has_posted_send(program, &pc, *from, tag);
+                            if sender_posted {
+                                continue;
+                            }
+                            continue;
+                        }
+                    }
+                    CommMode::Blocking => {
+                        // Rendezvous: both sides must be at the matching
+                        // send/recv.
+                        if let Some(sender_clock) = sender_ready_at(program, &pc, &clock, *from, tag) {
+                            let start = clock[device].max(sender_clock);
+                            let duration = cluster.transfer_time_units(*from, device, *bytes);
+                            transfer_done.insert(*tag, start + duration);
+                            clock[device] = start + duration;
+                            comm[device] += duration;
+                            pc[device] += 1;
+                            executed += 1;
+                            progressed = true;
+                        }
+                    }
+                },
+                Instr::Send { to, bytes, tag } => match mode {
+                    CommMode::NonBlocking => {
+                        let channel = channel_free.entry((device, *to)).or_insert(0);
+                        let start = clock[device].max(*channel);
+                        let duration = cluster.transfer_time_units(device, *to, *bytes);
+                        *channel = start + duration;
+                        transfer_done.insert(*tag, start + duration);
+                        pc[device] += 1;
+                        executed += 1;
+                        progressed = true;
+                    }
+                    CommMode::Blocking => {
+                        // The receiver side drives the rendezvous; the sender
+                        // completes when the transfer is recorded.
+                        if let Some(&done) = transfer_done.get(tag) {
+                            clock[device] = clock[device].max(done);
+                            comm[device] += cluster.transfer_time_units(device, *to, *bytes);
+                            pc[device] += 1;
+                            executed += 1;
+                            progressed = true;
+                        } else if receiver_waiting(program, &pc, *to, tag) {
+                            // Record the transfer from the sender side; the
+                            // receiver will pick it up on its next visit.
+                            let receiver = *to;
+                            let start = clock[device].max(clock[receiver]);
+                            let duration = cluster.transfer_time_units(device, receiver, *bytes);
+                            transfer_done.insert(*tag, start + duration);
+                            clock[device] = start + duration;
+                            comm[device] += duration;
+                            pc[device] += 1;
+                            executed += 1;
+                            progressed = true;
+                        }
+                    }
+                },
+            }
+        }
+        if !progressed {
+            return Err(CoreError::InvalidSchedule(format!(
+                "simulation deadlocked after {executed} of {total_instrs} instructions"
+            )));
+        }
+    }
+
+    Ok(ExecutionReport {
+        makespan: clock.iter().copied().max().unwrap_or(0),
+        device_busy: busy,
+        device_comm: comm,
+        peak_memory,
+        total_flops,
+        num_micro_batches: program.num_micro_batches,
+    })
+}
+
+/// Number of devices that execute `(stage, micro_batch)` (multi-device blocks
+/// appear once per device in the program).
+fn count_devices_running(program: &Program, stage: usize, micro_batch: usize) -> usize {
+    program
+        .devices
+        .iter()
+        .filter(|d| {
+            d.instrs.iter().any(|i| {
+                matches!(i, Instr::Compute { stage: s, micro_batch: m, .. } if *s == stage && *m == micro_batch)
+            })
+        })
+        .count()
+        .max(1)
+}
+
+/// `true` if device `from`'s program counter has passed (or is at) the send
+/// matching `tag`.
+fn has_posted_send(program: &Program, pc: &[usize], from: usize, tag: &CommTag) -> bool {
+    program.devices[from]
+        .instrs
+        .iter()
+        .take(pc[from])
+        .any(|i| matches!(i, Instr::Send { tag: t, .. } if t == tag))
+}
+
+/// If device `from` is currently parked at the send matching `tag`, returns
+/// its clock (the rendezvous time from the sender side).
+fn sender_ready_at(
+    program: &Program,
+    pc: &[usize],
+    clock: &[u64],
+    from: usize,
+    tag: &CommTag,
+) -> Option<u64> {
+    match program.devices[from].instrs.get(pc[from]) {
+        Some(Instr::Send { tag: t, .. }) if t == tag => Some(clock[from]),
+        _ => None,
+    }
+}
+
+/// `true` if device `to` is currently parked at the recv matching `tag`.
+fn receiver_waiting(program: &Program, pc: &[usize], to: usize, tag: &CommTag) -> bool {
+    matches!(
+        program.devices[to].instrs.get(pc[to]),
+        Some(Instr::Recv { tag: t, .. }) if t == tag
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instantiate::instantiate;
+    use tessel_core::ir::{BlockKind, BlockSpec, PlacementSpec};
+    use tessel_core::schedule::{scheduled_block, Schedule};
+
+    fn pipeline(bytes: u64) -> (PlacementSpec, Schedule) {
+        let mut b = PlacementSpec::builder("two", 2);
+        b.push_block(BlockSpec::new("f0", BlockKind::Forward, [0], 2, 1).with_output_bytes(bytes))
+            .unwrap();
+        b.push_block(
+            BlockSpec::new("f1", BlockKind::Forward, [1], 2, 1)
+                .with_deps([0])
+                .with_output_bytes(bytes),
+        )
+        .unwrap();
+        b.push_block(
+            BlockSpec::new("b1", BlockKind::Backward, [1], 4, -1)
+                .with_deps([1])
+                .with_output_bytes(bytes),
+        )
+        .unwrap();
+        b.push_block(
+            BlockSpec::new("b0", BlockKind::Backward, [0], 4, -1)
+                .with_deps([2])
+                .with_output_bytes(bytes),
+        )
+        .unwrap();
+        let p = b.build().unwrap();
+        let s = Schedule::new(
+            2,
+            1,
+            vec![
+                scheduled_block(&p, 0, 0, 0),
+                scheduled_block(&p, 1, 0, 2),
+                scheduled_block(&p, 2, 0, 4),
+                scheduled_block(&p, 3, 0, 8),
+            ],
+        );
+        (p, s)
+    }
+
+    #[test]
+    fn simulation_without_communication_matches_the_schedule() {
+        let (p, s) = pipeline(0);
+        let cluster = ClusterSpec::v100_cluster(2);
+        for mode in [CommMode::Blocking, CommMode::NonBlocking] {
+            let program = instantiate(&p, &s, mode).unwrap();
+            let report = simulate(&program, &cluster, mode).unwrap();
+            assert_eq!(report.makespan, s.makespan());
+            assert_eq!(report.device_busy, vec![6, 6]);
+            assert_eq!(report.peak_memory, vec![1, 1]);
+        }
+    }
+
+    #[test]
+    fn blocking_communication_is_never_faster_than_non_blocking() {
+        let (p, s) = pipeline(512 * 1024 * 1024);
+        let cluster = ClusterSpec::v100_cluster(2);
+        let program = instantiate(&p, &s, CommMode::Blocking).unwrap();
+        let blocking = simulate(&program, &cluster, CommMode::Blocking).unwrap();
+        let nonblocking = simulate(&program, &cluster, CommMode::NonBlocking).unwrap();
+        assert!(blocking.makespan >= nonblocking.makespan);
+        // Blocking mode charges transfer time to the compute streams.
+        assert!(blocking.device_comm.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn communication_extends_the_critical_path() {
+        let (p, s) = pipeline(1 << 30);
+        let cluster = ClusterSpec::v100_cluster(2);
+        let program = instantiate(&p, &s, CommMode::NonBlocking).unwrap();
+        let report = simulate(&program, &cluster, CommMode::NonBlocking).unwrap();
+        assert!(report.makespan > s.makespan());
+    }
+
+    #[test]
+    fn flops_are_counted_once_per_block() {
+        let mut b = PlacementSpec::builder("tp", 2);
+        b.push_block(
+            BlockSpec::new("tp-block", BlockKind::Forward, [0, 1], 2, 0).with_flops(10.0),
+        )
+        .unwrap();
+        let p = b.build().unwrap();
+        let s = Schedule::new(2, 1, vec![scheduled_block(&p, 0, 0, 0)]);
+        let cluster = ClusterSpec::v100_cluster(2);
+        let program = instantiate(&p, &s, CommMode::NonBlocking).unwrap();
+        let report = simulate(&program, &cluster, CommMode::NonBlocking).unwrap();
+        assert!((report.total_flops - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multi_micro_batch_pipelines_overlap_in_the_simulator() {
+        // Build a 4-micro-batch 1F1B-like schedule and check the simulated
+        // iteration time is far below sequential execution.
+        let (p, _) = pipeline(1024);
+        let schedule = tessel_baselines_like_schedule(&p, 4);
+        let cluster = ClusterSpec::v100_cluster(2);
+        let program = instantiate(&p, &schedule, CommMode::NonBlocking).unwrap();
+        let report = simulate(&program, &cluster, CommMode::NonBlocking).unwrap();
+        assert!(report.makespan < 4 * p.total_block_time());
+        assert!(report.peak_memory[0] <= 2);
+    }
+
+    /// A minimal hand-rolled 1F1B schedule for the 2-stage pipeline.
+    fn tessel_baselines_like_schedule(p: &PlacementSpec, n: usize) -> Schedule {
+        let mut blocks = Vec::new();
+        // Classic 2-stage 1F1B: period 6 per micro-batch in steady state.
+        for mb in 0..n {
+            let base = mb as u64 * 6;
+            blocks.push(scheduled_block(p, 0, mb, base));
+            blocks.push(scheduled_block(p, 1, mb, base + 2));
+            blocks.push(scheduled_block(p, 2, mb, base + 4));
+            blocks.push(scheduled_block(p, 3, mb, base + 8));
+        }
+        Schedule::new(2, n, blocks)
+    }
+}

@@ -1,0 +1,145 @@
+//! Error type for the scheduling solver.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building instances or solving them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolverError {
+    /// A task referenced a device outside `0..num_devices`.
+    DeviceOutOfRange {
+        /// Human readable label of the offending task.
+        task: String,
+        /// The offending device index.
+        device: usize,
+        /// Number of devices in the instance.
+        num_devices: usize,
+    },
+    /// A task was declared with an empty device set.
+    EmptyDeviceSet {
+        /// Human readable label of the offending task.
+        task: String,
+    },
+    /// A precedence edge referenced a task id that does not exist.
+    UnknownTask {
+        /// The offending task index.
+        index: usize,
+        /// Number of tasks in the instance.
+        num_tasks: usize,
+    },
+    /// The precedence relation contains a cycle, so no schedule exists.
+    CyclicPrecedence,
+    /// A precedence edge connects a task to itself.
+    SelfPrecedence {
+        /// Human readable label of the offending task.
+        task: String,
+    },
+    /// The instance has no tasks; there is nothing to schedule.
+    EmptyInstance,
+    /// The initial memory vector does not match the number of devices.
+    InitialMemoryMismatch {
+        /// Length of the provided vector.
+        provided: usize,
+        /// Number of devices in the instance.
+        num_devices: usize,
+    },
+    /// A single task already violates the per-device memory capacity.
+    TaskExceedsMemory {
+        /// Human readable label of the offending task.
+        task: String,
+        /// The memory demand of the task plus the initial occupancy.
+        demand: i64,
+        /// The per-device capacity.
+        capacity: i64,
+    },
+}
+
+impl fmt::Display for SolverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverError::DeviceOutOfRange {
+                task,
+                device,
+                num_devices,
+            } => write!(
+                f,
+                "task `{task}` uses device {device} but the instance has only {num_devices} devices"
+            ),
+            SolverError::EmptyDeviceSet { task } => {
+                write!(f, "task `{task}` has an empty device set")
+            }
+            SolverError::UnknownTask { index, num_tasks } => write!(
+                f,
+                "precedence references task index {index} but the instance has {num_tasks} tasks"
+            ),
+            SolverError::CyclicPrecedence => {
+                write!(f, "precedence constraints contain a cycle")
+            }
+            SolverError::SelfPrecedence { task } => {
+                write!(f, "task `{task}` has a precedence edge to itself")
+            }
+            SolverError::EmptyInstance => write!(f, "instance has no tasks"),
+            SolverError::InitialMemoryMismatch {
+                provided,
+                num_devices,
+            } => write!(
+                f,
+                "initial memory vector has {provided} entries but the instance has {num_devices} devices"
+            ),
+            SolverError::TaskExceedsMemory {
+                task,
+                demand,
+                capacity,
+            } => write!(
+                f,
+                "task `{task}` needs {demand} memory units on its device which exceeds the capacity {capacity}"
+            ),
+        }
+    }
+}
+
+impl Error for SolverError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_for_all_variants() {
+        let variants = vec![
+            SolverError::DeviceOutOfRange {
+                task: "t".into(),
+                device: 3,
+                num_devices: 2,
+            },
+            SolverError::EmptyDeviceSet { task: "t".into() },
+            SolverError::UnknownTask {
+                index: 9,
+                num_tasks: 1,
+            },
+            SolverError::CyclicPrecedence,
+            SolverError::SelfPrecedence { task: "t".into() },
+            SolverError::EmptyInstance,
+            SolverError::InitialMemoryMismatch {
+                provided: 1,
+                num_devices: 4,
+            },
+            SolverError::TaskExceedsMemory {
+                task: "t".into(),
+                demand: 10,
+                capacity: 4,
+            },
+        ];
+        for v in variants {
+            assert!(!v.to_string().is_empty());
+            assert!(!format!("{v:?}").is_empty());
+        }
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<SolverError>();
+    }
+}

@@ -1,0 +1,483 @@
+//! Scheduling instance: tasks, devices, memory budget and precedences.
+
+use crate::error::SolverError;
+use crate::task::{Task, TaskId};
+use crate::Result;
+use serde::{Deserialize, Serialize};
+
+/// A complete scheduling problem in the form of Eq. 1 of the Tessel paper.
+///
+/// Instances are immutable once built; construct them with
+/// [`InstanceBuilder`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Instance {
+    num_devices: usize,
+    memory_capacity: Option<i64>,
+    initial_memory: Vec<i64>,
+    tasks: Vec<Task>,
+    precedences: Vec<(usize, usize)>,
+    successors: Vec<Vec<usize>>,
+    predecessors: Vec<Vec<usize>>,
+}
+
+impl Instance {
+    /// Number of devices in the instance.
+    #[must_use]
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+
+    /// Per-device memory capacity, or `None` when memory is unconstrained.
+    #[must_use]
+    pub fn memory_capacity(&self) -> Option<i64> {
+        self.memory_capacity
+    }
+
+    /// Memory already occupied on each device before any task starts.
+    #[must_use]
+    pub fn initial_memory(&self) -> &[i64] {
+        &self.initial_memory
+    }
+
+    /// All tasks in id order.
+    #[must_use]
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// The task with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this instance.
+    #[must_use]
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// All precedence edges as `(predecessor, successor)` id pairs.
+    pub fn precedences(&self) -> impl Iterator<Item = (TaskId, TaskId)> + '_ {
+        self.precedences.iter().map(|&(a, b)| (TaskId(a), TaskId(b)))
+    }
+
+    /// Direct successors of `id`.
+    #[must_use]
+    pub fn successors(&self, id: TaskId) -> &[usize] {
+        &self.successors[id.index()]
+    }
+
+    /// Direct predecessors of `id`.
+    #[must_use]
+    pub fn predecessors(&self, id: TaskId) -> &[usize] {
+        &self.predecessors[id.index()]
+    }
+
+    /// Iterator over all task ids in index order.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> {
+        (0..self.tasks.len()).map(TaskId)
+    }
+
+    /// Total work (sum of durations) assigned to `device`.
+    #[must_use]
+    pub fn device_load(&self, device: usize) -> u64 {
+        self.tasks
+            .iter()
+            .filter(|t| t.uses_device(device))
+            .map(|t| t.duration)
+            .sum()
+    }
+
+    /// Sum of all task durations; a trivial horizon for any schedule because a
+    /// fully sequential execution is always feasible with respect to time.
+    #[must_use]
+    pub fn total_work(&self) -> u64 {
+        let work: u64 = self.tasks.iter().map(|t| t.duration).sum();
+        let release = self.tasks.iter().map(|t| t.release).max().unwrap_or(0);
+        work + release
+    }
+
+    /// One topological order of the tasks under the precedence relation.
+    ///
+    /// The order is deterministic (Kahn's algorithm with a smallest-id-first
+    /// tie break). Building an instance guarantees acyclicity, so this always
+    /// returns every task exactly once.
+    #[must_use]
+    pub fn topological_order(&self) -> Vec<TaskId> {
+        let n = self.tasks.len();
+        let mut indegree: Vec<usize> = vec![0; n];
+        for &(_, b) in &self.precedences {
+            indegree[b] += 1;
+        }
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..n)
+            .filter(|&i| indegree[i] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(std::cmp::Reverse(i)) = ready.pop() {
+            order.push(TaskId(i));
+            for &s in &self.successors[i] {
+                indegree[s] -= 1;
+                if indegree[s] == 0 {
+                    ready.push(std::cmp::Reverse(s));
+                }
+            }
+        }
+        order
+    }
+}
+
+/// Builder for [`Instance`].
+///
+/// # Example
+///
+/// ```
+/// use tessel_solver::InstanceBuilder;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = InstanceBuilder::new(2);
+/// b.set_memory_capacity(Some(4));
+/// let a = b.add_task("a", 2, [0], 1)?;
+/// let c = b.add_task("c", 1, [1], 1)?;
+/// b.add_precedence(a, c)?;
+/// let instance = b.build()?;
+/// assert_eq!(instance.num_tasks(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct InstanceBuilder {
+    num_devices: usize,
+    memory_capacity: Option<i64>,
+    initial_memory: Vec<i64>,
+    tasks: Vec<Task>,
+    precedences: Vec<(usize, usize)>,
+}
+
+impl InstanceBuilder {
+    /// Creates a builder for an instance over `num_devices` devices with
+    /// unconstrained memory.
+    #[must_use]
+    pub fn new(num_devices: usize) -> Self {
+        InstanceBuilder {
+            num_devices,
+            memory_capacity: None,
+            initial_memory: vec![0; num_devices],
+            tasks: Vec::new(),
+            precedences: Vec::new(),
+        }
+    }
+
+    /// Sets or clears the per-device memory capacity.
+    pub fn set_memory_capacity(&mut self, capacity: Option<i64>) -> &mut Self {
+        self.memory_capacity = capacity;
+        self
+    }
+
+    /// Sets the memory already occupied on each device before time zero.
+    ///
+    /// Tessel uses this to encode the activation memory left behind by the
+    /// warmup phase when solving a repetend or a cooldown phase in isolation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolverError::InitialMemoryMismatch`] if the vector length
+    /// differs from the number of devices.
+    pub fn set_initial_memory(&mut self, memory: Vec<i64>) -> Result<&mut Self> {
+        if memory.len() != self.num_devices {
+            return Err(SolverError::InitialMemoryMismatch {
+                provided: memory.len(),
+                num_devices: self.num_devices,
+            });
+        }
+        self.initial_memory = memory;
+        Ok(self)
+    }
+
+    /// Adds a task and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the device set is empty or refers to a device
+    /// outside the instance.
+    pub fn add_task(
+        &mut self,
+        label: impl Into<String>,
+        duration: u64,
+        devices: impl IntoIterator<Item = usize>,
+        memory: i64,
+    ) -> Result<TaskId> {
+        self.push_task(Task::new(label, duration, devices, memory))
+    }
+
+    /// Adds a fully specified task (including its release date).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the device set is empty or refers to a device
+    /// outside the instance.
+    pub fn push_task(&mut self, task: Task) -> Result<TaskId> {
+        if task.devices.is_empty() {
+            return Err(SolverError::EmptyDeviceSet {
+                task: task.label.clone(),
+            });
+        }
+        for &d in &task.devices {
+            if d >= self.num_devices {
+                return Err(SolverError::DeviceOutOfRange {
+                    task: task.label.clone(),
+                    device: d,
+                    num_devices: self.num_devices,
+                });
+            }
+        }
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(task);
+        Ok(id)
+    }
+
+    /// Adds a precedence constraint `pred -> succ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if either id is unknown or the edge is a self loop.
+    pub fn add_precedence(&mut self, pred: TaskId, succ: TaskId) -> Result<&mut Self> {
+        for id in [pred, succ] {
+            if id.index() >= self.tasks.len() {
+                return Err(SolverError::UnknownTask {
+                    index: id.index(),
+                    num_tasks: self.tasks.len(),
+                });
+            }
+        }
+        if pred == succ {
+            return Err(SolverError::SelfPrecedence {
+                task: self.tasks[pred.index()].label.clone(),
+            });
+        }
+        self.precedences.push((pred.index(), succ.index()));
+        Ok(self)
+    }
+
+    /// Number of tasks added so far.
+    #[must_use]
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Finalises the instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the instance is empty, the precedence relation is
+    /// cyclic, or a single task can never fit in memory.
+    pub fn build(self) -> Result<Instance> {
+        if self.tasks.is_empty() {
+            return Err(SolverError::EmptyInstance);
+        }
+        let n = self.tasks.len();
+        let mut successors = vec![Vec::new(); n];
+        let mut predecessors = vec![Vec::new(); n];
+        for &(a, b) in &self.precedences {
+            successors[a].push(b);
+            predecessors[b].push(a);
+        }
+        // Cycle check via Kahn's algorithm.
+        let mut indegree: Vec<usize> = vec![0; n];
+        for &(_, b) in &self.precedences {
+            indegree[b] += 1;
+        }
+        let mut stack: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut visited = 0usize;
+        while let Some(i) = stack.pop() {
+            visited += 1;
+            for &s in &successors[i] {
+                indegree[s] -= 1;
+                if indegree[s] == 0 {
+                    stack.push(s);
+                }
+            }
+        }
+        if visited != n {
+            return Err(SolverError::CyclicPrecedence);
+        }
+        // A task whose positive footprint exceeds capacity on its device can
+        // never run.
+        if let Some(capacity) = self.memory_capacity {
+            for task in &self.tasks {
+                if task.memory <= 0 {
+                    continue;
+                }
+                for &d in &task.devices {
+                    let demand = self.initial_memory[d] + task.memory;
+                    if demand > capacity {
+                        // Only definitely infeasible when no other task can
+                        // free memory on this device first.
+                        let can_free = self
+                            .tasks
+                            .iter()
+                            .any(|t| t.memory < 0 && t.uses_device(d));
+                        if !can_free {
+                            return Err(SolverError::TaskExceedsMemory {
+                                task: task.label.clone(),
+                                demand,
+                                capacity,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(Instance {
+            num_devices: self.num_devices,
+            memory_capacity: self.memory_capacity,
+            initial_memory: self.initial_memory,
+            tasks: self.tasks,
+            precedences: self.precedences,
+            successors,
+            predecessors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_instance() -> Instance {
+        let mut b = InstanceBuilder::new(2);
+        let a = b.add_task("a", 1, [0], 1).unwrap();
+        let c = b.add_task("c", 2, [1], 1).unwrap();
+        let d = b.add_task("d", 3, [0], -1).unwrap();
+        b.add_precedence(a, c).unwrap();
+        b.add_precedence(c, d).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = InstanceBuilder::new(1);
+        let t0 = b.add_task("x", 1, [0], 0).unwrap();
+        let t1 = b.add_task("y", 1, [0], 0).unwrap();
+        assert_eq!(t0.index(), 0);
+        assert_eq!(t1.index(), 1);
+    }
+
+    #[test]
+    fn rejects_device_out_of_range() {
+        let mut b = InstanceBuilder::new(2);
+        let err = b.add_task("bad", 1, [2], 0).unwrap_err();
+        assert!(matches!(err, SolverError::DeviceOutOfRange { device: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_empty_device_set() {
+        let mut b = InstanceBuilder::new(2);
+        let err = b.add_task("bad", 1, Vec::<usize>::new(), 0).unwrap_err();
+        assert!(matches!(err, SolverError::EmptyDeviceSet { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_precedence_target() {
+        let mut b = InstanceBuilder::new(1);
+        let a = b.add_task("a", 1, [0], 0).unwrap();
+        let err = b
+            .add_precedence(a, TaskId::from_index(5))
+            .unwrap_err();
+        assert!(matches!(err, SolverError::UnknownTask { index: 5, .. }));
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = InstanceBuilder::new(1);
+        let a = b.add_task("a", 1, [0], 0).unwrap();
+        let err = b.add_precedence(a, a).unwrap_err();
+        assert!(matches!(err, SolverError::SelfPrecedence { .. }));
+    }
+
+    #[test]
+    fn rejects_cycles_at_build_time() {
+        let mut b = InstanceBuilder::new(1);
+        let a = b.add_task("a", 1, [0], 0).unwrap();
+        let c = b.add_task("c", 1, [0], 0).unwrap();
+        b.add_precedence(a, c).unwrap();
+        b.add_precedence(c, a).unwrap();
+        assert_eq!(b.build().unwrap_err(), SolverError::CyclicPrecedence);
+    }
+
+    #[test]
+    fn rejects_empty_instance() {
+        let b = InstanceBuilder::new(3);
+        assert_eq!(b.build().unwrap_err(), SolverError::EmptyInstance);
+    }
+
+    #[test]
+    fn rejects_task_that_can_never_fit() {
+        let mut b = InstanceBuilder::new(1);
+        b.set_memory_capacity(Some(2));
+        b.add_task("huge", 1, [0], 5).unwrap();
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, SolverError::TaskExceedsMemory { .. }));
+    }
+
+    #[test]
+    fn oversized_task_allowed_when_memory_can_be_freed_first() {
+        // A backward block on the same device may free memory before the big
+        // block runs, so building must not reject this instance outright.
+        let mut b = InstanceBuilder::new(1);
+        b.set_memory_capacity(Some(2));
+        b.set_initial_memory(vec![2]).unwrap();
+        b.add_task("release", 1, [0], -2).unwrap();
+        b.add_task("big", 1, [0], 2).unwrap();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn rejects_initial_memory_of_wrong_length() {
+        let mut b = InstanceBuilder::new(3);
+        let err = b.set_initial_memory(vec![0, 0]).unwrap_err();
+        assert!(matches!(
+            err,
+            SolverError::InitialMemoryMismatch {
+                provided: 2,
+                num_devices: 3
+            }
+        ));
+    }
+
+    #[test]
+    fn topological_order_respects_precedence() {
+        let inst = chain_instance();
+        let order = inst.topological_order();
+        assert_eq!(order.len(), 3);
+        let pos: Vec<usize> = (0..3)
+            .map(|i| order.iter().position(|t| t.index() == i).unwrap())
+            .collect();
+        assert!(pos[0] < pos[1]);
+        assert!(pos[1] < pos[2]);
+    }
+
+    #[test]
+    fn device_load_sums_durations_per_device() {
+        let inst = chain_instance();
+        assert_eq!(inst.device_load(0), 4);
+        assert_eq!(inst.device_load(1), 2);
+        assert_eq!(inst.total_work(), 6);
+    }
+
+    #[test]
+    fn accessors_expose_graph_structure() {
+        let inst = chain_instance();
+        assert_eq!(inst.num_devices(), 2);
+        assert_eq!(inst.successors(TaskId(0)), &[1]);
+        assert_eq!(inst.predecessors(TaskId(2)), &[1]);
+        assert_eq!(inst.precedences().count(), 2);
+        assert_eq!(inst.task_ids().count(), 3);
+        assert_eq!(inst.task(TaskId(1)).label, "c");
+    }
+}

@@ -1,0 +1,87 @@
+//! Makespan lower bounds used for pruning and for Tessel's early exit.
+//!
+//! Algorithm 1 of the paper terminates the repetend enumeration as soon as a
+//! repetend matching `GetLowerBound(OPS)` is found; that bound is the maximum
+//! per-device work of a single micro-batch, which is exactly
+//! [`device_load_lower_bound`] here.
+
+use crate::instance::Instance;
+use crate::propagate::TimeWindows;
+
+/// Lower bound from per-device load: a device cannot finish before it has run
+/// all of its own work, so `max_d sum(duration of tasks on d)` bounds the
+/// makespan from below.
+#[must_use]
+pub fn device_load_lower_bound(instance: &Instance) -> u64 {
+    (0..instance.num_devices())
+        .map(|d| instance.device_load(d))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Lower bound from the precedence critical path (longest chain of dependent
+/// durations, taking release dates into account).
+#[must_use]
+pub fn critical_path_lower_bound(instance: &Instance) -> u64 {
+    TimeWindows::compute(instance, instance.total_work()).critical_path(instance)
+}
+
+/// The strongest cheap lower bound available: the maximum of the device-load
+/// and critical-path bounds.
+#[must_use]
+pub fn makespan_lower_bound(instance: &Instance) -> u64 {
+    device_load_lower_bound(instance).max(critical_path_lower_bound(instance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    #[test]
+    fn device_load_bound_takes_busiest_device() {
+        let mut b = InstanceBuilder::new(2);
+        b.add_task("a", 4, [0], 0).unwrap();
+        b.add_task("b", 1, [1], 0).unwrap();
+        b.add_task("c", 2, [1], 0).unwrap();
+        let inst = b.build().unwrap();
+        assert_eq!(device_load_lower_bound(&inst), 4);
+    }
+
+    #[test]
+    fn critical_path_bound_follows_chains() {
+        let mut b = InstanceBuilder::new(3);
+        let a = b.add_task("a", 2, [0], 0).unwrap();
+        let c = b.add_task("c", 2, [1], 0).unwrap();
+        let d = b.add_task("d", 2, [2], 0).unwrap();
+        b.add_precedence(a, c).unwrap();
+        b.add_precedence(c, d).unwrap();
+        let inst = b.build().unwrap();
+        assert_eq!(critical_path_lower_bound(&inst), 6);
+        // Each device only has 2 units of work, so the chain dominates.
+        assert_eq!(makespan_lower_bound(&inst), 6);
+    }
+
+    #[test]
+    fn combined_bound_is_max_of_both() {
+        let mut b = InstanceBuilder::new(2);
+        // Device 0 is heavily loaded with independent work; the chain is short.
+        let a = b.add_task("a", 5, [0], 0).unwrap();
+        b.add_task("a2", 5, [0], 0).unwrap();
+        let c = b.add_task("c", 1, [1], 0).unwrap();
+        b.add_precedence(a, c).unwrap();
+        let inst = b.build().unwrap();
+        assert_eq!(device_load_lower_bound(&inst), 10);
+        assert_eq!(critical_path_lower_bound(&inst), 6);
+        assert_eq!(makespan_lower_bound(&inst), 10);
+    }
+
+    #[test]
+    fn multi_device_tasks_count_on_every_device() {
+        let mut b = InstanceBuilder::new(2);
+        b.add_task("tp", 3, [0, 1], 0).unwrap();
+        b.add_task("solo", 2, [1], 0).unwrap();
+        let inst = b.build().unwrap();
+        assert_eq!(device_load_lower_bound(&inst), 5);
+    }
+}

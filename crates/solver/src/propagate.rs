@@ -1,0 +1,184 @@
+//! Time-window constraint propagation (earliest/latest start times).
+//!
+//! Before branching, the solver computes for every task an earliest start
+//! time (EST) from the precedence graph and release dates, and a latest start
+//! time (LST) with respect to a tentative horizon. The windows are used both
+//! for lower bounds and to order branching candidates.
+
+use crate::instance::Instance;
+use crate::task::TaskId;
+
+/// Earliest and latest start times for every task of an instance, relative to
+/// a horizon (an upper bound on the makespan).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimeWindows {
+    est: Vec<u64>,
+    lst: Vec<u64>,
+    tail: Vec<u64>,
+    horizon: u64,
+}
+
+impl TimeWindows {
+    /// Computes time windows for `instance` against `horizon`.
+    ///
+    /// The horizon should be at least the optimal makespan; using
+    /// [`Instance::total_work`] is always safe. Earliest starts are the
+    /// longest path from sources (taking release dates into account); latest
+    /// starts are `horizon - tail - duration`, where the *tail* of a task is
+    /// the longest chain of successor durations that must follow it.
+    #[must_use]
+    pub fn compute(instance: &Instance, horizon: u64) -> Self {
+        let order = instance.topological_order();
+        let n = instance.num_tasks();
+        let mut est = vec![0u64; n];
+        for id in &order {
+            let i = id.index();
+            let mut earliest = instance.task(*id).release;
+            for &p in instance.predecessors(*id) {
+                let pred_finish = est[p] + instance.task(TaskId::from_index(p)).duration;
+                earliest = earliest.max(pred_finish);
+            }
+            est[i] = earliest;
+        }
+        let mut tail = vec![0u64; n];
+        for id in order.iter().rev() {
+            let i = id.index();
+            let mut t = 0u64;
+            for &s in instance.successors(*id) {
+                let succ_chain = tail[s] + instance.task(TaskId::from_index(s)).duration;
+                t = t.max(succ_chain);
+            }
+            tail[i] = t;
+        }
+        let mut lst = vec![0u64; n];
+        for i in 0..n {
+            let dur = instance.task(TaskId::from_index(i)).duration;
+            let needed = tail[i] + dur;
+            lst[i] = horizon.saturating_sub(needed);
+        }
+        TimeWindows {
+            est,
+            lst,
+            tail,
+            horizon,
+        }
+    }
+
+    /// Earliest start time of `id` implied by precedences and release dates.
+    #[must_use]
+    pub fn earliest_start(&self, id: TaskId) -> u64 {
+        self.est[id.index()]
+    }
+
+    /// Latest start of `id` consistent with the horizon.
+    #[must_use]
+    pub fn latest_start(&self, id: TaskId) -> u64 {
+        self.lst[id.index()]
+    }
+
+    /// Length of the longest successor chain that must run after `id`
+    /// completes (not counting `id` itself).
+    #[must_use]
+    pub fn tail(&self, id: TaskId) -> u64 {
+        self.tail[id.index()]
+    }
+
+    /// The horizon the windows were computed against.
+    #[must_use]
+    pub fn horizon(&self) -> u64 {
+        self.horizon
+    }
+
+    /// The critical-path length: the largest `est + duration + tail` over all
+    /// tasks, i.e. a valid lower bound on the makespan.
+    #[must_use]
+    pub fn critical_path(&self, instance: &Instance) -> u64 {
+        instance
+            .task_ids()
+            .map(|id| {
+                self.earliest_start(id) + instance.task(id).duration + self.tail(id)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    fn diamond() -> Instance {
+        // a -> b, a -> c, b -> d, c -> d with durations 1,2,3,1
+        let mut b = InstanceBuilder::new(2);
+        let a = b.add_task("a", 1, [0], 0).unwrap();
+        let t_b = b.add_task("b", 2, [0], 0).unwrap();
+        let t_c = b.add_task("c", 3, [1], 0).unwrap();
+        let d = b.add_task("d", 1, [1], 0).unwrap();
+        b.add_precedence(a, t_b).unwrap();
+        b.add_precedence(a, t_c).unwrap();
+        b.add_precedence(t_b, d).unwrap();
+        b.add_precedence(t_c, d).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn earliest_starts_follow_longest_path() {
+        let inst = diamond();
+        let w = TimeWindows::compute(&inst, inst.total_work());
+        assert_eq!(w.earliest_start(TaskId::from_index(0)), 0);
+        assert_eq!(w.earliest_start(TaskId::from_index(1)), 1);
+        assert_eq!(w.earliest_start(TaskId::from_index(2)), 1);
+        // d must wait for the longer branch (c finishing at 4).
+        assert_eq!(w.earliest_start(TaskId::from_index(3)), 4);
+    }
+
+    #[test]
+    fn tails_are_longest_successor_chains() {
+        let inst = diamond();
+        let w = TimeWindows::compute(&inst, inst.total_work());
+        // After a: the longer of (c then d) = 3 + 1.
+        assert_eq!(w.tail(TaskId::from_index(0)), 4);
+        assert_eq!(w.tail(TaskId::from_index(1)), 1);
+        assert_eq!(w.tail(TaskId::from_index(2)), 1);
+        assert_eq!(w.tail(TaskId::from_index(3)), 0);
+    }
+
+    #[test]
+    fn latest_starts_respect_horizon() {
+        let inst = diamond();
+        let horizon = 10;
+        let w = TimeWindows::compute(&inst, horizon);
+        assert_eq!(w.horizon(), horizon);
+        // d can start at the latest at horizon - 1.
+        assert_eq!(w.latest_start(TaskId::from_index(3)), 9);
+        // a must leave room for itself plus its tail: 10 - (1 + 4) = 5.
+        assert_eq!(w.latest_start(TaskId::from_index(0)), 5);
+    }
+
+    #[test]
+    fn critical_path_is_a_lower_bound() {
+        let inst = diamond();
+        let w = TimeWindows::compute(&inst, inst.total_work());
+        assert_eq!(w.critical_path(&inst), 5); // a -> c -> d = 1 + 3 + 1
+    }
+
+    #[test]
+    fn release_dates_shift_earliest_starts() {
+        let mut b = InstanceBuilder::new(1);
+        let t = crate::task::Task::new("late", 2, [0], 0).with_release(5);
+        let id = b.push_task(t).unwrap();
+        let inst = b.build().unwrap();
+        let w = TimeWindows::compute(&inst, inst.total_work());
+        assert_eq!(w.earliest_start(id), 5);
+    }
+
+    #[test]
+    fn lst_saturates_for_tight_horizons() {
+        let inst = diamond();
+        // Horizon smaller than the critical path: LSTs saturate at zero
+        // instead of underflowing.
+        let w = TimeWindows::compute(&inst, 2);
+        assert_eq!(w.latest_start(TaskId::from_index(0)), 0);
+    }
+}

@@ -1,0 +1,691 @@
+//! Exact branch-and-bound search over chronological block orderings.
+//!
+//! The search enumerates *append orders*: at every node it picks a ready task
+//! (all predecessors already scheduled, memory feasible on its devices) and
+//! appends it to its devices at the earliest feasible start time. For the
+//! constraint system of the Tessel schedule problem this enumeration is exact
+//! (see the crate-level documentation), and three prunings keep it fast:
+//!
+//! 1. **Bound pruning** — a dynamic makespan lower bound built from per-device
+//!    remaining load and per-task critical-path tails.
+//! 2. **Dominance pruning** — two partial schedules covering the same set of
+//!    tasks are compared by their per-device finish-time vectors; the
+//!    componentwise-worse one cannot lead to a better completion.
+//! 3. **Incumbent pruning** — classical branch-and-bound against the best
+//!    solution found so far (seeded with a greedy list schedule).
+
+use crate::greedy::{greedy_schedule, GreedyPriority};
+use crate::instance::Instance;
+use crate::lower_bound::makespan_lower_bound;
+use crate::propagate::TimeWindows;
+use crate::solution::Solution;
+use crate::stats::SolveStats;
+use crate::task::TaskId;
+use crate::Result;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// Configuration of the branch-and-bound search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Maximum number of branch nodes to expand before giving up with the best
+    /// incumbent found so far.
+    pub max_nodes: u64,
+    /// Optional wall-clock limit for a single solve call.
+    pub time_limit: Option<Duration>,
+    /// Maximum number of masks kept in the dominance memo (`0` disables
+    /// dominance pruning).
+    pub dominance_memo_limit: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            max_nodes: 2_000_000,
+            time_limit: Some(Duration::from_secs(20)),
+            dominance_memo_limit: 1 << 20,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// A configuration without node or time limits; the search always proves
+    /// optimality or infeasibility (possibly slowly).
+    #[must_use]
+    pub fn exhaustive() -> Self {
+        SolverConfig {
+            max_nodes: u64::MAX,
+            time_limit: None,
+            dominance_memo_limit: 1 << 22,
+        }
+    }
+
+    /// A configuration tuned for quick feasibility probes (used by Tessel's
+    /// lazy-search optimisation).
+    #[must_use]
+    pub fn probe() -> Self {
+        SolverConfig {
+            max_nodes: 200_000,
+            time_limit: Some(Duration::from_secs(2)),
+            dominance_memo_limit: 1 << 18,
+        }
+    }
+}
+
+/// Result of a solve call.
+#[derive(Debug, Clone)]
+pub enum SolveOutcome {
+    /// The returned solution is proved optimal (minimisation) or satisfies the
+    /// requested deadline (satisfiability).
+    Optimal(Solution, SolveStats),
+    /// A feasible solution was found but the search stopped before proving
+    /// optimality.
+    Feasible(Solution, SolveStats),
+    /// The search space was exhausted without finding any feasible schedule.
+    Infeasible(SolveStats),
+    /// The search hit its limits without finding any feasible schedule; the
+    /// instance may or may not be feasible.
+    Unknown(SolveStats),
+}
+
+impl SolveOutcome {
+    /// The best solution found, if any.
+    #[must_use]
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            SolveOutcome::Optimal(s, _) | SolveOutcome::Feasible(s, _) => Some(s),
+            SolveOutcome::Infeasible(_) | SolveOutcome::Unknown(_) => None,
+        }
+    }
+
+    /// Search statistics.
+    #[must_use]
+    pub fn stats(&self) -> &SolveStats {
+        match self {
+            SolveOutcome::Optimal(_, s)
+            | SolveOutcome::Feasible(_, s)
+            | SolveOutcome::Infeasible(s)
+            | SolveOutcome::Unknown(s) => s,
+        }
+    }
+
+    /// `true` if the solution is proved optimal.
+    #[must_use]
+    pub fn is_optimal(&self) -> bool {
+        matches!(self, SolveOutcome::Optimal(..))
+    }
+
+    /// `true` if the instance is proved infeasible.
+    #[must_use]
+    pub fn is_infeasible(&self) -> bool {
+        matches!(self, SolveOutcome::Infeasible(_))
+    }
+}
+
+/// The exact scheduling solver.
+#[derive(Debug, Clone, Default)]
+pub struct Solver {
+    config: SolverConfig,
+}
+
+impl Solver {
+    /// Creates a solver with the given configuration.
+    #[must_use]
+    pub fn new(config: SolverConfig) -> Self {
+        Solver { config }
+    }
+
+    /// The configuration this solver runs with.
+    #[must_use]
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Finds a minimum-makespan schedule for `instance`.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for instances produced by [`InstanceBuilder`]; the
+    /// `Result` is kept for forward compatibility with richer propagation.
+    ///
+    /// [`InstanceBuilder`]: crate::InstanceBuilder
+    pub fn minimize(&self, instance: &Instance) -> Result<SolveOutcome> {
+        self.run(instance, None, None)
+    }
+
+    /// Finds a minimum-makespan schedule, pruning any schedule that would not
+    /// improve on `upper_bound` (exclusive).
+    ///
+    /// Tessel uses this during repetend enumeration: a candidate repetend is
+    /// only worth solving to optimality if it can beat the best repetend found
+    /// so far.
+    ///
+    /// # Errors
+    ///
+    /// See [`Solver::minimize`].
+    pub fn minimize_below(&self, instance: &Instance, upper_bound: u64) -> Result<SolveOutcome> {
+        self.run(instance, Some(upper_bound), None)
+    }
+
+    /// Searches for *any* schedule finishing no later than `deadline` and
+    /// stops at the first one found.
+    ///
+    /// This is the satisfiability mode used by the paper's lazy-search
+    /// optimisation (§V) to validate that warmup and cooldown phases admit a
+    /// schedule at all before spending time optimising them.
+    ///
+    /// # Errors
+    ///
+    /// See [`Solver::minimize`].
+    pub fn satisfy(&self, instance: &Instance, deadline: u64) -> Result<SolveOutcome> {
+        self.run(instance, None, Some(deadline))
+    }
+
+    fn run(
+        &self,
+        instance: &Instance,
+        upper_bound: Option<u64>,
+        deadline: Option<u64>,
+    ) -> Result<SolveOutcome> {
+        let started = Instant::now();
+        let n = instance.num_tasks();
+        let windows = TimeWindows::compute(instance, instance.total_work());
+        let lower = makespan_lower_bound(instance);
+
+        let mut ctx = SearchContext {
+            instance,
+            windows: &windows,
+            config: &self.config,
+            deadline,
+            best: None,
+            // `upper` is exclusive: only schedules strictly below it are kept.
+            upper: match (upper_bound, deadline) {
+                (_, Some(d)) => d.saturating_add(1),
+                (Some(u), None) => u,
+                (None, None) => u64::MAX,
+            },
+            stats: SolveStats::default(),
+            started,
+            memo: HashMap::new(),
+            stop: false,
+            scheduled: vec![false; n],
+            starts: vec![0; n],
+            remaining_preds: (0..n)
+                .map(|i| instance.predecessors(TaskId::from_index(i)).len())
+                .collect(),
+            device_finish: vec![0; instance.num_devices()],
+            device_mem: instance.initial_memory().to_vec(),
+            device_remaining: (0..instance.num_devices())
+                .map(|d| instance.device_load(d))
+                .collect(),
+            unscheduled: n,
+            lower,
+        };
+
+        // Seed the incumbent with a greedy schedule when minimising; this both
+        // provides an upper bound for pruning and guarantees a solution even
+        // if the node limit is hit immediately.
+        if deadline.is_none() {
+            for priority in [
+                GreedyPriority::LongestTail,
+                GreedyPriority::MemoryAware,
+                GreedyPriority::EarliestStart,
+            ] {
+                if let Some(sol) = greedy_schedule(instance, priority) {
+                    if sol.makespan() < ctx.upper {
+                        ctx.upper = sol.makespan();
+                        ctx.best = Some(sol.starts().to_vec());
+                        ctx.stats.incumbents += 1;
+                    }
+                }
+            }
+            // Greedy already optimal: no need to branch at all.
+            if ctx.best.is_some() && ctx.upper <= lower {
+                ctx.stats.complete = true;
+                ctx.stats.elapsed = started.elapsed();
+                let solution = Solution::new(ctx.best.clone().unwrap(), instance);
+                return Ok(SolveOutcome::Optimal(solution, ctx.stats));
+            }
+        }
+
+        ctx.dfs();
+        ctx.stats.elapsed = started.elapsed();
+        ctx.stats.complete = !ctx.stop || ctx.deadline_satisfied();
+
+        let stats = ctx.stats.clone();
+        Ok(match (ctx.best, stats.complete) {
+            (Some(starts), true) => SolveOutcome::Optimal(Solution::new(starts, instance), stats),
+            (Some(starts), false) => SolveOutcome::Feasible(Solution::new(starts, instance), stats),
+            (None, true) => SolveOutcome::Infeasible(stats),
+            (None, false) => SolveOutcome::Unknown(stats),
+        })
+    }
+}
+
+/// Mutable search state threaded through the DFS.
+struct SearchContext<'a> {
+    instance: &'a Instance,
+    windows: &'a TimeWindows,
+    config: &'a SolverConfig,
+    deadline: Option<u64>,
+    best: Option<Vec<u64>>,
+    upper: u64,
+    stats: SolveStats,
+    started: Instant,
+    memo: HashMap<u128, Vec<Vec<u64>>>,
+    stop: bool,
+    scheduled: Vec<bool>,
+    starts: Vec<u64>,
+    remaining_preds: Vec<usize>,
+    device_finish: Vec<u64>,
+    device_mem: Vec<i64>,
+    device_remaining: Vec<u64>,
+    unscheduled: usize,
+    lower: u64,
+}
+
+impl SearchContext<'_> {
+    fn deadline_satisfied(&self) -> bool {
+        match (self.deadline, &self.best) {
+            (Some(_), Some(_)) => true,
+            _ => false,
+        }
+    }
+
+    fn limits_hit(&self) -> bool {
+        if self.stats.nodes >= self.config.max_nodes {
+            return true;
+        }
+        if let Some(limit) = self.config.time_limit {
+            // Checking the clock on every node would be wasteful; sample it.
+            if self.stats.nodes % 1024 == 0 && self.started.elapsed() > limit {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn mask(&self) -> Option<u128> {
+        if self.instance.num_tasks() > 128 {
+            return None;
+        }
+        let mut mask = 0u128;
+        for (i, &s) in self.scheduled.iter().enumerate() {
+            if s {
+                mask |= 1 << i;
+            }
+        }
+        Some(mask)
+    }
+
+    /// Dynamic earliest start of an unscheduled, ready task.
+    fn dynamic_est(&self, id: TaskId) -> u64 {
+        let task = self.instance.task(id);
+        let mut est = task.release.max(self.windows.earliest_start(id));
+        for &p in self.instance.predecessors(id) {
+            if self.scheduled[p] {
+                est = est.max(self.starts[p] + self.instance.task(TaskId::from_index(p)).duration);
+            }
+        }
+        for &d in &task.devices {
+            est = est.max(self.device_finish[d]);
+        }
+        est
+    }
+
+    /// Lower bound on the best completion reachable from the current node.
+    fn node_lower_bound(&self) -> u64 {
+        let mut bound = self
+            .device_finish
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .max(self.lower);
+        for d in 0..self.instance.num_devices() {
+            bound = bound.max(self.device_finish[d] + self.device_remaining[d]);
+        }
+        for i in 0..self.instance.num_tasks() {
+            if self.scheduled[i] {
+                continue;
+            }
+            let id = TaskId::from_index(i);
+            let task = self.instance.task(id);
+            // Not necessarily ready yet, but the static EST plus scheduled
+            // predecessors plus device availability still bounds its start.
+            let est = self.dynamic_est(id);
+            bound = bound.max(est + task.duration + self.windows.tail(id));
+        }
+        bound
+    }
+
+    fn dfs(&mut self) {
+        if self.stop {
+            return;
+        }
+        self.stats.nodes += 1;
+        if self.limits_hit() {
+            self.stop = true;
+            return;
+        }
+
+        if self.unscheduled == 0 {
+            let makespan = self.device_finish.iter().copied().max().unwrap_or(0);
+            if makespan < self.upper {
+                self.upper = makespan;
+                self.best = Some(self.starts.clone());
+                self.stats.incumbents += 1;
+                if self.deadline.is_some() {
+                    // Satisfiability mode: the first schedule under the
+                    // deadline is enough.
+                    self.stop = true;
+                }
+            }
+            return;
+        }
+
+        let bound = self.node_lower_bound();
+        if bound >= self.upper {
+            self.stats.pruned_bound += 1;
+            return;
+        }
+
+        // Dominance pruning on (scheduled set, device finish vector).
+        if self.config.dominance_memo_limit > 0 {
+            if let Some(mask) = self.mask() {
+                let finishes = self.device_finish.clone();
+                let entry = self.memo.entry(mask).or_default();
+                if entry
+                    .iter()
+                    .any(|prev| prev.iter().zip(&finishes).all(|(p, c)| p <= c))
+                {
+                    self.stats.pruned_dominance += 1;
+                    return;
+                }
+                entry.retain(|prev| !prev.iter().zip(&finishes).all(|(p, c)| c <= p));
+                if self.memo.len() < self.config.dominance_memo_limit {
+                    self.memo.get_mut(&mask).unwrap().push(finishes);
+                }
+            }
+        }
+
+        // Collect ready, memory-feasible candidates.
+        let mut candidates: Vec<(u64, u64, usize)> = Vec::new();
+        for i in 0..self.instance.num_tasks() {
+            if self.scheduled[i] || self.remaining_preds[i] != 0 {
+                continue;
+            }
+            let id = TaskId::from_index(i);
+            let task = self.instance.task(id);
+            if let Some(cap) = self.instance.memory_capacity() {
+                let fits = task
+                    .devices
+                    .iter()
+                    .all(|&d| self.device_mem[d] + task.memory <= cap);
+                if !fits {
+                    continue;
+                }
+            }
+            let est = self.dynamic_est(id);
+            let tail = self.windows.tail(id) + task.duration;
+            candidates.push((est, u64::MAX - tail, i));
+        }
+        if candidates.is_empty() {
+            // Dead end: ready tasks exist but none fits in memory, or the
+            // remaining tasks all wait on unscheduled predecessors that are
+            // themselves blocked. Backtrack.
+            return;
+        }
+        candidates.sort_unstable();
+
+        for (est, _, i) in candidates {
+            if self.stop {
+                return;
+            }
+            let id = TaskId::from_index(i);
+            let task = self.instance.task(id).clone();
+            // Apply.
+            self.scheduled[i] = true;
+            self.starts[i] = est;
+            self.unscheduled -= 1;
+            let mut saved: Vec<(usize, u64, i64, u64)> = Vec::with_capacity(task.devices.len());
+            for &d in &task.devices {
+                saved.push((d, self.device_finish[d], self.device_mem[d], self.device_remaining[d]));
+                self.device_finish[d] = est + task.duration;
+                self.device_mem[d] += task.memory;
+                self.device_remaining[d] -= task.duration;
+            }
+            for &s in self.instance.successors(id) {
+                self.remaining_preds[s] -= 1;
+            }
+
+            self.dfs();
+
+            // Undo.
+            for &s in self.instance.successors(id) {
+                self.remaining_preds[s] += 1;
+            }
+            for (d, finish, mem, remaining) in saved {
+                self.device_finish[d] = finish;
+                self.device_mem[d] = mem;
+                self.device_remaining[d] = remaining;
+            }
+            self.scheduled[i] = false;
+            self.unscheduled += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+    use crate::task::Task;
+
+    /// Builds the classic V-shape (1F1B) placement over `devices` pipeline
+    /// stages and `micro_batches` micro-batches with unit forward cost and
+    /// `bwd` backward cost.
+    fn v_shape(devices: usize, micro_batches: usize, bwd: u64, capacity: Option<i64>) -> Instance {
+        let mut b = InstanceBuilder::new(devices);
+        b.set_memory_capacity(capacity);
+        for mb in 0..micro_batches {
+            let mut prev: Option<TaskId> = None;
+            let mut fwd_ids = Vec::new();
+            for d in 0..devices {
+                let id = b
+                    .add_task(format!("f{d}.{mb}"), 1, [d], 1)
+                    .unwrap();
+                if let Some(p) = prev {
+                    b.add_precedence(p, id).unwrap();
+                }
+                prev = Some(id);
+                fwd_ids.push(id);
+            }
+            for d in (0..devices).rev() {
+                let id = b
+                    .add_task(format!("b{d}.{mb}"), bwd, [d], -1)
+                    .unwrap();
+                b.add_precedence(prev.unwrap(), id).unwrap();
+                prev = Some(id);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn optimal_for_single_micro_batch_chain() {
+        let inst = v_shape(2, 1, 2, None);
+        let outcome = Solver::new(SolverConfig::default()).minimize(&inst).unwrap();
+        assert!(outcome.is_optimal());
+        // 1 + 1 + 2 + 2: fully sequential chain.
+        assert_eq!(outcome.solution().unwrap().makespan(), 6);
+    }
+
+    #[test]
+    fn optimal_overlaps_micro_batches() {
+        // 2 devices, 3 micro-batches, fwd=1, bwd=2. The critical path of one
+        // micro-batch is 6; device load is 3 * 3 = 9. A pipelined schedule
+        // reaches the device-load bound plus the unavoidable ramp.
+        let inst = v_shape(2, 3, 2, None);
+        let outcome = Solver::new(SolverConfig::default()).minimize(&inst).unwrap();
+        assert!(outcome.is_optimal());
+        let sol = outcome.solution().unwrap();
+        sol.validate(&inst).unwrap();
+        // Sequential would be 18; pipelining must do substantially better and
+        // can never beat the busiest-device load (9) plus pipeline fill.
+        assert!(sol.makespan() <= 12, "makespan {}", sol.makespan());
+        assert!(sol.makespan() >= 9);
+    }
+
+    #[test]
+    fn minimize_matches_brute_force_on_tiny_instance() {
+        // Cross-check the branch-and-bound against exhaustive enumeration of
+        // all per-device orders on a tiny instance.
+        let mut b = InstanceBuilder::new(2);
+        let a = b.add_task("a", 2, [0], 1).unwrap();
+        let c = b.add_task("c", 3, [1], 1).unwrap();
+        let d = b.add_task("d", 1, [0], -1).unwrap();
+        let e = b.add_task("e", 2, [1], -1).unwrap();
+        b.add_precedence(a, c).unwrap();
+        b.add_precedence(c, d).unwrap();
+        b.add_precedence(a, e).unwrap();
+        let inst = b.build().unwrap();
+        let outcome = Solver::new(SolverConfig::exhaustive()).minimize(&inst).unwrap();
+        assert!(outcome.is_optimal());
+        // Optimal: a@0-2, c@2-5, e@2..4 cannot run (device 1 busy with c) so
+        // e@5-7 or e before c... enumerate by hand: device1 order (c,e):
+        // c@2-5, e@5-7, d@5-6 -> makespan 7. Order (e,c): e@2-4, c@4-7,
+        // d@7-8 -> 8. So optimum is 7.
+        assert_eq!(outcome.solution().unwrap().makespan(), 7);
+    }
+
+    #[test]
+    fn memory_capacity_forces_longer_schedules() {
+        // With unconstrained memory the two micro-batches overlap; with a
+        // capacity of 1 the second forward must wait for the first backward.
+        let unconstrained = v_shape(1, 2, 1, None);
+        let constrained = v_shape(1, 2, 1, Some(1));
+        let solver = Solver::new(SolverConfig::exhaustive());
+        let free = solver.minimize(&unconstrained).unwrap();
+        let tight = solver.minimize(&constrained).unwrap();
+        assert!(free.is_optimal() && tight.is_optimal());
+        let free_sol = free.solution().unwrap();
+        let tight_sol = tight.solution().unwrap();
+        tight_sol.validate(&constrained).unwrap();
+        assert!(tight_sol.makespan() >= free_sol.makespan());
+    }
+
+    #[test]
+    fn infeasible_memory_is_reported() {
+        let mut b = InstanceBuilder::new(1);
+        b.set_memory_capacity(Some(1));
+        b.set_initial_memory(vec![1]).unwrap();
+        let alloc = b.add_task("alloc", 1, [0], 1).unwrap();
+        let release = b.add_task("release", 1, [0], -2).unwrap();
+        b.add_precedence(alloc, release).unwrap();
+        let inst = b.build().unwrap();
+        let outcome = Solver::new(SolverConfig::exhaustive()).minimize(&inst).unwrap();
+        assert!(outcome.is_infeasible());
+    }
+
+    #[test]
+    fn satisfy_finds_schedule_within_deadline() {
+        let inst = v_shape(2, 2, 2, None);
+        let solver = Solver::new(SolverConfig::default());
+        let optimal = solver.minimize(&inst).unwrap();
+        let best = optimal.solution().unwrap().makespan();
+        let sat = solver.satisfy(&inst, best).unwrap();
+        assert!(sat.solution().is_some());
+        assert!(sat.solution().unwrap().makespan() <= best);
+        // A deadline below the lower bound is unsatisfiable.
+        let impossible = solver.satisfy(&inst, 3).unwrap();
+        assert!(impossible.solution().is_none());
+    }
+
+    #[test]
+    fn minimize_below_prunes_non_improving_schedules() {
+        let inst = v_shape(2, 2, 2, None);
+        let solver = Solver::new(SolverConfig::default());
+        let optimal = solver.minimize(&inst).unwrap();
+        let best = optimal.solution().unwrap().makespan();
+        // Asking for something strictly better than the optimum: no solution.
+        let outcome = solver.minimize_below(&inst, best).unwrap();
+        assert!(outcome.solution().is_none() || outcome.solution().unwrap().makespan() < best);
+    }
+
+    #[test]
+    fn solutions_are_always_valid() {
+        for devices in 1..=3usize {
+            for mbs in 1..=3usize {
+                let inst = v_shape(devices, mbs, 3, Some(devices as i64 + 1));
+                let outcome = Solver::new(SolverConfig::default()).minimize(&inst).unwrap();
+                if let Some(sol) = outcome.solution() {
+                    sol.validate(&inst).expect("solver output must be valid");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multi_device_tasks_block_all_their_devices() {
+        let mut b = InstanceBuilder::new(2);
+        let tp = b.add_task("tensor-parallel", 4, [0, 1], 0).unwrap();
+        let solo0 = b.add_task("solo0", 1, [0], 0).unwrap();
+        let solo1 = b.add_task("solo1", 1, [1], 0).unwrap();
+        let _ = (tp, solo0, solo1);
+        let inst = b.build().unwrap();
+        let outcome = Solver::new(SolverConfig::exhaustive()).minimize(&inst).unwrap();
+        let sol = outcome.solution().unwrap();
+        sol.validate(&inst).unwrap();
+        // The tensor-parallel task occupies both devices for 4 units; the two
+        // solo tasks can run in parallel before or after it: makespan 5.
+        assert_eq!(sol.makespan(), 5);
+    }
+
+    #[test]
+    fn release_dates_are_respected() {
+        let mut b = InstanceBuilder::new(1);
+        b.push_task(Task::new("late", 1, [0], 0).with_release(10)).unwrap();
+        b.add_task("early", 2, [0], 0).unwrap();
+        let inst = b.build().unwrap();
+        let outcome = Solver::new(SolverConfig::exhaustive()).minimize(&inst).unwrap();
+        let sol = outcome.solution().unwrap();
+        sol.validate(&inst).unwrap();
+        assert_eq!(sol.makespan(), 11);
+    }
+
+    #[test]
+    fn node_limit_degrades_gracefully() {
+        let inst = v_shape(3, 4, 2, None);
+        let config = SolverConfig {
+            max_nodes: 5,
+            time_limit: None,
+            dominance_memo_limit: 0,
+        };
+        let outcome = Solver::new(config).minimize(&inst).unwrap();
+        // The greedy seed guarantees a feasible answer even with a tiny node
+        // budget; it just is not proved optimal.
+        match outcome {
+            SolveOutcome::Feasible(sol, stats) => {
+                assert!(!stats.complete);
+                sol.validate(&inst).unwrap();
+            }
+            SolveOutcome::Optimal(sol, _) => {
+                // If greedy happens to hit the lower bound, optimality can
+                // still be proved without search.
+                sol.validate(&inst).unwrap();
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_report_search_effort() {
+        let inst = v_shape(2, 3, 2, None);
+        let outcome = Solver::new(SolverConfig::default()).minimize(&inst).unwrap();
+        let stats = outcome.stats();
+        assert!(stats.nodes > 0);
+        assert!(stats.complete);
+        assert!(stats.incumbents >= 1);
+    }
+}

@@ -1,0 +1,404 @@
+//! Solver solutions: start times plus validation against an instance.
+
+use crate::error::SolverError;
+use crate::instance::Instance;
+use crate::task::TaskId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A complete assignment of start times, one per task.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Solution {
+    starts: Vec<u64>,
+    makespan: u64,
+}
+
+impl Solution {
+    /// Creates a solution from per-task start times (indexed by task id) and
+    /// the durations of the corresponding instance.
+    #[must_use]
+    pub fn new(starts: Vec<u64>, instance: &Instance) -> Self {
+        let makespan = starts
+            .iter()
+            .zip(instance.tasks())
+            .map(|(s, t)| s + t.duration)
+            .max()
+            .unwrap_or(0);
+        Solution { starts, makespan }
+    }
+
+    /// Start time of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the instance this solution was
+    /// produced from.
+    #[must_use]
+    pub fn start(&self, id: TaskId) -> u64 {
+        self.starts[id.index()]
+    }
+
+    /// All start times in task-id order.
+    #[must_use]
+    pub fn starts(&self) -> &[u64] {
+        &self.starts
+    }
+
+    /// The completion time of the last task.
+    #[must_use]
+    pub fn makespan(&self) -> u64 {
+        self.makespan
+    }
+
+    /// Per-device span: `(first start, last finish)` of the tasks running on
+    /// each device, or `None` for idle devices. Tessel uses the span to
+    /// compute the repetend execution time `E_R^d` of Eq. 4.
+    #[must_use]
+    pub fn device_spans(&self, instance: &Instance) -> Vec<Option<(u64, u64)>> {
+        let mut spans: Vec<Option<(u64, u64)>> = vec![None; instance.num_devices()];
+        for id in instance.task_ids() {
+            let task = instance.task(id);
+            let start = self.starts[id.index()];
+            let finish = start + task.duration;
+            for &d in &task.devices {
+                spans[d] = Some(match spans[d] {
+                    None => (start, finish),
+                    Some((s, f)) => (s.min(start), f.max(finish)),
+                });
+            }
+        }
+        spans
+    }
+
+    /// Checks that the solution satisfies every constraint of the instance.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SolutionViolation`] describing the first violated
+    /// constraint (precedence, device overlap or memory capacity).
+    pub fn validate(&self, instance: &Instance) -> Result<(), SolutionViolation> {
+        if self.starts.len() != instance.num_tasks() {
+            return Err(SolutionViolation::WrongLength {
+                expected: instance.num_tasks(),
+                actual: self.starts.len(),
+            });
+        }
+        for id in instance.task_ids() {
+            let task = instance.task(id);
+            if self.starts[id.index()] < task.release {
+                return Err(SolutionViolation::ReleaseViolated {
+                    task: task.label.clone(),
+                    start: self.starts[id.index()],
+                    release: task.release,
+                });
+            }
+        }
+        for (pred, succ) in instance.precedences() {
+            let pred_finish = self.starts[pred.index()] + instance.task(pred).duration;
+            if pred_finish > self.starts[succ.index()] {
+                return Err(SolutionViolation::PrecedenceViolated {
+                    pred: instance.task(pred).label.clone(),
+                    succ: instance.task(succ).label.clone(),
+                });
+            }
+        }
+        // Exclusive execution per device.
+        for d in 0..instance.num_devices() {
+            let mut intervals: Vec<(u64, u64, usize)> = instance
+                .task_ids()
+                .filter(|&id| instance.task(id).uses_device(d))
+                .map(|id| {
+                    let s = self.starts[id.index()];
+                    (s, s + instance.task(id).duration, id.index())
+                })
+                .collect();
+            intervals.sort_unstable();
+            for pair in intervals.windows(2) {
+                let (_, end_a, ia) = pair[0];
+                let (start_b, _, ib) = pair[1];
+                if end_a > start_b {
+                    return Err(SolutionViolation::DeviceOverlap {
+                        device: d,
+                        first: instance.task(TaskId::from_index(ia)).label.clone(),
+                        second: instance.task(TaskId::from_index(ib)).label.clone(),
+                    });
+                }
+            }
+        }
+        // Memory: accumulate footprints in start-time order per device.
+        if let Some(capacity) = instance.memory_capacity() {
+            for d in 0..instance.num_devices() {
+                let mut events: Vec<(u64, i64, String)> = instance
+                    .task_ids()
+                    .filter(|&id| instance.task(id).uses_device(d))
+                    .map(|id| {
+                        let t = instance.task(id);
+                        (self.starts[id.index()], t.memory, t.label.clone())
+                    })
+                    .collect();
+                events.sort_by_key(|(s, m, _)| (*s, *m));
+                let mut usage = instance.initial_memory()[d];
+                for (_, mem, label) in events {
+                    usage += mem;
+                    if usage > capacity {
+                        return Err(SolutionViolation::MemoryExceeded {
+                            device: d,
+                            at_task: label,
+                            usage,
+                            capacity,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the solution as a per-device table of `label@[start,end)`
+    /// entries, useful for debugging small instances.
+    #[must_use]
+    pub fn render(&self, instance: &Instance) -> String {
+        let mut by_device: BTreeMap<usize, Vec<(u64, String)>> = BTreeMap::new();
+        for id in instance.task_ids() {
+            let task = instance.task(id);
+            let start = self.starts[id.index()];
+            for &d in &task.devices {
+                by_device.entry(d).or_default().push((
+                    start,
+                    format!("{}@[{},{})", task.label, start, start + task.duration),
+                ));
+            }
+        }
+        let mut out = String::new();
+        for (device, mut entries) in by_device {
+            entries.sort();
+            let line: Vec<String> = entries.into_iter().map(|(_, s)| s).collect();
+            out.push_str(&format!("dev{device}: {}\n", line.join(" ")));
+        }
+        out
+    }
+}
+
+/// A violated constraint found by [`Solution::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SolutionViolation {
+    /// The solution has a different number of start times than the instance
+    /// has tasks.
+    WrongLength {
+        /// Number of tasks in the instance.
+        expected: usize,
+        /// Number of start times in the solution.
+        actual: usize,
+    },
+    /// A task starts before its release date.
+    ReleaseViolated {
+        /// Offending task label.
+        task: String,
+        /// The assigned start.
+        start: u64,
+        /// The release date.
+        release: u64,
+    },
+    /// A successor starts before its predecessor finishes.
+    PrecedenceViolated {
+        /// Predecessor label.
+        pred: String,
+        /// Successor label.
+        succ: String,
+    },
+    /// Two tasks overlap on the same device.
+    DeviceOverlap {
+        /// The device on which the overlap occurs.
+        device: usize,
+        /// Earlier task label.
+        first: String,
+        /// Later task label.
+        second: String,
+    },
+    /// The running memory sum exceeded the capacity on a device.
+    MemoryExceeded {
+        /// The device that ran out of memory.
+        device: usize,
+        /// The task whose start pushed usage over the capacity.
+        at_task: String,
+        /// The usage reached.
+        usage: i64,
+        /// The capacity.
+        capacity: i64,
+    },
+}
+
+impl fmt::Display for SolutionViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolutionViolation::WrongLength { expected, actual } => {
+                write!(f, "solution has {actual} starts, instance has {expected} tasks")
+            }
+            SolutionViolation::ReleaseViolated {
+                task,
+                start,
+                release,
+            } => write!(f, "task `{task}` starts at {start} before its release {release}"),
+            SolutionViolation::PrecedenceViolated { pred, succ } => {
+                write!(f, "task `{succ}` starts before its predecessor `{pred}` finishes")
+            }
+            SolutionViolation::DeviceOverlap {
+                device,
+                first,
+                second,
+            } => write!(f, "tasks `{first}` and `{second}` overlap on device {device}"),
+            SolutionViolation::MemoryExceeded {
+                device,
+                at_task,
+                usage,
+                capacity,
+            } => write!(
+                f,
+                "memory on device {device} reaches {usage} (> capacity {capacity}) when `{at_task}` starts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolutionViolation {}
+
+impl From<SolutionViolation> for SolverError {
+    fn from(violation: SolutionViolation) -> Self {
+        // Solutions produced by the solver are valid by construction; this
+        // conversion exists so callers embedding external start times can use
+        // `?` uniformly. A violation is reported as a cyclic-precedence class
+        // error only if it concerns precedences; other cases keep their text
+        // through a labelled task error.
+        match violation {
+            SolutionViolation::PrecedenceViolated { .. } => SolverError::CyclicPrecedence,
+            other => SolverError::TaskExceedsMemory {
+                task: other.to_string(),
+                demand: 0,
+                capacity: 0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceBuilder;
+
+    fn two_device_instance() -> Instance {
+        let mut b = InstanceBuilder::new(2);
+        b.set_memory_capacity(Some(2));
+        let f0 = b.add_task("f0", 1, [0], 1).unwrap();
+        let f1 = b.add_task("f1", 1, [1], 1).unwrap();
+        let b1 = b.add_task("b1", 2, [1], -1).unwrap();
+        let b0 = b.add_task("b0", 2, [0], -1).unwrap();
+        b.add_precedence(f0, f1).unwrap();
+        b.add_precedence(f1, b1).unwrap();
+        b.add_precedence(b1, b0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn valid_solution_passes_validation() {
+        let inst = two_device_instance();
+        let sol = Solution::new(vec![0, 1, 2, 4], &inst);
+        assert_eq!(sol.makespan(), 6);
+        assert!(sol.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn precedence_violation_is_detected() {
+        let inst = two_device_instance();
+        let sol = Solution::new(vec![0, 0, 2, 4], &inst);
+        assert!(matches!(
+            sol.validate(&inst),
+            Err(SolutionViolation::PrecedenceViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn device_overlap_is_detected() {
+        let mut b = InstanceBuilder::new(1);
+        b.add_task("a", 3, [0], 0).unwrap();
+        b.add_task("b", 3, [0], 0).unwrap();
+        let inst = b.build().unwrap();
+        let sol = Solution::new(vec![0, 1], &inst);
+        assert!(matches!(
+            sol.validate(&inst),
+            Err(SolutionViolation::DeviceOverlap { device: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn memory_violation_is_detected() {
+        let mut b = InstanceBuilder::new(1);
+        b.set_memory_capacity(Some(1));
+        b.add_task("a", 1, [0], 1).unwrap();
+        b.add_task("b", 1, [0], 1).unwrap();
+        b.add_task("r", 1, [0], -2).unwrap();
+        let inst = b.build().unwrap();
+        // Both allocations before the release: exceeds capacity 1.
+        let bad = Solution::new(vec![0, 1, 2], &inst);
+        assert!(matches!(
+            bad.validate(&inst),
+            Err(SolutionViolation::MemoryExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn release_violation_is_detected() {
+        let mut b = InstanceBuilder::new(1);
+        let t = crate::task::Task::new("late", 1, [0], 0).with_release(3);
+        b.push_task(t).unwrap();
+        let inst = b.build().unwrap();
+        let sol = Solution::new(vec![1], &inst);
+        assert!(matches!(
+            sol.validate(&inst),
+            Err(SolutionViolation::ReleaseViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_length_is_detected() {
+        let inst = two_device_instance();
+        let sol = Solution {
+            starts: vec![0, 1],
+            makespan: 2,
+        };
+        assert!(matches!(
+            sol.validate(&inst),
+            Err(SolutionViolation::WrongLength { .. })
+        ));
+    }
+
+    #[test]
+    fn device_spans_cover_first_to_last() {
+        let inst = two_device_instance();
+        let sol = Solution::new(vec![0, 1, 2, 4], &inst);
+        let spans = sol.device_spans(&inst);
+        assert_eq!(spans[0], Some((0, 6)));
+        assert_eq!(spans[1], Some((1, 4)));
+    }
+
+    #[test]
+    fn render_lists_every_device() {
+        let inst = two_device_instance();
+        let sol = Solution::new(vec![0, 1, 2, 4], &inst);
+        let rendered = sol.render(&inst);
+        assert!(rendered.contains("dev0:"));
+        assert!(rendered.contains("dev1:"));
+        assert!(rendered.contains("f0@[0,1)"));
+    }
+
+    #[test]
+    fn violation_display_is_informative() {
+        let v = SolutionViolation::DeviceOverlap {
+            device: 1,
+            first: "a".into(),
+            second: "b".into(),
+        };
+        assert!(v.to_string().contains("device 1"));
+    }
+}

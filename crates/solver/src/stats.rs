@@ -1,0 +1,88 @@
+//! Search statistics reported by the solver.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Statistics describing one solver invocation.
+///
+/// Tessel's evaluation (Figs. 3, 9 and 10 of the paper) reports search *cost*;
+/// these statistics are what the benchmark harness aggregates.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SolveStats {
+    /// Number of branch-and-bound nodes expanded.
+    pub nodes: u64,
+    /// Number of nodes pruned by the makespan lower bound.
+    pub pruned_bound: u64,
+    /// Number of nodes pruned by state dominance.
+    pub pruned_dominance: u64,
+    /// Number of improving incumbent solutions found.
+    pub incumbents: u64,
+    /// Wall-clock time spent in the search.
+    #[serde(with = "duration_serde")]
+    pub elapsed: Duration,
+    /// `true` if the search space was exhausted (the result is proved optimal
+    /// or proved infeasible), `false` if a node/time limit stopped it early.
+    pub complete: bool,
+}
+
+impl SolveStats {
+    /// Total number of pruned nodes.
+    #[must_use]
+    pub fn pruned(&self) -> u64 {
+        self.pruned_bound + self.pruned_dominance
+    }
+}
+
+mod duration_serde {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        d.as_secs_f64().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        let secs = f64::deserialize(d)?;
+        Ok(Duration::from_secs_f64(secs.max(0.0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pruned_sums_both_sources() {
+        let stats = SolveStats {
+            pruned_bound: 3,
+            pruned_dominance: 4,
+            ..SolveStats::default()
+        };
+        assert_eq!(stats.pruned(), 7);
+    }
+
+    #[test]
+    fn stats_serialize_round_trip() {
+        let stats = SolveStats {
+            nodes: 10,
+            pruned_bound: 1,
+            pruned_dominance: 2,
+            incumbents: 3,
+            elapsed: Duration::from_millis(1500),
+            complete: true,
+        };
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: SolveStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.nodes, 10);
+        assert!(back.complete);
+        assert!((back.elapsed.as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let stats = SolveStats::default();
+        assert_eq!(stats.nodes, 0);
+        assert!(!stats.complete);
+        assert_eq!(stats.elapsed, Duration::ZERO);
+    }
+}

@@ -1,0 +1,141 @@
+//! Task (execution block) description consumed by the solver.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a task within an [`Instance`](crate::Instance).
+///
+/// Task ids are dense indexes assigned in insertion order by
+/// [`InstanceBuilder::add_task`](crate::InstanceBuilder::add_task).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TaskId(pub(crate) usize);
+
+impl TaskId {
+    /// Returns the dense index of this task inside its instance.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Creates a task id from a raw index.
+    ///
+    /// This is mainly useful for callers that serialise solver solutions; an
+    /// id referring to a non-existent task is rejected by the instance
+    /// accessors rather than here.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        TaskId(index)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task#{}", self.0)
+    }
+}
+
+/// A schedulable unit of work: one execution block of the Tessel formulation.
+///
+/// A task occupies all devices in [`Task::devices`] exclusively for
+/// [`Task::duration`] time units and changes the memory occupancy of each of
+/// those devices by [`Task::memory`] when it starts (backward blocks carry a
+/// negative footprint because they release activation memory).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Task {
+    /// Human readable label, used in error messages and rendered timelines.
+    pub label: String,
+    /// Execution time in integer time units (`tB` in the paper).
+    pub duration: u64,
+    /// Devices occupied while the task runs (`dB`); more than one device means
+    /// the block is tensor-parallel across those devices.
+    pub devices: Vec<usize>,
+    /// Signed memory footprint applied to every occupied device at start
+    /// (`mB`).
+    pub memory: i64,
+    /// Earliest allowed start time (release date); `0` for unconstrained.
+    pub release: u64,
+}
+
+impl Task {
+    /// Creates a task with the given label, duration, devices and memory.
+    ///
+    /// The release date defaults to zero; use [`Task::with_release`] to delay
+    /// the earliest start.
+    #[must_use]
+    pub fn new(
+        label: impl Into<String>,
+        duration: u64,
+        devices: impl IntoIterator<Item = usize>,
+        memory: i64,
+    ) -> Self {
+        Task {
+            label: label.into(),
+            duration,
+            devices: devices.into_iter().collect(),
+            memory,
+            release: 0,
+        }
+    }
+
+    /// Returns a copy of the task with the earliest start set to `release`.
+    #[must_use]
+    pub fn with_release(mut self, release: u64) -> Self {
+        self.release = release;
+        self
+    }
+
+    /// Returns `true` if the task occupies `device`.
+    #[must_use]
+    pub fn uses_device(&self, device: usize) -> bool {
+        self.devices.contains(&device)
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} (t={}, mem={}, devices={:?})",
+            self.label, self.duration, self.memory, self.devices
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_new_collects_devices() {
+        let t = Task::new("fwd", 3, [0, 1], 2);
+        assert_eq!(t.devices, vec![0, 1]);
+        assert_eq!(t.duration, 3);
+        assert_eq!(t.memory, 2);
+        assert_eq!(t.release, 0);
+        assert!(t.uses_device(0));
+        assert!(t.uses_device(1));
+        assert!(!t.uses_device(2));
+    }
+
+    #[test]
+    fn with_release_sets_release() {
+        let t = Task::new("fwd", 1, [0], 0).with_release(7);
+        assert_eq!(t.release, 7);
+    }
+
+    #[test]
+    fn task_id_round_trips_through_index() {
+        let id = TaskId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "task#42");
+    }
+
+    #[test]
+    fn display_mentions_label_and_costs() {
+        let t = Task::new("bwd0", 2, [1], -1);
+        let s = t.to_string();
+        assert!(s.contains("bwd0"));
+        assert!(s.contains("t=2"));
+        assert!(s.contains("mem=-1"));
+    }
+}

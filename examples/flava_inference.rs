@@ -1,0 +1,67 @@
+//! Flava multi-modal inference on 4 GPUs (the Fig. 15 scenario): the K-shape
+//! placement runs the text and vision branches concurrently, and Tessel's
+//! searched schedule trades a little latency for much higher throughput than
+//! pure tensor parallelism.
+//!
+//! ```bash
+//! cargo run --release --example flava_inference
+//! ```
+
+use tessel::baselines::tensor_parallel_schedule;
+use tessel::core::search::{SearchConfig, TesselSearch};
+use tessel::models::config::FlavaConfig;
+use tessel::models::cost::CostModel;
+use tessel::placement::shapes::flava_k_shape;
+use tessel::runtime::{instantiate, simulate, ClusterSpec, CommMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gpus = 4;
+    let requests = 16;
+    let config = FlavaConfig::default();
+    let cost = CostModel::paper_default();
+    let cluster = ClusterSpec::v100_cluster(gpus);
+
+    let placement = flava_k_shape(&config, &cost, gpus, true)?;
+    println!(
+        "Flava: {} text + {} vision + {} cross layers, hidden {} — inference placement `{}`",
+        config.text_layers,
+        config.vision_layers,
+        config.cross_layers,
+        config.hidden_size,
+        placement.name()
+    );
+
+    // Tessel schedule for the K-shape placement.
+    let outcome = TesselSearch::new(SearchConfig::default().with_micro_batches(requests)).run(&placement)?;
+    let tessel = simulate(
+        &instantiate(&placement, &outcome.schedule, CommMode::NonBlocking)?,
+        &cluster,
+        CommMode::NonBlocking,
+    )?;
+
+    // Pure tensor parallelism: lowest single-request latency, serialised
+    // throughput.
+    let (tp_placement, tp_schedule) = tensor_parallel_schedule(&placement, requests)?;
+    let tensor_parallel = simulate(
+        &instantiate(&tp_placement, &tp_schedule, CommMode::NonBlocking)?,
+        &cluster,
+        CommMode::NonBlocking,
+    )?;
+
+    println!("\n{requests} requests:");
+    println!(
+        "  Tessel (K-shape) : {:6.0} ms, {:5.1} req/s",
+        tessel.iteration_seconds(&cluster) * 1e3,
+        tessel.requests_per_second(&cluster)
+    );
+    println!(
+        "  Tensor parallel  : {:6.0} ms, {:5.1} req/s",
+        tensor_parallel.iteration_seconds(&cluster) * 1e3,
+        tensor_parallel.requests_per_second(&cluster)
+    );
+    println!(
+        "\nTessel throughput speedup over tensor parallelism: {:.2}x",
+        tessel.requests_per_second(&cluster) / tensor_parallel.requests_per_second(&cluster)
+    );
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! GPT with a large multilingual embedding: the workload that motivates the
+//! paper (Fig. 2 and Fig. 13). Builds both the conventional 1F1B/Piper
+//! placement and the M-shape placement, searches a schedule with Tessel, and
+//! compares simulated training throughput.
+//!
+//! ```bash
+//! cargo run --release --example gpt_large_embedding
+//! ```
+
+use tessel::baselines::{one_f_one_b, one_f_one_b_plus};
+use tessel::core::search::{SearchConfig, TesselSearch};
+use tessel::models::config::gpt_config_for_gpus;
+use tessel::models::cost::CostModel;
+use tessel::placement::shapes::{gpt_m_shape, gpt_v_shape_baseline};
+use tessel::runtime::{instantiate, simulate, ClusterSpec, CommMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gpus = 4;
+    let micro_batches = 8;
+    let config = gpt_config_for_gpus(gpus).expect("Table III lists the 4-GPU GPT configuration");
+    let cost = CostModel::paper_default();
+    let cluster = ClusterSpec::v100_cluster(4);
+
+    println!(
+        "GPT {} layers, hidden {}, vocabulary {} (~{:.0}B parameters) on {gpus} GPUs",
+        config.num_layers,
+        config.hidden_size,
+        config.vocab_size,
+        config.approx_params_billions()
+    );
+
+    // Conventional placement (Piper policy): the embedding hogs entire GPUs.
+    let v_shape = gpt_v_shape_baseline(&config, &cost, gpus)?;
+    let loads: Vec<u64> = (0..v_shape.num_devices()).map(|d| v_shape.device_load(d)).collect();
+    println!("\n1F1B/Piper placement per-device load: {loads:?} (time units per micro-batch)");
+    let baseline = one_f_one_b(&v_shape, micro_batches)?;
+    let baseline_report = simulate(
+        &instantiate(&v_shape, &baseline, CommMode::NonBlocking)?,
+        &cluster,
+        CommMode::NonBlocking,
+    )?;
+
+    // Advanced M-shape placement: embedding distributed across all GPUs.
+    let m_shape = gpt_m_shape(&config, &cost, gpus)?;
+    let loads: Vec<u64> = (0..m_shape.num_devices()).map(|d| m_shape.device_load(d)).collect();
+    println!("M-shape placement per-device load   : {loads:?}");
+
+    let plus = one_f_one_b_plus(&m_shape, micro_batches)?;
+    let plus_report = simulate(
+        &instantiate(&m_shape, &plus, CommMode::NonBlocking)?,
+        &cluster,
+        CommMode::NonBlocking,
+    )?;
+
+    let outcome = TesselSearch::new(SearchConfig::default().with_micro_batches(micro_batches)).run(&m_shape)?;
+    let tessel_report = simulate(
+        &instantiate(&m_shape, &outcome.schedule, CommMode::NonBlocking)?,
+        &cluster,
+        CommMode::NonBlocking,
+    )?;
+
+    println!("\niteration time ({micro_batches} micro-batches):");
+    println!("  1F1B  (V-shape): {:.2} s", baseline_report.iteration_seconds(&cluster));
+    println!("  1F1B+ (M-shape): {:.2} s", plus_report.iteration_seconds(&cluster));
+    println!("  Tessel (M-shape): {:.2} s", tessel_report.iteration_seconds(&cluster));
+    println!(
+        "\nTessel speedup: {:.2}x over 1F1B, {:.2}x over 1F1B+",
+        baseline_report.iteration_seconds(&cluster) / tessel_report.iteration_seconds(&cluster),
+        plus_report.iteration_seconds(&cluster) / tessel_report.iteration_seconds(&cluster)
+    );
+    Ok(())
+}

@@ -1,0 +1,68 @@
+//! mT5 multilingual training with a shared large embedding (the Fig. 14
+//! scenario): the NN-shape distributes the embedding across all GPUs and runs
+//! the encoder and decoder stacks on disjoint device groups; Tessel finds the
+//! schedule that keeps both halves busy.
+//!
+//! ```bash
+//! cargo run --release --example mt5_multilingual
+//! ```
+
+use tessel::baselines::{one_f_one_b, one_f_one_b_plus};
+use tessel::core::search::{SearchConfig, TesselSearch};
+use tessel::models::config::mt5_config_for_gpus;
+use tessel::models::cost::CostModel;
+use tessel::placement::shapes::{mt5_nn_shape, mt5_v_shape_baseline};
+use tessel::runtime::{instantiate, simulate, ClusterSpec, CommMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gpus = 4;
+    let micro_batches = 8;
+    let config = mt5_config_for_gpus(gpus).expect("Table III lists the 4-GPU mT5 configuration");
+    let cost = CostModel::paper_default();
+    let cluster = ClusterSpec::v100_cluster(4);
+
+    println!(
+        "mT5: {} layers, hidden {}, vocabulary {} (~{:.1}B parameters) on {gpus} GPUs",
+        config.num_layers,
+        config.hidden_size,
+        config.vocab_size,
+        config.approx_params_billions()
+    );
+
+    let nn_shape = mt5_nn_shape(&config, &cost, gpus)?;
+    let v_shape = mt5_v_shape_baseline(&config, &cost, gpus)?;
+
+    let outcome = TesselSearch::new(SearchConfig::default().with_micro_batches(micro_batches)).run(&nn_shape)?;
+    println!(
+        "\nTessel repetend: NR={}, period={} time units, steady-state bubble {:.0}%",
+        outcome.repetend.num_micro_batches(),
+        outcome.repetend.period,
+        outcome.repetend.bubble_rate(&nn_shape) * 100.0
+    );
+
+    let seconds = |placement: &tessel::core::PlacementSpec,
+                   schedule: &tessel::core::Schedule|
+     -> Result<f64, Box<dyn std::error::Error>> {
+        let report = simulate(
+            &instantiate(placement, schedule, CommMode::NonBlocking)?,
+            &cluster,
+            CommMode::NonBlocking,
+        )?;
+        Ok(report.iteration_seconds(&cluster))
+    };
+
+    let tessel_s = seconds(&nn_shape, &outcome.schedule)?;
+    let plus_s = seconds(&nn_shape, &one_f_one_b_plus(&nn_shape, micro_batches)?)?;
+    let f1b_s = seconds(&v_shape, &one_f_one_b(&v_shape, micro_batches)?)?;
+
+    println!("\niteration time ({micro_batches} micro-batches):");
+    println!("  1F1B  (V-shape) : {f1b_s:.2} s");
+    println!("  1F1B+ (NN-shape): {plus_s:.2} s");
+    println!("  Tessel (NN-shape): {tessel_s:.2} s");
+    println!(
+        "\nTessel speedup: {:.2}x over 1F1B, {:.2}x over 1F1B+",
+        f1b_s / tessel_s,
+        plus_s / tessel_s
+    );
+    Ok(())
+}

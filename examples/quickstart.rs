@@ -1,0 +1,49 @@
+//! Quickstart: build a small V-shape (1F1B-style) placement, run the Tessel
+//! search and print the resulting schedule.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use tessel::core::ir::{BlockKind, PlacementSpec};
+use tessel::core::search::{SearchConfig, TesselSearch};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 4-stage pipeline: one forward block (1 time unit, +1 memory unit) and
+    // one backward block (2 time units, -1 memory unit) per device.
+    let devices = 4;
+    let mut builder = PlacementSpec::builder("quickstart-v4", devices);
+    builder.set_memory_capacity(Some(devices as i64 + 1));
+    let mut prev = None;
+    for d in 0..devices {
+        let deps: Vec<usize> = prev.into_iter().collect();
+        prev = Some(builder.add_block(format!("f{d}"), BlockKind::Forward, [d], 1, 1, deps)?);
+    }
+    for d in (0..devices).rev() {
+        let deps: Vec<usize> = prev.into_iter().collect();
+        prev = Some(builder.add_block(format!("b{d}"), BlockKind::Backward, [d], 2, -1, deps)?);
+    }
+    let placement = builder.build()?;
+
+    let search = TesselSearch::new(SearchConfig::default().with_micro_batches(8));
+    let outcome = search.run(&placement)?;
+
+    println!("placement      : {}", placement.name());
+    println!("repetend NR    : {}", outcome.repetend.num_micro_batches());
+    println!("repetend period: {} time units", outcome.repetend.period);
+    println!(
+        "steady bubble  : {:.0}%",
+        outcome.repetend.bubble_rate(&placement) * 100.0
+    );
+    println!("schedule makespan for 8 micro-batches: {}", outcome.schedule.makespan());
+    println!("\n{}", outcome.schedule.render_ascii());
+
+    // The searched schedule generalises to any number of micro-batches.
+    let schedule_32 = outcome.schedule_for(&placement, 32)?;
+    println!(
+        "extended to 32 micro-batches: makespan {} (bubble {:.1}%)",
+        schedule_32.makespan(),
+        schedule_32.bubble_rate() * 100.0
+    );
+    Ok(())
+}

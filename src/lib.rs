@@ -1,0 +1,37 @@
+//! # Tessel
+//!
+//! A Rust reproduction of *Tessel: Boosting Distributed Execution of Large DNN
+//! Models via Flexible Schedule Search* (HPCA 2024).
+//!
+//! This facade crate re-exports the workspace members so applications can use
+//! a single dependency:
+//!
+//! - [`core`] — problem IR, schedules, repetend search, schedule completion.
+//! - [`solver`] — exact disjunctive scheduling solver (Z3 substitute).
+//! - [`placement`] — operator placement shapes and the Piper-style partitioner.
+//! - [`models`] — GPT / mT5 / Flava analytical cost models.
+//! - [`baselines`] — 1F1B, GPipe, Chimera, 1F1B+ and tensor-parallel schedules.
+//! - [`runtime`] — runtime instantiation and the discrete-event cluster simulator.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tessel::placement::shapes::{ShapeKind, synthetic_placement};
+//! use tessel::core::search::{SearchConfig, TesselSearch};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A V-shape (1F1B-style) placement over 4 devices with unit costs.
+//! let placement = synthetic_placement(ShapeKind::V, 4)?;
+//! let search = TesselSearch::new(SearchConfig::default());
+//! let outcome = search.run(&placement)?;
+//! assert!(outcome.schedule.validate(&placement).is_ok());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use tessel_baselines as baselines;
+pub use tessel_core as core;
+pub use tessel_models as models;
+pub use tessel_placement as placement;
+pub use tessel_runtime as runtime;
+pub use tessel_solver as solver;

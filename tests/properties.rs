@@ -1,0 +1,120 @@
+//! Property-based tests over the core invariants: solver solutions always
+//! satisfy the constraint system, searched schedules always validate, and
+//! schedule extension preserves validity for arbitrary micro-batch counts.
+
+use proptest::prelude::*;
+use tessel::core::ir::{BlockKind, PlacementSpec};
+use tessel::core::search::{SearchConfig, TesselSearch};
+use tessel::solver::{greedy_schedule, GreedyPriority, InstanceBuilder, Solver, SolverConfig};
+
+/// Strategy: a random pipeline-like placement — a chain of forward blocks over
+/// `devices` devices followed by the mirrored backward chain, with random
+/// per-stage durations.
+fn placement_strategy() -> impl Strategy<Value = PlacementSpec> {
+    (2usize..=4, proptest::collection::vec(1u64..=4, 2..=4), 2i64..=8).prop_map(
+        |(devices, times, capacity)| {
+            let devices = devices.min(times.len().max(2));
+            let mut b = PlacementSpec::builder("prop-pipeline", devices);
+            b.set_memory_capacity(Some(capacity.max(devices as i64)));
+            let mut prev: Option<usize> = None;
+            for (i, &t) in times.iter().enumerate() {
+                let dev = i % devices;
+                let deps: Vec<usize> = prev.into_iter().collect();
+                prev = Some(
+                    b.add_block(format!("f{i}"), BlockKind::Forward, [dev], t, 1, deps)
+                        .unwrap(),
+                );
+            }
+            for (i, &t) in times.iter().enumerate().rev() {
+                let dev = i % devices;
+                let deps: Vec<usize> = prev.into_iter().collect();
+                prev = Some(
+                    b.add_block(format!("b{i}"), BlockKind::Backward, [dev], t * 2, -1, deps)
+                        .unwrap(),
+                );
+            }
+            b.build().unwrap()
+        },
+    )
+}
+
+/// Strategy: a random solver instance with chain dependencies.
+fn instance_strategy() -> impl Strategy<Value = tessel::solver::Instance> {
+    (
+        2usize..=3,
+        proptest::collection::vec((1u64..=5, -2i64..=2), 3..=8),
+    )
+        .prop_map(|(devices, tasks)| {
+            let mut b = InstanceBuilder::new(devices);
+            b.set_memory_capacity(Some(6));
+            let mut prev = None;
+            for (i, &(duration, memory)) in tasks.iter().enumerate() {
+                let id = b
+                    .add_task(format!("t{i}"), duration, [i % devices], memory)
+                    .unwrap();
+                // Chain every other task to create a mix of dependent and
+                // independent work.
+                if i % 2 == 1 {
+                    if let Some(p) = prev {
+                        b.add_precedence(p, id).unwrap();
+                    }
+                }
+                prev = Some(id);
+            }
+            b.build().unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn solver_solutions_satisfy_all_constraints(instance in instance_strategy()) {
+        let outcome = Solver::new(SolverConfig::default()).minimize(&instance).unwrap();
+        if let Some(solution) = outcome.solution() {
+            prop_assert!(solution.validate(&instance).is_ok());
+            // The makespan respects the trivial lower bound.
+            let lower = tessel::solver::makespan_lower_bound(&instance);
+            prop_assert!(solution.makespan() >= lower);
+        }
+    }
+
+    #[test]
+    fn greedy_never_beats_the_exact_solver(instance in instance_strategy()) {
+        let exact = Solver::new(SolverConfig::default()).minimize(&instance).unwrap();
+        if let (Some(exact_solution), Some(greedy)) = (
+            exact.solution(),
+            greedy_schedule(&instance, GreedyPriority::LongestTail),
+        ) {
+            prop_assert!(greedy.validate(&instance).is_ok());
+            if exact.is_optimal() {
+                prop_assert!(exact_solution.makespan() <= greedy.makespan());
+            }
+        }
+    }
+
+    #[test]
+    fn searched_schedules_always_validate(placement in placement_strategy()) {
+        let outcome = TesselSearch::new(SearchConfig::default().with_micro_batches(6))
+            .run(&placement)
+            .unwrap();
+        prop_assert!(outcome.schedule.validate(&placement).is_ok());
+        // The repetend period is bounded by the search's own bounds.
+        prop_assert!(outcome.repetend.period >= placement.repetend_lower_bound());
+        prop_assert!(outcome.repetend.period <= placement.total_block_time());
+    }
+
+    #[test]
+    fn schedule_extension_is_valid_for_any_micro_batch_count(
+        placement in placement_strategy(),
+        extra in 0usize..12,
+    ) {
+        let outcome = TesselSearch::new(SearchConfig::default().with_micro_batches(6))
+            .run(&placement)
+            .unwrap();
+        let n = outcome.repetend.num_micro_batches() + extra;
+        let schedule = outcome.schedule_for(&placement, n).unwrap();
+        prop_assert!(schedule.validate(&placement).is_ok());
+        prop_assert_eq!(schedule.num_micro_batches(), n);
+    }
+}

@@ -1,0 +1,101 @@
+//! Integration tests spanning the full pipeline: model cost model →
+//! placement → Tessel search → runtime instantiation → cluster simulation.
+
+use tessel::core::search::{SearchConfig, TesselSearch};
+use tessel::models::config::{gpt_config_for_gpus, mt5_config_for_gpus, FlavaConfig};
+use tessel::models::cost::CostModel;
+use tessel::placement::shapes::{flava_k_shape, gpt_m_shape, mt5_nn_shape, synthetic_placement, ShapeKind};
+use tessel::runtime::{instantiate, simulate, ClusterSpec, CommMode};
+
+fn search(placement: &tessel::core::PlacementSpec, n: usize) -> tessel::core::SearchOutcome {
+    TesselSearch::new(SearchConfig::default().with_micro_batches(n))
+        .run(placement)
+        .expect("search succeeds")
+}
+
+#[test]
+fn gpt_m_shape_end_to_end() {
+    let config = gpt_config_for_gpus(4).unwrap();
+    let placement = gpt_m_shape(&config, &CostModel::paper_default(), 4).unwrap();
+    let outcome = search(&placement, 8);
+    outcome.schedule.validate(&placement).unwrap();
+
+    let cluster = ClusterSpec::v100_cluster(placement.num_devices());
+    let program = instantiate(&placement, &outcome.schedule, CommMode::NonBlocking).unwrap();
+    let report = simulate(&program, &cluster, CommMode::NonBlocking).unwrap();
+    // The simulator replays the per-device *order* of the schedule: it may
+    // close idle gaps the composed schedule left at phase boundaries and it
+    // adds communication time, so the simulated makespan stays within a
+    // modest factor of the schedule's makespan in both directions.
+    assert!(report.makespan >= outcome.schedule.makespan() / 2);
+    assert!(report.makespan < outcome.schedule.makespan() * 2);
+    assert!(report.pflops(&cluster) > 0.0);
+    // Peak activation memory respects the placement budget.
+    let cap = placement.memory_capacity().unwrap();
+    assert!(report.peak_memory.iter().all(|&m| m <= cap));
+}
+
+#[test]
+fn mt5_nn_shape_end_to_end() {
+    let config = mt5_config_for_gpus(4).unwrap();
+    let placement = mt5_nn_shape(&config, &CostModel::paper_default(), 4).unwrap();
+    let outcome = search(&placement, 6);
+    outcome.schedule.validate(&placement).unwrap();
+    // The steady state beats the trivially sequential repetend.
+    assert!(outcome.repetend.period < placement.total_block_time());
+}
+
+#[test]
+fn flava_k_shape_inference_end_to_end() {
+    let placement = flava_k_shape(&FlavaConfig::default(), &CostModel::paper_default(), 4, true).unwrap();
+    let outcome = search(&placement, 8);
+    outcome.schedule.validate(&placement).unwrap();
+    // Inference placements are forward-only.
+    assert!(outcome.schedule.blocks().iter().all(|b| b.kind.is_forward()));
+    // The two branches overlap: the repetend period is below the sum of all
+    // block times.
+    assert!(outcome.repetend.period < placement.total_block_time());
+}
+
+#[test]
+fn every_synthetic_shape_is_searchable_and_extendable() {
+    for shape in ShapeKind::all() {
+        let placement = synthetic_placement(shape, 4).unwrap();
+        // The X-shape has two independent 8-block chains and therefore a very
+        // large candidate space; cap the enumeration to keep the test fast
+        // (quality is not asserted here, only validity).
+        let mut config = SearchConfig::default().with_micro_batches(8);
+        config.candidate_limit = Some(400);
+        let outcome = TesselSearch::new(config).run(&placement).expect("search succeeds");
+        outcome.schedule.validate(&placement).unwrap();
+        for n in [8usize, 12, 20] {
+            let schedule = outcome.schedule_for(&placement, n).unwrap();
+            schedule.validate(&placement).unwrap();
+            assert_eq!(schedule.num_micro_batches(), n);
+        }
+        // More micro-batches never increase the per-micro-batch cost in the
+        // steady state: the marginal cost of one more micro-batch is exactly
+        // one repetend period.
+        let s12 = outcome.schedule_for(&placement, 12).unwrap();
+        let s13 = outcome.schedule_for(&placement, 13).unwrap();
+        assert_eq!(s13.makespan() - s12.makespan(), outcome.repetend.period);
+    }
+}
+
+#[test]
+fn memory_constrained_search_degrades_gracefully() {
+    let placement = synthetic_placement(ShapeKind::V, 4).unwrap();
+    let mut previous_period = None;
+    for capacity in [1i64, 2, 4, 8] {
+        let constrained = placement.with_memory_capacity(Some(capacity));
+        let outcome = search(&constrained, 8);
+        outcome.schedule.validate(&constrained).unwrap();
+        if let Some(prev) = previous_period {
+            assert!(
+                outcome.repetend.period <= prev,
+                "period should not grow with more memory"
+            );
+        }
+        previous_period = Some(outcome.repetend.period);
+    }
+}
