@@ -363,12 +363,23 @@ mod tests {
         // two-stage pipeline.
         let mut b = PlacementSpec::builder("m2", 2);
         b.set_memory_capacity(Some(6));
-        let e_f = b.add_block("embed-f", BlockKind::Forward, [0, 1], 1, 1, []).unwrap();
-        let f0 = b.add_block("f0", BlockKind::Forward, [0], 2, 1, [e_f]).unwrap();
-        let f1 = b.add_block("f1", BlockKind::Forward, [1], 2, 1, [f0]).unwrap();
-        let b1 = b.add_block("b1", BlockKind::Backward, [1], 4, -1, [f1]).unwrap();
-        let b0 = b.add_block("b0", BlockKind::Backward, [0], 4, -1, [b1]).unwrap();
-        b.add_block("embed-b", BlockKind::Backward, [0, 1], 2, -1, [b0]).unwrap();
+        let e_f = b
+            .add_block("embed-f", BlockKind::Forward, [0, 1], 1, 1, [])
+            .unwrap();
+        let f0 = b
+            .add_block("f0", BlockKind::Forward, [0], 2, 1, [e_f])
+            .unwrap();
+        let f1 = b
+            .add_block("f1", BlockKind::Forward, [1], 2, 1, [f0])
+            .unwrap();
+        let b1 = b
+            .add_block("b1", BlockKind::Backward, [1], 4, -1, [f1])
+            .unwrap();
+        let b0 = b
+            .add_block("b0", BlockKind::Backward, [0], 4, -1, [b1])
+            .unwrap();
+        b.add_block("embed-b", BlockKind::Backward, [0, 1], 2, -1, [b0])
+            .unwrap();
         let p = b.build().unwrap();
         let schedule = one_f_one_b_plus(&p, 6).unwrap();
         schedule.validate(&p).unwrap();
@@ -386,7 +397,12 @@ mod tests {
         // Same placement and same steady-state pattern: the makespans agree
         // up to the warmup/cooldown boundary handling.
         let diff = plus.makespan().abs_diff(classic.makespan());
-        assert!(diff <= p.total_block_time(), "plus {} vs classic {}", plus.makespan(), classic.makespan());
+        assert!(
+            diff <= p.total_block_time(),
+            "plus {} vs classic {}",
+            plus.makespan(),
+            classic.makespan()
+        );
     }
 
     #[test]

@@ -58,13 +58,25 @@ pub fn tensor_parallel_placement(placement: &PlacementSpec) -> Result<PlacementS
     let mut b = PlacementSpec::builder(format!("{}-tensor-parallel", placement.name()), devices);
     b.set_memory_capacity(placement.memory_capacity());
     let fwd = b.push_block(
-        tessel_core::ir::BlockSpec::new("tp-forward", BlockKind::Forward, all.clone(), scale(forward_time), 1)
-            .with_flops(forward_flops),
+        tessel_core::ir::BlockSpec::new(
+            "tp-forward",
+            BlockKind::Forward,
+            all.clone(),
+            scale(forward_time),
+            1,
+        )
+        .with_flops(forward_flops),
     )?;
     if backward_time > 0 {
         b.push_block(
-            tessel_core::ir::BlockSpec::new("tp-backward", BlockKind::Backward, all, scale(backward_time), -1)
-                .with_deps([fwd]),
+            tessel_core::ir::BlockSpec::new(
+                "tp-backward",
+                BlockKind::Backward,
+                all,
+                scale(backward_time),
+                -1,
+            )
+            .with_deps([fwd]),
         )?;
     }
     b.build()
@@ -87,7 +99,10 @@ pub fn tensor_parallel_latency(placement: &PlacementSpec) -> Result<u64> {
 /// # Errors
 ///
 /// See [`tensor_parallel_placement`].
-pub fn tensor_parallel_schedule(placement: &PlacementSpec, n: usize) -> Result<(PlacementSpec, Schedule)> {
+pub fn tensor_parallel_schedule(
+    placement: &PlacementSpec,
+    n: usize,
+) -> Result<(PlacementSpec, Schedule)> {
     let tp = tensor_parallel_placement(placement)?;
     let mut blocks = Vec::new();
     let mut clock = 0u64;
@@ -115,8 +130,15 @@ mod tests {
         for dev in 0..d {
             let deps: Vec<usize> = prev.into_iter().collect();
             prev = Some(
-                b.add_block(format!("f{dev}"), BlockKind::Forward, [dev], stage_time, 0, deps)
-                    .unwrap(),
+                b.add_block(
+                    format!("f{dev}"),
+                    BlockKind::Forward,
+                    [dev],
+                    stage_time,
+                    0,
+                    deps,
+                )
+                .unwrap(),
             );
         }
         b.build().unwrap()
@@ -138,7 +160,10 @@ mod tests {
         let p = inference_pipeline(4, 8);
         let (tp, schedule) = tensor_parallel_schedule(&p, 5).unwrap();
         schedule.validate(&tp).unwrap();
-        assert_eq!(schedule.makespan(), 5 * tensor_parallel_latency(&p).unwrap());
+        assert_eq!(
+            schedule.makespan(),
+            5 * tensor_parallel_latency(&p).unwrap()
+        );
         // Every block uses all devices.
         assert!(schedule.blocks().iter().all(|b| b.devices.len() == 4));
     }
@@ -147,7 +172,8 @@ mod tests {
     fn training_placements_get_a_backward_block() {
         let mut b = PlacementSpec::builder("train", 2);
         let f = b.add_block("f", BlockKind::Forward, [0], 4, 1, []).unwrap();
-        b.add_block("bwd", BlockKind::Backward, [1], 8, -1, [f]).unwrap();
+        b.add_block("bwd", BlockKind::Backward, [1], 8, -1, [f])
+            .unwrap();
         let p = b.build().unwrap();
         let tp = tensor_parallel_placement(&p).unwrap();
         assert_eq!(tp.num_blocks(), 2);

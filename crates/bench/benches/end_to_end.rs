@@ -36,7 +36,8 @@ fn bench_simulator(c: &mut Criterion) {
             &(placement, outcome.schedule),
             |b, (placement, schedule)| {
                 b.iter(|| {
-                    simulate_schedule(placement, schedule, 4, CommMode::NonBlocking).expect("simulate")
+                    simulate_schedule(placement, schedule, 4, CommMode::NonBlocking)
+                        .expect("simulate")
                 });
             },
         );
@@ -51,7 +52,10 @@ fn bench_blocking_modes(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_secs(5));
     let placement = EvalModel::Gpt.advanced_placement(4).expect("placement");
     let outcome = run_tessel(&placement, 8).expect("search");
-    for (name, mode) in [("blocking", CommMode::Blocking), ("non_blocking", CommMode::NonBlocking)] {
+    for (name, mode) in [
+        ("blocking", CommMode::Blocking),
+        ("non_blocking", CommMode::NonBlocking),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
             b.iter(|| simulate_schedule(&placement, &outcome.schedule, 4, mode).expect("simulate"));
         });

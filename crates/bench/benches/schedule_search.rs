@@ -1,7 +1,7 @@
 //! Criterion bench backing Figs. 9–12: the cost of the Tessel search itself
 //! (lazy and eager) and of the NR / memory ablations on the synthetic shapes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::time::Duration;
 use tessel_bench::experiment_search_config;
 use tessel_core::search::{SearchConfig, TesselSearch};
@@ -65,16 +65,57 @@ fn bench_nr_ablation(c: &mut Criterion) {
     for nr in [2usize, 4, 6] {
         group.bench_with_input(BenchmarkId::from_parameter(nr), &nr, |b, &nr| {
             b.iter(|| {
-                TesselSearch::new(
-                    bench_config(12).with_max_repetend_micro_batches(nr),
-                )
-                .run(&placement)
-                .expect("search")
+                TesselSearch::new(bench_config(12).with_max_repetend_micro_batches(nr))
+                    .run(&placement)
+                    .expect("search")
             });
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_tessel_search, bench_lazy_vs_eager, bench_nr_ablation);
-criterion_main!(benches);
+/// Benchmarks the end-to-end search with 1 vs 4 portfolio workers on the
+/// Fig. 8 shapes (the headline speedup tracked in BENCH_search.json).
+fn bench_portfolio_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("portfolio_threads");
+    group.sample_size(10);
+    for shape in [ShapeKind::M, ShapeKind::NN, ShapeKind::K] {
+        let placement = synthetic_placement(shape, 4).expect("placement");
+        for threads in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(shape.to_string(), threads),
+                &threads,
+                |b, &threads| {
+                    b.iter(|| {
+                        TesselSearch::new(tessel_bench::report::portfolio_bench_config(threads))
+                            .run(&placement)
+                            .expect("search")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tessel_search,
+    bench_lazy_vs_eager,
+    bench_nr_ablation,
+    bench_portfolio_threads
+);
+
+// Instead of `criterion_main!`, run the groups and track the measurements in
+// BENCH_search.json alongside the authoritative 1-vs-4-thread rows.
+fn main() {
+    benches();
+    tessel_bench::report::write_section(
+        "criterion_schedule_search",
+        &tessel_bench::report::criterion_rows(),
+    );
+    tessel_bench::report::write_section(
+        "portfolio_search",
+        &tessel_bench::report::portfolio_rows(),
+    );
+}

@@ -1,7 +1,7 @@
 //! Criterion bench backing Fig. 3: cost of the time-optimal (whole-schedule)
 //! solve as the number of micro-batches grows on the V-shape placement.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use tessel_bench::time_optimal_instance;
 use tessel_placement::shapes::{synthetic_placement, ShapeKind};
 use tessel_solver::{Solver, SolverConfig};
@@ -55,5 +55,57 @@ fn bench_repetend_solve(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_time_optimal, bench_repetend_solve);
-criterion_main!(benches);
+/// Benchmarks the current solver against the seed (allocation-heavy)
+/// implementation and the 4-thread root split on the same instance.
+fn bench_engines(c: &mut Criterion) {
+    let placement = synthetic_placement(ShapeKind::V, 4).expect("placement");
+    let instance = time_optimal_instance(&placement, 3).expect("instance");
+    let mut group = c.benchmark_group("solver_engines");
+    group.sample_size(10);
+    group.bench_function("seed_alloc_heavy", |b| {
+        b.iter(|| {
+            tessel_bench::legacy_solver::legacy_minimize(
+                &instance,
+                u64::MAX,
+                None,
+                SolverConfig::exhaustive().dominance_memo_limit,
+            )
+        });
+    });
+    group.bench_function("current_1t", |b| {
+        b.iter(|| {
+            Solver::new(SolverConfig::exhaustive())
+                .minimize(&instance)
+                .expect("solve")
+        });
+    });
+    group.bench_function("current_4t", |b| {
+        b.iter(|| {
+            Solver::new(SolverConfig::exhaustive().with_threads(4))
+                .minimize(&instance)
+                .expect("solve")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_time_optimal,
+    bench_repetend_solve,
+    bench_engines
+);
+
+// Instead of `criterion_main!`, run the groups and track the measurements in
+// BENCH_search.json alongside the authoritative before/after rows.
+fn main() {
+    benches();
+    tessel_bench::report::write_section(
+        "criterion_solver_scaling",
+        &tessel_bench::report::criterion_rows(),
+    );
+    tessel_bench::report::write_section(
+        "solver_scaling",
+        &tessel_bench::report::solver_scaling_rows(),
+    );
+}

@@ -1,0 +1,18 @@
+//! Refreshes the tracked schedule-search performance snapshot.
+//!
+//! Runs the solver node-throughput comparison (seed vs current engine) and
+//! the end-to-end portfolio wall-clock comparison, then updates the
+//! `solver_scaling` and `portfolio_search` sections of `BENCH_search.json`
+//! (see [`tessel_bench::report`]).
+//!
+//! ```text
+//! cargo run --release -p tessel-bench --bin bench_search
+//! ```
+
+fn main() {
+    tessel_bench::report::emit_all();
+    println!(
+        "\nwrote {}",
+        tessel_bench::report::bench_json_path().display()
+    );
+}

@@ -25,7 +25,12 @@ fn main() {
         let placement = match gpt_v_shape_baseline(&config, &cost, 4) {
             Ok(p) => p,
             Err(e) => {
-                rows.push(vec![layers.to_string(), "OOM".into(), "OOM".into(), e.to_string()]);
+                rows.push(vec![
+                    layers.to_string(),
+                    "OOM".into(),
+                    "OOM".into(),
+                    e.to_string(),
+                ]);
                 continue;
             }
         };
@@ -35,7 +40,8 @@ fn main() {
             .collect();
         let slowest = *loads.iter().max().unwrap();
         let fastest = *loads.iter().min().unwrap();
-        let to_seconds = |units: u64| units as f64 * micro_batches as f64 * cost.device.time_unit_seconds;
+        let to_seconds =
+            |units: u64| units as f64 * micro_batches as f64 * cost.device.time_unit_seconds;
         rows.push(vec![
             layers.to_string(),
             format!("{:.1}", to_seconds(fastest)),
@@ -46,12 +52,18 @@ fn main() {
     }
     print_table(
         "Fig. 2 — GPT iteration time per stage (768k vocab, 4 GPUs, 1F1B/Piper placement)",
-        &["layers", "fastest stage (s)", "slowest stage (s)", "imbalance"],
+        &[
+            "layers",
+            "fastest stage (s)",
+            "slowest stage (s)",
+            "imbalance",
+        ],
         &rows,
     );
     save_record(&ExperimentRecord {
         id: "fig02".into(),
-        description: "Fastest vs slowest stage iteration time for GPT under the 1F1B/Piper placement".into(),
+        description:
+            "Fastest vs slowest stage iteration time for GPT under the 1F1B/Piper placement".into(),
         data,
     });
 }

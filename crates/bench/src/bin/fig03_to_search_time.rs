@@ -21,7 +21,11 @@ fn main() {
         let outcome = solver.minimize(&instance).expect("solve");
         let elapsed = started.elapsed().as_secs_f64();
         let makespan = outcome.solution().map(|s| s.makespan()).unwrap_or(0);
-        let status = if outcome.is_optimal() { "optimal" } else { "time/node limit" };
+        let status = if outcome.is_optimal() {
+            "optimal"
+        } else {
+            "time/node limit"
+        };
         rows.push(vec![
             micro_batches.to_string(),
             format!("{elapsed:.3}"),
@@ -33,7 +37,13 @@ fn main() {
     }
     print_table(
         "Fig. 3 — time-optimal search cost on the V-shape placement",
-        &["micro-batches", "search time (s)", "makespan", "nodes", "status"],
+        &[
+            "micro-batches",
+            "search time (s)",
+            "makespan",
+            "nodes",
+            "status",
+        ],
         &rows,
     );
     save_record(&ExperimentRecord {

@@ -39,7 +39,10 @@ fn main() {
         ("Flava — K-Shape", ShapeKind::K),
     ] {
         let placement = synthetic_placement(shape, devices).expect("placement");
-        println!("\n==== {label}: operator placement ({} blocks) ====", placement.num_blocks());
+        println!(
+            "\n==== {label}: operator placement ({} blocks) ====",
+            placement.num_blocks()
+        );
 
         match run_tessel(&placement, 8) {
             Ok(outcome) => {

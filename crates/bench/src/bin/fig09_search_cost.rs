@@ -49,7 +49,13 @@ fn main() {
     }
     print_table(
         "Fig. 9 — time-optimal search cost normalised by Tessel search time (training)",
-        &["placement", "Tessel (s)", "TO nmb=2", "TO nmb=4", "TO nmb=6"],
+        &[
+            "placement",
+            "Tessel (s)",
+            "TO nmb=2",
+            "TO nmb=4",
+            "TO nmb=6",
+        ],
         &rows,
     );
     save_record(&ExperimentRecord {

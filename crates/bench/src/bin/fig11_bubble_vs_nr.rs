@@ -16,8 +16,8 @@ fn main() {
         let mut row = vec![shape.to_string()];
         let mut series = Vec::new();
         for nr in 1..=max_nr {
-            let config = experiment_search_config(nr.max(2) * 2)
-                .with_max_repetend_micro_batches(nr);
+            let config =
+                experiment_search_config(nr.max(2) * 2).with_max_repetend_micro_batches(nr);
             let bubble = TesselSearch::new(config)
                 .run(&placement)
                 .map(|o| o.repetend.bubble_rate(&placement))

@@ -49,7 +49,11 @@ fn main() {
 
         let fmt = |x: Option<(f64, f64)>| match x {
             Some((latency, throughput)) => {
-                let marker = if latency <= LATENCY_BUDGET_MS { "" } else { " !" };
+                let marker = if latency <= LATENCY_BUDGET_MS {
+                    ""
+                } else {
+                    " !"
+                };
                 format!("{latency:.0}ms / {throughput:.1} req/s{marker}")
             }
             None => "x".to_string(),

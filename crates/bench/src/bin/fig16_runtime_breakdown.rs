@@ -41,11 +41,16 @@ fn main() {
                         match simulate_schedule(placement, schedule, gpus, CommMode::NonBlocking) {
                             Ok(report) => {
                                 let cluster = cluster_for(placement, gpus);
-                                let exec_seconds = report.slowest_device_busy() as f64
-                                    * cluster.time_unit_seconds;
+                                let exec_seconds =
+                                    report.slowest_device_busy() as f64 * cluster.time_unit_seconds;
                                 exec_row.push(format!("{exec_seconds:.2}s"));
-                                wait_row.push(format!("{:.0}%", report.max_wait_fraction() * 100.0));
-                                entry.push((name.to_string(), exec_seconds, report.max_wait_fraction()));
+                                wait_row
+                                    .push(format!("{:.0}%", report.max_wait_fraction() * 100.0));
+                                entry.push((
+                                    name.to_string(),
+                                    exec_seconds,
+                                    report.max_wait_fraction(),
+                                ));
                             }
                             Err(_) => {
                                 exec_row.push("x".into());

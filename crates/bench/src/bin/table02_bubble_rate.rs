@@ -50,7 +50,13 @@ fn main() {
                 format!("{:.0}%", (x * 100.0).round())
             }
         };
-        rows.push(vec![label.to_string(), pct(f1b), pct(chimera), pct(plus), pct(tessel)]);
+        rows.push(vec![
+            label.to_string(),
+            pct(f1b),
+            pct(chimera),
+            pct(plus),
+            pct(tessel),
+        ]);
         data.push((label.to_string(), f1b, chimera, plus, tessel));
     }
     print_table(

@@ -10,6 +10,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod legacy_solver;
+pub mod report;
+
 use serde::Serialize;
 use std::path::PathBuf;
 use tessel_baselines::{one_f_one_b, one_f_one_b_plus};
@@ -19,7 +22,9 @@ use tessel_core::search::{SearchConfig, SearchOutcome, TesselSearch};
 use tessel_core::CoreError;
 use tessel_models::config::{gpt_config_for_gpus, mt5_config_for_gpus, FlavaConfig};
 use tessel_models::cost::CostModel;
-use tessel_placement::shapes::{flava_k_shape, gpt_m_shape, gpt_v_shape_baseline, mt5_nn_shape, mt5_v_shape_baseline};
+use tessel_placement::shapes::{
+    flava_k_shape, gpt_m_shape, gpt_v_shape_baseline, mt5_nn_shape, mt5_v_shape_baseline,
+};
 use tessel_runtime::{instantiate, simulate, ClusterSpec, CommMode, ExecutionReport};
 
 /// Output record of one experiment, dumped as JSON next to the textual table.
@@ -72,7 +77,10 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -94,7 +102,7 @@ pub fn time_optimal_instance(
     let mut builder = tessel_solver::InstanceBuilder::new(placement.num_devices());
     builder.set_memory_capacity(placement.memory_capacity());
     let mut ids = vec![Vec::new(); micro_batches];
-    for mb in 0..micro_batches {
+    for (mb, mb_ids) in ids.iter_mut().enumerate() {
         for (stage, block) in placement.blocks().iter().enumerate() {
             let id = builder.add_task(
                 format!("{}^{}", block.name, mb),
@@ -103,11 +111,11 @@ pub fn time_optimal_instance(
                 block.memory,
             )?;
             debug_assert_eq!(id.index(), mb * placement.num_blocks() + stage);
-            ids[mb].push(id);
+            mb_ids.push(id);
         }
         for (stage, block) in placement.blocks().iter().enumerate() {
             for &dep in &block.deps {
-                builder.add_precedence(ids[mb][dep], ids[mb][stage])?;
+                builder.add_precedence(mb_ids[dep], mb_ids[stage])?;
             }
         }
     }
@@ -193,7 +201,10 @@ pub fn experiment_search_config(num_micro_batches: usize) -> SearchConfig {
 /// # Errors
 ///
 /// Propagates search failures.
-pub fn run_tessel(placement: &PlacementSpec, micro_batches: usize) -> Result<SearchOutcome, CoreError> {
+pub fn run_tessel(
+    placement: &PlacementSpec,
+    micro_batches: usize,
+) -> Result<SearchOutcome, CoreError> {
     TesselSearch::new(experiment_search_config(micro_batches)).run(placement)
 }
 
@@ -249,7 +260,11 @@ pub struct TrainingComparison {
 /// Out-of-memory placements and infeasible schedules are reported as `None`,
 /// matching the `×` markers of Figs. 13 and 14.
 #[must_use]
-pub fn training_comparison(model: EvalModel, gpus: usize, micro_batches: usize) -> TrainingComparison {
+pub fn training_comparison(
+    model: EvalModel,
+    gpus: usize,
+    micro_batches: usize,
+) -> TrainingComparison {
     let cost = CostModel::paper_default();
     let cluster_time = |report: &ExecutionReport, placement: &PlacementSpec| {
         report.pflops(&cluster_for(placement, gpus))
@@ -261,7 +276,8 @@ pub fn training_comparison(model: EvalModel, gpus: usize, micro_batches: usize) 
             let tessel = run_tessel(&placement, micro_batches)
                 .ok()
                 .and_then(|outcome| {
-                    simulate_schedule(&placement, &outcome.schedule, gpus, CommMode::NonBlocking).ok()
+                    simulate_schedule(&placement, &outcome.schedule, gpus, CommMode::NonBlocking)
+                        .ok()
                 })
                 .map(|report| cluster_time(&report, &placement));
             let plus = one_f_one_b_plus(&placement, micro_batches)
@@ -273,15 +289,12 @@ pub fn training_comparison(model: EvalModel, gpus: usize, micro_batches: usize) 
         Err(_) => (None, None),
     };
 
-    let one_f_one_b_pflops = model
-        .baseline_placement(gpus)
-        .ok()
-        .and_then(|placement| {
-            one_f_one_b(&placement, micro_batches)
-                .ok()
-                .and_then(|s| simulate_schedule(&placement, &s, gpus, CommMode::NonBlocking).ok())
-                .map(|report| cluster_time(&report, &placement))
-        });
+    let one_f_one_b_pflops = model.baseline_placement(gpus).ok().and_then(|placement| {
+        one_f_one_b(&placement, micro_batches)
+            .ok()
+            .and_then(|s| simulate_schedule(&placement, &s, gpus, CommMode::NonBlocking).ok())
+            .map(|report| cluster_time(&report, &placement))
+    });
 
     // Chimera: estimate from the baseline placement's busiest device and a
     // doubled model replica.
@@ -290,8 +303,7 @@ pub fn training_comparison(model: EvalModel, gpus: usize, micro_batches: usize) 
         let per_device_work = placement.repetend_lower_bound();
         // Static memory of one replica per schedule device is the complement
         // of the activation budget the placement builder left available.
-        let single_replica_static =
-            capacity - placement.memory_capacity().unwrap_or(capacity);
+        let single_replica_static = capacity - placement.memory_capacity().unwrap_or(capacity);
         let estimate = tessel_baselines::chimera_estimate(
             per_device_work,
             micro_batches,

@@ -1,0 +1,308 @@
+//! Machine-readable performance tracking: `BENCH_search.json`.
+//!
+//! The schedule-search pipeline is the hot path of the whole system, so its
+//! perf trajectory is tracked in a single JSON file at the repository root
+//! (override the location with the `TESSEL_BENCH_JSON` environment
+//! variable). Three emitters update it section-by-section — the
+//! `bench_search` binary and the `solver_scaling` / `schedule_search`
+//! criterion benches — each replacing only its own key, so the file
+//! accumulates a consistent snapshot no matter which entry point ran last.
+//!
+//! Sections:
+//!
+//! * `solver_scaling` — branch-and-bound nodes per second: the seed
+//!   (allocation-heavy) solver vs the current allocation-free one, single-
+//!   and multi-threaded.
+//! * `portfolio_search` — end-to-end `TesselSearch::run` wall-clock on the
+//!   Fig. 8 synthetic shapes with 1 vs 4 portfolio workers.
+//! * `criterion_<name>` — raw measurements of the corresponding criterion
+//!   bench run.
+
+use crate::legacy_solver::legacy_minimize;
+use crate::time_optimal_instance;
+use serde::Serialize;
+use std::time::Instant;
+use tessel_core::search::{SearchConfig, TesselSearch};
+use tessel_placement::shapes::{synthetic_placement, ShapeKind};
+use tessel_solver::{Solver, SolverConfig};
+
+/// One row of the `solver_scaling` section.
+#[derive(Debug, Clone, Serialize)]
+pub struct SolverScalingRow {
+    /// Instance description.
+    pub instance: String,
+    /// `"seed"` (allocation-heavy baseline), or `"current"`.
+    pub engine: String,
+    /// Solver threads (1 for the seed engine).
+    pub threads: usize,
+    /// Branch nodes expanded.
+    pub nodes: u64,
+    /// Wall-clock seconds of the solve.
+    pub seconds: f64,
+    /// Nodes per second.
+    pub nodes_per_sec: f64,
+    /// Proved optimal makespan.
+    pub makespan: Option<u64>,
+}
+
+/// One row of the `portfolio_search` section.
+#[derive(Debug, Clone, Serialize)]
+pub struct PortfolioRow {
+    /// Placement shape (Fig. 8 synthetic set).
+    pub shape: String,
+    /// Portfolio worker threads.
+    pub threads: usize,
+    /// End-to-end `TesselSearch::run` wall-clock seconds.
+    pub seconds: f64,
+    /// Repetend period found (must not depend on the thread count).
+    pub period: u64,
+    /// Wall-clock speedup relative to the single-threaded row of the same
+    /// shape.
+    pub speedup_vs_serial: f64,
+}
+
+/// Path of the tracked JSON file.
+///
+/// Anchored to the workspace root at compile time: `cargo bench` runs bench
+/// binaries with the *package* directory as their working directory, so a
+/// bare relative path would scatter copies under `crates/bench/`.
+#[must_use]
+pub fn bench_json_path() -> std::path::PathBuf {
+    std::env::var_os("TESSEL_BENCH_JSON")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| {
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_search.json")
+        })
+}
+
+/// Replaces one top-level section of `BENCH_search.json`, keeping the others.
+pub fn write_section<T: Serialize>(section: &str, payload: &T) {
+    write_section_to(&bench_json_path(), section, payload);
+}
+
+/// [`write_section`] against an explicit file, for callers (and tests) that
+/// should not touch the tracked snapshot.
+pub fn write_section_to<T: Serialize>(path: &std::path::Path, section: &str, payload: &T) {
+    let mut entries: Vec<(String, serde::Value)> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<serde::Value>(&text).ok())
+        .and_then(|value| value.as_map().map(<[(String, serde::Value)]>::to_vec))
+        .unwrap_or_default();
+    let rendered = match serde_json::to_string(payload) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("warning: cannot serialise section {section}: {e}");
+            return;
+        }
+    };
+    let Ok(value) = serde_json::from_str::<serde::Value>(&rendered) else {
+        eprintln!("warning: cannot re-parse section {section}");
+        return;
+    };
+    match entries.iter_mut().find(|(k, _)| k == section) {
+        Some((_, slot)) => *slot = value,
+        None => entries.push((section.to_string(), value)),
+    }
+    match serde_json::to_string_pretty(&serde::Value::Map(entries)) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(path, json + "\n") {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: cannot serialise {}: {e}", path.display()),
+    }
+}
+
+/// Measures branch-and-bound node throughput: the seed algorithm vs the
+/// current solver, single-threaded and with 4 root-split workers, on
+/// whole-schedule (time-optimal) V-shape instances.
+#[must_use]
+pub fn solver_scaling_rows() -> Vec<SolverScalingRow> {
+    let placement = synthetic_placement(ShapeKind::V, 4).expect("placement");
+    let mut rows = Vec::new();
+    // Best-of-N to dampen scheduler noise (the CI host may be a single
+    // shared core).
+    const REPS: usize = 2;
+    for micro_batches in [5usize, 6] {
+        let instance = time_optimal_instance(&placement, micro_batches).expect("instance");
+        let label = format!("time_optimal/v4/mb{micro_batches}");
+
+        let mut best: Option<SolverScalingRow> = None;
+        for _ in 0..REPS {
+            let exhaustive = SolverConfig::exhaustive();
+            let legacy =
+                legacy_minimize(&instance, u64::MAX, None, exhaustive.dominance_memo_limit);
+            let row = SolverScalingRow {
+                instance: label.clone(),
+                engine: "seed".into(),
+                threads: 1,
+                nodes: legacy.nodes,
+                seconds: legacy.elapsed.as_secs_f64(),
+                nodes_per_sec: legacy.nodes as f64 / legacy.elapsed.as_secs_f64().max(1e-9),
+                makespan: legacy.makespan,
+            };
+            if best
+                .as_ref()
+                .is_none_or(|b| row.nodes_per_sec > b.nodes_per_sec)
+            {
+                best = Some(row);
+            }
+        }
+        rows.extend(best);
+
+        for threads in [1usize, 4] {
+            let mut best: Option<SolverScalingRow> = None;
+            for _ in 0..REPS {
+                let solver = Solver::new(SolverConfig::exhaustive().with_threads(threads));
+                let started = Instant::now();
+                let outcome = solver.minimize(&instance).expect("solve");
+                let elapsed = started.elapsed();
+                let stats = outcome.stats();
+                let row = SolverScalingRow {
+                    instance: label.clone(),
+                    engine: "current".into(),
+                    threads,
+                    nodes: stats.nodes,
+                    seconds: elapsed.as_secs_f64(),
+                    nodes_per_sec: stats.nodes as f64 / elapsed.as_secs_f64().max(1e-9),
+                    makespan: outcome.solution().map(tessel_solver::Solution::makespan),
+                };
+                if best
+                    .as_ref()
+                    .is_none_or(|b| row.nodes_per_sec > b.nodes_per_sec)
+                {
+                    best = Some(row);
+                }
+            }
+            rows.extend(best);
+        }
+    }
+    rows
+}
+
+/// The search configuration used for the portfolio wall-clock comparison:
+/// the Fig. 8 experiment configuration, bounded so a full run stays in the
+/// seconds range single-threaded.
+#[must_use]
+pub fn portfolio_bench_config(threads: usize) -> SearchConfig {
+    let mut config = crate::experiment_search_config(8)
+        .with_lazy(false)
+        .with_portfolio_threads(threads);
+    config.max_repetend_micro_batches = 4;
+    config.candidate_limit = Some(600);
+    config
+}
+
+/// Measures end-to-end `TesselSearch::run` wall-clock on the 8-device
+/// synthetic shapes with 1 vs 4 portfolio workers (best of 2 runs each).
+///
+/// The X-shape row is the headline: its candidate portfolio mixes expensive
+/// dead-end candidates with cheap good ones, so the shared bound lets the
+/// 4-worker pool skip most of the dead-end work — a >2x wall-clock win even
+/// on a single core. The other shapes early-exit at the zero-bubble lower
+/// bound within milliseconds and only benefit on multi-core hosts.
+#[must_use]
+pub fn portfolio_rows() -> Vec<PortfolioRow> {
+    let mut rows = Vec::new();
+    for shape in [ShapeKind::X, ShapeKind::M, ShapeKind::NN, ShapeKind::K] {
+        let placement = synthetic_placement(shape, 8).expect("placement");
+        let mut serial_seconds = None;
+        for threads in [1usize, 4] {
+            let search = TesselSearch::new(portfolio_bench_config(threads));
+            let mut best: Option<(f64, u64)> = None;
+            for _ in 0..2 {
+                let started = Instant::now();
+                let outcome = search.run(&placement).expect("search");
+                let seconds = started.elapsed().as_secs_f64();
+                if best.is_none_or(|(s, _)| seconds < s) {
+                    best = Some((seconds, outcome.repetend.period));
+                }
+            }
+            let (seconds, period) = best.expect("at least one run");
+            let baseline = *serial_seconds.get_or_insert(seconds);
+            rows.push(PortfolioRow {
+                shape: shape.to_string(),
+                threads,
+                seconds,
+                period,
+                speedup_vs_serial: baseline / seconds.max(1e-9),
+            });
+        }
+    }
+    rows
+}
+
+/// Host metadata stored alongside the measurements so thread-scaling rows
+/// can be interpreted (a single-core host cannot show wall-clock speedups
+/// from hardware parallelism, only from portfolio-effect pruning).
+#[derive(Debug, Clone, Serialize)]
+pub struct HostInfo {
+    /// Available hardware parallelism.
+    pub cpus: usize,
+    /// How the snapshot was produced.
+    pub generated_by: String,
+}
+
+impl HostInfo {
+    /// Captures the current host.
+    #[must_use]
+    pub fn capture() -> Self {
+        HostInfo {
+            cpus: std::thread::available_parallelism().map_or(1, usize::from),
+            generated_by: "cargo run --release -p tessel-bench --bin bench_search".into(),
+        }
+    }
+}
+
+/// Drains the criterion measurements recorded so far in this process into
+/// `(id, seconds)` rows for a `criterion_*` section.
+#[must_use]
+pub fn criterion_rows() -> Vec<(String, f64)> {
+    criterion::take_measurements()
+        .into_iter()
+        .map(|m| (m.id, m.mean_ns / 1e9))
+        .collect()
+}
+
+/// Runs both measurement suites and updates their sections.
+pub fn emit_all() {
+    write_section("host", &HostInfo::capture());
+    let scaling = solver_scaling_rows();
+    write_section("solver_scaling", &scaling);
+    let portfolio = portfolio_rows();
+    write_section("portfolio_search", &portfolio);
+    for row in &scaling {
+        println!(
+            "solver_scaling {:<28} {:>8} threads={} {:>12.0} nodes/s",
+            row.instance, row.engine, row.threads, row.nodes_per_sec
+        );
+    }
+    for row in &portfolio {
+        println!(
+            "portfolio_search {:<10} threads={} {:>8.3}s speedup={:.2}x period={}",
+            row.shape, row.threads, row.seconds, row.speedup_vs_serial, row.period
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sections_merge_instead_of_clobbering() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/bench-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("BENCH_test-{}.json", std::process::id()));
+        write_section_to(&path, "alpha", &vec![1u64, 2]);
+        write_section_to(&path, "beta", &"hello".to_string());
+        write_section_to(&path, "alpha", &vec![3u64]);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value: serde::Value = serde_json::from_str(&text).unwrap();
+        let entries = value.as_map().unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, "alpha");
+        assert_eq!(entries[1].0, "beta");
+        let _ = std::fs::remove_file(&path);
+    }
+}

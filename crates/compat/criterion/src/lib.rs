@@ -1,0 +1,277 @@
+//! Minimal substitute for the `criterion` benchmark harness.
+//!
+//! Provides the API surface the workspace benches use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `black_box` and the `criterion_group!`/`criterion_main!` macros — backed
+//! by a simple wall-clock loop: one warmup iteration, then up to
+//! `sample_size` timed iterations bounded by `measurement_time`. Results are
+//! printed as `group/bench  mean ± stddev` lines and recorded in a process-
+//! wide list that [`take_measurements`] drains (the bench binaries use it to
+//! emit machine-readable JSON).
+
+use std::fmt;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One completed measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/bench` identifier.
+    pub id: String,
+    /// Number of timed iterations.
+    pub iterations: u64,
+    /// Mean wall-clock time per iteration in nanoseconds.
+    pub mean_ns: f64,
+    /// Standard deviation across iterations in nanoseconds.
+    pub stddev_ns: f64,
+}
+
+static MEASUREMENTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
+
+/// Drains every measurement recorded so far in this process.
+#[must_use]
+pub fn take_measurements() -> Vec<Measurement> {
+    std::mem::take(&mut MEASUREMENTS.lock().unwrap())
+}
+
+/// Opaque benchmark identifier, printable with `Display`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id labelled only by a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Begins a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) {
+        run_bench(name.to_string(), self.sample_size, self.measurement_time, f);
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; warmup is always one iteration.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Bounds the total time spent measuring one benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `name` within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl fmt::Display, f: F) {
+        run_bench(
+            format!("{}/{}", self.name, name),
+            self.sample_size,
+            self.measurement_time,
+            f,
+        );
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_bench(
+            format!("{}/{}", self.name, id),
+            self.sample_size,
+            self.measurement_time,
+            |b| f(b, input),
+        );
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` runs and times the workload.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f`: one warmup call, then up to `sample_size` timed calls
+    /// bounded by the measurement budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            self.samples_ns.push(start.elapsed().as_nanos() as f64);
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        sample_size,
+        measurement_time,
+        samples_ns: Vec::new(),
+    };
+    f(&mut bencher);
+    let samples = &bencher.samples_ns;
+    if samples.is_empty() {
+        println!("{id}: no samples recorded");
+        return;
+    }
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+    let stddev = var.sqrt();
+    println!(
+        "{id}  time: {} ± {}  ({} samples)",
+        format_ns(mean),
+        format_ns(stddev),
+        samples.len()
+    );
+    MEASUREMENTS.lock().unwrap().push(Measurement {
+        id,
+        iterations: samples.len() as u64,
+        mean_ns: mean,
+        stddev_ns: stddev,
+    });
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Identity function that defeats constant propagation, mirroring
+/// `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Bundles benchmark functions into a callable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_measurements() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50));
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        let measurements = take_measurements();
+        assert!(measurements.iter().any(|m| m.id == "g/noop"));
+        assert!(measurements.iter().any(|m| m.id == "g/7"));
+        assert!(measurements.iter().all(|m| m.iterations >= 1));
+    }
+
+    #[test]
+    fn format_scales_units() {
+        assert!(format_ns(5.0).contains("ns"));
+        assert!(format_ns(5e3).contains("µs"));
+        assert!(format_ns(5e6).contains("ms"));
+        assert!(format_ns(5e9).contains("s"));
+    }
+}

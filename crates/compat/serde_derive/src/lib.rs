@@ -1,0 +1,561 @@
+//! Derive macros for the vendored `serde` substitute.
+//!
+//! Implemented without `syn`/`quote` (unavailable offline): the input item is
+//! parsed with a small hand-rolled cursor over [`proc_macro::TokenTree`]s and
+//! the generated impl is assembled as a source string. Supported shapes are
+//! exactly the ones this workspace uses:
+//!
+//! * structs with named fields (optionally generic, bounds copied verbatim),
+//! * tuple structs (single-field ones serialize transparently, like serde
+//!   newtypes),
+//! * enums with unit and/or struct variants (externally tagged),
+//! * the `#[serde(skip)]` and `#[serde(with = "module")]` field attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    with: Option<String>,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum Data {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    /// Generic parameter list as written, without the angle brackets
+    /// (e.g. `T: Serialize`); empty for non-generic items.
+    generics_decl: String,
+    /// Bare parameter names for the `for Name<...>` position.
+    generics_use: String,
+    data: Data,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&parsed),
+        Mode::Deserialize => gen_deserialize(&parsed),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn is_punct(&self, c: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == c)
+    }
+
+    fn is_ident(&self, s: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == s)
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Skips `#[...]` attributes, recording `skip` / `with = "..."` from any
+    /// `#[serde(...)]` attribute encountered.
+    fn skip_attrs(&mut self) -> (bool, Option<String>) {
+        let mut skip = false;
+        let mut with = None;
+        while self.is_punct('#') {
+            self.next();
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("serde_derive: malformed attribute, found {other:?}"),
+            };
+            let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+            if matches!(inner.first(), Some(TokenTree::Ident(i)) if i.to_string() == "serde") {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    let args: Vec<TokenTree> = args.stream().into_iter().collect();
+                    let mut i = 0;
+                    while i < args.len() {
+                        match &args[i] {
+                            TokenTree::Ident(id) if id.to_string() == "skip" => skip = true,
+                            TokenTree::Ident(id) if id.to_string() == "with" => {
+                                if let Some(TokenTree::Literal(lit)) = args.get(i + 2) {
+                                    let raw = lit.to_string();
+                                    with = Some(raw.trim_matches('"').to_string());
+                                    i += 2;
+                                }
+                            }
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                }
+            }
+        }
+        (skip, with)
+    }
+
+    /// Skips `pub` / `pub(...)` visibility modifiers.
+    fn skip_vis(&mut self) {
+        if self.is_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Consumes a `<...>` generic parameter list (cursor sits on `<`).
+    fn read_generics(&mut self) -> String {
+        let mut depth = 0usize;
+        let mut out = String::new();
+        loop {
+            let t = self.next().expect("serde_derive: unbalanced generics");
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => {
+                        depth += 1;
+                        if depth == 1 {
+                            continue;
+                        }
+                    }
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return out;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            out.push_str(&t.to_string());
+            out.push(' ');
+        }
+    }
+
+    /// Consumes tokens of a type until a top-level `,` (not consumed) or the
+    /// end of the stream.
+    fn skip_type(&mut self) {
+        let mut angle = 0isize;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    ',' if angle == 0 => return,
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    _ => {}
+                }
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kind = c.expect_ident();
+    let name = c.expect_ident();
+    let (generics_decl, generics_use) = if c.is_punct('<') {
+        let raw = c.read_generics();
+        let params = raw
+            .split(',')
+            .filter_map(|chunk| {
+                chunk
+                    .split(':')
+                    .next()
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        (raw, params)
+    } else {
+        (String::new(), String::new())
+    };
+
+    let data = match kind.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            other => panic!("serde_derive: unsupported struct shape: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: malformed enum: {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Input {
+        name,
+        generics_decl,
+        generics_use,
+        data,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !c.at_end() {
+        let (skip, with) = c.skip_attrs();
+        c.skip_vis();
+        let name = c.expect_ident();
+        assert!(
+            c.is_punct(':'),
+            "serde_derive: expected `:` after field `{name}`"
+        );
+        c.next();
+        c.skip_type();
+        if c.is_punct(',') {
+            c.next();
+        }
+        fields.push(Field { name, skip, with });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0usize;
+    while !c.at_end() {
+        c.skip_attrs();
+        c.skip_vis();
+        c.skip_type();
+        count += 1;
+        if c.is_punct(',') {
+            c.next();
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !c.at_end() {
+        c.skip_attrs();
+        let name = c.expect_ident();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                VariantFields::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                c.next();
+                VariantFields::Tuple(count)
+            }
+            _ => VariantFields::Unit,
+        };
+        if c.is_punct(',') {
+            c.next();
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(input: &Input, trait_name: &str) -> String {
+    let Input {
+        name,
+        generics_decl,
+        generics_use,
+        ..
+    } = input;
+    if generics_decl.is_empty() {
+        format!("impl ::serde::{trait_name} for {name}")
+    } else {
+        format!("impl<{generics_decl}> ::serde::{trait_name} for {name}<{generics_use}>")
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let header = impl_header(input, "Serialize");
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                let fname = &f.name;
+                let value = match &f.with {
+                    Some(path) => format!("{path}::serialize(&self.{fname})"),
+                    None => format!("::serde::Serialize::to_value(&self.{fname})"),
+                };
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{fname}\"), {value}));\n"
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Map(__fields)"
+            )
+        }
+        Data::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Data::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    VariantFields::Named(fields) => {
+                        let pattern: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect();
+                        let mut pushes = String::new();
+                        for f in fields {
+                            if f.skip {
+                                continue;
+                            }
+                            let fname = &f.name;
+                            let value = match &f.with {
+                                Some(path) => format!("{path}::serialize({fname})"),
+                                None => format!("::serde::Serialize::to_value({fname})"),
+                            };
+                            pushes.push_str(&format!(
+                                "__fields.push((::std::string::String::from(\"{fname}\"), {value}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                             ::std::vec::Vec::new();\n{pushes}\
+                             ::serde::Value::Map(::std::vec![(::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Map(__fields))])\n}}\n",
+                            pattern.join(", ")
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__v{i}")).collect();
+                        let values: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        let inner = if *n == 1 {
+                            values[0].clone()
+                        } else {
+                            format!("::serde::Value::Seq(::std::vec![{}])", values.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), {inner})]),\n",
+                            binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(unused_variables, clippy::all)]\n\
+         {header} {{\nfn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn named_field_builders(fields: &[Field], map_var: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let fname = &f.name;
+        let expr = if f.skip {
+            "::std::default::Default::default()".to_string()
+        } else {
+            match &f.with {
+                Some(path) => {
+                    format!("{path}::deserialize(::serde::field({map_var}, \"{fname}\")?)?")
+                }
+                None => format!(
+                    "::serde::Deserialize::from_value(::serde::field({map_var}, \"{fname}\")?)?"
+                ),
+            }
+        };
+        out.push_str(&format!("{fname}: {expr},\n"));
+    }
+    out
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let header = impl_header(input, "Deserialize");
+    let body = match &input.data {
+        Data::NamedStruct(fields) => {
+            let builders = named_field_builders(fields, "__map");
+            format!(
+                "let __map = __value.as_map().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected map for `{name}`\"))?;\n\
+                 ::std::result::Result::Ok(Self {{\n{builders}}})"
+            )
+        }
+        Data::TupleStruct(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__value)?))"
+                .to_string()
+        }
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                .collect();
+            format!(
+                "let __seq = __value.as_seq().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for `{name}`\"))?;\n\
+                 if __seq.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"wrong tuple length for `{name}`\")); }}\n\
+                 ::std::result::Result::Ok(Self({}))",
+                items.join(", ")
+            )
+        }
+        Data::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantFields::Named(fields) => {
+                        let builders = named_field_builders(fields, "__map");
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let __map = __inner.as_map().ok_or_else(|| \
+                             ::serde::Error::custom(\"expected map for variant `{vname}`\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vname} {{\n{builders}}})\n}}\n"
+                        ));
+                    }
+                    VariantFields::Tuple(n) => {
+                        if *n == 1 {
+                            tagged_arms.push_str(&format!(
+                                "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                                 ::serde::Deserialize::from_value(__inner)?)),\n"
+                            ));
+                        } else {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__seq[{i}])?"))
+                                .collect();
+                            tagged_arms.push_str(&format!(
+                                "\"{vname}\" => {{\n\
+                                 let __seq = __inner.as_seq().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array for variant `{vname}`\"))?;\n\
+                                 if __seq.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::Error::custom(\"wrong arity for variant `{vname}`\")); }}\n\
+                                 ::std::result::Result::Ok({name}::{vname}({}))\n}}\n",
+                                items.join(", ")
+                            ));
+                        }
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n}},\n\
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n{tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(\
+                 ::std::format!(\"unknown variant `{{}}` of `{name}`\", __other))),\n}}\n}}\n\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"invalid value for enum `{name}`\")),\n}}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(unused_variables, clippy::all)]\n\
+         {header} {{\nfn from_value(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

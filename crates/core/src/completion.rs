@@ -79,7 +79,12 @@ impl PhasePlan {
 
     /// The finish time of a specific `(stage, micro_batch)` block, if present.
     #[must_use]
-    pub fn finish_of(&self, placement: &PlacementSpec, stage: usize, micro_batch: usize) -> Option<u64> {
+    pub fn finish_of(
+        &self,
+        placement: &PlacementSpec,
+        stage: usize,
+        micro_batch: usize,
+    ) -> Option<u64> {
         self.blocks
             .iter()
             .zip(&self.starts)
@@ -136,7 +141,8 @@ pub fn build_phase_instance(
     builder.set_initial_memory(initial_memory)?;
     let mut ordered: Vec<(usize, usize)> = blocks.to_vec();
     ordered.sort_unstable();
-    let mut ids: std::collections::HashMap<(usize, usize), TaskId> = std::collections::HashMap::new();
+    let mut ids: std::collections::HashMap<(usize, usize), TaskId> =
+        std::collections::HashMap::new();
     for &(stage, mb) in &ordered {
         let spec = placement.block(stage);
         let label = format!("{}^{}", spec.name, mb);
@@ -197,9 +203,9 @@ pub fn solve_phase(
     }
     let (instance, ordered) = build_phase_instance(placement, blocks, initial_memory)?;
     let outcome = solver.minimize(&instance)?;
-    let solution = outcome
-        .solution()
-        .ok_or(CoreError::PhaseInfeasible { phase: phase.name() })?;
+    let solution = outcome.solution().ok_or(CoreError::PhaseInfeasible {
+        phase: phase.name(),
+    })?;
     let starts: Vec<u64> = (0..ordered.len())
         .map(|i| solution.start(TaskId::from_index(i)))
         .collect();
@@ -296,9 +302,7 @@ mod tests {
         for i in 0..d {
             indices.push(d - 1 - i);
         }
-        for _ in 0..d {
-            indices.push(0);
-        }
+        indices.extend(std::iter::repeat_n(0, d));
         RepetendCandidate { indices }
     }
 
@@ -393,7 +397,10 @@ mod tests {
         let solver = Solver::new(SolverConfig::default());
         assert!(!probe_phase(&p, &blocks, vec![0, 0], &solver).unwrap());
         let err = solve_phase(&p, Phase::Warmup, &blocks, vec![0, 0], &solver).unwrap_err();
-        assert!(matches!(err, CoreError::PhaseInfeasible { phase: "warmup" }));
+        assert!(matches!(
+            err,
+            CoreError::PhaseInfeasible { phase: "warmup" }
+        ));
     }
 
     #[test]

@@ -109,7 +109,12 @@ pub fn compose_schedule(
     }
     for (&(stage, mb), &start) in cooldown.blocks.iter().zip(&cooldown.starts) {
         let final_mb = mb + copies - 1;
-        blocks.push(scheduled_block(placement, stage, final_mb, cooldown_shift + start));
+        blocks.push(scheduled_block(
+            placement,
+            stage,
+            final_mb,
+            cooldown_shift + start,
+        ));
     }
 
     let span = RepetendSpan {
@@ -158,9 +163,7 @@ mod tests {
         for i in 0..d {
             indices.push(d - 1 - i);
         }
-        for _ in 0..d {
-            indices.push(0);
-        }
+        indices.extend(std::iter::repeat_n(0, d));
         RepetendCandidate { indices }
     }
 
@@ -168,7 +171,9 @@ mod tests {
         let p = v_shape(d, 2, Some(d as i64 + 1));
         let cand = one_f_one_b_candidate(d);
         let solver = Solver::new(SolverConfig::default());
-        let repetend = solve_repetend(&p, &cand, &solver, u64::MAX).unwrap().unwrap();
+        let repetend = solve_repetend(&p, &cand, &solver, u64::MAX)
+            .unwrap()
+            .unwrap();
         let copies = n - repetend.num_micro_batches() + 1;
         let (warmup, cooldown) = complete_schedule(&p, &repetend, copies, &solver).unwrap();
         let schedule = compose_schedule(&p, &repetend, &warmup, &cooldown, n).unwrap();
@@ -188,7 +193,9 @@ mod tests {
         let p = v_shape(2, 2, Some(3));
         let cand = one_f_one_b_candidate(2);
         let solver = Solver::new(SolverConfig::default());
-        let repetend = solve_repetend(&p, &cand, &solver, u64::MAX).unwrap().unwrap();
+        let repetend = solve_repetend(&p, &cand, &solver, u64::MAX)
+            .unwrap()
+            .unwrap();
         let (warmup, cooldown) = complete_schedule(&p, &repetend, 1, &solver).unwrap();
         for n in 2..=8 {
             let schedule = compose_schedule(&p, &repetend, &warmup, &cooldown, n).unwrap();
@@ -202,7 +209,9 @@ mod tests {
         let p = v_shape(4, 2, None);
         let cand = one_f_one_b_candidate(4);
         let solver = Solver::new(SolverConfig::default());
-        let repetend = solve_repetend(&p, &cand, &solver, u64::MAX).unwrap().unwrap();
+        let repetend = solve_repetend(&p, &cand, &solver, u64::MAX)
+            .unwrap()
+            .unwrap();
         let (warmup, cooldown) = complete_schedule(&p, &repetend, 1, &solver).unwrap();
         let s6 = compose_schedule(&p, &repetend, &warmup, &cooldown, 6).unwrap();
         let s7 = compose_schedule(&p, &repetend, &warmup, &cooldown, 7).unwrap();
@@ -217,15 +226,25 @@ mod tests {
         let p = v_shape(2, 2, Some(3));
         let cand = one_f_one_b_candidate(2);
         let solver = Solver::new(SolverConfig::default());
-        let repetend = solve_repetend(&p, &cand, &solver, u64::MAX).unwrap().unwrap();
+        let repetend = solve_repetend(&p, &cand, &solver, u64::MAX)
+            .unwrap()
+            .unwrap();
         let (warmup, cooldown) = complete_schedule(&p, &repetend, 1, &solver).unwrap();
         let steady = repetend.bubble_rate(&p);
         let small = compose_schedule(&p, &repetend, &warmup, &cooldown, 3).unwrap();
         let large = compose_schedule(&p, &repetend, &warmup, &cooldown, 64).unwrap();
         let small_gap = (small.bubble_rate() - steady).abs();
         let large_gap = (large.bubble_rate() - steady).abs();
-        assert!(large_gap <= small_gap + 1e-9, "large {large_gap} small {small_gap}");
-        assert!(large_gap < 0.1, "large schedule bubble {} vs steady {}", large.bubble_rate(), steady);
+        assert!(
+            large_gap <= small_gap + 1e-9,
+            "large {large_gap} small {small_gap}"
+        );
+        assert!(
+            large_gap < 0.1,
+            "large schedule bubble {} vs steady {}",
+            large.bubble_rate(),
+            steady
+        );
     }
 
     #[test]
@@ -233,7 +252,9 @@ mod tests {
         let p = v_shape(2, 2, None);
         let cand = one_f_one_b_candidate(2);
         let solver = Solver::new(SolverConfig::default());
-        let repetend = solve_repetend(&p, &cand, &solver, u64::MAX).unwrap().unwrap();
+        let repetend = solve_repetend(&p, &cand, &solver, u64::MAX)
+            .unwrap()
+            .unwrap();
         let (warmup, cooldown) = complete_schedule(&p, &repetend, 1, &solver).unwrap();
         let err = compose_schedule(&p, &repetend, &warmup, &cooldown, 1).unwrap_err();
         assert!(matches!(err, CoreError::TooFewMicroBatches { .. }));

@@ -479,12 +479,17 @@ mod tests {
     fn v2_placement() -> PlacementSpec {
         let mut b = PlacementSpec::builder("v2", 2);
         b.set_memory_capacity(Some(4));
-        let f0 = b.add_block("f0", BlockKind::Forward, [0], 1, 1, []).unwrap();
-        let f1 = b.add_block("f1", BlockKind::Forward, [1], 1, 1, [f0]).unwrap();
+        let f0 = b
+            .add_block("f0", BlockKind::Forward, [0], 1, 1, [])
+            .unwrap();
+        let f1 = b
+            .add_block("f1", BlockKind::Forward, [1], 1, 1, [f0])
+            .unwrap();
         let b1 = b
             .add_block("b1", BlockKind::Backward, [1], 2, -1, [f1])
             .unwrap();
-        b.add_block("b0", BlockKind::Backward, [0], 2, -1, [b1]).unwrap();
+        b.add_block("b0", BlockKind::Backward, [0], 2, -1, [b1])
+            .unwrap();
         b.build().unwrap()
     }
 

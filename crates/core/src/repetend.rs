@@ -126,7 +126,12 @@ pub fn build_repetend_instance(
     let mut ids = Vec::with_capacity(placement.num_blocks());
     for (stage, block) in placement.blocks().iter().enumerate() {
         let label = format!("{}^{}", block.name, candidate.indices[stage]);
-        let id = builder.add_task(label, block.time, block.devices.iter().copied(), block.memory)?;
+        let id = builder.add_task(
+            label,
+            block.time,
+            block.devices.iter().copied(),
+            block.memory,
+        )?;
         ids.push(id);
         debug_assert_eq!(id.index(), stage);
     }
@@ -270,7 +275,6 @@ fn evaluate_starts(
     candidate: &RepetendCandidate,
     starts: Vec<u64>,
 ) -> Repetend {
-
     let num_devices = placement.num_devices();
     let mut exec_time = vec![0u64; num_devices];
     let mut first_start = vec![u64::MAX; num_devices];

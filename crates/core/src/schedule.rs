@@ -141,7 +141,11 @@ impl Schedule {
     /// Completion time of the last block.
     #[must_use]
     pub fn makespan(&self) -> u64 {
-        self.blocks.iter().map(ScheduledBlock::end).max().unwrap_or(0)
+        self.blocks
+            .iter()
+            .map(ScheduledBlock::end)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Start time of the earliest block.
@@ -220,7 +224,7 @@ impl Schedule {
     #[must_use]
     pub fn peak_memory(&self) -> Vec<i64> {
         let mut peaks = vec![0i64; self.num_devices];
-        for d in 0..self.num_devices {
+        for (d, peak) in peaks.iter_mut().enumerate() {
             let mut events: Vec<(u64, i64)> = self
                 .blocks
                 .iter()
@@ -229,12 +233,10 @@ impl Schedule {
                 .collect();
             events.sort_by_key(|&(s, m)| (s, m));
             let mut usage = 0i64;
-            let mut peak = 0i64;
             for (_, m) in events {
                 usage += m;
-                peak = peak.max(usage);
+                *peak = (*peak).max(usage);
             }
-            peaks[d] = peak;
         }
         peaks
     }
@@ -432,12 +434,17 @@ mod tests {
     fn v2() -> PlacementSpec {
         let mut b = PlacementSpec::builder("v2", 2);
         b.set_memory_capacity(Some(4));
-        let f0 = b.add_block("f0", BlockKind::Forward, [0], 1, 1, []).unwrap();
-        let f1 = b.add_block("f1", BlockKind::Forward, [1], 1, 1, [f0]).unwrap();
+        let f0 = b
+            .add_block("f0", BlockKind::Forward, [0], 1, 1, [])
+            .unwrap();
+        let f1 = b
+            .add_block("f1", BlockKind::Forward, [1], 1, 1, [f0])
+            .unwrap();
         let b1 = b
             .add_block("b1", BlockKind::Backward, [1], 2, -1, [f1])
             .unwrap();
-        b.add_block("b0", BlockKind::Backward, [0], 2, -1, [b1]).unwrap();
+        b.add_block("b0", BlockKind::Backward, [0], 2, -1, [b1])
+            .unwrap();
         b.build().unwrap()
     }
 

@@ -15,9 +15,11 @@ use crate::completion::{
 use crate::compose::compose_schedule;
 use crate::error::CoreError;
 use crate::ir::PlacementSpec;
-use crate::repetend::{enumerate_candidates, solve_repetend, Repetend};
+use crate::repetend::{enumerate_candidates, solve_repetend, Repetend, RepetendCandidate};
 use crate::schedule::Schedule;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use tessel_solver::{Solver, SolverConfig};
 
@@ -38,6 +40,18 @@ pub struct SearchConfig {
     /// Optional cap on the number of candidates examined per `NR` value;
     /// `None` enumerates all of them.
     pub candidate_limit: Option<usize>,
+    /// Number of worker threads evaluating repetend candidates in parallel
+    /// (the *portfolio* search).
+    ///
+    /// `1` (the default) reproduces the strictly serial candidate loop of
+    /// Algorithm 1; `0` uses [`std::thread::available_parallelism`]. Workers
+    /// pull candidates from a shared queue and share the best period found so
+    /// far through an atomic bound, so a good repetend found by one worker
+    /// immediately tightens the solver budget of all others. The winning
+    /// *period* is independent of the thread count (ties among recorded
+    /// candidates break by enumeration order); which equally-good candidate
+    /// carries it may differ from the serial loop.
+    pub portfolio_threads: usize,
 }
 
 impl Default for SearchConfig {
@@ -49,6 +63,7 @@ impl Default for SearchConfig {
             phase_solver: SolverConfig::default(),
             lazy: true,
             candidate_limit: None,
+            portfolio_threads: 1,
         }
     }
 }
@@ -75,6 +90,24 @@ impl SearchConfig {
     pub fn with_max_repetend_micro_batches(mut self, nr: usize) -> Self {
         self.max_repetend_micro_batches = nr;
         self
+    }
+
+    /// Returns a copy evaluating repetend candidates on `threads` worker
+    /// threads (see [`SearchConfig::portfolio_threads`]).
+    #[must_use]
+    pub fn with_portfolio_threads(mut self, threads: usize) -> Self {
+        self.portfolio_threads = threads;
+        self
+    }
+
+    /// The portfolio thread count actually used: resolves `0` to the
+    /// machine's available parallelism.
+    #[must_use]
+    pub fn effective_portfolio_threads(&self) -> usize {
+        match self.portfolio_threads {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            n => n,
+        }
     }
 }
 
@@ -146,11 +179,7 @@ impl SearchOutcome {
     ///
     /// Returns an error if `n` is smaller than the repetend's micro-batch
     /// count.
-    pub fn schedule_for(
-        &self,
-        placement: &PlacementSpec,
-        n: usize,
-    ) -> Result<Schedule, CoreError> {
+    pub fn schedule_for(&self, placement: &PlacementSpec, n: usize) -> Result<Schedule, CoreError> {
         compose_schedule(placement, &self.repetend, &self.warmup, &self.cooldown, n)
     }
 }
@@ -186,9 +215,7 @@ impl TesselSearch {
         let started = Instant::now();
         let mut stats = SearchStats::default();
 
-        let repetend_solver = Solver::new(self.config.repetend_solver.clone());
         let phase_solver = Solver::new(self.config.phase_solver.clone());
-        let probe_solver = Solver::new(SolverConfig::probe());
 
         // Lines 1-6 of Algorithm 1: bounds and the in-flight micro-batch cap.
         let mut optimal = placement.total_block_time() + 1;
@@ -199,6 +226,90 @@ impl TesselSearch {
             .min(self.config.num_micro_batches)
             .max(1);
 
+        let threads = self.config.effective_portfolio_threads();
+        let (best, best_phases) = if threads > 1 {
+            self.search_candidates_portfolio(
+                placement,
+                &mut stats,
+                &mut optimal,
+                lower_bound,
+                inflights,
+                threads,
+            )?
+        } else {
+            self.search_candidates_serial(
+                placement,
+                &mut stats,
+                &mut optimal,
+                lower_bound,
+                inflights,
+            )?
+        };
+
+        let repetend = best.ok_or(CoreError::NoFeasibleRepetend)?;
+        let copies = self.copies_for(&repetend);
+        let (warmup, cooldown) = match best_phases {
+            Some(phases) => phases,
+            None => {
+                // Lazy mode (or the winning candidate changed after its eager
+                // phases were solved): optimise the phases once, now.
+                let warmup_clock = Instant::now();
+                let warmup = solve_phase(
+                    placement,
+                    Phase::Warmup,
+                    &warmup_blocks(&repetend.candidate),
+                    vec![0; placement.num_devices()],
+                    &phase_solver,
+                )?;
+                stats.phase_times.warmup += warmup_clock.elapsed();
+                let cooldown_clock = Instant::now();
+                let cooldown = solve_phase(
+                    placement,
+                    Phase::Cooldown,
+                    &cooldown_blocks(&repetend.candidate),
+                    cooldown_entry_memory(placement, &repetend.candidate, copies),
+                    &phase_solver,
+                )?;
+                stats.phase_times.cooldown += cooldown_clock.elapsed();
+                (warmup, cooldown)
+            }
+        };
+
+        let schedule = compose_schedule(
+            placement,
+            &repetend,
+            &warmup,
+            &cooldown,
+            self.config
+                .num_micro_batches
+                .max(repetend.num_micro_batches()),
+        )?;
+        stats.total_time = started.elapsed();
+        Ok(SearchOutcome {
+            schedule,
+            repetend,
+            warmup,
+            cooldown,
+            stats,
+        })
+    }
+
+    /// Lines 7-19 of Algorithm 1: the strictly serial candidate loop.
+    ///
+    /// Returns the winning repetend (if any) and, in eager mode, the phases
+    /// solved alongside it.
+    #[allow(clippy::type_complexity)]
+    fn search_candidates_serial(
+        &self,
+        placement: &PlacementSpec,
+        stats: &mut SearchStats,
+        optimal: &mut u64,
+        lower_bound: u64,
+        inflights: usize,
+    ) -> Result<(Option<Repetend>, Option<(PhasePlan, PhasePlan)>), CoreError> {
+        let repetend_solver = Solver::new(self.config.repetend_solver.clone());
+        let phase_solver = Solver::new(self.config.phase_solver.clone());
+        let probe_solver = Solver::new(SolverConfig::probe());
         let mut best: Option<Repetend> = None;
         let mut best_phases: Option<(PhasePlan, PhasePlan)> = None;
 
@@ -210,11 +321,11 @@ impl TesselSearch {
             stats.candidates_considered += candidates.len();
             for candidate in candidates {
                 let repetend_clock = Instant::now();
-                let solved = solve_repetend(placement, &candidate, &repetend_solver, optimal)?;
+                let solved = solve_repetend(placement, &candidate, &repetend_solver, *optimal)?;
                 stats.repetend_solves += 1;
                 stats.phase_times.repetend += repetend_clock.elapsed();
                 let Some(repetend) = solved else { continue };
-                if repetend.period >= optimal {
+                if repetend.period >= *optimal {
                     continue;
                 }
 
@@ -274,61 +385,238 @@ impl TesselSearch {
                     best_phases = Some((warmup, cooldown));
                 }
 
-                optimal = repetend.period;
+                *optimal = repetend.period;
                 stats.improving_repetends += 1;
                 stats.chosen_nr = nr;
                 best = Some(repetend);
-                if optimal <= lower_bound {
+                if *optimal <= lower_bound {
                     stats.early_exit = true;
                     break 'outer;
                 }
             }
         }
+        Ok((best, best_phases))
+    }
 
-        let repetend = best.ok_or(CoreError::NoFeasibleRepetend)?;
-        let copies = self.copies_for(&repetend);
-        let (warmup, cooldown) = match best_phases {
-            Some(phases) => phases,
-            None => {
-                // Lazy mode (or the winning candidate changed after its eager
-                // phases were solved): optimise the phases once, now.
-                let warmup_clock = Instant::now();
-                let warmup = solve_phase(
-                    placement,
-                    Phase::Warmup,
-                    &warmup_blocks(&repetend.candidate),
-                    vec![0; placement.num_devices()],
-                    &phase_solver,
-                )?;
-                stats.phase_times.warmup += warmup_clock.elapsed();
-                let cooldown_clock = Instant::now();
-                let cooldown = solve_phase(
-                    placement,
-                    Phase::Cooldown,
-                    &cooldown_blocks(&repetend.candidate),
-                    cooldown_entry_memory(placement, &repetend.candidate, copies),
-                    &phase_solver,
-                )?;
-                stats.phase_times.cooldown += cooldown_clock.elapsed();
-                (warmup, cooldown)
+    /// The parallel portfolio variant of the candidate loop.
+    ///
+    /// All repetend candidates (every `NR` level, in enumeration order) form
+    /// one work queue. Workers claim candidates through an atomic cursor,
+    /// solve each with the current shared best period as the solver's upper
+    /// bound, run the lazy feasibility probes (or the eager phase solves) for
+    /// improving candidates, and publish improvements to the shared
+    /// `AtomicU64` bound — which immediately tightens the pruning of every
+    /// other worker and cancels candidates that can no longer win. A worker
+    /// that reaches the repetend lower bound raises the stop flag (the
+    /// parallel form of Algorithm 1's line 19 early exit).
+    ///
+    /// The final winner is chosen by smallest period, breaking ties by
+    /// enumeration order. The winning *period* always matches the serial
+    /// loop's (both are the minimum over phase-feasible candidates); which
+    /// equally-good candidate carries it may depend on completion timing.
+    #[allow(clippy::type_complexity, clippy::too_many_lines)]
+    fn search_candidates_portfolio(
+        &self,
+        placement: &PlacementSpec,
+        stats: &mut SearchStats,
+        optimal: &mut u64,
+        lower_bound: u64,
+        inflights: usize,
+        threads: usize,
+    ) -> Result<(Option<Repetend>, Option<(PhasePlan, PhasePlan)>), CoreError> {
+        // Enumerate the whole portfolio up front, in serial order, so the
+        // sequence index doubles as the deterministic tie-breaker.
+        let mut portfolio: Vec<(usize, RepetendCandidate)> = Vec::new();
+        for nr in 1..=inflights {
+            let mut candidates = enumerate_candidates(placement, nr);
+            if let Some(limit) = self.config.candidate_limit {
+                candidates.truncate(limit);
             }
-        };
+            portfolio.extend(candidates.into_iter().map(|c| (nr, c)));
+        }
 
-        let schedule = compose_schedule(
-            placement,
-            &repetend,
-            &warmup,
-            &cooldown,
-            self.config.num_micro_batches.max(repetend.num_micro_batches()),
-        )?;
-        stats.total_time = started.elapsed();
-        Ok(SearchOutcome {
-            schedule,
-            repetend,
-            warmup,
-            cooldown,
-            stats,
-        })
+        struct Win {
+            seq: usize,
+            nr: usize,
+            repetend: Repetend,
+            phases: Option<(PhasePlan, PhasePlan)>,
+        }
+
+        #[derive(Default)]
+        struct WorkerTally {
+            repetend_solves: usize,
+            feasibility_probes: usize,
+            improving: usize,
+            phase_times: PhaseBreakdown,
+        }
+
+        let shared_optimal = AtomicU64::new(*optimal);
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        // Only the (period, seq)-minimum candidate can win, so a single
+        // running best is retained instead of every phase-feasible candidate.
+        let best_win: Mutex<Option<Win>> = Mutex::new(None);
+
+        let tallies: Vec<Result<WorkerTally, CoreError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads.min(portfolio.len().max(1)))
+                .map(|_| {
+                    let portfolio = &portfolio;
+                    let shared_optimal = &shared_optimal;
+                    let next = &next;
+                    let stop = &stop;
+                    let best_win = &best_win;
+                    scope.spawn(move || -> Result<WorkerTally, CoreError> {
+                        let repetend_solver = Solver::new(self.config.repetend_solver.clone());
+                        let phase_solver = Solver::new(self.config.phase_solver.clone());
+                        let probe_solver = Solver::new(SolverConfig::probe());
+                        let mut tally = WorkerTally::default();
+                        loop {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let seq = next.fetch_add(1, Ordering::Relaxed);
+                            if seq >= portfolio.len() {
+                                break;
+                            }
+                            let (nr, candidate) = &portfolio[seq];
+                            // The shared bound cancels candidates that can no
+                            // longer win before any solver work happens.
+                            let bound = shared_optimal.load(Ordering::Relaxed);
+                            let repetend_clock = Instant::now();
+                            let solved =
+                                solve_repetend(placement, candidate, &repetend_solver, bound)?;
+                            tally.repetend_solves += 1;
+                            tally.phase_times.repetend += repetend_clock.elapsed();
+                            let Some(repetend) = solved else { continue };
+                            if repetend.period >= shared_optimal.load(Ordering::Relaxed) {
+                                continue;
+                            }
+
+                            let copies = self.copies_for(&repetend);
+                            let phases = if self.config.lazy {
+                                // Lazy search: probe feasibility first and
+                                // leave phase optimisation to the very end.
+                                let warmup_clock = Instant::now();
+                                let warmup_ok = probe_phase(
+                                    placement,
+                                    &warmup_blocks(&repetend.candidate),
+                                    vec![0; placement.num_devices()],
+                                    &probe_solver,
+                                )?;
+                                tally.feasibility_probes += 1;
+                                tally.phase_times.warmup += warmup_clock.elapsed();
+                                if !warmup_ok {
+                                    continue;
+                                }
+                                let cooldown_clock = Instant::now();
+                                let cooldown_ok = probe_phase(
+                                    placement,
+                                    &cooldown_blocks(&repetend.candidate),
+                                    cooldown_entry_memory(placement, &repetend.candidate, copies),
+                                    &probe_solver,
+                                )?;
+                                tally.feasibility_probes += 1;
+                                tally.phase_times.cooldown += cooldown_clock.elapsed();
+                                if !cooldown_ok {
+                                    continue;
+                                }
+                                None
+                            } else {
+                                let warmup_clock = Instant::now();
+                                let warmup = solve_phase(
+                                    placement,
+                                    Phase::Warmup,
+                                    &warmup_blocks(&repetend.candidate),
+                                    vec![0; placement.num_devices()],
+                                    &phase_solver,
+                                );
+                                tally.phase_times.warmup += warmup_clock.elapsed();
+                                let Ok(warmup) = warmup else { continue };
+                                let cooldown_clock = Instant::now();
+                                let cooldown = solve_phase(
+                                    placement,
+                                    Phase::Cooldown,
+                                    &cooldown_blocks(&repetend.candidate),
+                                    cooldown_entry_memory(placement, &repetend.candidate, copies),
+                                    &phase_solver,
+                                );
+                                tally.phase_times.cooldown += cooldown_clock.elapsed();
+                                let Ok(cooldown) = cooldown else { continue };
+                                Some((warmup, cooldown))
+                            };
+
+                            // Publish the improvement (CAS-min on the shared
+                            // bound) and record the win for the final pick.
+                            let period = repetend.period;
+                            let mut current = shared_optimal.load(Ordering::Relaxed);
+                            let mut improved = false;
+                            while period < current {
+                                match shared_optimal.compare_exchange_weak(
+                                    current,
+                                    period,
+                                    Ordering::Relaxed,
+                                    Ordering::Relaxed,
+                                ) {
+                                    Ok(_) => {
+                                        improved = true;
+                                        break;
+                                    }
+                                    Err(observed) => current = observed,
+                                }
+                            }
+                            if improved {
+                                tally.improving += 1;
+                            }
+                            {
+                                let mut best = best_win.lock().unwrap();
+                                let beats = best
+                                    .as_ref()
+                                    .is_none_or(|b| (period, seq) < (b.repetend.period, b.seq));
+                                if beats {
+                                    *best = Some(Win {
+                                        seq,
+                                        nr: *nr,
+                                        repetend,
+                                        phases,
+                                    });
+                                }
+                            }
+                            if improved && period <= lower_bound {
+                                stop.store(true, Ordering::Relaxed);
+                                break;
+                            }
+                        }
+                        Ok(tally)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("portfolio worker panicked"))
+                .collect()
+        });
+
+        // Candidates actually claimed by a worker; comparable to the serial
+        // loop, which also stops enumerating once the early exit fires.
+        stats.candidates_considered += next.into_inner().min(portfolio.len());
+
+        for tally in tallies {
+            let tally = tally?;
+            stats.repetend_solves += tally.repetend_solves;
+            stats.feasibility_probes += tally.feasibility_probes;
+            stats.improving_repetends += tally.improving;
+            stats.phase_times.repetend += tally.phase_times.repetend;
+            stats.phase_times.warmup += tally.phase_times.warmup;
+            stats.phase_times.cooldown += tally.phase_times.cooldown;
+        }
+
+        let Some(winner) = best_win.into_inner().unwrap() else {
+            return Ok((None, None));
+        };
+        *optimal = winner.repetend.period.min(*optimal);
+        stats.chosen_nr = winner.nr;
+        stats.early_exit = winner.repetend.period <= lower_bound;
+        Ok((Some(winner.repetend), winner.phases))
     }
 
     fn copies_for(&self, repetend: &Repetend) -> usize {
@@ -372,15 +660,31 @@ mod tests {
         let mut b = PlacementSpec::builder("x2", 2);
         b.set_memory_capacity(Some(4));
         // Branch "down": stage0 on dev0, stage1 on dev1.
-        let f0 = b.add_block("d-f0", BlockKind::Forward, [0], 1, 1, []).unwrap();
-        let f1 = b.add_block("d-f1", BlockKind::Forward, [1], 1, 1, [f0]).unwrap();
-        let b1 = b.add_block("d-b1", BlockKind::Backward, [1], 2, -1, [f1]).unwrap();
-        let _b0 = b.add_block("d-b0", BlockKind::Backward, [0], 2, -1, [b1]).unwrap();
+        let f0 = b
+            .add_block("d-f0", BlockKind::Forward, [0], 1, 1, [])
+            .unwrap();
+        let f1 = b
+            .add_block("d-f1", BlockKind::Forward, [1], 1, 1, [f0])
+            .unwrap();
+        let b1 = b
+            .add_block("d-b1", BlockKind::Backward, [1], 2, -1, [f1])
+            .unwrap();
+        let _b0 = b
+            .add_block("d-b0", BlockKind::Backward, [0], 2, -1, [b1])
+            .unwrap();
         // Branch "up": stage0 on dev1, stage1 on dev0.
-        let g0 = b.add_block("u-f0", BlockKind::Forward, [1], 1, 1, []).unwrap();
-        let g1 = b.add_block("u-f1", BlockKind::Forward, [0], 1, 1, [g0]).unwrap();
-        let c1 = b.add_block("u-b1", BlockKind::Backward, [0], 2, -1, [g1]).unwrap();
-        let _c0 = b.add_block("u-b0", BlockKind::Backward, [1], 2, -1, [c1]).unwrap();
+        let g0 = b
+            .add_block("u-f0", BlockKind::Forward, [1], 1, 1, [])
+            .unwrap();
+        let g1 = b
+            .add_block("u-f1", BlockKind::Forward, [0], 1, 1, [g0])
+            .unwrap();
+        let c1 = b
+            .add_block("u-b1", BlockKind::Backward, [0], 2, -1, [g1])
+            .unwrap();
+        let _c0 = b
+            .add_block("u-b0", BlockKind::Backward, [1], 2, -1, [c1])
+            .unwrap();
         b.build().unwrap()
     }
 
@@ -470,8 +774,11 @@ mod tests {
         // Forward-only blocks (an inference pipeline): the search still finds
         // a repetend with period equal to the busiest stage.
         let mut b = PlacementSpec::builder("inference", 2);
-        let f0 = b.add_block("f0", BlockKind::Forward, [0], 2, 0, []).unwrap();
-        b.add_block("f1", BlockKind::Forward, [1], 2, 0, [f0]).unwrap();
+        let f0 = b
+            .add_block("f0", BlockKind::Forward, [0], 2, 0, [])
+            .unwrap();
+        b.add_block("f1", BlockKind::Forward, [1], 2, 0, [f0])
+            .unwrap();
         let p = b.build().unwrap();
         let outcome = TesselSearch::new(SearchConfig::default().with_micro_batches(4))
             .run(&p)
@@ -485,9 +792,70 @@ mod tests {
         let config = SearchConfig::default()
             .with_micro_batches(12)
             .with_lazy(false)
-            .with_max_repetend_micro_batches(3);
+            .with_max_repetend_micro_batches(3)
+            .with_portfolio_threads(4);
         assert_eq!(config.num_micro_batches, 12);
         assert!(!config.lazy);
         assert_eq!(config.max_repetend_micro_batches, 3);
+        assert_eq!(config.portfolio_threads, 4);
+        assert_eq!(config.effective_portfolio_threads(), 4);
+        assert!(
+            SearchConfig::default()
+                .with_portfolio_threads(0)
+                .effective_portfolio_threads()
+                >= 1
+        );
+    }
+
+    #[test]
+    fn portfolio_search_finds_the_serial_period() {
+        for placement in [v_shape(2, 1, 2, Some(3)), x_shape()] {
+            let serial = TesselSearch::new(SearchConfig::default().with_micro_batches(6))
+                .run(&placement)
+                .unwrap();
+            for threads in [2usize, 4] {
+                let portfolio = TesselSearch::new(
+                    SearchConfig::default()
+                        .with_micro_batches(6)
+                        .with_portfolio_threads(threads),
+                )
+                .run(&placement)
+                .unwrap();
+                portfolio.schedule.validate(&placement).unwrap();
+                assert_eq!(portfolio.repetend.period, serial.repetend.period);
+            }
+        }
+    }
+
+    #[test]
+    fn portfolio_search_works_in_eager_mode() {
+        let p = v_shape(2, 1, 2, Some(3));
+        let serial = TesselSearch::new(SearchConfig::default().with_lazy(false))
+            .run(&p)
+            .unwrap();
+        let portfolio = TesselSearch::new(
+            SearchConfig::default()
+                .with_lazy(false)
+                .with_portfolio_threads(3),
+        )
+        .run(&p)
+        .unwrap();
+        portfolio.schedule.validate(&p).unwrap();
+        assert_eq!(portfolio.repetend.period, serial.repetend.period);
+        assert_eq!(portfolio.stats.feasibility_probes, 0);
+    }
+
+    #[test]
+    fn portfolio_stats_report_effort() {
+        let p = v_shape(2, 1, 2, Some(3));
+        let outcome = TesselSearch::new(SearchConfig::default().with_portfolio_threads(4))
+            .run(&p)
+            .unwrap();
+        let stats = &outcome.stats;
+        assert!(stats.candidates_considered > 0);
+        assert!(stats.repetend_solves > 0);
+        assert!(stats.improving_repetends >= 1);
+        assert!(stats.chosen_nr >= 1);
+        assert!(stats.early_exit);
     }
 }

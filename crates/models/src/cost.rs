@@ -239,9 +239,16 @@ pub fn gpt_micro_batch_flops(model: &ModelConfig, cost: &CostModel) -> f64 {
 /// cross encoder.
 #[must_use]
 pub fn flava_micro_batch_flops(config: &FlavaConfig, cost: &CostModel) -> f64 {
-    let text = cost.transformer_layer(config.hidden_size, config.text_seq_len, config.micro_batch_size);
-    let vision =
-        cost.transformer_layer(config.hidden_size, config.vision_seq_len, config.micro_batch_size);
+    let text = cost.transformer_layer(
+        config.hidden_size,
+        config.text_seq_len,
+        config.micro_batch_size,
+    );
+    let vision = cost.transformer_layer(
+        config.hidden_size,
+        config.vision_seq_len,
+        config.micro_batch_size,
+    );
     let cross = cost.transformer_layer(
         config.hidden_size,
         config.text_seq_len + config.vision_seq_len,

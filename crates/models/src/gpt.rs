@@ -13,7 +13,10 @@ use crate::layer_graph::{LayerGraph, LayerKind};
 /// operator distributed across all devices.
 #[must_use]
 pub fn build_gpt(config: &ModelConfig, cost: &CostModel) -> LayerGraph {
-    let mut graph = LayerGraph::new(format!("gpt-{}l-{}h", config.num_layers, config.hidden_size));
+    let mut graph = LayerGraph::new(format!(
+        "gpt-{}l-{}h",
+        config.num_layers, config.hidden_size
+    ));
     let embed_cost = cost.embedding_layer(
         config.hidden_size,
         config.vocab_size,
@@ -25,11 +28,17 @@ pub fn build_gpt(config: &ModelConfig, cost: &CostModel) -> LayerGraph {
     for i in 0..config.num_layers {
         let layer_cost =
             cost.transformer_layer(config.hidden_size, config.seq_len, config.micro_batch_size);
-        prev = graph.add_layer(format!("layer{i:02}"), LayerKind::Transformer, layer_cost, [prev]);
+        prev = graph.add_layer(
+            format!("layer{i:02}"),
+            LayerKind::Transformer,
+            layer_cost,
+            [prev],
+        );
     }
     // The LM head reuses the embedding table; model it as a light head layer
     // that depends on both the last transformer layer and the embedding.
-    let head_cost = cost.transformer_layer(config.hidden_size, config.seq_len, config.micro_batch_size);
+    let head_cost =
+        cost.transformer_layer(config.hidden_size, config.seq_len, config.micro_batch_size);
     let head_cost = crate::cost::LayerCost {
         forward_flops: head_cost.forward_flops * 0.1,
         backward_flops: head_cost.backward_flops * 0.1,
@@ -53,7 +62,10 @@ mod tests {
         assert_eq!(graph.len(), config.num_layers + 2);
         assert!(graph.is_well_formed());
         assert_eq!(graph.layers_of_kind(LayerKind::Embedding).len(), 1);
-        assert_eq!(graph.layers_of_kind(LayerKind::Transformer).len(), config.num_layers);
+        assert_eq!(
+            graph.layers_of_kind(LayerKind::Transformer).len(),
+            config.num_layers
+        );
         assert_eq!(graph.layers_of_kind(LayerKind::Head).len(), 1);
     }
 

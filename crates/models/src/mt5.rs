@@ -13,7 +13,10 @@ use crate::layer_graph::{LayerGraph, LayerKind};
 /// the final encoder layer through cross-attention.
 #[must_use]
 pub fn build_mt5(config: &ModelConfig, cost: &CostModel) -> LayerGraph {
-    let mut graph = LayerGraph::new(format!("mt5-{}l-{}h", config.num_layers, config.hidden_size));
+    let mut graph = LayerGraph::new(format!(
+        "mt5-{}l-{}h",
+        config.num_layers, config.hidden_size
+    ));
     let embed_cost = cost.embedding_layer(
         config.hidden_size,
         config.vocab_size,
@@ -37,14 +40,13 @@ pub fn build_mt5(config: &ModelConfig, cost: &CostModel) -> LayerGraph {
     for i in 0..decoder_layers {
         let layer_cost =
             cost.decoder_layer(config.hidden_size, config.seq_len, config.micro_batch_size);
-        let deps = if i == 0 {
-            vec![prev_dec, last_encoder]
-        } else {
-            vec![prev_dec, last_encoder]
-        };
+        // Every decoder layer attends over the full encoder output (cross
+        // attention), so each depends on the last encoder layer as well.
+        let deps = vec![prev_dec, last_encoder];
         prev_dec = graph.add_layer(format!("dec{i:02}"), LayerKind::Decoder, layer_cost, deps);
     }
-    let head_cost = cost.transformer_layer(config.hidden_size, config.seq_len, config.micro_batch_size);
+    let head_cost =
+        cost.transformer_layer(config.hidden_size, config.seq_len, config.micro_batch_size);
     let head_cost = crate::cost::LayerCost {
         forward_flops: head_cost.forward_flops * 0.1,
         backward_flops: head_cost.backward_flops * 0.1,

@@ -50,8 +50,8 @@ impl DeviceGroups {
         if single_gpu_time == 0 {
             return 0;
         }
-        let scaled =
-            (single_gpu_time as f64 / (self.gpus_per_group as f64 * self.efficiency)).round() as u64;
+        let scaled = (single_gpu_time as f64 / (self.gpus_per_group as f64 * self.efficiency))
+            .round() as u64;
         scaled.max(1)
     }
 

@@ -33,7 +33,13 @@ impl ShapeKind {
     /// All shapes, in the order the paper's figures list them.
     #[must_use]
     pub fn all() -> [ShapeKind; 5] {
-        [ShapeKind::V, ShapeKind::X, ShapeKind::M, ShapeKind::K, ShapeKind::NN]
+        [
+            ShapeKind::V,
+            ShapeKind::X,
+            ShapeKind::M,
+            ShapeKind::K,
+            ShapeKind::NN,
+        ]
     }
 }
 
@@ -99,15 +105,29 @@ pub fn synthetic_placement(kind: ShapeKind, devices: usize) -> Result<PlacementS
                 for &d in &order {
                     let deps: Vec<usize> = prev.into_iter().collect();
                     prev = Some(
-                        b.add_block(format!("{branch}-f{d}"), BlockKind::Forward, [d], 1, 1, deps)
-                            .expect("valid block"),
+                        b.add_block(
+                            format!("{branch}-f{d}"),
+                            BlockKind::Forward,
+                            [d],
+                            1,
+                            1,
+                            deps,
+                        )
+                        .expect("valid block"),
                     );
                 }
                 for &d in order.iter().rev() {
                     let deps: Vec<usize> = prev.into_iter().collect();
                     prev = Some(
-                        b.add_block(format!("{branch}-b{d}"), BlockKind::Backward, [d], 2, -1, deps)
-                            .expect("valid block"),
+                        b.add_block(
+                            format!("{branch}-b{d}"),
+                            BlockKind::Backward,
+                            [d],
+                            2,
+                            -1,
+                            deps,
+                        )
+                        .expect("valid block"),
                     );
                 }
             }
@@ -139,15 +159,29 @@ pub fn synthetic_placement(kind: ShapeKind, devices: usize) -> Result<PlacementS
                 for d in range {
                     let deps: Vec<usize> = prev.into_iter().collect();
                     prev = Some(
-                        b.add_block(format!("{branch}-f{d}"), BlockKind::Forward, [d], 1, 1, deps)
-                            .expect("valid block"),
+                        b.add_block(
+                            format!("{branch}-f{d}"),
+                            BlockKind::Forward,
+                            [d],
+                            1,
+                            1,
+                            deps,
+                        )
+                        .expect("valid block"),
                     );
                 }
                 branch_ends.push(prev.expect("branch has at least one stage"));
             }
             let all: Vec<usize> = (0..devices).collect();
             let cross_f = b
-                .add_block("cross-f", BlockKind::Forward, all.clone(), 1, 1, branch_ends.clone())
+                .add_block(
+                    "cross-f",
+                    BlockKind::Forward,
+                    all.clone(),
+                    1,
+                    1,
+                    branch_ends.clone(),
+                )
                 .expect("valid block");
             let cross_b = b
                 .add_block("cross-b", BlockKind::Backward, all, 2, -1, [cross_f])
@@ -156,7 +190,14 @@ pub fn synthetic_placement(kind: ShapeKind, devices: usize) -> Result<PlacementS
                 let mut prev = cross_b;
                 for d in range.rev() {
                     prev = b
-                        .add_block(format!("{branch}-b{d}"), BlockKind::Backward, [d], 2, -1, [prev])
+                        .add_block(
+                            format!("{branch}-b{d}"),
+                            BlockKind::Backward,
+                            [d],
+                            2,
+                            -1,
+                            [prev],
+                        )
                         .expect("valid block");
                 }
             }
@@ -170,7 +211,14 @@ pub fn synthetic_placement(kind: ShapeKind, devices: usize) -> Result<PlacementS
             let mut enc_prev = embed_f;
             for d in 0..half {
                 enc_prev = b
-                    .add_block(format!("enc-f{d}"), BlockKind::Forward, [d], 1, 1, [enc_prev])
+                    .add_block(
+                        format!("enc-f{d}"),
+                        BlockKind::Forward,
+                        [d],
+                        1,
+                        1,
+                        [enc_prev],
+                    )
                     .expect("valid block");
             }
             let mut dec_prev = enc_prev;
@@ -350,12 +398,21 @@ pub fn gpt_m_shape(
         deps: vec![],
     });
     // Transformer layers balanced across the schedule devices.
-    let per_layer_fwd = scale_over(cost.forward_time(&layer), groups.gpus_per_group, groups.efficiency);
-    let per_layer_bwd = scale_over(cost.backward_time(&layer), groups.gpus_per_group, groups.efficiency);
+    let per_layer_fwd = scale_over(
+        cost.forward_time(&layer),
+        groups.gpus_per_group,
+        groups.efficiency,
+    );
+    let per_layer_bwd = scale_over(
+        cost.backward_time(&layer),
+        groups.gpus_per_group,
+        groups.efficiency,
+    );
     let items: Vec<PartitionItem> = (0..config.num_layers)
         .map(|_| PartitionItem {
             time: per_layer_fwd + per_layer_bwd,
-            memory: cost.memory_units(layer.param_bytes * STATE_FACTOR / groups.gpus_per_group as u64),
+            memory: cost
+                .memory_units(layer.param_bytes * STATE_FACTOR / groups.gpus_per_group as u64),
         })
         .collect();
     let partition = partition_layers(&items, s, None).ok_or(CoreError::EmptyPlacement)?;
@@ -440,15 +497,25 @@ pub fn gpt_v_shape_baseline(
         output_bytes: embed.output_bytes,
         deps: vec![],
     });
-    let per_layer_fwd = scale_over(cost.forward_time(&layer), groups.gpus_per_group, groups.efficiency);
-    let per_layer_bwd = scale_over(cost.backward_time(&layer), groups.gpus_per_group, groups.efficiency);
+    let per_layer_fwd = scale_over(
+        cost.forward_time(&layer),
+        groups.gpus_per_group,
+        groups.efficiency,
+    );
+    let per_layer_bwd = scale_over(
+        cost.backward_time(&layer),
+        groups.gpus_per_group,
+        groups.efficiency,
+    );
     let items: Vec<PartitionItem> = (0..config.num_layers)
         .map(|_| PartitionItem {
             time: per_layer_fwd + per_layer_bwd,
-            memory: cost.memory_units(layer.param_bytes * STATE_FACTOR / groups.gpus_per_group as u64),
+            memory: cost
+                .memory_units(layer.param_bytes * STATE_FACTOR / groups.gpus_per_group as u64),
         })
         .collect();
-    let partition = partition_layers(&items, layer_groups, None).ok_or(CoreError::EmptyPlacement)?;
+    let partition =
+        partition_layers(&items, layer_groups, None).ok_or(CoreError::EmptyPlacement)?;
     for (stage_idx, &(lo, hi)) in partition.stages.iter().enumerate() {
         let layers = (hi - lo) as u64;
         let device = embed_groups + stage_idx;
@@ -522,14 +589,22 @@ pub fn mt5_nn_shape(
     let encoder_layers = config.num_layers / 2;
     let decoder_layers = config.num_layers - encoder_layers;
     let add_stack = |stages: &mut Vec<StagePlan>,
-                         name: &str,
-                         layer_cost: &tessel_models::cost::LayerCost,
-                         num_layers: usize,
-                         device_range: std::ops::Range<usize>,
-                         extra_dep: Option<usize>| {
+                     name: &str,
+                     layer_cost: &tessel_models::cost::LayerCost,
+                     num_layers: usize,
+                     device_range: std::ops::Range<usize>,
+                     extra_dep: Option<usize>| {
         let num_stages = device_range.len();
-        let per_fwd = scale_over(cost.forward_time(layer_cost), groups.gpus_per_group, groups.efficiency);
-        let per_bwd = scale_over(cost.backward_time(layer_cost), groups.gpus_per_group, groups.efficiency);
+        let per_fwd = scale_over(
+            cost.forward_time(layer_cost),
+            groups.gpus_per_group,
+            groups.efficiency,
+        );
+        let per_bwd = scale_over(
+            cost.backward_time(layer_cost),
+            groups.gpus_per_group,
+            groups.efficiency,
+        );
         let per_stage = (num_layers / num_stages).max(1) as u64;
         let mut prev: Option<usize> = None;
         for (i, device) in device_range.enumerate() {
@@ -546,12 +621,17 @@ pub fn mt5_nn_shape(
                 forward_time: (per_fwd * per_stage).max(1),
                 backward_time: (per_bwd * per_stage).max(1),
                 forward_flops: layer_cost.forward_flops * per_stage as f64,
-                backward_flops: layer_cost.backward_flops * cost.recompute_factor * per_stage as f64,
+                backward_flops: layer_cost.backward_flops
+                    * cost.recompute_factor
+                    * per_stage as f64,
                 activation_mem: cost
-                    .memory_units(layer_cost.activation_bytes * per_stage / groups.gpus_per_group as u64)
+                    .memory_units(
+                        layer_cost.activation_bytes * per_stage / groups.gpus_per_group as u64,
+                    )
                     .max(1),
                 static_mem: cost.memory_units(
-                    layer_cost.param_bytes * STATE_FACTOR * per_stage / groups.gpus_per_group as u64,
+                    layer_cost.param_bytes * STATE_FACTOR * per_stage
+                        / groups.gpus_per_group as u64,
                 ),
                 output_bytes: layer_cost.output_bytes,
                 deps,
@@ -630,23 +710,44 @@ pub fn mt5_v_shape_baseline(
     let mut items: Vec<PartitionItem> = Vec::new();
     for _ in 0..encoder_layers {
         items.push(PartitionItem {
-            time: scale_over(cost.forward_time(&enc), groups.gpus_per_group, groups.efficiency)
-                + scale_over(cost.backward_time(&enc), groups.gpus_per_group, groups.efficiency),
-            memory: cost.memory_units(enc.param_bytes * STATE_FACTOR / groups.gpus_per_group as u64),
+            time: scale_over(
+                cost.forward_time(&enc),
+                groups.gpus_per_group,
+                groups.efficiency,
+            ) + scale_over(
+                cost.backward_time(&enc),
+                groups.gpus_per_group,
+                groups.efficiency,
+            ),
+            memory: cost
+                .memory_units(enc.param_bytes * STATE_FACTOR / groups.gpus_per_group as u64),
         });
     }
     for _ in 0..decoder_layers {
         items.push(PartitionItem {
-            time: scale_over(cost.forward_time(&dec), groups.gpus_per_group, groups.efficiency)
-                + scale_over(cost.backward_time(&dec), groups.gpus_per_group, groups.efficiency),
-            memory: cost.memory_units(dec.param_bytes * STATE_FACTOR / groups.gpus_per_group as u64),
+            time: scale_over(
+                cost.forward_time(&dec),
+                groups.gpus_per_group,
+                groups.efficiency,
+            ) + scale_over(
+                cost.backward_time(&dec),
+                groups.gpus_per_group,
+                groups.efficiency,
+            ),
+            memory: cost
+                .memory_units(dec.param_bytes * STATE_FACTOR / groups.gpus_per_group as u64),
         });
     }
-    let partition = partition_layers(&items, layer_groups, None).ok_or(CoreError::EmptyPlacement)?;
+    let partition =
+        partition_layers(&items, layer_groups, None).ok_or(CoreError::EmptyPlacement)?;
     for (stage_idx, &(lo, hi)) in partition.stages.iter().enumerate() {
         let device = embed_groups + stage_idx;
         let fwd: u64 = items[lo..hi].iter().map(|i| i.time / 4).sum::<u64>().max(1);
-        let bwd: u64 = items[lo..hi].iter().map(|i| i.time - i.time / 4).sum::<u64>().max(1);
+        let bwd: u64 = items[lo..hi]
+            .iter()
+            .map(|i| i.time - i.time / 4)
+            .sum::<u64>()
+            .max(1);
         let static_mem: i64 = items[lo..hi].iter().map(|i| i.memory).sum();
         stages.push(StagePlan {
             name: format!("stack{stage_idx}"),
@@ -656,7 +757,9 @@ pub fn mt5_v_shape_baseline(
             forward_flops: enc.forward_flops * (hi - lo) as f64,
             backward_flops: enc.backward_flops * cost.recompute_factor * (hi - lo) as f64,
             activation_mem: cost
-                .memory_units(enc.activation_bytes * (hi - lo) as u64 / groups.gpus_per_group as u64)
+                .memory_units(
+                    enc.activation_bytes * (hi - lo) as u64 / groups.gpus_per_group as u64,
+                )
                 .max(1),
             static_mem,
             output_bytes: enc.output_bytes,
@@ -691,9 +794,16 @@ pub fn flava_k_shape(
     let s = groups.stages.max(2);
     let half = (s / 2).max(1);
     let capacity = cost.device.memory_capacity_units();
-    let text = cost.transformer_layer(config.hidden_size, config.text_seq_len, config.micro_batch_size);
-    let vision =
-        cost.transformer_layer(config.hidden_size, config.vision_seq_len, config.micro_batch_size);
+    let text = cost.transformer_layer(
+        config.hidden_size,
+        config.text_seq_len,
+        config.micro_batch_size,
+    );
+    let vision = cost.transformer_layer(
+        config.hidden_size,
+        config.vision_seq_len,
+        config.micro_batch_size,
+    );
     let cross = cost.transformer_layer(
         config.hidden_size,
         config.text_seq_len + config.vision_seq_len,
@@ -703,13 +813,21 @@ pub fn flava_k_shape(
 
     let mut stages = Vec::new();
     let add_branch = |stages: &mut Vec<StagePlan>,
-                          name: &str,
-                          layer_cost: &tessel_models::cost::LayerCost,
-                          num_layers: usize,
-                          device_range: std::ops::Range<usize>| {
+                      name: &str,
+                      layer_cost: &tessel_models::cost::LayerCost,
+                      num_layers: usize,
+                      device_range: std::ops::Range<usize>| {
         let num_stages = device_range.len();
-        let per_fwd = scale_over(cost.forward_time(layer_cost), groups.gpus_per_group, groups.efficiency);
-        let per_bwd = scale_over(cost.backward_time(layer_cost), groups.gpus_per_group, groups.efficiency);
+        let per_fwd = scale_over(
+            cost.forward_time(layer_cost),
+            groups.gpus_per_group,
+            groups.efficiency,
+        );
+        let per_bwd = scale_over(
+            cost.backward_time(layer_cost),
+            groups.gpus_per_group,
+            groups.efficiency,
+        );
         let per_stage = (num_layers / num_stages).max(1) as u64;
         let mut prev: Option<usize> = None;
         for (i, device) in device_range.enumerate() {
@@ -721,12 +839,17 @@ pub fn flava_k_shape(
                 forward_time: (per_fwd * per_stage).max(1),
                 backward_time: (per_bwd * per_stage).max(1),
                 forward_flops: layer_cost.forward_flops * per_stage as f64,
-                backward_flops: layer_cost.backward_flops * cost.recompute_factor * per_stage as f64,
+                backward_flops: layer_cost.backward_flops
+                    * cost.recompute_factor
+                    * per_stage as f64,
                 activation_mem: cost
-                    .memory_units(layer_cost.activation_bytes * per_stage / groups.gpus_per_group as u64)
+                    .memory_units(
+                        layer_cost.activation_bytes * per_stage / groups.gpus_per_group as u64,
+                    )
                     .max(1),
                 static_mem: cost.memory_units(
-                    layer_cost.param_bytes * STATE_FACTOR * per_stage / groups.gpus_per_group as u64,
+                    layer_cost.param_bytes * STATE_FACTOR * per_stage
+                        / groups.gpus_per_group as u64,
                 ),
                 output_bytes: layer_cost.output_bytes,
                 deps,
@@ -736,19 +859,30 @@ pub fn flava_k_shape(
         prev.expect("branch has at least one stage")
     };
     let text_end = add_branch(&mut stages, "text", &text, config.text_layers, 0..half);
-    let vision_end = add_branch(&mut stages, "vision", &vision, config.vision_layers, half..s);
+    let vision_end = add_branch(
+        &mut stages,
+        "vision",
+        &vision,
+        config.vision_layers,
+        half..s,
+    );
     let cross_layers = config.cross_layers as u64;
     stages.push(StagePlan {
         name: "cross".into(),
         devices: (0..s).collect(),
-        forward_time: (scale_over(cost.forward_time(&cross), total, groups.efficiency) * cross_layers).max(1),
-        backward_time: (scale_over(cost.backward_time(&cross), total, groups.efficiency) * cross_layers).max(1),
+        forward_time: (scale_over(cost.forward_time(&cross), total, groups.efficiency)
+            * cross_layers)
+            .max(1),
+        backward_time: (scale_over(cost.backward_time(&cross), total, groups.efficiency)
+            * cross_layers)
+            .max(1),
         forward_flops: cross.forward_flops * cross_layers as f64,
         backward_flops: cross.backward_flops * cost.recompute_factor * cross_layers as f64,
         activation_mem: cost
             .memory_units(cross.activation_bytes * cross_layers / total as u64)
             .max(1),
-        static_mem: cost.memory_units(cross.param_bytes * STATE_FACTOR * cross_layers / total as u64),
+        static_mem: cost
+            .memory_units(cross.param_bytes * STATE_FACTOR * cross_layers / total as u64),
         output_bytes: cross.output_bytes,
         deps: vec![text_end, vision_end],
     });
@@ -789,23 +923,37 @@ mod tests {
     #[test]
     fn synthetic_shape_block_counts_match_their_structure() {
         let d = 4;
-        assert_eq!(synthetic_placement(ShapeKind::V, d).unwrap().num_blocks(), 2 * d);
-        assert_eq!(synthetic_placement(ShapeKind::X, d).unwrap().num_blocks(), 4 * d);
-        assert_eq!(synthetic_placement(ShapeKind::M, d).unwrap().num_blocks(), 2 * d + 2);
-        assert_eq!(synthetic_placement(ShapeKind::K, d).unwrap().num_blocks(), 2 * d + 2);
-        assert_eq!(synthetic_placement(ShapeKind::NN, d).unwrap().num_blocks(), 2 * d + 2);
+        assert_eq!(
+            synthetic_placement(ShapeKind::V, d).unwrap().num_blocks(),
+            2 * d
+        );
+        assert_eq!(
+            synthetic_placement(ShapeKind::X, d).unwrap().num_blocks(),
+            4 * d
+        );
+        assert_eq!(
+            synthetic_placement(ShapeKind::M, d).unwrap().num_blocks(),
+            2 * d + 2
+        );
+        assert_eq!(
+            synthetic_placement(ShapeKind::K, d).unwrap().num_blocks(),
+            2 * d + 2
+        );
+        assert_eq!(
+            synthetic_placement(ShapeKind::NN, d).unwrap().num_blocks(),
+            2 * d + 2
+        );
     }
 
     #[test]
     fn m_and_nn_shapes_have_all_device_embedding_blocks() {
         for kind in [ShapeKind::M, ShapeKind::NN] {
             let p = synthetic_placement(kind, 4).unwrap();
-            let all_device_blocks = p
-                .blocks()
-                .iter()
-                .filter(|b| b.devices.len() == 4)
-                .count();
-            assert_eq!(all_device_blocks, 2, "{kind} has embed fwd+bwd on all devices");
+            let all_device_blocks = p.blocks().iter().filter(|b| b.devices.len() == 4).count();
+            assert_eq!(
+                all_device_blocks, 2,
+                "{kind} has embed fwd+bwd on all devices"
+            );
         }
     }
 
@@ -845,7 +993,12 @@ mod tests {
             imbalance(&m)
         );
         // The M-shape bottleneck stage is faster than the V-shape one.
-        let bottleneck = |p: &PlacementSpec| (0..p.num_devices()).map(|d| p.device_load(d)).max().unwrap();
+        let bottleneck = |p: &PlacementSpec| {
+            (0..p.num_devices())
+                .map(|d| p.device_load(d))
+                .max()
+                .unwrap()
+        };
         assert!(bottleneck(&m) < bottleneck(&v));
     }
 

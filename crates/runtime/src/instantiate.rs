@@ -107,10 +107,8 @@ mod tests {
 
     fn two_stage_placement(bytes: u64) -> PlacementSpec {
         let mut b = PlacementSpec::builder("two", 2);
-        b.push_block(
-            BlockSpec::new("f0", BlockKind::Forward, [0], 1, 1).with_output_bytes(bytes),
-        )
-        .unwrap();
+        b.push_block(BlockSpec::new("f0", BlockKind::Forward, [0], 1, 1).with_output_bytes(bytes))
+            .unwrap();
         b.push_block(
             BlockSpec::new("f1", BlockKind::Forward, [1], 1, 1)
                 .with_deps([0])

@@ -85,7 +85,10 @@ mod tests {
         let bytes = 256 * 1024 * 1024;
         let local = cluster.transfer_time_units(0, 1, bytes);
         let remote = cluster.transfer_time_units(0, 8, bytes);
-        assert!(remote > local, "IB transfer {remote} should exceed NVLink {local}");
+        assert!(
+            remote > local,
+            "IB transfer {remote} should exceed NVLink {local}"
+        );
     }
 
     #[test]

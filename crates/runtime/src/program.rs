@@ -156,11 +156,25 @@ mod tests {
             devices: vec![
                 DeviceProgram {
                     device: 0,
-                    instrs: vec![compute(0), Instr::Send { to: 1, bytes: 8, tag }],
+                    instrs: vec![
+                        compute(0),
+                        Instr::Send {
+                            to: 1,
+                            bytes: 8,
+                            tag,
+                        },
+                    ],
                 },
                 DeviceProgram {
                     device: 1,
-                    instrs: vec![Instr::Recv { from: 0, bytes: 8, tag }, compute(1)],
+                    instrs: vec![
+                        Instr::Recv {
+                            from: 0,
+                            bytes: 8,
+                            tag,
+                        },
+                        compute(1),
+                    ],
                 },
             ],
             num_micro_batches: 1,

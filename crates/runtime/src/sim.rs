@@ -23,7 +23,11 @@ use tessel_core::CoreError;
 ///
 /// Returns [`CoreError::InvalidSchedule`] if the program deadlocks (cannot
 /// happen for programs produced by [`instantiate`](crate::instantiate)).
-pub fn simulate(program: &Program, cluster: &ClusterSpec, mode: CommMode) -> Result<ExecutionReport> {
+pub fn simulate(
+    program: &Program,
+    cluster: &ClusterSpec,
+    mode: CommMode,
+) -> Result<ExecutionReport> {
     let num_devices = program.devices.len();
     let mut pc = vec![0usize; num_devices];
     let mut clock = vec![0u64; num_devices];
@@ -64,10 +68,9 @@ pub fn simulate(program: &Program, cluster: &ClusterSpec, mode: CommMode) -> Res
                             if let Instr::Recv { tag, .. } = i {
                                 if tag.consumer_stage == *stage
                                     && tag.micro_batch == *micro_batch
-                                    && program.devices[device]
-                                        .instrs
-                                        .iter()
-                                        .any(|x| matches!(x, Instr::Recv { tag: t2, .. } if t2 == tag))
+                                    && program.devices[device].instrs.iter().any(
+                                        |x| matches!(x, Instr::Recv { tag: t2, .. } if t2 == tag),
+                                    )
                                 {
                                     match transfer_done.get(tag) {
                                         Some(&done) => ready_at = ready_at.max(done),
@@ -85,7 +88,8 @@ pub fn simulate(program: &Program, cluster: &ClusterSpec, mode: CommMode) -> Res
                     busy[device] += duration;
                     // Only count the flops once even for multi-device blocks:
                     // attribute them to the first device that executes it.
-                    total_flops += flops / count_devices_running(program, *stage, *micro_batch) as f64;
+                    total_flops +=
+                        flops / count_devices_running(program, *stage, *micro_batch) as f64;
                     memory[device] += mem_delta;
                     peak_memory[device] = peak_memory[device].max(memory[device]);
                     pc[device] += 1;
@@ -112,7 +116,9 @@ pub fn simulate(program: &Program, cluster: &ClusterSpec, mode: CommMode) -> Res
                     CommMode::Blocking => {
                         // Rendezvous: both sides must be at the matching
                         // send/recv.
-                        if let Some(sender_clock) = sender_ready_at(program, &pc, &clock, *from, tag) {
+                        if let Some(sender_clock) =
+                            sender_ready_at(program, &pc, &clock, *from, tag)
+                        {
                             let start = clock[device].max(sender_clock);
                             let duration = cluster.transfer_time_units(*from, device, *bytes);
                             transfer_done.insert(*tag, start + duration);
@@ -306,10 +312,8 @@ mod tests {
     #[test]
     fn flops_are_counted_once_per_block() {
         let mut b = PlacementSpec::builder("tp", 2);
-        b.push_block(
-            BlockSpec::new("tp-block", BlockKind::Forward, [0, 1], 2, 0).with_flops(10.0),
-        )
-        .unwrap();
+        b.push_block(BlockSpec::new("tp-block", BlockKind::Forward, [0, 1], 2, 0).with_flops(10.0))
+            .unwrap();
         let p = b.build().unwrap();
         let s = Schedule::new(2, 1, vec![scheduled_block(&p, 0, 0, 0)]);
         let cluster = ClusterSpec::v100_cluster(2);

@@ -68,9 +68,16 @@ pub fn greedy_schedule(instance: &Instance, priority: GreedyPriority) -> Option<
             }
             let better = match best {
                 None => true,
-                Some((cur, cur_est)) => {
-                    is_preferred(instance, &windows, priority, &device_mem, id, est, cur, cur_est)
-                }
+                Some((cur, cur_est)) => is_preferred(
+                    instance,
+                    &windows,
+                    priority,
+                    &device_mem,
+                    id,
+                    est,
+                    cur,
+                    cur_est,
+                ),
             };
             if better {
                 best = Some((id, est));
@@ -107,15 +114,17 @@ fn is_preferred(
     let cur_tail = windows.tail(current) + instance.task(current).duration;
     match priority {
         GreedyPriority::LongestTail => {
-            (std::cmp::Reverse(cand_tail), candidate_est) < (std::cmp::Reverse(cur_tail), current_est)
+            (std::cmp::Reverse(cand_tail), candidate_est)
+                < (std::cmp::Reverse(cur_tail), current_est)
         }
         GreedyPriority::EarliestStart => {
-            (candidate_est, std::cmp::Reverse(cand_tail)) < (current_est, std::cmp::Reverse(cur_tail))
+            (candidate_est, std::cmp::Reverse(cand_tail))
+                < (current_est, std::cmp::Reverse(cur_tail))
         }
         GreedyPriority::MemoryAware => {
-            let pressured = instance.memory_capacity().is_some_and(|cap| {
-                device_mem.iter().any(|&m| 2 * m > cap)
-            });
+            let pressured = instance
+                .memory_capacity()
+                .is_some_and(|cap| device_mem.iter().any(|&m| 2 * m > cap));
             if pressured {
                 let cand_mem = instance.task(candidate).memory;
                 let cur_mem = instance.task(current).memory;
@@ -123,7 +132,8 @@ fn is_preferred(
                     return cand_mem < cur_mem;
                 }
             }
-            (std::cmp::Reverse(cand_tail), candidate_est) < (std::cmp::Reverse(cur_tail), current_est)
+            (std::cmp::Reverse(cand_tail), candidate_est)
+                < (std::cmp::Reverse(cur_tail), current_est)
         }
     }
 }
@@ -180,7 +190,11 @@ mod tests {
         sol.validate(&inst).unwrap();
         // Sequential execution would need 8 time units; overlapping the two
         // micro-batches brings it down.
-        assert!(sol.makespan() < 8, "makespan {} not overlapped", sol.makespan());
+        assert!(
+            sol.makespan() < 8,
+            "makespan {} not overlapped",
+            sol.makespan()
+        );
     }
 
     #[test]

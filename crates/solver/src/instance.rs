@@ -63,7 +63,9 @@ impl Instance {
 
     /// All precedence edges as `(predecessor, successor)` id pairs.
     pub fn precedences(&self) -> impl Iterator<Item = (TaskId, TaskId)> + '_ {
-        self.precedences.iter().map(|&(a, b)| (TaskId(a), TaskId(b)))
+        self.precedences
+            .iter()
+            .map(|&(a, b)| (TaskId(a), TaskId(b)))
     }
 
     /// Direct successors of `id`.
@@ -318,10 +320,7 @@ impl InstanceBuilder {
                     if demand > capacity {
                         // Only definitely infeasible when no other task can
                         // free memory on this device first.
-                        let can_free = self
-                            .tasks
-                            .iter()
-                            .any(|t| t.memory < 0 && t.uses_device(d));
+                        let can_free = self.tasks.iter().any(|t| t.memory < 0 && t.uses_device(d));
                         if !can_free {
                             return Err(SolverError::TaskExceedsMemory {
                                 task: task.label.clone(),
@@ -372,7 +371,10 @@ mod tests {
     fn rejects_device_out_of_range() {
         let mut b = InstanceBuilder::new(2);
         let err = b.add_task("bad", 1, [2], 0).unwrap_err();
-        assert!(matches!(err, SolverError::DeviceOutOfRange { device: 2, .. }));
+        assert!(matches!(
+            err,
+            SolverError::DeviceOutOfRange { device: 2, .. }
+        ));
     }
 
     #[test]
@@ -386,9 +388,7 @@ mod tests {
     fn rejects_unknown_precedence_target() {
         let mut b = InstanceBuilder::new(1);
         let a = b.add_task("a", 1, [0], 0).unwrap();
-        let err = b
-            .add_precedence(a, TaskId::from_index(5))
-            .unwrap_err();
+        let err = b.add_precedence(a, TaskId::from_index(5)).unwrap_err();
         assert!(matches!(err, SolverError::UnknownTask { index: 5, .. }));
     }
 

@@ -95,9 +95,7 @@ impl TimeWindows {
     pub fn critical_path(&self, instance: &Instance) -> u64 {
         instance
             .task_ids()
-            .map(|id| {
-                self.earliest_start(id) + instance.task(id).duration + self.tail(id)
-            })
+            .map(|id| self.earliest_start(id) + instance.task(id).duration + self.tail(id))
             .max()
             .unwrap_or(0)
     }

@@ -34,15 +34,15 @@ impl SolveStats {
 }
 
 mod duration_serde {
-    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+    use serde::{Deserialize, Error, Serialize, Value};
     use std::time::Duration;
 
-    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
-        d.as_secs_f64().serialize(s)
+    pub fn serialize(d: &Duration) -> Value {
+        d.as_secs_f64().to_value()
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
-        let secs = f64::deserialize(d)?;
+    pub fn deserialize(value: &Value) -> Result<Duration, Error> {
+        let secs = f64::from_value(value)?;
         Ok(Duration::from_secs_f64(secs.max(0.0)))
     }
 }

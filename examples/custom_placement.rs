@@ -41,7 +41,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let n = 8;
-    let outcome = TesselSearch::new(SearchConfig::default().with_micro_batches(n)).run(&placement)?;
+    let outcome =
+        TesselSearch::new(SearchConfig::default().with_micro_batches(n)).run(&placement)?;
     println!(
         "\nTessel: repetend over {} micro-batches, period {}, steady-state bubble {:.0}%",
         outcome.repetend.num_micro_batches(),

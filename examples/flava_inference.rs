@@ -32,7 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Tessel schedule for the K-shape placement.
-    let outcome = TesselSearch::new(SearchConfig::default().with_micro_batches(requests)).run(&placement)?;
+    let outcome =
+        TesselSearch::new(SearchConfig::default().with_micro_batches(requests)).run(&placement)?;
     let tessel = simulate(
         &instantiate(&placement, &outcome.schedule, CommMode::NonBlocking)?,
         &cluster,

@@ -31,7 +31,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Conventional placement (Piper policy): the embedding hogs entire GPUs.
     let v_shape = gpt_v_shape_baseline(&config, &cost, gpus)?;
-    let loads: Vec<u64> = (0..v_shape.num_devices()).map(|d| v_shape.device_load(d)).collect();
+    let loads: Vec<u64> = (0..v_shape.num_devices())
+        .map(|d| v_shape.device_load(d))
+        .collect();
     println!("\n1F1B/Piper placement per-device load: {loads:?} (time units per micro-batch)");
     let baseline = one_f_one_b(&v_shape, micro_batches)?;
     let baseline_report = simulate(
@@ -42,7 +44,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Advanced M-shape placement: embedding distributed across all GPUs.
     let m_shape = gpt_m_shape(&config, &cost, gpus)?;
-    let loads: Vec<u64> = (0..m_shape.num_devices()).map(|d| m_shape.device_load(d)).collect();
+    let loads: Vec<u64> = (0..m_shape.num_devices())
+        .map(|d| m_shape.device_load(d))
+        .collect();
     println!("M-shape placement per-device load   : {loads:?}");
 
     let plus = one_f_one_b_plus(&m_shape, micro_batches)?;
@@ -52,7 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         CommMode::NonBlocking,
     )?;
 
-    let outcome = TesselSearch::new(SearchConfig::default().with_micro_batches(micro_batches)).run(&m_shape)?;
+    let outcome = TesselSearch::new(SearchConfig::default().with_micro_batches(micro_batches))
+        .run(&m_shape)?;
     let tessel_report = simulate(
         &instantiate(&m_shape, &outcome.schedule, CommMode::NonBlocking)?,
         &cluster,
@@ -60,9 +65,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     println!("\niteration time ({micro_batches} micro-batches):");
-    println!("  1F1B  (V-shape): {:.2} s", baseline_report.iteration_seconds(&cluster));
-    println!("  1F1B+ (M-shape): {:.2} s", plus_report.iteration_seconds(&cluster));
-    println!("  Tessel (M-shape): {:.2} s", tessel_report.iteration_seconds(&cluster));
+    println!(
+        "  1F1B  (V-shape): {:.2} s",
+        baseline_report.iteration_seconds(&cluster)
+    );
+    println!(
+        "  1F1B+ (M-shape): {:.2} s",
+        plus_report.iteration_seconds(&cluster)
+    );
+    println!(
+        "  Tessel (M-shape): {:.2} s",
+        tessel_report.iteration_seconds(&cluster)
+    );
     println!(
         "\nTessel speedup: {:.2}x over 1F1B, {:.2}x over 1F1B+",
         baseline_report.iteration_seconds(&cluster) / tessel_report.iteration_seconds(&cluster),

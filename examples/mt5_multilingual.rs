@@ -32,7 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nn_shape = mt5_nn_shape(&config, &cost, gpus)?;
     let v_shape = mt5_v_shape_baseline(&config, &cost, gpus)?;
 
-    let outcome = TesselSearch::new(SearchConfig::default().with_micro_batches(micro_batches)).run(&nn_shape)?;
+    let outcome = TesselSearch::new(SearchConfig::default().with_micro_batches(micro_batches))
+        .run(&nn_shape)?;
     println!(
         "\nTessel repetend: NR={}, period={} time units, steady-state bubble {:.0}%",
         outcome.repetend.num_micro_batches(),

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "steady bubble  : {:.0}%",
         outcome.repetend.bubble_rate(&placement) * 100.0
     );
-    println!("schedule makespan for 8 micro-batches: {}", outcome.schedule.makespan());
+    println!(
+        "schedule makespan for 8 micro-batches: {}",
+        outcome.schedule.makespan()
+    );
     println!("\n{}", outcome.schedule.render_ascii());
 
     // The searched schedule generalises to any number of micro-batches.

@@ -74,7 +74,13 @@ fn baseline_schedules_validate_against_their_placements() {
 fn inference_tradeoff_matches_fig15_shape() {
     // Tensor parallelism has the lowest single-request latency; Tessel's
     // K-shape schedule has the higher throughput at larger batch counts.
-    let placement = flava_k_shape(&FlavaConfig::default(), &CostModel::paper_default(), 4, true).unwrap();
+    let placement = flava_k_shape(
+        &FlavaConfig::default(),
+        &CostModel::paper_default(),
+        4,
+        true,
+    )
+    .unwrap();
     let tessel_outcome = TesselSearch::new(SearchConfig::default().with_micro_batches(16))
         .run(&placement)
         .unwrap();

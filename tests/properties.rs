@@ -5,14 +5,20 @@
 use proptest::prelude::*;
 use tessel::core::ir::{BlockKind, PlacementSpec};
 use tessel::core::search::{SearchConfig, TesselSearch};
+use tessel::placement::shapes::{synthetic_placement, ShapeKind};
 use tessel::solver::{greedy_schedule, GreedyPriority, InstanceBuilder, Solver, SolverConfig};
+use tessel_bench::time_optimal_instance;
 
 /// Strategy: a random pipeline-like placement — a chain of forward blocks over
 /// `devices` devices followed by the mirrored backward chain, with random
 /// per-stage durations.
 fn placement_strategy() -> impl Strategy<Value = PlacementSpec> {
-    (2usize..=4, proptest::collection::vec(1u64..=4, 2..=4), 2i64..=8).prop_map(
-        |(devices, times, capacity)| {
+    (
+        2usize..=4,
+        proptest::collection::vec(1u64..=4, 2..=4),
+        2i64..=8,
+    )
+        .prop_map(|(devices, times, capacity)| {
             let devices = devices.min(times.len().max(2));
             let mut b = PlacementSpec::builder("prop-pipeline", devices);
             b.set_memory_capacity(Some(capacity.max(devices as i64)));
@@ -34,8 +40,7 @@ fn placement_strategy() -> impl Strategy<Value = PlacementSpec> {
                 );
             }
             b.build().unwrap()
-        },
-    )
+        })
 }
 
 /// Strategy: a random solver instance with chain dependencies.
@@ -65,6 +70,65 @@ fn instance_strategy() -> impl Strategy<Value = tessel::solver::Instance> {
         })
 }
 
+/// Determinism of the parallel solver: every thread count proves the same
+/// optimal makespan on every synthetic placement shape of
+/// `crates/placement/src/shapes.rs`.
+#[test]
+fn parallel_and_serial_solver_agree_on_all_shapes() {
+    for shape in ShapeKind::all() {
+        let placement = synthetic_placement(shape, 4).unwrap();
+        let instance = time_optimal_instance(&placement, 2).unwrap();
+        let serial = Solver::new(SolverConfig::default())
+            .minimize(&instance)
+            .unwrap();
+        assert!(
+            serial.is_optimal(),
+            "{shape:?} serial must prove optimality"
+        );
+        let serial_makespan = serial.solution().unwrap().makespan();
+        for threads in [2usize, 4, 0] {
+            let parallel = Solver::new(SolverConfig::default().with_threads(threads))
+                .minimize(&instance)
+                .unwrap();
+            assert!(
+                parallel.is_optimal(),
+                "{shape:?} with {threads} threads must prove optimality"
+            );
+            let solution = parallel.solution().unwrap();
+            solution.validate(&instance).unwrap();
+            assert_eq!(
+                solution.makespan(),
+                serial_makespan,
+                "{shape:?} with {threads} threads proved a different optimum"
+            );
+        }
+    }
+}
+
+/// Determinism of the portfolio search: the winning repetend period does not
+/// depend on the portfolio thread count on any synthetic shape.
+#[test]
+fn portfolio_and_serial_search_agree_on_all_shapes() {
+    for shape in ShapeKind::all() {
+        let placement = synthetic_placement(shape, 4).unwrap();
+        let serial = TesselSearch::new(SearchConfig::default().with_micro_batches(6))
+            .run(&placement)
+            .unwrap();
+        let portfolio = TesselSearch::new(
+            SearchConfig::default()
+                .with_micro_batches(6)
+                .with_portfolio_threads(4),
+        )
+        .run(&placement)
+        .unwrap();
+        portfolio.schedule.validate(&placement).unwrap();
+        assert_eq!(
+            portfolio.repetend.period, serial.repetend.period,
+            "{shape:?} portfolio found a different period"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -90,6 +154,49 @@ proptest! {
             if exact.is_optimal() {
                 prop_assert!(exact_solution.makespan() <= greedy.makespan());
             }
+        }
+    }
+
+    /// Soundness of dominance pruning: disabling the memo entirely
+    /// (`dominance_memo_limit = 0`) must prove the same optimum, so pruning
+    /// never discards the only path to the optimal schedule.
+    #[test]
+    fn dominance_pruning_never_discards_the_optimum(instance in instance_strategy()) {
+        let pruned = Solver::new(SolverConfig {
+            dominance_memo_limit: 1 << 20,
+            ..SolverConfig::default()
+        })
+        .minimize(&instance)
+        .unwrap();
+        let unpruned = Solver::new(SolverConfig {
+            dominance_memo_limit: 0,
+            ..SolverConfig::default()
+        })
+        .minimize(&instance)
+        .unwrap();
+        if pruned.is_optimal() && unpruned.is_optimal() {
+            prop_assert_eq!(
+                pruned.solution().unwrap().makespan(),
+                unpruned.solution().unwrap().makespan()
+            );
+        }
+        prop_assert_eq!(pruned.is_infeasible(), unpruned.is_infeasible());
+    }
+
+    /// The parallel root split proves the same optimum as the serial search
+    /// on random instances, not just the curated shapes.
+    #[test]
+    fn parallel_solver_agrees_on_random_instances(instance in instance_strategy()) {
+        let serial = Solver::new(SolverConfig::default()).minimize(&instance).unwrap();
+        let parallel = Solver::new(SolverConfig::default().with_threads(3))
+            .minimize(&instance)
+            .unwrap();
+        if serial.is_optimal() && parallel.is_optimal() {
+            prop_assert_eq!(
+                serial.solution().unwrap().makespan(),
+                parallel.solution().unwrap().makespan()
+            );
+            prop_assert!(parallel.solution().unwrap().validate(&instance).is_ok());
         }
     }
 

@@ -4,7 +4,9 @@
 use tessel::core::search::{SearchConfig, TesselSearch};
 use tessel::models::config::{gpt_config_for_gpus, mt5_config_for_gpus, FlavaConfig};
 use tessel::models::cost::CostModel;
-use tessel::placement::shapes::{flava_k_shape, gpt_m_shape, mt5_nn_shape, synthetic_placement, ShapeKind};
+use tessel::placement::shapes::{
+    flava_k_shape, gpt_m_shape, mt5_nn_shape, synthetic_placement, ShapeKind,
+};
 use tessel::runtime::{instantiate, simulate, ClusterSpec, CommMode};
 
 fn search(placement: &tessel::core::PlacementSpec, n: usize) -> tessel::core::SearchOutcome {
@@ -47,11 +49,21 @@ fn mt5_nn_shape_end_to_end() {
 
 #[test]
 fn flava_k_shape_inference_end_to_end() {
-    let placement = flava_k_shape(&FlavaConfig::default(), &CostModel::paper_default(), 4, true).unwrap();
+    let placement = flava_k_shape(
+        &FlavaConfig::default(),
+        &CostModel::paper_default(),
+        4,
+        true,
+    )
+    .unwrap();
     let outcome = search(&placement, 8);
     outcome.schedule.validate(&placement).unwrap();
     // Inference placements are forward-only.
-    assert!(outcome.schedule.blocks().iter().all(|b| b.kind.is_forward()));
+    assert!(outcome
+        .schedule
+        .blocks()
+        .iter()
+        .all(|b| b.kind.is_forward()));
     // The two branches overlap: the repetend period is below the sum of all
     // block times.
     assert!(outcome.repetend.period < placement.total_block_time());
@@ -66,7 +78,9 @@ fn every_synthetic_shape_is_searchable_and_extendable() {
         // (quality is not asserted here, only validity).
         let mut config = SearchConfig::default().with_micro_batches(8);
         config.candidate_limit = Some(400);
-        let outcome = TesselSearch::new(config).run(&placement).expect("search succeeds");
+        let outcome = TesselSearch::new(config)
+            .run(&placement)
+            .expect("search succeeds");
         outcome.schedule.validate(&placement).unwrap();
         for n in [8usize, 12, 20] {
             let schedule = outcome.schedule_for(&placement, n).unwrap();
