@@ -1,0 +1,11 @@
+//! Records the `service_throughput` section of `BENCH_search.json`: the
+//! in-process schedule-search service under repeat traffic (see
+//! [`tessel_bench::report::service_rows`]).
+//!
+//! ```bash
+//! cargo run --release -p tessel-bench --bin bench_service
+//! ```
+
+fn main() {
+    tessel_bench::report::emit_service();
+}

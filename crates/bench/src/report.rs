@@ -15,6 +15,9 @@
 //!   and multi-threaded.
 //! * `portfolio_search` — end-to-end `TesselSearch::run` wall-clock on the
 //!   Fig. 8 synthetic shapes with 1 vs 4 portfolio workers.
+//! * `service_throughput` — requests/s and cache hit rate of the in-process
+//!   schedule-search service under repeat traffic (written by the
+//!   `bench_service` binary).
 //! * `criterion_<name>` — raw measurements of the corresponding criterion
 //!   bench run.
 
@@ -230,6 +233,102 @@ pub fn portfolio_rows() -> Vec<PortfolioRow> {
         }
     }
     rows
+}
+
+/// One row of the `service_throughput` section.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServiceThroughputRow {
+    /// Workload description.
+    pub workload: String,
+    /// Search requests issued.
+    pub requests: u64,
+    /// Requests served from the result cache (including device-permuted
+    /// variants that hit via the canonical fingerprint).
+    pub cache_hits: u64,
+    /// Requests that ran a full search.
+    pub cache_misses: u64,
+    /// Hit rate over all requests.
+    pub hit_rate: f64,
+    /// Wall-clock seconds for the whole workload.
+    pub seconds: f64,
+    /// Requests per second.
+    pub requests_per_sec: f64,
+    /// Median request latency in milliseconds (histogram bucket bound).
+    pub p50_ms: f64,
+    /// 99th-percentile request latency in milliseconds (bucket bound).
+    pub p99_ms: f64,
+}
+
+/// Measures the in-process schedule-search service under repeat traffic:
+/// every synthetic 4-device shape is requested `repeats` times — the first
+/// request pays the full search, later ones (including device-permuted
+/// variants) must hit the canonical-fingerprint cache — and the aggregate
+/// requests/s and hit rate are recorded.
+#[must_use]
+pub fn service_rows(repeats: usize) -> Vec<ServiceThroughputRow> {
+    use tessel_service::wire::SearchRequest;
+    use tessel_service::{ScheduleService, ServiceConfig};
+
+    let mut rows = Vec::new();
+    for shape in [
+        ShapeKind::V,
+        ShapeKind::X,
+        ShapeKind::M,
+        ShapeKind::NN,
+        ShapeKind::K,
+    ] {
+        let placement = synthetic_placement(shape, 4).expect("placement");
+        let service = ScheduleService::new(ServiceConfig {
+            default_micro_batches: 8,
+            default_max_repetend: 3,
+            candidate_limit: Some(600),
+            ..ServiceConfig::default()
+        })
+        .expect("service");
+        let devices = placement.num_devices();
+        let started = Instant::now();
+        for i in 0..repeats.max(1) {
+            // Every other repeat rotates the device labels: those requests
+            // can only hit through canonical fingerprinting.
+            let variant = if i % 2 == 1 {
+                let rotation: Vec<usize> = (0..devices).map(|d| (d + 1) % devices).collect();
+                let order: Vec<usize> = (0..placement.num_blocks()).collect();
+                placement.permuted(&rotation, &order).expect("permutation")
+            } else {
+                placement.clone()
+            };
+            service
+                .search(&SearchRequest::for_placement(variant))
+                .expect("search");
+        }
+        let seconds = started.elapsed().as_secs_f64();
+        let snapshot = service.metrics_snapshot();
+        rows.push(ServiceThroughputRow {
+            workload: format!("{shape}-4dev-x{}-rotating", repeats.max(1)),
+            requests: snapshot.requests,
+            cache_hits: snapshot.cache_hits,
+            cache_misses: snapshot.cache_misses,
+            hit_rate: snapshot.hit_rate,
+            seconds,
+            requests_per_sec: snapshot.requests as f64 / seconds.max(1e-9),
+            p50_ms: snapshot.latency_p50_ms,
+            p99_ms: snapshot.latency_p99_ms,
+        });
+    }
+    rows
+}
+
+/// Runs the service workload and updates its `BENCH_search.json` section.
+pub fn emit_service() {
+    write_section("host", &HostInfo::capture());
+    let rows = service_rows(16);
+    write_section("service_throughput", &rows);
+    for row in &rows {
+        println!(
+            "service_throughput {:<24} {:>3} reqs hit_rate={:.2} {:>8.1} req/s p50={:.3}ms p99={:.3}ms",
+            row.workload, row.requests, row.hit_rate, row.requests_per_sec, row.p50_ms, row.p99_ms
+        );
+    }
 }
 
 /// Host metadata stored alongside the measurements so thread-scaling rows

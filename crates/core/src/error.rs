@@ -62,6 +62,11 @@ pub enum CoreError {
         /// Memory units available on the device.
         capacity: i64,
     },
+    /// The search was cancelled or ran past its wall-clock budget
+    /// ([`SearchConfig::time_budget`](crate::search::SearchConfig)) before a
+    /// result could be proved. Long-running callers (the schedule-search
+    /// daemon) surface this as a per-request timeout.
+    DeadlineExceeded,
     /// An error bubbled up from the underlying scheduling solver.
     Solver(SolverError),
     /// A composed schedule failed validation; this indicates a bug and the
@@ -112,6 +117,9 @@ impl fmt::Display for CoreError {
                 f,
                 "device {device} needs {required} memory units of static state but only has {capacity}"
             ),
+            CoreError::DeadlineExceeded => {
+                write!(f, "the search was cancelled or exceeded its deadline")
+            }
             CoreError::Solver(e) => write!(f, "solver error: {e}"),
             CoreError::InvalidSchedule(msg) => write!(f, "composed schedule is invalid: {msg}"),
         }
@@ -163,6 +171,7 @@ mod tests {
                 required: 40,
                 capacity: 32,
             },
+            CoreError::DeadlineExceeded,
             CoreError::Solver(SolverError::EmptyInstance),
             CoreError::InvalidSchedule("overlap".into()),
         ];

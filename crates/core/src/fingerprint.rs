@@ -1,0 +1,679 @@
+//! Canonical placement fingerprinting.
+//!
+//! Two placements that differ only in how devices are numbered or in the
+//! order their blocks were added describe the *same* scheduling problem: the
+//! optimal repetend period, bubble rate and (up to relabeling) the schedule
+//! itself are identical. A result cache keyed by the raw [`PlacementSpec`]
+//! would miss those equivalences, so this module computes a **canonical
+//! form** — a deterministic relabeling of devices and reordering of blocks
+//! that is invariant under both symmetries — plus a stable 64-bit
+//! [`Fingerprint`] of that form.
+//!
+//! The canonicalization is a colour-refinement (Weisfeiler–Leman style)
+//! partition of the block/device incidence structure, followed by
+//! individualisation rounds that break residual ties deterministically. Block
+//! names and the placement name are deliberately excluded: they are arbitrary
+//! labels with no scheduling meaning. Costs (time, memory, FLOPs, output
+//! bytes), block kinds, dependencies, device sets and the memory capacity are
+//! all part of the fingerprint.
+//!
+//! Fingerprint equality is (as with any hash) necessary but not sufficient
+//! for equivalence; callers that must rule out collisions compare the
+//! canonical [`PlacementSpec`]s, which *are* equal exactly when the inputs
+//! are isomorphic under the refinement's power (complete on every placement
+//! shape in this repository).
+
+use crate::error::CoreError;
+use crate::ir::{BlockKind, BlockSpec, PlacementSpec};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use std::fmt;
+
+/// A stable 64-bit hash of a placement's canonical form.
+///
+/// Invariant under device relabeling and block reordering; rendered and
+/// serialized as a 16-digit lowercase hex string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u64);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl Fingerprint {
+    /// Parses the hex form produced by [`fmt::Display`].
+    #[must_use]
+    pub fn parse(text: &str) -> Option<Fingerprint> {
+        if text.len() != 16 {
+            return None;
+        }
+        u64::from_str_radix(text, 16).ok().map(Fingerprint)
+    }
+}
+
+impl Serialize for Fingerprint {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Fingerprint {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        match value {
+            Value::Str(s) => Fingerprint::parse(s)
+                .ok_or_else(|| SerdeError::custom(format!("invalid fingerprint `{s}`"))),
+            other => Err(SerdeError::custom(format!(
+                "expected fingerprint string, found {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A placement brought into canonical form, with the permutations needed to
+/// translate results back to the original labeling.
+#[derive(Debug, Clone)]
+pub struct CanonicalPlacement {
+    /// The canonical placement: blocks in canonical (topological) order,
+    /// devices relabeled, names normalised.
+    pub placement: PlacementSpec,
+    /// The fingerprint of the canonical form.
+    pub fingerprint: Fingerprint,
+    /// `block_perm[original_stage] = canonical_stage`.
+    pub block_perm: Vec<usize>,
+    /// `device_perm[original_device] = canonical_device`.
+    pub device_perm: Vec<usize>,
+}
+
+impl CanonicalPlacement {
+    /// The original stage index of canonical stage `canonical`.
+    #[must_use]
+    pub fn original_block(&self, canonical: usize) -> usize {
+        self.block_perm
+            .iter()
+            .position(|&c| c == canonical)
+            .expect("canonical index in range")
+    }
+
+    /// Inverse of [`CanonicalPlacement::block_perm`]:
+    /// `result[canonical_stage] = original_stage`.
+    #[must_use]
+    pub fn inverse_block_perm(&self) -> Vec<usize> {
+        let mut inv = vec![0usize; self.block_perm.len()];
+        for (orig, &canon) in self.block_perm.iter().enumerate() {
+            inv[canon] = orig;
+        }
+        inv
+    }
+
+    /// Inverse of [`CanonicalPlacement::device_perm`]:
+    /// `result[canonical_device] = original_device`.
+    #[must_use]
+    pub fn inverse_device_perm(&self) -> Vec<usize> {
+        let mut inv = vec![0usize; self.device_perm.len()];
+        for (orig, &canon) in self.device_perm.iter().enumerate() {
+            inv[canon] = orig;
+        }
+        inv
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hash primitives
+// ---------------------------------------------------------------------------
+
+/// One mixing step (xorshift-multiply, splitmix-style): order-sensitive.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 32;
+    x = x.wrapping_mul(0xd6e8_feb8_6659_fd93);
+    x ^= x >> 32;
+    x = x.wrapping_mul(0xd6e8_feb8_6659_fd93);
+    x ^ (x >> 32)
+}
+
+/// Order-free combination: sorts the values first, so the result only depends
+/// on the multiset.
+fn mix_multiset(seed: u64, values: &mut Vec<u64>) -> u64 {
+    values.sort_unstable();
+    let mut h = mix(seed, values.len() as u64);
+    for &v in values.iter() {
+        h = mix(h, v);
+    }
+    values.clear();
+    h
+}
+
+/// FNV-1a over the 8 little-endian bytes of `v`.
+fn fnv_word(mut h: u64, v: u64) -> u64 {
+    for byte in v.to_le_bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn i64_word(v: i64) -> u64 {
+    u64::from_ne_bytes(v.to_ne_bytes())
+}
+
+fn kind_word(kind: BlockKind) -> u64 {
+    match kind {
+        BlockKind::Forward => 0x66,
+        BlockKind::Backward => 0x62,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Colour refinement
+// ---------------------------------------------------------------------------
+
+/// Longest-path depth of every block (0 for blocks without dependencies).
+/// Invariant under both symmetries and compatible with topological order:
+/// every dependency edge goes from a strictly smaller depth to a larger one.
+fn block_depths(placement: &PlacementSpec) -> Vec<usize> {
+    let mut depth = vec![0usize; placement.num_blocks()];
+    for &stage in &placement.topological_stages() {
+        let d = placement
+            .block(stage)
+            .deps
+            .iter()
+            .map(|&p| depth[p] + 1)
+            .max()
+            .unwrap_or(0);
+        depth[stage] = d;
+    }
+    depth
+}
+
+/// One pass of colour refinement over the block/device incidence structure.
+fn refine_round(
+    placement: &PlacementSpec,
+    dependents: &[Vec<usize>],
+    block_colors: &mut [u64],
+    device_colors: &mut [u64],
+    scratch: &mut Vec<u64>,
+) {
+    let new_blocks: Vec<u64> = (0..placement.num_blocks())
+        .map(|i| {
+            let block = placement.block(i);
+            let mut h = mix(block_colors[i], 0x426c);
+            scratch.extend(block.deps.iter().map(|&p| block_colors[p]));
+            h = mix_multiset(h, scratch);
+            scratch.extend(dependents[i].iter().map(|&s| block_colors[s]));
+            h = mix_multiset(h, scratch);
+            scratch.extend(block.devices.iter().map(|&d| device_colors[d]));
+            mix_multiset(h, scratch)
+        })
+        .collect();
+    let new_devices: Vec<u64> = (0..placement.num_devices())
+        .map(|d| {
+            let h = mix(device_colors[d], 0x4465);
+            scratch.extend(
+                placement
+                    .blocks()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| b.uses_device(d))
+                    .map(|(i, _)| new_blocks[i]),
+            );
+            mix_multiset(h, scratch)
+        })
+        .collect();
+    block_colors.copy_from_slice(&new_blocks);
+    device_colors.copy_from_slice(&new_devices);
+}
+
+/// Runs a fixed number of refinement rounds (enough for colours to stabilise
+/// on any placement of `k` blocks and `d` devices). The round count depends
+/// only on invariant quantities, so the result is relabeling-invariant.
+fn refine(
+    placement: &PlacementSpec,
+    dependents: &[Vec<usize>],
+    block_colors: &mut [u64],
+    device_colors: &mut [u64],
+) {
+    let rounds = placement.num_blocks() + placement.num_devices() + 2;
+    let mut scratch = Vec::new();
+    for _ in 0..rounds.min(64) {
+        refine_round(
+            placement,
+            dependents,
+            block_colors,
+            device_colors,
+            &mut scratch,
+        );
+    }
+}
+
+/// The global colouring signature used to pick among individualisation
+/// choices: sorted `(depth, colour)` pairs plus sorted device colours.
+fn signature(depths: &[usize], block_colors: &[u64], device_colors: &[u64]) -> Vec<u64> {
+    let mut sig: Vec<u64> = depths
+        .iter()
+        .zip(block_colors)
+        .map(|(&d, &c)| mix(d as u64, c))
+        .collect();
+    sig.sort_unstable();
+    let mut devs: Vec<u64> = device_colors.to_vec();
+    devs.sort_unstable();
+    sig.extend(devs);
+    sig
+}
+
+impl PlacementSpec {
+    /// Computes the canonical form of this placement: blocks reordered into a
+    /// canonical topological order, devices relabeled canonically, and the
+    /// stable [`Fingerprint`] of the result. See the module docs for the
+    /// invariances and their limits.
+    #[must_use]
+    pub fn canonicalize(&self) -> CanonicalPlacement {
+        let k = self.num_blocks();
+        let depths = block_depths(self);
+        let dependents: Vec<Vec<usize>> = (0..k).map(|i| self.dependents(i)).collect();
+
+        // Initial colours from relabeling-invariant block attributes.
+        let mut block_colors: Vec<u64> = self
+            .blocks()
+            .iter()
+            .zip(&depths)
+            .map(|(b, &depth)| {
+                let mut h = mix(kind_word(b.kind), b.time);
+                h = mix(h, i64_word(b.memory));
+                h = mix(h, b.output_bytes);
+                h = mix(h, b.flops.to_bits());
+                h = mix(h, depth as u64);
+                mix(h, b.devices.len() as u64)
+            })
+            .collect();
+        let mut device_colors: Vec<u64> = vec![0x6465_7631; self.num_devices()];
+        refine(self, &dependents, &mut block_colors, &mut device_colors);
+
+        // Individualisation: while two blocks share a (depth, colour) key,
+        // deterministically split the smallest ambiguous class. Each member is
+        // tentatively individualised; the one whose refined global signature
+        // is smallest wins (members with equal signatures are symmetric under
+        // the refinement and interchangeable).
+        loop {
+            let mut keys: Vec<(usize, u64, usize)> =
+                (0..k).map(|i| (depths[i], block_colors[i], i)).collect();
+            keys.sort_unstable();
+            let Some(pos) = (1..k).find(|&p| {
+                let (da, ca, _) = keys[p - 1];
+                let (db, cb, _) = keys[p];
+                da == db && ca == cb
+            }) else {
+                break;
+            };
+            let (depth, color, _) = keys[pos];
+            let members: Vec<usize> = keys
+                .iter()
+                .filter(|&&(d, c, _)| d == depth && c == color)
+                .map(|&(_, _, i)| i)
+                .collect();
+            let mut best: Option<(Vec<u64>, Vec<u64>, Vec<u64>)> = None;
+            for &m in &members {
+                let mut bc = block_colors.clone();
+                let mut dc = device_colors.clone();
+                bc[m] = mix(bc[m], 0x1e5e_11ed);
+                refine(self, &dependents, &mut bc, &mut dc);
+                let sig = signature(&depths, &bc, &dc);
+                if best.as_ref().is_none_or(|(s, _, _)| sig < *s) {
+                    best = Some((sig, bc, dc));
+                }
+            }
+            let (_, bc, dc) = best.expect("ambiguous class is non-empty");
+            block_colors = bc;
+            device_colors = dc;
+        }
+
+        // Canonical block order: by (depth, colour) — a topological order
+        // because every dependency increases depth.
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_unstable_by_key(|&i| (depths[i], block_colors[i], i));
+        let mut block_perm = vec![0usize; k];
+        for (canonical, &orig) in order.iter().enumerate() {
+            block_perm[orig] = canonical;
+        }
+
+        // Canonical device order: devices sorted by the set of canonical
+        // block positions they host. Devices with identical usage sets are
+        // genuinely interchangeable (every block uses both or neither).
+        let device_keys: Vec<Vec<usize>> = (0..self.num_devices())
+            .map(|d| {
+                let mut key: Vec<usize> = self
+                    .blocks()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, b)| b.uses_device(d))
+                    .map(|(i, _)| block_perm[i])
+                    .collect();
+                key.sort_unstable();
+                key
+            })
+            .collect();
+        let mut device_order: Vec<usize> = (0..self.num_devices()).collect();
+        device_order.sort_by(|&a, &b| device_keys[a].cmp(&device_keys[b]));
+        let mut device_perm = vec![0usize; self.num_devices()];
+        for (canonical, &orig) in device_order.iter().enumerate() {
+            device_perm[orig] = canonical;
+        }
+
+        // Fingerprint over the canonical structure (FNV-1a), then the
+        // canonical spec itself.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        h = fnv_word(h, self.num_devices() as u64);
+        match self.memory_capacity() {
+            Some(cap) => {
+                h = fnv_word(h, 1);
+                h = fnv_word(h, i64_word(cap));
+            }
+            None => h = fnv_word(h, 0),
+        }
+        let canonical_blocks: Vec<BlockSpec> = order
+            .iter()
+            .enumerate()
+            .map(|(canonical, &orig)| {
+                let b = self.block(orig);
+                let mut devices: Vec<usize> = b.devices.iter().map(|&d| device_perm[d]).collect();
+                devices.sort_unstable();
+                let mut deps: Vec<usize> = b.deps.iter().map(|&p| block_perm[p]).collect();
+                deps.sort_unstable();
+                h = fnv_word(h, kind_word(b.kind));
+                h = fnv_word(h, b.time);
+                h = fnv_word(h, i64_word(b.memory));
+                h = fnv_word(h, b.output_bytes);
+                h = fnv_word(h, b.flops.to_bits());
+                h = fnv_word(h, devices.len() as u64);
+                for &d in &devices {
+                    h = fnv_word(h, d as u64);
+                }
+                h = fnv_word(h, deps.len() as u64);
+                for &p in &deps {
+                    h = fnv_word(h, p as u64);
+                }
+                let prefix = if b.kind.is_forward() { 'f' } else { 'b' };
+                BlockSpec::new(
+                    format!("{prefix}{canonical}"),
+                    b.kind,
+                    devices,
+                    b.time,
+                    b.memory,
+                )
+                .with_deps(deps)
+                .with_flops(b.flops)
+                .with_output_bytes(b.output_bytes)
+            })
+            .collect();
+        let fingerprint = Fingerprint(h);
+
+        let mut builder =
+            PlacementSpec::builder(format!("canonical-{fingerprint}"), self.num_devices());
+        builder.set_memory_capacity(self.memory_capacity());
+        for block in canonical_blocks {
+            builder
+                .push_block(block)
+                .expect("canonical blocks are valid by construction");
+        }
+        let placement = builder
+            .build()
+            .expect("canonical order is topological by construction");
+
+        CanonicalPlacement {
+            placement,
+            fingerprint,
+            block_perm,
+            device_perm,
+        }
+    }
+
+    /// The stable 64-bit fingerprint of this placement's canonical form.
+    ///
+    /// Equal for any two placements related by device relabeling and/or block
+    /// reordering (names are ignored); distinct with overwhelming probability
+    /// otherwise.
+    #[must_use]
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.canonicalize().fingerprint
+    }
+
+    /// Returns a structurally identical copy with devices relabeled through
+    /// `device_perm` (`new_device = device_perm[old_device]`) and blocks
+    /// re-added in `block_order` (which must be a topological order of the
+    /// dependency DAG). Used by tests and benchmarks to exercise the
+    /// fingerprint invariances.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `device_perm` is not a permutation of the device
+    /// range, or if `block_order` is not a valid topological permutation of
+    /// the block indices.
+    pub fn permuted(
+        &self,
+        device_perm: &[usize],
+        block_order: &[usize],
+    ) -> Result<PlacementSpec, CoreError> {
+        let d = self.num_devices();
+        let mut seen = vec![false; d];
+        if device_perm.len() != d {
+            return Err(CoreError::InvalidSchedule(format!(
+                "device permutation has {} entries for {} devices",
+                device_perm.len(),
+                d
+            )));
+        }
+        for &p in device_perm {
+            if p >= d || seen[p] {
+                return Err(CoreError::InvalidSchedule(
+                    "device permutation is not a bijection".into(),
+                ));
+            }
+            seen[p] = true;
+        }
+        let k = self.num_blocks();
+        if block_order.len() != k {
+            return Err(CoreError::InvalidSchedule(format!(
+                "block order has {} entries for {} blocks",
+                block_order.len(),
+                k
+            )));
+        }
+        let mut new_index = vec![usize::MAX; k];
+        for (pos, &orig) in block_order.iter().enumerate() {
+            if orig >= k || new_index[orig] != usize::MAX {
+                return Err(CoreError::InvalidSchedule(
+                    "block order is not a permutation".into(),
+                ));
+            }
+            new_index[orig] = pos;
+        }
+        let mut builder = PlacementSpec::builder(self.name(), d);
+        builder.set_memory_capacity(self.memory_capacity());
+        for &orig in block_order {
+            let b = self.block(orig);
+            let devices: Vec<usize> = b.devices.iter().map(|&dev| device_perm[dev]).collect();
+            let deps: Vec<usize> = b.deps.iter().map(|&p| new_index[p]).collect();
+            builder.push_block(
+                BlockSpec::new(b.name.clone(), b.kind, devices, b.time, b.memory)
+                    .with_deps(deps)
+                    .with_flops(b.flops)
+                    .with_output_bytes(b.output_bytes),
+            )?;
+        }
+        builder.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{BlockKind, PlacementSpec};
+
+    fn v_shape(d: usize) -> PlacementSpec {
+        let mut b = PlacementSpec::builder(format!("v{d}"), d);
+        b.set_memory_capacity(Some(d as i64 + 1));
+        let mut prev: Option<usize> = None;
+        for dev in 0..d {
+            let deps: Vec<usize> = prev.into_iter().collect();
+            prev = Some(
+                b.add_block(format!("f{dev}"), BlockKind::Forward, [dev], 1, 1, deps)
+                    .unwrap(),
+            );
+        }
+        for dev in (0..d).rev() {
+            let deps: Vec<usize> = prev.into_iter().collect();
+            prev = Some(
+                b.add_block(format!("b{dev}"), BlockKind::Backward, [dev], 2, -1, deps)
+                    .unwrap(),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fingerprint_survives_device_relabeling() {
+        let p = v_shape(4);
+        let permuted = p.permuted(&[2, 0, 3, 1], &(0..p.num_blocks()).collect::<Vec<_>>());
+        let permuted = permuted.unwrap();
+        assert_eq!(p.fingerprint(), permuted.fingerprint());
+        assert_eq!(
+            p.canonicalize().placement,
+            permuted.canonicalize().placement
+        );
+    }
+
+    #[test]
+    fn fingerprint_survives_block_reordering() {
+        // The two independent chains of an X-shape can be interleaved in any
+        // topological order.
+        let mut b = PlacementSpec::builder("x2", 2);
+        let f0 = b
+            .add_block("d-f0", BlockKind::Forward, [0], 1, 1, [])
+            .unwrap();
+        let f1 = b
+            .add_block("d-f1", BlockKind::Forward, [1], 1, 1, [f0])
+            .unwrap();
+        let g0 = b
+            .add_block("u-f0", BlockKind::Forward, [1], 1, 1, [])
+            .unwrap();
+        let g1 = b
+            .add_block("u-f1", BlockKind::Forward, [0], 1, 1, [g0])
+            .unwrap();
+        let _ = (f1, g1);
+        let p = b.build().unwrap();
+        let reordered = p.permuted(&[0, 1], &[2, 0, 3, 1]).unwrap();
+        assert_eq!(p.fingerprint(), reordered.fingerprint());
+        assert_eq!(
+            p.canonicalize().placement,
+            reordered.canonicalize().placement
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_names_but_not_costs() {
+        let p = v_shape(2);
+        let mut renamed = PlacementSpec::builder("other-name", 2);
+        renamed.set_memory_capacity(p.memory_capacity());
+        for block in p.blocks() {
+            renamed
+                .push_block(
+                    BlockSpec::new(
+                        format!("renamed-{}", block.name),
+                        block.kind,
+                        block.devices.iter().copied(),
+                        block.time,
+                        block.memory,
+                    )
+                    .with_deps(block.deps.iter().copied()),
+                )
+                .unwrap();
+        }
+        assert_eq!(p.fingerprint(), renamed.build().unwrap().fingerprint());
+
+        // Changing a cost changes the fingerprint.
+        let slower = {
+            let mut b = PlacementSpec::builder("v2", 2);
+            b.set_memory_capacity(p.memory_capacity());
+            let f0 = b
+                .add_block("f0", BlockKind::Forward, [0], 1, 1, [])
+                .unwrap();
+            let f1 = b
+                .add_block("f1", BlockKind::Forward, [1], 1, 1, [f0])
+                .unwrap();
+            let b1 = b
+                .add_block("b1", BlockKind::Backward, [1], 3, -1, [f1])
+                .unwrap();
+            b.add_block("b0", BlockKind::Backward, [0], 3, -1, [b1])
+                .unwrap();
+            b.build().unwrap()
+        };
+        assert_ne!(p.fingerprint(), slower.fingerprint());
+    }
+
+    #[test]
+    fn different_device_counts_differ() {
+        assert_ne!(v_shape(2).fingerprint(), v_shape(3).fingerprint());
+        assert_ne!(v_shape(3).fingerprint(), v_shape(4).fingerprint());
+    }
+
+    #[test]
+    fn memory_capacity_is_part_of_the_fingerprint() {
+        let p = v_shape(2);
+        assert_ne!(p.fingerprint(), p.with_memory_capacity(None).fingerprint());
+        assert_ne!(
+            p.fingerprint(),
+            p.with_memory_capacity(Some(7)).fingerprint()
+        );
+    }
+
+    #[test]
+    fn canonical_form_round_trips_permutations() {
+        let p = v_shape(3);
+        let canon = p.canonicalize();
+        assert_eq!(canon.placement.num_blocks(), p.num_blocks());
+        assert_eq!(canon.placement.num_devices(), p.num_devices());
+        // The permutations are bijections and invert correctly.
+        let inv_b = canon.inverse_block_perm();
+        for orig in 0..p.num_blocks() {
+            assert_eq!(inv_b[canon.block_perm[orig]], orig);
+            assert_eq!(canon.original_block(canon.block_perm[orig]), orig);
+        }
+        let inv_d = canon.inverse_device_perm();
+        for orig in 0..p.num_devices() {
+            assert_eq!(inv_d[canon.device_perm[orig]], orig);
+        }
+        // Costs are preserved through the permutation.
+        for orig in 0..p.num_blocks() {
+            let c = canon.placement.block(canon.block_perm[orig]);
+            let b = p.block(orig);
+            assert_eq!(c.time, b.time);
+            assert_eq!(c.memory, b.memory);
+            assert_eq!(c.kind, b.kind);
+        }
+        // Canonicalizing the canonical form is a fixed point.
+        let again = canon.placement.canonicalize();
+        assert_eq!(again.fingerprint, canon.fingerprint);
+        assert_eq!(again.placement, canon.placement);
+    }
+
+    #[test]
+    fn fingerprint_serde_round_trips() {
+        let fp = v_shape(2).fingerprint();
+        let json = serde_json::to_string(&fp).unwrap();
+        let back: Fingerprint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, fp);
+        assert_eq!(Fingerprint::parse(&fp.to_string()), Some(fp));
+        assert_eq!(Fingerprint::parse("xyz"), None);
+    }
+
+    #[test]
+    fn permuted_rejects_bad_inputs() {
+        let p = v_shape(2);
+        let ident: Vec<usize> = (0..p.num_blocks()).collect();
+        assert!(p.permuted(&[0], &ident).is_err());
+        assert!(p.permuted(&[1, 1], &ident).is_err());
+        assert!(p.permuted(&[0, 1], &[0, 0, 1, 2]).is_err());
+        // Non-topological order: b0 before its dependency b1.
+        assert!(p.permuted(&[0, 1], &[3, 2, 1, 0]).is_err());
+    }
+}

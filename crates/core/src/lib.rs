@@ -13,6 +13,8 @@
 //! * [`compose`] — schedule generalisation to arbitrary micro-batch counts
 //!   (§III-C).
 //! * [`search`] — Algorithm 1 with the lazy-search optimisation of §V.
+//! * [`fingerprint`] — canonical placement form and the stable 64-bit
+//!   fingerprint used by the schedule-search daemon's result cache.
 //!
 //! # Quickstart
 //!
@@ -44,15 +46,18 @@
 pub mod completion;
 pub mod compose;
 pub mod error;
+pub mod fingerprint;
 pub mod ir;
 pub mod repetend;
 pub mod schedule;
 pub mod search;
 
 pub use error::CoreError;
+pub use fingerprint::{CanonicalPlacement, Fingerprint};
 pub use ir::{BlockKind, BlockSpec, PlacementSpec};
 pub use schedule::{Schedule, ScheduledBlock};
 pub use search::{SearchConfig, SearchOutcome, TesselSearch};
+pub use tessel_solver::CancelToken;
 
 /// Result alias used throughout the core crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -37,60 +37,119 @@ impl RepetendCandidate {
     }
 }
 
-/// Enumerates every repetend candidate over exactly `nr` micro-batches,
-/// pruned by Properties 4.1 and 4.2 of the paper:
+/// Enumerates every repetend candidate over exactly `nr` micro-batches by
+/// draining [`candidate_iter`]. Kept for callers that genuinely need the full
+/// list; the search itself pulls candidates lazily so very large `NR` never
+/// materializes the whole (exponentially sized) set.
+#[must_use]
+pub fn enumerate_candidates(placement: &PlacementSpec, nr: usize) -> Vec<RepetendCandidate> {
+    candidate_iter(placement, nr).collect()
+}
+
+/// Lazily enumerates every repetend candidate over exactly `nr` micro-batches
+/// in the same deterministic order the (previously recursive) eager
+/// enumeration produced, pruned by Properties 4.1 and 4.2 of the paper:
 ///
 /// * indices are normalised so the smallest used index is `0` and the largest
 ///   is `nr - 1` (candidates that use fewer micro-batches are enumerated for
 ///   the smaller `nr` instead);
 /// * along every dependency edge `B_i -> B_j` the index of the predecessor is
 ///   at least the index of the successor (`indices[i] >= indices[j]`).
+///
+/// The iterator holds `O(K)` state regardless of how many candidates exist,
+/// which keeps memory bounded for large `NR` (a ROADMAP open item); portfolio
+/// search workers pull from it on demand.
 #[must_use]
-pub fn enumerate_candidates(placement: &PlacementSpec, nr: usize) -> Vec<RepetendCandidate> {
-    if nr == 0 {
-        return Vec::new();
-    }
+pub fn candidate_iter(placement: &PlacementSpec, nr: usize) -> CandidateIter<'_> {
     let k = placement.num_blocks();
-    let order = placement.topological_stages();
-    let mut indices = vec![0usize; k];
-    let mut out = Vec::new();
-    assign(placement, &order, 0, nr, &mut indices, &mut out);
-    out
+    CandidateIter {
+        placement,
+        order: placement.topological_stages(),
+        nr,
+        indices: vec![0; k],
+        cursor: vec![0; k],
+        pos: 0,
+        done: nr == 0 || k == 0,
+    }
 }
 
-fn assign(
-    placement: &PlacementSpec,
-    order: &[usize],
-    pos: usize,
+/// Incremental repetend-candidate generator returned by [`candidate_iter`].
+///
+/// Implements the depth-first assignment of micro-batch indices to stages
+/// (in topological order) with an explicit cursor stack instead of recursion,
+/// so candidates are produced one at a time.
+#[derive(Debug, Clone)]
+pub struct CandidateIter<'a> {
+    placement: &'a PlacementSpec,
+    order: Vec<usize>,
     nr: usize,
-    indices: &mut Vec<usize>,
-    out: &mut Vec<RepetendCandidate>,
-) {
-    if pos == order.len() {
-        let min = indices.iter().min().copied().unwrap_or(0);
-        let max = indices.iter().max().copied().unwrap_or(0);
-        if min == 0 && max + 1 == nr {
-            out.push(RepetendCandidate {
-                indices: indices.clone(),
-            });
+    /// Current (partial) index assignment, by stage.
+    indices: Vec<usize>,
+    /// `cursor[pos]`: the next index value to try at position `pos` of the
+    /// topological order.
+    cursor: Vec<usize>,
+    /// Number of positions currently assigned.
+    pos: usize,
+    done: bool,
+}
+
+impl CandidateIter<'_> {
+    /// Steps back to the previous position (or finishes the iteration).
+    fn retreat(&mut self) {
+        if self.pos == 0 {
+            self.done = true;
+        } else {
+            self.pos -= 1;
         }
-        return;
     }
-    let stage = order[pos];
-    // Property 4.2: the index of a stage may not exceed the index of any of
-    // its predecessors.
-    let upper = placement
-        .block(stage)
-        .deps
-        .iter()
-        .map(|&d| indices[d])
-        .min()
-        .unwrap_or(nr - 1);
-    for idx in 0..=upper {
-        indices[stage] = idx;
-        assign(placement, order, pos + 1, nr, indices, out);
+}
+
+impl Iterator for CandidateIter<'_> {
+    type Item = RepetendCandidate;
+
+    fn next(&mut self) -> Option<RepetendCandidate> {
+        let k = self.order.len();
+        while !self.done {
+            if self.pos == k {
+                // Leaf: all stages assigned. Emit if the candidate uses
+                // exactly the index range {0, .., nr-1}, then backtrack.
+                let min = self.indices.iter().min().copied().unwrap_or(0);
+                let max = self.indices.iter().max().copied().unwrap_or(0);
+                let emit = min == 0 && max + 1 == self.nr;
+                let candidate = emit.then(|| RepetendCandidate {
+                    indices: self.indices.clone(),
+                });
+                self.retreat();
+                if candidate.is_some() {
+                    return candidate;
+                }
+                continue;
+            }
+            let stage = self.order[self.pos];
+            // Property 4.2: the index of a stage may not exceed the index of
+            // any of its predecessors.
+            let upper = self
+                .placement
+                .block(stage)
+                .deps
+                .iter()
+                .map(|&d| self.indices[d])
+                .min()
+                .unwrap_or(self.nr - 1);
+            let next = self.cursor[self.pos];
+            if next > upper {
+                self.retreat();
+                continue;
+            }
+            self.indices[stage] = next;
+            self.cursor[self.pos] = next + 1;
+            self.pos += 1;
+            if self.pos < k {
+                self.cursor[self.pos] = 0;
+            }
+        }
+        None
     }
-    indices[stage] = 0;
 }
 
 /// Memory already resident on each device when the repetend starts: the sum
@@ -377,6 +436,77 @@ mod tests {
             );
         }
         b.build().unwrap()
+    }
+
+    /// Reference enumeration (the original recursive formulation) used to
+    /// pin the incremental iterator's output and order.
+    fn recursive_reference(placement: &PlacementSpec, nr: usize) -> Vec<RepetendCandidate> {
+        fn assign(
+            placement: &PlacementSpec,
+            order: &[usize],
+            pos: usize,
+            nr: usize,
+            indices: &mut Vec<usize>,
+            out: &mut Vec<RepetendCandidate>,
+        ) {
+            if pos == order.len() {
+                let min = indices.iter().min().copied().unwrap_or(0);
+                let max = indices.iter().max().copied().unwrap_or(0);
+                if min == 0 && max + 1 == nr {
+                    out.push(RepetendCandidate {
+                        indices: indices.clone(),
+                    });
+                }
+                return;
+            }
+            let stage = order[pos];
+            let upper = placement
+                .block(stage)
+                .deps
+                .iter()
+                .map(|&d| indices[d])
+                .min()
+                .unwrap_or(nr - 1);
+            for idx in 0..=upper {
+                indices[stage] = idx;
+                assign(placement, order, pos + 1, nr, indices, out);
+            }
+            indices[stage] = 0;
+        }
+        if nr == 0 {
+            return Vec::new();
+        }
+        let order = placement.topological_stages();
+        let mut indices = vec![0usize; placement.num_blocks()];
+        let mut out = Vec::new();
+        assign(placement, &order, 0, nr, &mut indices, &mut out);
+        out
+    }
+
+    #[test]
+    fn incremental_iterator_matches_recursive_enumeration() {
+        for d in [1usize, 2, 3] {
+            let p = v_shape(d, 2, None);
+            for nr in 0..=4 {
+                let lazy: Vec<RepetendCandidate> = candidate_iter(&p, nr).collect();
+                assert_eq!(lazy, recursive_reference(&p, nr), "d={d} nr={nr}");
+                assert_eq!(lazy, enumerate_candidates(&p, nr));
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_iterator_is_lazy_and_resumable() {
+        let p = v_shape(3, 2, None);
+        let mut iter = candidate_iter(&p, 3);
+        let reference = recursive_reference(&p, 3);
+        // Pulling one at a time yields the same sequence as draining.
+        for expected in &reference {
+            assert_eq!(iter.next().as_ref(), Some(expected));
+        }
+        assert_eq!(iter.next(), None);
+        // Exhausted iterators stay exhausted.
+        assert_eq!(iter.next(), None);
     }
 
     #[test]

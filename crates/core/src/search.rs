@@ -15,16 +15,16 @@ use crate::completion::{
 use crate::compose::compose_schedule;
 use crate::error::CoreError;
 use crate::ir::PlacementSpec;
-use crate::repetend::{enumerate_candidates, solve_repetend, Repetend, RepetendCandidate};
+use crate::repetend::{candidate_iter, solve_repetend, CandidateIter, Repetend, RepetendCandidate};
 use crate::schedule::Schedule;
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use tessel_solver::{Solver, SolverConfig};
+use tessel_solver::{Abort, CancelToken, Solver, SolverConfig};
 
 /// Configuration of the Tessel search.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SearchConfig {
     /// Number of micro-batches the final composed schedule should cover (`N`).
     pub num_micro_batches: usize,
@@ -45,13 +45,23 @@ pub struct SearchConfig {
     ///
     /// `1` (the default) reproduces the strictly serial candidate loop of
     /// Algorithm 1; `0` uses [`std::thread::available_parallelism`]. Workers
-    /// pull candidates from a shared queue and share the best period found so
-    /// far through an atomic bound, so a good repetend found by one worker
-    /// immediately tightens the solver budget of all others. The winning
-    /// *period* is independent of the thread count (ties among recorded
-    /// candidates break by enumeration order); which equally-good candidate
-    /// carries it may differ from the serial loop.
+    /// pull candidates lazily from a shared generator and share the best
+    /// period found so far through an atomic bound, so a good repetend found
+    /// by one worker immediately tightens the solver budget of all others.
+    /// The winning *period* is independent of the thread count (ties among
+    /// recorded candidates break by enumeration order); which equally-good
+    /// candidate carries it may differ from the serial loop.
     pub portfolio_threads: usize,
+    /// Optional wall-clock budget for one [`TesselSearch::run`] call. When it
+    /// elapses, in-flight solver work is aborted cooperatively and the run
+    /// returns [`CoreError::DeadlineExceeded`]. `None` (the default) never
+    /// times out. The schedule-search daemon maps per-request deadlines onto
+    /// this field.
+    pub time_budget: Option<Duration>,
+    /// External cancellation token, checked between candidates and inside the
+    /// solver's branch loop. Cancelling it aborts the run with
+    /// [`CoreError::DeadlineExceeded`].
+    pub cancel: CancelToken,
 }
 
 impl Default for SearchConfig {
@@ -64,7 +74,24 @@ impl Default for SearchConfig {
             lazy: true,
             candidate_limit: None,
             portfolio_threads: 1,
+            time_budget: None,
+            cancel: CancelToken::new(),
         }
+    }
+}
+
+/// Equality ignores the [`SearchConfig::cancel`] handle (it has identity, not
+/// value, semantics); every other field participates.
+impl PartialEq for SearchConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_micro_batches == other.num_micro_batches
+            && self.max_repetend_micro_batches == other.max_repetend_micro_batches
+            && self.repetend_solver == other.repetend_solver
+            && self.phase_solver == other.phase_solver
+            && self.lazy == other.lazy
+            && self.candidate_limit == other.candidate_limit
+            && self.portfolio_threads == other.portfolio_threads
+            && self.time_budget == other.time_budget
     }
 }
 
@@ -97,6 +124,21 @@ impl SearchConfig {
     #[must_use]
     pub fn with_portfolio_threads(mut self, threads: usize) -> Self {
         self.portfolio_threads = threads;
+        self
+    }
+
+    /// Returns a copy with a wall-clock budget for the whole run (see
+    /// [`SearchConfig::time_budget`]).
+    #[must_use]
+    pub fn with_time_budget(mut self, budget: Option<Duration>) -> Self {
+        self.time_budget = budget;
+        self
+    }
+
+    /// Returns a copy observing `cancel` (see [`SearchConfig::cancel`]).
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
         self
     }
 
@@ -134,7 +176,8 @@ impl PhaseBreakdown {
 /// Statistics of one search run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SearchStats {
-    /// Number of repetend candidates enumerated.
+    /// Number of repetend candidates pulled from the incremental generator
+    /// (enumeration stops early once the lower bound is reached).
     pub candidates_considered: usize,
     /// Number of repetend candidates handed to the solver.
     pub repetend_solves: usize,
@@ -215,7 +258,15 @@ impl TesselSearch {
         let started = Instant::now();
         let mut stats = SearchStats::default();
 
-        let phase_solver = Solver::new(self.config.phase_solver.clone());
+        // Per-run abort conditions: the caller's cancellation token plus the
+        // wall-clock budget, shared with every solver this run creates so
+        // in-flight branch loops stop cooperatively.
+        let abort = Abort {
+            cancel: self.config.cancel.clone(),
+            deadline: self.config.time_budget.map(|budget| started + budget),
+        };
+
+        let phase_solver = solver_with_abort(&self.config.phase_solver, &abort);
 
         // Lines 1-6 of Algorithm 1: bounds and the in-flight micro-batch cap.
         let mut optimal = placement.total_block_time() + 1;
@@ -235,6 +286,7 @@ impl TesselSearch {
                 lower_bound,
                 inflights,
                 threads,
+                &abort,
             )?
         } else {
             self.search_candidates_serial(
@@ -243,8 +295,18 @@ impl TesselSearch {
                 &mut optimal,
                 lower_bound,
                 inflights,
+                &abort,
             )?
         };
+
+        // The budget expiring anywhere inside the candidate loops — including
+        // mid-solve on the last candidate of an eager-mode run, which the
+        // loops themselves cannot distinguish from an infeasible candidate —
+        // uniformly surfaces as a deadline error rather than a silently
+        // weaker result.
+        if abort.should_stop() {
+            return Err(CoreError::DeadlineExceeded);
+        }
 
         let repetend = best.ok_or(CoreError::NoFeasibleRepetend)?;
         let copies = self.copies_for(&repetend);
@@ -296,6 +358,9 @@ impl TesselSearch {
 
     /// Lines 7-19 of Algorithm 1: the strictly serial candidate loop.
     ///
+    /// Candidates are pulled incrementally from [`candidate_iter`], so even
+    /// an astronomically large candidate space costs `O(K)` memory.
+    ///
     /// Returns the winning repetend (if any) and, in eager mode, the phases
     /// solved alongside it.
     #[allow(clippy::type_complexity)]
@@ -306,20 +371,21 @@ impl TesselSearch {
         optimal: &mut u64,
         lower_bound: u64,
         inflights: usize,
+        abort: &Abort,
     ) -> Result<(Option<Repetend>, Option<(PhasePlan, PhasePlan)>), CoreError> {
-        let repetend_solver = Solver::new(self.config.repetend_solver.clone());
-        let phase_solver = Solver::new(self.config.phase_solver.clone());
-        let probe_solver = Solver::new(SolverConfig::probe());
+        let repetend_solver = solver_with_abort(&self.config.repetend_solver, abort);
+        let phase_solver = solver_with_abort(&self.config.phase_solver, abort);
+        let probe_solver = solver_with_abort(&SolverConfig::probe(), abort);
         let mut best: Option<Repetend> = None;
         let mut best_phases: Option<(PhasePlan, PhasePlan)> = None;
 
         'outer: for nr in 1..=inflights {
-            let mut candidates = enumerate_candidates(placement, nr);
-            if let Some(limit) = self.config.candidate_limit {
-                candidates.truncate(limit);
-            }
-            stats.candidates_considered += candidates.len();
-            for candidate in candidates {
+            let level_limit = self.config.candidate_limit.unwrap_or(usize::MAX);
+            for candidate in candidate_iter(placement, nr).take(level_limit) {
+                if abort.should_stop() {
+                    return Err(CoreError::DeadlineExceeded);
+                }
+                stats.candidates_considered += 1;
                 let repetend_clock = Instant::now();
                 let solved = solve_repetend(placement, &candidate, &repetend_solver, *optimal)?;
                 stats.repetend_solves += 1;
@@ -401,8 +467,11 @@ impl TesselSearch {
     /// The parallel portfolio variant of the candidate loop.
     ///
     /// All repetend candidates (every `NR` level, in enumeration order) form
-    /// one work queue. Workers claim candidates through an atomic cursor,
-    /// solve each with the current shared best period as the solver's upper
+    /// one logical work queue, produced **lazily** by a shared
+    /// [`PortfolioStream`] — nothing is materialized up front, so very large
+    /// `NR` levels cost `O(K)` memory no matter how many candidates they
+    /// contain. Workers pull the next candidate under a short-held lock,
+    /// solve it with the current shared best period as the solver's upper
     /// bound, run the lazy feasibility probes (or the eager phase solves) for
     /// improving candidates, and publish improvements to the shared
     /// `AtomicU64` bound — which immediately tightens the pruning of every
@@ -411,10 +480,15 @@ impl TesselSearch {
     /// parallel form of Algorithm 1's line 19 early exit).
     ///
     /// The final winner is chosen by smallest period, breaking ties by
-    /// enumeration order. The winning *period* always matches the serial
-    /// loop's (both are the minimum over phase-feasible candidates); which
-    /// equally-good candidate carries it may depend on completion timing.
-    #[allow(clippy::type_complexity, clippy::too_many_lines)]
+    /// enumeration order (the stream's sequence number). The winning *period*
+    /// always matches the serial loop's (both are the minimum over
+    /// phase-feasible candidates); which equally-good candidate carries it
+    /// may depend on completion timing.
+    #[allow(
+        clippy::type_complexity,
+        clippy::too_many_lines,
+        clippy::too_many_arguments
+    )]
     fn search_candidates_portfolio(
         &self,
         placement: &PlacementSpec,
@@ -423,17 +497,13 @@ impl TesselSearch {
         lower_bound: u64,
         inflights: usize,
         threads: usize,
+        abort: &Abort,
     ) -> Result<(Option<Repetend>, Option<(PhasePlan, PhasePlan)>), CoreError> {
-        // Enumerate the whole portfolio up front, in serial order, so the
-        // sequence index doubles as the deterministic tie-breaker.
-        let mut portfolio: Vec<(usize, RepetendCandidate)> = Vec::new();
-        for nr in 1..=inflights {
-            let mut candidates = enumerate_candidates(placement, nr);
-            if let Some(limit) = self.config.candidate_limit {
-                candidates.truncate(limit);
-            }
-            portfolio.extend(candidates.into_iter().map(|c| (nr, c)));
-        }
+        let stream = Mutex::new(PortfolioStream::new(
+            placement,
+            inflights,
+            self.config.candidate_limit,
+        ));
 
         struct Win {
             seq: usize,
@@ -451,40 +521,45 @@ impl TesselSearch {
         }
 
         let shared_optimal = AtomicU64::new(*optimal);
-        let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
+        let timed_out = AtomicBool::new(false);
         // Only the (period, seq)-minimum candidate can win, so a single
         // running best is retained instead of every phase-feasible candidate.
         let best_win: Mutex<Option<Win>> = Mutex::new(None);
 
         let tallies: Vec<Result<WorkerTally, CoreError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads.min(portfolio.len().max(1)))
+            let handles: Vec<_> = (0..threads)
                 .map(|_| {
-                    let portfolio = &portfolio;
+                    let stream = &stream;
                     let shared_optimal = &shared_optimal;
-                    let next = &next;
                     let stop = &stop;
+                    let timed_out = &timed_out;
                     let best_win = &best_win;
                     scope.spawn(move || -> Result<WorkerTally, CoreError> {
-                        let repetend_solver = Solver::new(self.config.repetend_solver.clone());
-                        let phase_solver = Solver::new(self.config.phase_solver.clone());
-                        let probe_solver = Solver::new(SolverConfig::probe());
+                        let repetend_solver =
+                            solver_with_abort(&self.config.repetend_solver, abort);
+                        let phase_solver = solver_with_abort(&self.config.phase_solver, abort);
+                        let probe_solver = solver_with_abort(&SolverConfig::probe(), abort);
                         let mut tally = WorkerTally::default();
                         loop {
                             if stop.load(Ordering::Relaxed) {
                                 break;
                             }
-                            let seq = next.fetch_add(1, Ordering::Relaxed);
-                            if seq >= portfolio.len() {
+                            if abort.should_stop() {
+                                timed_out.store(true, Ordering::Relaxed);
                                 break;
                             }
-                            let (nr, candidate) = &portfolio[seq];
+                            let Some((seq, nr, candidate)) =
+                                stream.lock().expect("stream lock").next()
+                            else {
+                                break;
+                            };
                             // The shared bound cancels candidates that can no
                             // longer win before any solver work happens.
                             let bound = shared_optimal.load(Ordering::Relaxed);
                             let repetend_clock = Instant::now();
                             let solved =
-                                solve_repetend(placement, candidate, &repetend_solver, bound)?;
+                                solve_repetend(placement, &candidate, &repetend_solver, bound)?;
                             tally.repetend_solves += 1;
                             tally.phase_times.repetend += repetend_clock.elapsed();
                             let Some(repetend) = solved else { continue };
@@ -575,7 +650,7 @@ impl TesselSearch {
                                 if beats {
                                     *best = Some(Win {
                                         seq,
-                                        nr: *nr,
+                                        nr,
                                         repetend,
                                         phases,
                                     });
@@ -596,9 +671,10 @@ impl TesselSearch {
                 .collect()
         });
 
-        // Candidates actually claimed by a worker; comparable to the serial
-        // loop, which also stops enumerating once the early exit fires.
-        stats.candidates_considered += next.into_inner().min(portfolio.len());
+        // Candidates actually pulled from the generator; comparable to the
+        // serial loop, which also stops enumerating once the early exit
+        // fires.
+        stats.candidates_considered += stream.into_inner().expect("stream lock").pulled();
 
         for tally in tallies {
             let tally = tally?;
@@ -608,6 +684,10 @@ impl TesselSearch {
             stats.phase_times.repetend += tally.phase_times.repetend;
             stats.phase_times.warmup += tally.phase_times.warmup;
             stats.phase_times.cooldown += tally.phase_times.cooldown;
+        }
+
+        if timed_out.load(Ordering::Relaxed) {
+            return Err(CoreError::DeadlineExceeded);
         }
 
         let Some(winner) = best_win.into_inner().unwrap() else {
@@ -623,6 +703,72 @@ impl TesselSearch {
         let nr = repetend.num_micro_batches();
         let n = self.config.num_micro_batches.max(nr);
         n - nr + 1
+    }
+}
+
+/// Clones a solver configuration with the run's abort conditions attached.
+fn solver_with_abort(config: &SolverConfig, abort: &Abort) -> Solver {
+    let mut config = config.clone();
+    config.abort = abort.clone();
+    Solver::new(config)
+}
+
+/// Shared lazy candidate source for the portfolio search: chains the
+/// incremental [`candidate_iter`] generators of every `NR` level (respecting
+/// the per-level candidate limit) and stamps each candidate with its global
+/// enumeration sequence number, which doubles as the deterministic
+/// tie-breaker among equal periods.
+struct PortfolioStream<'a> {
+    placement: &'a PlacementSpec,
+    inflights: usize,
+    level_limit: usize,
+    nr: usize,
+    taken_in_level: usize,
+    iter: CandidateIter<'a>,
+    pulled: usize,
+}
+
+impl<'a> PortfolioStream<'a> {
+    fn new(placement: &'a PlacementSpec, inflights: usize, limit: Option<usize>) -> Self {
+        PortfolioStream {
+            placement,
+            inflights,
+            level_limit: limit.unwrap_or(usize::MAX),
+            nr: 1,
+            taken_in_level: 0,
+            iter: candidate_iter(placement, 1.min(inflights)),
+            pulled: 0,
+        }
+    }
+
+    /// Number of candidates handed out so far.
+    fn pulled(&self) -> usize {
+        self.pulled
+    }
+}
+
+impl Iterator for PortfolioStream<'_> {
+    type Item = (usize, usize, RepetendCandidate);
+
+    fn next(&mut self) -> Option<(usize, usize, RepetendCandidate)> {
+        loop {
+            if self.nr > self.inflights {
+                return None;
+            }
+            if self.taken_in_level < self.level_limit {
+                if let Some(candidate) = self.iter.next() {
+                    self.taken_in_level += 1;
+                    let seq = self.pulled;
+                    self.pulled += 1;
+                    return Some((seq, self.nr, candidate));
+                }
+            }
+            self.nr += 1;
+            self.taken_in_level = 0;
+            if self.nr <= self.inflights {
+                self.iter = candidate_iter(self.placement, self.nr);
+            }
+        }
     }
 }
 
@@ -805,6 +951,53 @@ mod tests {
                 .effective_portfolio_threads()
                 >= 1
         );
+    }
+
+    #[test]
+    fn zero_time_budget_times_out_cleanly() {
+        let p = v_shape(2, 1, 2, Some(3));
+        for threads in [1usize, 3] {
+            let config = SearchConfig::default()
+                .with_portfolio_threads(threads)
+                .with_time_budget(Some(Duration::ZERO));
+            let err = TesselSearch::new(config).run(&p).unwrap_err();
+            assert!(
+                matches!(err, CoreError::DeadlineExceeded),
+                "threads={threads}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn eager_mode_zero_budget_also_times_out() {
+        let p = v_shape(2, 1, 2, Some(3));
+        let config = SearchConfig::default()
+            .with_lazy(false)
+            .with_time_budget(Some(Duration::ZERO));
+        let err = TesselSearch::new(config).run(&p).unwrap_err();
+        assert!(matches!(err, CoreError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn cancelled_token_aborts_the_search() {
+        let p = v_shape(2, 1, 2, Some(3));
+        let token = tessel_solver::CancelToken::new();
+        token.cancel();
+        let config = SearchConfig::default().with_cancel(token);
+        let err = TesselSearch::new(config).run(&p).unwrap_err();
+        assert!(matches!(err, CoreError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn generous_budget_leaves_the_result_unchanged() {
+        let p = v_shape(2, 1, 2, Some(3));
+        let plain = TesselSearch::new(SearchConfig::default()).run(&p).unwrap();
+        let budgeted = TesselSearch::new(
+            SearchConfig::default().with_time_budget(Some(Duration::from_secs(120))),
+        )
+        .run(&p)
+        .unwrap();
+        assert_eq!(plain.repetend.period, budgeted.repetend.period);
     }
 
     #[test]

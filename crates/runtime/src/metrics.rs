@@ -73,6 +73,89 @@ impl ExecutionReport {
         }
         self.num_micro_batches as f64 / seconds
     }
+
+    /// Condenses this report into the machine-readable per-device
+    /// [`UtilizationSummary`] served by the schedule-search daemon's inspect
+    /// endpoint.
+    #[must_use]
+    pub fn utilization_summary(&self) -> UtilizationSummary {
+        let makespan = self.makespan;
+        let fraction = |units: u64| {
+            if makespan == 0 {
+                0.0
+            } else {
+                units.min(makespan) as f64 / makespan as f64
+            }
+        };
+        let devices: Vec<DeviceUtilization> = (0..self.device_busy.len())
+            .map(|d| {
+                let busy = self.device_busy[d];
+                let comm = self.device_comm[d];
+                let wait = makespan.saturating_sub(busy + comm);
+                DeviceUtilization {
+                    device: d,
+                    busy,
+                    comm,
+                    wait,
+                    busy_fraction: fraction(busy),
+                    comm_fraction: fraction(comm),
+                    wait_fraction: self.wait_fraction(d),
+                    peak_memory: self.peak_memory.get(d).copied().unwrap_or(0),
+                }
+            })
+            .collect();
+        let mean_busy_fraction = if devices.is_empty() {
+            0.0
+        } else {
+            devices.iter().map(|d| d.busy_fraction).sum::<f64>() / devices.len() as f64
+        };
+        UtilizationSummary {
+            makespan,
+            num_micro_batches: self.num_micro_batches,
+            mean_busy_fraction,
+            max_wait_fraction: self.max_wait_fraction(),
+            devices,
+        }
+    }
+}
+
+/// Per-device utilization of one simulated iteration, in both absolute time
+/// units and fractions of the makespan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceUtilization {
+    /// Device index.
+    pub device: usize,
+    /// Time units spent executing compute blocks.
+    pub busy: u64,
+    /// Time units spent in blocking communication on the compute stream.
+    pub comm: u64,
+    /// Idle time units (`makespan - busy - comm`).
+    pub wait: u64,
+    /// `busy / makespan`.
+    pub busy_fraction: f64,
+    /// `comm / makespan`.
+    pub comm_fraction: f64,
+    /// `1 - (busy + comm) / makespan` (the Fig. 16(b) metric).
+    pub wait_fraction: f64,
+    /// Peak memory reached on the device, in memory units.
+    pub peak_memory: i64,
+}
+
+/// Machine-readable utilization summary of one simulated iteration: the
+/// JSON-friendly digest of an [`ExecutionReport`] returned alongside cached
+/// schedules by the `tessel-service` inspect endpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationSummary {
+    /// End-to-end completion time of the iteration, in time units.
+    pub makespan: u64,
+    /// Number of micro-batches executed.
+    pub num_micro_batches: usize,
+    /// Average busy fraction across devices.
+    pub mean_busy_fraction: f64,
+    /// Largest wait fraction across devices.
+    pub max_wait_fraction: f64,
+    /// Per-device breakdown, in device order.
+    pub devices: Vec<DeviceUtilization>,
 }
 
 #[cfg(test)]
@@ -106,6 +189,26 @@ mod tests {
         assert!((r.iteration_seconds(&cluster) - 0.1).abs() < 1e-12);
         assert!((r.pflops(&cluster) - 20.0).abs() < 1e-9);
         assert!((r.requests_per_second(&cluster) - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_summary_digests_the_report() {
+        let r = report();
+        let summary = r.utilization_summary();
+        assert_eq!(summary.makespan, 100);
+        assert_eq!(summary.num_micro_batches, 8);
+        assert_eq!(summary.devices.len(), 2);
+        let d0 = &summary.devices[0];
+        assert_eq!((d0.busy, d0.comm, d0.wait), (90, 5, 5));
+        assert!((d0.busy_fraction - 0.9).abs() < 1e-9);
+        assert!((d0.wait_fraction - 0.05).abs() < 1e-9);
+        assert_eq!(d0.peak_memory, 4);
+        assert!((summary.mean_busy_fraction - 0.7).abs() < 1e-9);
+        assert!((summary.max_wait_fraction - 0.4).abs() < 1e-9);
+        // The summary is machine-readable: it round-trips through JSON.
+        let json = serde_json::to_string(&summary).unwrap();
+        let back: UtilizationSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, summary);
     }
 
     #[test]

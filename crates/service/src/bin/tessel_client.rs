@@ -1,0 +1,166 @@
+//! `tessel-client`: CLI client for the schedule-search daemon.
+//!
+//! ```bash
+//! tessel-client --addr 127.0.0.1:7700 health
+//! tessel-client search --shape v4 --micro-batches 8
+//! tessel-client search --placement-file my_placement.json --deadline-ms 500
+//! tessel-client cache
+//! tessel-client inspect 1a2b3c4d5e6f7081
+//! tessel-client metrics
+//! ```
+//!
+//! `search` accepts either `--placement-file` (a JSON `PlacementSpec`) or
+//! `--shape KIND DEVICES` shorthand (`v4`, `x2`, `m8`, `k4`, `nn8`) built
+//! from the paper's synthetic shapes. The response body is printed verbatim;
+//! non-2xx statuses exit non-zero.
+
+use std::process::exit;
+use tessel_placement::shapes::{synthetic_placement, ShapeKind};
+use tessel_service::http::http_call;
+use tessel_service::wire::SearchRequest;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tessel-client [--addr HOST:PORT] COMMAND\n\
+         commands:\n\
+         \x20 health                              liveness probe\n\
+         \x20 metrics                             Prometheus metrics\n\
+         \x20 cache                               list cache entries\n\
+         \x20 inspect FINGERPRINT                 inspect one fingerprint\n\
+         \x20 search [--placement-file PATH | --shape KINDn]\n\
+         \x20        [--micro-batches N] [--max-repetend N] [--deadline-ms MS]"
+    );
+    exit(2)
+}
+
+fn parse_shape(spec: &str) -> Option<tessel_core::ir::PlacementSpec> {
+    let spec = spec.to_lowercase();
+    let (kind, devices) = if let Some(rest) = spec.strip_prefix("nn") {
+        (ShapeKind::NN, rest)
+    } else if let Some(rest) = spec.strip_prefix('v') {
+        (ShapeKind::V, rest)
+    } else if let Some(rest) = spec.strip_prefix('x') {
+        (ShapeKind::X, rest)
+    } else if let Some(rest) = spec.strip_prefix('m') {
+        (ShapeKind::M, rest)
+    } else if let Some(rest) = spec.strip_prefix('k') {
+        (ShapeKind::K, rest)
+    } else {
+        return None;
+    };
+    let devices: usize = devices.parse().ok()?;
+    synthetic_placement(kind, devices).ok()
+}
+
+fn call(addr: &str, method: &str, path: &str, body: Option<&str>) -> ! {
+    match http_call(addr, method, path, body) {
+        Ok((status, body)) => {
+            println!("{body}");
+            exit(if (200..300).contains(&status) { 0 } else { 1 })
+        }
+        Err(e) => {
+            eprintln!("error: cannot reach {addr}: {e}");
+            exit(1)
+        }
+    }
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:7700".to_string();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Global --addr may appear before the command.
+    if args.len() >= 2 && args[0] == "--addr" {
+        addr = args[1].clone();
+        args.drain(0..2);
+    }
+    let Some(command) = args.first().cloned() else {
+        usage()
+    };
+    let rest = &args[1..];
+
+    match command.as_str() {
+        "health" => call(&addr, "GET", "/healthz", None),
+        "metrics" => call(&addr, "GET", "/metrics", None),
+        "cache" => call(&addr, "GET", "/v1/cache", None),
+        "inspect" => {
+            let Some(fingerprint) = rest.first() else {
+                eprintln!("error: inspect needs a fingerprint");
+                usage()
+            };
+            call(&addr, "GET", &format!("/v1/cache/{fingerprint}"), None)
+        }
+        "search" => {
+            let mut placement = None;
+            let mut request_micro_batches = None;
+            let mut request_max_repetend = None;
+            let mut deadline_ms = None;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--placement-file" => {
+                        let Some(path) = it.next() else { usage() };
+                        let text = match std::fs::read_to_string(path) {
+                            Ok(text) => text,
+                            Err(e) => {
+                                eprintln!("error: cannot read {path}: {e}");
+                                exit(1)
+                            }
+                        };
+                        match serde_json::from_str(&text) {
+                            Ok(parsed) => placement = Some(parsed),
+                            Err(e) => {
+                                eprintln!("error: {path} is not a valid placement: {e}");
+                                exit(1)
+                            }
+                        }
+                    }
+                    "--shape" => {
+                        let Some(spec) = it.next() else { usage() };
+                        match parse_shape(spec) {
+                            Some(built) => placement = Some(built),
+                            None => {
+                                eprintln!(
+                                    "error: unknown shape `{spec}` (try v4, x2, m8, k4, nn8)"
+                                );
+                                exit(1)
+                            }
+                        }
+                    }
+                    "--micro-batches" => {
+                        request_micro_batches = it.next().and_then(|v| v.parse().ok());
+                    }
+                    "--max-repetend" => {
+                        request_max_repetend = it.next().and_then(|v| v.parse().ok());
+                    }
+                    "--deadline-ms" => {
+                        deadline_ms = it.next().and_then(|v| v.parse().ok());
+                    }
+                    other => {
+                        eprintln!("error: unknown search flag `{other}`");
+                        usage()
+                    }
+                }
+            }
+            let Some(placement) = placement else {
+                eprintln!("error: search needs --placement-file or --shape");
+                usage()
+            };
+            let request = SearchRequest {
+                placement,
+                num_micro_batches: request_micro_batches,
+                max_repetend_micro_batches: request_max_repetend,
+                deadline_ms,
+            };
+            let body = match serde_json::to_string(&request) {
+                Ok(body) => body,
+                Err(e) => {
+                    eprintln!("error: cannot serialize request: {e}");
+                    exit(1)
+                }
+            };
+            call(&addr, "POST", "/v1/search", Some(&body))
+        }
+        _ => usage(),
+    }
+}

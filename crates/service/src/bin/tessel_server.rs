@@ -1,0 +1,96 @@
+//! `tessel-server`: the schedule-search daemon.
+//!
+//! ```bash
+//! tessel-server --addr 127.0.0.1:7700 --workers 4 --cache-file tessel-cache.json
+//! ```
+//!
+//! Prints the bound address on startup (useful with `--addr 127.0.0.1:0`)
+//! and serves until killed. See the crate docs for the HTTP routes.
+
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+use tessel_service::{HttpServer, ScheduleService, ServerConfig, ServiceConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: tessel-server [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
+         \x20                  [--cache-file PATH] [--cache-capacity N] [--cache-shards N]\n\
+         \x20                  [--portfolio-threads N] [--micro-batches N] [--max-repetend N]\n\
+         \x20                  [--default-deadline-ms MS]"
+    );
+    exit(2)
+}
+
+fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(parsed) => parsed,
+        None => {
+            eprintln!("error: {flag} needs a valid value");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let mut server_config = ServerConfig::default();
+    let mut service_config = ServiceConfig::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => server_config.addr = parse_value(&flag, args.next()),
+            "--workers" => server_config.workers = parse_value(&flag, args.next()),
+            "--queue-depth" => server_config.queue_depth = parse_value(&flag, args.next()),
+            "--cache-file" => {
+                service_config.cache_path = Some(parse_value::<String>(&flag, args.next()).into());
+            }
+            "--cache-capacity" => {
+                service_config.cache.capacity_per_shard = parse_value(&flag, args.next());
+            }
+            "--cache-shards" => service_config.cache.shards = parse_value(&flag, args.next()),
+            "--portfolio-threads" => {
+                service_config.portfolio_threads = parse_value(&flag, args.next());
+            }
+            "--micro-batches" => {
+                service_config.default_micro_batches = parse_value(&flag, args.next());
+            }
+            "--max-repetend" => {
+                service_config.default_max_repetend = parse_value(&flag, args.next());
+            }
+            "--default-deadline-ms" => {
+                service_config.default_deadline =
+                    Some(Duration::from_millis(parse_value(&flag, args.next())));
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+
+    let service = match ScheduleService::new(service_config) {
+        Ok(service) => Arc::new(service),
+        Err(e) => {
+            eprintln!("error: cannot initialise service: {e}");
+            exit(1);
+        }
+    };
+    let warm = service.cache_entries().len();
+    let server = match HttpServer::serve(service, &server_config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", server_config.addr);
+            exit(1);
+        }
+    };
+    println!("tessel-server listening on http://{}", server.local_addr());
+    if warm > 0 {
+        println!("cache warm-started with {warm} entries");
+    }
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}

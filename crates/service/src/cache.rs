@@ -1,0 +1,422 @@
+//! Sharded, lock-striped LRU result cache with JSON persistence.
+//!
+//! Keys combine the canonical placement [`Fingerprint`] with the search
+//! parameters, so the same placement searched for different micro-batch
+//! counts occupies distinct entries. The key space is striped across
+//! independently locked shards: concurrent requests for different placements
+//! never contend on the same mutex, and the per-shard LRU bookkeeping stays
+//! trivial. Snapshots of the whole cache serialize to a single JSON file so
+//! a restarted daemon starts warm.
+
+use crate::wire::CacheEntryInfo;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use tessel_core::fingerprint::Fingerprint;
+use tessel_core::ir::PlacementSpec;
+use tessel_core::schedule::Schedule;
+use tessel_runtime::metrics::UtilizationSummary;
+
+/// The search parameters that participate in cache identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheParams {
+    /// Micro-batches the composed schedule covers.
+    pub num_micro_batches: usize,
+    /// `NR` cap the search ran with.
+    pub max_repetend_micro_batches: usize,
+}
+
+/// A cache key: canonical fingerprint plus parameter hash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(u64);
+
+impl CacheKey {
+    /// Builds the key for `fingerprint` searched under `params`.
+    #[must_use]
+    pub fn new(fingerprint: Fingerprint, params: &CacheParams) -> Self {
+        let mut h = fingerprint.0 ^ 0x5ca1_ab1e_0000_0001;
+        for v in [
+            params.num_micro_batches as u64,
+            params.max_repetend_micro_batches as u64,
+        ] {
+            h ^= v.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            h ^= h >> 29;
+            h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            h ^= h >> 32;
+        }
+        CacheKey(h)
+    }
+
+    /// The raw 64-bit key (used by persistence).
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// One cached search result, stored in **canonical** labeling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CachedSearch {
+    /// Canonical fingerprint of the placement.
+    pub fingerprint: Fingerprint,
+    /// Parameters the search ran with.
+    pub params: CacheParams,
+    /// The canonical placement (kept to rule out fingerprint collisions and
+    /// to serve the inspect endpoint).
+    pub canonical_placement: PlacementSpec,
+    /// The composed schedule, in canonical labeling.
+    pub schedule: Schedule,
+    /// Winning repetend period `t_R`.
+    pub period: u64,
+    /// `NR` of the winning repetend.
+    pub repetend_micro_batches: usize,
+    /// Steady-state bubble rate of the repetend.
+    pub bubble_rate: f64,
+    /// Simulated per-device utilization, in canonical labeling.
+    pub utilization: UtilizationSummary,
+    /// Wall-clock milliseconds the search took.
+    pub search_millis: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Arc<CachedSearch>,
+    last_used: u64,
+    hits: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<u64, Entry>,
+    tick: u64,
+}
+
+/// Configuration of the [`ShardedCache`].
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Number of independently locked shards (rounded up to at least 1).
+    pub shards: usize,
+    /// Maximum number of entries per shard before LRU eviction kicks in.
+    pub capacity_per_shard: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 8,
+            capacity_per_shard: 128,
+        }
+    }
+}
+
+/// The sharded, lock-striped LRU cache.
+#[derive(Debug)]
+pub struct ShardedCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    evictions: AtomicU64,
+}
+
+/// Persisted form of one entry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PersistedEntry {
+    key: u64,
+    hits: u64,
+    entry: CachedSearch,
+}
+
+impl ShardedCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new(config: &CacheConfig) -> Self {
+        let shards = config.shards.max(1);
+        ShardedCache {
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            capacity_per_shard: config.capacity_per_shard.max(1),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: CacheKey) -> &Mutex<Shard> {
+        // High bits: the low bits already went into shard-local hashing.
+        let index = (key.raw() >> 48) as usize % self.shards.len();
+        &self.shards[index]
+    }
+
+    /// Looks up `key`, bumping its LRU position and hit count.
+    #[must_use]
+    pub fn get(&self, key: CacheKey) -> Option<Arc<CachedSearch>> {
+        let mut shard = self.shard(key).lock().expect("cache shard lock");
+        shard.tick += 1;
+        let tick = shard.tick;
+        let entry = shard.entries.get_mut(&key.raw())?;
+        entry.last_used = tick;
+        entry.hits += 1;
+        Some(entry.value.clone())
+    }
+
+    /// Inserts (or replaces) `value` under `key`, evicting the least recently
+    /// used entry of the shard if it is full.
+    pub fn insert(&self, key: CacheKey, value: Arc<CachedSearch>) {
+        let mut shard = self.shard(key).lock().expect("cache shard lock");
+        shard.tick += 1;
+        let tick = shard.tick;
+        if !shard.entries.contains_key(&key.raw()) && shard.entries.len() >= self.capacity_per_shard
+        {
+            if let Some((&lru, _)) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, entry)| entry.last_used)
+            {
+                shard.entries.remove(&lru);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.entries.insert(
+            key.raw(),
+            Entry {
+                value,
+                last_used: tick,
+                hits: 0,
+            },
+        );
+    }
+
+    /// Number of entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard lock").entries.len())
+            .sum()
+    }
+
+    /// `true` if no entry is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total LRU evictions so far.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Summary rows for every cached entry, most recently used first.
+    #[must_use]
+    pub fn list(&self) -> Vec<CacheEntryInfo> {
+        let mut rows: Vec<(u64, CacheEntryInfo)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard lock");
+            for entry in shard.entries.values() {
+                let v = &entry.value;
+                rows.push((
+                    entry.last_used,
+                    CacheEntryInfo {
+                        fingerprint: v.fingerprint,
+                        num_micro_batches: v.params.num_micro_batches,
+                        max_repetend_micro_batches: v.params.max_repetend_micro_batches,
+                        period: v.period,
+                        bubble_rate: v.bubble_rate,
+                        num_devices: v.canonical_placement.num_devices(),
+                        num_blocks: v.canonical_placement.num_blocks(),
+                        hits: entry.hits,
+                        search_millis: v.search_millis,
+                    },
+                ));
+            }
+        }
+        rows.sort_by(|(ta, a), (tb, b)| {
+            tb.cmp(ta)
+                .then_with(|| a.fingerprint.cmp(&b.fingerprint))
+                .then_with(|| a.num_micro_batches.cmp(&b.num_micro_batches))
+        });
+        rows.into_iter().map(|(_, info)| info).collect()
+    }
+
+    /// Every cached entry for `fingerprint`, most recently used first.
+    #[must_use]
+    pub fn entries_for(&self, fingerprint: Fingerprint) -> Vec<Arc<CachedSearch>> {
+        let mut rows: Vec<(u64, Arc<CachedSearch>)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard lock");
+            for entry in shard.entries.values() {
+                if entry.value.fingerprint == fingerprint {
+                    rows.push((entry.last_used, entry.value.clone()));
+                }
+            }
+        }
+        rows.sort_by_key(|(t, _)| std::cmp::Reverse(*t));
+        rows.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Serializes the whole cache to `path` (atomically: temp file + rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut records: Vec<PersistedEntry> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard lock");
+            for (&key, entry) in &shard.entries {
+                records.push(PersistedEntry {
+                    key,
+                    hits: entry.hits,
+                    entry: (*entry.value).clone(),
+                });
+            }
+        }
+        records.sort_by_key(|r| r.key);
+        let json = serde_json::to_string_pretty(&records)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json + "\n")?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Loads entries from a snapshot previously written by
+    /// [`ShardedCache::save`]. Returns the number of entries restored; a
+    /// missing file restores nothing and is not an error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors other than "not found", and snapshot
+    /// parse failures.
+    pub fn load(&self, path: &Path) -> std::io::Result<usize> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        let records: Vec<PersistedEntry> = serde_json::from_str(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut restored = 0usize;
+        for record in records {
+            let key = CacheKey(record.key);
+            self.insert(key, Arc::new(record.entry));
+            let mut shard = self.shard(key).lock().expect("cache shard lock");
+            if let Some(entry) = shard.entries.get_mut(&record.key) {
+                entry.hits = record.hits;
+            }
+            restored += 1;
+        }
+        Ok(restored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tessel_core::ir::BlockKind;
+
+    fn sample(fp: u64, n: usize) -> Arc<CachedSearch> {
+        let mut b = PlacementSpec::builder("p", 1);
+        b.add_block("f0", BlockKind::Forward, [0], 1, 0, [])
+            .unwrap();
+        let placement = b.build().unwrap();
+        let schedule = Schedule::new(
+            1,
+            1,
+            vec![tessel_core::schedule::scheduled_block(&placement, 0, 0, 0)],
+        );
+        Arc::new(CachedSearch {
+            fingerprint: Fingerprint(fp),
+            params: CacheParams {
+                num_micro_batches: n,
+                max_repetend_micro_batches: 2,
+            },
+            canonical_placement: placement,
+            schedule,
+            period: 1,
+            repetend_micro_batches: 1,
+            bubble_rate: 0.0,
+            utilization: UtilizationSummary {
+                makespan: 1,
+                num_micro_batches: 1,
+                mean_busy_fraction: 1.0,
+                max_wait_fraction: 0.0,
+                devices: Vec::new(),
+            },
+            search_millis: 5,
+        })
+    }
+
+    fn key(fp: u64, n: usize) -> CacheKey {
+        CacheKey::new(
+            Fingerprint(fp),
+            &CacheParams {
+                num_micro_batches: n,
+                max_repetend_micro_batches: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn get_put_and_hit_counting() {
+        let cache = ShardedCache::new(&CacheConfig::default());
+        assert!(cache.is_empty());
+        assert!(cache.get(key(1, 8)).is_none());
+        cache.insert(key(1, 8), sample(1, 8));
+        cache.insert(key(2, 8), sample(2, 8));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(key(1, 8)).unwrap().fingerprint, Fingerprint(1));
+        assert_eq!(cache.get(key(1, 8)).unwrap().fingerprint, Fingerprint(1));
+        let rows = cache.list();
+        assert_eq!(rows.len(), 2);
+        let row1 = rows
+            .iter()
+            .find(|r| r.fingerprint == Fingerprint(1))
+            .unwrap();
+        assert_eq!(row1.hits, 2);
+        // Distinct parameters are distinct entries.
+        cache.insert(key(1, 4), sample(1, 4));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.entries_for(Fingerprint(1)).len(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_per_shard() {
+        let cache = ShardedCache::new(&CacheConfig {
+            shards: 1,
+            capacity_per_shard: 2,
+        });
+        cache.insert(key(1, 8), sample(1, 8));
+        cache.insert(key(2, 8), sample(2, 8));
+        // Touch 1 so 2 becomes the LRU victim.
+        let _ = cache.get(key(1, 8));
+        cache.insert(key(3, 8), sample(3, 8));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get(key(1, 8)).is_some());
+        assert!(cache.get(key(2, 8)).is_none());
+        assert!(cache.get(key(3, 8)).is_some());
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("snapshot-{}.json", std::process::id()));
+        let cache = ShardedCache::new(&CacheConfig::default());
+        cache.insert(key(7, 8), sample(7, 8));
+        let _ = cache.get(key(7, 8));
+        cache.save(&path).unwrap();
+
+        let warm = ShardedCache::new(&CacheConfig::default());
+        assert_eq!(warm.load(&path).unwrap(), 1);
+        let entry = warm.get(key(7, 8)).expect("restored entry");
+        assert_eq!(entry.fingerprint, Fingerprint(7));
+        // Hit counts survive the restart (the restore itself is not a hit).
+        let row = &warm.list()[0];
+        assert_eq!(row.hits, 2);
+
+        // A missing snapshot restores nothing.
+        let cold = ShardedCache::new(&CacheConfig::default());
+        assert_eq!(cold.load(&dir.join("absent.json")).unwrap(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

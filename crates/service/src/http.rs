@@ -1,0 +1,380 @@
+//! Minimal HTTP/1.1 transport over `std::net`.
+//!
+//! The build environment has no async runtime or HTTP crate, so the daemon
+//! hand-rolls the narrow slice of HTTP it needs: a blocking listener, a
+//! bounded worker pool fed through a `sync_channel` (back-pressure turns into
+//! `503` responses instead of unbounded queueing), a tolerant request parser
+//! (request line, headers, `Content-Length` body) and `Connection: close`
+//! semantics — every request rides its own connection, which keeps the
+//! server loop trivial and is plenty for a schedule-search control plane.
+//!
+//! Routes:
+//!
+//! | Method | Path                     | Handler                          |
+//! |--------|--------------------------|----------------------------------|
+//! | POST   | `/v1/search`             | run or fetch a schedule search   |
+//! | GET    | `/v1/cache`              | list cache entries               |
+//! | GET    | `/v1/cache/{fp}`         | inspect one fingerprint          |
+//! | GET    | `/metrics`               | Prometheus text metrics          |
+//! | GET    | `/healthz`               | liveness probe                   |
+//!
+//! [`http_call`] is the matching client used by `tessel-client` and the
+//! end-to-end tests.
+
+use crate::service::{ScheduleService, ServiceError};
+use crate::wire::ErrorBody;
+use serde::Serialize;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+use tessel_core::fingerprint::Fingerprint;
+
+/// Upper bound on header bytes accepted per request.
+const MAX_HEADER_BYTES: usize = 64 * 1024;
+/// Upper bound on body bytes accepted per request.
+const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+/// Socket read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Configuration of the HTTP server.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address, e.g. `127.0.0.1:7700` (`:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads handling requests.
+    pub workers: usize,
+    /// Accepted connections waiting for a worker before `503`s kick in.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7700".into(),
+            workers: 4,
+            queue_depth: 64,
+        }
+    }
+}
+
+/// A running HTTP server; dropping it without [`HttpServer::shutdown`] leaves
+/// the daemon threads running for the life of the process.
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `config.addr` and serves `service` until
+    /// [`HttpServer::shutdown`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket bind failures.
+    pub fn serve(service: Arc<ScheduleService>, config: &ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = config.workers.max(1);
+        let (sender, receiver): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+            sync_channel(config.queue_depth.max(1));
+        let receiver = Arc::new(Mutex::new(receiver));
+
+        let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+            .map(|_| {
+                let receiver = receiver.clone();
+                let service = service.clone();
+                std::thread::spawn(move || loop {
+                    let stream = {
+                        let receiver = receiver.lock().expect("worker queue lock");
+                        receiver.recv()
+                    };
+                    match stream {
+                        Ok(stream) => handle_connection(stream, &service),
+                        Err(_) => break, // sender dropped: shutdown
+                    }
+                })
+            })
+            .collect();
+
+        let accept_stop = stop.clone();
+        let accept_handle = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let Ok(stream) = stream else { continue };
+                match sender.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => {
+                        // Bounded pool: shed load instead of queueing without
+                        // limit.
+                        respond_unavailable(stream);
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+            // Dropping `sender` here unblocks every worker.
+        });
+
+        Ok(HttpServer {
+            addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The address the server actually listens on (resolves `:0`).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the workers and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn respond_unavailable(mut stream: TcpStream) {
+    let body = render_json(&ErrorBody {
+        kind: "unavailable".into(),
+        error: "request queue is full".into(),
+    });
+    let _ = stream.write_all(format_response(503, "application/json", &body).as_bytes());
+}
+
+/// One parsed request.
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+fn handle_connection(mut stream: TcpStream, service: &ScheduleService) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let response = match parse_request(&mut stream) {
+        Ok(request) => route(service, &request),
+        Err(message) => error_response(400, "bad_request", &message),
+    };
+    let _ = stream.write_all(response.as_bytes());
+    let _ = stream.flush();
+}
+
+fn parse_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut buffer: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buffer) {
+            break pos;
+        }
+        if buffer.len() > MAX_HEADER_BYTES {
+            return Err("headers too large".into());
+        }
+        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("connection closed mid-request".into());
+        }
+        buffer.extend_from_slice(&chunk[..n]);
+    };
+
+    let header_text = String::from_utf8_lossy(&buffer[..header_end]).into_owned();
+    let mut lines = header_text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_uppercase();
+    let path = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || !path.starts_with('/') {
+        return Err(format!("malformed request line `{request_line}`"));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "invalid Content-Length".to_string())?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err("body too large".into());
+    }
+
+    let mut body = buffer[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("connection closed mid-body".into());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    Ok(Request { method, path, body })
+}
+
+fn find_header_end(buffer: &[u8]) -> Option<usize> {
+    buffer.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn route(service: &ScheduleService, request: &Request) -> String {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/v1/search") => match serde_json::from_str(&request.body) {
+            Ok(search_request) => match service.search(&search_request) {
+                Ok(response) => format_response(200, "application/json", &render_json(&response)),
+                Err(e) => service_error_response(&e),
+            },
+            Err(e) => error_response(400, "bad_request", &format!("invalid request body: {e}")),
+        },
+        ("GET", "/v1/cache") => format_response(
+            200,
+            "application/json",
+            &render_json(&service.cache_entries()),
+        ),
+        ("GET", path) if path.starts_with("/v1/cache/") => {
+            let raw = &path["/v1/cache/".len()..];
+            match Fingerprint::parse(raw) {
+                Some(fingerprint) => {
+                    let inspect = service.inspect(fingerprint);
+                    if inspect.entries.is_empty() {
+                        error_response(404, "not_found", &format!("no entry for {fingerprint}"))
+                    } else {
+                        format_response(200, "application/json", &render_json(&inspect))
+                    }
+                }
+                None => error_response(400, "bad_request", &format!("invalid fingerprint `{raw}`")),
+            }
+        }
+        ("GET", "/metrics") => format_response(
+            200,
+            "text/plain; version=0.0.4",
+            &service.metrics_snapshot().render_prometheus(),
+        ),
+        ("GET", "/healthz") => format_response(200, "application/json", "{\"status\":\"ok\"}"),
+        (_, path) => error_response(404, "not_found", &format!("no route for {path}")),
+    }
+}
+
+fn service_error_response(error: &ServiceError) -> String {
+    let body = render_json(&ErrorBody {
+        kind: error.kind().into(),
+        error: error.to_string(),
+    });
+    format_response(error.http_status(), "application/json", &body)
+}
+
+fn error_response(status: u16, kind: &str, message: &str) -> String {
+    let body = render_json(&ErrorBody {
+        kind: kind.into(),
+        error: message.into(),
+    });
+    format_response(status, "application/json", &body)
+}
+
+fn render_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string(value).unwrap_or_else(|e| format!("{{\"error\":\"serialize: {e}\"}}"))
+}
+
+fn status_text(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        408 => "Request Timeout",
+        422 => "Unprocessable Entity",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+fn format_response(status: u16, content_type: &str, body: &str) -> String {
+    format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        status_text(status),
+        body.len()
+    )
+}
+
+/// Issues one HTTP request against `addr` and returns `(status, body)`.
+/// The client half of the hand-rolled transport, used by `tessel-client` and
+/// the tests.
+///
+/// # Errors
+///
+/// Propagates socket errors and malformed responses.
+pub fn http_call(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let socket_addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "unresolvable addr")
+    })?;
+    let mut stream = TcpStream::connect_timeout(&socket_addr, Duration::from_secs(10))?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8_lossy(&raw);
+    let Some((head, payload)) = text.split_once("\r\n\r\n") else {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "malformed HTTP response",
+        ));
+    };
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "missing status code")
+        })?;
+    Ok((status, payload.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn response_formatting_is_well_formed() {
+        let response = format_response(200, "application/json", "{}");
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(response.contains("Content-Length: 2\r\n"));
+        assert!(response.ends_with("\r\n\r\n{}"));
+        assert_eq!(status_text(408), "Request Timeout");
+        assert_eq!(status_text(599), "Internal Server Error");
+    }
+
+    #[test]
+    fn header_end_detection() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
+        assert_eq!(find_header_end(b"partial\r\n"), None);
+    }
+}

@@ -1,0 +1,66 @@
+//! `tessel-service`: a long-running schedule-search daemon.
+//!
+//! The Tessel search is exponential in the worst case, but production
+//! traffic asks for schedules for the same handful of placement shapes over
+//! and over (per hardware target, per model revision). This crate turns the
+//! one-shot search into a service:
+//!
+//! * [`service`] — the in-process [`ScheduleService`]: canonicalizes each
+//!   requested placement (via [`tessel_core::fingerprint`]), consults a
+//!   sharded LRU result cache keyed by the canonical fingerprint, coalesces
+//!   identical concurrent requests onto one in-flight search
+//!   (*single-flight*), and enforces per-request deadlines through the
+//!   solver's cooperative cancellation.
+//! * [`cache`] — the lock-striped [`ShardedCache`] with LRU eviction and
+//!   JSON persistence, so daemon restarts start warm.
+//! * [`singleflight`] — the request-coalescing primitive.
+//! * [`metrics`] — request/hit/miss/latency counters with p50/p99 estimates,
+//!   rendered in Prometheus text format for `/metrics`.
+//! * [`http`] — a minimal HTTP/1.1 server over `std::net` (listener, bounded
+//!   worker pool, request parsing, routing) plus the tiny client used by the
+//!   `tessel-client` binary and the end-to-end tests.
+//! * [`wire`] — the JSON request/response types.
+//!
+//! Two binaries ship with the crate: `tessel-server` (the daemon) and
+//! `tessel-client` (a CLI for submitting searches and inspecting the cache).
+//!
+//! # In-process quickstart
+//!
+//! The service is usable as a library, without sockets:
+//!
+//! ```
+//! use tessel_core::ir::{BlockKind, PlacementSpec};
+//! use tessel_service::{ScheduleService, ServiceConfig, wire::SearchRequest};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = PlacementSpec::builder("v2", 2);
+//! b.set_memory_capacity(Some(3));
+//! let f0 = b.add_block("f0", BlockKind::Forward, [0], 1, 1, [])?;
+//! let f1 = b.add_block("f1", BlockKind::Forward, [1], 1, 1, [f0])?;
+//! let b1 = b.add_block("b1", BlockKind::Backward, [1], 2, -1, [f1])?;
+//! b.add_block("b0", BlockKind::Backward, [0], 2, -1, [b1])?;
+//! let placement = b.build()?;
+//!
+//! let service = ScheduleService::new(ServiceConfig::default())?;
+//! let miss = service.search(&SearchRequest::for_placement(placement.clone()))?;
+//! let hit = service.search(&SearchRequest::for_placement(placement))?;
+//! assert!(!miss.cached && hit.cached);
+//! assert_eq!(miss.schedule, hit.schedule);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod metrics;
+pub mod service;
+pub mod singleflight;
+pub mod wire;
+
+pub use cache::{CacheConfig, CachedSearch, ShardedCache};
+pub use http::{HttpServer, ServerConfig};
+pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use service::{ScheduleService, ServiceConfig, ServiceError};

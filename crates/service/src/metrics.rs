@@ -1,0 +1,267 @@
+//! Daemon metrics: request counters, in-flight gauge and latency quantiles.
+//!
+//! Counters are plain relaxed atomics (the hot path adds a handful of
+//! `fetch_add`s per request). Latency is tracked in a fixed power-of-two
+//! histogram — bucket `i` counts requests that finished in
+//! `[2^i, 2^(i+1))` microseconds — from which p50/p99 are estimated as the
+//! upper bound of the bucket containing the quantile. The whole struct
+//! renders to Prometheus text exposition format for `GET /metrics`.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets (`2^39` µs ≈ 6.4 days).
+const BUCKETS: usize = 40;
+
+/// Live metrics of a [`crate::ScheduleService`].
+#[derive(Debug)]
+pub struct ServiceMetrics {
+    /// Total search requests received.
+    pub requests: AtomicU64,
+    /// Requests served from the cache.
+    pub cache_hits: AtomicU64,
+    /// Requests that ran a full search.
+    pub cache_misses: AtomicU64,
+    /// Requests coalesced onto another request's in-flight search.
+    pub coalesced: AtomicU64,
+    /// Requests that failed with a deadline timeout.
+    pub timeouts: AtomicU64,
+    /// Requests that failed for any other reason.
+    pub errors: AtomicU64,
+    /// Searches currently running.
+    pub in_flight: AtomicU64,
+    latency_buckets: [AtomicU64; BUCKETS],
+}
+
+/// Point-in-time snapshot of [`ServiceMetrics`] (plus cache gauges), served
+/// as JSON by the in-process API and rendered to Prometheus text for
+/// `/metrics`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Total search requests received.
+    pub requests: u64,
+    /// Requests served from the cache.
+    pub cache_hits: u64,
+    /// Requests that ran a full search.
+    pub cache_misses: u64,
+    /// Requests coalesced onto an in-flight search.
+    pub coalesced: u64,
+    /// Requests that failed with a deadline timeout.
+    pub timeouts: u64,
+    /// Requests that failed for any other reason.
+    pub errors: u64,
+    /// Searches currently running.
+    pub in_flight: u64,
+    /// Cache hit rate over all completed requests (0 when idle).
+    pub hit_rate: f64,
+    /// Entries currently cached.
+    pub cache_entries: u64,
+    /// LRU evictions so far.
+    pub cache_evictions: u64,
+    /// Median request latency, milliseconds (bucket upper bound).
+    pub latency_p50_ms: f64,
+    /// 99th-percentile request latency, milliseconds (bucket upper bound).
+    pub latency_p99_ms: f64,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        ServiceMetrics {
+            requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl ServiceMetrics {
+    /// Creates zeroed metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        ServiceMetrics::default()
+    }
+
+    /// Records one completed request's wall-clock latency.
+    pub fn record_latency(&self, elapsed: Duration) {
+        let micros = elapsed.as_micros().max(1) as u64;
+        let bucket = (63 - micros.leading_zeros() as usize).min(BUCKETS - 1);
+        self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Estimates the `q`-quantile (0..=1) of recorded latencies in
+    /// milliseconds, as the upper bound of the containing bucket.
+    #[must_use]
+    pub fn latency_quantile_ms(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .latency_buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                let upper_micros = 1u64 << (i + 1).min(63);
+                return upper_micros as f64 / 1000.0;
+            }
+        }
+        f64::from(u32::MAX)
+    }
+
+    /// Takes a consistent-enough snapshot (individual counters are read with
+    /// relaxed ordering; exactness across counters is not required).
+    #[must_use]
+    pub fn snapshot(&self, cache_entries: u64, cache_evictions: u64) -> MetricsSnapshot {
+        let requests = self.requests.load(Ordering::Relaxed);
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let misses = self.cache_misses.load(Ordering::Relaxed);
+        let served = hits + misses;
+        MetricsSnapshot {
+            requests,
+            cache_hits: hits,
+            cache_misses: misses,
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            hit_rate: if served == 0 {
+                0.0
+            } else {
+                hits as f64 / served as f64
+            },
+            cache_entries,
+            cache_evictions,
+            latency_p50_ms: self.latency_quantile_ms(0.50),
+            latency_p99_ms: self.latency_quantile_ms(0.99),
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Renders the snapshot in Prometheus text exposition format.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: f64| {
+            let kind = if name.ends_with("_total") {
+                "counter"
+            } else {
+                "gauge"
+            };
+            out.push_str(&format!("# HELP tessel_{name} {help}\n"));
+            out.push_str(&format!("# TYPE tessel_{name} {kind}\n"));
+            out.push_str(&format!("tessel_{name} {value}\n"));
+        };
+        counter(
+            "requests_total",
+            "Search requests received.",
+            self.requests as f64,
+        );
+        counter(
+            "cache_hits_total",
+            "Requests served from the result cache.",
+            self.cache_hits as f64,
+        );
+        counter(
+            "cache_misses_total",
+            "Requests that ran a full search.",
+            self.cache_misses as f64,
+        );
+        counter(
+            "coalesced_total",
+            "Requests coalesced onto an in-flight search.",
+            self.coalesced as f64,
+        );
+        counter(
+            "timeouts_total",
+            "Requests that exceeded their deadline.",
+            self.timeouts as f64,
+        );
+        counter(
+            "errors_total",
+            "Requests that failed for other reasons.",
+            self.errors as f64,
+        );
+        counter(
+            "in_flight_searches",
+            "Searches currently running.",
+            self.in_flight as f64,
+        );
+        counter("cache_hit_rate", "Cache hit rate.", self.hit_rate);
+        counter(
+            "cache_entries",
+            "Entries currently cached.",
+            self.cache_entries as f64,
+        );
+        counter(
+            "cache_evictions_total",
+            "LRU evictions so far.",
+            self.cache_evictions as f64,
+        );
+        counter(
+            "request_latency_p50_ms",
+            "Median request latency (bucket upper bound).",
+            self.latency_p50_ms,
+        );
+        counter(
+            "request_latency_p99_ms",
+            "99th-percentile request latency (bucket upper bound).",
+            self.latency_p99_ms,
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_quantiles_follow_the_buckets() {
+        let m = ServiceMetrics::new();
+        assert_eq!(m.latency_quantile_ms(0.5), 0.0);
+        for _ in 0..99 {
+            m.record_latency(Duration::from_micros(100)); // bucket 6: [64, 128)
+        }
+        m.record_latency(Duration::from_millis(100)); // ~bucket 16
+        let p50 = m.latency_quantile_ms(0.50);
+        assert!((p50 - 0.128).abs() < 1e-9, "p50={p50}");
+        let p99 = m.latency_quantile_ms(0.99);
+        assert!((p99 - 0.128).abs() < 1e-9, "p99={p99}");
+        let p100 = m.latency_quantile_ms(1.0);
+        assert!(p100 > 100.0, "p100={p100}");
+    }
+
+    #[test]
+    fn snapshot_and_prometheus_rendering() {
+        let m = ServiceMetrics::new();
+        m.requests.fetch_add(3, Ordering::Relaxed);
+        m.cache_hits.fetch_add(2, Ordering::Relaxed);
+        m.cache_misses.fetch_add(1, Ordering::Relaxed);
+        m.record_latency(Duration::from_millis(2));
+        let snap = m.snapshot(4, 1);
+        assert_eq!(snap.requests, 3);
+        assert!((snap.hit_rate - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(snap.cache_entries, 4);
+        let text = snap.render_prometheus();
+        assert!(text.contains("tessel_requests_total 3"));
+        assert!(text.contains("tessel_cache_hits_total 2"));
+        assert!(text.contains("# TYPE tessel_requests_total counter"));
+        assert!(text.contains("# TYPE tessel_cache_hit_rate gauge"));
+        // JSON round trip for the in-process API.
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,690 @@
+//! The in-process schedule-search service.
+//!
+//! [`ScheduleService`] is the transport-independent heart of the daemon: the
+//! HTTP layer, the CLI client's `--in-process` mode, the benches and the
+//! tests all drive this same object. A search request flows through:
+//!
+//! 1. **Canonicalization** — the placement is brought into canonical form
+//!    ([`PlacementSpec::canonicalize`]); the fingerprint plus the resolved
+//!    search parameters form the cache key. Device relabelings and block
+//!    reorderings of a known placement therefore hit the cache.
+//! 2. **Cache lookup** — a hit returns immediately, with the cached canonical
+//!    schedule translated back into the request's own labeling.
+//! 3. **Single-flight** — concurrent identical misses elect one leader; the
+//!    rest block (bounded by their own deadlines) and share the result.
+//! 4. **Search** — the leader runs [`TesselSearch`] with the request deadline
+//!    plumbed through [`SearchConfig::time_budget`] into the solver's
+//!    cooperative cancellation, simulates the winning schedule for the
+//!    utilization summary, and populates the cache. Timeouts and failures
+//!    are **not** cached.
+
+use crate::cache::{CacheConfig, CacheKey, CacheParams, CachedSearch, ShardedCache};
+use crate::metrics::{MetricsSnapshot, ServiceMetrics};
+use crate::singleflight::{Joined, SingleFlight};
+use crate::wire::{CacheEntryInfo, InspectResponse, SearchRequest, SearchResponse};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tessel_core::fingerprint::{CanonicalPlacement, Fingerprint};
+use tessel_core::ir::PlacementSpec;
+use tessel_core::schedule::{scheduled_block, Schedule};
+use tessel_core::search::{SearchConfig, TesselSearch};
+use tessel_core::CoreError;
+use tessel_runtime::{instantiate, simulate, ClusterSpec, CommMode};
+
+/// Errors surfaced to clients of the service.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceError {
+    /// The request was malformed (invalid placement, bad parameters).
+    BadRequest(String),
+    /// The search (or the wait for a coalesced search) exceeded the request
+    /// deadline. Nothing was cached.
+    Timeout(String),
+    /// The search completed without a usable schedule (e.g. no feasible
+    /// repetend under the memory budget).
+    Search(String),
+    /// The daemon cannot take the request right now.
+    Unavailable(String),
+}
+
+impl ServiceError {
+    /// The HTTP status code this error maps to.
+    #[must_use]
+    pub fn http_status(&self) -> u16 {
+        match self {
+            ServiceError::BadRequest(_) => 400,
+            ServiceError::Timeout(_) => 408,
+            ServiceError::Search(_) => 422,
+            ServiceError::Unavailable(_) => 503,
+        }
+    }
+
+    /// Machine-readable kind tag used in error bodies.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServiceError::BadRequest(_) => "bad_request",
+            ServiceError::Timeout(_) => "timeout",
+            ServiceError::Search(_) => "search",
+            ServiceError::Unavailable(_) => "unavailable",
+        }
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServiceError::Timeout(msg) => write!(f, "deadline exceeded: {msg}"),
+            ServiceError::Search(msg) => write!(f, "search failed: {msg}"),
+            ServiceError::Unavailable(msg) => write!(f, "service unavailable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Configuration of a [`ScheduleService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Result-cache layout.
+    pub cache: CacheConfig,
+    /// Snapshot file for cache persistence; `None` disables persistence.
+    pub cache_path: Option<PathBuf>,
+    /// Default `N` when a request omits `num_micro_batches`.
+    pub default_micro_batches: usize,
+    /// Default `NR` cap when a request omits `max_repetend_micro_batches`.
+    pub default_max_repetend: usize,
+    /// Hard ceiling on `NR` accepted from requests (protects the daemon from
+    /// exponential blowup).
+    pub max_repetend_ceiling: usize,
+    /// Portfolio worker threads per search.
+    pub portfolio_threads: usize,
+    /// Optional cap on candidates per `NR` level.
+    pub candidate_limit: Option<usize>,
+    /// Deadline applied when a request does not carry one.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            cache: CacheConfig::default(),
+            cache_path: None,
+            default_micro_batches: 8,
+            default_max_repetend: 6,
+            max_repetend_ceiling: 8,
+            portfolio_threads: 1,
+            candidate_limit: None,
+            default_deadline: Some(Duration::from_secs(60)),
+        }
+    }
+}
+
+/// The schedule-search service. Cheap to share behind an [`Arc`]; all methods
+/// take `&self` and are thread-safe.
+#[derive(Debug)]
+pub struct ScheduleService {
+    config: ServiceConfig,
+    cache: ShardedCache,
+    metrics: ServiceMetrics,
+    flights: SingleFlight<Result<Arc<CachedSearch>, ServiceError>>,
+}
+
+/// RAII guard for the in-flight gauge.
+struct InFlightGuard<'a>(&'a ServiceMetrics);
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Completes the leader's flight on drop unless a result was already
+/// published, so a panicking leader fails its followers fast instead of
+/// blackholing the key until daemon restart.
+struct FlightGuard<'a> {
+    flights: &'a SingleFlight<Result<Arc<CachedSearch>, ServiceError>>,
+    key: u64,
+    armed: bool,
+}
+
+impl FlightGuard<'_> {
+    fn disarm_and_complete(mut self, result: Result<Arc<CachedSearch>, ServiceError>) {
+        self.armed = false;
+        self.flights.complete(self.key, result);
+    }
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.flights.complete(
+                self.key,
+                Err(ServiceError::Unavailable(
+                    "the leading search aborted unexpectedly".into(),
+                )),
+            );
+        }
+    }
+}
+
+impl ScheduleService {
+    /// Creates a service, loading the cache snapshot if one is configured and
+    /// present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot read failures (a missing snapshot is fine).
+    pub fn new(mut config: ServiceConfig) -> std::io::Result<Self> {
+        // An operator-raised default must never exceed the ceiling, or every
+        // request relying on the default would be rejected.
+        config.max_repetend_ceiling = config.max_repetend_ceiling.max(config.default_max_repetend);
+        let cache = ShardedCache::new(&config.cache);
+        if let Some(path) = &config.cache_path {
+            cache.load(path)?;
+        }
+        Ok(ScheduleService {
+            config,
+            cache,
+            metrics: ServiceMetrics::new(),
+            flights: SingleFlight::new(),
+        })
+    }
+
+    /// The configuration the service runs with.
+    #[must_use]
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Handles one search request end to end (see the module docs for the
+    /// pipeline).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServiceError`] for malformed requests, deadline timeouts and
+    /// infeasible searches.
+    pub fn search(&self, request: &SearchRequest) -> Result<SearchResponse, ServiceError> {
+        let arrived = Instant::now();
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let result = self.search_inner(request, arrived);
+        match &result {
+            Ok(_) => {}
+            Err(ServiceError::Timeout(_)) => {
+                self.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.metrics.record_latency(arrived.elapsed());
+        result
+    }
+
+    fn search_inner(
+        &self,
+        request: &SearchRequest,
+        arrived: Instant,
+    ) -> Result<SearchResponse, ServiceError> {
+        request
+            .placement
+            .validate()
+            .map_err(|e| ServiceError::BadRequest(format!("invalid placement: {e}")))?;
+        let params = self.resolve_params(request)?;
+        let deadline = request
+            .deadline_ms
+            .map(|ms| arrived + Duration::from_millis(ms))
+            .or_else(|| self.config.default_deadline.map(|d| arrived + d));
+
+        let canon = request.placement.canonicalize();
+        let key = CacheKey::new(canon.fingerprint, &params);
+
+        if let Some(entry) = self.cache_lookup(key, &canon, &params) {
+            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(self.respond(&entry, &canon, &request.placement, true, false));
+        }
+
+        match self.flights.join(key.raw(), deadline) {
+            Joined::Leader => {
+                // The flight MUST complete even if the search panics —
+                // otherwise the key is blackholed and every later identical
+                // request hangs on a leaderless flight.
+                let guard = FlightGuard {
+                    flights: &self.flights,
+                    key: key.raw(),
+                    armed: true,
+                };
+                // Double-check the cache: another leader may have finished
+                // between our lookup and the flight election.
+                let result = match self.cache_lookup(key, &canon, &params) {
+                    Some(entry) => Ok(entry),
+                    None => self.run_search(&canon, &params, key, deadline),
+                };
+                guard.disarm_and_complete(result.clone());
+                // Snapshot outside the flight: followers are already awake
+                // and never wait on the (whole-cache) disk write.
+                if result.is_ok() {
+                    self.persist_best_effort();
+                }
+                match result {
+                    Ok(entry) => {
+                        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                        Ok(self.respond(&entry, &canon, &request.placement, false, false))
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            Joined::Done(result) => {
+                self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
+                let entry = result?;
+                Ok(self.respond(&entry, &canon, &request.placement, false, true))
+            }
+            Joined::TimedOut => Err(ServiceError::Timeout(
+                "timed out waiting for an identical in-flight search".into(),
+            )),
+        }
+    }
+
+    /// Cache lookup guarded against key collisions: the stored canonical
+    /// placement *and* the stored parameters must match the request's.
+    fn cache_lookup(
+        &self,
+        key: CacheKey,
+        canon: &CanonicalPlacement,
+        params: &CacheParams,
+    ) -> Option<Arc<CachedSearch>> {
+        let entry = self.cache.get(key)?;
+        (entry.params == *params && entry.canonical_placement == canon.placement).then_some(entry)
+    }
+
+    fn resolve_params(&self, request: &SearchRequest) -> Result<CacheParams, ServiceError> {
+        let num_micro_batches = request
+            .num_micro_batches
+            .unwrap_or(self.config.default_micro_batches);
+        if num_micro_batches == 0 {
+            return Err(ServiceError::BadRequest(
+                "num_micro_batches must be at least 1".into(),
+            ));
+        }
+        let max_repetend = request
+            .max_repetend_micro_batches
+            .unwrap_or(self.config.default_max_repetend);
+        if max_repetend == 0 || max_repetend > self.config.max_repetend_ceiling {
+            return Err(ServiceError::BadRequest(format!(
+                "max_repetend_micro_batches must be in 1..={}",
+                self.config.max_repetend_ceiling
+            )));
+        }
+        Ok(CacheParams {
+            num_micro_batches,
+            max_repetend_micro_batches: max_repetend,
+        })
+    }
+
+    /// Runs the actual search (leader path) and populates the cache on
+    /// success.
+    fn run_search(
+        &self,
+        canon: &CanonicalPlacement,
+        params: &CacheParams,
+        key: CacheKey,
+        deadline: Option<Instant>,
+    ) -> Result<Arc<CachedSearch>, ServiceError> {
+        self.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
+        let _guard = InFlightGuard(&self.metrics);
+
+        let started = Instant::now();
+        let budget = match deadline {
+            Some(deadline) => Some(
+                deadline
+                    .checked_duration_since(started)
+                    .ok_or_else(|| ServiceError::Timeout("deadline already passed".into()))?,
+            ),
+            None => None,
+        };
+        let mut config = SearchConfig::default()
+            .with_micro_batches(params.num_micro_batches)
+            .with_max_repetend_micro_batches(params.max_repetend_micro_batches)
+            .with_portfolio_threads(self.config.portfolio_threads)
+            .with_time_budget(budget);
+        config.candidate_limit = self.config.candidate_limit;
+
+        let outcome = TesselSearch::new(config)
+            .run(&canon.placement)
+            .map_err(|e| match e {
+                CoreError::DeadlineExceeded => {
+                    ServiceError::Timeout("search exceeded the request deadline".into())
+                }
+                other => ServiceError::Search(other.to_string()),
+            })?;
+        let search_millis = started.elapsed().as_millis() as u64;
+
+        // Simulate the schedule on the reference cluster for the
+        // machine-readable utilization summary.
+        let cluster = ClusterSpec::v100_cluster(canon.placement.num_devices());
+        let utilization = instantiate(&canon.placement, &outcome.schedule, CommMode::NonBlocking)
+            .and_then(|program| simulate(&program, &cluster, CommMode::NonBlocking))
+            .map(|report| report.utilization_summary())
+            .map_err(|e| ServiceError::Search(format!("simulation failed: {e}")))?;
+
+        let entry = Arc::new(CachedSearch {
+            fingerprint: canon.fingerprint,
+            params: *params,
+            canonical_placement: canon.placement.clone(),
+            schedule: outcome.schedule,
+            period: outcome.repetend.period,
+            repetend_micro_batches: outcome.repetend.num_micro_batches(),
+            bubble_rate: outcome.repetend.bubble_rate(&canon.placement),
+            utilization,
+            search_millis,
+        });
+        self.cache.insert(key, entry.clone());
+        Ok(entry)
+    }
+
+    /// Translates a cached (canonical-labeled) entry into the request's own
+    /// device labeling and stage numbering.
+    fn respond(
+        &self,
+        entry: &CachedSearch,
+        canon: &CanonicalPlacement,
+        original: &PlacementSpec,
+        cached: bool,
+        coalesced: bool,
+    ) -> SearchResponse {
+        let inv_block = canon.inverse_block_perm();
+        let blocks = entry
+            .schedule
+            .blocks()
+            .iter()
+            .map(|b| scheduled_block(original, inv_block[b.stage], b.micro_batch, b.start))
+            .collect();
+        let mut schedule = Schedule::new(
+            original.num_devices(),
+            entry.schedule.num_micro_batches(),
+            blocks,
+        );
+        if let Some(span) = entry.schedule.repetend() {
+            schedule = schedule.with_repetend(span);
+        }
+
+        // Per-device utilization rows, re-indexed to the request's labels.
+        let mut utilization = entry.utilization.clone();
+        let mut devices = Vec::with_capacity(utilization.devices.len());
+        for (original_device, &canonical_device) in canon.device_perm.iter().enumerate() {
+            if let Some(row) = entry.utilization.devices.get(canonical_device) {
+                let mut row = row.clone();
+                row.device = original_device;
+                devices.push(row);
+            }
+        }
+        utilization.devices = devices;
+
+        SearchResponse {
+            fingerprint: entry.fingerprint,
+            cached,
+            coalesced,
+            num_micro_batches: entry.schedule.num_micro_batches(),
+            period: entry.period,
+            repetend_micro_batches: entry.repetend_micro_batches,
+            bubble_rate: entry.bubble_rate,
+            schedule,
+            utilization,
+            search_millis: if cached { 0 } else { entry.search_millis },
+        }
+    }
+
+    fn persist_best_effort(&self) {
+        if let Some(path) = &self.config.cache_path {
+            if let Err(e) = self.cache.save(path) {
+                eprintln!("warning: cannot persist cache to {}: {e}", path.display());
+            }
+        }
+    }
+
+    /// Summary rows for every cached entry (`GET /v1/cache`).
+    #[must_use]
+    pub fn cache_entries(&self) -> Vec<CacheEntryInfo> {
+        self.cache.list()
+    }
+
+    /// Every cached entry for `fingerprint`, in canonical labeling
+    /// (`GET /v1/cache/{fingerprint}`).
+    #[must_use]
+    pub fn inspect(&self, fingerprint: Fingerprint) -> InspectResponse {
+        InspectResponse {
+            fingerprint,
+            entries: self
+                .cache
+                .entries_for(fingerprint)
+                .into_iter()
+                .map(|e| (*e).clone())
+                .collect(),
+        }
+    }
+
+    /// A point-in-time metrics snapshot.
+    #[must_use]
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics
+            .snapshot(self.cache.len() as u64, self.cache.evictions())
+    }
+
+    /// Persists the cache snapshot now (also done after every successful
+    /// search when a path is configured).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors; does nothing without a configured path.
+    pub fn save_cache(&self) -> std::io::Result<()> {
+        match &self.config.cache_path {
+            Some(path) => self.cache.save(path),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tessel_core::ir::BlockKind;
+
+    fn v_shape(d: usize) -> PlacementSpec {
+        let mut b = PlacementSpec::builder(format!("v{d}"), d);
+        b.set_memory_capacity(Some(d as i64 + 1));
+        let mut prev: Option<usize> = None;
+        for dev in 0..d {
+            let deps: Vec<usize> = prev.into_iter().collect();
+            prev = Some(
+                b.add_block(format!("f{dev}"), BlockKind::Forward, [dev], 1, 1, deps)
+                    .unwrap(),
+            );
+        }
+        for dev in (0..d).rev() {
+            let deps: Vec<usize> = prev.into_iter().collect();
+            prev = Some(
+                b.add_block(format!("b{dev}"), BlockKind::Backward, [dev], 2, -1, deps)
+                    .unwrap(),
+            );
+        }
+        b.build().unwrap()
+    }
+
+    fn quick_service() -> ScheduleService {
+        ScheduleService::new(ServiceConfig {
+            default_micro_batches: 4,
+            default_max_repetend: 3,
+            ..ServiceConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_requests_hit_the_cache_byte_identically() {
+        let service = quick_service();
+        let request = SearchRequest::for_placement(v_shape(2));
+        let first = service.search(&request).unwrap();
+        let second = service.search(&request).unwrap();
+        assert!(!first.cached);
+        assert!(second.cached);
+        assert_eq!(first.schedule, second.schedule);
+        // Byte-identical over the wire (modulo the cached/search_millis
+        // bookkeeping fields, which describe the request, not the result).
+        let render = |r: &SearchResponse| serde_json::to_string(&r.schedule).unwrap();
+        assert_eq!(render(&first), render(&second));
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.requests, 2);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+    }
+
+    #[test]
+    fn permuted_devices_hit_via_the_canonical_fingerprint() {
+        let service = quick_service();
+        let placement = v_shape(3);
+        let first = service
+            .search(&SearchRequest::for_placement(placement.clone()))
+            .unwrap();
+        let order: Vec<usize> = (0..placement.num_blocks()).collect();
+        let permuted = placement.permuted(&[2, 0, 1], &order).unwrap();
+        let second = service
+            .search(&SearchRequest::for_placement(permuted.clone()))
+            .unwrap();
+        assert!(second.cached, "permuted placement should hit");
+        assert_eq!(first.fingerprint, second.fingerprint);
+        assert_eq!(first.period, second.period);
+        // The returned schedule is valid *in the permuted labeling*.
+        second.schedule.validate(&permuted).unwrap();
+        first.schedule.validate(&placement).unwrap();
+    }
+
+    #[test]
+    fn zero_deadline_times_out_without_poisoning_the_cache() {
+        let service = quick_service();
+        let mut request = SearchRequest::for_placement(v_shape(2));
+        request.deadline_ms = Some(0);
+        let err = service.search(&request).unwrap_err();
+        assert!(matches!(err, ServiceError::Timeout(_)), "{err:?}");
+        assert_eq!(service.cache_entries().len(), 0);
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.timeouts, 1);
+        // The same placement without a deadline succeeds afterwards: the
+        // timeout left no poisoned entry behind.
+        request.deadline_ms = None;
+        let ok = service.search(&request).unwrap();
+        assert!(!ok.cached);
+        assert_eq!(service.cache_entries().len(), 1);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected() {
+        let service = quick_service();
+        let mut request = SearchRequest::for_placement(v_shape(2));
+        request.num_micro_batches = Some(0);
+        assert!(matches!(
+            service.search(&request).unwrap_err(),
+            ServiceError::BadRequest(_)
+        ));
+        let mut request = SearchRequest::for_placement(v_shape(2));
+        request.max_repetend_micro_batches = Some(99);
+        assert!(matches!(
+            service.search(&request).unwrap_err(),
+            ServiceError::BadRequest(_)
+        ));
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.errors, 2);
+    }
+
+    #[test]
+    fn raised_default_max_repetend_raises_the_ceiling() {
+        let service = ScheduleService::new(ServiceConfig {
+            default_max_repetend: 10,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        assert_eq!(service.config().max_repetend_ceiling, 10);
+        // A request relying on the default is accepted, not rejected as
+        // exceeding the (now-raised) ceiling.
+        let err = service.resolve_params(&SearchRequest::for_placement(v_shape(2)));
+        assert!(err.is_ok());
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce() {
+        let service = Arc::new(quick_service());
+        let placement = v_shape(4);
+        let mut handles = Vec::new();
+        for _ in 0..6 {
+            let service = service.clone();
+            let placement = placement.clone();
+            handles.push(std::thread::spawn(move || {
+                service
+                    .search(&SearchRequest::for_placement(placement))
+                    .unwrap()
+            }));
+        }
+        let responses: Vec<SearchResponse> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let periods: Vec<u64> = responses.iter().map(|r| r.period).collect();
+        assert!(periods.windows(2).all(|w| w[0] == w[1]));
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.requests, 6);
+        // Every request either hit the cache, ran the one real search, or
+        // was coalesced onto it — but the solver ran at most... once per
+        // concurrent non-coalesced straggler; the common case is exactly one
+        // miss. At minimum, coalescing plus caching must cover the rest.
+        assert_eq!(
+            snap.cache_hits + snap.cache_misses + snap.coalesced,
+            6,
+            "{snap:?}"
+        );
+        assert!(snap.cache_misses >= 1);
+    }
+
+    #[test]
+    fn inspect_returns_canonical_entries_with_utilization() {
+        let service = quick_service();
+        let placement = v_shape(2);
+        let response = service
+            .search(&SearchRequest::for_placement(placement))
+            .unwrap();
+        let inspect = service.inspect(response.fingerprint);
+        assert_eq!(inspect.entries.len(), 1);
+        let entry = &inspect.entries[0];
+        assert_eq!(entry.period, response.period);
+        assert_eq!(entry.utilization.devices.len(), 2);
+        assert!(entry.utilization.makespan > 0);
+        // Unknown fingerprints inspect to an empty list.
+        assert!(service.inspect(Fingerprint(0)).entries.is_empty());
+    }
+
+    #[test]
+    fn cache_persists_across_service_restarts() {
+        let dir =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/service-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("cache-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let config = ServiceConfig {
+            cache_path: Some(path.clone()),
+            default_micro_batches: 4,
+            default_max_repetend: 3,
+            ..ServiceConfig::default()
+        };
+        let request = SearchRequest::for_placement(v_shape(2));
+        let first = {
+            let service = ScheduleService::new(config.clone()).unwrap();
+            service.search(&request).unwrap()
+        };
+        // A fresh service over the same snapshot starts warm.
+        let service = ScheduleService::new(config).unwrap();
+        let second = service.search(&request).unwrap();
+        assert!(second.cached, "restarted daemon should hit its snapshot");
+        assert_eq!(first.schedule, second.schedule);
+        let _ = std::fs::remove_file(&path);
+    }
+}

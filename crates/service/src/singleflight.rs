@@ -1,0 +1,159 @@
+//! Request coalescing: identical concurrent requests share one in-flight
+//! computation.
+//!
+//! Without coalescing, a thundering herd of identical search requests would
+//! each pay the full (potentially seconds-long) solver cost before the first
+//! one populates the cache. [`SingleFlight::join`] admits exactly one
+//! *leader* per key; every other caller blocks on a condition variable until
+//! the leader publishes its result via [`SingleFlight::complete`] — or until
+//! the follower's own deadline passes, whichever comes first.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+#[derive(Debug)]
+struct Flight<V> {
+    result: Mutex<Option<V>>,
+    ready: Condvar,
+}
+
+/// The outcome of joining a flight.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Joined<V> {
+    /// The caller is the leader: it must run the computation and publish the
+    /// result with [`SingleFlight::complete`] (even on failure, by publishing
+    /// the error).
+    Leader,
+    /// The leader finished; here is its (shared) result.
+    Done(V),
+    /// The caller's deadline passed while waiting for the leader.
+    TimedOut,
+}
+
+/// Coalesces concurrent computations by `u64` key.
+#[derive(Debug, Default)]
+pub struct SingleFlight<V: Clone> {
+    flights: Mutex<HashMap<u64, Arc<Flight<V>>>>,
+}
+
+impl<V: Clone> SingleFlight<V> {
+    /// Creates an empty coalescer.
+    #[must_use]
+    pub fn new() -> Self {
+        SingleFlight {
+            flights: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Number of keys currently in flight.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.flights.lock().expect("flights lock").len()
+    }
+
+    /// Joins the flight for `key`: the first caller becomes the leader, later
+    /// callers block until the result is published or their `deadline`
+    /// passes.
+    #[must_use]
+    pub fn join(&self, key: u64, deadline: Option<Instant>) -> Joined<V> {
+        let flight = {
+            let mut flights = self.flights.lock().expect("flights lock");
+            match flights.entry(key) {
+                Entry::Vacant(slot) => {
+                    slot.insert(Arc::new(Flight {
+                        result: Mutex::new(None),
+                        ready: Condvar::new(),
+                    }));
+                    return Joined::Leader;
+                }
+                Entry::Occupied(slot) => slot.get().clone(),
+            }
+        };
+        let mut result = flight.result.lock().expect("flight result lock");
+        loop {
+            if let Some(value) = result.as_ref() {
+                return Joined::Done(value.clone());
+            }
+            match deadline {
+                None => result = flight.ready.wait(result).expect("flight result lock"),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Joined::TimedOut;
+                    }
+                    let (guard, _) = flight
+                        .ready
+                        .wait_timeout(result, deadline - now)
+                        .expect("flight result lock");
+                    result = guard;
+                }
+            }
+        }
+    }
+
+    /// Publishes the leader's result for `key` and wakes every waiting
+    /// follower. The flight is removed, so callers arriving later start a new
+    /// one (and will typically hit the cache instead).
+    pub fn complete(&self, key: u64, value: V) {
+        let flight = self.flights.lock().expect("flights lock").remove(&key);
+        if let Some(flight) = flight {
+            *flight.result.lock().expect("flight result lock") = Some(value);
+            flight.ready.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn one_leader_many_followers() {
+        let flight: Arc<SingleFlight<u64>> = Arc::new(SingleFlight::new());
+        let leaders = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let flight = flight.clone();
+            let leaders = leaders.clone();
+            handles.push(std::thread::spawn(move || match flight.join(42, None) {
+                Joined::Leader => {
+                    leaders.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_millis(20));
+                    flight.complete(42, 7);
+                    7
+                }
+                Joined::Done(v) => v,
+                Joined::TimedOut => unreachable!("no deadline set"),
+            }));
+        }
+        let results: Vec<u64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(leaders.load(Ordering::SeqCst), 1);
+        assert!(results.iter().all(|&v| v == 7));
+        assert_eq!(flight.in_flight(), 0);
+    }
+
+    #[test]
+    fn follower_deadline_fires_without_a_leader_result() {
+        let flight: SingleFlight<u64> = SingleFlight::new();
+        assert_eq!(flight.join(1, None), Joined::Leader);
+        let deadline = Instant::now() + Duration::from_millis(10);
+        assert_eq!(flight.join(1, Some(deadline)), Joined::TimedOut);
+        // The leader can still publish afterwards without issue.
+        flight.complete(1, 3);
+        assert_eq!(flight.in_flight(), 0);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_coalesce() {
+        let flight: SingleFlight<u64> = SingleFlight::new();
+        assert_eq!(flight.join(1, None), Joined::Leader);
+        assert_eq!(flight.join(2, None), Joined::Leader);
+        assert_eq!(flight.in_flight(), 2);
+        flight.complete(1, 1);
+        flight.complete(2, 2);
+    }
+}

@@ -1,0 +1,194 @@
+//! JSON wire types of the daemon's HTTP API.
+//!
+//! Requests deserialize leniently (optional fields may be omitted entirely);
+//! responses serialize every field, deterministically, so identical cached
+//! results render to byte-identical JSON.
+
+use serde::{field, field_or_null, Deserialize, Error as SerdeError, Serialize, Value};
+use tessel_core::fingerprint::Fingerprint;
+use tessel_core::ir::PlacementSpec;
+use tessel_core::schedule::Schedule;
+use tessel_runtime::metrics::UtilizationSummary;
+
+/// A `POST /v1/search` request body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRequest {
+    /// The placement to schedule. Device labels and block order are
+    /// irrelevant for cache identity: requests canonicalize to the same
+    /// fingerprint whenever they describe isomorphic placements.
+    pub placement: PlacementSpec,
+    /// Micro-batches the composed schedule should cover; the service default
+    /// applies when omitted.
+    pub num_micro_batches: Option<usize>,
+    /// `NR` cap for the repetend search; the service default applies when
+    /// omitted.
+    pub max_repetend_micro_batches: Option<usize>,
+    /// Per-request deadline in milliseconds. A search (or a coalesced wait)
+    /// running past it fails with a timeout error and nothing is cached.
+    pub deadline_ms: Option<u64>,
+}
+
+impl SearchRequest {
+    /// A request for `placement` with every tuning knob left at the service
+    /// default.
+    #[must_use]
+    pub fn for_placement(placement: PlacementSpec) -> Self {
+        SearchRequest {
+            placement,
+            num_micro_batches: None,
+            max_repetend_micro_batches: None,
+            deadline_ms: None,
+        }
+    }
+}
+
+impl Serialize for SearchRequest {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("placement".into(), self.placement.to_value()),
+            (
+                "num_micro_batches".into(),
+                self.num_micro_batches.to_value(),
+            ),
+            (
+                "max_repetend_micro_batches".into(),
+                self.max_repetend_micro_batches.to_value(),
+            ),
+            ("deadline_ms".into(), self.deadline_ms.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SearchRequest {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let map = value
+            .as_map()
+            .ok_or_else(|| SerdeError::custom("expected object for SearchRequest"))?;
+        Ok(SearchRequest {
+            placement: PlacementSpec::from_value(field(map, "placement")?)?,
+            num_micro_batches: Deserialize::from_value(field_or_null(map, "num_micro_batches"))?,
+            max_repetend_micro_batches: Deserialize::from_value(field_or_null(
+                map,
+                "max_repetend_micro_batches",
+            ))?,
+            deadline_ms: Deserialize::from_value(field_or_null(map, "deadline_ms"))?,
+        })
+    }
+}
+
+/// A successful `POST /v1/search` response body.
+///
+/// The schedule and per-device utilization are expressed in the **request's**
+/// device labeling and stage numbering — cache hits against a permuted
+/// equivalent are translated back before they are returned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchResponse {
+    /// Canonical fingerprint of the requested placement (the cache identity).
+    pub fingerprint: Fingerprint,
+    /// `true` if the result came from the cache.
+    pub cached: bool,
+    /// `true` if this request was coalesced onto another request's in-flight
+    /// search instead of running its own.
+    pub coalesced: bool,
+    /// Micro-batches the composed schedule covers.
+    pub num_micro_batches: usize,
+    /// The winning repetend period `t_R`.
+    pub period: u64,
+    /// `NR` of the winning repetend.
+    pub repetend_micro_batches: usize,
+    /// Steady-state bubble rate of the repetend.
+    pub bubble_rate: f64,
+    /// The composed schedule, in the request's labeling.
+    pub schedule: Schedule,
+    /// Simulated per-device utilization of the schedule, in the request's
+    /// labeling.
+    pub utilization: UtilizationSummary,
+    /// Wall-clock milliseconds the underlying search took (0 for pure cache
+    /// hits).
+    pub search_millis: u64,
+}
+
+/// One row of the `GET /v1/cache` listing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheEntryInfo {
+    /// Canonical fingerprint of the cached placement.
+    pub fingerprint: Fingerprint,
+    /// Micro-batches the cached schedule covers.
+    pub num_micro_batches: usize,
+    /// `NR` cap the search ran with.
+    pub max_repetend_micro_batches: usize,
+    /// Winning repetend period.
+    pub period: u64,
+    /// Steady-state bubble rate.
+    pub bubble_rate: f64,
+    /// Devices of the placement.
+    pub num_devices: usize,
+    /// Blocks per micro-batch.
+    pub num_blocks: usize,
+    /// Times this entry was served from the cache.
+    pub hits: u64,
+    /// Wall-clock milliseconds the original search took.
+    pub search_millis: u64,
+}
+
+/// A `GET /v1/cache/{fingerprint}` response body: every cached entry for the
+/// fingerprint (one per parameter combination), in canonical labeling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InspectResponse {
+    /// The fingerprint that was looked up.
+    pub fingerprint: Fingerprint,
+    /// Cached entries, most recently used first.
+    pub entries: Vec<crate::cache::CachedSearch>,
+}
+
+/// An error response body (any non-2xx status).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// Machine-readable error kind (`bad_request`, `timeout`, `search`,
+    /// `unavailable`, `not_found`).
+    pub kind: String,
+    /// Human-readable description.
+    pub error: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tessel_core::ir::BlockKind;
+
+    fn v2() -> PlacementSpec {
+        let mut b = PlacementSpec::builder("v2", 2);
+        let f0 = b
+            .add_block("f0", BlockKind::Forward, [0], 1, 1, [])
+            .unwrap();
+        b.add_block("f1", BlockKind::Forward, [1], 1, 1, [f0])
+            .unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn request_round_trips_and_tolerates_missing_fields() {
+        let full = SearchRequest {
+            placement: v2(),
+            num_micro_batches: Some(6),
+            max_repetend_micro_batches: Some(3),
+            deadline_ms: Some(250),
+        };
+        let json = serde_json::to_string(&full).unwrap();
+        let back: SearchRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, full);
+
+        // Only the placement is mandatory.
+        let minimal = format!(
+            "{{\"placement\": {}}}",
+            serde_json::to_string(&v2()).unwrap()
+        );
+        let parsed: SearchRequest = serde_json::from_str(&minimal).unwrap();
+        assert_eq!(parsed.placement, v2());
+        assert_eq!(parsed.num_micro_batches, None);
+        assert_eq!(parsed.deadline_ms, None);
+
+        let missing: Result<SearchRequest, _> = serde_json::from_str("{}");
+        assert!(missing.is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! End-to-end test of the daemon over real sockets, covering the acceptance
+//! scenario: identical requests return byte-identical schedules with the
+//! second served from the cache, a device-permuted variant hits via the
+//! canonical fingerprint, and a zero-deadline request times out without
+//! poisoning the cache.
+
+use std::sync::Arc;
+use tessel_core::ir::{BlockKind, PlacementSpec};
+use tessel_service::http::http_call;
+use tessel_service::wire::SearchRequest;
+use tessel_service::{HttpServer, ScheduleService, ServerConfig, ServiceConfig};
+
+fn v_shape(devices: usize) -> PlacementSpec {
+    let mut b = PlacementSpec::builder(format!("v{devices}"), devices);
+    b.set_memory_capacity(Some(devices as i64 + 1));
+    let mut prev: Option<usize> = None;
+    for d in 0..devices {
+        let deps: Vec<usize> = prev.into_iter().collect();
+        prev = Some(
+            b.add_block(format!("f{d}"), BlockKind::Forward, [d], 1, 1, deps)
+                .unwrap(),
+        );
+    }
+    for d in (0..devices).rev() {
+        let deps: Vec<usize> = prev.into_iter().collect();
+        prev = Some(
+            b.add_block(format!("b{d}"), BlockKind::Backward, [d], 2, -1, deps)
+                .unwrap(),
+        );
+    }
+    b.build().unwrap()
+}
+
+fn start_server() -> (HttpServer, String) {
+    let service = ScheduleService::new(ServiceConfig {
+        default_micro_batches: 4,
+        default_max_repetend: 3,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let server = HttpServer::serve(
+        Arc::new(service),
+        &ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_depth: 16,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn post_search(addr: &str, request: &SearchRequest) -> (u16, String) {
+    let body = serde_json::to_string(request).unwrap();
+    http_call(addr, "POST", "/v1/search", Some(&body)).unwrap()
+}
+
+/// Extracts a scalar field rendered by the deterministic JSON writer.
+fn json_field<'a>(body: &'a str, field: &str) -> &'a str {
+    let tag = format!("\"{field}\":");
+    let start = body.find(&tag).map(|p| p + tag.len()).unwrap_or_else(|| {
+        panic!("field {field} missing in {body}");
+    });
+    let rest = &body[start..];
+    let end = rest
+        .find([',', '}'])
+        .unwrap_or_else(|| panic!("unterminated field {field}"));
+    &rest[..end]
+}
+
+#[test]
+fn daemon_serves_cache_hits_permutations_and_deadlines() {
+    let (server, addr) = start_server();
+
+    // Liveness.
+    let (status, body) = http_call(&addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(body.contains("ok"));
+
+    // First search: a miss that populates the cache.
+    let placement = v_shape(3);
+    let request = SearchRequest::for_placement(placement.clone());
+    let (status, first) = post_search(&addr, &request);
+    assert_eq!(status, 200, "{first}");
+    assert_eq!(json_field(&first, "cached"), "false");
+
+    // Second, identical search: a cache hit with a byte-identical schedule.
+    let (status, second) = post_search(&addr, &request);
+    assert_eq!(status, 200);
+    assert_eq!(json_field(&second, "cached"), "true");
+    let schedule_of = |body: &str| {
+        let start = body.find("\"schedule\":").expect("schedule field");
+        let end = body.find("\"utilization\":").expect("utilization field");
+        body[start..end].to_string()
+    };
+    assert_eq!(schedule_of(&first), schedule_of(&second));
+    assert_eq!(json_field(&first, "period"), json_field(&second, "period"));
+
+    // The hit is visible in /metrics.
+    let (status, metrics) = http_call(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(metrics.contains("tessel_cache_hits_total 1"), "{metrics}");
+    assert!(metrics.contains("tessel_cache_misses_total 1"), "{metrics}");
+
+    // A device-permuted variant of the same placement hits via the canonical
+    // fingerprint.
+    let order: Vec<usize> = (0..placement.num_blocks()).collect();
+    let permuted = placement.permuted(&[2, 0, 1], &order).unwrap();
+    let (status, third) = post_search(&addr, &SearchRequest::for_placement(permuted));
+    assert_eq!(status, 200);
+    assert_eq!(json_field(&third, "cached"), "true");
+    assert_eq!(
+        json_field(&first, "fingerprint"),
+        json_field(&third, "fingerprint")
+    );
+    assert_eq!(json_field(&first, "period"), json_field(&third, "period"));
+
+    // The cache listing shows exactly one canonical entry, with hits.
+    let (status, listing) = http_call(&addr, "GET", "/v1/cache", None).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(listing.matches("\"fingerprint\"").count(), 1, "{listing}");
+
+    // Inspecting the fingerprint returns the canonical entry with the
+    // per-device utilization summary.
+    let fingerprint = json_field(&first, "fingerprint")
+        .trim_matches('"')
+        .to_string();
+    let (status, inspect) =
+        http_call(&addr, "GET", &format!("/v1/cache/{fingerprint}"), None).unwrap();
+    assert_eq!(status, 200);
+    assert!(inspect.contains("\"busy_fraction\""), "{inspect}");
+    let (status, _) = http_call(&addr, "GET", "/v1/cache/0000000000000000", None).unwrap();
+    assert_eq!(status, 404);
+
+    // A zero-deadline request for an uncached placement times out (408) and
+    // does not poison the cache.
+    let uncached = v_shape(2);
+    let mut timed = SearchRequest::for_placement(uncached.clone());
+    timed.deadline_ms = Some(0);
+    let (status, timeout_body) = post_search(&addr, &timed);
+    assert_eq!(status, 408, "{timeout_body}");
+    assert!(timeout_body.contains("timeout"), "{timeout_body}");
+    let (_, listing) = http_call(&addr, "GET", "/v1/cache", None).unwrap();
+    assert_eq!(listing.matches("\"fingerprint\"").count(), 1, "{listing}");
+    // Without the deadline the same placement now searches fine.
+    let (status, ok) = post_search(&addr, &SearchRequest::for_placement(uncached));
+    assert_eq!(status, 200);
+    assert_eq!(json_field(&ok, "cached"), "false");
+
+    // Unknown routes 404; malformed bodies 400.
+    let (status, _) = http_call(&addr, "GET", "/nope", None).unwrap();
+    assert_eq!(status, 404);
+    let (status, _) = http_call(&addr, "POST", "/v1/search", Some("not json")).unwrap();
+    assert_eq!(status, 400);
+
+    server.shutdown();
+}

@@ -1,0 +1,108 @@
+//! Cooperative cancellation and deadlines for long-running solves.
+//!
+//! The branch-and-bound search can run for seconds on hard instances; a
+//! long-running caller (the `tessel-service` daemon in particular) needs a
+//! way to abort a solve that is no longer worth finishing — the requester
+//! hung up, or a per-request deadline passed. Both signals are carried by
+//! [`Abort`]: a shareable [`CancelToken`] flipped by another thread plus an
+//! optional wall-clock deadline, checked cooperatively by the search at its
+//! existing node-batch boundaries so the hot loop stays unaffected.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A shareable cancellation flag.
+///
+/// Cloning a token shares the underlying flag: cancelling any clone cancels
+/// them all. The flag is sticky — once cancelled, a token never resets.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a fresh, not-yet-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation; every clone of this token observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called on any clone.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Abort conditions for a solve: an external cancellation token and/or a
+/// wall-clock deadline.
+///
+/// The default value never aborts, so existing callers are unaffected.
+#[derive(Debug, Clone, Default)]
+pub struct Abort {
+    /// External cancellation signal.
+    pub cancel: CancelToken,
+    /// Absolute wall-clock deadline; the solve aborts once it passes.
+    pub deadline: Option<Instant>,
+}
+
+impl Abort {
+    /// An abort handle that never fires.
+    #[must_use]
+    pub fn none() -> Self {
+        Abort::default()
+    }
+
+    /// An abort handle firing at `deadline`.
+    #[must_use]
+    pub fn at(deadline: Instant) -> Self {
+        Abort {
+            cancel: CancelToken::new(),
+            deadline: Some(deadline),
+        }
+    }
+
+    /// `true` once the token is cancelled or the deadline has passed.
+    ///
+    /// Reads the clock when a deadline is set, so callers should invoke it at
+    /// batch boundaries rather than per node.
+    #[must_use]
+    pub fn should_stop(&self) -> bool {
+        self.cancel.is_cancelled() || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn token_is_shared_and_sticky() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn abort_fires_on_cancel_or_deadline() {
+        let abort = Abort::none();
+        assert!(!abort.should_stop());
+        abort.cancel.cancel();
+        assert!(abort.should_stop());
+
+        let expired = Abort::at(Instant::now() - Duration::from_millis(1));
+        assert!(expired.should_stop());
+        let future = Abort::at(Instant::now() + Duration::from_secs(3600));
+        assert!(!future.should_stop());
+    }
+}

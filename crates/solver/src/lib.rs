@@ -50,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
 mod error;
 mod greedy;
 mod instance;
@@ -60,6 +61,7 @@ mod solution;
 mod stats;
 mod task;
 
+pub use cancel::{Abort, CancelToken};
 pub use error::SolverError;
 pub use greedy::{greedy_schedule, GreedyPriority};
 pub use instance::{Instance, InstanceBuilder};

@@ -33,6 +33,7 @@
 //! table; the search stays exact because every root branch is either explored
 //! or pruned against the (monotonically tightening) shared incumbent.
 
+use crate::cancel::Abort;
 use crate::greedy::{greedy_schedule, GreedyPriority};
 use crate::instance::Instance;
 use crate::lower_bound::makespan_lower_bound;
@@ -45,7 +46,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Configuration of the branch-and-bound search.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct SolverConfig {
     /// Maximum number of branch nodes to expand before giving up with the best
     /// incumbent found so far. With multiple threads the budget is shared
@@ -64,6 +65,11 @@ pub struct SolverConfig {
     /// workers. All thread counts prove the same optimal makespan; only the
     /// tie-breaking among equally good schedules may differ.
     pub threads: usize,
+    /// External abort conditions (cancellation token and/or wall-clock
+    /// deadline), checked cooperatively at node-batch boundaries. An aborted
+    /// solve returns its best incumbent (or `Unknown`) with
+    /// `stats.complete == false`. The default never aborts.
+    pub abort: Abort,
 }
 
 impl Default for SolverConfig {
@@ -73,9 +79,24 @@ impl Default for SolverConfig {
             time_limit: Some(Duration::from_secs(20)),
             dominance_memo_limit: 1 << 20,
             threads: 1,
+            abort: Abort::none(),
         }
     }
 }
+
+/// Equality ignores the [`SolverConfig::abort`] handle: two configurations
+/// that explore the search space identically compare equal even if they are
+/// attached to different cancellation tokens.
+impl PartialEq for SolverConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.max_nodes == other.max_nodes
+            && self.time_limit == other.time_limit
+            && self.dominance_memo_limit == other.dominance_memo_limit
+            && self.threads == other.threads
+    }
+}
+
+impl Eq for SolverConfig {}
 
 impl SolverConfig {
     /// A configuration without node or time limits; the search always proves
@@ -87,6 +108,7 @@ impl SolverConfig {
             time_limit: None,
             dominance_memo_limit: 1 << 22,
             threads: 1,
+            abort: Abort::none(),
         }
     }
 
@@ -99,6 +121,7 @@ impl SolverConfig {
             time_limit: Some(Duration::from_secs(2)),
             dominance_memo_limit: 1 << 18,
             threads: 1,
+            abort: Abort::none(),
         }
     }
 
@@ -274,6 +297,19 @@ impl Solver {
                 let solution = Solution::new(ctx.best_starts.clone(), instance);
                 return Ok(SolveOutcome::Optimal(solution, ctx.stats));
             }
+        }
+
+        // An abort that fired before branching (e.g. an already-expired
+        // per-request deadline) returns promptly: the greedy incumbent, if
+        // any, is reported as an unproven feasible solution.
+        if self.config.abort.should_stop() {
+            ctx.stats.elapsed = started.elapsed();
+            ctx.stats.complete = false;
+            let stats = ctx.stats.clone();
+            return Ok(match ctx.best_makespan {
+                Some(_) => SolveOutcome::Feasible(Solution::new(ctx.best_starts, instance), stats),
+                None => SolveOutcome::Unknown(stats),
+            });
         }
 
         let threads = self.config.effective_threads();
@@ -740,6 +776,11 @@ impl<'a> SearchContext<'a> {
                         return true;
                     }
                 }
+                // Cooperative cancellation: an external abort (token or
+                // deadline) stops every worker at its next flush boundary.
+                if self.config.abort.should_stop() {
+                    return true;
+                }
                 if shared.stop.load(Ordering::Relaxed) {
                     return true;
                 }
@@ -749,10 +790,15 @@ impl<'a> SearchContext<'a> {
             if self.stats.nodes >= self.config.max_nodes {
                 return true;
             }
-            if let Some(limit) = self.config.time_limit {
-                // Checking the clock on every node would be wasteful; sample it.
-                if self.stats.nodes.is_multiple_of(FLUSH_INTERVAL) && self.started.elapsed() > limit
-                {
+            // Clock reads and abort checks are sampled at batch boundaries;
+            // checking them on every node would be wasteful.
+            if self.stats.nodes.is_multiple_of(FLUSH_INTERVAL) {
+                if let Some(limit) = self.config.time_limit {
+                    if self.started.elapsed() > limit {
+                        return true;
+                    }
+                }
+                if self.config.abort.should_stop() {
                     return true;
                 }
             }
@@ -1420,6 +1466,7 @@ mod tests {
             time_limit: None,
             dominance_memo_limit: 0,
             threads: 4,
+            ..SolverConfig::default()
         };
         let outcome = Solver::new(config).minimize(&inst).unwrap();
         let stats = outcome.stats();
@@ -1431,6 +1478,61 @@ mod tests {
         );
         // The greedy seed still guarantees a feasible schedule.
         outcome.solution().unwrap().validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn pre_cancelled_solve_returns_without_branching() {
+        let inst = v_shape(3, 4, 2, None);
+        let config = SolverConfig::default();
+        config.abort.cancel.cancel();
+        let outcome = Solver::new(config).minimize(&inst).unwrap();
+        // The greedy seed still yields a feasible schedule, but nothing is
+        // proved and (almost) no nodes are expanded.
+        assert!(!outcome.stats().complete);
+        assert!(outcome.stats().nodes <= 1);
+        if let Some(sol) = outcome.solution() {
+            sol.validate(&inst).unwrap();
+        }
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_search_cooperatively() {
+        use crate::cancel::Abort;
+        // A large instance with an immediately-expired deadline: the abort is
+        // observed at the first batch boundary, long before exhaustion.
+        let inst = v_shape(4, 6, 2, None);
+        let config = SolverConfig {
+            max_nodes: u64::MAX,
+            time_limit: None,
+            abort: Abort::at(Instant::now()),
+            ..SolverConfig::default()
+        };
+        let outcome = Solver::new(config).minimize(&inst).unwrap();
+        assert!(!outcome.stats().complete);
+    }
+
+    #[test]
+    fn parallel_workers_observe_cancellation() {
+        use crate::cancel::Abort;
+        let inst = v_shape(4, 6, 2, None);
+        let config = SolverConfig {
+            max_nodes: u64::MAX,
+            time_limit: None,
+            threads: 3,
+            abort: Abort::at(Instant::now()),
+            ..SolverConfig::default()
+        };
+        let outcome = Solver::new(config).minimize(&inst).unwrap();
+        assert!(!outcome.stats().complete);
+    }
+
+    #[test]
+    fn config_equality_ignores_abort_handles() {
+        let a = SolverConfig::default();
+        let b = SolverConfig::default();
+        assert_eq!(a, b);
+        b.abort.cancel.cancel();
+        assert_eq!(a, b);
     }
 
     #[test]

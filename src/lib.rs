@@ -12,6 +12,8 @@
 //! - [`models`] — GPT / mT5 / Flava analytical cost models.
 //! - [`baselines`] — 1F1B, GPipe, Chimera, 1F1B+ and tensor-parallel schedules.
 //! - [`runtime`] — runtime instantiation and the discrete-event cluster simulator.
+//! - [`service`] — the schedule-search daemon: canonical-fingerprint result
+//!   cache, single-flight coalescing, HTTP API and CLI client.
 //!
 //! # Quickstart
 //!
@@ -34,4 +36,5 @@ pub use tessel_core as core;
 pub use tessel_models as models;
 pub use tessel_placement as placement;
 pub use tessel_runtime as runtime;
+pub use tessel_service as service;
 pub use tessel_solver as solver;

@@ -1,0 +1,199 @@
+//! Property tests for canonical placement fingerprinting: the fingerprint
+//! (and the whole canonical form) must be invariant under random device
+//! relabelings and random topological block reorderings, and must separate
+//! the non-isomorphic placement shapes of the paper.
+
+use proptest::prelude::*;
+use proptest::TestRng;
+use tessel::core::ir::{BlockKind, PlacementSpec};
+use tessel::placement::shapes::{synthetic_placement, ShapeKind};
+
+/// Strategy: a pair of pipeline chains over `devices` devices — one flowing
+/// down, one flowing up (an X-shape generalisation) — with random per-stage
+/// durations and a training-style backward sweep. Exercises both device
+/// symmetry (the chains are interchangeable when costs coincide) and block
+/// reorderings (the chains interleave freely).
+fn placement_strategy() -> impl Strategy<Value = PlacementSpec> {
+    (
+        2usize..=4,
+        proptest::collection::vec(1u64..=3, 2..=4),
+        2i64..=8,
+        0u64..=1,
+    )
+        .prop_map(|(devices, times, capacity, second_chain)| {
+            let mut b = PlacementSpec::builder("prop-fingerprint", devices);
+            b.set_memory_capacity(Some(capacity.max(devices as i64)));
+            let chains: usize = 1 + second_chain as usize;
+            for chain in 0..chains {
+                let mut prev: Option<usize> = None;
+                let order: Vec<usize> = if chain == 0 {
+                    (0..devices).collect()
+                } else {
+                    (0..devices).rev().collect()
+                };
+                for (i, &dev) in order.iter().enumerate() {
+                    let t = times[i % times.len()];
+                    let deps: Vec<usize> = prev.into_iter().collect();
+                    prev = Some(
+                        b.add_block(
+                            format!("c{chain}-f{dev}"),
+                            BlockKind::Forward,
+                            [dev],
+                            t,
+                            1,
+                            deps,
+                        )
+                        .unwrap(),
+                    );
+                }
+                for &dev in order.iter().rev() {
+                    let deps: Vec<usize> = prev.into_iter().collect();
+                    prev = Some(
+                        b.add_block(
+                            format!("c{chain}-b{dev}"),
+                            BlockKind::Backward,
+                            [dev],
+                            2,
+                            -1,
+                            deps,
+                        )
+                        .unwrap(),
+                    );
+                }
+            }
+            b.build().unwrap()
+        })
+}
+
+/// A uniformly random permutation of `0..n` drawn from `rng`.
+fn random_perm(rng: &mut TestRng, n: usize) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        perm.swap(i, j);
+    }
+    perm
+}
+
+/// A random topological order of the placement's blocks (Kahn's algorithm
+/// with random tie-breaking).
+fn random_topo_order(rng: &mut TestRng, placement: &PlacementSpec) -> Vec<usize> {
+    let k = placement.num_blocks();
+    let mut indegree: Vec<usize> = (0..k).map(|i| placement.block(i).deps.len()).collect();
+    let mut ready: Vec<usize> = (0..k).filter(|&i| indegree[i] == 0).collect();
+    let mut order = Vec::with_capacity(k);
+    while !ready.is_empty() {
+        let pick = rng.below(ready.len() as u64) as usize;
+        let block = ready.swap_remove(pick);
+        order.push(block);
+        for dependent in placement.dependents(block) {
+            indegree[dependent] -= 1;
+            if indegree[dependent] == 0 {
+                ready.push(dependent);
+            }
+        }
+    }
+    assert_eq!(order.len(), k, "placement must be acyclic");
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The fingerprint and the full canonical form are invariant under any
+    /// device relabeling combined with any topological block reordering.
+    #[test]
+    fn fingerprint_is_invariant_under_relabelings(
+        placement in placement_strategy(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = TestRng::from_seed(seed);
+        let device_perm = random_perm(&mut rng, placement.num_devices());
+        let block_order = random_topo_order(&mut rng, &placement);
+        let permuted = placement.permuted(&device_perm, &block_order).unwrap();
+        prop_assert_eq!(placement.fingerprint(), permuted.fingerprint());
+        let canon = placement.canonicalize();
+        let canon_permuted = permuted.canonicalize();
+        prop_assert_eq!(&canon.placement, &canon_permuted.placement);
+    }
+
+    /// Composing two independent relabelings still lands on one fingerprint.
+    #[test]
+    fn fingerprint_is_transitively_invariant(
+        placement in placement_strategy(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = TestRng::from_seed(seed ^ 0x5eed);
+        let first = placement
+            .permuted(
+                &random_perm(&mut rng, placement.num_devices()),
+                &random_topo_order(&mut rng, &placement),
+            )
+            .unwrap();
+        let second = first
+            .permuted(
+                &random_perm(&mut rng, first.num_devices()),
+                &random_topo_order(&mut rng, &first),
+            )
+            .unwrap();
+        prop_assert_eq!(placement.fingerprint(), second.fingerprint());
+    }
+
+    /// Perturbing one block's cost must change the fingerprint: the canonical
+    /// form keeps the full cost structure, not just the topology.
+    #[test]
+    fn cost_changes_change_the_fingerprint(
+        placement in placement_strategy(),
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = TestRng::from_seed(seed ^ 0xc057);
+        let victim = rng.below(placement.num_blocks() as u64) as usize;
+        let mut b = PlacementSpec::builder(placement.name(), placement.num_devices());
+        b.set_memory_capacity(placement.memory_capacity());
+        for (i, block) in placement.blocks().iter().enumerate() {
+            let mut copy = block.clone();
+            if i == victim {
+                copy.time += 17;
+            }
+            b.push_block(copy).unwrap();
+        }
+        let perturbed = b.build().unwrap();
+        prop_assert_ne!(placement.fingerprint(), perturbed.fingerprint());
+    }
+}
+
+/// The five placement shapes of the paper (Fig. 1/8) are pairwise
+/// non-isomorphic at a fixed device count — their fingerprints must differ,
+/// and each must differ from its own other-device-count instances.
+#[test]
+fn distinct_shapes_get_distinct_fingerprints() {
+    let mut fingerprints = Vec::new();
+    for kind in ShapeKind::all() {
+        for devices in [2usize, 4] {
+            let placement = synthetic_placement(kind, devices).unwrap();
+            fingerprints.push((format!("{kind}-{devices}"), placement.fingerprint()));
+        }
+    }
+    for (i, (name_a, fp_a)) in fingerprints.iter().enumerate() {
+        for (name_b, fp_b) in fingerprints.iter().skip(i + 1) {
+            assert_ne!(fp_a, fp_b, "{name_a} and {name_b} collide on {fp_a}");
+        }
+    }
+}
+
+/// Permuted variants of every synthetic shape keep their fingerprint — the
+/// concrete form of the cache-hit guarantee the daemon relies on.
+#[test]
+fn synthetic_shapes_are_invariant_under_rotation() {
+    for kind in ShapeKind::all() {
+        let placement = synthetic_placement(kind, 4).unwrap();
+        let rotation: Vec<usize> = (0..4).map(|d| (d + 1) % 4).collect();
+        let order: Vec<usize> = (0..placement.num_blocks()).collect();
+        let rotated = placement.permuted(&rotation, &order).unwrap();
+        assert_eq!(
+            placement.fingerprint(),
+            rotated.fingerprint(),
+            "{kind} fingerprint changed under device rotation"
+        );
+    }
+}
