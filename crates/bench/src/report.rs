@@ -18,6 +18,9 @@
 //! * `service_throughput` — requests/s and cache hit rate of the in-process
 //!   schedule-search service under repeat traffic (written by the
 //!   `bench_service` binary).
+//! * `http_transport` — socket-level daemon throughput with a fresh TCP
+//!   connection per request vs one kept-alive connection (also written by
+//!   `bench_service`).
 //! * `criterion_<name>` — raw measurements of the corresponding criterion
 //!   bench run.
 
@@ -318,7 +321,106 @@ pub fn service_rows(repeats: usize) -> Vec<ServiceThroughputRow> {
     rows
 }
 
-/// Runs the service workload and updates its `BENCH_search.json` section.
+/// One row of the `http_transport` section: socket-level daemon throughput
+/// in one connection mode.
+#[derive(Debug, Clone, Serialize)]
+pub struct TransportThroughputRow {
+    /// Workload description (`…/close-per-request` or `…/keepalive`).
+    pub workload: String,
+    /// Requests issued (all cache hits; the transport is what is measured).
+    pub requests: u64,
+    /// Wall-clock seconds for the whole workload.
+    pub seconds: f64,
+    /// Requests per second.
+    pub requests_per_sec: f64,
+    /// TCP connections the workload opened against the daemon.
+    pub connections: u64,
+    /// Requests that reused an already-open connection (keep-alive).
+    pub keepalive_reuses: u64,
+}
+
+/// Measures the daemon over real sockets in both connection modes: a fresh
+/// TCP connection per request (the pre-event-loop behaviour, still available
+/// via `Connection: close`) vs one kept-alive connection carrying every
+/// request. The cache is warmed first so the numbers isolate transport cost,
+/// not search cost.
+#[must_use]
+pub fn transport_rows(requests: usize) -> Vec<TransportThroughputRow> {
+    use std::sync::Arc;
+    use tessel_service::http::http_call;
+    use tessel_service::wire::SearchRequest;
+    use tessel_service::{HttpClient, HttpServer, ScheduleService, ServerConfig, ServiceConfig};
+
+    let placement = synthetic_placement(ShapeKind::V, 4).expect("placement");
+    let service = ScheduleService::new(ServiceConfig {
+        default_micro_batches: 8,
+        default_max_repetend: 3,
+        candidate_limit: Some(600),
+        ..ServiceConfig::default()
+    })
+    .expect("service");
+    let server = HttpServer::serve(
+        Arc::new(service),
+        &ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server");
+    let addr = server.local_addr().to_string();
+    let body = serde_json::to_string(&SearchRequest::for_placement(placement)).expect("request");
+
+    // Warm the cache so both modes measure the transport, not the search.
+    let (status, warm) = http_call(&addr, "POST", "/v1/search", Some(&body)).expect("warmup");
+    assert_eq!(status, 200, "warmup failed: {warm}");
+
+    let requests = requests.max(1);
+    let mut rows = Vec::new();
+
+    let before = server.transport_snapshot();
+    let started = Instant::now();
+    for _ in 0..requests {
+        let (status, _) =
+            http_call(&addr, "POST", "/v1/search", Some(&body)).expect("close-per-request call");
+        assert_eq!(status, 200);
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    let after = server.transport_snapshot();
+    rows.push(TransportThroughputRow {
+        workload: format!("http/v4-x{requests}/close-per-request"),
+        requests: requests as u64,
+        seconds,
+        requests_per_sec: requests as f64 / seconds.max(1e-9),
+        connections: after.connections_accepted - before.connections_accepted,
+        keepalive_reuses: after.keepalive_reuses - before.keepalive_reuses,
+    });
+
+    let before = server.transport_snapshot();
+    let mut client = HttpClient::new(&addr).expect("client");
+    let started = Instant::now();
+    for _ in 0..requests {
+        let (status, _) = client
+            .call("POST", "/v1/search", Some(&body))
+            .expect("keep-alive call");
+        assert_eq!(status, 200);
+    }
+    let seconds = started.elapsed().as_secs_f64();
+    let after = server.transport_snapshot();
+    rows.push(TransportThroughputRow {
+        workload: format!("http/v4-x{requests}/keepalive"),
+        requests: requests as u64,
+        seconds,
+        requests_per_sec: requests as f64 / seconds.max(1e-9),
+        connections: after.connections_accepted - before.connections_accepted,
+        keepalive_reuses: after.keepalive_reuses - before.keepalive_reuses,
+    });
+
+    server.shutdown();
+    rows
+}
+
+/// Runs the service workloads (in-process and socket-level) and updates
+/// their `BENCH_search.json` sections.
 pub fn emit_service() {
     write_section("host", &HostInfo::capture());
     let rows = service_rows(16);
@@ -327,6 +429,14 @@ pub fn emit_service() {
         println!(
             "service_throughput {:<24} {:>3} reqs hit_rate={:.2} {:>8.1} req/s p50={:.3}ms p99={:.3}ms",
             row.workload, row.requests, row.hit_rate, row.requests_per_sec, row.p50_ms, row.p99_ms
+        );
+    }
+    let transport = transport_rows(200);
+    write_section("http_transport", &transport);
+    for row in &transport {
+        println!(
+            "http_transport {:<36} {:>4} reqs {:>8.1} req/s conns={} reuses={}",
+            row.workload, row.requests, row.requests_per_sec, row.connections, row.keepalive_reuses
         );
     }
 }

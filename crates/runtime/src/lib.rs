@@ -8,7 +8,7 @@
 //!   across servers) and its transfer-time model.
 //! * [`program`] — per-device instruction sequences (compute, send, receive)
 //!   produced by runtime instantiation.
-//! * [`instantiate`] — topological-sort based communication insertion with
+//! * [`mod@instantiate`] — topological-sort based communication insertion with
 //!   deadlock-free send/recv ordering, in blocking or non-blocking mode.
 //! * [`sim`] — a deterministic simulator that executes a program on the
 //!   cluster model and reports iteration time, per-device busy/wait

@@ -22,7 +22,7 @@ use tessel_core::CoreError;
 /// # Errors
 ///
 /// Returns [`CoreError::InvalidSchedule`] if the program deadlocks (cannot
-/// happen for programs produced by [`instantiate`](crate::instantiate)).
+/// happen for programs produced by [`instantiate`](crate::instantiate())).
 pub fn simulate(
     program: &Program,
     cluster: &ClusterSpec,

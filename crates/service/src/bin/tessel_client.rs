@@ -3,6 +3,7 @@
 //! ```bash
 //! tessel-client --addr 127.0.0.1:7700 health
 //! tessel-client search --shape v4 --micro-batches 8
+//! tessel-client search --shape v4 --repeat 3
 //! tessel-client search --placement-file my_placement.json --deadline-ms 500
 //! tessel-client cache
 //! tessel-client inspect 1a2b3c4d5e6f7081
@@ -11,13 +12,17 @@
 //!
 //! `search` accepts either `--placement-file` (a JSON `PlacementSpec`) or
 //! `--shape KIND DEVICES` shorthand (`v4`, `x2`, `m8`, `k4`, `nn8`) built
-//! from the paper's synthetic shapes. The response body is printed verbatim;
-//! non-2xx statuses exit non-zero.
+//! from the paper's synthetic shapes. `--repeat N` issues the same request
+//! `N` times over **one kept-alive TCP connection** (the daemon's
+//! keep-alive transport serves them all on a single socket; repeats after
+//! the first are expected to report `"cached":true`). Each response body is
+//! printed on its own line; any non-2xx status exits non-zero.
 
 use std::process::exit;
 use tessel_placement::shapes::{synthetic_placement, ShapeKind};
 use tessel_service::http::http_call;
 use tessel_service::wire::SearchRequest;
+use tessel_service::HttpClient;
 
 fn usage() -> ! {
     eprintln!(
@@ -28,7 +33,11 @@ fn usage() -> ! {
          \x20 cache                               list cache entries\n\
          \x20 inspect FINGERPRINT                 inspect one fingerprint\n\
          \x20 search [--placement-file PATH | --shape KINDn]\n\
-         \x20        [--micro-batches N] [--max-repetend N] [--deadline-ms MS]"
+         \x20        [--micro-batches N] [--max-repetend N] [--deadline-ms MS]\n\
+         \x20        [--repeat N]\n\
+         \n\
+         search --repeat N issues the request N times over one kept-alive\n\
+         TCP connection (later repeats hit the daemon's result cache)."
     );
     exit(2)
 }
@@ -95,6 +104,7 @@ fn main() {
             let mut request_micro_batches = None;
             let mut request_max_repetend = None;
             let mut deadline_ms = None;
+            let mut repeat = 1usize;
             let mut it = rest.iter();
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -136,6 +146,15 @@ fn main() {
                     "--deadline-ms" => {
                         deadline_ms = it.next().and_then(|v| v.parse().ok());
                     }
+                    "--repeat" => {
+                        repeat = match it.next().and_then(|v| v.parse().ok()) {
+                            Some(n) if n >= 1 => n,
+                            _ => {
+                                eprintln!("error: --repeat needs a count of at least 1");
+                                usage()
+                            }
+                        };
+                    }
                     other => {
                         eprintln!("error: unknown search flag `{other}`");
                         usage()
@@ -159,7 +178,30 @@ fn main() {
                     exit(1)
                 }
             };
-            call(&addr, "POST", "/v1/search", Some(&body))
+            // One kept-alive connection carries every repeat: the first
+            // request warms the daemon's cache, later ones exercise the
+            // keep-alive transport and report `"cached":true`.
+            let mut client = match HttpClient::new(&addr) {
+                Ok(client) => client,
+                Err(e) => {
+                    eprintln!("error: cannot reach {addr}: {e}");
+                    exit(1)
+                }
+            };
+            let mut all_ok = true;
+            for _ in 0..repeat {
+                match client.call("POST", "/v1/search", Some(&body)) {
+                    Ok((status, response)) => {
+                        println!("{response}");
+                        all_ok &= (200..300).contains(&status);
+                    }
+                    Err(e) => {
+                        eprintln!("error: request failed: {e}");
+                        exit(1)
+                    }
+                }
+            }
+            exit(i32::from(!all_ok))
         }
         _ => usage(),
     }

@@ -15,6 +15,7 @@ use tessel_service::{HttpServer, ScheduleService, ServerConfig, ServiceConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: tessel-server [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
+         \x20                  [--idle-timeout-ms MS] [--max-pipelined N]\n\
          \x20                  [--cache-file PATH] [--cache-capacity N] [--cache-shards N]\n\
          \x20                  [--portfolio-threads N] [--micro-batches N] [--max-repetend N]\n\
          \x20                  [--default-deadline-ms MS]"
@@ -42,6 +43,10 @@ fn main() {
             "--addr" => server_config.addr = parse_value(&flag, args.next()),
             "--workers" => server_config.workers = parse_value(&flag, args.next()),
             "--queue-depth" => server_config.queue_depth = parse_value(&flag, args.next()),
+            "--idle-timeout-ms" => {
+                server_config.idle_timeout = Duration::from_millis(parse_value(&flag, args.next()));
+            }
+            "--max-pipelined" => server_config.max_pipelined = parse_value(&flag, args.next()),
             "--cache-file" => {
                 service_config.cache_path = Some(parse_value::<String>(&flag, args.next()).into());
             }

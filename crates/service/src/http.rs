@@ -1,12 +1,31 @@
-//! Minimal HTTP/1.1 transport over `std::net`.
+//! Readiness-based HTTP/1.1 transport over nonblocking `std::net` sockets.
 //!
 //! The build environment has no async runtime or HTTP crate, so the daemon
-//! hand-rolls the narrow slice of HTTP it needs: a blocking listener, a
-//! bounded worker pool fed through a `sync_channel` (back-pressure turns into
-//! `503` responses instead of unbounded queueing), a tolerant request parser
-//! (request line, headers, `Content-Length` body) and `Connection: close`
-//! semantics — every request rides its own connection, which keeps the
-//! server loop trivial and is plenty for a schedule-search control plane.
+//! hand-rolls the narrow slice of HTTP it needs on top of the epoll shim in
+//! the crate-private `sys` module:
+//!
+//! * **One event-loop thread** owns every socket. The listener, a wakeup
+//!   pipe and all client connections are registered with a level-triggered
+//!   `Poller`; the loop reacts to readiness instead of blocking per
+//!   connection, so thousands of idle keep-alive clients cost one sleeping
+//!   thread, not one thread each.
+//! * **Per-connection state machines** parse requests incrementally (bytes
+//!   accumulate in a read buffer until a full head + body is present) and
+//!   write responses incrementally (a write buffer drains whenever the
+//!   socket is writable), so a slow or malicious peer can never stall the
+//!   loop.
+//! * **Keep-alive and pipelining**: HTTP/1.1 connections persist across
+//!   requests by default (`Connection: close` and HTTP/1.0 semantics are
+//!   honoured), and a client may pipeline several requests back-to-back —
+//!   responses are reordered to request order before they are written.
+//! * **The worker pool still runs the searches.** Parsed requests are handed
+//!   to a bounded pool through a `sync_channel` (a full queue turns into
+//!   `503`, not unbounded buffering); finished responses come back through a
+//!   completion list plus a wakeup-pipe byte that rouses the event loop. A
+//!   slow solve therefore never blocks connection handling.
+//! * **Idle timeouts**: connections with no request in flight are closed
+//!   after [`ServerConfig::idle_timeout`], which also reaps slow-loris peers
+//!   that trickle a request forever.
 //!
 //! Routes:
 //!
@@ -18,27 +37,45 @@
 //! | GET    | `/metrics`               | Prometheus text metrics          |
 //! | GET    | `/healthz`               | liveness probe                   |
 //!
-//! [`http_call`] is the matching client used by `tessel-client` and the
-//! end-to-end tests.
+//! [`HttpClient`] is the matching keep-alive client used by `tessel-client`
+//! and the end-to-end tests; [`http_call`] is the one-shot
+//! (connection-per-request) convenience wrapper.
 
+use crate::metrics::TransportMetrics;
 use crate::service::{ScheduleService, ServiceError};
+use crate::sys::{Event, Interest, Poller};
 use crate::wire::ErrorBody;
 use serde::Serialize;
-use std::io::{Read, Write};
+use std::collections::{BTreeMap, HashMap};
+use std::io::{PipeReader, PipeWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tessel_core::fingerprint::Fingerprint;
 
 /// Upper bound on header bytes accepted per request.
 const MAX_HEADER_BYTES: usize = 64 * 1024;
 /// Upper bound on body bytes accepted per request.
 const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
-/// Socket read/write timeout.
+/// Client-side socket read/write timeout.
 const IO_TIMEOUT: Duration = Duration::from_secs(120);
+/// Unflushed response bytes beyond which a connection stops being read
+/// (resumed once the peer drains its side).
+const WRITE_BACKPRESSURE_BYTES: usize = 256 * 1024;
+/// Reads drained from one connection per readiness event before yielding to
+/// the other connections (level-triggered epoll re-arms automatically).
+const READS_PER_EVENT: usize = 16;
+
+/// Event-loop registration token of the listener socket.
+const TOKEN_LISTENER: u64 = 0;
+/// Event-loop registration token of the wakeup pipe.
+const TOKEN_WAKER: u64 = 1;
+/// First token handed to an accepted connection.
+const TOKEN_FIRST_CONN: u64 = 2;
 
 /// Configuration of the HTTP server.
 #[derive(Debug, Clone)]
@@ -47,8 +84,12 @@ pub struct ServerConfig {
     pub addr: String,
     /// Worker threads handling requests.
     pub workers: usize,
-    /// Accepted connections waiting for a worker before `503`s kick in.
+    /// Parsed requests waiting for a worker before `503`s kick in.
     pub queue_depth: usize,
+    /// Close connections with no request in flight after this long.
+    pub idle_timeout: Duration,
+    /// Pipelined requests accepted per connection before reads pause.
+    pub max_pipelined: usize,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +98,8 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:7700".into(),
             workers: 4,
             queue_depth: 64,
+            idle_timeout: Duration::from_secs(60),
+            max_pipelined: 32,
         }
     }
 }
@@ -67,8 +110,10 @@ impl Default for ServerConfig {
 pub struct HttpServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_handle: Option<JoinHandle<()>>,
+    waker: PipeWriter,
+    loop_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
+    transport: Arc<TransportMetrics>,
 }
 
 impl HttpServer {
@@ -77,58 +122,82 @@ impl HttpServer {
     ///
     /// # Errors
     ///
-    /// Propagates socket bind failures.
+    /// Propagates socket bind and poller setup failures.
     pub fn serve(service: Arc<ScheduleService>, config: &ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        let transport = Arc::new(TransportMetrics::new());
+        let (wake_rx, wake_tx) = std::io::pipe()?;
+
+        let poller = Poller::new()?;
+        poller.add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READABLE)?;
+        poller.add(wake_rx.as_raw_fd(), TOKEN_WAKER, Interest::READABLE)?;
+
         let workers = config.workers.max(1);
-        let (sender, receiver): (SyncSender<TcpStream>, Receiver<TcpStream>) =
+        let (job_tx, job_rx): (SyncSender<Job>, Receiver<Job>) =
             sync_channel(config.queue_depth.max(1));
-        let receiver = Arc::new(Mutex::new(receiver));
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
 
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|_| {
-                let receiver = receiver.clone();
+                let job_rx = job_rx.clone();
                 let service = service.clone();
-                std::thread::spawn(move || loop {
-                    let stream = {
-                        let receiver = receiver.lock().expect("worker queue lock");
-                        receiver.recv()
+                let transport = transport.clone();
+                let completions = completions.clone();
+                let mut waker = wake_tx.try_clone()?;
+                Ok(std::thread::spawn(move || loop {
+                    let job = {
+                        let job_rx = job_rx.lock().expect("worker queue lock");
+                        job_rx.recv()
                     };
-                    match stream {
-                        Ok(stream) => handle_connection(stream, &service),
-                        Err(_) => break, // sender dropped: shutdown
-                    }
-                })
+                    let Ok(job) = job else {
+                        break; // sender dropped: shutdown
+                    };
+                    let response = route(&service, &transport, &job.request);
+                    let bytes = encode_response(&response, !job.request.close);
+                    completions
+                        .lock()
+                        .expect("completion lock")
+                        .push(Completion {
+                            token: job.token,
+                            seq: job.seq,
+                            bytes,
+                            close: job.request.close,
+                        });
+                    // One byte per completion; the event loop drains in
+                    // batches, so a full (64 KiB) pipe is unreachable in
+                    // practice and a short block here is harmless anyway.
+                    let _ = waker.write(&[1]);
+                }))
             })
-            .collect();
+            .collect::<std::io::Result<_>>()?;
 
-        let accept_stop = stop.clone();
-        let accept_handle = std::thread::spawn(move || {
-            for stream in listener.incoming() {
-                if accept_stop.load(Ordering::Relaxed) {
-                    break;
-                }
-                let Ok(stream) = stream else { continue };
-                match sender.try_send(stream) {
-                    Ok(()) => {}
-                    Err(TrySendError::Full(stream)) => {
-                        // Bounded pool: shed load instead of queueing without
-                        // limit.
-                        respond_unavailable(stream);
-                    }
-                    Err(TrySendError::Disconnected(_)) => break,
-                }
-            }
-            // Dropping `sender` here unblocks every worker.
-        });
+        let mut event_loop = EventLoop {
+            poller,
+            listener,
+            wake_rx,
+            conns: HashMap::new(),
+            next_token: TOKEN_FIRST_CONN,
+            job_tx,
+            completions,
+            transport: transport.clone(),
+            stop: stop.clone(),
+            idle_timeout: config.idle_timeout,
+            max_pipelined: config.max_pipelined.max(1),
+            idle_deadline: None,
+        };
+        let loop_handle = std::thread::spawn(move || event_loop.run());
 
         Ok(HttpServer {
             addr,
             stop,
-            accept_handle: Some(accept_handle),
+            waker: wake_tx,
+            loop_handle: Some(loop_handle),
             worker_handles,
+            transport,
         })
     }
 
@@ -138,118 +207,663 @@ impl HttpServer {
         self.addr
     }
 
-    /// Stops accepting, drains the workers and joins every thread.
+    /// A point-in-time snapshot of the transport gauges and counters (also
+    /// rendered into `GET /metrics`).
+    #[must_use]
+    pub fn transport_snapshot(&self) -> crate::metrics::TransportSnapshot {
+        self.transport.snapshot()
+    }
+
+    /// Stops the event loop, drains the workers and joins every thread.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::Relaxed);
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
-        if let Some(handle) = self.accept_handle.take() {
+        let _ = self.waker.write(&[1]);
+        if let Some(handle) = self.loop_handle.take() {
             let _ = handle.join();
         }
+        // The event loop dropped the job sender on exit, which unblocks the
+        // workers once the queue is empty.
         for handle in self.worker_handles.drain(..) {
             let _ = handle.join();
         }
     }
 }
 
-fn respond_unavailable(mut stream: TcpStream) {
-    let body = render_json(&ErrorBody {
-        kind: "unavailable".into(),
-        error: "request queue is full".into(),
-    });
-    let _ = stream.write_all(format_response(503, "application/json", &body).as_bytes());
-}
-
-/// One parsed request.
-struct Request {
+/// One parsed request, handed from the event loop to the worker pool.
+#[derive(Debug)]
+struct ParsedRequest {
     method: String,
     path: String,
     body: String,
+    /// The connection must close after this request's response (explicit
+    /// `Connection: close`, or HTTP/1.0 without `keep-alive`).
+    close: bool,
 }
 
-fn handle_connection(mut stream: TcpStream, service: &ScheduleService) {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let response = match parse_request(&mut stream) {
-        Ok(request) => route(service, &request),
-        Err(message) => error_response(400, "bad_request", &message),
-    };
-    let _ = stream.write_all(response.as_bytes());
-    let _ = stream.flush();
+/// A unit of work for the pool: which connection, which slot in its response
+/// order, and the request itself.
+struct Job {
+    token: u64,
+    seq: u64,
+    request: ParsedRequest,
 }
 
-fn parse_request(stream: &mut TcpStream) -> Result<Request, String> {
-    let mut buffer: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    let header_end = loop {
-        if let Some(pos) = find_header_end(&buffer) {
-            break pos;
+/// A finished response travelling back to the event loop.
+struct Completion {
+    token: u64,
+    seq: u64,
+    bytes: Vec<u8>,
+    close: bool,
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    /// Unparsed request bytes.
+    read_buf: Vec<u8>,
+    /// `read_buf` prefix already scanned for the head terminator.
+    scanned: usize,
+    /// Encoded responses waiting for the socket.
+    write_buf: Vec<u8>,
+    /// `write_buf` prefix already written.
+    written: usize,
+    /// Sequence number assigned to the next parsed request.
+    next_seq: u64,
+    /// Sequence number whose response goes out next (pipelined responses are
+    /// reordered to request order).
+    next_to_send: u64,
+    /// Completed responses that arrived out of order.
+    pending: BTreeMap<u64, Vec<u8>>,
+    /// Requests dispatched but not yet completed.
+    in_flight: usize,
+    /// Last socket activity, for the idle-timeout sweep.
+    last_activity: Instant,
+    /// No further requests are accepted; close once everything is flushed.
+    draining: bool,
+    /// The peer closed its sending half.
+    peer_closed: bool,
+    /// Interest currently registered with the poller.
+    interest: Interest,
+}
+
+impl Conn {
+    fn flushed(&self) -> bool {
+        self.written == self.write_buf.len()
+    }
+
+    fn idle(&self) -> bool {
+        self.in_flight == 0
+    }
+
+    /// The interest this connection should be registered with right now.
+    fn wanted_interest(&self, max_pipelined: usize) -> Interest {
+        let backpressured = self.write_buf.len() - self.written >= WRITE_BACKPRESSURE_BYTES;
+        Interest {
+            readable: !self.draining
+                && !self.peer_closed
+                && self.in_flight < max_pipelined
+                && !backpressured,
+            writable: !self.flushed(),
         }
-        if buffer.len() > MAX_HEADER_BYTES {
-            return Err("headers too large".into());
+    }
+}
+
+/// The single-threaded readiness loop that owns every socket.
+struct EventLoop {
+    poller: Poller,
+    listener: TcpListener,
+    wake_rx: PipeReader,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    job_tx: SyncSender<Job>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    transport: Arc<TransportMetrics>,
+    stop: Arc<AtomicBool>,
+    idle_timeout: Duration,
+    max_pipelined: usize,
+    /// Lower bound on the earliest idle-connection deadline, maintained in
+    /// O(1) as connections go idle. Activity only pushes real deadlines
+    /// later, so a sweep scheduled from this bound can fire early (and find
+    /// nothing) but never late. `None` means no idle connection exists.
+    /// This keeps the per-event work O(events), not O(connections) — the
+    /// full scan happens only when the bound actually elapses.
+    idle_deadline: Option<Instant>,
+}
+
+impl EventLoop {
+    fn run(&mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        loop {
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let timeout = self.next_timeout();
+            if self.poller.wait(&mut events, timeout).is_err() {
+                break;
+            }
+            for event in &events {
+                match event.token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => {
+                        self.drain_waker();
+                        self.apply_completions();
+                    }
+                    token => {
+                        if event.hangup {
+                            // The connection is dead in both directions (or
+                            // errored); dropping the fd is the only way to
+                            // consume the level-triggered condition. Any
+                            // in-flight response is undeliverable anyway and
+                            // is dropped when its completion finds no
+                            // connection.
+                            self.close_conn(token);
+                            continue;
+                        }
+                        if event.readable {
+                            self.conn_readable(token);
+                        }
+                        if event.writable {
+                            self.conn_writable(token);
+                        }
+                    }
+                }
+            }
+            if self
+                .idle_deadline
+                .is_some_and(|deadline| Instant::now() >= deadline)
+            {
+                self.sweep_idle();
+            }
         }
-        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
-        if n == 0 {
-            return Err("connection closed mid-request".into());
+        // Shutdown: close every connection and drop the job sender so the
+        // workers drain and exit.
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.close_conn(token);
         }
-        buffer.extend_from_slice(&chunk[..n]);
+    }
+
+    /// The wait timeout: time until the (lower bound on the) earliest idle
+    /// deadline, if any connection is idle.
+    fn next_timeout(&self) -> Option<Duration> {
+        self.idle_deadline.map(|deadline| {
+            deadline
+                .checked_duration_since(Instant::now())
+                .unwrap_or(Duration::ZERO)
+        })
+    }
+
+    /// Notes that a connection went idle now: the next sweep must happen no
+    /// later than one idle timeout from now.
+    fn note_idle(&mut self) {
+        let candidate = Instant::now() + self.idle_timeout;
+        self.idle_deadline = Some(match self.idle_deadline {
+            Some(existing) => existing.min(candidate),
+            None => candidate,
+        });
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    let interest = Interest::READABLE;
+                    if self
+                        .poller
+                        .add(stream.as_raw_fd(), token, interest)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            read_buf: Vec::new(),
+                            scanned: 0,
+                            write_buf: Vec::new(),
+                            written: 0,
+                            next_seq: 0,
+                            next_to_send: 0,
+                            pending: BTreeMap::new(),
+                            in_flight: 0,
+                            last_activity: Instant::now(),
+                            draining: false,
+                            peer_closed: false,
+                            interest,
+                        },
+                    );
+                    self.transport
+                        .connections_open
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.transport
+                        .connections_idle
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.transport
+                        .connections_accepted
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.note_idle();
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn drain_waker(&mut self) {
+        // The pipe is readable, so one read returns whatever bytes are
+        // queued without blocking; leftovers re-arm the (level-triggered)
+        // poller for the next iteration.
+        let mut sink = [0u8; 1024];
+        let _ = self.wake_rx.read(&mut sink);
+    }
+
+    fn apply_completions(&mut self) {
+        let batch: Vec<Completion> = {
+            let mut completions = self.completions.lock().expect("completion lock");
+            std::mem::take(&mut *completions)
+        };
+        let mut tokens: Vec<u64> = Vec::new();
+        for completion in batch {
+            if !tokens.contains(&completion.token) {
+                tokens.push(completion.token);
+            }
+            self.deliver(
+                completion.token,
+                completion.seq,
+                completion.bytes,
+                completion.close,
+            );
+        }
+        // Completions freed pipelining capacity: parse any requests already
+        // sitting in the read buffer. Without this, a client that pipelined
+        // past `max_pipelined` in one burst and then went quiet would never
+        // get the tail served — epoll only fires on new *socket* data, not
+        // on bytes already buffered in user space.
+        for token in tokens {
+            self.parse_ready(token);
+            self.update_interest(token);
+        }
+    }
+
+    /// Records a finished response for `seq`, moves every response that is
+    /// now in request order into the write buffer and flushes what the
+    /// socket accepts.
+    fn deliver(&mut self, token: u64, seq: u64, bytes: Vec<u8>, close: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return; // connection is gone; drop the orphaned response
+        };
+        conn.in_flight -= 1;
+        let became_idle = conn.idle();
+        if became_idle {
+            self.transport
+                .connections_idle
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if close {
+            conn.draining = true;
+        }
+        conn.pending.insert(seq, bytes);
+        while let Some(ready) = conn.pending.remove(&conn.next_to_send) {
+            conn.write_buf.extend_from_slice(&ready);
+            conn.next_to_send += 1;
+        }
+        if became_idle {
+            self.note_idle();
+        }
+        self.flush(token);
+    }
+
+    /// Writes as much of the connection's write buffer as the socket
+    /// accepts, then closes (if draining and done) or re-arms interest.
+    fn flush(&mut self, token: u64) {
+        let mut should_close = false;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            while !conn.flushed() {
+                match conn.stream.write(&conn.write_buf[conn.written..]) {
+                    Ok(0) => {
+                        should_close = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.written += n;
+                        conn.last_activity = Instant::now();
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        should_close = true;
+                        break;
+                    }
+                }
+            }
+            if !should_close && conn.flushed() {
+                conn.write_buf.clear();
+                conn.written = 0;
+                if (conn.draining || conn.peer_closed) && conn.idle() && conn.pending.is_empty() {
+                    should_close = true;
+                }
+            }
+        }
+        if should_close {
+            self.close_conn(token);
+        } else {
+            self.update_interest(token);
+        }
+    }
+
+    fn conn_readable(&mut self, token: u64) {
+        let mut chunk = [0u8; 16 * 1024];
+        let mut should_close = false;
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if !conn.interest.readable {
+                // Stale readiness after reads were paused; ignore.
+                return;
+            }
+            for _ in 0..READS_PER_EVENT {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        conn.peer_closed = true;
+                        break;
+                    }
+                    // Note: receiving bytes does NOT refresh `last_activity`.
+                    // Only a *completed* request (see `parse_ready`) or a
+                    // response write counts as activity, so a slow-loris
+                    // peer trickling an incomplete head forever is still
+                    // reaped by the idle sweep.
+                    Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        should_close = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if should_close {
+            self.close_conn(token);
+            return;
+        }
+        self.parse_ready(token);
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.peer_closed && conn.idle() && conn.flushed() && conn.pending.is_empty() {
+            self.close_conn(token);
+            return;
+        }
+        self.update_interest(token);
+    }
+
+    /// Parses every complete request sitting in the read buffer (up to the
+    /// pipelining cap) and dispatches each to the worker pool.
+    fn parse_ready(&mut self, token: u64) {
+        loop {
+            let parsed = {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                if conn.draining || conn.in_flight >= self.max_pipelined {
+                    return;
+                }
+                match try_parse(&conn.read_buf, &mut conn.scanned) {
+                    ParseStatus::NeedMore => return,
+                    ParseStatus::Error(message) => {
+                        conn.in_flight += 1;
+                        if conn.in_flight == 1 {
+                            self.transport
+                                .connections_idle
+                                .fetch_sub(1, Ordering::Relaxed);
+                        }
+                        let seq = conn.next_seq;
+                        conn.next_seq += 1;
+                        let bytes =
+                            encode_response(&error_response(400, "bad_request", &message), false);
+                        self.deliver(token, seq, bytes, true);
+                        return;
+                    }
+                    ParseStatus::Request(request, consumed) => {
+                        conn.read_buf.drain(..consumed);
+                        conn.scanned = 0;
+                        conn.last_activity = Instant::now();
+                        let seq = conn.next_seq;
+                        conn.next_seq += 1;
+                        if seq > 0 {
+                            self.transport
+                                .keepalive_reuses
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        if conn.in_flight > 0 {
+                            self.transport
+                                .pipelined_requests
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
+                        conn.in_flight += 1;
+                        if conn.in_flight == 1 {
+                            self.transport
+                                .connections_idle
+                                .fetch_sub(1, Ordering::Relaxed);
+                        }
+                        if request.close {
+                            conn.draining = true;
+                        }
+                        (seq, request)
+                    }
+                }
+            };
+            let (seq, request) = parsed;
+            let close = request.close;
+            match self.job_tx.try_send(Job {
+                token,
+                seq,
+                request,
+            }) {
+                Ok(()) => {}
+                Err(TrySendError::Full(_)) => {
+                    // Bounded pool: shed load instead of queueing without
+                    // limit.
+                    let bytes = encode_response(
+                        &error_response(503, "unavailable", "request queue is full"),
+                        !close,
+                    );
+                    self.deliver(token, seq, bytes, close);
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn conn_writable(&mut self, token: u64) {
+        self.flush(token);
+    }
+
+    fn update_interest(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let wanted = conn.wanted_interest(self.max_pipelined);
+        if wanted != conn.interest {
+            if self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, wanted)
+                .is_err()
+            {
+                self.close_conn(token);
+                return;
+            }
+            conn.interest = wanted;
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            self.poller.remove(conn.stream.as_raw_fd());
+            self.transport
+                .connections_open
+                .fetch_sub(1, Ordering::Relaxed);
+            if conn.idle() {
+                self.transport
+                    .connections_idle
+                    .fetch_sub(1, Ordering::Relaxed);
+            }
+            // `conn.stream` drops here, closing the socket.
+        }
+    }
+
+    /// Closes connections whose idle deadline has passed.
+    fn sweep_idle(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| c.idle() && now.duration_since(c.last_activity) >= self.idle_timeout)
+            .map(|(&t, _)| t)
+            .collect();
+        for token in expired {
+            self.transport.idle_closed.fetch_add(1, Ordering::Relaxed);
+            self.close_conn(token);
+        }
+        // This sweep is the one place the exact earliest deadline is
+        // recomputed; between sweeps `idle_deadline` is maintained as a
+        // cheap lower bound.
+        self.idle_deadline = self
+            .conns
+            .values()
+            .filter(|c| c.idle())
+            .map(|c| c.last_activity + self.idle_timeout)
+            .min();
+    }
+}
+
+/// Outcome of one incremental parse attempt.
+enum ParseStatus {
+    /// The buffer does not hold a complete request yet.
+    NeedMore,
+    /// A complete request; the second field is how many buffer bytes it
+    /// consumed.
+    Request(ParsedRequest, usize),
+    /// The buffer can never become a valid request.
+    Error(String),
+}
+
+/// Attempts to parse one request from the front of `buf`. `scanned` caches
+/// how far the head-terminator scan has progressed so repeated calls over a
+/// growing buffer stay linear.
+fn try_parse(buf: &[u8], scanned: &mut usize) -> ParseStatus {
+    let Some(header_end) = find_header_end(buf, *scanned) else {
+        *scanned = buf.len().saturating_sub(3);
+        if buf.len() > MAX_HEADER_BYTES {
+            return ParseStatus::Error("headers too large".into());
+        }
+        return ParseStatus::NeedMore;
     };
 
-    let header_text = String::from_utf8_lossy(&buffer[..header_end]).into_owned();
+    let header_text = String::from_utf8_lossy(&buf[..header_end]);
     let mut lines = header_text.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split_whitespace();
     let method = parts.next().unwrap_or_default().to_uppercase();
     let path = parts.next().unwrap_or_default().to_string();
+    let version = parts.next().unwrap_or("HTTP/1.1").to_uppercase();
     if method.is_empty() || !path.starts_with('/') {
-        return Err(format!("malformed request line `{request_line}`"));
+        return ParseStatus::Error(format!("malformed request line `{request_line}`"));
     }
+
     let mut content_length = 0usize;
+    let mut connection = String::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| "invalid Content-Length".to_string())?;
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                let Ok(length) = value.trim().parse() else {
+                    return ParseStatus::Error("invalid Content-Length".into());
+                };
+                content_length = length;
+            } else if name.eq_ignore_ascii_case("connection") {
+                connection = value.trim().to_ascii_lowercase();
             }
         }
     }
     if content_length > MAX_BODY_BYTES {
-        return Err("body too large".into());
+        return ParseStatus::Error("body too large".into());
     }
 
-    let mut body = buffer[header_end + 4..].to_vec();
-    while body.len() < content_length {
-        let n = stream.read(&mut chunk).map_err(|e| e.to_string())?;
-        if n == 0 {
-            return Err("connection closed mid-body".into());
-        }
-        body.extend_from_slice(&chunk[..n]);
+    let body_start = header_end + 4;
+    let consumed = body_start + content_length;
+    if buf.len() < consumed {
+        return ParseStatus::NeedMore;
     }
-    body.truncate(content_length);
-    let body = String::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
-    Ok(Request { method, path, body })
+    let Ok(body) = String::from_utf8(buf[body_start..consumed].to_vec()) else {
+        return ParseStatus::Error("body is not UTF-8".into());
+    };
+
+    let close = connection.contains("close")
+        || (version == "HTTP/1.0" && !connection.contains("keep-alive"));
+    ParseStatus::Request(
+        ParsedRequest {
+            method,
+            path,
+            body,
+            close,
+        },
+        consumed,
+    )
 }
 
-fn find_header_end(buffer: &[u8]) -> Option<usize> {
-    buffer.windows(4).position(|w| w == b"\r\n\r\n")
+fn find_header_end(buffer: &[u8], scanned: usize) -> Option<usize> {
+    let start = scanned.min(buffer.len());
+    buffer[start..]
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| start + p)
 }
 
-fn route(service: &ScheduleService, request: &Request) -> String {
+/// An un-encoded response produced by the router.
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+}
+
+fn route(
+    service: &ScheduleService,
+    transport: &TransportMetrics,
+    request: &ParsedRequest,
+) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("POST", "/v1/search") => match serde_json::from_str(&request.body) {
             Ok(search_request) => match service.search(&search_request) {
-                Ok(response) => format_response(200, "application/json", &render_json(&response)),
+                Ok(response) => Response {
+                    status: 200,
+                    content_type: "application/json",
+                    body: render_json(&response),
+                },
                 Err(e) => service_error_response(&e),
             },
             Err(e) => error_response(400, "bad_request", &format!("invalid request body: {e}")),
         },
-        ("GET", "/v1/cache") => format_response(
-            200,
-            "application/json",
-            &render_json(&service.cache_entries()),
-        ),
+        ("GET", "/v1/cache") => Response {
+            status: 200,
+            content_type: "application/json",
+            body: render_json(&service.cache_entries()),
+        },
         ("GET", path) if path.starts_with("/v1/cache/") => {
             let raw = &path["/v1/cache/".len()..];
             match Fingerprint::parse(raw) {
@@ -258,36 +872,51 @@ fn route(service: &ScheduleService, request: &Request) -> String {
                     if inspect.entries.is_empty() {
                         error_response(404, "not_found", &format!("no entry for {fingerprint}"))
                     } else {
-                        format_response(200, "application/json", &render_json(&inspect))
+                        Response {
+                            status: 200,
+                            content_type: "application/json",
+                            body: render_json(&inspect),
+                        }
                     }
                 }
                 None => error_response(400, "bad_request", &format!("invalid fingerprint `{raw}`")),
             }
         }
-        ("GET", "/metrics") => format_response(
-            200,
-            "text/plain; version=0.0.4",
-            &service.metrics_snapshot().render_prometheus(),
-        ),
-        ("GET", "/healthz") => format_response(200, "application/json", "{\"status\":\"ok\"}"),
+        ("GET", "/metrics") => Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body: service.metrics_snapshot().render_prometheus()
+                + &transport.snapshot().render_prometheus(),
+        },
+        ("GET", "/healthz") => Response {
+            status: 200,
+            content_type: "application/json",
+            body: "{\"status\":\"ok\"}".into(),
+        },
         (_, path) => error_response(404, "not_found", &format!("no route for {path}")),
     }
 }
 
-fn service_error_response(error: &ServiceError) -> String {
-    let body = render_json(&ErrorBody {
-        kind: error.kind().into(),
-        error: error.to_string(),
-    });
-    format_response(error.http_status(), "application/json", &body)
+fn service_error_response(error: &ServiceError) -> Response {
+    Response {
+        status: error.http_status(),
+        content_type: "application/json",
+        body: render_json(&ErrorBody {
+            kind: error.kind().into(),
+            error: error.to_string(),
+        }),
+    }
 }
 
-fn error_response(status: u16, kind: &str, message: &str) -> String {
-    let body = render_json(&ErrorBody {
-        kind: kind.into(),
-        error: message.into(),
-    });
-    format_response(status, "application/json", &body)
+fn error_response(status: u16, kind: &str, message: &str) -> Response {
+    Response {
+        status,
+        content_type: "application/json",
+        body: render_json(&ErrorBody {
+            kind: kind.into(),
+            error: message.into(),
+        }),
+    }
 }
 
 fn render_json<T: Serialize>(value: &T) -> String {
@@ -306,17 +935,202 @@ fn status_text(status: u16) -> &'static str {
     }
 }
 
-fn format_response(status: u16, content_type: &str, body: &str) -> String {
+fn encode_response(response: &Response, keep_alive: bool) -> Vec<u8> {
     format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        status_text(status),
-        body.len()
+        "HTTP/1.1 {status} {text}\r\nContent-Type: {content_type}\r\nContent-Length: {length}\r\nConnection: {connection}\r\n\r\n{body}",
+        status = response.status,
+        text = status_text(response.status),
+        content_type = response.content_type,
+        length = response.body.len(),
+        connection = if keep_alive { "keep-alive" } else { "close" },
+        body = response.body,
+    )
+    .into_bytes()
+}
+
+/// A keep-alive HTTP/1.1 client: one TCP connection reused across calls.
+///
+/// Used by `tessel-client --repeat` and the end-to-end tests. The connection
+/// is established lazily on the first call and transparently re-established
+/// when the server closes it (idle timeout, `Connection: close` response, or
+/// daemon restart).
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: SocketAddr,
+    host: String,
+    stream: Option<TcpStream>,
+}
+
+impl HttpClient {
+    /// Creates a client for `addr` (e.g. `127.0.0.1:7700`) and opens its
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `addr` does not resolve or the connection is refused.
+    pub fn new(addr: &str) -> std::io::Result<Self> {
+        let socket_addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "unresolvable addr")
+        })?;
+        Ok(HttpClient {
+            addr: socket_addr,
+            host: addr.to_string(),
+            stream: Some(Self::open(&socket_addr)?),
+        })
+    }
+
+    fn open(addr: &SocketAddr) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(addr, Duration::from_secs(10))?;
+        stream.set_read_timeout(Some(IO_TIMEOUT))?;
+        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+        stream.set_nodelay(true)?;
+        Ok(stream)
+    }
+
+    /// `true` while a connection from an earlier call is still held open.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    /// Issues one request, reusing the held connection when possible, and
+    /// returns `(status, body)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses. A stale kept-alive
+    /// connection (closed by the server between calls) is retried once on a
+    /// fresh connection before an error is returned.
+    pub fn call(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let reused = self.stream.is_some();
+        match self.call_once(method, path, body) {
+            Ok(result) => Ok(result),
+            Err(e) if reused && retriable(&e) => {
+                // The server dropped the idle connection; retry fresh.
+                self.stream = None;
+                self.call_once(method, path, body)
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn call_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        if self.stream.is_none() {
+            self.stream = Some(Self::open(&self.addr)?);
+        }
+        let stream = self.stream.as_mut().expect("connection just opened");
+        let body = body.unwrap_or("");
+        // HTTP/1.1 defaults to keep-alive: no Connection header needed.
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: application/json\r\nContent-Length: {length}\r\n\r\n{body}",
+            host = self.host,
+            length = body.len(),
+        );
+        stream.write_all(request.as_bytes())?;
+        let (status, close, payload) = read_response(stream)?;
+        if close {
+            self.stream = None;
+        }
+        Ok((status, payload))
+    }
+}
+
+fn retriable(error: &std::io::Error) -> bool {
+    matches!(
+        error.kind(),
+        std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::WriteZero
     )
 }
 
-/// Issues one HTTP request against `addr` and returns `(status, body)`.
-/// The client half of the hand-rolled transport, used by `tessel-client` and
-/// the tests.
+/// Reads one HTTP response from `stream`: head, then exactly
+/// `Content-Length` body bytes (the connection may stay open, so reading to
+/// EOF is not an option). Returns `(status, server_wants_close, body)`.
+fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, bool, String)> {
+    let mut buffer: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buffer, 0) {
+            break pos;
+        }
+        if buffer.len() > MAX_HEADER_BYTES {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "response headers too large",
+            ));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        buffer.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = String::from_utf8_lossy(&buffer[..header_end]).into_owned();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "missing status code")
+        })?;
+    let mut content_length = 0usize;
+    let mut close = false;
+    for line in head.split("\r\n").skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad Content-Length")
+                })?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                close = value.trim().eq_ignore_ascii_case("close");
+            }
+        }
+    }
+
+    let mut body = buffer[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    let body = String::from_utf8(body)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "body is not UTF-8"))?;
+    Ok((status, close, body))
+}
+
+/// Issues one HTTP request against `addr` on a throwaway connection and
+/// returns `(status, body)`.
+///
+/// The one-shot counterpart of [`HttpClient`]: it sends `Connection: close`
+/// so the server tears the connection down after responding. Used by the
+/// subcommands of `tessel-client` that only ever make one call.
 ///
 /// # Errors
 ///
@@ -339,42 +1153,127 @@ pub fn http_call(
         body.len()
     );
     stream.write_all(request.as_bytes())?;
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
-    let text = String::from_utf8_lossy(&raw);
-    let Some((head, payload)) = text.split_once("\r\n\r\n") else {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "malformed HTTP response",
-        ));
-    };
-    let status: u16 = head
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| {
-            std::io::Error::new(std::io::ErrorKind::InvalidData, "missing status code")
-        })?;
-    Ok((status, payload.to_string()))
+    let (status, _close, payload) = read_response(&mut stream)?;
+    Ok((status, payload))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn parse_all(input: &[u8]) -> (Vec<ParsedRequest>, usize) {
+        let mut buf = input.to_vec();
+        let mut scanned = 0;
+        let mut out = Vec::new();
+        loop {
+            match try_parse(&buf, &mut scanned) {
+                ParseStatus::Request(request, consumed) => {
+                    buf.drain(..consumed);
+                    scanned = 0;
+                    out.push(request);
+                }
+                ParseStatus::NeedMore => break,
+                ParseStatus::Error(e) => panic!("unexpected parse error: {e}"),
+            }
+        }
+        let leftover = buf.len();
+        (out, leftover)
+    }
+
     #[test]
-    fn response_formatting_is_well_formed() {
-        let response = format_response(200, "application/json", "{}");
-        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"));
-        assert!(response.contains("Content-Length: 2\r\n"));
-        assert!(response.ends_with("\r\n\r\n{}"));
+    fn response_encoding_is_well_formed() {
+        let response = Response {
+            status: 200,
+            content_type: "application/json",
+            body: "{}".into(),
+        };
+        let keep = String::from_utf8(encode_response(&response, true)).unwrap();
+        assert!(keep.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(keep.contains("Content-Length: 2\r\n"));
+        assert!(keep.contains("Connection: keep-alive\r\n"));
+        assert!(keep.ends_with("\r\n\r\n{}"));
+        let close = String::from_utf8(encode_response(&response, false)).unwrap();
+        assert!(close.contains("Connection: close\r\n"));
         assert_eq!(status_text(408), "Request Timeout");
         assert_eq!(status_text(599), "Internal Server Error");
     }
 
     #[test]
-    fn header_end_detection() {
-        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nbody"), Some(14));
-        assert_eq!(find_header_end(b"partial\r\n"), None);
+    fn header_end_detection_resumes_from_scan_offset() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nbody", 0), Some(14));
+        assert_eq!(find_header_end(b"partial\r\n", 0), None);
+        // A later scan offset must still find a terminator spanning it.
+        let buf = b"GET / HTTP/1.1\r\n\r\n";
+        assert_eq!(find_header_end(buf, 13), Some(14));
+    }
+
+    #[test]
+    fn incremental_parse_needs_full_head_and_body() {
+        let mut scanned = 0;
+        let full = b"POST /v1/search HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        for cut in [10, 30, full.len() - 1] {
+            let mut s = 0;
+            assert!(matches!(
+                try_parse(&full[..cut], &mut s),
+                ParseStatus::NeedMore
+            ));
+        }
+        match try_parse(full, &mut scanned) {
+            ParseStatus::Request(request, consumed) => {
+                assert_eq!(consumed, full.len());
+                assert_eq!(request.method, "POST");
+                assert_eq!(request.path, "/v1/search");
+                assert_eq!(request.body, "body");
+                assert!(!request.close, "HTTP/1.1 defaults to keep-alive");
+            }
+            other => panic!(
+                "expected request, got {}",
+                match other {
+                    ParseStatus::NeedMore => "NeedMore".to_string(),
+                    ParseStatus::Error(e) => e,
+                    ParseStatus::Request(..) => unreachable!(),
+                }
+            ),
+        }
+    }
+
+    #[test]
+    fn pipelined_requests_parse_in_order() {
+        let wire =
+            b"GET /healthz HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let (requests, leftover) = parse_all(wire);
+        assert_eq!(requests.len(), 2);
+        assert_eq!(leftover, 0);
+        assert_eq!(requests[0].path, "/healthz");
+        assert!(!requests[0].close);
+        assert_eq!(requests[1].path, "/metrics");
+        assert!(requests[1].close);
+    }
+
+    #[test]
+    fn connection_semantics_follow_the_http_version() {
+        let old = b"GET / HTTP/1.0\r\n\r\n";
+        let (requests, _) = parse_all(old);
+        assert!(requests[0].close, "HTTP/1.0 defaults to close");
+        let old_keep = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        let (requests, _) = parse_all(old_keep);
+        assert!(!requests[0].close);
+    }
+
+    #[test]
+    fn malformed_requests_error_out() {
+        let mut scanned = 0;
+        assert!(matches!(
+            try_parse(b"not a request\r\n\r\n", &mut scanned),
+            ParseStatus::Error(_)
+        ));
+        let mut scanned = 0;
+        assert!(matches!(
+            try_parse(
+                b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+                &mut scanned
+            ),
+            ParseStatus::Error(_)
+        ));
     }
 }

@@ -16,9 +16,12 @@
 //! * [`singleflight`] — the request-coalescing primitive.
 //! * [`metrics`] — request/hit/miss/latency counters with p50/p99 estimates,
 //!   rendered in Prometheus text format for `/metrics`.
-//! * [`http`] — a minimal HTTP/1.1 server over `std::net` (listener, bounded
-//!   worker pool, request parsing, routing) plus the tiny client used by the
-//!   `tessel-client` binary and the end-to-end tests.
+//! * [`http`] — a readiness-based HTTP/1.1 server over nonblocking
+//!   `std::net` sockets: one epoll-driven event-loop thread multiplexes
+//!   every connection (keep-alive, pipelining, idle timeouts) and hands
+//!   parsed requests to the bounded worker pool; plus the keep-alive
+//!   [`HttpClient`] used by the `tessel-client` binary and the end-to-end
+//!   tests.
 //! * [`wire`] — the JSON request/response types.
 //!
 //! Two binaries ship with the crate: `tessel-server` (the daemon) and
@@ -50,7 +53,9 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `sys` module is the one allowed exception
+// (extern "C" epoll bindings; see its docs).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
@@ -58,9 +63,11 @@ pub mod http;
 pub mod metrics;
 pub mod service;
 pub mod singleflight;
+#[allow(unsafe_code)]
+mod sys;
 pub mod wire;
 
 pub use cache::{CacheConfig, CachedSearch, ShardedCache};
-pub use http::{HttpServer, ServerConfig};
-pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use http::{HttpClient, HttpServer, ServerConfig};
+pub use metrics::{MetricsSnapshot, ServiceMetrics, TransportMetrics, TransportSnapshot};
 pub use service::{ScheduleService, ServiceConfig, ServiceError};

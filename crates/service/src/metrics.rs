@@ -223,9 +223,140 @@ impl MetricsSnapshot {
     }
 }
 
+/// Live transport-level metrics of the HTTP event loop.
+///
+/// Owned by [`crate::HttpServer`]; the event-loop thread updates the gauges
+/// as connections open, go idle and close, and the snapshot is rendered into
+/// `GET /metrics` alongside the service-level counters.
+#[derive(Debug, Default)]
+pub struct TransportMetrics {
+    /// Connections currently open.
+    pub connections_open: AtomicU64,
+    /// Open connections with no request in flight (a subset of
+    /// `connections_open`).
+    pub connections_idle: AtomicU64,
+    /// Connections accepted since startup.
+    pub connections_accepted: AtomicU64,
+    /// Requests served on a connection that had already served at least one
+    /// earlier request (HTTP keep-alive reuse).
+    pub keepalive_reuses: AtomicU64,
+    /// Requests parsed while an earlier request on the same connection was
+    /// still in flight (HTTP/1.1 pipelining).
+    pub pipelined_requests: AtomicU64,
+    /// Connections closed by the idle-timeout sweep.
+    pub idle_closed: AtomicU64,
+}
+
+/// Point-in-time snapshot of [`TransportMetrics`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportSnapshot {
+    /// Connections currently open.
+    pub connections_open: u64,
+    /// Open connections with no request in flight.
+    pub connections_idle: u64,
+    /// Connections accepted since startup.
+    pub connections_accepted: u64,
+    /// Requests served over a reused (kept-alive) connection.
+    pub keepalive_reuses: u64,
+    /// Requests parsed behind an in-flight request on the same connection.
+    pub pipelined_requests: u64,
+    /// Connections closed by the idle-timeout sweep.
+    pub idle_closed: u64,
+}
+
+impl TransportMetrics {
+    /// Creates zeroed metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        TransportMetrics::default()
+    }
+
+    /// Takes a relaxed snapshot of the gauges and counters.
+    #[must_use]
+    pub fn snapshot(&self) -> TransportSnapshot {
+        TransportSnapshot {
+            connections_open: self.connections_open.load(Ordering::Relaxed),
+            connections_idle: self.connections_idle.load(Ordering::Relaxed),
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            keepalive_reuses: self.keepalive_reuses.load(Ordering::Relaxed),
+            pipelined_requests: self.pipelined_requests.load(Ordering::Relaxed),
+            idle_closed: self.idle_closed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl TransportSnapshot {
+    /// Renders the snapshot in Prometheus text exposition format (appended
+    /// after the service-level metrics in `GET /metrics`).
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut metric = |name: &str, help: &str, value: u64| {
+            let kind = if name.ends_with("_total") {
+                "counter"
+            } else {
+                "gauge"
+            };
+            out.push_str(&format!("# HELP tessel_http_{name} {help}\n"));
+            out.push_str(&format!("# TYPE tessel_http_{name} {kind}\n"));
+            out.push_str(&format!("tessel_http_{name} {value}\n"));
+        };
+        metric(
+            "connections_open",
+            "Connections currently open.",
+            self.connections_open,
+        );
+        metric(
+            "connections_idle",
+            "Open connections with no request in flight.",
+            self.connections_idle,
+        );
+        metric(
+            "connections_accepted_total",
+            "Connections accepted since startup.",
+            self.connections_accepted,
+        );
+        metric(
+            "keepalive_reuses_total",
+            "Requests served over a reused (kept-alive) connection.",
+            self.keepalive_reuses,
+        );
+        metric(
+            "pipelined_requests_total",
+            "Requests parsed behind an in-flight request on the same connection.",
+            self.pipelined_requests,
+        );
+        metric(
+            "idle_closed_total",
+            "Connections closed by the idle-timeout sweep.",
+            self.idle_closed,
+        );
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn transport_snapshot_renders_gauges_and_counters() {
+        let m = TransportMetrics::new();
+        m.connections_open.fetch_add(3, Ordering::Relaxed);
+        m.connections_idle.fetch_add(2, Ordering::Relaxed);
+        m.keepalive_reuses.fetch_add(5, Ordering::Relaxed);
+        let snap = m.snapshot();
+        assert_eq!(snap.connections_open, 3);
+        assert_eq!(snap.keepalive_reuses, 5);
+        let text = snap.render_prometheus();
+        assert!(text.contains("tessel_http_connections_open 3"));
+        assert!(text.contains("# TYPE tessel_http_connections_open gauge"));
+        assert!(text.contains("tessel_http_keepalive_reuses_total 5"));
+        assert!(text.contains("# TYPE tessel_http_keepalive_reuses_total counter"));
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: TransportSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+    }
 
     #[test]
     fn latency_quantiles_follow_the_buckets() {

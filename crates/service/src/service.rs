@@ -126,6 +126,13 @@ impl Default for ServiceConfig {
 
 /// The schedule-search service. Cheap to share behind an [`Arc`]; all methods
 /// take `&self` and are thread-safe.
+///
+/// [`ScheduleService::search`] is a blocking call: the HTTP transport's
+/// event loop never invokes it directly but hands parsed requests to the
+/// bounded worker pool, whose threads call it and push the finished response
+/// back to the loop (see [`crate::http`]). In-process callers (benches,
+/// tests, `examples/service_quickstart.rs`) simply call it from their own
+/// threads.
 #[derive(Debug)]
 pub struct ScheduleService {
     config: ServiceConfig,

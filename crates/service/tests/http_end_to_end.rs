@@ -44,6 +44,7 @@ fn start_server() -> (HttpServer, String) {
             addr: "127.0.0.1:0".into(),
             workers: 2,
             queue_depth: 16,
+            ..ServerConfig::default()
         },
     )
     .unwrap();

@@ -1,0 +1,359 @@
+//! Socket-level tests of the readiness-based transport: keep-alive reuse
+//! (two sequential search requests over one persisted TCP connection),
+//! pipelined requests, idle-timeout closes, and slow-loris isolation.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tessel_core::ir::{BlockKind, PlacementSpec};
+use tessel_service::http::http_call;
+use tessel_service::wire::SearchRequest;
+use tessel_service::{HttpClient, HttpServer, ScheduleService, ServerConfig, ServiceConfig};
+
+fn v_shape(devices: usize) -> PlacementSpec {
+    let mut b = PlacementSpec::builder(format!("v{devices}"), devices);
+    b.set_memory_capacity(Some(devices as i64 + 1));
+    let mut prev: Option<usize> = None;
+    for d in 0..devices {
+        let deps: Vec<usize> = prev.into_iter().collect();
+        prev = Some(
+            b.add_block(format!("f{d}"), BlockKind::Forward, [d], 1, 1, deps)
+                .unwrap(),
+        );
+    }
+    for d in (0..devices).rev() {
+        let deps: Vec<usize> = prev.into_iter().collect();
+        prev = Some(
+            b.add_block(format!("b{d}"), BlockKind::Backward, [d], 2, -1, deps)
+                .unwrap(),
+        );
+    }
+    b.build().unwrap()
+}
+
+fn start_server(server_config: ServerConfig) -> (HttpServer, String) {
+    let service = ScheduleService::new(ServiceConfig {
+        default_micro_batches: 4,
+        default_max_repetend: 3,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let server = HttpServer::serve(Arc::new(service), &server_config).unwrap();
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+fn ephemeral_config() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_depth: 16,
+        ..ServerConfig::default()
+    }
+}
+
+/// Reads exactly one HTTP response (head + `Content-Length` body) without
+/// touching bytes of any later response on the same connection.
+fn read_one_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut buffer: Vec<u8> = Vec::new();
+    let mut byte = [0u8; 1];
+    while !buffer.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut byte).expect("read response head");
+        assert!(n > 0, "connection closed mid-head: {buffer:?}");
+        buffer.push(byte[0]);
+    }
+    let head = String::from_utf8_lossy(&buffer).into_owned();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code");
+    let content_length: usize = head
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse().ok())?
+        })
+        .expect("Content-Length header");
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body).expect("read response body");
+    (status, String::from_utf8(body).expect("UTF-8 body"))
+}
+
+fn search_body() -> String {
+    serde_json::to_string(&SearchRequest::for_placement(v_shape(2))).unwrap()
+}
+
+fn post_search_bytes(body: &str) -> Vec<u8> {
+    format!(
+        "POST /v1/search HTTP/1.1\r\nHost: test\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// Acceptance scenario: two sequential search requests are served over a
+/// single persisted TCP connection, with the second hitting the cache and
+/// the keep-alive reuse counter incrementing.
+#[test]
+fn keep_alive_serves_two_searches_on_one_connection() {
+    let (server, addr) = start_server(ephemeral_config());
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let body = search_body();
+
+    stream.write_all(&post_search_bytes(&body)).unwrap();
+    let (status, first) = read_one_response(&mut stream);
+    assert_eq!(status, 200, "{first}");
+    assert!(first.contains("\"cached\":false"), "{first}");
+
+    // Same socket, second request: the server must still be listening on it.
+    stream.write_all(&post_search_bytes(&body)).unwrap();
+    let (status, second) = read_one_response(&mut stream);
+    assert_eq!(status, 200, "{second}");
+    assert!(second.contains("\"cached\":true"), "{second}");
+
+    let transport = server.transport_snapshot();
+    assert_eq!(transport.connections_accepted, 1, "{transport:?}");
+    assert!(transport.keepalive_reuses >= 1, "{transport:?}");
+
+    // The reuse is also visible on the Prometheus endpoint.
+    let (status, metrics) = http_call(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("tessel_http_keepalive_reuses_total 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("tessel_http_connections_open"),
+        "{metrics}"
+    );
+
+    drop(stream);
+    server.shutdown();
+}
+
+/// Two requests written back-to-back before any response is read must both
+/// be answered, in request order.
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let (server, addr) = start_server(ephemeral_config());
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let pipelined = b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n\
+                      GET /v1/cache HTTP/1.1\r\nHost: test\r\n\r\n";
+    stream.write_all(pipelined).unwrap();
+
+    let (status, first) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    assert!(first.contains("ok"), "healthz must answer first: {first}");
+    let (status, second) = read_one_response(&mut stream);
+    assert_eq!(status, 200);
+    assert_eq!(second, "[]", "empty cache listing must answer second");
+
+    drop(stream);
+    server.shutdown();
+}
+
+/// A connection with no request in flight is closed once the idle timeout
+/// passes.
+#[test]
+fn idle_connections_are_closed_by_the_timeout_sweep() {
+    let (server, addr) = start_server(ServerConfig {
+        idle_timeout: Duration::from_millis(150),
+        ..ephemeral_config()
+    });
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Send nothing. The sweep must close the connection: read observes EOF.
+    let started = Instant::now();
+    let mut sink = [0u8; 16];
+    let n = stream.read(&mut sink).expect("read until server closes");
+    assert_eq!(n, 0, "expected EOF from the idle-timeout close");
+    assert!(
+        started.elapsed() < Duration::from_secs(8),
+        "idle close took {:?}",
+        started.elapsed()
+    );
+    assert!(server.transport_snapshot().idle_closed >= 1);
+
+    server.shutdown();
+}
+
+/// A slow-loris peer that trickles a partial request forever must not block
+/// other clients: the event loop keeps serving while the partial connection
+/// just sits in its read buffer.
+#[test]
+fn slow_loris_does_not_block_other_clients() {
+    let (server, addr) = start_server(ServerConfig {
+        workers: 1, // even a single worker must stay reachable
+        ..ephemeral_config()
+    });
+
+    let mut loris = TcpStream::connect(&addr).unwrap();
+    loris.write_all(b"POST /v1/search HTT").unwrap();
+    std::thread::sleep(Duration::from_millis(50));
+    loris.write_all(b"P/1.1\r\nContent-").unwrap(); // still no full head
+
+    // A well-behaved client gets served while the loris holds its socket.
+    let mut client = HttpClient::new(&addr).unwrap();
+    let started = Instant::now();
+    let (status, body) = client
+        .call("POST", "/v1/search", Some(&search_body()))
+        .unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "search blocked behind the loris for {:?}",
+        started.elapsed()
+    );
+
+    // The loris never completed a request, so nothing was dispatched for it.
+    let transport = server.transport_snapshot();
+    assert!(transport.connections_accepted >= 2, "{transport:?}");
+
+    drop(loris);
+    server.shutdown();
+}
+
+/// A peer that half-closes (FIN) right after sending its request must still
+/// receive the response, after which the server closes the connection —
+/// without the event loop busy-spinning on the persistent half-close
+/// readiness while the search runs.
+#[test]
+fn half_closed_peer_still_receives_its_response() {
+    let (server, addr) = start_server(ephemeral_config());
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+        .write_all(&post_search_bytes(&search_body()))
+        .unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+
+    let (status, body) = read_one_response(&mut stream);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"period\""), "{body}");
+
+    // With the peer half closed there is nothing more to serve: EOF.
+    let mut sink = [0u8; 8];
+    let n = stream.read(&mut sink).expect("read after response");
+    assert_eq!(n, 0, "server should close after responding to a FIN'd peer");
+
+    server.shutdown();
+}
+
+/// A burst pipelined past `max_pipelined` must still be served completely:
+/// once completions free capacity, the requests already buffered in user
+/// space are parsed even though no new socket data arrives.
+#[test]
+fn bursts_beyond_the_pipelining_cap_are_fully_served() {
+    let (server, addr) = start_server(ServerConfig {
+        max_pipelined: 2,
+        ..ephemeral_config()
+    });
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut burst = Vec::new();
+    for _ in 0..5 {
+        burst.extend_from_slice(b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n");
+    }
+    stream.write_all(&burst).unwrap();
+    // Then silence: every response beyond the cap must still arrive.
+    for i in 0..5 {
+        let (status, body) = read_one_response(&mut stream);
+        assert_eq!(status, 200, "response {i}: {body}");
+        assert!(body.contains("ok"), "response {i}: {body}");
+    }
+
+    drop(stream);
+    server.shutdown();
+}
+
+/// A slow-loris peer that keeps *trickling* bytes of an incomplete request
+/// is still reaped: only completed requests and response writes count as
+/// activity for the idle sweep.
+#[test]
+fn trickling_slow_loris_is_reaped_by_the_idle_sweep() {
+    let (server, addr) = start_server(ServerConfig {
+        idle_timeout: Duration::from_millis(300),
+        ..ephemeral_config()
+    });
+
+    let mut writer = TcpStream::connect(&addr).unwrap();
+    let mut reader = writer.try_clone().unwrap();
+    reader
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let trickler = std::thread::spawn(move || {
+        // One header byte every 100 ms, forever under the old accounting —
+        // writes start failing once the server closes the connection.
+        for chunk in b"GET /healthz HTT".iter().cycle().take(60) {
+            if writer.write_all(std::slice::from_ref(chunk)).is_err() {
+                return true; // server hung up on us: expected
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        false
+    });
+
+    let started = Instant::now();
+    let mut sink = [0u8; 16];
+    let n = reader.read(&mut sink).expect("read until server closes");
+    assert_eq!(n, 0, "expected EOF from the idle sweep");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "trickling loris survived {:?}",
+        started.elapsed()
+    );
+    assert!(
+        trickler.join().unwrap(),
+        "the trickler should observe the close"
+    );
+    assert!(server.transport_snapshot().idle_closed >= 1);
+
+    server.shutdown();
+}
+
+/// The keep-alive client reuses its connection across calls and survives the
+/// server idling it out in between.
+#[test]
+fn http_client_reuses_and_recovers_connections() {
+    let (server, addr) = start_server(ServerConfig {
+        idle_timeout: Duration::from_millis(200),
+        ..ephemeral_config()
+    });
+
+    let mut client = HttpClient::new(&addr).unwrap();
+    let (status, _) = client.call("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(client.is_connected());
+    let (status, _) = client.call("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(server.transport_snapshot().keepalive_reuses >= 1);
+
+    // Let the server idle the connection out, then call again: the client
+    // must transparently reconnect rather than surface an error.
+    std::thread::sleep(Duration::from_millis(600));
+    let (status, _) = client.call("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+
+    server.shutdown();
+}

@@ -68,7 +68,7 @@ pub use instance::{Instance, InstanceBuilder};
 pub use lower_bound::{critical_path_lower_bound, device_load_lower_bound, makespan_lower_bound};
 pub use propagate::TimeWindows;
 pub use search::{SolveOutcome, Solver, SolverConfig};
-pub use solution::Solution;
+pub use solution::{Solution, SolutionViolation};
 pub use stats::SolveStats;
 pub use task::{Task, TaskId};
 
