@@ -1,16 +1,25 @@
 //! Refreshes the tracked schedule-search performance snapshot.
 //!
-//! Runs the solver node-throughput comparison (seed vs current engine) and
-//! the end-to-end portfolio wall-clock comparison, then updates the
-//! `solver_scaling` and `portfolio_search` sections of `BENCH_search.json`
-//! (see [`tessel_bench::report`]).
+//! Runs the solver node-throughput comparison (seed vs current engine), the
+//! end-to-end portfolio wall-clock comparison and the work-stealing parallel
+//! scaling measurement, then updates the `solver_scaling`,
+//! `portfolio_search` and `solver_parallel_scaling` sections of
+//! `BENCH_search.json` (see [`tessel_bench::report`]).
 //!
 //! ```text
-//! cargo run --release -p tessel-bench --bin bench_search
+//! cargo run --release -p tessel-bench --bin bench_search            # all sections
+//! cargo run --release -p tessel-bench --bin bench_search parallel  # parallel scaling only
 //! ```
 
 fn main() {
-    tessel_bench::report::emit_all();
+    match std::env::args().nth(1).as_deref() {
+        None => tessel_bench::report::emit_all(),
+        Some("parallel") => tessel_bench::report::emit_parallel_scaling(),
+        Some(other) => {
+            eprintln!("unknown section `{other}`; expected no argument or `parallel`");
+            std::process::exit(2);
+        }
+    }
     println!(
         "\nwrote {}",
         tessel_bench::report::bench_json_path().display()

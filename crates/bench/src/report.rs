@@ -13,6 +13,10 @@
 //! * `solver_scaling` — branch-and-bound nodes per second: the seed
 //!   (allocation-heavy) solver vs the current allocation-free one, single-
 //!   and multi-threaded.
+//! * `solver_parallel_scaling` — work-stealing search quality: explored-node
+//!   count, node ratio vs serial and shared-memo dedup per thread count.
+//!   Node counts are meaningful on any host; the wall-clock columns need a
+//!   multi-core box (`host.cpus` records the measuring host).
 //! * `portfolio_search` — end-to-end `TesselSearch::run` wall-clock on the
 //!   Fig. 8 synthetic shapes with 1 vs 4 portfolio workers.
 //! * `service_throughput` — requests/s and cache hit rate of the in-process
@@ -181,6 +185,77 @@ pub fn solver_scaling_rows() -> Vec<SolverScalingRow> {
                 }
             }
             rows.extend(best);
+        }
+    }
+    rows
+}
+
+/// One row of the `solver_parallel_scaling` section.
+///
+/// The interesting column is `nodes_vs_serial`: with per-worker *private*
+/// dominance memos the 4-thread search re-explored ~2.7× the serial node
+/// count on the mb6 instance; the shared sharded table must keep the ratio
+/// near 1. `memo_dedup` reports which fraction of dominance prunes were
+/// served by a record another worker inserted — the sharing actually paying
+/// off, not just private-memo hits that would have happened anyway.
+#[derive(Debug, Clone, Serialize)]
+pub struct ParallelScalingRow {
+    /// Instance description.
+    pub instance: String,
+    /// Solver worker threads.
+    pub threads: usize,
+    /// Branch nodes expanded (all workers combined).
+    pub nodes: u64,
+    /// `nodes` of this row divided by the single-threaded row's.
+    pub nodes_vs_serial: f64,
+    /// Nodes pruned by dominance.
+    pub pruned_dominance: u64,
+    /// Dominance prunes served by another worker's record.
+    pub shared_memo_hits: u64,
+    /// `shared_memo_hits / pruned_dominance` (0 when no dominance prunes).
+    pub memo_dedup: f64,
+    /// Subtree tasks stolen between workers.
+    pub steals: u64,
+    /// Wall-clock seconds (only comparable on a multi-core host).
+    pub seconds: f64,
+    /// Proved optimal makespan — must be identical across thread counts.
+    pub makespan: Option<u64>,
+}
+
+/// Measures the work-stealing parallel solver against the serial search on
+/// the whole-schedule (time-optimal) V-shape instances: explored-node counts
+/// and shared-memo dedup per thread count.
+#[must_use]
+pub fn solver_parallel_scaling_rows() -> Vec<ParallelScalingRow> {
+    let placement = synthetic_placement(ShapeKind::V, 4).expect("placement");
+    let mut rows = Vec::new();
+    for micro_batches in [5usize, 6] {
+        let instance = time_optimal_instance(&placement, micro_batches).expect("instance");
+        let label = format!("time_optimal/v4/mb{micro_batches}");
+        let mut serial_nodes = None;
+        for threads in [1usize, 2, 4] {
+            let solver = Solver::new(SolverConfig::exhaustive().with_threads(threads));
+            let started = Instant::now();
+            let outcome = solver.minimize(&instance).expect("solve");
+            let seconds = started.elapsed().as_secs_f64();
+            let stats = outcome.stats();
+            assert!(
+                stats.complete,
+                "parallel scaling rows must prove optimality"
+            );
+            let baseline = *serial_nodes.get_or_insert(stats.nodes);
+            rows.push(ParallelScalingRow {
+                instance: label.clone(),
+                threads,
+                nodes: stats.nodes,
+                nodes_vs_serial: stats.nodes as f64 / baseline.max(1) as f64,
+                pruned_dominance: stats.pruned_dominance,
+                shared_memo_hits: stats.shared_memo_hits,
+                memo_dedup: stats.shared_memo_hits as f64 / (stats.pruned_dominance.max(1)) as f64,
+                steals: stats.steals,
+                seconds,
+                makespan: outcome.solution().map(tessel_solver::Solution::makespan),
+            });
         }
     }
     rows
@@ -473,9 +548,30 @@ pub fn criterion_rows() -> Vec<(String, f64)> {
         .collect()
 }
 
-/// Runs both measurement suites and updates their sections.
-pub fn emit_all() {
+/// Runs the work-stealing scaling measurement and updates its section.
+pub fn emit_parallel_scaling() {
     write_section("host", &HostInfo::capture());
+    let rows = solver_parallel_scaling_rows();
+    write_section("solver_parallel_scaling", &rows);
+    for row in &rows {
+        println!(
+            "solver_parallel_scaling {:<22} threads={} {:>10} nodes ({:.2}x serial) \
+             dedup={:.2} steals={:>5} {:>7.3}s makespan={:?}",
+            row.instance,
+            row.threads,
+            row.nodes,
+            row.nodes_vs_serial,
+            row.memo_dedup,
+            row.steals,
+            row.seconds,
+            row.makespan
+        );
+    }
+}
+
+/// Runs all solver measurement suites and updates their sections. The
+/// `host` section is written by the trailing [`emit_parallel_scaling`] call.
+pub fn emit_all() {
     let scaling = solver_scaling_rows();
     write_section("solver_scaling", &scaling);
     let portfolio = portfolio_rows();
@@ -492,6 +588,7 @@ pub fn emit_all() {
             row.shape, row.threads, row.seconds, row.speedup_vs_serial, row.period
         );
     }
+    emit_parallel_scaling();
 }
 
 #[cfg(test)]

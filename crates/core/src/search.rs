@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use tessel_solver::{Abort, CancelToken, Solver, SolverConfig};
+use tessel_solver::{Abort, CancelToken, Solver, SolverConfig, SolverTotals, StatsSink};
 
 /// Configuration of the Tessel search.
 #[derive(Debug, Clone)]
@@ -127,6 +127,19 @@ impl SearchConfig {
         self
     }
 
+    /// Returns a copy whose repetend *and* phase solvers run the
+    /// work-stealing parallel search with `threads` workers (see
+    /// [`SolverConfig::threads`]). Orthogonal to
+    /// [`SearchConfig::portfolio_threads`], which parallelises *across*
+    /// candidates: solver threads parallelise each individual solve, which
+    /// helps when a few hard candidates dominate the run.
+    #[must_use]
+    pub fn with_solver_threads(mut self, threads: usize) -> Self {
+        self.repetend_solver.threads = threads;
+        self.phase_solver.threads = threads;
+        self
+    }
+
     /// Returns a copy with a wall-clock budget for the whole run (see
     /// [`SearchConfig::time_budget`]).
     #[must_use]
@@ -192,6 +205,10 @@ pub struct SearchStats {
     pub chosen_nr: usize,
     /// Per-phase time breakdown.
     pub phase_times: PhaseBreakdown,
+    /// Aggregate solver effort across every solver invocation this run
+    /// issued (repetend solves, feasibility probes, phase optimisations) —
+    /// nodes, prunes, and the work-stealing steal/shared-memo counters.
+    pub solver: SolverTotals,
     /// Total wall-clock search time.
     #[serde(skip)]
     pub total_time: Duration,
@@ -266,7 +283,10 @@ impl TesselSearch {
             deadline: self.config.time_budget.map(|budget| started + budget),
         };
 
-        let phase_solver = solver_with_abort(&self.config.phase_solver, &abort);
+        // Every solver this run creates reports its effort into one shared
+        // sink, aggregated into `SearchStats::solver` at the end.
+        let sink = StatsSink::new();
+        let phase_solver = solver_for_run(&self.config.phase_solver, &abort, &sink);
 
         // Lines 1-6 of Algorithm 1: bounds and the in-flight micro-batch cap.
         let mut optimal = placement.total_block_time() + 1;
@@ -287,6 +307,7 @@ impl TesselSearch {
                 inflights,
                 threads,
                 &abort,
+                &sink,
             )?
         } else {
             self.search_candidates_serial(
@@ -296,6 +317,7 @@ impl TesselSearch {
                 lower_bound,
                 inflights,
                 &abort,
+                &sink,
             )?
         };
 
@@ -346,6 +368,7 @@ impl TesselSearch {
                 .num_micro_batches
                 .max(repetend.num_micro_batches()),
         )?;
+        stats.solver = sink.totals();
         stats.total_time = started.elapsed();
         Ok(SearchOutcome {
             schedule,
@@ -363,7 +386,7 @@ impl TesselSearch {
     ///
     /// Returns the winning repetend (if any) and, in eager mode, the phases
     /// solved alongside it.
-    #[allow(clippy::type_complexity)]
+    #[allow(clippy::type_complexity, clippy::too_many_arguments)]
     fn search_candidates_serial(
         &self,
         placement: &PlacementSpec,
@@ -372,10 +395,11 @@ impl TesselSearch {
         lower_bound: u64,
         inflights: usize,
         abort: &Abort,
+        sink: &StatsSink,
     ) -> Result<(Option<Repetend>, Option<(PhasePlan, PhasePlan)>), CoreError> {
-        let repetend_solver = solver_with_abort(&self.config.repetend_solver, abort);
-        let phase_solver = solver_with_abort(&self.config.phase_solver, abort);
-        let probe_solver = solver_with_abort(&SolverConfig::probe(), abort);
+        let repetend_solver = solver_for_run(&self.config.repetend_solver, abort, sink);
+        let phase_solver = solver_for_run(&self.config.phase_solver, abort, sink);
+        let probe_solver = solver_for_run(&SolverConfig::probe(), abort, sink);
         let mut best: Option<Repetend> = None;
         let mut best_phases: Option<(PhasePlan, PhasePlan)> = None;
 
@@ -498,6 +522,7 @@ impl TesselSearch {
         inflights: usize,
         threads: usize,
         abort: &Abort,
+        sink: &StatsSink,
     ) -> Result<(Option<Repetend>, Option<(PhasePlan, PhasePlan)>), CoreError> {
         let stream = Mutex::new(PortfolioStream::new(
             placement,
@@ -537,9 +562,9 @@ impl TesselSearch {
                     let best_win = &best_win;
                     scope.spawn(move || -> Result<WorkerTally, CoreError> {
                         let repetend_solver =
-                            solver_with_abort(&self.config.repetend_solver, abort);
-                        let phase_solver = solver_with_abort(&self.config.phase_solver, abort);
-                        let probe_solver = solver_with_abort(&SolverConfig::probe(), abort);
+                            solver_for_run(&self.config.repetend_solver, abort, sink);
+                        let phase_solver = solver_for_run(&self.config.phase_solver, abort, sink);
+                        let probe_solver = solver_for_run(&SolverConfig::probe(), abort, sink);
                         let mut tally = WorkerTally::default();
                         loop {
                             if stop.load(Ordering::Relaxed) {
@@ -706,10 +731,12 @@ impl TesselSearch {
     }
 }
 
-/// Clones a solver configuration with the run's abort conditions attached.
-fn solver_with_abort(config: &SolverConfig, abort: &Abort) -> Solver {
+/// Clones a solver configuration with the run's abort conditions and
+/// statistics sink attached.
+fn solver_for_run(config: &SolverConfig, abort: &Abort, sink: &StatsSink) -> Solver {
     let mut config = config.clone();
     config.abort = abort.clone();
+    config.stats_sink = Some(sink.clone());
     Solver::new(config)
 }
 
@@ -913,6 +940,38 @@ mod tests {
         assert!(stats.improving_repetends >= 1);
         assert!(stats.chosen_nr >= 1);
         assert!(stats.phase_times.total() <= stats.total_time + Duration::from_secs(1));
+    }
+
+    #[test]
+    fn stats_aggregate_solver_effort() {
+        let p = v_shape(2, 1, 2, Some(3));
+        let outcome = TesselSearch::new(SearchConfig::default()).run(&p).unwrap();
+        let solver = &outcome.stats.solver;
+        // Every repetend solve, probe and phase optimisation reports in; the
+        // run must have issued at least the recorded repetend solves.
+        assert!(solver.solves >= outcome.stats.repetend_solves as u64);
+        assert!(solver.nodes > 0);
+        assert!(solver.shared_memo_hits <= solver.pruned_dominance);
+    }
+
+    #[test]
+    fn solver_threads_leave_the_period_unchanged() {
+        for placement in [v_shape(2, 1, 2, Some(3)), x_shape()] {
+            let serial = TesselSearch::new(SearchConfig::default().with_solver_threads(1))
+                .run(&placement)
+                .unwrap();
+            for threads in [2usize, 4] {
+                let parallel =
+                    TesselSearch::new(SearchConfig::default().with_solver_threads(threads))
+                        .run(&placement)
+                        .unwrap();
+                parallel.schedule.validate(&placement).unwrap();
+                assert_eq!(
+                    parallel.repetend.period, serial.repetend.period,
+                    "solver threads={threads}"
+                );
+            }
+        }
     }
 
     #[test]

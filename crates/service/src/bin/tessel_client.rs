@@ -34,7 +34,7 @@ fn usage() -> ! {
          \x20 inspect FINGERPRINT                 inspect one fingerprint\n\
          \x20 search [--placement-file PATH | --shape KINDn]\n\
          \x20        [--micro-batches N] [--max-repetend N] [--deadline-ms MS]\n\
-         \x20        [--repeat N]\n\
+         \x20        [--solver-threads N] [--repeat N]\n\
          \n\
          search --repeat N issues the request N times over one kept-alive\n\
          TCP connection (later repeats hit the daemon's result cache)."
@@ -104,6 +104,7 @@ fn main() {
             let mut request_micro_batches = None;
             let mut request_max_repetend = None;
             let mut deadline_ms = None;
+            let mut solver_threads = None;
             let mut repeat = 1usize;
             let mut it = rest.iter();
             while let Some(flag) = it.next() {
@@ -146,6 +147,9 @@ fn main() {
                     "--deadline-ms" => {
                         deadline_ms = it.next().and_then(|v| v.parse().ok());
                     }
+                    "--solver-threads" => {
+                        solver_threads = it.next().and_then(|v| v.parse().ok());
+                    }
                     "--repeat" => {
                         repeat = match it.next().and_then(|v| v.parse().ok()) {
                             Some(n) if n >= 1 => n,
@@ -170,6 +174,7 @@ fn main() {
                 num_micro_batches: request_micro_batches,
                 max_repetend_micro_batches: request_max_repetend,
                 deadline_ms,
+                solver_threads,
             };
             let body = match serde_json::to_string(&request) {
                 Ok(body) => body,

@@ -18,6 +18,8 @@ fn usage() -> ! {
          \x20                  [--idle-timeout-ms MS] [--max-pipelined N]\n\
          \x20                  [--cache-file PATH] [--cache-capacity N] [--cache-shards N]\n\
          \x20                  [--portfolio-threads N] [--micro-batches N] [--max-repetend N]\n\
+         \x20                  [--solver-threads N] [--max-solver-threads N]\n\
+         \x20                  [--solver-steal-depth N] [--solver-memo-shards N]\n\
          \x20                  [--default-deadline-ms MS]"
     );
     exit(2)
@@ -56,6 +58,18 @@ fn main() {
             "--cache-shards" => service_config.cache.shards = parse_value(&flag, args.next()),
             "--portfolio-threads" => {
                 service_config.portfolio_threads = parse_value(&flag, args.next());
+            }
+            "--solver-threads" => {
+                service_config.solver_threads = parse_value(&flag, args.next());
+            }
+            "--max-solver-threads" => {
+                service_config.max_solver_threads = parse_value(&flag, args.next());
+            }
+            "--solver-steal-depth" => {
+                service_config.solver_steal_depth = parse_value(&flag, args.next());
+            }
+            "--solver-memo-shards" => {
+                service_config.solver_memo_shards = parse_value(&flag, args.next());
             }
             "--micro-batches" => {
                 service_config.default_micro_batches = parse_value(&flag, args.next());

@@ -18,6 +18,7 @@ use tessel_core::fingerprint::Fingerprint;
 use tessel_core::ir::PlacementSpec;
 use tessel_core::schedule::Schedule;
 use tessel_runtime::metrics::UtilizationSummary;
+use tessel_solver::SolverTotals;
 
 /// The search parameters that participate in cache identity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -76,6 +77,10 @@ pub struct CachedSearch {
     pub bubble_rate: f64,
     /// Simulated per-device utilization, in canonical labeling.
     pub utilization: UtilizationSummary,
+    /// Aggregate solver effort of the original search (nodes, prunes, and
+    /// the work-stealing steal/shared-memo counters), served by the inspect
+    /// endpoint.
+    pub solver: SolverTotals,
     /// Wall-clock milliseconds the search took.
     pub search_millis: u64,
 }
@@ -341,6 +346,7 @@ mod tests {
                 max_wait_fraction: 0.0,
                 devices: Vec::new(),
             },
+            solver: SolverTotals::default(),
             search_millis: 5,
         })
     }

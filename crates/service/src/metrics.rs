@@ -10,6 +10,7 @@
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+use tessel_solver::SolverTotals;
 
 /// Number of power-of-two latency buckets (`2^39` µs ≈ 6.4 days).
 const BUCKETS: usize = 40;
@@ -31,6 +32,18 @@ pub struct ServiceMetrics {
     pub errors: AtomicU64,
     /// Searches currently running.
     pub in_flight: AtomicU64,
+    /// Exact-solver invocations across all completed searches.
+    pub solver_solves: AtomicU64,
+    /// Branch-and-bound nodes expanded across all completed searches.
+    pub solver_nodes: AtomicU64,
+    /// Solver nodes pruned by the makespan lower bound.
+    pub solver_pruned_bound: AtomicU64,
+    /// Solver nodes pruned by state dominance.
+    pub solver_pruned_dominance: AtomicU64,
+    /// Subtree tasks stolen between parallel solver workers.
+    pub solver_steals: AtomicU64,
+    /// Dominance prunes served by a record another solver worker inserted.
+    pub solver_shared_memo_hits: AtomicU64,
     latency_buckets: [AtomicU64; BUCKETS],
 }
 
@@ -53,6 +66,18 @@ pub struct MetricsSnapshot {
     pub errors: u64,
     /// Searches currently running.
     pub in_flight: u64,
+    /// Exact-solver invocations across all completed searches.
+    pub solver_solves: u64,
+    /// Branch-and-bound nodes expanded across all completed searches.
+    pub solver_nodes: u64,
+    /// Solver nodes pruned by the makespan lower bound.
+    pub solver_pruned_bound: u64,
+    /// Solver nodes pruned by state dominance.
+    pub solver_pruned_dominance: u64,
+    /// Subtree tasks stolen between parallel solver workers.
+    pub solver_steals: u64,
+    /// Dominance prunes served by a record another solver worker inserted.
+    pub solver_shared_memo_hits: u64,
     /// Cache hit rate over all completed requests (0 when idle).
     pub hit_rate: f64,
     /// Entries currently cached.
@@ -75,6 +100,12 @@ impl Default for ServiceMetrics {
             timeouts: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
+            solver_solves: AtomicU64::new(0),
+            solver_nodes: AtomicU64::new(0),
+            solver_pruned_bound: AtomicU64::new(0),
+            solver_pruned_dominance: AtomicU64::new(0),
+            solver_steals: AtomicU64::new(0),
+            solver_shared_memo_hits: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -85,6 +116,22 @@ impl ServiceMetrics {
     #[must_use]
     pub fn new() -> Self {
         ServiceMetrics::default()
+    }
+
+    /// Folds one completed search's aggregate solver effort into the
+    /// daemon-lifetime counters.
+    pub fn record_solver(&self, totals: &SolverTotals) {
+        self.solver_solves
+            .fetch_add(totals.solves, Ordering::Relaxed);
+        self.solver_nodes.fetch_add(totals.nodes, Ordering::Relaxed);
+        self.solver_pruned_bound
+            .fetch_add(totals.pruned_bound, Ordering::Relaxed);
+        self.solver_pruned_dominance
+            .fetch_add(totals.pruned_dominance, Ordering::Relaxed);
+        self.solver_steals
+            .fetch_add(totals.steals, Ordering::Relaxed);
+        self.solver_shared_memo_hits
+            .fetch_add(totals.shared_memo_hits, Ordering::Relaxed);
     }
 
     /// Records one completed request's wall-clock latency.
@@ -135,6 +182,12 @@ impl ServiceMetrics {
             timeouts: self.timeouts.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
+            solver_solves: self.solver_solves.load(Ordering::Relaxed),
+            solver_nodes: self.solver_nodes.load(Ordering::Relaxed),
+            solver_pruned_bound: self.solver_pruned_bound.load(Ordering::Relaxed),
+            solver_pruned_dominance: self.solver_pruned_dominance.load(Ordering::Relaxed),
+            solver_steals: self.solver_steals.load(Ordering::Relaxed),
+            solver_shared_memo_hits: self.solver_shared_memo_hits.load(Ordering::Relaxed),
             hit_rate: if served == 0 {
                 0.0
             } else {
@@ -197,6 +250,36 @@ impl MetricsSnapshot {
             "in_flight_searches",
             "Searches currently running.",
             self.in_flight as f64,
+        );
+        counter(
+            "solver_solves_total",
+            "Exact-solver invocations across completed searches.",
+            self.solver_solves as f64,
+        );
+        counter(
+            "solver_nodes_total",
+            "Branch-and-bound nodes expanded across completed searches.",
+            self.solver_nodes as f64,
+        );
+        counter(
+            "solver_pruned_bound_total",
+            "Solver nodes pruned by the makespan lower bound.",
+            self.solver_pruned_bound as f64,
+        );
+        counter(
+            "solver_pruned_dominance_total",
+            "Solver nodes pruned by state dominance.",
+            self.solver_pruned_dominance as f64,
+        );
+        counter(
+            "solver_steals_total",
+            "Subtree tasks stolen between parallel solver workers.",
+            self.solver_steals as f64,
+        );
+        counter(
+            "solver_shared_memo_hits_total",
+            "Dominance prunes served by another solver worker's record.",
+            self.solver_shared_memo_hits as f64,
         );
         counter("cache_hit_rate", "Cache hit rate.", self.hit_rate);
         counter(
@@ -381,15 +464,31 @@ mod tests {
         m.cache_hits.fetch_add(2, Ordering::Relaxed);
         m.cache_misses.fetch_add(1, Ordering::Relaxed);
         m.record_latency(Duration::from_millis(2));
+        m.record_solver(&SolverTotals {
+            solves: 7,
+            nodes: 1000,
+            pruned_bound: 50,
+            pruned_dominance: 40,
+            steals: 3,
+            shared_memo_hits: 9,
+        });
         let snap = m.snapshot(4, 1);
         assert_eq!(snap.requests, 3);
         assert!((snap.hit_rate - 2.0 / 3.0).abs() < 1e-9);
         assert_eq!(snap.cache_entries, 4);
+        assert_eq!(snap.solver_solves, 7);
+        assert_eq!(snap.solver_nodes, 1000);
+        assert_eq!(snap.solver_steals, 3);
+        assert_eq!(snap.solver_shared_memo_hits, 9);
         let text = snap.render_prometheus();
         assert!(text.contains("tessel_requests_total 3"));
         assert!(text.contains("tessel_cache_hits_total 2"));
         assert!(text.contains("# TYPE tessel_requests_total counter"));
         assert!(text.contains("# TYPE tessel_cache_hit_rate gauge"));
+        assert!(text.contains("tessel_solver_nodes_total 1000"));
+        assert!(text.contains("tessel_solver_steals_total 3"));
+        assert!(text.contains("tessel_solver_shared_memo_hits_total 9"));
+        assert!(text.contains("# TYPE tessel_solver_solves_total counter"));
         // JSON round trip for the in-process API.
         let json = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();

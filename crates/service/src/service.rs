@@ -103,6 +103,23 @@ pub struct ServiceConfig {
     pub max_repetend_ceiling: usize,
     /// Portfolio worker threads per search.
     pub portfolio_threads: usize,
+    /// Worker threads for each exact solve (the work-stealing parallel
+    /// solver) when a request does not ask for a specific count; `0` uses
+    /// the machine's available parallelism.
+    pub solver_threads: usize,
+    /// Hard ceiling on solver threads accepted from requests (protects the
+    /// daemon from thread-bomb requests).
+    pub max_solver_threads: usize,
+    /// Steal granularity of the parallel solver (see
+    /// [`SolverConfig::steal_depth`]).
+    ///
+    /// [`SolverConfig::steal_depth`]: tessel_solver::SolverConfig::steal_depth
+    pub solver_steal_depth: usize,
+    /// Shard count of the parallel solver's shared dominance table (see
+    /// [`SolverConfig::dominance_shards`]).
+    ///
+    /// [`SolverConfig::dominance_shards`]: tessel_solver::SolverConfig::dominance_shards
+    pub solver_memo_shards: usize,
     /// Optional cap on candidates per `NR` level.
     pub candidate_limit: Option<usize>,
     /// Deadline applied when a request does not carry one.
@@ -111,6 +128,7 @@ pub struct ServiceConfig {
 
 impl Default for ServiceConfig {
     fn default() -> Self {
+        let solver_defaults = tessel_solver::SolverConfig::default();
         ServiceConfig {
             cache: CacheConfig::default(),
             cache_path: None,
@@ -118,6 +136,10 @@ impl Default for ServiceConfig {
             default_max_repetend: 6,
             max_repetend_ceiling: 8,
             portfolio_threads: 1,
+            solver_threads: 1,
+            max_solver_threads: 8,
+            solver_steal_depth: solver_defaults.steal_depth,
+            solver_memo_shards: solver_defaults.dominance_shards,
             candidate_limit: None,
             default_deadline: Some(Duration::from_secs(60)),
         }
@@ -185,14 +207,26 @@ impl ScheduleService {
     ///
     /// # Errors
     ///
-    /// Propagates snapshot read failures (a missing snapshot is fine).
+    /// Propagates snapshot read failures. A missing snapshot is fine, and a
+    /// snapshot that no longer parses (corrupt, or written by an older
+    /// daemon with a different entry layout) is skipped with a warning — an
+    /// incompatible cache file must cost a cold start, not a crash loop.
     pub fn new(mut config: ServiceConfig) -> std::io::Result<Self> {
         // An operator-raised default must never exceed the ceiling, or every
         // request relying on the default would be rejected.
         config.max_repetend_ceiling = config.max_repetend_ceiling.max(config.default_max_repetend);
         let cache = ShardedCache::new(&config.cache);
         if let Some(path) = &config.cache_path {
-            cache.load(path)?;
+            match cache.load(path) {
+                Ok(_) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                    eprintln!(
+                        "warning: ignoring incompatible cache snapshot {}: {e}",
+                        path.display()
+                    );
+                }
+                Err(e) => return Err(e),
+            }
         }
         Ok(ScheduleService {
             config,
@@ -242,6 +276,7 @@ impl ScheduleService {
             .validate()
             .map_err(|e| ServiceError::BadRequest(format!("invalid placement: {e}")))?;
         let params = self.resolve_params(request)?;
+        let solver_threads = self.resolve_solver_threads(request);
         let deadline = request
             .deadline_ms
             .map(|ms| arrived + Duration::from_millis(ms))
@@ -269,7 +304,7 @@ impl ScheduleService {
                 // between our lookup and the flight election.
                 let result = match self.cache_lookup(key, &canon, &params) {
                     Some(entry) => Ok(entry),
-                    None => self.run_search(&canon, &params, key, deadline),
+                    None => self.run_search(&canon, &params, key, deadline, solver_threads),
                 };
                 guard.disarm_and_complete(result.clone());
                 // Snapshot outside the flight: followers are already awake
@@ -332,6 +367,20 @@ impl ScheduleService {
         })
     }
 
+    /// The solver thread count a request runs with: the request's ask (or
+    /// the daemon default), with `0` resolved to the machine's parallelism,
+    /// clamped to the configured ceiling. Not part of cache identity —
+    /// every thread count proves the same optimum.
+    fn resolve_solver_threads(&self, request: &SearchRequest) -> usize {
+        let asked = request.solver_threads.unwrap_or(self.config.solver_threads);
+        // Reuse the solver's own 0-resolution policy rather than duplicating
+        // it here.
+        let resolved = tessel_solver::SolverConfig::default()
+            .with_threads(asked)
+            .effective_threads();
+        resolved.clamp(1, self.config.max_solver_threads.max(1))
+    }
+
     /// Runs the actual search (leader path) and populates the cache on
     /// success.
     fn run_search(
@@ -340,6 +389,7 @@ impl ScheduleService {
         params: &CacheParams,
         key: CacheKey,
         deadline: Option<Instant>,
+        solver_threads: usize,
     ) -> Result<Arc<CachedSearch>, ServiceError> {
         self.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
         let _guard = InFlightGuard(&self.metrics);
@@ -357,8 +407,14 @@ impl ScheduleService {
             .with_micro_batches(params.num_micro_batches)
             .with_max_repetend_micro_batches(params.max_repetend_micro_batches)
             .with_portfolio_threads(self.config.portfolio_threads)
+            .with_solver_threads(solver_threads)
             .with_time_budget(budget);
         config.candidate_limit = self.config.candidate_limit;
+        // The parallel-solver tuning knobs apply to both solver roles.
+        for solver in [&mut config.repetend_solver, &mut config.phase_solver] {
+            solver.steal_depth = self.config.solver_steal_depth;
+            solver.dominance_shards = self.config.solver_memo_shards;
+        }
 
         let outcome = TesselSearch::new(config)
             .run(&canon.placement)
@@ -369,6 +425,7 @@ impl ScheduleService {
                 other => ServiceError::Search(other.to_string()),
             })?;
         let search_millis = started.elapsed().as_millis() as u64;
+        self.metrics.record_solver(&outcome.stats.solver);
 
         // Simulate the schedule on the reference cluster for the
         // machine-readable utilization summary.
@@ -387,6 +444,7 @@ impl ScheduleService {
             repetend_micro_batches: outcome.repetend.num_micro_batches(),
             bubble_rate: outcome.repetend.bubble_rate(&canon.placement),
             utilization,
+            solver: outcome.stats.solver,
             search_millis,
         });
         self.cache.insert(key, entry.clone());
@@ -650,6 +708,82 @@ mod tests {
             "{snap:?}"
         );
         assert!(snap.cache_misses >= 1);
+    }
+
+    #[test]
+    fn solver_effort_reaches_metrics_and_inspect() {
+        let service = quick_service();
+        let response = service
+            .search(&SearchRequest::for_placement(v_shape(2)))
+            .unwrap();
+        let snap = service.metrics_snapshot();
+        assert!(snap.solver_solves > 0, "{snap:?}");
+        assert!(snap.solver_nodes > 0, "{snap:?}");
+        assert!(snap.solver_shared_memo_hits <= snap.solver_pruned_dominance);
+        let rendered = snap.render_prometheus();
+        assert!(rendered.contains("tessel_solver_nodes_total"));
+        assert!(rendered.contains("tessel_solver_steals_total"));
+        // The inspect payload carries the per-search totals.
+        let inspect = service.inspect(response.fingerprint);
+        assert_eq!(inspect.entries.len(), 1);
+        assert_eq!(inspect.entries[0].solver.nodes, snap.solver_nodes);
+        // Cache hits do not re-run the solver: the counters stay put.
+        service
+            .search(&SearchRequest::for_placement(v_shape(2)))
+            .unwrap();
+        assert_eq!(service.metrics_snapshot().solver_nodes, snap.solver_nodes);
+    }
+
+    #[test]
+    fn multithreaded_deadline_times_out_without_poisoning_the_cache() {
+        // The cooperative-cancellation path under the work-stealing solver:
+        // a 4-thread search with an (effectively) expired deadline must fail
+        // with a timeout promptly, cache nothing, and leave the service able
+        // to serve the same placement afterwards.
+        let service = ScheduleService::new(ServiceConfig {
+            default_micro_batches: 4,
+            default_max_repetend: 3,
+            solver_threads: 4,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let mut request = SearchRequest::for_placement(v_shape(3));
+        request.solver_threads = Some(4);
+        request.deadline_ms = Some(0);
+        let started = Instant::now();
+        let err = service.search(&request).unwrap_err();
+        assert!(matches!(err, ServiceError::Timeout(_)), "{err:?}");
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "timeout was not prompt: {:?}",
+            started.elapsed()
+        );
+        assert_eq!(service.cache_entries().len(), 0);
+        assert_eq!(service.metrics_snapshot().timeouts, 1);
+        // Same placement without the deadline: clean search, cached result.
+        request.deadline_ms = None;
+        let ok = service.search(&request).unwrap();
+        assert!(!ok.cached);
+        assert_eq!(service.cache_entries().len(), 1);
+    }
+
+    #[test]
+    fn solver_thread_requests_are_clamped_to_the_ceiling() {
+        let service = ScheduleService::new(ServiceConfig {
+            solver_threads: 2,
+            max_solver_threads: 4,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let mut request = SearchRequest::for_placement(v_shape(2));
+        assert_eq!(service.resolve_solver_threads(&request), 2);
+        request.solver_threads = Some(64);
+        assert_eq!(service.resolve_solver_threads(&request), 4);
+        request.solver_threads = Some(3);
+        assert_eq!(service.resolve_solver_threads(&request), 3);
+        request.solver_threads = Some(0);
+        let auto = service.resolve_solver_threads(&request);
+        assert!((1..=4).contains(&auto));
     }
 
     #[test]

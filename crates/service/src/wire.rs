@@ -26,6 +26,12 @@ pub struct SearchRequest {
     /// Per-request deadline in milliseconds. A search (or a coalesced wait)
     /// running past it fails with a timeout error and nothing is cached.
     pub deadline_ms: Option<u64>,
+    /// Worker threads for each exact solve (the work-stealing parallel
+    /// solver). Defaults to the daemon's configured value; clamped to the
+    /// daemon's ceiling; `0` asks for the machine's available parallelism.
+    /// Does not participate in cache identity — every thread count proves
+    /// the same optimum.
+    pub solver_threads: Option<usize>,
 }
 
 impl SearchRequest {
@@ -38,6 +44,7 @@ impl SearchRequest {
             num_micro_batches: None,
             max_repetend_micro_batches: None,
             deadline_ms: None,
+            solver_threads: None,
         }
     }
 }
@@ -55,6 +62,7 @@ impl Serialize for SearchRequest {
                 self.max_repetend_micro_batches.to_value(),
             ),
             ("deadline_ms".into(), self.deadline_ms.to_value()),
+            ("solver_threads".into(), self.solver_threads.to_value()),
         ])
     }
 }
@@ -72,6 +80,7 @@ impl Deserialize for SearchRequest {
                 "max_repetend_micro_batches",
             ))?,
             deadline_ms: Deserialize::from_value(field_or_null(map, "deadline_ms"))?,
+            solver_threads: Deserialize::from_value(field_or_null(map, "solver_threads"))?,
         })
     }
 }
@@ -173,6 +182,7 @@ mod tests {
             num_micro_batches: Some(6),
             max_repetend_micro_batches: Some(3),
             deadline_ms: Some(250),
+            solver_threads: Some(4),
         };
         let json = serde_json::to_string(&full).unwrap();
         let back: SearchRequest = serde_json::from_str(&json).unwrap();
@@ -187,6 +197,7 @@ mod tests {
         assert_eq!(parsed.placement, v2());
         assert_eq!(parsed.num_micro_batches, None);
         assert_eq!(parsed.deadline_ms, None);
+        assert_eq!(parsed.solver_threads, None);
 
         let missing: Result<SearchRequest, _> = serde_json::from_str("{}");
         assert!(missing.is_err());

@@ -1,0 +1,314 @@
+//! Dominance memoisation: per-worker flat tables and the shared sharded
+//! table parallel workers prune against.
+//!
+//! Two partial schedules covering the same set of tasks are compared by their
+//! per-device finish-time vectors; the componentwise-worse one cannot lead to
+//! a better completion and is pruned. The single-threaded search keeps one
+//! private [`DominanceTable`]; the work-stealing parallel search shares one
+//! [`SharedDominanceTable`] — the same flat tables, lock-striped across
+//! bitmask-keyed shards — so a state explored by any worker prunes the
+//! re-exploration every other worker would otherwise pay.
+
+use std::sync::Mutex;
+
+pub(super) const EMPTY_HEAD: u32 = u32::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    mask: u128,
+    head: u32,
+    occupied: bool,
+}
+
+const FREE_SLOT: Slot = Slot {
+    mask: 0,
+    head: EMPTY_HEAD,
+    occupied: false,
+};
+
+/// Dominance memo keyed by the scheduled-task bitmask.
+///
+/// Replaces the seed's `HashMap<u128, Vec<Vec<u64>>>`: slots are probed
+/// linearly in a power-of-two table, and every stored per-device finish-time
+/// vector lives packed in one arena `Vec<u64>` as
+/// `[next, owner, f_0, .., f_{D-1}]` records chained per mask. Lookups,
+/// insertions and removals therefore touch no allocator once the table has
+/// warmed up, which is what makes dominance pruning cheap enough to run at
+/// every node. The `owner` word records which worker inserted the vector, so
+/// the shared table can attribute cross-thread deduplication.
+#[derive(Debug, Clone)]
+pub(super) struct DominanceTable {
+    slots: Vec<Slot>,
+    occupied: usize,
+    arena: Vec<u64>,
+    free_head: u32,
+    devices: usize,
+    stored: usize,
+    limit: usize,
+}
+
+impl DominanceTable {
+    pub(super) fn new(devices: usize, limit: usize) -> Self {
+        DominanceTable {
+            slots: vec![FREE_SLOT; 1024],
+            occupied: 0,
+            arena: Vec::new(),
+            free_head: EMPTY_HEAD,
+            devices,
+            stored: 0,
+            limit,
+        }
+    }
+
+    pub(super) fn hash(mask: u128) -> u64 {
+        let mut h = (mask as u64) ^ ((mask >> 64) as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^ (h >> 33)
+    }
+
+    fn find_slot(&self, mask: u128) -> usize {
+        let cap = self.slots.len();
+        let mut idx = (Self::hash(mask) as usize) & (cap - 1);
+        loop {
+            let slot = &self.slots[idx];
+            if !slot.occupied || slot.mask == mask {
+                return idx;
+            }
+            idx = (idx + 1) & (cap - 1);
+        }
+    }
+
+    fn grow(&mut self) {
+        let doubled = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![FREE_SLOT; doubled]);
+        for slot in old {
+            if slot.occupied {
+                let idx = self.find_slot(slot.mask);
+                self.slots[idx] = slot;
+            }
+        }
+    }
+
+    /// Arena record layout: `[next, owner, f_0 .. f_{D-1}]`.
+    fn rec_size(&self) -> usize {
+        self.devices + 2
+    }
+
+    fn alloc_record(&mut self) -> u32 {
+        if self.free_head != EMPTY_HEAD {
+            let r = self.free_head;
+            self.free_head = self.arena[r as usize * self.rec_size()] as u32;
+            return r;
+        }
+        let r = (self.arena.len() / self.rec_size()) as u32;
+        self.arena.resize(self.arena.len() + self.rec_size(), 0);
+        r
+    }
+
+    /// Checks the current `finishes` vector against every vector stored for
+    /// `mask`. Returns `Some(owner)` — the id of the worker that inserted
+    /// the dominating vector — if a stored vector dominates it (the caller
+    /// should prune); otherwise removes the stored vectors it dominates and,
+    /// capacity permitting, records it under `owner`.
+    pub(super) fn check_and_insert(
+        &mut self,
+        mask: u128,
+        finishes: &[u64],
+        owner: u32,
+    ) -> Option<u32> {
+        let mut idx = self.find_slot(mask);
+        if !self.slots[idx].occupied {
+            // Keep the probe chains short: grow at 70% occupancy.
+            if (self.occupied + 1) * 10 > self.slots.len() * 7 {
+                self.grow();
+                idx = self.find_slot(mask);
+            }
+            self.slots[idx] = Slot {
+                mask,
+                head: EMPTY_HEAD,
+                occupied: true,
+            };
+            self.occupied += 1;
+        }
+
+        let rec = self.rec_size();
+        let devices = self.devices;
+        let mut r = self.slots[idx].head;
+        let mut prev = EMPTY_HEAD;
+        while r != EMPTY_HEAD {
+            let base = r as usize * rec;
+            let next = self.arena[base] as u32;
+            let mut stored_le = true;
+            let mut current_le = true;
+            for (&stored, &current) in self.arena[base + 2..base + 2 + devices]
+                .iter()
+                .zip(finishes)
+            {
+                stored_le &= stored <= current;
+                current_le &= current <= stored;
+            }
+            if stored_le {
+                // An at-least-as-good state was already explored.
+                return Some(self.arena[base + 1] as u32);
+            }
+            if current_le {
+                // The stored state is strictly worse: unlink and recycle it.
+                if prev == EMPTY_HEAD {
+                    self.slots[idx].head = next;
+                } else {
+                    self.arena[prev as usize * rec] = u64::from(next);
+                }
+                self.arena[base] = u64::from(self.free_head);
+                self.free_head = r;
+                self.stored -= 1;
+                r = next;
+                continue;
+            }
+            prev = r;
+            r = next;
+        }
+
+        if self.stored < self.limit {
+            let new = self.alloc_record();
+            let base = new as usize * rec;
+            self.arena[base] = u64::from(self.slots[idx].head);
+            self.arena[base + 1] = u64::from(owner);
+            self.arena[base + 2..base + 2 + devices].copy_from_slice(finishes);
+            self.slots[idx].head = new;
+            self.stored += 1;
+        }
+        None
+    }
+}
+
+/// The shared dominance table of the work-stealing parallel search.
+///
+/// Lock-striped: the bitmask key hashes to one of `shards` independently
+/// locked [`DominanceTable`]s (shard selection uses hash bits disjoint from
+/// the in-shard slot probe bits), so concurrent workers only contend when
+/// they touch the same key region. The configured memo limit is divided
+/// evenly across shards.
+///
+/// Sharing is what makes parallel search cheap: with per-worker private memos
+/// the same `(scheduled set, finish vector)` state reached in two workers'
+/// subtrees is explored twice; with the shared table the second worker prunes
+/// immediately. Soundness is unchanged — dominance is a property of the
+/// *state*, not of which worker explored it — and a search that runs to
+/// completion (no budget/deadline stop) still proves optimality exactly.
+#[derive(Debug)]
+pub(super) struct SharedDominanceTable {
+    shards: Vec<Mutex<DominanceTable>>,
+    shard_mask: u64,
+}
+
+impl SharedDominanceTable {
+    /// Creates a table of `shards` (rounded up to a power of two, at least
+    /// one) striping a total capacity of `limit` stored vectors.
+    pub(super) fn new(devices: usize, limit: usize, shards: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        let per_shard = (limit / count).max(1);
+        SharedDominanceTable {
+            shards: (0..count)
+                .map(|_| Mutex::new(DominanceTable::new(devices, per_shard)))
+                .collect(),
+            shard_mask: count as u64 - 1,
+        }
+    }
+
+    /// [`DominanceTable::check_and_insert`] against the shard owning `mask`.
+    pub(super) fn check_and_insert(&self, mask: u128, finishes: &[u64], owner: u32) -> Option<u32> {
+        // Shard on high hash bits; the shard-local slot probe uses the low
+        // bits, so the two selections stay independent.
+        let shard = ((DominanceTable::hash(mask) >> 32) & self.shard_mask) as usize;
+        self.shards[shard]
+            .lock()
+            .expect("dominance shard lock")
+            .check_and_insert(mask, finishes, owner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_table_detects_and_replaces() {
+        let mut table = DominanceTable::new(2, 1024);
+        // First sighting of a mask: recorded, not pruned.
+        assert!(table.check_and_insert(0b11, &[3, 4], 0).is_none());
+        // Dominated by the stored [3, 4]: pruned, attributed to worker 0.
+        assert_eq!(table.check_and_insert(0b11, &[3, 5], 1), Some(0));
+        assert_eq!(table.check_and_insert(0b11, &[3, 4], 1), Some(0));
+        // Strictly better on one device: replaces the stored vector...
+        assert!(table.check_and_insert(0b11, &[2, 4], 1).is_none());
+        // ...so the old vector now reads as dominated, by worker 1's record.
+        assert_eq!(table.check_and_insert(0b11, &[3, 4], 0), Some(1));
+        // A different mask is tracked independently.
+        assert!(table.check_and_insert(0b101, &[3, 4], 0).is_none());
+        // Incomparable vectors coexist.
+        assert!(table.check_and_insert(0b11, &[1, 9], 0).is_none());
+        assert!(table.check_and_insert(0b11, &[2, 9], 0).is_some());
+    }
+
+    #[test]
+    fn dominance_table_survives_growth() {
+        let mut table = DominanceTable::new(1, 1 << 16);
+        for i in 0..5000u64 {
+            // All distinct masks: forces slot growth past the initial 1024.
+            assert!(table
+                .check_and_insert(u128::from(i) << 1, &[i], 0)
+                .is_none());
+        }
+        for i in 0..5000u64 {
+            assert!(table
+                .check_and_insert(u128::from(i) << 1, &[i + 1], 0)
+                .is_some());
+        }
+    }
+
+    #[test]
+    fn dominance_table_respects_capacity() {
+        let mut table = DominanceTable::new(1, 2);
+        assert!(table.check_and_insert(0b1, &[5], 0).is_none());
+        assert!(table.check_and_insert(0b10, &[5], 0).is_none());
+        // Capacity reached: the vector is not recorded...
+        assert!(table.check_and_insert(0b100, &[5], 0).is_none());
+        // ...so an identical state is not pruned either.
+        assert!(table.check_and_insert(0b100, &[5], 0).is_none());
+    }
+
+    #[test]
+    fn shared_table_attributes_cross_worker_hits() {
+        let shared = SharedDominanceTable::new(2, 1 << 10, 4);
+        assert!(shared.check_and_insert(0b11, &[3, 4], 0).is_none());
+        // Worker 1 revisits worker 0's state: pruned, attributed to 0.
+        assert_eq!(shared.check_and_insert(0b11, &[3, 4], 1), Some(0));
+        // Worker 0 revisiting its own state is a same-worker hit.
+        assert_eq!(shared.check_and_insert(0b11, &[4, 4], 0), Some(0));
+    }
+
+    #[test]
+    fn shared_table_stripes_limit_across_shards() {
+        // 4 shards over a limit of 4: one stored vector per shard. Masks are
+        // spread over many shards, so at least some inserts land in distinct
+        // shards and are all retained.
+        let shared = SharedDominanceTable::new(1, 4, 4);
+        let mut retained = 0;
+        for i in 0..64u64 {
+            if shared
+                .check_and_insert(u128::from(i) << 1, &[0], 0)
+                .is_none()
+                && shared
+                    .check_and_insert(u128::from(i) << 1, &[1], 0)
+                    .is_some()
+            {
+                retained += 1;
+            }
+        }
+        assert!(
+            retained >= 2,
+            "expected multiple shards to store, got {retained}"
+        );
+    }
+}

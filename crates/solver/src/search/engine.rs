@@ -1,0 +1,644 @@
+//! The branch-and-bound engine: flattened instance data and the per-worker
+//! search context running the DFS hot loop.
+//!
+//! The branch loop is allocation-free in steady state: task application is
+//! undone through a persistent undo stack instead of per-node snapshots, the
+//! candidate lists are drawn from a per-depth buffer pool, the scheduled-task
+//! bitmask is maintained incrementally, and the dominance memo is a flat
+//! open-addressing table whose finish-time vectors live packed in a single
+//! arena (see [`super::dominance`]).
+//!
+//! One [`SearchContext`] is either the single-threaded search (no shared
+//! state) or one worker of the work-stealing parallel search (see
+//! [`super::parallel`]): the same DFS serves both, with the parallel hooks —
+//! shared incumbent bound, shared dominance table, subtree offloading —
+//! behind an `Option` that the serial path never touches.
+
+use super::dominance::DominanceTable;
+use super::frontier::SubtreeTask;
+use super::parallel::SharedSearch;
+use super::SolverConfig;
+use crate::instance::Instance;
+use crate::propagate::TimeWindows;
+use crate::stats::SolveStats;
+use crate::task::TaskId;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// How many nodes a worker expands between flushes of its node count to the
+/// shared counter (and checks of the shared limits).
+pub(super) const FLUSH_INTERVAL: u64 = 1024;
+
+/// Cache-friendly flattened copy of an [`Instance`] plus its static time
+/// windows.
+///
+/// The DFS touches per-task durations, device sets, predecessor lists and
+/// tails millions of times per second; reading them through `Task` structs
+/// (with their labels and per-task `Vec`s) costs a pointer chase and drags
+/// cold `String` data through the cache. Flattening everything into dense
+/// offset-indexed arrays once per solve roughly halves the per-node cost and
+/// lets parallel workers share one read-only copy.
+pub(super) struct FlatInstance {
+    pub(super) num_tasks: usize,
+    pub(super) num_devices: usize,
+    memory_capacity: Option<i64>,
+    pub(super) initial_memory: Vec<i64>,
+    device_loads: Vec<u64>,
+    durations: Vec<u64>,
+    memories: Vec<i64>,
+    /// `max(release, longest-path EST)` per task.
+    static_est: Vec<u64>,
+    /// Longest successor chain that must follow each task.
+    tails: Vec<u64>,
+    dev_off: Vec<u32>,
+    dev_flat: Vec<u32>,
+    pred_off: Vec<u32>,
+    pred_flat: Vec<u32>,
+    succ_off: Vec<u32>,
+    succ_flat: Vec<u32>,
+}
+
+impl FlatInstance {
+    pub(super) fn build(instance: &Instance, windows: &TimeWindows) -> Self {
+        let n = instance.num_tasks();
+        let mut dev_off = Vec::with_capacity(n + 1);
+        let mut dev_flat = Vec::new();
+        let mut pred_off = Vec::with_capacity(n + 1);
+        let mut pred_flat = Vec::new();
+        let mut succ_off = Vec::with_capacity(n + 1);
+        let mut succ_flat = Vec::new();
+        for i in 0..n {
+            let id = TaskId::from_index(i);
+            dev_off.push(dev_flat.len() as u32);
+            dev_flat.extend(instance.task(id).devices.iter().map(|&d| d as u32));
+            pred_off.push(pred_flat.len() as u32);
+            pred_flat.extend(instance.predecessors(id).iter().map(|&p| p as u32));
+            succ_off.push(succ_flat.len() as u32);
+            succ_flat.extend(instance.successors(id).iter().map(|&s| s as u32));
+        }
+        dev_off.push(dev_flat.len() as u32);
+        pred_off.push(pred_flat.len() as u32);
+        succ_off.push(succ_flat.len() as u32);
+        FlatInstance {
+            num_tasks: n,
+            num_devices: instance.num_devices(),
+            memory_capacity: instance.memory_capacity(),
+            initial_memory: instance.initial_memory().to_vec(),
+            device_loads: (0..instance.num_devices())
+                .map(|d| instance.device_load(d))
+                .collect(),
+            durations: instance.tasks().iter().map(|t| t.duration).collect(),
+            memories: instance.tasks().iter().map(|t| t.memory).collect(),
+            static_est: (0..n)
+                .map(|i| {
+                    let id = TaskId::from_index(i);
+                    instance.task(id).release.max(windows.earliest_start(id))
+                })
+                .collect(),
+            tails: (0..n)
+                .map(|i| windows.tail(TaskId::from_index(i)))
+                .collect(),
+            dev_off,
+            dev_flat,
+            pred_off,
+            pred_flat,
+            succ_off,
+            succ_flat,
+        }
+    }
+
+    #[inline]
+    fn devices(&self, i: usize) -> &[u32] {
+        &self.dev_flat[self.dev_off[i] as usize..self.dev_off[i + 1] as usize]
+    }
+
+    #[inline]
+    fn preds(&self, i: usize) -> &[u32] {
+        &self.pred_flat[self.pred_off[i] as usize..self.pred_off[i + 1] as usize]
+    }
+
+    #[inline]
+    fn succs(&self, i: usize) -> &[u32] {
+        &self.succ_flat[self.succ_off[i] as usize..self.succ_off[i + 1] as usize]
+    }
+}
+
+/// Mutable search state threaded through the DFS.
+pub(super) struct SearchContext<'a> {
+    pub(super) flat: &'a FlatInstance,
+    pub(super) config: &'a SolverConfig,
+    pub(super) deadline: Option<u64>,
+    pub(super) best_makespan: Option<u64>,
+    pub(super) best_starts: Vec<u64>,
+    pub(super) upper: u64,
+    pub(super) stats: SolveStats,
+    pub(super) started: Instant,
+    dominance: Option<DominanceTable>,
+    pub(super) stop: bool,
+    scheduled: Vec<bool>,
+    mask_valid: bool,
+    cur_mask: u128,
+    starts: Vec<u64>,
+    remaining_preds: Vec<u32>,
+    device_finish: Vec<u64>,
+    device_mem: Vec<i64>,
+    device_remaining: Vec<u64>,
+    pub(super) unscheduled: usize,
+    /// Dense list of unscheduled task ids (unordered; maintained by
+    /// swap-remove so the per-node scans skip scheduled tasks entirely).
+    unscheduled_list: Vec<u32>,
+    /// Position of each task in `unscheduled_list` while it is unscheduled.
+    unscheduled_pos: Vec<u32>,
+    lower: u64,
+    /// Largest finish time among each task's *scheduled* predecessors,
+    /// maintained incrementally by `apply`/`unapply` so the hot bound pass
+    /// never walks predecessor lists.
+    pred_est: Vec<u64>,
+    /// Dynamic ESTs cached by the bound pass and reused when collecting
+    /// branching candidates (valid for unscheduled tasks of the current
+    /// node).
+    est_cache: Vec<u64>,
+    /// Persistent undo stack: `(device, finish, mem, remaining)` snapshots.
+    undo: Vec<(u32, u64, i64, u64)>,
+    /// Undo stack for `pred_est`: `(task, previous value)` snapshots.
+    undo_pred: Vec<(u32, u64)>,
+    /// Per-depth candidate buffers, reused across visits.
+    cand_pool: Vec<Vec<(u64, u64, u32)>>,
+    /// Decision path from the root to the current node (task ids, in apply
+    /// order); what [`SubtreeTask`]s are cut from.
+    path: Vec<u32>,
+    pub(super) shared: Option<&'a SharedSearch>,
+    /// This worker's id within the parallel pool (0 for the serial search);
+    /// stamped on shared-dominance records to attribute cross-worker hits.
+    worker: u32,
+    pub(super) nodes_since_flush: u64,
+}
+
+impl<'a> SearchContext<'a> {
+    pub(super) fn new(
+        flat: &'a FlatInstance,
+        config: &'a SolverConfig,
+        deadline: Option<u64>,
+        upper: u64,
+        lower: u64,
+        started: Instant,
+    ) -> Self {
+        let n = flat.num_tasks;
+        SearchContext {
+            flat,
+            config,
+            deadline,
+            best_makespan: None,
+            best_starts: vec![0; n],
+            upper,
+            stats: SolveStats::default(),
+            started,
+            dominance: (config.dominance_memo_limit > 0)
+                .then(|| DominanceTable::new(flat.num_devices, config.dominance_memo_limit)),
+            stop: false,
+            scheduled: vec![false; n],
+            mask_valid: n <= 128,
+            cur_mask: 0,
+            starts: vec![0; n],
+            remaining_preds: (0..n).map(|i| flat.preds(i).len() as u32).collect(),
+            device_finish: vec![0; flat.num_devices],
+            device_mem: flat.initial_memory.clone(),
+            device_remaining: flat.device_loads.clone(),
+            unscheduled: n,
+            unscheduled_list: (0..n as u32).collect(),
+            unscheduled_pos: (0..n as u32).collect(),
+            lower,
+            pred_est: vec![0; n],
+            est_cache: vec![0; n],
+            undo: Vec::with_capacity(2 * n),
+            undo_pred: Vec::with_capacity(2 * n),
+            cand_pool: (0..=n).map(|_| Vec::new()).collect(),
+            path: Vec::with_capacity(n),
+            shared: None,
+            worker: 0,
+            nodes_since_flush: 0,
+        }
+    }
+
+    /// A fresh worker context sharing the root state of `self` (used by the
+    /// work-stealing parallel search). Statistics start empty; dominance
+    /// pruning goes through the *shared* table instead of a private one.
+    pub(super) fn fork(&self, shared: &'a SharedSearch, worker: u32) -> Self {
+        let n = self.flat.num_tasks;
+        SearchContext {
+            flat: self.flat,
+            config: self.config,
+            deadline: self.deadline,
+            best_makespan: None,
+            best_starts: vec![0; n],
+            upper: self.upper,
+            stats: SolveStats::default(),
+            started: self.started,
+            dominance: None,
+            stop: false,
+            scheduled: self.scheduled.clone(),
+            mask_valid: self.mask_valid,
+            cur_mask: self.cur_mask,
+            starts: self.starts.clone(),
+            remaining_preds: self.remaining_preds.clone(),
+            device_finish: self.device_finish.clone(),
+            device_mem: self.device_mem.clone(),
+            device_remaining: self.device_remaining.clone(),
+            unscheduled: self.unscheduled,
+            unscheduled_list: self.unscheduled_list.clone(),
+            unscheduled_pos: self.unscheduled_pos.clone(),
+            lower: self.lower,
+            pred_est: self.pred_est.clone(),
+            est_cache: vec![0; n],
+            undo: Vec::with_capacity(2 * n),
+            undo_pred: Vec::with_capacity(2 * n),
+            cand_pool: (0..=n).map(|_| Vec::new()).collect(),
+            path: Vec::with_capacity(n),
+            shared: Some(shared),
+            worker,
+            nodes_since_flush: 0,
+        }
+    }
+
+    pub(super) fn deadline_satisfied(&self) -> bool {
+        self.deadline.is_some() && self.best_makespan.is_some()
+    }
+
+    /// `true` when this worker must stop: shared node budget exhausted,
+    /// wall-clock/abort limits fired (recorded in the shared `limit_stop`
+    /// flag so idle peers stop too), or another worker raised a stop flag.
+    fn limits_hit(&mut self) -> bool {
+        if let Some(shared) = self.shared {
+            self.nodes_since_flush += 1;
+            // The shared counter is read every node (cheap: the line is
+            // mostly unmodified) so a small budget is respected promptly;
+            // the write is batched to keep workers off each other's cache
+            // line. Worst-case overshoot is one flush batch per worker.
+            if shared.nodes.load(Ordering::Relaxed) + self.nodes_since_flush
+                >= self.config.max_nodes
+            {
+                shared
+                    .nodes
+                    .fetch_add(self.nodes_since_flush, Ordering::Relaxed);
+                self.nodes_since_flush = 0;
+                shared.limit_stop.store(true, Ordering::Relaxed);
+                return true;
+            }
+            if self.nodes_since_flush >= shared.flush_interval {
+                shared
+                    .nodes
+                    .fetch_add(self.nodes_since_flush, Ordering::Relaxed);
+                self.nodes_since_flush = 0;
+                if let Some(limit) = self.config.time_limit {
+                    if self.started.elapsed() > limit {
+                        shared.limit_stop.store(true, Ordering::Relaxed);
+                        return true;
+                    }
+                }
+                // Cooperative cancellation: an external abort (token or
+                // deadline) stops every worker at its next flush boundary —
+                // including workers deep inside stolen subtrees, which run
+                // this same check.
+                if self.config.abort.should_stop() {
+                    shared.limit_stop.store(true, Ordering::Relaxed);
+                    return true;
+                }
+                if shared.stop.load(Ordering::Relaxed) || shared.limit_stop.load(Ordering::Relaxed)
+                {
+                    return true;
+                }
+            }
+            false
+        } else {
+            if self.stats.nodes >= self.config.max_nodes {
+                return true;
+            }
+            // Clock reads and abort checks are sampled at batch boundaries;
+            // checking them on every node would be wasteful.
+            if self.stats.nodes.is_multiple_of(FLUSH_INTERVAL) {
+                if let Some(limit) = self.config.time_limit {
+                    if self.started.elapsed() > limit {
+                        return true;
+                    }
+                }
+                if self.config.abort.should_stop() {
+                    return true;
+                }
+            }
+            false
+        }
+    }
+
+    /// Dynamic earliest start of an unscheduled task in the current state.
+    #[inline]
+    fn compute_est(&self, i: usize) -> u64 {
+        let mut est = self.flat.static_est[i].max(self.pred_est[i]);
+        for &d in self.flat.devices(i) {
+            est = est.max(self.device_finish[d as usize]);
+        }
+        est
+    }
+
+    /// Lower bound on the best completion reachable from the current node.
+    ///
+    /// Also fills [`Self::est_cache`] for every unscheduled task, which the
+    /// candidate collection of the same node reuses.
+    pub(super) fn node_lower_bound(&mut self) -> u64 {
+        let flat = self.flat;
+        let mut bound = self.lower;
+        let mut max_finish = 0u64;
+        for d in 0..flat.num_devices {
+            let finish = self.device_finish[d];
+            max_finish = max_finish.max(finish);
+            bound = bound.max(finish + self.device_remaining[d]);
+        }
+        bound = bound.max(max_finish);
+        for k in 0..self.unscheduled_list.len() {
+            let i = self.unscheduled_list[k] as usize;
+            // Not necessarily ready yet, but the static EST plus scheduled
+            // predecessors plus device availability still bounds its start.
+            let est = self.compute_est(i);
+            self.est_cache[i] = est;
+            bound = bound.max(est + flat.durations[i] + flat.tails[i]);
+        }
+        bound
+    }
+
+    /// Pulls the shared incumbent into this worker's exclusive bound.
+    pub(super) fn refresh_shared_upper(&mut self) {
+        if let Some(shared) = self.shared {
+            let global = shared.upper.load(Ordering::Relaxed);
+            if global < self.upper {
+                self.upper = global;
+            }
+        }
+    }
+
+    /// Records a completed schedule as the new incumbent if it improves.
+    pub(super) fn record_incumbent(&mut self) {
+        let makespan = self.device_finish.iter().copied().max().unwrap_or(0);
+        if makespan >= self.upper {
+            return;
+        }
+        self.upper = makespan;
+        self.best_makespan = Some(makespan);
+        self.best_starts.copy_from_slice(&self.starts);
+        self.stats.incumbents += 1;
+        if let Some(shared) = self.shared {
+            let mut current = shared.upper.load(Ordering::Relaxed);
+            while makespan < current {
+                match shared.upper.compare_exchange_weak(
+                    current,
+                    makespan,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(observed) => current = observed,
+                }
+            }
+        }
+        if self.deadline.is_some() {
+            // Satisfiability mode: the first schedule under the deadline is
+            // enough.
+            self.stop = true;
+            if let Some(shared) = self.shared {
+                shared.stop.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Fills the depth-local candidate buffer with every ready,
+    /// memory-feasible task as `(est, u64::MAX - tail, task)` and sorts it.
+    /// Returns the buffer (put it back with [`Self::restore_candidates`]).
+    ///
+    /// Relies on [`Self::node_lower_bound`] having populated
+    /// [`Self::est_cache`] for the current node.
+    pub(super) fn collect_candidates(&mut self, depth: usize) -> Vec<(u64, u64, u32)> {
+        let flat = self.flat;
+        let mut candidates = std::mem::take(&mut self.cand_pool[depth]);
+        candidates.clear();
+        for k in 0..self.unscheduled_list.len() {
+            let i = self.unscheduled_list[k] as usize;
+            if self.remaining_preds[i] != 0 {
+                continue;
+            }
+            if let Some(cap) = flat.memory_capacity {
+                let memory = flat.memories[i];
+                let fits = flat
+                    .devices(i)
+                    .iter()
+                    .all(|&d| self.device_mem[d as usize] + memory <= cap);
+                if !fits {
+                    continue;
+                }
+            }
+            let tail = flat.tails[i] + flat.durations[i];
+            candidates.push((self.est_cache[i], u64::MAX - tail, i as u32));
+        }
+        candidates.sort_unstable();
+        candidates
+    }
+
+    pub(super) fn restore_candidates(&mut self, depth: usize, buffer: Vec<(u64, u64, u32)>) {
+        self.cand_pool[depth] = buffer;
+    }
+
+    /// Schedules task `i` at `est`, pushing undo records for its devices and
+    /// successor `pred_est` entries. Returns the undo-stack watermarks to
+    /// pass to [`Self::unapply`].
+    fn apply(&mut self, i: usize, est: u64) -> (usize, usize) {
+        let flat = self.flat;
+        let duration = flat.durations[i];
+        let memory = flat.memories[i];
+        let undo_base = (self.undo.len(), self.undo_pred.len());
+        self.scheduled[i] = true;
+        self.cur_mask |= 1u128 << (i & 127);
+        self.starts[i] = est;
+        self.unscheduled -= 1;
+        self.path.push(i as u32);
+        // Swap-remove from the dense unscheduled list (order is irrelevant:
+        // candidates are re-sorted per node).
+        let pos = self.unscheduled_pos[i] as usize;
+        let last = self
+            .unscheduled_list
+            .pop()
+            .expect("list tracks unscheduled");
+        if last as usize != i {
+            self.unscheduled_list[pos] = last;
+            self.unscheduled_pos[last as usize] = pos as u32;
+        }
+        for &d in flat.devices(i) {
+            let d = d as usize;
+            self.undo.push((
+                d as u32,
+                self.device_finish[d],
+                self.device_mem[d],
+                self.device_remaining[d],
+            ));
+            self.device_finish[d] = est + duration;
+            self.device_mem[d] += memory;
+            self.device_remaining[d] -= duration;
+        }
+        let finish = est + duration;
+        for &s in flat.succs(i) {
+            let s = s as usize;
+            self.remaining_preds[s] -= 1;
+            if finish > self.pred_est[s] {
+                self.undo_pred.push((s as u32, self.pred_est[s]));
+                self.pred_est[s] = finish;
+            }
+        }
+        undo_base
+    }
+
+    /// Reverts [`Self::apply`] down to `undo_base`.
+    fn unapply(&mut self, i: usize, undo_base: (usize, usize)) {
+        let flat = self.flat;
+        for &s in flat.succs(i) {
+            self.remaining_preds[s as usize] += 1;
+        }
+        while self.undo_pred.len() > undo_base.1 {
+            let (s, previous) = self.undo_pred.pop().unwrap();
+            self.pred_est[s as usize] = previous;
+        }
+        while self.undo.len() > undo_base.0 {
+            let (d, finish, mem, remaining) = self.undo.pop().unwrap();
+            let d = d as usize;
+            self.device_finish[d] = finish;
+            self.device_mem[d] = mem;
+            self.device_remaining[d] = remaining;
+        }
+        self.scheduled[i] = false;
+        self.cur_mask &= !(1u128 << (i & 127));
+        self.unscheduled += 1;
+        self.unscheduled_pos[i] = self.unscheduled_list.len() as u32;
+        self.unscheduled_list.push(i as u32);
+        self.path.pop();
+    }
+
+    /// Dominance pruning on (scheduled set, device finish vector): the serial
+    /// search consults its private table, parallel workers the shared sharded
+    /// one. Returns `true` if the current node is dominated.
+    fn dominance_pruned(&mut self) -> bool {
+        if !self.mask_valid {
+            return false;
+        }
+        if let Some(shared) = self.shared {
+            if let Some(table) = &shared.dominance {
+                if let Some(owner) =
+                    table.check_and_insert(self.cur_mask, &self.device_finish, self.worker)
+                {
+                    self.stats.pruned_dominance += 1;
+                    if owner != self.worker {
+                        self.stats.shared_memo_hits += 1;
+                    }
+                    return true;
+                }
+            }
+        } else if let Some(table) = &mut self.dominance {
+            if table
+                .check_and_insert(self.cur_mask, &self.device_finish, self.worker)
+                .is_some()
+            {
+                self.stats.pruned_dominance += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Offers the subtree rooted at child `task` of the current node to the
+    /// work-stealing pool instead of exploring it inline. Only shallow nodes
+    /// (depth below [`SolverConfig::steal_depth`]) spawn, and only while the
+    /// queues are hungry (below the spawn cap) — deep or saturated nodes
+    /// keep the cheap sequential loop. Returns `true` if the subtree was
+    /// published.
+    fn try_offload(&mut self, depth: usize, task: u32) -> bool {
+        let Some(shared) = self.shared else {
+            return false;
+        };
+        if depth >= self.config.steal_depth || shared.queues.queued() >= shared.spawn_cap {
+            return false;
+        }
+        let mut path = Vec::with_capacity(self.path.len() + 1);
+        path.extend_from_slice(&self.path);
+        path.push(task);
+        // Count before publishing, so a thief finishing the task quickly can
+        // never drive `outstanding` to zero while the spawn is mid-flight.
+        shared.outstanding.fetch_add(1, Ordering::Relaxed);
+        shared
+            .queues
+            .push(self.worker as usize, SubtreeTask { path });
+        true
+    }
+
+    /// Replays a stolen (or self-deferred) subtree task from the root state,
+    /// explores it, and restores the root state.
+    ///
+    /// The replay recomputes each decision's earliest start with
+    /// [`Self::compute_est`] — the same deterministic function the producing
+    /// node used — so the reached state is identical to the producer's.
+    pub(super) fn run_task(&mut self, task: &SubtreeTask) {
+        debug_assert!(self.undo.is_empty() && self.path.is_empty());
+        let mut applied = Vec::with_capacity(task.path.len());
+        for &t in &task.path {
+            let i = t as usize;
+            let est = self.compute_est(i);
+            applied.push((i, self.apply(i, est)));
+        }
+        self.refresh_shared_upper();
+        self.dfs(task.path.len());
+        for (i, undo_base) in applied.into_iter().rev() {
+            self.unapply(i, undo_base);
+        }
+    }
+
+    pub(super) fn dfs(&mut self, depth: usize) {
+        if self.stop {
+            return;
+        }
+        self.stats.nodes += 1;
+        self.refresh_shared_upper();
+        if self.limits_hit() {
+            self.stop = true;
+            return;
+        }
+
+        if self.unscheduled == 0 {
+            self.record_incumbent();
+            return;
+        }
+
+        let bound = self.node_lower_bound();
+        if bound >= self.upper {
+            self.stats.pruned_bound += 1;
+            return;
+        }
+
+        if self.dominance_pruned() {
+            return;
+        }
+
+        let candidates = self.collect_candidates(depth);
+        // An empty buffer is a dead end: ready tasks exist but none fits in
+        // memory, or the remaining tasks all wait on unscheduled predecessors
+        // that are themselves blocked. Backtrack.
+        for (idx, &(est, _, i)) in candidates.iter().enumerate() {
+            if self.stop {
+                break;
+            }
+            // The first child is always explored inline (there must be
+            // progress even when the queues are saturated); later siblings
+            // are offered to the pool at shallow depths.
+            if idx > 0 && self.try_offload(depth, i) {
+                continue;
+            }
+            let i = i as usize;
+            let undo_base = self.apply(i, est);
+            self.dfs(depth + 1);
+            self.unapply(i, undo_base);
+        }
+        self.restore_candidates(depth, candidates);
+    }
+}

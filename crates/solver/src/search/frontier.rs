@@ -1,0 +1,136 @@
+//! Work-stealing frontier: subtree tasks and the per-worker deques they
+//! flow through.
+//!
+//! A [`SubtreeTask`] names a branch node by the decision path that reaches it
+//! from the root — the sequence of task ids applied in order. The state is
+//! *not* captured: the stealing worker replays the path against its own
+//! context (each application recomputes the same deterministic earliest start
+//! time the producing worker used), which costs a handful of `apply` calls
+//! and keeps tasks a few words long.
+//!
+//! Each worker owns one deque. The owner pushes and pops at the back (LIFO:
+//! it dives into the most recently deferred, deepest subtree, keeping its
+//! working set hot), while thieves steal from the front (FIFO: they take the
+//! oldest, shallowest — and therefore largest — subtree, which amortises the
+//! replay cost over the most work). Deques are `Mutex<VecDeque>`s rather
+//! than lock-free Chase–Lev deques: the solver crate forbids `unsafe`, tasks
+//! are coarse (whole subtrees spawned only at shallow depths), and the
+//! spawn throttle keeps queue traffic orders of magnitude below the node
+//! rate, so an uncontended mutex per transfer is noise.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One unit of stealable work: the subtree rooted at the node reached by
+/// applying `path` (task ids, in order) from the root state.
+#[derive(Debug, Clone)]
+pub(super) struct SubtreeTask {
+    /// Decision path from the root to the subtree's root node.
+    pub(super) path: Vec<u32>,
+}
+
+/// The per-worker task deques of one parallel solve.
+#[derive(Debug)]
+pub(super) struct TaskQueues {
+    queues: Vec<Mutex<VecDeque<SubtreeTask>>>,
+    /// Tasks currently sitting in some deque (not yet popped or stolen).
+    queued: AtomicUsize,
+}
+
+impl TaskQueues {
+    pub(super) fn new(workers: usize) -> Self {
+        TaskQueues {
+            queues: (0..workers.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            queued: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of tasks currently queued across all workers (used by the
+    /// spawn throttle; a relaxed estimate is fine).
+    pub(super) fn queued(&self) -> usize {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Publishes a task at the back of `worker`'s deque.
+    pub(super) fn push(&self, worker: usize, task: SubtreeTask) {
+        self.queues[worker]
+            .lock()
+            .expect("task deque lock")
+            .push_back(task);
+        self.queued.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Pops the most recently pushed task of `worker`'s own deque.
+    pub(super) fn pop(&self, worker: usize) -> Option<SubtreeTask> {
+        let task = self.queues[worker]
+            .lock()
+            .expect("task deque lock")
+            .pop_back();
+        if task.is_some() {
+            self.queued.fetch_sub(1, Ordering::Relaxed);
+        }
+        task
+    }
+
+    /// Steals the oldest task from some other worker's deque, scanning
+    /// victims round-robin starting after `thief`.
+    pub(super) fn steal(&self, thief: usize) -> Option<SubtreeTask> {
+        let n = self.queues.len();
+        for offset in 1..n {
+            let victim = (thief + offset) % n;
+            let task = self.queues[victim]
+                .lock()
+                .expect("task deque lock")
+                .pop_front();
+            if task.is_some() {
+                self.queued.fetch_sub(1, Ordering::Relaxed);
+                return task;
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(path: &[u32]) -> SubtreeTask {
+        SubtreeTask {
+            path: path.to_vec(),
+        }
+    }
+
+    #[test]
+    fn owner_pops_lifo_thief_steals_fifo() {
+        let queues = TaskQueues::new(2);
+        queues.push(0, task(&[1]));
+        queues.push(0, task(&[2]));
+        queues.push(0, task(&[3]));
+        assert_eq!(queues.queued(), 3);
+        // The owner takes the most recent push...
+        assert_eq!(queues.pop(0).unwrap().path, vec![3]);
+        // ...while a thief takes the oldest.
+        assert_eq!(queues.steal(1).unwrap().path, vec![1]);
+        assert_eq!(queues.pop(0).unwrap().path, vec![2]);
+        assert_eq!(queues.queued(), 0);
+        assert!(queues.pop(0).is_none());
+        assert!(queues.steal(1).is_none());
+    }
+
+    #[test]
+    fn steal_scans_all_victims() {
+        let queues = TaskQueues::new(4);
+        queues.push(2, task(&[7]));
+        // Worker 0 finds the task even though victims 1 and 3 are empty.
+        assert_eq!(queues.steal(0).unwrap().path, vec![7]);
+        // A worker never steals from itself: the only queued task lives in
+        // deque 1, so steal(1) comes up empty while pop(1) finds it.
+        queues.push(1, task(&[9]));
+        assert!(queues.steal(1).is_none());
+        assert_eq!(queues.pop(1).unwrap().path, vec![9]);
+    }
+}

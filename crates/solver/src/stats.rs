@@ -1,6 +1,7 @@
 //! Search statistics reported by the solver.
 
 use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// Statistics describing one solver invocation.
@@ -17,6 +18,13 @@ pub struct SolveStats {
     pub pruned_dominance: u64,
     /// Number of improving incumbent solutions found.
     pub incumbents: u64,
+    /// Number of subtree tasks this solve's workers stole from another
+    /// worker's queue (0 for single-threaded solves).
+    pub steals: u64,
+    /// Number of dominance prunes whose dominating record was inserted by a
+    /// *different* worker — the exploration the shared dominance table
+    /// deduplicated across threads (0 for single-threaded solves).
+    pub shared_memo_hits: u64,
     /// Wall-clock time spent in the search.
     #[serde(with = "duration_serde")]
     pub elapsed: Duration,
@@ -30,6 +38,84 @@ impl SolveStats {
     #[must_use]
     pub fn pruned(&self) -> u64 {
         self.pruned_bound + self.pruned_dominance
+    }
+}
+
+/// Aggregate solver effort across many solve calls.
+///
+/// A higher-level search (Tessel's repetend enumeration, the schedule-search
+/// daemon) issues dozens to thousands of solver invocations per run; these
+/// totals summarise them for observability endpoints without keeping every
+/// individual [`SolveStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolverTotals {
+    /// Solver invocations recorded.
+    pub solves: u64,
+    /// Branch-and-bound nodes expanded across all solves.
+    pub nodes: u64,
+    /// Nodes pruned by the makespan lower bound.
+    pub pruned_bound: u64,
+    /// Nodes pruned by state dominance.
+    pub pruned_dominance: u64,
+    /// Subtree tasks stolen between parallel workers.
+    pub steals: u64,
+    /// Dominance prunes served by a record another worker inserted.
+    pub shared_memo_hits: u64,
+}
+
+impl SolverTotals {
+    /// Folds one solve's statistics into the totals.
+    pub fn absorb(&mut self, stats: &SolveStats) {
+        self.solves += 1;
+        self.nodes += stats.nodes;
+        self.pruned_bound += stats.pruned_bound;
+        self.pruned_dominance += stats.pruned_dominance;
+        self.steals += stats.steals;
+        self.shared_memo_hits += stats.shared_memo_hits;
+    }
+
+    /// Adds another totals record (e.g. from a different search run).
+    pub fn merge(&mut self, other: &SolverTotals) {
+        self.solves += other.solves;
+        self.nodes += other.nodes;
+        self.pruned_bound += other.pruned_bound;
+        self.pruned_dominance += other.pruned_dominance;
+        self.steals += other.steals;
+        self.shared_memo_hits += other.shared_memo_hits;
+    }
+}
+
+/// Shareable accumulator of [`SolverTotals`] across solver invocations.
+///
+/// Attach a clone via [`SolverConfig::stats_sink`] and every solve records its
+/// final [`SolveStats`] into the shared totals on completion — including
+/// solves issued concurrently from several threads (the portfolio search).
+/// Cloning shares the underlying accumulator, like [`CancelToken`].
+///
+/// [`SolverConfig::stats_sink`]: crate::SolverConfig::stats_sink
+/// [`CancelToken`]: crate::CancelToken
+#[derive(Debug, Clone, Default)]
+pub struct StatsSink {
+    totals: Arc<Mutex<SolverTotals>>,
+}
+
+impl StatsSink {
+    /// Creates an empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        StatsSink::default()
+    }
+
+    /// Records one completed solve (called by the solver; once per solve, so
+    /// the mutex is far off the hot path).
+    pub fn record(&self, stats: &SolveStats) {
+        self.totals.lock().expect("stats sink lock").absorb(stats);
+    }
+
+    /// A copy of the totals accumulated so far.
+    #[must_use]
+    pub fn totals(&self) -> SolverTotals {
+        *self.totals.lock().expect("stats sink lock")
     }
 }
 
@@ -68,12 +154,16 @@ mod tests {
             pruned_bound: 1,
             pruned_dominance: 2,
             incumbents: 3,
+            steals: 6,
+            shared_memo_hits: 5,
             elapsed: Duration::from_millis(1500),
             complete: true,
         };
         let json = serde_json::to_string(&stats).unwrap();
         let back: SolveStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back.nodes, 10);
+        assert_eq!(back.steals, 6);
+        assert_eq!(back.shared_memo_hits, 5);
         assert!(back.complete);
         assert!((back.elapsed.as_secs_f64() - 1.5).abs() < 1e-9);
     }
@@ -84,5 +174,53 @@ mod tests {
         assert_eq!(stats.nodes, 0);
         assert!(!stats.complete);
         assert_eq!(stats.elapsed, Duration::ZERO);
+        assert_eq!(stats.steals, 0);
+        assert_eq!(stats.shared_memo_hits, 0);
+    }
+
+    #[test]
+    fn sink_accumulates_across_clones() {
+        let sink = StatsSink::new();
+        let clone = sink.clone();
+        clone.record(&SolveStats {
+            nodes: 10,
+            pruned_bound: 2,
+            pruned_dominance: 3,
+            steals: 4,
+            shared_memo_hits: 1,
+            ..SolveStats::default()
+        });
+        sink.record(&SolveStats {
+            nodes: 5,
+            ..SolveStats::default()
+        });
+        let totals = sink.totals();
+        assert_eq!(totals.solves, 2);
+        assert_eq!(totals.nodes, 15);
+        assert_eq!(totals.pruned_bound, 2);
+        assert_eq!(totals.pruned_dominance, 3);
+        assert_eq!(totals.steals, 4);
+        assert_eq!(totals.shared_memo_hits, 1);
+
+        let mut merged = SolverTotals::default();
+        merged.merge(&totals);
+        merged.merge(&totals);
+        assert_eq!(merged.solves, 4);
+        assert_eq!(merged.nodes, 30);
+    }
+
+    #[test]
+    fn totals_serialize_round_trip() {
+        let totals = SolverTotals {
+            solves: 2,
+            nodes: 100,
+            pruned_bound: 10,
+            pruned_dominance: 20,
+            steals: 3,
+            shared_memo_hits: 7,
+        };
+        let json = serde_json::to_string(&totals).unwrap();
+        let back: SolverTotals = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, totals);
     }
 }
