@@ -32,14 +32,57 @@ fn usage() -> ! {
          \x20 metrics                             Prometheus metrics\n\
          \x20 cache                               list cache entries\n\
          \x20 inspect FINGERPRINT                 inspect one fingerprint\n\
+         \x20 cluster [--fp FINGERPRINT]          ring membership and peer health\n\
+         \x20                                     (--fp also reports the owner)\n\
+         \x20 fingerprint [--placement-file PATH | --shape KINDn]\n\
+         \x20                                     print the canonical fingerprint\n\
+         \x20                                     (computed locally, no daemon)\n\
          \x20 search [--placement-file PATH | --shape KINDn]\n\
+         \x20        [--rotate-devices N]\n\
          \x20        [--micro-batches N] [--max-repetend N] [--deadline-ms MS]\n\
          \x20        [--solver-threads N] [--repeat N]\n\
          \n\
          search --repeat N issues the request N times over one kept-alive\n\
-         TCP connection (later repeats hit the daemon's result cache)."
+         TCP connection (later repeats hit the daemon's result cache).\n\
+         search --rotate-devices N relabels the placement's devices by a\n\
+         rotation of N before sending — the daemon still answers from the\n\
+         canonical-fingerprint cache and translates the schedule back."
     );
     exit(2)
+}
+
+/// Builds the placement shared by `search` and `fingerprint`:
+/// `--placement-file PATH` or `--shape KINDn`.
+fn placement_from_flags(
+    path: Option<&str>,
+    shape: Option<&str>,
+) -> Option<tessel_core::ir::PlacementSpec> {
+    if let Some(path) = path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("error: cannot read {path}: {e}");
+                exit(1)
+            }
+        };
+        match serde_json::from_str(&text) {
+            Ok(parsed) => return Some(parsed),
+            Err(e) => {
+                eprintln!("error: {path} is not a valid placement: {e}");
+                exit(1)
+            }
+        }
+    }
+    if let Some(spec) = shape {
+        match parse_shape(spec) {
+            Some(built) => return Some(built),
+            None => {
+                eprintln!("error: unknown shape `{spec}` (try v4, x2, m8, k4, nn8)");
+                exit(1)
+            }
+        }
+    }
+    None
 }
 
 fn parse_shape(spec: &str) -> Option<tessel_core::ir::PlacementSpec> {
@@ -99,8 +142,42 @@ fn main() {
             };
             call(&addr, "GET", &format!("/v1/cache/{fingerprint}"), None)
         }
+        "cluster" => {
+            let path = match rest {
+                [] => "/v1/cluster".to_string(),
+                [flag, fingerprint] if flag == "--fp" => format!("/v1/cluster?fp={fingerprint}"),
+                _ => {
+                    eprintln!("error: cluster takes an optional --fp FINGERPRINT");
+                    usage()
+                }
+            };
+            call(&addr, "GET", &path, None)
+        }
+        "fingerprint" => {
+            let mut placement_file = None;
+            let mut shape = None;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--placement-file" => placement_file = it.next().map(String::as_str),
+                    "--shape" => shape = it.next().map(String::as_str),
+                    other => {
+                        eprintln!("error: unknown fingerprint flag `{other}`");
+                        usage()
+                    }
+                }
+            }
+            let Some(placement) = placement_from_flags(placement_file, shape) else {
+                eprintln!("error: fingerprint needs --placement-file or --shape");
+                usage()
+            };
+            println!("{}", placement.canonicalize().fingerprint);
+            exit(0)
+        }
         "search" => {
-            let mut placement = None;
+            let mut placement_file = None;
+            let mut shape = None;
+            let mut rotate_devices = 0usize;
             let mut request_micro_batches = None;
             let mut request_max_repetend = None;
             let mut deadline_ms = None;
@@ -111,32 +188,20 @@ fn main() {
                 match flag.as_str() {
                     "--placement-file" => {
                         let Some(path) = it.next() else { usage() };
-                        let text = match std::fs::read_to_string(path) {
-                            Ok(text) => text,
-                            Err(e) => {
-                                eprintln!("error: cannot read {path}: {e}");
-                                exit(1)
-                            }
-                        };
-                        match serde_json::from_str(&text) {
-                            Ok(parsed) => placement = Some(parsed),
-                            Err(e) => {
-                                eprintln!("error: {path} is not a valid placement: {e}");
-                                exit(1)
-                            }
-                        }
+                        placement_file = Some(path.as_str());
                     }
                     "--shape" => {
                         let Some(spec) = it.next() else { usage() };
-                        match parse_shape(spec) {
-                            Some(built) => placement = Some(built),
+                        shape = Some(spec.as_str());
+                    }
+                    "--rotate-devices" => {
+                        rotate_devices = match it.next().and_then(|v| v.parse().ok()) {
+                            Some(n) => n,
                             None => {
-                                eprintln!(
-                                    "error: unknown shape `{spec}` (try v4, x2, m8, k4, nn8)"
-                                );
-                                exit(1)
+                                eprintln!("error: --rotate-devices needs a count");
+                                usage()
                             }
-                        }
+                        };
                     }
                     "--micro-batches" => {
                         request_micro_batches = it.next().and_then(|v| v.parse().ok());
@@ -165,10 +230,26 @@ fn main() {
                     }
                 }
             }
-            let Some(placement) = placement else {
+            let Some(mut placement) = placement_from_flags(placement_file, shape) else {
                 eprintln!("error: search needs --placement-file or --shape");
                 usage()
             };
+            if rotate_devices > 0 {
+                // Relabel device d as (d + N) mod D, keeping block order.
+                // The canonical fingerprint is invariant under this, so a
+                // clustered daemon still serves the rotated request from the
+                // shared logical cache.
+                let d = placement.num_devices();
+                let perm: Vec<usize> = (0..d).map(|dev| (dev + rotate_devices) % d).collect();
+                let order: Vec<usize> = (0..placement.num_blocks()).collect();
+                placement = match placement.permuted(&perm, &order) {
+                    Ok(rotated) => rotated,
+                    Err(e) => {
+                        eprintln!("error: cannot rotate devices: {e}");
+                        exit(1)
+                    }
+                };
+            }
             let request = SearchRequest {
                 placement,
                 num_micro_batches: request_micro_batches,

@@ -6,21 +6,40 @@
 //!
 //! Prints the bound address on startup (useful with `--addr 127.0.0.1:0`)
 //! and serves until killed. See the crate docs for the HTTP routes.
+//!
+//! A fleet of daemons shares one logical cache when each member is started
+//! with its own `--node-id` and a `--peer ID=HOST:PORT` flag per sibling:
+//!
+//! ```bash
+//! tessel-server --addr 127.0.0.1:7700 --node-id a --peer b=127.0.0.1:7701
+//! tessel-server --addr 127.0.0.1:7701 --node-id b --peer a=127.0.0.1:7700
+//! ```
 
 use std::process::exit;
 use std::sync::Arc;
 use std::time::Duration;
-use tessel_service::{HttpServer, ScheduleService, ServerConfig, ServiceConfig};
+use tessel_service::{
+    ClusterConfig, HttpServer, PeerConfig, ScheduleService, ServerConfig, ServiceConfig,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: tessel-server [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
          \x20                  [--idle-timeout-ms MS] [--max-pipelined N]\n\
+         \x20                  [--max-conns-per-ip N]\n\
          \x20                  [--cache-file PATH] [--cache-capacity N] [--cache-shards N]\n\
+         \x20                  [--journal-compact-every N]\n\
          \x20                  [--portfolio-threads N] [--micro-batches N] [--max-repetend N]\n\
          \x20                  [--solver-threads N] [--max-solver-threads N]\n\
          \x20                  [--solver-steal-depth N] [--solver-memo-shards N]\n\
-         \x20                  [--default-deadline-ms MS]"
+         \x20                  [--default-deadline-ms MS]\n\
+         \x20                  [--node-id ID] [--peer ID=HOST:PORT]...\n\
+         \x20                  [--cluster-vnodes N] [--probe-interval-ms MS]\n\
+         \x20                  [--peer-timeout-ms MS] [--circuit-cooldown-ms MS]\n\
+         \n\
+         cluster mode: give this daemon a --node-id and one --peer flag per\n\
+         sibling; the fleet then shares one logical cache sharded by a\n\
+         consistent-hash ring over the canonical placement fingerprint."
     );
     exit(2)
 }
@@ -38,6 +57,12 @@ fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
 fn main() {
     let mut server_config = ServerConfig::default();
     let mut service_config = ServiceConfig::default();
+    let mut node_id: Option<String> = None;
+    let mut peers: Vec<PeerConfig> = Vec::new();
+    let mut cluster_vnodes: Option<usize> = None;
+    let mut probe_interval: Option<Duration> = None;
+    let mut peer_timeout: Option<Duration> = None;
+    let mut circuit_cooldown: Option<Duration> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -49,6 +74,9 @@ fn main() {
                 server_config.idle_timeout = Duration::from_millis(parse_value(&flag, args.next()));
             }
             "--max-pipelined" => server_config.max_pipelined = parse_value(&flag, args.next()),
+            "--max-conns-per-ip" => {
+                server_config.max_conns_per_ip = parse_value(&flag, args.next());
+            }
             "--cache-file" => {
                 service_config.cache_path = Some(parse_value::<String>(&flag, args.next()).into());
             }
@@ -56,6 +84,9 @@ fn main() {
                 service_config.cache.capacity_per_shard = parse_value(&flag, args.next());
             }
             "--cache-shards" => service_config.cache.shards = parse_value(&flag, args.next()),
+            "--journal-compact-every" => {
+                service_config.journal_compact_every = parse_value(&flag, args.next());
+            }
             "--portfolio-threads" => {
                 service_config.portfolio_threads = parse_value(&flag, args.next());
             }
@@ -81,9 +112,63 @@ fn main() {
                 service_config.default_deadline =
                     Some(Duration::from_millis(parse_value(&flag, args.next())));
             }
+            "--node-id" => node_id = Some(parse_value(&flag, args.next())),
+            "--peer" => {
+                let spec: String = parse_value(&flag, args.next());
+                let Some((id, addr)) = spec.split_once('=') else {
+                    eprintln!("error: --peer needs ID=HOST:PORT, got `{spec}`");
+                    usage()
+                };
+                peers.push(PeerConfig {
+                    node_id: id.to_string(),
+                    addr: addr.to_string(),
+                });
+            }
+            "--cluster-vnodes" => cluster_vnodes = Some(parse_value(&flag, args.next())),
+            "--probe-interval-ms" => {
+                probe_interval = Some(Duration::from_millis(parse_value(&flag, args.next())));
+            }
+            "--peer-timeout-ms" => {
+                peer_timeout = Some(Duration::from_millis(parse_value(&flag, args.next())));
+            }
+            "--circuit-cooldown-ms" => {
+                circuit_cooldown = Some(Duration::from_millis(parse_value(&flag, args.next())));
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown flag `{other}`");
+                usage()
+            }
+        }
+    }
+
+    match &node_id {
+        Some(node_id) => {
+            let mut cluster = ClusterConfig::new(node_id.clone(), peers);
+            if let Some(vnodes) = cluster_vnodes {
+                cluster.vnodes = vnodes;
+            }
+            if let Some(interval) = probe_interval {
+                cluster.probe_interval = interval;
+            }
+            if let Some(timeout) = peer_timeout {
+                cluster.peer_timeout = timeout;
+            }
+            if let Some(cooldown) = circuit_cooldown {
+                cluster.circuit_cooldown = cooldown;
+            }
+            service_config.cluster = Some(cluster);
+        }
+        None => {
+            // Cluster flags without an identity would be silently dead
+            // configuration; refuse instead.
+            let stray_cluster_flag = !peers.is_empty()
+                || cluster_vnodes.is_some()
+                || probe_interval.is_some()
+                || peer_timeout.is_some()
+                || circuit_cooldown.is_some();
+            if stray_cluster_flag {
+                eprintln!("error: cluster flags (--peer, --cluster-vnodes, --probe-interval-ms, --peer-timeout-ms, --circuit-cooldown-ms) require --node-id");
                 usage()
             }
         }
@@ -97,7 +182,7 @@ fn main() {
         }
     };
     let warm = service.cache_entries().len();
-    let server = match HttpServer::serve(service, &server_config) {
+    let server = match HttpServer::serve(service.clone(), &server_config) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("error: cannot bind {}: {e}", server_config.addr);
@@ -107,6 +192,23 @@ fn main() {
     println!("tessel-server listening on http://{}", server.local_addr());
     if warm > 0 {
         println!("cache warm-started with {warm} entries");
+    }
+    if let Some(cluster) = service.cluster() {
+        println!(
+            "cluster node `{}` in a ring of {:?}",
+            cluster.node_id(),
+            cluster.ring().nodes()
+        );
+        // Warm this node's shard of the logical cache from its peers without
+        // delaying readiness: the daemon serves (solving if needed) while
+        // the stream runs.
+        let warmer = service.clone();
+        std::thread::spawn(move || {
+            let warmed = warmer.warm_cache_from_peers();
+            if warmed > 0 {
+                println!("cluster warm-up streamed {warmed} entries from peers");
+            }
+        });
     }
     // Serve until the process is killed.
     loop {

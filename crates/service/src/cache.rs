@@ -1,17 +1,27 @@
-//! Sharded, lock-striped LRU result cache with JSON persistence.
+//! Sharded, lock-striped LRU result cache with append-only journal
+//! persistence.
 //!
 //! Keys combine the canonical placement [`Fingerprint`] with the search
 //! parameters, so the same placement searched for different micro-batch
 //! counts occupies distinct entries. The key space is striped across
 //! independently locked shards: concurrent requests for different placements
 //! never contend on the same mutex, and the per-shard LRU bookkeeping stays
-//! trivial. Snapshots of the whole cache serialize to a single JSON file so
-//! a restarted daemon starts warm.
+//! trivial.
+//!
+//! Persistence is an **append-only journal** ([`CacheJournal`]): every insert
+//! appends one JSON record (one line) instead of rewriting the whole cache,
+//! and every [`CacheJournal::compact_every`] appends the journal is compacted
+//! back to one record per live entry (atomically: temp file + rename). Replay
+//! tolerates a truncated tail — a daemon killed mid-append recovers every
+//! complete record and drops only the torn last line — while a file whose
+//! *first* record is unreadable is treated as an incompatible snapshot from
+//! an older daemon (cold start, not crash loop).
 
 use crate::wire::CacheEntryInfo;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::path::Path;
+use std::io::Write;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use tessel_core::fingerprint::Fingerprint;
@@ -258,7 +268,23 @@ impl ShardedCache {
         rows.into_iter().map(|(_, v)| v).collect()
     }
 
-    /// Serializes the whole cache to `path` (atomically: temp file + rename).
+    /// Every cached entry with its raw key, in no particular order. Feeds
+    /// journal compaction and the cluster warm-up export; does not bump LRU
+    /// positions or hit counts.
+    #[must_use]
+    pub fn export(&self) -> Vec<(u64, Arc<CachedSearch>)> {
+        let mut rows: Vec<(u64, Arc<CachedSearch>)> = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard lock");
+            for (&key, entry) in &shard.entries {
+                rows.push((key, entry.value.clone()));
+            }
+        }
+        rows
+    }
+
+    /// Writes the whole cache as a compacted journal to `path` (one JSON
+    /// record per line; atomically: temp file + rename).
     ///
     /// # Errors
     ///
@@ -276,31 +302,59 @@ impl ShardedCache {
             }
         }
         records.sort_by_key(|r| r.key);
-        let json = serde_json::to_string_pretty(&records)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut out = String::new();
+        for record in &records {
+            let json = serde_json::to_string(record)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            out.push_str(&json);
+            out.push('\n');
+        }
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, json + "\n")?;
+        std::fs::write(&tmp, out)?;
         std::fs::rename(&tmp, path)
     }
 
-    /// Loads entries from a snapshot previously written by
-    /// [`ShardedCache::save`]. Returns the number of entries restored; a
+    /// Replays a journal previously written by [`ShardedCache::save`] and
+    /// [`CacheJournal::append`]. Returns the number of records restored; a
     /// missing file restores nothing and is not an error.
+    ///
+    /// Later records win over earlier ones for the same key (appends are
+    /// newer than the compacted prefix). A torn or corrupt **tail** — the
+    /// signature of a crash mid-append — stops the replay at the last good
+    /// record with a warning instead of failing.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors other than "not found", and snapshot
-    /// parse failures.
+    /// Propagates filesystem errors other than "not found". A journal whose
+    /// *first* record is unreadable fails with `InvalidData` (an incompatible
+    /// format, e.g. a pre-journal whole-file snapshot).
     pub fn load(&self, path: &Path) -> std::io::Result<usize> {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
             Err(e) => return Err(e),
         };
-        let records: Vec<PersistedEntry> = serde_json::from_str(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         let mut restored = 0usize;
-        for record in records {
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record: PersistedEntry = match serde_json::from_str(line) {
+                Ok(record) => record,
+                Err(e) if restored == 0 => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("unreadable journal record: {e}"),
+                    ));
+                }
+                Err(_) => {
+                    eprintln!(
+                        "warning: cache journal {} has a torn tail; recovered {restored} records",
+                        path.display()
+                    );
+                    break;
+                }
+            };
             let key = CacheKey(record.key);
             self.insert(key, Arc::new(record.entry));
             let mut shard = self.shard(key).lock().expect("cache shard lock");
@@ -310,6 +364,109 @@ impl ShardedCache {
             restored += 1;
         }
         Ok(restored)
+    }
+}
+
+/// Append-only journal persistence for a [`ShardedCache`].
+///
+/// Each insert appends one record ([`CacheJournal::append`], O(entry) I/O)
+/// instead of rewriting the whole cache; after
+/// [`CacheJournal::compact_every`] appends the journal is rewritten to one
+/// record per live entry. Hit counts persist at compaction time (appends
+/// record an entry's hits as of its insert).
+#[derive(Debug)]
+pub struct CacheJournal {
+    path: PathBuf,
+    compact_every: usize,
+    appends_since_compact: Mutex<usize>,
+}
+
+impl CacheJournal {
+    /// A journal at `path`, compacting after every `compact_every` appends
+    /// (clamped to at least 1).
+    #[must_use]
+    pub fn new(path: PathBuf, compact_every: usize) -> Self {
+        CacheJournal {
+            path,
+            compact_every: compact_every.max(1),
+            appends_since_compact: Mutex::new(0),
+        }
+    }
+
+    /// The journal file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends after which [`CacheJournal::append`] triggers a compaction.
+    #[must_use]
+    pub fn compact_every(&self) -> usize {
+        self.compact_every
+    }
+
+    /// Replays the journal into `cache` (see [`ShardedCache::load`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedCache::load`].
+    pub fn replay(&self, cache: &ShardedCache) -> std::io::Result<usize> {
+        cache.load(&self.path)
+    }
+
+    /// Appends one freshly inserted entry, compacting from `cache` when the
+    /// append budget is used up. Returns `true` when this call compacted.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn append(
+        &self,
+        cache: &ShardedCache,
+        key: CacheKey,
+        entry: &CachedSearch,
+    ) -> std::io::Result<bool> {
+        let record = PersistedEntry {
+            key: key.raw(),
+            hits: 0,
+            entry: entry.clone(),
+        };
+        let json = serde_json::to_string(&record)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        // The append counter doubles as the serialization point: concurrent
+        // appenders write whole lines one at a time.
+        let mut appends = self
+            .appends_since_compact
+            .lock()
+            .expect("journal append lock");
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)?;
+        file.write_all(json.as_bytes())?;
+        file.write_all(b"\n")?;
+        *appends += 1;
+        if *appends >= self.compact_every {
+            cache.save(&self.path)?;
+            *appends = 0;
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Compacts the journal to one record per live entry now.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn compact(&self, cache: &ShardedCache) -> std::io::Result<()> {
+        let mut appends = self
+            .appends_since_compact
+            .lock()
+            .expect("journal append lock");
+        cache.save(&self.path)?;
+        *appends = 0;
+        Ok(())
     }
 }
 
@@ -423,6 +580,123 @@ mod tests {
         // A missing snapshot restores nothing.
         let cold = ShardedCache::new(&CacheConfig::default());
         assert_eq!(cold.load(&dir.join("absent.json")).unwrap(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn journal_dir() -> std::path::PathBuf {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn journal_appends_do_not_rewrite_and_replay_in_order() {
+        let path = journal_dir().join(format!("journal-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cache = ShardedCache::new(&CacheConfig::default());
+        let journal = CacheJournal::new(path.clone(), 100);
+        for fp in 1..=3u64 {
+            cache.insert(key(fp, 8), sample(fp, 8));
+            assert!(!journal.append(&cache, key(fp, 8), &sample(fp, 8)).unwrap());
+        }
+        // Three appends → three lines; no compaction rewrote the file.
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+
+        let warm = ShardedCache::new(&CacheConfig::default());
+        assert_eq!(warm.load(&path).unwrap(), 3);
+        for fp in 1..=3u64 {
+            assert_eq!(warm.get(key(fp, 8)).unwrap().fingerprint, Fingerprint(fp));
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn journal_compacts_after_the_append_budget() {
+        let path = journal_dir().join(format!("compact-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cache = ShardedCache::new(&CacheConfig::default());
+        let journal = CacheJournal::new(path.clone(), 2);
+        cache.insert(key(1, 8), sample(1, 8));
+        assert!(!journal.append(&cache, key(1, 8), &sample(1, 8)).unwrap());
+        // Re-inserting the same key twice would leave duplicate journal
+        // lines; the second append hits the budget and compacts back to one
+        // line per live entry.
+        cache.insert(key(1, 8), sample(1, 8));
+        assert!(journal.append(&cache, key(1, 8), &sample(1, 8)).unwrap());
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1, "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_journal_tail_recovers_the_complete_prefix() {
+        let path = journal_dir().join(format!("torn-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cache = ShardedCache::new(&CacheConfig::default());
+        let journal = CacheJournal::new(path.clone(), 100);
+        for fp in 1..=3u64 {
+            cache.insert(key(fp, 8), sample(fp, 8));
+            journal.append(&cache, key(fp, 8), &sample(fp, 8)).unwrap();
+        }
+        // Simulate a crash mid-append: cut the file inside the last record.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let last_line_start = text.trim_end().rfind('\n').unwrap() + 1;
+        let torn = &text[..last_line_start + 20];
+        std::fs::write(&path, torn).unwrap();
+
+        let recovered = ShardedCache::new(&CacheConfig::default());
+        assert_eq!(recovered.load(&path).unwrap(), 2, "torn tail dropped");
+        assert!(recovered.get(key(1, 8)).is_some());
+        assert!(recovered.get(key(2, 8)).is_some());
+        assert!(recovered.get(key(3, 8)).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compaction_after_replay_repairs_a_torn_journal() {
+        let path = journal_dir().join(format!("repair-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let cache = ShardedCache::new(&CacheConfig::default());
+        let journal = CacheJournal::new(path.clone(), 100);
+        for fp in 1..=2u64 {
+            cache.insert(key(fp, 8), sample(fp, 8));
+            journal.append(&cache, key(fp, 8), &sample(fp, 8)).unwrap();
+        }
+        // Crash mid-append: the last line is torn and has no newline.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 30]).unwrap();
+
+        // Restart sequence: replay, compact (the repair), then append more.
+        // Without the compaction the new record would concatenate onto the
+        // torn line and be lost (with everything after it) on the NEXT
+        // replay.
+        let recovered = ShardedCache::new(&CacheConfig::default());
+        let journal = CacheJournal::new(path.clone(), 100);
+        assert_eq!(journal.replay(&recovered).unwrap(), 1);
+        journal.compact(&recovered).unwrap();
+        recovered.insert(key(3, 8), sample(3, 8));
+        journal
+            .append(&recovered, key(3, 8), &sample(3, 8))
+            .unwrap();
+
+        let next = ShardedCache::new(&CacheConfig::default());
+        assert_eq!(next.load(&path).unwrap(), 2, "nothing silently dropped");
+        assert!(next.get(key(1, 8)).is_some());
+        assert!(next.get(key(3, 8)).is_some());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn incompatible_journal_head_is_invalid_data() {
+        let path = journal_dir().join(format!("old-format-{}.json", std::process::id()));
+        // A pre-journal whole-file snapshot (JSON array) must read as an
+        // incompatible format, which the service turns into a warned cold
+        // start.
+        std::fs::write(&path, "[\n  {\"key\": 1}\n]\n").unwrap();
+        let cache = ShardedCache::new(&CacheConfig::default());
+        let err = cache.load(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
         let _ = std::fs::remove_file(&path);
     }
 }

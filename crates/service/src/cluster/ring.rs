@@ -1,0 +1,162 @@
+//! Consistent-hash ring over canonical placement fingerprints.
+//!
+//! Every cluster member builds the same ring from the same membership list
+//! (its own node id plus every `--peer`): each node contributes
+//! [`HashRing::vnodes_per_node`] *virtual nodes* — hash points seeded by the
+//! node id — and a fingerprint is owned by the node whose next-clockwise
+//! point follows the fingerprint's own hash. Two properties make this the
+//! right sharding function for a fleet of schedule-search daemons:
+//!
+//! * **Balance**: with enough virtual nodes the key space splits close to
+//!   evenly, regardless of how the node ids themselves hash.
+//! * **Minimal disruption**: adding or removing one node only remaps the
+//!   keys adjacent to that node's points — every other fingerprint keeps its
+//!   owner, so a rolling restart does not churn the whole logical cache.
+//!
+//! Both properties are pinned down by the vendored-proptest suite in
+//! `crates/service/tests/ring_properties.rs`.
+
+use tessel_core::fingerprint::Fingerprint;
+
+/// Default virtual nodes contributed by each member.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// splitmix64 finalizer: decorrelates structured inputs (sequential vnode
+/// indices, short node-id hashes) into uniform ring positions.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over the node id: the per-node seed for its virtual-node stream.
+fn node_seed(node_id: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for byte in node_id.as_bytes() {
+        h ^= u64::from(*byte);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The consistent-hash ring. Immutable after construction — membership is
+/// static (`--peer` flags), so a changed fleet means a restarted ring.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Sorted hash points: `(position, node index)`.
+    points: Vec<(u64, u32)>,
+    /// Ring members, sorted and deduplicated.
+    nodes: Vec<String>,
+    vnodes_per_node: usize,
+}
+
+impl HashRing {
+    /// Builds the ring for `node_ids` with `vnodes` virtual nodes each
+    /// (clamped to at least 1). Duplicate ids collapse to one member, and the
+    /// member order does not matter — every daemon of the fleet derives the
+    /// identical ring from the identical membership set.
+    #[must_use]
+    pub fn new<I, S>(node_ids: I, vnodes: usize) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut nodes: Vec<String> = node_ids.into_iter().map(Into::into).collect();
+        nodes.sort();
+        nodes.dedup();
+        let vnodes_per_node = vnodes.max(1);
+        let mut points = Vec::with_capacity(nodes.len() * vnodes_per_node);
+        for (index, node) in nodes.iter().enumerate() {
+            let seed = node_seed(node);
+            for vnode in 0..vnodes_per_node {
+                points.push((mix(seed ^ mix(vnode as u64)), index as u32));
+            }
+        }
+        // Ties (astronomically unlikely) resolve to the lexicographically
+        // smaller node, identically on every member.
+        points.sort_unstable();
+        HashRing {
+            points,
+            nodes,
+            vnodes_per_node,
+        }
+    }
+
+    /// The ring members, sorted.
+    #[must_use]
+    pub fn nodes(&self) -> &[String] {
+        &self.nodes
+    }
+
+    /// Virtual nodes contributed by each member.
+    #[must_use]
+    pub fn vnodes_per_node(&self) -> usize {
+        self.vnodes_per_node
+    }
+
+    /// The member owning raw key `key`: the first hash point at or after
+    /// `mix(key)`, wrapping around the ring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ring was built from an empty membership list.
+    #[must_use]
+    pub fn owner_of_key(&self, key: u64) -> &str {
+        assert!(!self.points.is_empty(), "ring has no members");
+        let position = mix(key);
+        let index = match self.points.binary_search(&(position, 0)) {
+            Ok(i) => i,
+            Err(i) if i == self.points.len() => 0,
+            Err(i) => i,
+        };
+        &self.nodes[self.points[index].1 as usize]
+    }
+
+    /// The member owning `fingerprint`. All cache entries of one canonical
+    /// placement (every parameter combination) share the fingerprint, so they
+    /// colocate on one owner.
+    #[must_use]
+    pub fn owner_of(&self, fingerprint: Fingerprint) -> &str {
+        self.owner_of_key(fingerprint.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_is_order_insensitive_and_deduplicated() {
+        let a = HashRing::new(["alpha", "beta", "gamma"], 16);
+        let b = HashRing::new(["gamma", "alpha", "beta", "alpha"], 16);
+        assert_eq!(a.nodes(), b.nodes());
+        for key in 0..500u64 {
+            assert_eq!(a.owner_of_key(key), b.owner_of_key(key));
+        }
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        let ring = HashRing::new(["only"], 8);
+        for key in [0u64, 1, u64::MAX, 0xdead_beef] {
+            assert_eq!(ring.owner_of_key(key), "only");
+        }
+        assert_eq!(ring.vnodes_per_node(), 8);
+    }
+
+    #[test]
+    fn ownership_is_deterministic_per_fingerprint() {
+        let ring = HashRing::new(["a", "b"], 32);
+        let fp = Fingerprint(0x1234_5678_9abc_def0);
+        assert_eq!(ring.owner_of(fp), ring.owner_of(fp));
+        assert!(["a", "b"].contains(&ring.owner_of(fp)));
+    }
+
+    #[test]
+    #[should_panic(expected = "ring has no members")]
+    fn empty_ring_panics() {
+        let ring = HashRing::new(Vec::<String>::new(), 4);
+        let _ = ring.owner_of_key(1);
+    }
+}

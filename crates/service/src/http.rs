@@ -27,15 +27,24 @@
 //!   after [`ServerConfig::idle_timeout`], which also reaps slow-loris peers
 //!   that trickle a request forever.
 //!
+//! Request bodies arrive either with `Content-Length` or with
+//! `Transfer-Encoding: chunked` (decoded incrementally in the same state
+//! machine, trailers consumed and ignored). An optional per-IP accept cap
+//! ([`ServerConfig::max_conns_per_ip`]) drops over-cap connections at accept
+//! time, before any parsing.
+//!
 //! Routes:
 //!
-//! | Method | Path                     | Handler                          |
-//! |--------|--------------------------|----------------------------------|
-//! | POST   | `/v1/search`             | run or fetch a schedule search   |
-//! | GET    | `/v1/cache`              | list cache entries               |
-//! | GET    | `/v1/cache/{fp}`         | inspect one fingerprint          |
-//! | GET    | `/metrics`               | Prometheus text metrics          |
-//! | GET    | `/healthz`               | liveness probe                   |
+//! | Method | Path                        | Handler                            |
+//! |--------|-----------------------------|------------------------------------|
+//! | POST   | `/v1/search`                | run or fetch a schedule search     |
+//! | GET    | `/v1/cache`                 | list cache entries                 |
+//! | GET    | `/v1/cache/{fp}`            | inspect one fingerprint            |
+//! | PUT    | `/v1/cache/{fp}`            | accept a replicated entry (cluster)|
+//! | GET    | `/v1/cluster`               | ring membership and peer health    |
+//! | GET    | `/v1/cluster/export/{node}` | warm-up stream of `{node}`'s shard |
+//! | GET    | `/metrics`                  | Prometheus text metrics            |
+//! | GET    | `/healthz`                  | liveness probe                     |
 //!
 //! [`HttpClient`] is the matching keep-alive client used by `tessel-client`
 //! and the end-to-end tests; [`http_call`] is the one-shot
@@ -90,6 +99,10 @@ pub struct ServerConfig {
     pub idle_timeout: Duration,
     /// Pipelined requests accepted per connection before reads pause.
     pub max_pipelined: usize,
+    /// Open connections allowed per client IP; a connection arriving over
+    /// the cap is closed at accept (counted in
+    /// `tessel_http_rejected_per_ip_total`). `0` disables the cap.
+    pub max_conns_per_ip: usize,
 }
 
 impl Default for ServerConfig {
@@ -100,6 +113,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             idle_timeout: Duration::from_secs(60),
             max_pipelined: 32,
+            max_conns_per_ip: 0,
         }
     }
 }
@@ -125,6 +139,22 @@ impl HttpServer {
     /// Propagates socket bind and poller setup failures.
     pub fn serve(service: Arc<ScheduleService>, config: &ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
+        Self::serve_listener(service, listener, config)
+    }
+
+    /// Serves `service` on an already bound `listener` (`config.addr` is
+    /// ignored). The cluster tests bind both fleet members' listeners first
+    /// so each daemon can be configured with the other's real address before
+    /// either starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates poller setup failures.
+    pub fn serve_listener(
+        service: Arc<ScheduleService>,
+        listener: TcpListener,
+        config: &ServerConfig,
+    ) -> std::io::Result<Self> {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -180,6 +210,7 @@ impl HttpServer {
             listener,
             wake_rx,
             conns: HashMap::new(),
+            per_ip: HashMap::new(),
             next_token: TOKEN_FIRST_CONN,
             job_tx,
             completions,
@@ -187,6 +218,7 @@ impl HttpServer {
             stop: stop.clone(),
             idle_timeout: config.idle_timeout,
             max_pipelined: config.max_pipelined.max(1),
+            max_conns_per_ip: config.max_conns_per_ip,
             idle_deadline: None,
         };
         let loop_handle = std::thread::spawn(move || event_loop.run());
@@ -261,8 +293,9 @@ struct Conn {
     stream: TcpStream,
     /// Unparsed request bytes.
     read_buf: Vec<u8>,
-    /// `read_buf` prefix already scanned for the head terminator.
-    scanned: usize,
+    /// Incremental-parse progress over `read_buf` (head scan + chunked-body
+    /// decode).
+    cursor: ParseCursor,
     /// Encoded responses waiting for the socket.
     write_buf: Vec<u8>,
     /// `write_buf` prefix already written.
@@ -284,6 +317,8 @@ struct Conn {
     peer_closed: bool,
     /// Interest currently registered with the poller.
     interest: Interest,
+    /// Source IP, for the per-IP accept cap bookkeeping.
+    peer_ip: Option<std::net::IpAddr>,
 }
 
 impl Conn {
@@ -314,6 +349,8 @@ struct EventLoop {
     listener: TcpListener,
     wake_rx: PipeReader,
     conns: HashMap<u64, Conn>,
+    /// Open connections per source IP (entries removed at zero).
+    per_ip: HashMap<std::net::IpAddr, usize>,
     next_token: u64,
     job_tx: SyncSender<Job>,
     completions: Arc<Mutex<Vec<Completion>>>,
@@ -321,6 +358,8 @@ struct EventLoop {
     stop: Arc<AtomicBool>,
     idle_timeout: Duration,
     max_pipelined: usize,
+    /// Open connections allowed per source IP (`0` = unlimited).
+    max_conns_per_ip: usize,
     /// Lower bound on the earliest idle-connection deadline, maintained in
     /// O(1) as connections go idle. Activity only pushes real deadlines
     /// later, so a sweep scheduled from this bound can fire early (and find
@@ -406,7 +445,18 @@ impl EventLoop {
     fn accept_ready(&mut self) {
         loop {
             match self.listener.accept() {
-                Ok((stream, _peer)) => {
+                Ok((stream, peer)) => {
+                    let ip = peer.ip();
+                    if self.max_conns_per_ip > 0
+                        && self.per_ip.get(&ip).copied().unwrap_or(0) >= self.max_conns_per_ip
+                    {
+                        // Dropping the stream closes it: the cheapest
+                        // possible rejection, before any read or parse work.
+                        self.transport
+                            .rejected_per_ip
+                            .fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
                     if stream.set_nonblocking(true).is_err() {
                         continue;
                     }
@@ -421,12 +471,13 @@ impl EventLoop {
                     {
                         continue;
                     }
+                    *self.per_ip.entry(ip).or_insert(0) += 1;
                     self.conns.insert(
                         token,
                         Conn {
                             stream,
                             read_buf: Vec::new(),
-                            scanned: 0,
+                            cursor: ParseCursor::default(),
                             write_buf: Vec::new(),
                             written: 0,
                             next_seq: 0,
@@ -437,6 +488,7 @@ impl EventLoop {
                             draining: false,
                             peer_closed: false,
                             interest,
+                            peer_ip: Some(ip),
                         },
                     );
                     self.transport
@@ -620,7 +672,7 @@ impl EventLoop {
                 if conn.draining || conn.in_flight >= self.max_pipelined {
                     return;
                 }
-                match try_parse(&conn.read_buf, &mut conn.scanned) {
+                match try_parse(&conn.read_buf, &mut conn.cursor) {
                     ParseStatus::NeedMore => return,
                     ParseStatus::Error(message) => {
                         conn.in_flight += 1;
@@ -638,7 +690,7 @@ impl EventLoop {
                     }
                     ParseStatus::Request(request, consumed) => {
                         conn.read_buf.drain(..consumed);
-                        conn.scanned = 0;
+                        conn.cursor = ParseCursor::default();
                         conn.last_activity = Instant::now();
                         let seq = conn.next_seq;
                         conn.next_seq += 1;
@@ -723,6 +775,14 @@ impl EventLoop {
                     .connections_idle
                     .fetch_sub(1, Ordering::Relaxed);
             }
+            if let Some(ip) = conn.peer_ip {
+                if let Some(count) = self.per_ip.get_mut(&ip) {
+                    *count -= 1;
+                    if *count == 0 {
+                        self.per_ip.remove(&ip);
+                    }
+                }
+            }
             // `conn.stream` drops here, closing the socket.
         }
     }
@@ -763,12 +823,33 @@ enum ParseStatus {
     Error(String),
 }
 
-/// Attempts to parse one request from the front of `buf`. `scanned` caches
-/// how far the head-terminator scan has progressed so repeated calls over a
-/// growing buffer stay linear.
-fn try_parse(buf: &[u8], scanned: &mut usize) -> ParseStatus {
-    let Some(header_end) = find_header_end(buf, *scanned) else {
-        *scanned = buf.len().saturating_sub(3);
+/// Per-connection incremental-parse state, reset whenever a complete request
+/// is drained from the read buffer.
+#[derive(Debug, Default)]
+struct ParseCursor {
+    /// Read-buffer prefix already scanned for the head terminator.
+    scanned: usize,
+    /// Chunked-body decoding progress, once the head announced
+    /// `Transfer-Encoding: chunked`.
+    chunk: Option<ChunkProgress>,
+}
+
+/// Checkpointed chunked-decode state: everything before `pos` is already
+/// decoded into `body`.
+#[derive(Debug)]
+struct ChunkProgress {
+    /// Buffer offset of the next chunk-size line.
+    pos: usize,
+    /// Body bytes decoded so far.
+    body: Vec<u8>,
+}
+
+/// Attempts to parse one request from the front of `buf`. `cursor` caches
+/// how far the head-terminator scan and any chunked-body decode have
+/// progressed, so repeated calls over a growing buffer stay linear.
+fn try_parse(buf: &[u8], cursor: &mut ParseCursor) -> ParseStatus {
+    let Some(header_end) = find_header_end(buf, cursor.scanned) else {
+        cursor.scanned = buf.len().saturating_sub(3);
         if buf.len() > MAX_HEADER_BYTES {
             return ParseStatus::Error("headers too large".into());
         }
@@ -787,6 +868,7 @@ fn try_parse(buf: &[u8], scanned: &mut usize) -> ParseStatus {
     }
 
     let mut content_length = 0usize;
+    let mut chunked = false;
     let mut connection = String::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
@@ -796,21 +878,52 @@ fn try_parse(buf: &[u8], scanned: &mut usize) -> ParseStatus {
                     return ParseStatus::Error("invalid Content-Length".into());
                 };
                 content_length = length;
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                // `chunked` must be the final (only, in practice) coding;
+                // anything else is something this server cannot decode.
+                let value = value.trim().to_ascii_lowercase();
+                if value == "chunked" {
+                    chunked = true;
+                } else {
+                    return ParseStatus::Error(format!("unsupported Transfer-Encoding `{value}`"));
+                }
             } else if name.eq_ignore_ascii_case("connection") {
                 connection = value.trim().to_ascii_lowercase();
             }
         }
     }
-    if content_length > MAX_BODY_BYTES {
-        return ParseStatus::Error("body too large".into());
-    }
 
     let body_start = header_end + 4;
-    let consumed = body_start + content_length;
-    if buf.len() < consumed {
-        return ParseStatus::NeedMore;
-    }
-    let Ok(body) = String::from_utf8(buf[body_start..consumed].to_vec()) else {
+    let (raw_body, consumed) = if chunked {
+        // Transfer-Encoding takes precedence over any Content-Length
+        // (RFC 9112 §6.3) — a request smuggling both is decoded as chunked.
+        let progress = cursor.chunk.get_or_insert_with(|| ChunkProgress {
+            pos: body_start,
+            body: Vec::new(),
+        });
+        match decode_chunked(buf, progress) {
+            ChunkStatus::NeedMore => return ParseStatus::NeedMore,
+            ChunkStatus::Error(message) => {
+                cursor.chunk = None;
+                return ParseStatus::Error(message);
+            }
+            ChunkStatus::Done { consumed } => {
+                let body = std::mem::take(&mut progress.body);
+                cursor.chunk = None;
+                (body, consumed)
+            }
+        }
+    } else {
+        if content_length > MAX_BODY_BYTES {
+            return ParseStatus::Error("body too large".into());
+        }
+        let consumed = body_start + content_length;
+        if buf.len() < consumed {
+            return ParseStatus::NeedMore;
+        }
+        (buf[body_start..consumed].to_vec(), consumed)
+    };
+    let Ok(body) = String::from_utf8(raw_body) else {
         return ParseStatus::Error("body is not UTF-8".into());
     };
 
@@ -825,6 +938,105 @@ fn try_parse(buf: &[u8], scanned: &mut usize) -> ParseStatus {
         },
         consumed,
     )
+}
+
+/// Outcome of one attempt to decode a chunked body prefix.
+enum ChunkStatus {
+    /// The buffer does not hold the complete chunk stream yet (progress is
+    /// checkpointed in the connection's [`ChunkProgress`]).
+    NeedMore,
+    /// The whole stream (through the last-chunk and trailer section) is
+    /// present; the decoded body sits in the [`ChunkProgress`].
+    Done {
+        /// Buffer offset one past the final CRLF of the stream.
+        consumed: usize,
+    },
+    /// The stream can never become valid.
+    Error(String),
+}
+
+/// Longest chunk-size line accepted (hex size + extensions + CRLF). A size
+/// line that long without a CRLF is garbage, not a slow sender.
+const MAX_CHUNK_SIZE_LINE: usize = 128;
+
+/// Decodes an HTTP/1.1 `chunked` transfer coding starting at
+/// `progress.pos`: `hex-size[;ext]\r\n data \r\n` repeated, then `0\r\n`, an
+/// optional trailer section, and a final `\r\n`. Trailer fields are consumed
+/// and ignored.
+///
+/// `progress` checkpoints at every complete chunk, so a body trickling in
+/// across many read events costs work linear in the bytes received, not
+/// quadratic — only the final (incomplete) chunk is rescanned. The
+/// checkpoint stays valid because the read buffer is only ever appended to
+/// until a whole request is drained, which resets the cursor.
+fn decode_chunked(buf: &[u8], progress: &mut ChunkProgress) -> ChunkStatus {
+    loop {
+        let pos = progress.pos;
+        let Some(line_end) = find_crlf(buf, pos, MAX_CHUNK_SIZE_LINE) else {
+            if buf.len() > pos + MAX_CHUNK_SIZE_LINE {
+                return ChunkStatus::Error("invalid chunk size line".into());
+            }
+            return ChunkStatus::NeedMore;
+        };
+        let line = &buf[pos..line_end];
+        // Chunk extensions (";name=value") are legal; ignore them.
+        let size_text = line
+            .split(|&b| b == b';')
+            .next()
+            .unwrap_or_default()
+            .trim_ascii();
+        let Ok(size_text) = std::str::from_utf8(size_text) else {
+            return ChunkStatus::Error("invalid chunk size line".into());
+        };
+        let Ok(size) = usize::from_str_radix(size_text, 16) else {
+            return ChunkStatus::Error(format!("invalid chunk size `{size_text}`"));
+        };
+        let data_start = line_end + 2;
+        if size == 0 {
+            // Last chunk: consume the trailer section. No trailers is the
+            // common case (an immediate CRLF); otherwise trailer fields run
+            // until an empty line, i.e. a CRLFCRLF from just before them.
+            if buf.len() < data_start + 2 {
+                return ChunkStatus::NeedMore;
+            }
+            if &buf[data_start..data_start + 2] == b"\r\n" {
+                return ChunkStatus::Done {
+                    consumed: data_start + 2,
+                };
+            }
+            return match find_header_end(buf, data_start) {
+                Some(end) => ChunkStatus::Done { consumed: end + 4 },
+                None if buf.len() - data_start > MAX_HEADER_BYTES => {
+                    ChunkStatus::Error("trailers too large".into())
+                }
+                None => ChunkStatus::NeedMore,
+            };
+        }
+        // Compared against the *remaining* budget: immune to `len + size`
+        // overflow from an adversarial (e.g. 2^64-ish) chunk size.
+        if size > MAX_BODY_BYTES - progress.body.len() {
+            return ChunkStatus::Error("body too large".into());
+        }
+        let data_end = data_start + size;
+        if buf.len() < data_end + 2 {
+            return ChunkStatus::NeedMore;
+        }
+        if &buf[data_end..data_end + 2] != b"\r\n" {
+            return ChunkStatus::Error("chunk data not terminated by CRLF".into());
+        }
+        progress.body.extend_from_slice(&buf[data_start..data_end]);
+        progress.pos = data_end + 2;
+    }
+}
+
+/// Position of the next `\r\n` at or after `start`, scanning at most
+/// `max_line` bytes.
+fn find_crlf(buf: &[u8], start: usize, max_line: usize) -> Option<usize> {
+    let end = buf.len().min(start + max_line);
+    buf.get(start..end)?
+        .windows(2)
+        .position(|w| w == b"\r\n")
+        .map(|p| start + p)
 }
 
 fn find_header_end(buffer: &[u8], scanned: usize) -> Option<usize> {
@@ -847,7 +1059,11 @@ fn route(
     transport: &TransportMetrics,
     request: &ParsedRequest,
 ) -> Response {
-    match (request.method.as_str(), request.path.as_str()) {
+    let (path, query) = request
+        .path
+        .split_once('?')
+        .unwrap_or((request.path.as_str(), ""));
+    match (request.method.as_str(), path) {
         ("POST", "/v1/search") => match serde_json::from_str(&request.body) {
             Ok(search_request) => match service.search(&search_request) {
                 Ok(response) => Response {
@@ -882,12 +1098,78 @@ fn route(
                 None => error_response(400, "bad_request", &format!("invalid fingerprint `{raw}`")),
             }
         }
-        ("GET", "/metrics") => Response {
-            status: 200,
-            content_type: "text/plain; version=0.0.4",
-            body: service.metrics_snapshot().render_prometheus()
-                + &transport.snapshot().render_prometheus(),
-        },
+        // Internal cluster entry exchange: a non-owner daemon replicates a
+        // locally solved entry to its ring owner. Every entry is re-validated
+        // before insertion (see `ScheduleService::accept_replication`).
+        ("PUT", path) if path.starts_with("/v1/cache/") => {
+            if service.cluster().is_none() {
+                return error_response(404, "not_found", "cluster mode is not enabled");
+            }
+            let raw = &path["/v1/cache/".len()..];
+            let Some(fingerprint) = Fingerprint::parse(raw) else {
+                return error_response(400, "bad_request", &format!("invalid fingerprint `{raw}`"));
+            };
+            match serde_json::from_str::<crate::wire::CacheExchange>(&request.body) {
+                Ok(exchange) => {
+                    let ack = service.accept_replication(fingerprint, &exchange);
+                    Response {
+                        status: if ack.accepted > 0 || ack.rejected == 0 {
+                            200
+                        } else {
+                            400
+                        },
+                        content_type: "application/json",
+                        body: render_json(&ack),
+                    }
+                }
+                Err(e) => {
+                    error_response(400, "bad_request", &format!("invalid exchange body: {e}"))
+                }
+            }
+        }
+        ("GET", "/v1/cluster") => {
+            let fingerprint = query
+                .split('&')
+                .find_map(|pair| pair.strip_prefix("fp="))
+                .and_then(Fingerprint::parse);
+            match service.cluster_status(fingerprint) {
+                Some(status) => Response {
+                    status: 200,
+                    content_type: "application/json",
+                    body: render_json(&status),
+                },
+                None => error_response(404, "not_found", "cluster mode is not enabled"),
+            }
+        }
+        // Internal warm-up stream: every cached entry owned (per this
+        // daemon's ring) by the requesting node, grouped by fingerprint.
+        ("GET", path) if path.starts_with("/v1/cluster/export/") => {
+            let node = &path["/v1/cluster/export/".len()..];
+            match service.export_owned(node) {
+                Some(exchanges) => Response {
+                    status: 200,
+                    content_type: "application/json",
+                    body: render_json(&exchanges),
+                },
+                None => error_response(
+                    404,
+                    "not_found",
+                    &format!("`{node}` is not a member of this cluster"),
+                ),
+            }
+        }
+        ("GET", "/metrics") => {
+            let mut body = service.metrics_snapshot().render_prometheus()
+                + &transport.snapshot().render_prometheus();
+            if let Some(cluster) = service.cluster_snapshot() {
+                body += &cluster.render_prometheus();
+            }
+            Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                body,
+            }
+        }
         ("GET", "/healthz") => Response {
             status: 200,
             content_type: "application/json",
@@ -959,6 +1241,8 @@ pub struct HttpClient {
     addr: SocketAddr,
     host: String,
     stream: Option<TcpStream>,
+    connect_timeout: Duration,
+    io_timeout: Duration,
 }
 
 impl HttpClient {
@@ -969,20 +1253,41 @@ impl HttpClient {
     ///
     /// Fails if `addr` does not resolve or the connection is refused.
     pub fn new(addr: &str) -> std::io::Result<Self> {
+        let mut client = Self::with_timeouts(addr, Duration::from_secs(10), IO_TIMEOUT)?;
+        client.stream = Some(client.open()?);
+        Ok(client)
+    }
+
+    /// Creates a client with explicit connect and read/write timeouts,
+    /// **without** connecting — the connection opens lazily on the first
+    /// call. The cluster tier uses this: a peer that is down at daemon
+    /// startup must not fail construction, and peer calls must give up in
+    /// fractions of the interactive timeouts.
+    ///
+    /// # Errors
+    ///
+    /// Fails if `addr` does not resolve.
+    pub fn with_timeouts(
+        addr: &str,
+        connect_timeout: Duration,
+        io_timeout: Duration,
+    ) -> std::io::Result<Self> {
         let socket_addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
             std::io::Error::new(std::io::ErrorKind::InvalidInput, "unresolvable addr")
         })?;
         Ok(HttpClient {
             addr: socket_addr,
             host: addr.to_string(),
-            stream: Some(Self::open(&socket_addr)?),
+            stream: None,
+            connect_timeout,
+            io_timeout,
         })
     }
 
-    fn open(addr: &SocketAddr) -> std::io::Result<TcpStream> {
-        let stream = TcpStream::connect_timeout(addr, Duration::from_secs(10))?;
-        stream.set_read_timeout(Some(IO_TIMEOUT))?;
-        stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    fn open(&self) -> std::io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(&self.addr, self.connect_timeout)?;
+        stream.set_read_timeout(Some(self.io_timeout))?;
+        stream.set_write_timeout(Some(self.io_timeout))?;
         stream.set_nodelay(true)?;
         Ok(stream)
     }
@@ -1029,7 +1334,7 @@ impl HttpClient {
         body: Option<&str>,
     ) -> std::io::Result<(u16, String)> {
         if self.stream.is_none() {
-            self.stream = Some(Self::open(&self.addr)?);
+            self.stream = Some(self.open()?);
         }
         let stream = self.stream.as_mut().expect("connection just opened");
         let body = body.unwrap_or("");
@@ -1163,13 +1468,13 @@ mod tests {
 
     fn parse_all(input: &[u8]) -> (Vec<ParsedRequest>, usize) {
         let mut buf = input.to_vec();
-        let mut scanned = 0;
+        let mut cursor = ParseCursor::default();
         let mut out = Vec::new();
         loop {
-            match try_parse(&buf, &mut scanned) {
+            match try_parse(&buf, &mut cursor) {
                 ParseStatus::Request(request, consumed) => {
                     buf.drain(..consumed);
-                    scanned = 0;
+                    cursor = ParseCursor::default();
                     out.push(request);
                 }
                 ParseStatus::NeedMore => break,
@@ -1209,16 +1514,16 @@ mod tests {
 
     #[test]
     fn incremental_parse_needs_full_head_and_body() {
-        let mut scanned = 0;
+        let mut cursor = ParseCursor::default();
         let full = b"POST /v1/search HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
         for cut in [10, 30, full.len() - 1] {
-            let mut s = 0;
+            let mut s = ParseCursor::default();
             assert!(matches!(
                 try_parse(&full[..cut], &mut s),
                 ParseStatus::NeedMore
             ));
         }
-        match try_parse(full, &mut scanned) {
+        match try_parse(full, &mut cursor) {
             ParseStatus::Request(request, consumed) => {
                 assert_eq!(consumed, full.len());
                 assert_eq!(request.method, "POST");
@@ -1261,17 +1566,149 @@ mod tests {
     }
 
     #[test]
-    fn malformed_requests_error_out() {
-        let mut scanned = 0;
+    fn chunked_bodies_decode_incrementally() {
+        let full = b"POST /v1/search HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                     4\r\nbody\r\n6\r\n-tail!\r\n0\r\n\r\n";
+        // Every prefix is NeedMore, never an error.
+        for cut in 1..full.len() {
+            let mut cursor = ParseCursor::default();
+            assert!(
+                matches!(try_parse(&full[..cut], &mut cursor), ParseStatus::NeedMore),
+                "cut at {cut}"
+            );
+        }
+        let mut cursor = ParseCursor::default();
+        match try_parse(full, &mut cursor) {
+            ParseStatus::Request(request, consumed) => {
+                assert_eq!(consumed, full.len());
+                assert_eq!(request.body, "body-tail!");
+                assert!(!request.close);
+            }
+            _ => panic!("expected a complete chunked request"),
+        }
+    }
+
+    #[test]
+    fn chunked_trailers_and_extensions_are_consumed() {
+        let wire = b"POST /v1/search HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                     5;ext=1\r\nhello\r\n0\r\nX-Checksum: abc\r\n\r\nGET /healthz HTTP/1.1\r\n\r\n";
+        let (requests, leftover) = parse_all(wire);
+        assert_eq!(requests.len(), 2, "trailer section must be consumed");
+        assert_eq!(requests[0].body, "hello");
+        assert_eq!(requests[1].path, "/healthz");
+        assert_eq!(leftover, 0);
+    }
+
+    #[test]
+    fn chunked_errors_are_rejected() {
+        let bad_size =
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\nhi\r\n0\r\n\r\n";
+        let mut cursor = ParseCursor::default();
         assert!(matches!(
-            try_parse(b"not a request\r\n\r\n", &mut scanned),
+            try_parse(bad_size, &mut cursor),
             ParseStatus::Error(_)
         ));
-        let mut scanned = 0;
+        let bad_term = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n2\r\nhiXX0\r\n\r\n";
+        let mut cursor = ParseCursor::default();
+        assert!(matches!(
+            try_parse(bad_term, &mut cursor),
+            ParseStatus::Error(_)
+        ));
+        let unsupported = b"POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n";
+        let mut cursor = ParseCursor::default();
+        assert!(matches!(
+            try_parse(unsupported, &mut cursor),
+            ParseStatus::Error(_)
+        ));
+        // A chunk-size line that never ends is garbage, not a slow sender.
+        let mut runaway = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec();
+        runaway.extend(std::iter::repeat_n(b'f', MAX_CHUNK_SIZE_LINE + 8));
+        let mut cursor = ParseCursor::default();
+        assert!(matches!(
+            try_parse(&runaway, &mut cursor),
+            ParseStatus::Error(_)
+        ));
+    }
+
+    #[test]
+    fn adversarial_chunk_sizes_error_without_panicking() {
+        // A size near 2^64 must hit the budget check, not overflow the
+        // `decoded + size` arithmetic (which would panic the event-loop
+        // thread in debug builds and corrupt slice bounds in release).
+        for huge in ["fffffffffffffffe", "ffffffffffffffff", "100000000"] {
+            let wire = format!(
+                "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n2\r\nAA\r\n{huge}\r\n"
+            );
+            let mut cursor = ParseCursor::default();
+            assert!(
+                matches!(
+                    try_parse(wire.as_bytes(), &mut cursor),
+                    ParseStatus::Error(_)
+                ),
+                "size {huge} must be rejected"
+            );
+        }
+        // Sizes that do not even parse as u64 are rejected too.
+        let wire = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n1ffffffffffffffff\r\n";
+        let mut cursor = ParseCursor::default();
+        assert!(matches!(
+            try_parse(wire, &mut cursor),
+            ParseStatus::Error(_)
+        ));
+    }
+
+    #[test]
+    fn chunked_progress_is_checkpointed_across_calls() {
+        // Feed a two-chunk body one byte at a time through ONE cursor (as
+        // the connection state machine does) and confirm the decode
+        // completes; the checkpoint means earlier chunks are not re-decoded.
+        let full = b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n3\r\nabc\r\n2\r\nde\r\n0\r\n\r\n";
+        let mut cursor = ParseCursor::default();
+        for cut in 1..full.len() {
+            assert!(matches!(
+                try_parse(&full[..cut], &mut cursor),
+                ParseStatus::NeedMore
+            ));
+        }
+        // After the first chunk is complete, the cursor has moved past it.
+        assert!(cursor.chunk.as_ref().is_some_and(|p| p.body == b"abcde"));
+        match try_parse(full, &mut cursor) {
+            ParseStatus::Request(request, consumed) => {
+                assert_eq!(request.body, "abcde");
+                assert_eq!(consumed, full.len());
+            }
+            _ => panic!("expected a complete request"),
+        }
+    }
+
+    #[test]
+    fn chunked_takes_precedence_over_content_length() {
+        // A request smuggling both headers is decoded as chunked (RFC 9112):
+        // the Content-Length of 9999 must not make the parser wait.
+        let wire = b"POST / HTTP/1.1\r\nContent-Length: 9999\r\nTransfer-Encoding: chunked\r\n\r\n\
+                     2\r\nok\r\n0\r\n\r\n";
+        let mut cursor = ParseCursor::default();
+        match try_parse(wire, &mut cursor) {
+            ParseStatus::Request(request, consumed) => {
+                assert_eq!(request.body, "ok");
+                assert_eq!(consumed, wire.len());
+            }
+            _ => panic!("expected a complete request"),
+        }
+    }
+
+    #[test]
+    fn malformed_requests_error_out() {
+        let mut cursor = ParseCursor::default();
+        assert!(matches!(
+            try_parse(b"not a request\r\n\r\n", &mut cursor),
+            ParseStatus::Error(_)
+        ));
+        let mut cursor = ParseCursor::default();
         assert!(matches!(
             try_parse(
                 b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
-                &mut scanned
+                &mut cursor
             ),
             ParseStatus::Error(_)
         ));

@@ -18,10 +18,14 @@
 //!   rendered in Prometheus text format for `/metrics`.
 //! * [`http`] — a readiness-based HTTP/1.1 server over nonblocking
 //!   `std::net` sockets: one epoll-driven event-loop thread multiplexes
-//!   every connection (keep-alive, pipelining, idle timeouts) and hands
-//!   parsed requests to the bounded worker pool; plus the keep-alive
-//!   [`HttpClient`] used by the `tessel-client` binary and the end-to-end
-//!   tests.
+//!   every connection (keep-alive, pipelining, chunked request bodies, idle
+//!   timeouts, per-IP accept caps) and hands parsed requests to the bounded
+//!   worker pool; plus the keep-alive [`HttpClient`] used by the
+//!   `tessel-client` binary, the cluster tier and the end-to-end tests.
+//! * [`cluster`] — the consistent-hash cache sharding tier: a fleet of
+//!   daemons (static `--node-id`/`--peer` membership) shares one logical
+//!   cache, fetching misses from the fingerprint's ring owner, replicating
+//!   local solves to it asynchronously and warming restarts from peers.
 //! * [`wire`] — the JSON request/response types.
 //!
 //! Two binaries ship with the crate: `tessel-server` (the daemon) and
@@ -59,6 +63,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod cluster;
 pub mod http;
 pub mod metrics;
 pub mod service;
@@ -67,7 +72,11 @@ pub mod singleflight;
 mod sys;
 pub mod wire;
 
-pub use cache::{CacheConfig, CachedSearch, ShardedCache};
+pub use cache::{CacheConfig, CacheJournal, CachedSearch, ShardedCache};
+pub use cluster::{peers::PeerConfig, ring::HashRing, Cluster, ClusterConfig};
 pub use http::{HttpClient, HttpServer, ServerConfig};
-pub use metrics::{MetricsSnapshot, ServiceMetrics, TransportMetrics, TransportSnapshot};
+pub use metrics::{
+    ClusterMetrics, ClusterSnapshot, MetricsSnapshot, ServiceMetrics, TransportMetrics,
+    TransportSnapshot,
+};
 pub use service::{ScheduleService, ServiceConfig, ServiceError};

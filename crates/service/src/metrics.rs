@@ -328,6 +328,9 @@ pub struct TransportMetrics {
     pub pipelined_requests: AtomicU64,
     /// Connections closed by the idle-timeout sweep.
     pub idle_closed: AtomicU64,
+    /// Connections rejected at accept because their source IP already held
+    /// the per-IP connection cap.
+    pub rejected_per_ip: AtomicU64,
 }
 
 /// Point-in-time snapshot of [`TransportMetrics`].
@@ -345,6 +348,8 @@ pub struct TransportSnapshot {
     pub pipelined_requests: u64,
     /// Connections closed by the idle-timeout sweep.
     pub idle_closed: u64,
+    /// Connections rejected by the per-IP accept cap.
+    pub rejected_per_ip: u64,
 }
 
 impl TransportMetrics {
@@ -364,6 +369,7 @@ impl TransportMetrics {
             keepalive_reuses: self.keepalive_reuses.load(Ordering::Relaxed),
             pipelined_requests: self.pipelined_requests.load(Ordering::Relaxed),
             idle_closed: self.idle_closed.load(Ordering::Relaxed),
+            rejected_per_ip: self.rejected_per_ip.load(Ordering::Relaxed),
         }
     }
 }
@@ -413,6 +419,181 @@ impl TransportSnapshot {
             "idle_closed_total",
             "Connections closed by the idle-timeout sweep.",
             self.idle_closed,
+        );
+        metric(
+            "rejected_per_ip_total",
+            "Connections rejected by the per-IP accept cap.",
+            self.rejected_per_ip,
+        );
+        out
+    }
+}
+
+/// Live counters of the cluster tier.
+///
+/// Owned by [`crate::cluster::Cluster`]; the request path counts remote
+/// hits/misses/errors, the replication worker counts deliveries, and the
+/// peer gauges are sampled at snapshot time from the peer table.
+#[derive(Debug, Default)]
+pub struct ClusterMetrics {
+    /// Local misses served by the ring owner's cache.
+    pub remote_hits: AtomicU64,
+    /// Local misses the owner also missed (solved locally, then replicated).
+    pub remote_misses: AtomicU64,
+    /// Owner fetches that failed (unreachable peer, open circuit, unusable
+    /// payload) and degraded to a local solve.
+    pub remote_errors: AtomicU64,
+    /// Entries successfully replicated to their owner.
+    pub replications_sent: AtomicU64,
+    /// Entries accepted from a non-owner daemon via `PUT /v1/cache/{fp}`.
+    pub replications_received: AtomicU64,
+    /// Replication payloads rejected by validation (fingerprint mismatch,
+    /// invalid schedule).
+    pub replications_rejected: AtomicU64,
+    /// Replication deliveries that failed (owner unreachable or erroring).
+    pub replication_errors: AtomicU64,
+    /// Replication jobs dropped because the bounded queue was full.
+    pub replication_dropped: AtomicU64,
+    /// Entries streamed from peers during startup warm-up.
+    pub warmup_entries: AtomicU64,
+}
+
+/// Point-in-time snapshot of [`ClusterMetrics`] plus the peer gauges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterSnapshot {
+    /// Local misses served by the ring owner's cache.
+    pub remote_hits: u64,
+    /// Local misses the owner also missed.
+    pub remote_misses: u64,
+    /// Owner fetches that degraded to a local solve.
+    pub remote_errors: u64,
+    /// Entries successfully replicated to their owner.
+    pub replications_sent: u64,
+    /// Entries accepted from a non-owner daemon.
+    pub replications_received: u64,
+    /// Replication payloads rejected by validation.
+    pub replications_rejected: u64,
+    /// Replication deliveries that failed.
+    pub replication_errors: u64,
+    /// Replication jobs dropped by the bounded queue.
+    pub replication_dropped: u64,
+    /// Entries streamed from peers during warm-up.
+    pub warmup_entries: u64,
+    /// Configured peers.
+    pub peers_total: u64,
+    /// Peers whose last contact succeeded.
+    pub peers_healthy: u64,
+    /// Peers with an open circuit right now.
+    pub circuits_open: u64,
+}
+
+impl ClusterMetrics {
+    /// Creates zeroed metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        ClusterMetrics::default()
+    }
+
+    /// Takes a relaxed snapshot, folding in the peer gauges sampled by the
+    /// caller.
+    #[must_use]
+    pub fn snapshot(
+        &self,
+        peers_total: u64,
+        peers_healthy: u64,
+        circuits_open: u64,
+    ) -> ClusterSnapshot {
+        ClusterSnapshot {
+            remote_hits: self.remote_hits.load(Ordering::Relaxed),
+            remote_misses: self.remote_misses.load(Ordering::Relaxed),
+            remote_errors: self.remote_errors.load(Ordering::Relaxed),
+            replications_sent: self.replications_sent.load(Ordering::Relaxed),
+            replications_received: self.replications_received.load(Ordering::Relaxed),
+            replications_rejected: self.replications_rejected.load(Ordering::Relaxed),
+            replication_errors: self.replication_errors.load(Ordering::Relaxed),
+            replication_dropped: self.replication_dropped.load(Ordering::Relaxed),
+            warmup_entries: self.warmup_entries.load(Ordering::Relaxed),
+            peers_total,
+            peers_healthy,
+            circuits_open,
+        }
+    }
+}
+
+impl ClusterSnapshot {
+    /// Renders the snapshot in Prometheus text exposition format (appended
+    /// after the transport metrics in `GET /metrics` when cluster mode is
+    /// on).
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut metric = |name: &str, help: &str, value: u64| {
+            let kind = if name.ends_with("_total") {
+                "counter"
+            } else {
+                "gauge"
+            };
+            out.push_str(&format!("# HELP tessel_cluster_{name} {help}\n"));
+            out.push_str(&format!("# TYPE tessel_cluster_{name} {kind}\n"));
+            out.push_str(&format!("tessel_cluster_{name} {value}\n"));
+        };
+        metric(
+            "remote_hits_total",
+            "Local misses served by the ring owner's cache.",
+            self.remote_hits,
+        );
+        metric(
+            "remote_misses_total",
+            "Local misses the ring owner also missed.",
+            self.remote_misses,
+        );
+        metric(
+            "remote_errors_total",
+            "Owner fetches that degraded to a local solve.",
+            self.remote_errors,
+        );
+        metric(
+            "replications_sent_total",
+            "Entries successfully replicated to their owner.",
+            self.replications_sent,
+        );
+        metric(
+            "replications_received_total",
+            "Entries accepted from a non-owner daemon.",
+            self.replications_received,
+        );
+        metric(
+            "replications_rejected_total",
+            "Replication payloads rejected by validation.",
+            self.replications_rejected,
+        );
+        metric(
+            "replication_errors_total",
+            "Replication deliveries that failed.",
+            self.replication_errors,
+        );
+        metric(
+            "replication_dropped_total",
+            "Replication jobs dropped by the bounded queue.",
+            self.replication_dropped,
+        );
+        metric(
+            "warmup_entries_total",
+            "Entries streamed from peers during startup warm-up.",
+            self.warmup_entries,
+        );
+        // Named without the `_total` suffix: a configured-peer count is a
+        // gauge, and Prometheus reserves `_total` for counters.
+        metric("peers", "Configured peers.", self.peers_total);
+        metric(
+            "peers_healthy",
+            "Peers whose last contact succeeded.",
+            self.peers_healthy,
+        );
+        metric(
+            "circuits_open",
+            "Peers with an open circuit right now.",
+            self.circuits_open,
         );
         out
     }

@@ -18,10 +18,14 @@
 //!    utilization summary, and populates the cache. Timeouts and failures
 //!    are **not** cached.
 
-use crate::cache::{CacheConfig, CacheKey, CacheParams, CachedSearch, ShardedCache};
+use crate::cache::{CacheConfig, CacheJournal, CacheKey, CacheParams, CachedSearch, ShardedCache};
+use crate::cluster::{Cluster, ClusterConfig, ClusterSnapshot, RemoteFetch};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::singleflight::{Joined, SingleFlight};
-use crate::wire::{CacheEntryInfo, InspectResponse, SearchRequest, SearchResponse};
+use crate::wire::{
+    CacheEntryInfo, CacheExchange, ClusterStatusResponse, InspectResponse, ReplicationAck,
+    SearchRequest, SearchResponse,
+};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::PathBuf;
@@ -124,6 +128,10 @@ pub struct ServiceConfig {
     pub candidate_limit: Option<usize>,
     /// Deadline applied when a request does not carry one.
     pub default_deadline: Option<Duration>,
+    /// Journal appends between compactions of the cache persistence file.
+    pub journal_compact_every: usize,
+    /// Cluster membership; `None` runs the daemon standalone.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -142,6 +150,8 @@ impl Default for ServiceConfig {
             solver_memo_shards: solver_defaults.dominance_shards,
             candidate_limit: None,
             default_deadline: Some(Duration::from_secs(60)),
+            journal_compact_every: 64,
+            cluster: None,
         }
     }
 }
@@ -159,6 +169,8 @@ impl Default for ServiceConfig {
 pub struct ScheduleService {
     config: ServiceConfig,
     cache: ShardedCache,
+    journal: Option<CacheJournal>,
+    cluster: Option<Cluster>,
     metrics: ServiceMetrics,
     flights: SingleFlight<Result<Arc<CachedSearch>, ServiceError>>,
 }
@@ -216,21 +228,43 @@ impl ScheduleService {
         // request relying on the default would be rejected.
         config.max_repetend_ceiling = config.max_repetend_ceiling.max(config.default_max_repetend);
         let cache = ShardedCache::new(&config.cache);
-        if let Some(path) = &config.cache_path {
-            match cache.load(path) {
+        let journal = config
+            .cache_path
+            .clone()
+            .map(|path| CacheJournal::new(path, config.journal_compact_every));
+        if let Some(journal) = &journal {
+            match journal.replay(&cache) {
                 Ok(_) => {}
                 Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
                     eprintln!(
-                        "warning: ignoring incompatible cache snapshot {}: {e}",
-                        path.display()
+                        "warning: ignoring incompatible cache journal {}: {e}",
+                        journal.path().display()
                     );
                 }
                 Err(e) => return Err(e),
             }
+            // Rewrite the journal from the live entries before serving:
+            // repairs a torn tail (appending onto a partial line would merge
+            // two records into one unparseable line) and an incompatible
+            // old-format file (appends onto it would be unreadable forever),
+            // and bounds replay cost for daemons restarted more often than
+            // the in-process compaction threshold fires.
+            if let Err(e) = journal.compact(&cache) {
+                eprintln!(
+                    "warning: cannot compact cache journal {}: {e}",
+                    journal.path().display()
+                );
+            }
         }
+        let cluster = match config.cluster.clone() {
+            Some(cluster_config) => Some(Cluster::new(cluster_config)?),
+            None => None,
+        };
         Ok(ScheduleService {
             config,
             cache,
+            journal,
+            cluster,
             metrics: ServiceMetrics::new(),
             flights: SingleFlight::new(),
         })
@@ -301,21 +335,48 @@ impl ScheduleService {
                     armed: true,
                 };
                 // Double-check the cache: another leader may have finished
-                // between our lookup and the flight election.
+                // between our lookup and the flight election. Then, before
+                // paying for a solve, ask the ring owner — a sibling daemon
+                // may already hold this schedule.
+                let mut remote_hit = false;
+                let mut inserted = false;
                 let result = match self.cache_lookup(key, &canon, &params) {
                     Some(entry) => Ok(entry),
-                    None => self.run_search(&canon, &params, key, deadline, solver_threads),
+                    None => match self.cluster_fetch(key, &canon, &params) {
+                        Some(entry) => {
+                            remote_hit = true;
+                            inserted = true;
+                            Ok(entry)
+                        }
+                        None => {
+                            let solved =
+                                self.run_search(&canon, &params, key, deadline, solver_threads);
+                            inserted = solved.is_ok();
+                            solved
+                        }
+                    },
                 };
                 guard.disarm_and_complete(result.clone());
-                // Snapshot outside the flight: followers are already awake
-                // and never wait on the (whole-cache) disk write.
-                if result.is_ok() {
-                    self.persist_best_effort();
+                // Journal outside the flight: followers are already awake,
+                // so they never wait on the append (or on the occasional
+                // whole-cache compaction it triggers).
+                if inserted {
+                    if let Ok(entry) = &result {
+                        self.persist_insert(key, entry);
+                    }
                 }
                 match result {
                     Ok(entry) => {
-                        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-                        Ok(self.respond(&entry, &canon, &request.placement, false, false))
+                        if remote_hit {
+                            // Served from the logical (cluster-wide) cache:
+                            // a hit for the client, counted under
+                            // `tessel_cluster_remote_hits_total` rather than
+                            // the local hit/miss pair.
+                            Ok(self.respond(&entry, &canon, &request.placement, true, false))
+                        } else {
+                            self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+                            Ok(self.respond(&entry, &canon, &request.placement, false, false))
+                        }
                     }
                     Err(e) => Err(e),
                 }
@@ -341,6 +402,28 @@ impl ScheduleService {
     ) -> Option<Arc<CachedSearch>> {
         let entry = self.cache.get(key)?;
         (entry.params == *params && entry.canonical_placement == canon.placement).then_some(entry)
+    }
+
+    /// Consults the ring owner for a locally missed request. A validated
+    /// remote hit is adopted into the local cache (so the next identical
+    /// request is a local hit); every other outcome — this node is the
+    /// owner, the owner also missed, the owner is unreachable — returns
+    /// `None` and the caller solves locally.
+    fn cluster_fetch(
+        &self,
+        key: CacheKey,
+        canon: &CanonicalPlacement,
+        params: &CacheParams,
+    ) -> Option<Arc<CachedSearch>> {
+        let cluster = self.cluster.as_ref()?;
+        match cluster.fetch_from_owner(canon, params) {
+            RemoteFetch::Hit(entry) => {
+                // The caller journals the insert after completing the flight.
+                self.cache.insert(key, entry.clone());
+                Some(entry)
+            }
+            RemoteFetch::LocalOwner | RemoteFetch::Miss | RemoteFetch::Unavailable => None,
+        }
     }
 
     fn resolve_params(&self, request: &SearchRequest) -> Result<CacheParams, ServiceError> {
@@ -448,6 +531,12 @@ impl ScheduleService {
             search_millis,
         });
         self.cache.insert(key, entry.clone());
+        // The caller journals the insert after completing the flight. A
+        // solve for a fingerprint another daemon owns travels to the owner
+        // asynchronously; the client never waits on replication.
+        if let Some(cluster) = &self.cluster {
+            cluster.replicate_if_remote(&entry);
+        }
         Ok(entry)
     }
 
@@ -503,10 +592,17 @@ impl ScheduleService {
         }
     }
 
-    fn persist_best_effort(&self) {
-        if let Some(path) = &self.config.cache_path {
-            if let Err(e) = self.cache.save(path) {
-                eprintln!("warning: cannot persist cache to {}: {e}", path.display());
+    /// Appends one freshly inserted entry to the cache journal (best effort;
+    /// an unwritable journal costs persistence, not the request). An append
+    /// is O(entry) — the whole-cache rewrite happens only on the periodic
+    /// compaction.
+    fn persist_insert(&self, key: CacheKey, entry: &CachedSearch) {
+        if let Some(journal) = &self.journal {
+            if let Err(e) = journal.append(&self.cache, key, entry) {
+                eprintln!(
+                    "warning: cannot append to cache journal {}: {e}",
+                    journal.path().display()
+                );
             }
         }
     }
@@ -539,17 +635,141 @@ impl ScheduleService {
             .snapshot(self.cache.len() as u64, self.cache.evictions())
     }
 
-    /// Persists the cache snapshot now (also done after every successful
-    /// search when a path is configured).
+    /// Compacts the cache journal now (inserts append to it continuously
+    /// when a path is configured).
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors; does nothing without a configured path.
     pub fn save_cache(&self) -> std::io::Result<()> {
-        match &self.config.cache_path {
-            Some(path) => self.cache.save(path),
+        match &self.journal {
+            Some(journal) => journal.compact(&self.cache),
             None => Ok(()),
         }
+    }
+
+    /// The cluster tier, when the daemon runs with `--node-id`/`--peer`.
+    #[must_use]
+    pub fn cluster(&self) -> Option<&Cluster> {
+        self.cluster.as_ref()
+    }
+
+    /// The `GET /v1/cluster` status document; `None` when the daemon runs
+    /// standalone.
+    #[must_use]
+    pub fn cluster_status(
+        &self,
+        fingerprint: Option<Fingerprint>,
+    ) -> Option<ClusterStatusResponse> {
+        self.cluster.as_ref().map(|c| c.status(fingerprint))
+    }
+
+    /// A point-in-time snapshot of the cluster counters; `None` when the
+    /// daemon runs standalone.
+    #[must_use]
+    pub fn cluster_snapshot(&self) -> Option<ClusterSnapshot> {
+        self.cluster.as_ref().map(Cluster::snapshot)
+    }
+
+    /// Accepts entries replicated by a non-owner daemon
+    /// (`PUT /v1/cache/{fp}`). Each entry is re-validated from scratch — the
+    /// fingerprint must be one this node owns per its own ring, the
+    /// canonical placement must re-canonicalize to exactly `fingerprint` and
+    /// the schedule must validate against it — so a confused peer (or a
+    /// fleet misconfigured with divergent `--peer` lists) can never poison
+    /// this cache or park entries where no warm-up will ever find them.
+    #[must_use]
+    pub fn accept_replication(
+        &self,
+        fingerprint: Fingerprint,
+        exchange: &CacheExchange,
+    ) -> ReplicationAck {
+        let mut ack = ReplicationAck {
+            accepted: 0,
+            rejected: 0,
+        };
+        let owns = self
+            .cluster
+            .as_ref()
+            .is_some_and(|cluster| cluster.owns(fingerprint));
+        for entry in &exchange.entries {
+            let valid = owns
+                && entry.fingerprint == fingerprint
+                && exchange.fingerprint == fingerprint
+                && entry.canonical_placement.validate().is_ok()
+                && entry.canonical_placement.canonicalize().fingerprint == fingerprint
+                && entry.schedule.validate(&entry.canonical_placement).is_ok()
+                && entry.params.num_micro_batches > 0
+                && entry.params.max_repetend_micro_batches > 0;
+            if !valid {
+                ack.rejected += 1;
+                continue;
+            }
+            let key = CacheKey::new(fingerprint, &entry.params);
+            let entry = Arc::new(entry.clone());
+            self.cache.insert(key, entry.clone());
+            self.persist_insert(key, &entry);
+            ack.accepted += 1;
+        }
+        if let Some(cluster) = &self.cluster {
+            use std::sync::atomic::Ordering as AtomicOrdering;
+            cluster
+                .metrics()
+                .replications_received
+                .fetch_add(ack.accepted as u64, AtomicOrdering::Relaxed);
+            cluster
+                .metrics()
+                .replications_rejected
+                .fetch_add(ack.rejected as u64, AtomicOrdering::Relaxed);
+        }
+        ack
+    }
+
+    /// This daemon's cache entries owned by ring member `node_id`, grouped by
+    /// fingerprint (`GET /v1/cluster/export/{node}` — the warm-up stream).
+    /// `None` when the daemon runs standalone or `node_id` is not a ring
+    /// member.
+    #[must_use]
+    pub fn export_owned(&self, node_id: &str) -> Option<Vec<CacheExchange>> {
+        let cluster = self.cluster.as_ref()?;
+        if !cluster.ring().nodes().iter().any(|n| n == node_id) {
+            return None;
+        }
+        let mut by_fingerprint: std::collections::BTreeMap<u64, Vec<CachedSearch>> =
+            std::collections::BTreeMap::new();
+        for (_key, entry) in self.cache.export() {
+            if cluster.ring().owner_of(entry.fingerprint) == node_id {
+                by_fingerprint
+                    .entry(entry.fingerprint.0)
+                    .or_default()
+                    .push((*entry).clone());
+            }
+        }
+        Some(
+            by_fingerprint
+                .into_iter()
+                .map(|(fp, entries)| CacheExchange {
+                    fingerprint: Fingerprint(fp),
+                    entries,
+                })
+                .collect(),
+        )
+    }
+
+    /// Streams this node's ring-owned entries from every reachable peer into
+    /// the local cache (startup warm-up). Returns how many entries were
+    /// adopted; 0 standalone. `tessel-server` runs this in a background
+    /// thread right after binding.
+    pub fn warm_cache_from_peers(&self) -> usize {
+        let Some(cluster) = &self.cluster else {
+            return 0;
+        };
+        cluster.warm_from_peers(|entry| {
+            let key = CacheKey::new(entry.fingerprint, &entry.params);
+            let entry = Arc::new(entry);
+            self.cache.insert(key, entry.clone());
+            self.persist_insert(key, &entry);
+        })
     }
 }
 
@@ -801,6 +1021,84 @@ mod tests {
         assert!(entry.utilization.makespan > 0);
         // Unknown fingerprints inspect to an empty list.
         assert!(service.inspect(Fingerprint(0)).entries.is_empty());
+    }
+
+    #[test]
+    fn replication_is_rejected_for_fingerprints_this_node_does_not_own() {
+        use crate::cluster::peers::PeerConfig;
+        use crate::cluster::ClusterConfig;
+        let mut cluster = ClusterConfig::new(
+            "a",
+            vec![PeerConfig {
+                node_id: "b".into(),
+                addr: "127.0.0.1:9".into(), // dead: every remote fetch degrades
+            }],
+        );
+        cluster.probe_interval = Duration::ZERO;
+        cluster.connect_timeout = Duration::from_millis(50);
+        cluster.peer_timeout = Duration::from_millis(50);
+        let service = ScheduleService::new(ServiceConfig {
+            default_micro_batches: 4,
+            default_max_repetend: 3,
+            cluster: Some(cluster),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        // Solve two placements and split them by ring ownership.
+        for devices in [2usize, 3, 4, 5] {
+            service
+                .search(&SearchRequest::for_placement(v_shape(devices)))
+                .unwrap();
+        }
+        let cluster = service.cluster().unwrap();
+        let entries: Vec<_> = service
+            .cache_entries()
+            .iter()
+            .map(|row| service.inspect(row.fingerprint).entries[0].clone())
+            .collect();
+        for entry in entries {
+            let fp = entry.fingerprint;
+            let exchange = CacheExchange {
+                fingerprint: fp,
+                entries: vec![entry],
+            };
+            let ack = service.accept_replication(fp, &exchange);
+            if cluster.owns(fp) {
+                assert_eq!((ack.accepted, ack.rejected), (1, 0), "owned fp {fp}");
+            } else {
+                // A PUT for a fingerprint the ring assigns elsewhere would
+                // park the entry where no warm-up ever finds it: reject.
+                assert_eq!((ack.accepted, ack.rejected), (0, 1), "non-owned fp {fp}");
+            }
+        }
+    }
+
+    #[test]
+    fn old_format_journal_cold_starts_and_persistence_recovers() {
+        let dir =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/service-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("old-format-{}.json", std::process::id()));
+        // A pre-journal whole-file snapshot: unreadable by the replay, which
+        // must cost a (warned) cold start — and the startup compaction must
+        // replace the file so persistence WORKS again afterwards.
+        std::fs::write(&path, "[\n  {\"key\": 1}\n]\n").unwrap();
+        let config = ServiceConfig {
+            cache_path: Some(path.clone()),
+            default_micro_batches: 4,
+            default_max_repetend: 3,
+            ..ServiceConfig::default()
+        };
+        let request = SearchRequest::for_placement(v_shape(2));
+        {
+            let service = ScheduleService::new(config.clone()).unwrap();
+            assert_eq!(service.cache_entries().len(), 0, "cold start");
+            assert!(!service.search(&request).unwrap().cached);
+        }
+        // The restart replays the repaired journal, not the old array file.
+        let service = ScheduleService::new(config).unwrap();
+        assert!(service.search(&request).unwrap().cached);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -150,6 +150,77 @@ pub struct InspectResponse {
     pub entries: Vec<crate::cache::CachedSearch>,
 }
 
+/// The cluster cache-exchange document: every cached entry of one canonical
+/// fingerprint, in canonical labeling, with the parameters that distinguish
+/// them.
+///
+/// This is the wire format of the **internal** cluster endpoints: the body a
+/// non-owner daemon `PUT`s to `/v1/cache/{fp}` when replicating a locally
+/// solved entry to its ring owner, the shape a remote-fetching daemon parses
+/// back from `GET /v1/cache/{fp}` (the public inspect response serializes to
+/// exactly this layout), and the element type of the warm-up export
+/// (`GET /v1/cluster/export/{node}` returns a JSON array of these, one per
+/// fingerprint).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheExchange {
+    /// Canonical fingerprint every entry below belongs to.
+    pub fingerprint: Fingerprint,
+    /// The entries (one per parameter combination), in canonical labeling.
+    pub entries: Vec<crate::cache::CachedSearch>,
+}
+
+/// Acknowledgement body of `PUT /v1/cache/{fp}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicationAck {
+    /// Entries accepted into the local cache.
+    pub accepted: usize,
+    /// Entries rejected by validation.
+    pub rejected: usize,
+}
+
+/// One peer row of the `GET /v1/cluster` status document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeerStatusInfo {
+    /// The peer's ring identity.
+    pub node_id: String,
+    /// The peer's HTTP address.
+    pub addr: String,
+    /// `true` when the last contact (probe or cluster call) succeeded.
+    pub healthy: bool,
+    /// `true` while the peer's circuit breaker rejects calls.
+    pub circuit_open: bool,
+    /// Consecutive failed contacts.
+    pub consecutive_failures: u64,
+    /// The most recent failure, if the peer is unhealthy.
+    pub last_error: Option<String>,
+}
+
+/// Ring-ownership lookup embedded in `GET /v1/cluster?fp=HEX`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OwnerInfo {
+    /// The fingerprint that was looked up.
+    pub fingerprint: Fingerprint,
+    /// `true` when the answering daemon is the owner.
+    pub is_local: bool,
+    /// The owning node's id.
+    pub node: String,
+}
+
+/// The `GET /v1/cluster` response body.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterStatusResponse {
+    /// The answering daemon's ring identity.
+    pub node_id: String,
+    /// Virtual nodes per member on the consistent-hash ring.
+    pub vnodes: usize,
+    /// Ring membership (this node plus every peer), sorted.
+    pub nodes: Vec<String>,
+    /// Peer health, in `--peer` order.
+    pub peers: Vec<PeerStatusInfo>,
+    /// Ownership of the fingerprint passed as `?fp=HEX`, when present.
+    pub owner: Option<OwnerInfo>,
+}
+
 /// An error response body (any non-2xx status).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ErrorBody {

@@ -1,0 +1,114 @@
+//! Property tests for the cluster's consistent-hash ring: the virtual-node
+//! spread must keep ownership balanced across members, and membership
+//! changes must be *minimally disruptive* — adding a node only moves keys
+//! onto the new node, removing one only moves its own keys, and every other
+//! fingerprint keeps its owner.
+
+use proptest::prelude::*;
+use proptest::TestRng;
+use tessel_service::HashRing;
+
+/// Strategy: a fleet of 2..=8 distinct node ids with varied shapes (short,
+/// long, numeric suffixes) so the per-node seeds are not artificially
+/// uniform.
+fn fleet_strategy() -> impl Strategy<Value = Vec<String>> {
+    (2usize..=8, 0u64..u64::MAX).prop_map(|(count, salt)| {
+        (0..count)
+            .map(|i| match i % 3 {
+                0 => format!("node-{salt:x}-{i}"),
+                1 => format!("tessel{i}"),
+                _ => format!("d{i}.rack{}.example", salt % 10),
+            })
+            .collect()
+    })
+}
+
+/// Deterministic pseudo-random keys (the ring mixes them again internally,
+/// so sequential seeds would be fine too; varied keys are closer to real
+/// fingerprints).
+fn keys(rng: &mut TestRng, count: usize) -> Vec<u64> {
+    (0..count).map(|_| rng.next_u64()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With 64 virtual nodes per member, no member owns less than a quarter
+    /// or more than triple its fair share of a large key sample.
+    #[test]
+    fn ring_is_balanced(nodes in fleet_strategy()) {
+        let ring = HashRing::new(nodes.iter().cloned(), 64);
+        let mut rng = TestRng::from_seed(0x1ee7_0000 + nodes.len() as u64);
+        let sample = keys(&mut rng, 8_000);
+        let mut counts = vec![0usize; nodes.len()];
+        for &key in &sample {
+            let owner = ring.owner_of_key(key);
+            let index = ring.nodes().iter().position(|n| n == owner).unwrap();
+            counts[index] += 1;
+        }
+        let fair = sample.len() as f64 / nodes.len() as f64;
+        for (node, &count) in ring.nodes().iter().zip(&counts) {
+            prop_assert!(
+                (count as f64) > fair / 4.0 && (count as f64) < fair * 3.0,
+                "node {node} owns {count} of {} keys (fair share {fair:.0})",
+                sample.len()
+            );
+        }
+    }
+
+    /// Adding a member is minimally disruptive: every key either keeps its
+    /// owner or moves to the NEW member — never between surviving members —
+    /// and the moved fraction stays near the new member's fair share.
+    #[test]
+    fn adding_a_node_only_moves_keys_onto_it(nodes in fleet_strategy()) {
+        let before = HashRing::new(nodes.iter().cloned(), 64);
+        let mut grown = nodes.clone();
+        grown.push("late-joiner".to_string());
+        let after = HashRing::new(grown, 64);
+        let mut rng = TestRng::from_seed(0xadd_0000 + nodes.len() as u64);
+        let sample = keys(&mut rng, 8_000);
+        let mut moved = 0usize;
+        for &key in &sample {
+            let old_owner = before.owner_of_key(key);
+            let new_owner = after.owner_of_key(key);
+            if old_owner != new_owner {
+                prop_assert!(
+                    new_owner == "late-joiner",
+                    "key {key} moved between surviving members ({old_owner} -> {new_owner})"
+                );
+                moved += 1;
+            }
+        }
+        // The new member's fair share is 1/(n+1); allow generous slack for
+        // virtual-node variance but reject wholesale remapping.
+        let fair = sample.len() as f64 / (nodes.len() + 1) as f64;
+        prop_assert!(
+            (moved as f64) < fair * 3.0,
+            "adding one node remapped {moved} of {} keys (fair share {fair:.0})",
+            sample.len()
+        );
+    }
+
+    /// Removing a member only remaps the keys it owned: every key owned by a
+    /// survivor keeps its owner exactly.
+    #[test]
+    fn removing_a_node_keeps_survivors_keys(nodes in fleet_strategy()) {
+        let before = HashRing::new(nodes.iter().cloned(), 64);
+        let removed = nodes[0].clone();
+        let after = HashRing::new(nodes[1..].iter().cloned(), 64);
+        let mut rng = TestRng::from_seed(0xdead_0000 + nodes.len() as u64);
+        for key in keys(&mut rng, 8_000) {
+            let old_owner = before.owner_of_key(key);
+            if old_owner != removed {
+                let new_owner = after.owner_of_key(key);
+                prop_assert!(
+                    new_owner == old_owner,
+                    "key {key} lost its surviving owner when {removed} left ({old_owner} -> {new_owner})"
+                );
+            } else {
+                // Orphaned keys must land on some survivor.
+                prop_assert!(after.nodes().iter().any(|n| n == after.owner_of_key(key)));
+            }
+        }
+    }
+}

@@ -332,6 +332,140 @@ fn trickling_slow_loris_is_reaped_by_the_idle_sweep() {
     server.shutdown();
 }
 
+/// A `Transfer-Encoding: chunked` search request — split across several
+/// writes, with a chunk extension and a trailer — is decoded by the
+/// connection state machine and served exactly like a `Content-Length`
+/// request, on a connection that stays keep-alive.
+#[test]
+fn chunked_request_bodies_are_decoded() {
+    let (server, addr) = start_server(ephemeral_config());
+
+    let mut stream = TcpStream::connect(&addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let body = search_body();
+    let (head, tail) = body.split_at(body.len() / 2);
+    stream
+        .write_all(b"POST /v1/search HTTP/1.1\r\nHost: test\r\nTransfer-Encoding: chunked\r\n\r\n")
+        .unwrap();
+    // First chunk (with an extension the server must ignore), trickled.
+    stream
+        .write_all(format!("{:x};note=head\r\n{head}\r\n", head.len()).as_bytes())
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    stream
+        .write_all(format!("{:x}\r\n{tail}\r\n", tail.len()).as_bytes())
+        .unwrap();
+    // Last chunk plus a trailer field.
+    stream
+        .write_all(b"0\r\nX-Checksum: ignored\r\n\r\n")
+        .unwrap();
+
+    let (status, response) = read_one_response(&mut stream);
+    assert_eq!(status, 200, "{response}");
+    assert!(response.contains("\"period\""), "{response}");
+
+    // The connection survived (chunked framing consumed exactly its bytes):
+    // a second, Content-Length request on the same socket still works.
+    stream.write_all(&post_search_bytes(&body)).unwrap();
+    let (status, second) = read_one_response(&mut stream);
+    assert_eq!(status, 200, "{second}");
+    assert!(second.contains("\"cached\":true"), "{second}");
+
+    drop(stream);
+    server.shutdown();
+}
+
+/// Connections over the per-IP cap are rejected at accept and counted in
+/// `tessel_http_rejected_per_ip_total`; closing one readmits the IP.
+#[test]
+fn per_ip_accept_cap_rejects_and_readmits() {
+    let (server, addr) = start_server(ServerConfig {
+        max_conns_per_ip: 2,
+        ..ephemeral_config()
+    });
+
+    // Two connections from 127.0.0.1 are fine and stay usable.
+    let mut first = TcpStream::connect(&addr).unwrap();
+    let mut second = TcpStream::connect(&addr).unwrap();
+    for stream in [&mut first, &mut second] {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n")
+            .unwrap();
+        let (status, _) = read_one_response(stream);
+        assert_eq!(status, 200);
+    }
+
+    // The third is over the cap: accepted by the kernel, then immediately
+    // closed by the event loop — the client observes EOF (or a reset), never
+    // a response.
+    let mut third = TcpStream::connect(&addr).unwrap();
+    third
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    third
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n")
+        .unwrap();
+    let mut sink = [0u8; 16];
+    // An Err here (ECONNRESET) is an equally valid rejection.
+    if let Ok(n) = third.read(&mut sink) {
+        assert_eq!(n, 0, "over-cap connection must not be served");
+    }
+    assert!(
+        wait_until_rejected(&server, 1),
+        "rejection counter never moved: {:?}",
+        server.transport_snapshot()
+    );
+
+    // Closing one admitted connection frees a slot for the same IP.
+    drop(first);
+    let fourth_ok = (0..100).any(|_| {
+        std::thread::sleep(Duration::from_millis(20));
+        let Ok(mut fourth) = TcpStream::connect(&addr) else {
+            return false;
+        };
+        fourth
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        if fourth
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: test\r\n\r\n")
+            .is_err()
+        {
+            return false;
+        }
+        let mut probe = [0u8; 1];
+        matches!(fourth.read(&mut probe), Ok(1))
+    });
+    assert!(fourth_ok, "the IP was never readmitted after a close");
+
+    // The counter renders on /metrics (over one of the admitted slots).
+    drop(second);
+    std::thread::sleep(Duration::from_millis(50));
+    let (status, metrics) = http_call(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("tessel_http_rejected_per_ip_total"),
+        "{metrics}"
+    );
+
+    server.shutdown();
+}
+
+fn wait_until_rejected(server: &HttpServer, at_least: u64) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if server.transport_snapshot().rejected_per_ip >= at_least {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
 /// The keep-alive client reuses its connection across calls and survives the
 /// server idling it out in between.
 #[test]
