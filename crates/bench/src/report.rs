@@ -17,6 +17,9 @@
 //!   count, node ratio vs serial and shared-memo dedup per thread count.
 //!   Node counts are meaningful on any host; the wall-clock columns need a
 //!   multi-core box (`host.cpus` records the measuring host).
+//! * `solver_thread_scaling` — the 1→N wall-clock curve of the lock-free
+//!   work-stealing solver plus its contention counters (steals, failed
+//!   steals, CAS retries, memo drops); interpret against `host.cpus`.
 //! * `portfolio_search` — end-to-end `TesselSearch::run` wall-clock on the
 //!   Fig. 8 synthetic shapes with 1 vs 4 portfolio workers.
 //! * `service_throughput` — requests/s and cache hit rate of the in-process
@@ -259,6 +262,122 @@ pub fn solver_parallel_scaling_rows() -> Vec<ParallelScalingRow> {
         }
     }
     rows
+}
+
+/// One row of the `solver_thread_scaling` section.
+///
+/// The 1→N wall-clock curve of the lock-free work-stealing solver, with the
+/// contention counters that explain it: `steals` (successful load balancing),
+/// `steal_failures` (lost deque-`top` races), `cas_retries` (lost claims in
+/// the shared dominance table) and `memo_insert_drops` (bounded-probe memo
+/// drops). Wall-clock speedups need a multi-core host — interpret `seconds`
+/// against the recorded `host.cpus`; on a single core the curve only shows
+/// the synchronisation overhead floor, which the lock-free structures keep
+/// flat. The serial warmstart probe is disabled for these rows so every
+/// thread count exercises the real worker pool.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThreadScalingRow {
+    /// Instance description.
+    pub instance: String,
+    /// Solver worker threads.
+    pub threads: usize,
+    /// Branch nodes expanded (all workers combined).
+    pub nodes: u64,
+    /// Wall-clock seconds of the solve (best of 2 runs).
+    pub seconds: f64,
+    /// Nodes per second.
+    pub nodes_per_sec: f64,
+    /// Serial wall-clock divided by this row's (>1 means faster than 1t).
+    pub speedup_vs_serial: f64,
+    /// Subtree tasks stolen between workers.
+    pub steals: u64,
+    /// Steal attempts that lost the deque-`top` race.
+    pub steal_failures: u64,
+    /// Lost CAS races in the lock-free shared dominance table.
+    pub cas_retries: u64,
+    /// Finish vectors the bounded-probe table declined to memoise.
+    pub memo_insert_drops: u64,
+    /// Proved optimal makespan — must be identical across thread counts.
+    pub makespan: Option<u64>,
+}
+
+/// Measures the 1→N thread-scaling curve of the lock-free work-stealing
+/// solver on the whole-schedule (time-optimal) V-shape instances.
+#[must_use]
+pub fn solver_thread_scaling_rows() -> Vec<ThreadScalingRow> {
+    let placement = synthetic_placement(ShapeKind::V, 4).expect("placement");
+    let mut rows = Vec::new();
+    const REPS: usize = 2;
+    for micro_batches in [5usize, 6] {
+        let instance = time_optimal_instance(&placement, micro_batches).expect("instance");
+        let label = format!("time_optimal/v4/mb{micro_batches}");
+        let mut serial = None;
+        for threads in [1usize, 2, 4, 8] {
+            let config = SolverConfig::exhaustive()
+                .with_threads(threads)
+                .with_serial_warmstart(0);
+            let mut best: Option<ThreadScalingRow> = None;
+            for _ in 0..REPS {
+                let started = Instant::now();
+                let outcome = Solver::new(config.clone())
+                    .minimize(&instance)
+                    .expect("solve");
+                let seconds = started.elapsed().as_secs_f64();
+                let stats = outcome.stats();
+                assert!(stats.complete, "thread scaling rows must prove optimality");
+                let row = ThreadScalingRow {
+                    instance: label.clone(),
+                    threads,
+                    nodes: stats.nodes,
+                    seconds,
+                    nodes_per_sec: stats.nodes as f64 / seconds.max(1e-9),
+                    speedup_vs_serial: 0.0,
+                    steals: stats.steals,
+                    steal_failures: stats.steal_failures,
+                    cas_retries: stats.cas_retries,
+                    memo_insert_drops: stats.memo_insert_drops,
+                    makespan: outcome.solution().map(tessel_solver::Solution::makespan),
+                };
+                if best.as_ref().is_none_or(|b| row.seconds < b.seconds) {
+                    best = Some(row);
+                }
+            }
+            let mut row = best.expect("at least one run");
+            let (serial_seconds, serial_makespan) =
+                *serial.get_or_insert((row.seconds, row.makespan));
+            assert_eq!(
+                row.makespan, serial_makespan,
+                "thread count changed the proved makespan on {label}"
+            );
+            row.speedup_vs_serial = serial_seconds / row.seconds.max(1e-9);
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Runs the 1→N thread-scaling measurement and updates its section.
+pub fn emit_thread_scaling() {
+    write_section("host", &HostInfo::capture());
+    let rows = solver_thread_scaling_rows();
+    write_section("solver_thread_scaling", &rows);
+    for row in &rows {
+        println!(
+            "solver_thread_scaling {:<22} threads={} {:>10} nodes {:>7.3}s \
+             ({:.2}x serial) steals={:>5} steal_fail={:>4} cas_retries={:>4} \
+             memo_drops={:>4} makespan={:?}",
+            row.instance,
+            row.threads,
+            row.nodes,
+            row.seconds,
+            row.speedup_vs_serial,
+            row.steals,
+            row.steal_failures,
+            row.cas_retries,
+            row.memo_insert_drops,
+            row.makespan
+        );
+    }
 }
 
 /// The search configuration used for the portfolio wall-clock comparison:
@@ -589,6 +708,7 @@ pub fn emit_all() {
         );
     }
     emit_parallel_scaling();
+    emit_thread_scaling();
 }
 
 #[cfg(test)]

@@ -307,6 +307,18 @@ macro_rules! prop_assert_eq {
             ));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` != `{:?}`: {}",
+                left,
+                right,
+                ::std::format!($($fmt)+)
+            ));
+        }
+    }};
 }
 
 /// Fails the current property case if the two expressions are equal.
@@ -320,6 +332,18 @@ macro_rules! prop_assert_ne {
                 "assertion failed: `{:?}` == `{:?}`",
                 left,
                 right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                left,
+                right,
+                ::std::format!($($fmt)+)
             ));
         }
     }};

@@ -9,7 +9,10 @@
 //! * tuple structs (single-field ones serialize transparently, like serde
 //!   newtypes),
 //! * enums with unit and/or struct variants (externally tagged),
-//! * the `#[serde(skip)]` and `#[serde(with = "module")]` field attributes.
+//! * the `#[serde(skip)]`, `#[serde(default)]` and `#[serde(with = "module")]`
+//!   field attributes (`default` fills a missing map key from
+//!   `Default::default()` instead of erroring, so persisted documents written
+//!   before a field existed keep deserializing).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -33,6 +36,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
     with: Option<String>,
 }
 
@@ -120,10 +124,11 @@ impl Cursor {
         }
     }
 
-    /// Skips `#[...]` attributes, recording `skip` / `with = "..."` from any
-    /// `#[serde(...)]` attribute encountered.
-    fn skip_attrs(&mut self) -> (bool, Option<String>) {
+    /// Skips `#[...]` attributes, recording `skip` / `default` /
+    /// `with = "..."` from any `#[serde(...)]` attribute encountered.
+    fn skip_attrs(&mut self) -> (bool, bool, Option<String>) {
         let mut skip = false;
+        let mut default = false;
         let mut with = None;
         while self.is_punct('#') {
             self.next();
@@ -139,6 +144,7 @@ impl Cursor {
                     while i < args.len() {
                         match &args[i] {
                             TokenTree::Ident(id) if id.to_string() == "skip" => skip = true,
+                            TokenTree::Ident(id) if id.to_string() == "default" => default = true,
                             TokenTree::Ident(id) if id.to_string() == "with" => {
                                 if let Some(TokenTree::Literal(lit)) = args.get(i + 2) {
                                     let raw = lit.to_string();
@@ -153,7 +159,7 @@ impl Cursor {
                 }
             }
         }
-        (skip, with)
+        (skip, default, with)
     }
 
     /// Skips `pub` / `pub(...)` visibility modifiers.
@@ -269,7 +275,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut c = Cursor::new(stream);
     let mut fields = Vec::new();
     while !c.at_end() {
-        let (skip, with) = c.skip_attrs();
+        let (skip, default, with) = c.skip_attrs();
         c.skip_vis();
         let name = c.expect_ident();
         assert!(
@@ -281,7 +287,12 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         if c.is_punct(',') {
             c.next();
         }
-        fields.push(Field { name, skip, with });
+        fields.push(Field {
+            name,
+            skip,
+            default,
+            with,
+        });
     }
     fields
 }
@@ -451,17 +462,21 @@ fn named_field_builders(fields: &[Field], map_var: &str) -> String {
     let mut out = String::new();
     for f in fields {
         let fname = &f.name;
+        let from_value = |value: &str| match &f.with {
+            Some(path) => format!("{path}::deserialize({value})?"),
+            None => format!("::serde::Deserialize::from_value({value})?"),
+        };
         let expr = if f.skip {
             "::std::default::Default::default()".to_string()
+        } else if f.default {
+            format!(
+                "match ::serde::field({map_var}, \"{fname}\") {{\n\
+                 ::std::result::Result::Ok(__v) => {},\n\
+                 ::std::result::Result::Err(_) => ::std::default::Default::default(),\n}}",
+                from_value("__v")
+            )
         } else {
-            match &f.with {
-                Some(path) => {
-                    format!("{path}::deserialize(::serde::field({map_var}, \"{fname}\")?)?")
-                }
-                None => format!(
-                    "::serde::Deserialize::from_value(::serde::field({map_var}, \"{fname}\")?)?"
-                ),
-            }
+            from_value(&format!("::serde::field({map_var}, \"{fname}\")?"))
         };
         out.push_str(&format!("{fname}: {expr},\n"));
     }

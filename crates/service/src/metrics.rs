@@ -44,6 +44,13 @@ pub struct ServiceMetrics {
     pub solver_steals: AtomicU64,
     /// Dominance prunes served by a record another solver worker inserted.
     pub solver_shared_memo_hits: AtomicU64,
+    /// Lost CAS races in the solver's lock-free shared structures.
+    pub solver_cas_retries: AtomicU64,
+    /// Solver steal attempts that lost the deque-`top` race.
+    pub solver_steal_failures: AtomicU64,
+    /// Finish vectors the solver's bounded-probe dominance table declined to
+    /// memoise.
+    pub solver_memo_drops: AtomicU64,
     latency_buckets: [AtomicU64; BUCKETS],
 }
 
@@ -78,6 +85,16 @@ pub struct MetricsSnapshot {
     pub solver_steals: u64,
     /// Dominance prunes served by a record another solver worker inserted.
     pub solver_shared_memo_hits: u64,
+    /// Lost CAS races in the solver's lock-free shared structures.
+    #[serde(default)]
+    pub solver_cas_retries: u64,
+    /// Solver steal attempts that lost the deque-`top` race.
+    #[serde(default)]
+    pub solver_steal_failures: u64,
+    /// Finish vectors the solver's bounded-probe dominance table declined to
+    /// memoise.
+    #[serde(default)]
+    pub solver_memo_drops: u64,
     /// Cache hit rate over all completed requests (0 when idle).
     pub hit_rate: f64,
     /// Entries currently cached.
@@ -106,6 +123,9 @@ impl Default for ServiceMetrics {
             solver_pruned_dominance: AtomicU64::new(0),
             solver_steals: AtomicU64::new(0),
             solver_shared_memo_hits: AtomicU64::new(0),
+            solver_cas_retries: AtomicU64::new(0),
+            solver_steal_failures: AtomicU64::new(0),
+            solver_memo_drops: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
@@ -132,6 +152,12 @@ impl ServiceMetrics {
             .fetch_add(totals.steals, Ordering::Relaxed);
         self.solver_shared_memo_hits
             .fetch_add(totals.shared_memo_hits, Ordering::Relaxed);
+        self.solver_cas_retries
+            .fetch_add(totals.cas_retries, Ordering::Relaxed);
+        self.solver_steal_failures
+            .fetch_add(totals.steal_failures, Ordering::Relaxed);
+        self.solver_memo_drops
+            .fetch_add(totals.memo_insert_drops, Ordering::Relaxed);
     }
 
     /// Records one completed request's wall-clock latency.
@@ -188,6 +214,9 @@ impl ServiceMetrics {
             solver_pruned_dominance: self.solver_pruned_dominance.load(Ordering::Relaxed),
             solver_steals: self.solver_steals.load(Ordering::Relaxed),
             solver_shared_memo_hits: self.solver_shared_memo_hits.load(Ordering::Relaxed),
+            solver_cas_retries: self.solver_cas_retries.load(Ordering::Relaxed),
+            solver_steal_failures: self.solver_steal_failures.load(Ordering::Relaxed),
+            solver_memo_drops: self.solver_memo_drops.load(Ordering::Relaxed),
             hit_rate: if served == 0 {
                 0.0
             } else {
@@ -280,6 +309,21 @@ impl MetricsSnapshot {
             "solver_shared_memo_hits_total",
             "Dominance prunes served by another solver worker's record.",
             self.solver_shared_memo_hits as f64,
+        );
+        counter(
+            "solver_cas_retries_total",
+            "Lost CAS races in the solver's lock-free shared structures.",
+            self.solver_cas_retries as f64,
+        );
+        counter(
+            "solver_steal_failures_total",
+            "Solver steal attempts that lost the deque-top race.",
+            self.solver_steal_failures as f64,
+        );
+        counter(
+            "solver_memo_drops_total",
+            "Finish vectors the bounded-probe dominance table declined to memoise.",
+            self.solver_memo_drops as f64,
         );
         counter("cache_hit_rate", "Cache hit rate.", self.hit_rate);
         counter(
@@ -652,6 +696,9 @@ mod tests {
             pruned_dominance: 40,
             steals: 3,
             shared_memo_hits: 9,
+            cas_retries: 11,
+            steal_failures: 12,
+            memo_insert_drops: 13,
         });
         let snap = m.snapshot(4, 1);
         assert_eq!(snap.requests, 3);
@@ -669,7 +716,11 @@ mod tests {
         assert!(text.contains("tessel_solver_nodes_total 1000"));
         assert!(text.contains("tessel_solver_steals_total 3"));
         assert!(text.contains("tessel_solver_shared_memo_hits_total 9"));
+        assert!(text.contains("tessel_solver_cas_retries_total 11"));
+        assert!(text.contains("tessel_solver_steal_failures_total 12"));
+        assert!(text.contains("tessel_solver_memo_drops_total 13"));
         assert!(text.contains("# TYPE tessel_solver_solves_total counter"));
+        assert!(text.contains("# TYPE tessel_solver_cas_retries_total counter"));
         // JSON round trip for the in-process API.
         let json = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();

@@ -1,15 +1,70 @@
-//! Dominance memoisation: per-worker flat tables and the shared sharded
-//! table parallel workers prune against.
+//! Dominance memoisation: the private per-search flat table and the
+//! lock-free shared table parallel workers prune against.
 //!
 //! Two partial schedules covering the same set of tasks are compared by their
 //! per-device finish-time vectors; the componentwise-worse one cannot lead to
 //! a better completion and is pruned. The single-threaded search keeps one
 //! private [`DominanceTable`]; the work-stealing parallel search shares one
-//! [`SharedDominanceTable`] — the same flat tables, lock-striped across
-//! bitmask-keyed shards — so a state explored by any worker prunes the
+//! [`SharedDominanceTable`] so a state explored by any worker prunes the
 //! re-exploration every other worker would otherwise pay.
+//!
+//! # The lock-free shared table
+//!
+//! The shared table is open-addressing over fixed slots, each one atomic
+//! seqlock word plus a packed record of `u64` words
+//! (`[owner, mask_lo, mask_hi, f_0 .. f_{D-1}]`). The seqlock word encodes
+//! the slot's lifecycle: `0` is free, an odd value means a writer is mid-
+//! publication, an even value `≥ 2` means the record is published at that
+//! version. Writers claim a slot by CAS (`0 → 1` for a fresh insert, an even
+//! version `v → v + 1` to *upgrade* a record their vector strictly
+//! dominates), fill the record with relaxed stores, then publish with a
+//! release store of the next even version. Readers load the word with
+//! acquire ordering, copy the record out, then re-load the word (behind an
+//! acquire fence): if the version moved, a concurrent upgrade may have torn
+//! the copy, and the reader simply discards it. This gives the two
+//! properties the search leans on:
+//!
+//! * **Scan termination** — probing stops at the bounded window's end; an
+//!   odd word means some record is mid-publication and is simply skipped.
+//!   A slot, once taken, never returns to free, so a reader can trust the
+//!   key it sees (the mask words are written once and never change; only
+//!   the owner and finish-vector words are rewritten by upgrades).
+//! * **Prune-only safety** — the only races a reader can lose are *missing*
+//!   a record (one being published right now, or one it raced past) and
+//!   *discarding* a copy whose version moved mid-read. Either way the search
+//!   merely forfeits one pruning opportunity and (re)explores the subtree
+//!   exactly as a cold cache would have. Conversely a copy that validates
+//!   was fully published (release/acquire on the version word), so every
+//!   prune decision is based on a complete finish vector. Identical proved
+//!   makespans at every thread count follow.
+//!
+//! Insertion is bounded-probe: if every slot in the window is taken by an
+//! incomparable record the vector is simply not memoised
+//! (`memo_insert_drops` counts these). The table never blocks, never
+//! reallocates a slot array concurrently, and stores finish vectors inline
+//! in the slot record — contiguous with the key words, so a dominance check
+//! touches one cache line for typical device counts. The in-place upgrade
+//! is what keeps the bounded window honest over long solves: branch-and-
+//! bound revisits the same task mask with steadily better finish vectors,
+//! and without replacement those generations of superseded records would
+//! pile up until every window is full and memoisation collapses (an early
+//! monotone FREE→CLAIMED→READY design did exactly that — a 4-thread mb6
+//! solve exploded past 20× the serial node count on dropped memos). A lost
+//! upgrade CAS is counted in `cas_retries` and degrades to "don't memoise",
+//! never to waiting.
+//!
+//! Slot storage is carved into lazily-built segments: the segment directory
+//! is pre-sized at construction, and each segment's slots are allocated and
+//! zeroed by the first writer that CASes the segment's state from `ABSENT`
+//! to `BUILDING`. Losers of that race skip the segment (degrading to "don't
+//! memoise", never waiting), so construction stays O(directory) even with
+//! multi-million-slot capacities while small solves never touch most
+//! segments.
 
-use std::sync::Mutex;
+use super::simd;
+use crate::stats::SolveStats;
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
 
 pub(super) const EMPTY_HEAD: u32 = u32::MAX;
 
@@ -35,7 +90,12 @@ const FREE_SLOT: Slot = Slot {
 /// insertions and removals therefore touch no allocator once the table has
 /// warmed up, which is what makes dominance pruning cheap enough to run at
 /// every node. The `owner` word records which worker inserted the vector, so
-/// the shared table can attribute cross-thread deduplication.
+/// shared-table semantics can be cross-checked against this one.
+///
+/// This single-owner table is the *reference semantics* for the lock-free
+/// [`SharedDominanceTable`]: the serial search uses it directly, and the
+/// equivalence property tests assert the lock-free table makes the same
+/// prune decisions.
 #[derive(Debug, Clone)]
 pub(super) struct DominanceTable {
     slots: Vec<Slot>,
@@ -139,15 +199,8 @@ impl DominanceTable {
         while r != EMPTY_HEAD {
             let base = r as usize * rec;
             let next = self.arena[base] as u32;
-            let mut stored_le = true;
-            let mut current_le = true;
-            for (&stored, &current) in self.arena[base + 2..base + 2 + devices]
-                .iter()
-                .zip(finishes)
-            {
-                stored_le &= stored <= current;
-                current_le &= current <= stored;
-            }
+            let (stored_le, current_le) =
+                simd::compare_le(&self.arena[base + 2..base + 2 + devices], finishes);
             if stored_le {
                 // An at-least-as-good state was already explored.
                 return Some(self.arena[base + 1] as u32);
@@ -182,14 +235,48 @@ impl DominanceTable {
     }
 }
 
-/// The shared dominance table of the work-stealing parallel search.
+/// Seqlock values of a slot's version word. `SLOT_FREE` is the initial
+/// state; the first publisher CASes it to the odd `SLOT_CLAIMED`, writes the
+/// record, and publishes `SLOT_READY` (the first even version). Upgrades CAS
+/// an even version `v → v + 1`, rewrite the owner/finish words, and publish
+/// `v + 2`. Odd always means "writer active"; a slot never returns to free.
+const SLOT_FREE: u32 = 0;
+const SLOT_CLAIMED: u32 = 1;
+const SLOT_READY: u32 = 2;
+
+/// Segment directory states. Monotonic (`ABSENT → BUILDING → READY`): scan
+/// termination and prune-only safety rest on never going backwards.
+const SEG_ABSENT: u8 = 0;
+const SEG_BUILDING: u8 = 1;
+const SEG_READY: u8 = 2;
+
+/// Linear-probe window of the lock-free table. Insertion beyond the window
+/// degrades to "don't memoise" rather than probing further: a bounded scan
+/// keeps the worst-case lookup cost flat and the drop is prune-only.
+pub(super) const PROBE_WINDOW: usize = 16;
+
+/// Slots per lazily-built segment. Small enough that a segment's zeroing cost
+/// (~a few hundred KiB) is negligible against any solve that needs it; large
+/// enough that big solves touch few directory entries.
+const SEGMENT_SLOTS: usize = 1 << 13;
+
+/// One lazily-allocated stripe of slots: a seqlock version word per slot
+/// plus the packed `u64` records `[owner, mask_lo, mask_hi, f_0 .. f_{D-1}]`.
+#[derive(Debug)]
+struct Segment {
+    meta: Vec<AtomicU32>,
+    data: Vec<AtomicU64>,
+}
+
+#[derive(Debug)]
+struct SegmentCell {
+    state: AtomicU8,
+    segment: OnceLock<Segment>,
+}
+
+/// The lock-free shared dominance table of the work-stealing parallel search.
 ///
-/// Lock-striped: the bitmask key hashes to one of `shards` independently
-/// locked [`DominanceTable`]s (shard selection uses hash bits disjoint from
-/// the in-shard slot probe bits), so concurrent workers only contend when
-/// they touch the same key region. The configured memo limit is divided
-/// evenly across shards.
-///
+/// See the module docs for the full design and the memory-ordering argument.
 /// Sharing is what makes parallel search cheap: with per-worker private memos
 /// the same `(scheduled set, finish vector)` state reached in two workers'
 /// subtrees is explored twice; with the shared table the second worker prunes
@@ -198,39 +285,232 @@ impl DominanceTable {
 /// completion (no budget/deadline stop) still proves optimality exactly.
 #[derive(Debug)]
 pub(super) struct SharedDominanceTable {
-    shards: Vec<Mutex<DominanceTable>>,
-    shard_mask: u64,
+    segments: Vec<SegmentCell>,
+    slot_mask: u64,
+    seg_shift: u32,
+    seg_mask: usize,
+    /// Words per slot record: `3 + devices`.
+    stride: usize,
+    devices: usize,
 }
 
 impl SharedDominanceTable {
-    /// Creates a table of `shards` (rounded up to a power of two, at least
-    /// one) striping a total capacity of `limit` stored vectors.
-    pub(super) fn new(devices: usize, limit: usize, shards: usize) -> Self {
-        let count = shards.max(1).next_power_of_two();
-        let per_shard = (limit / count).max(1);
+    /// Creates a table with capacity for roughly `limit` finish vectors (one
+    /// per slot, rounded up to a power of two). Only the segment directory is
+    /// allocated here; slot storage materialises on first touch.
+    pub(super) fn new(devices: usize, limit: usize) -> Self {
+        let slots = limit.next_power_of_two().clamp(1024, 1 << 26);
+        let seg_slots = SEGMENT_SLOTS.min(slots);
         SharedDominanceTable {
-            shards: (0..count)
-                .map(|_| Mutex::new(DominanceTable::new(devices, per_shard)))
+            segments: (0..slots / seg_slots)
+                .map(|_| SegmentCell {
+                    state: AtomicU8::new(SEG_ABSENT),
+                    segment: OnceLock::new(),
+                })
                 .collect(),
-            shard_mask: count as u64 - 1,
+            slot_mask: slots as u64 - 1,
+            seg_shift: seg_slots.trailing_zeros(),
+            seg_mask: seg_slots - 1,
+            stride: 3 + devices,
+            devices,
         }
     }
 
-    /// [`DominanceTable::check_and_insert`] against the shard owning `mask`.
-    pub(super) fn check_and_insert(&self, mask: u128, finishes: &[u64], owner: u32) -> Option<u32> {
-        // Shard on high hash bits; the shard-local slot probe uses the low
-        // bits, so the two selections stay independent.
-        let shard = ((DominanceTable::hash(mask) >> 32) & self.shard_mask) as usize;
-        self.shards[shard]
-            .lock()
-            .expect("dominance shard lock")
-            .check_and_insert(mask, finishes, owner)
+    /// The segment holding `slot`, if some writer already built it.
+    fn segment(&self, slot: usize) -> Option<&Segment> {
+        let cell = &self.segments[slot >> self.seg_shift];
+        if cell.state.load(Ordering::Acquire) == SEG_READY {
+            cell.segment.get()
+        } else {
+            None
+        }
+    }
+
+    /// The segment holding `slot`, building it if nobody has. Returns `None`
+    /// — *without waiting* — when another writer is mid-build; the caller
+    /// skips the slot (prune-only safe) and counts the lost race.
+    fn ensure_segment(&self, slot: usize, stats: &mut SolveStats) -> Option<&Segment> {
+        let cell = &self.segments[slot >> self.seg_shift];
+        match cell.state.compare_exchange(
+            SEG_ABSENT,
+            SEG_BUILDING,
+            Ordering::Acquire,
+            Ordering::Acquire,
+        ) {
+            Ok(_) => {
+                let slots = self.seg_mask + 1;
+                let built = Segment {
+                    meta: (0..slots).map(|_| AtomicU32::new(SLOT_FREE)).collect(),
+                    data: (0..slots * self.stride)
+                        .map(|_| AtomicU64::new(0))
+                        .collect(),
+                };
+                // We won the CAS, so we are the only `set` caller ever.
+                let _ = cell.segment.set(built);
+                cell.state.store(SEG_READY, Ordering::Release);
+                cell.segment.get()
+            }
+            Err(SEG_READY) => cell.segment.get(),
+            Err(_) => {
+                // Another worker is zeroing the segment right now. Waiting
+                // would re-introduce blocking; skipping only costs a memo.
+                stats.cas_retries += 1;
+                None
+            }
+        }
+    }
+
+    /// Checks `finishes` against every vector published for `mask` inside
+    /// the probe window; returns `Some(owner)` if a published vector
+    /// dominates it. Otherwise it records `(mask, finishes)` under `owner` —
+    /// upgrading a strictly-dominated record of the same mask in place, or
+    /// claiming a free slot of the window — counting lost CAS races and
+    /// discarded torn reads in `stats.cas_retries` and a full window in
+    /// `stats.memo_insert_drops`.
+    ///
+    /// `scratch` is a caller-owned buffer the candidate record is copied
+    /// into before comparing — the copy turns per-word atomic loads into a
+    /// plain slice compare ([`simd::compare_le`]) and is also what the
+    /// seqlock validation protects: a copy whose slot version moved mid-read
+    /// is discarded, never compared.
+    pub(super) fn check_and_insert(
+        &self,
+        mask: u128,
+        finishes: &[u64],
+        owner: u32,
+        scratch: &mut Vec<u64>,
+        stats: &mut SolveStats,
+    ) -> Option<u32> {
+        let start = DominanceTable::hash(mask) & self.slot_mask;
+        let mask_lo = mask as u64;
+        let mask_hi = (mask >> 64) as u64;
+        let devices = self.devices;
+        let mut free = [0usize; PROBE_WINDOW];
+        let mut free_count = 0usize;
+
+        for p in 0..PROBE_WINDOW as u64 {
+            let idx = ((start + p) & self.slot_mask) as usize;
+            let Some(seg) = self.segment(idx) else {
+                // Untouched (or mid-build) segment: every slot in it is
+                // free from this reader's point of view.
+                free[free_count] = idx;
+                free_count += 1;
+                continue;
+            };
+            let off = idx & self.seg_mask;
+            let version = seg.meta[off].load(Ordering::Acquire);
+            if version == SLOT_FREE {
+                free[free_count] = idx;
+                free_count += 1;
+                continue;
+            }
+            if version & 1 == 1 {
+                // A writer is mid-publication; skipping it is a race a
+                // reader is allowed to lose (prune-only).
+                continue;
+            }
+            let base = off * self.stride;
+            // The mask words are written exactly once, before the slot's
+            // first even version, so the acquire load above fixes them.
+            if seg.data[base + 1].load(Ordering::Relaxed) != mask_lo
+                || seg.data[base + 2].load(Ordering::Relaxed) != mask_hi
+            {
+                continue;
+            }
+            let rec_owner = seg.data[base].load(Ordering::Relaxed);
+            scratch.clear();
+            scratch.extend(
+                seg.data[base + 3..base + 3 + devices]
+                    .iter()
+                    .map(|w| w.load(Ordering::Relaxed)),
+            );
+            // Seqlock validation: the fence orders the copy above before
+            // the version re-load; a moved version means a concurrent
+            // upgrade may have torn the copy, so discard it (prune-only).
+            fence(Ordering::Acquire);
+            if seg.meta[off].load(Ordering::Relaxed) != version {
+                stats.cas_retries += 1;
+                continue;
+            }
+            let (stored_le, current_le) = simd::compare_le(scratch, finishes);
+            if stored_le {
+                // An at-least-as-good state was already explored.
+                return Some(rec_owner as u32);
+            }
+            if current_le {
+                // Our vector strictly dominates the record: upgrade it in
+                // place so superseded generations don't clog the bounded
+                // window (branch-and-bound revisits the same mask with
+                // steadily better vectors; without replacement the window
+                // fills and memoisation collapses).
+                match seg.meta[off].compare_exchange(
+                    version,
+                    version + 1,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        seg.data[base].store(u64::from(owner), Ordering::Relaxed);
+                        for (word, &f) in
+                            seg.data[base + 3..base + 3 + devices].iter().zip(finishes)
+                        {
+                            word.store(f, Ordering::Relaxed);
+                        }
+                        seg.meta[off].store(version + 2, Ordering::Release);
+                        return None;
+                    }
+                    Err(_) => {
+                        // Another worker got to this record first; don't
+                        // wait for it, keep probing.
+                        stats.cas_retries += 1;
+                    }
+                }
+            }
+        }
+
+        // Not dominated: publish into the first free slot we can claim.
+        for &idx in &free[..free_count] {
+            let Some(seg) = self.ensure_segment(idx, stats) else {
+                continue;
+            };
+            let off = idx & self.seg_mask;
+            match seg.meta[off].compare_exchange(
+                SLOT_FREE,
+                SLOT_CLAIMED,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    let base = off * self.stride;
+                    seg.data[base].store(u64::from(owner), Ordering::Relaxed);
+                    seg.data[base + 1].store(mask_lo, Ordering::Relaxed);
+                    seg.data[base + 2].store(mask_hi, Ordering::Relaxed);
+                    for (word, &f) in seg.data[base + 3..base + 3 + devices].iter().zip(finishes) {
+                        word.store(f, Ordering::Relaxed);
+                    }
+                    // Publish: readers acquiring READY see every store above.
+                    seg.meta[off].store(SLOT_READY, Ordering::Release);
+                    return None;
+                }
+                Err(_) => {
+                    // Another worker claimed the slot between our scan and
+                    // our CAS; try the next free slot of the window.
+                    stats.cas_retries += 1;
+                }
+            }
+        }
+
+        // Window exhausted: don't memoise. The search stays exact, this
+        // state just won't prune a future revisit.
+        stats.memo_insert_drops += 1;
+        None
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn dominance_table_detects_and_replaces() {
@@ -278,37 +558,117 @@ mod tests {
         assert!(table.check_and_insert(0b100, &[5], 0).is_none());
     }
 
-    #[test]
-    fn shared_table_attributes_cross_worker_hits() {
-        let shared = SharedDominanceTable::new(2, 1 << 10, 4);
-        assert!(shared.check_and_insert(0b11, &[3, 4], 0).is_none());
-        // Worker 1 revisits worker 0's state: pruned, attributed to 0.
-        assert_eq!(shared.check_and_insert(0b11, &[3, 4], 1), Some(0));
-        // Worker 0 revisiting its own state is a same-worker hit.
-        assert_eq!(shared.check_and_insert(0b11, &[4, 4], 0), Some(0));
+    /// Convenience driver for the lock-free table in single-threaded tests.
+    fn shared_check(
+        table: &SharedDominanceTable,
+        mask: u128,
+        finishes: &[u64],
+        owner: u32,
+        stats: &mut SolveStats,
+    ) -> Option<u32> {
+        let mut scratch = Vec::new();
+        table.check_and_insert(mask, finishes, owner, &mut scratch, stats)
     }
 
     #[test]
-    fn shared_table_stripes_limit_across_shards() {
-        // 4 shards over a limit of 4: one stored vector per shard. Masks are
-        // spread over many shards, so at least some inserts land in distinct
-        // shards and are all retained.
-        let shared = SharedDominanceTable::new(1, 4, 4);
-        let mut retained = 0;
-        for i in 0..64u64 {
-            if shared
-                .check_and_insert(u128::from(i) << 1, &[0], 0)
-                .is_none()
-                && shared
-                    .check_and_insert(u128::from(i) << 1, &[1], 0)
-                    .is_some()
-            {
-                retained += 1;
-            }
+    fn shared_table_attributes_cross_worker_hits() {
+        let shared = SharedDominanceTable::new(2, 1 << 10);
+        let mut stats = SolveStats::default();
+        assert!(shared_check(&shared, 0b11, &[3, 4], 0, &mut stats).is_none());
+        // Worker 1 revisits worker 0's state: pruned, attributed to 0.
+        assert_eq!(shared_check(&shared, 0b11, &[3, 4], 1, &mut stats), Some(0));
+        // Worker 0 revisiting its own state is a same-worker hit.
+        assert_eq!(shared_check(&shared, 0b11, &[4, 4], 0, &mut stats), Some(0));
+        // No contention in a single-threaded test.
+        assert_eq!(stats.cas_retries, 0);
+        assert_eq!(stats.memo_insert_drops, 0);
+    }
+
+    #[test]
+    fn shared_table_drops_memos_when_the_window_fills() {
+        // Pairwise-incomparable vectors under one mask all probe the same
+        // window; once its PROBE_WINDOW slots hold records, further inserts
+        // are dropped (counted, not blocked) and stay unpruned on revisit.
+        let shared = SharedDominanceTable::new(2, 1 << 10);
+        let mut stats = SolveStats::default();
+        for i in 0..PROBE_WINDOW as u64 {
+            assert!(shared_check(&shared, 0b1, &[i, 100 - i], 0, &mut stats).is_none());
         }
-        assert!(
-            retained >= 2,
-            "expected multiple shards to store, got {retained}"
+        assert_eq!(stats.memo_insert_drops, 0);
+        let overflow = PROBE_WINDOW as u64;
+        assert!(shared_check(&shared, 0b1, &[overflow, 100 - overflow], 0, &mut stats).is_none());
+        assert_eq!(stats.memo_insert_drops, 1);
+        // The dropped vector was not memoised: an identical revisit is not
+        // pruned (and drops again).
+        assert!(shared_check(&shared, 0b1, &[overflow, 100 - overflow], 0, &mut stats).is_none());
+        assert_eq!(stats.memo_insert_drops, 2);
+        // A vector dominated by a *stored* record still prunes.
+        assert_eq!(
+            shared_check(&shared, 0b1, &[0, 101], 1, &mut stats),
+            Some(0)
         );
+    }
+
+    #[test]
+    fn shared_table_upgrades_dominated_records_in_place() {
+        // A strictly-better vector for an already-stored mask rewrites the
+        // record through the slot seqlock instead of consuming a fresh slot
+        // — the bounded probe window must not fill up with superseded
+        // generations of the same state.
+        let shared = SharedDominanceTable::new(2, 1 << 10);
+        let mut stats = SolveStats::default();
+        assert!(shared_check(&shared, 0b11, &[5, 5], 0, &mut stats).is_none());
+        // Worker 1's strictly better vector upgrades worker 0's record.
+        assert!(shared_check(&shared, 0b11, &[4, 4], 1, &mut stats).is_none());
+        // The superseded [5, 5] is gone: revisiting it prunes against the
+        // upgraded record and is attributed to worker 1.
+        assert_eq!(shared_check(&shared, 0b11, &[5, 5], 0, &mut stats), Some(1));
+        assert_eq!(shared_check(&shared, 0b11, &[4, 5], 0, &mut stats), Some(1));
+        // The window still has room for a genuinely incomparable vector.
+        assert!(shared_check(&shared, 0b11, &[1, 9], 0, &mut stats).is_none());
+        assert_eq!(shared_check(&shared, 0b11, &[2, 9], 1, &mut stats), Some(0));
+        // Single-threaded: every upgrade CAS wins first try.
+        assert_eq!(stats.cas_retries, 0);
+        assert_eq!(stats.memo_insert_drops, 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// Single-threaded equivalence: on any operation sequence, the
+        /// lock-free table and the locked reference make identical prune
+        /// decisions (until a capacity drop, after which the lock-free
+        /// table is allowed to prune strictly less — never more).
+        #[test]
+        fn lock_free_matches_locked_reference(
+            ops in proptest::collection::vec(
+                (0u64..24, proptest::collection::vec(0u64..12, 3)),
+                1..80,
+            )
+        ) {
+            let mut reference = DominanceTable::new(3, 1 << 12);
+            let shared = SharedDominanceTable::new(3, 1 << 12);
+            let mut scratch = Vec::new();
+            let mut stats = SolveStats::default();
+            for (mask, finishes) in &ops {
+                let mask = u128::from(*mask);
+                let locked = reference.check_and_insert(mask, finishes, 0);
+                let lock_free = shared
+                    .check_and_insert(mask, finishes, 0, &mut scratch, &mut stats);
+                prop_assert_eq!(
+                    locked.is_some(),
+                    lock_free.is_some(),
+                    "prune decision diverged for mask {} finishes {:?}",
+                    mask,
+                    finishes
+                );
+                if stats.memo_insert_drops > 0 {
+                    // A dropped memo is the one sanctioned divergence; the
+                    // decision that *caused* the drop was still identical
+                    // (asserted above), later ones may legitimately differ.
+                    break;
+                }
+            }
+            prop_assert_eq!(stats.cas_retries, 0);
+        }
     }
 }

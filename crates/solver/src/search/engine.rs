@@ -15,7 +15,7 @@
 //! behind an `Option` that the serial path never touches.
 
 use super::dominance::DominanceTable;
-use super::frontier::SubtreeTask;
+use super::frontier::{SubtreeTask, MAX_TASK_PATH};
 use super::parallel::SharedSearch;
 use super::SolverConfig;
 use crate::instance::Instance;
@@ -172,6 +172,15 @@ pub(super) struct SearchContext<'a> {
     /// stamped on shared-dominance records to attribute cross-worker hits.
     worker: u32,
     pub(super) nodes_since_flush: u64,
+    /// Reusable buffer the lock-free shared dominance table copies candidate
+    /// finish vectors into before comparing (a torn read must never alias the
+    /// live search state); kept on the context so the hot loop stays
+    /// allocation-free.
+    dom_scratch: Vec<u64>,
+    /// Additional node cap for the serial search, tightened by the
+    /// warmstart probe (see [`SolverConfig::serial_warmstart_nodes`]);
+    /// `u64::MAX` everywhere else.
+    pub(super) node_cap: u64,
 }
 
 impl<'a> SearchContext<'a> {
@@ -217,6 +226,8 @@ impl<'a> SearchContext<'a> {
             shared: None,
             worker: 0,
             nodes_since_flush: 0,
+            dom_scratch: vec![0; flat.num_devices],
+            node_cap: u64::MAX,
         }
     }
 
@@ -257,6 +268,8 @@ impl<'a> SearchContext<'a> {
             shared: Some(shared),
             worker,
             nodes_since_flush: 0,
+            dom_scratch: vec![0; self.flat.num_devices],
+            node_cap: u64::MAX,
         }
     }
 
@@ -274,11 +287,12 @@ impl<'a> SearchContext<'a> {
             // mostly unmodified) so a small budget is respected promptly;
             // the write is batched to keep workers off each other's cache
             // line. Worst-case overshoot is one flush batch per worker.
-            if shared.nodes.load(Ordering::Relaxed) + self.nodes_since_flush
+            if shared.nodes.0.load(Ordering::Relaxed) + self.nodes_since_flush
                 >= self.config.max_nodes
             {
                 shared
                     .nodes
+                    .0
                     .fetch_add(self.nodes_since_flush, Ordering::Relaxed);
                 self.nodes_since_flush = 0;
                 shared.limit_stop.store(true, Ordering::Relaxed);
@@ -287,6 +301,7 @@ impl<'a> SearchContext<'a> {
             if self.nodes_since_flush >= shared.flush_interval {
                 shared
                     .nodes
+                    .0
                     .fetch_add(self.nodes_since_flush, Ordering::Relaxed);
                 self.nodes_since_flush = 0;
                 if let Some(limit) = self.config.time_limit {
@@ -310,7 +325,7 @@ impl<'a> SearchContext<'a> {
             }
             false
         } else {
-            if self.stats.nodes >= self.config.max_nodes {
+            if self.stats.nodes >= self.config.max_nodes.min(self.node_cap) {
                 return true;
             }
             // Clock reads and abort checks are sampled at batch boundaries;
@@ -367,7 +382,7 @@ impl<'a> SearchContext<'a> {
     /// Pulls the shared incumbent into this worker's exclusive bound.
     pub(super) fn refresh_shared_upper(&mut self) {
         if let Some(shared) = self.shared {
-            let global = shared.upper.load(Ordering::Relaxed);
+            let global = shared.upper.0.load(Ordering::Relaxed);
             if global < self.upper {
                 self.upper = global;
             }
@@ -385,9 +400,9 @@ impl<'a> SearchContext<'a> {
         self.best_starts.copy_from_slice(&self.starts);
         self.stats.incumbents += 1;
         if let Some(shared) = self.shared {
-            let mut current = shared.upper.load(Ordering::Relaxed);
+            let mut current = shared.upper.0.load(Ordering::Relaxed);
             while makespan < current {
-                match shared.upper.compare_exchange_weak(
+                match shared.upper.0.compare_exchange_weak(
                     current,
                     makespan,
                     Ordering::Relaxed,
@@ -518,17 +533,21 @@ impl<'a> SearchContext<'a> {
     }
 
     /// Dominance pruning on (scheduled set, device finish vector): the serial
-    /// search consults its private table, parallel workers the shared sharded
-    /// one. Returns `true` if the current node is dominated.
+    /// search consults its private table, parallel workers the lock-free
+    /// shared one. Returns `true` if the current node is dominated.
     fn dominance_pruned(&mut self) -> bool {
         if !self.mask_valid {
             return false;
         }
         if let Some(shared) = self.shared {
             if let Some(table) = &shared.dominance {
-                if let Some(owner) =
-                    table.check_and_insert(self.cur_mask, &self.device_finish, self.worker)
-                {
+                if let Some(owner) = table.check_and_insert(
+                    self.cur_mask,
+                    &self.device_finish,
+                    self.worker,
+                    &mut self.dom_scratch,
+                    &mut self.stats,
+                ) {
                     self.stats.pruned_dominance += 1;
                     if owner != self.worker {
                         self.stats.shared_memo_hits += 1;
@@ -561,15 +580,26 @@ impl<'a> SearchContext<'a> {
         if depth >= self.config.steal_depth || shared.queues.queued() >= shared.spawn_cap {
             return false;
         }
+        // Tasks deeper than the fixed-width deque slots can carry run inline;
+        // `steal_depth` keeps offloads far shallower than this in practice.
+        if self.path.len() + 1 > MAX_TASK_PATH {
+            return false;
+        }
         let mut path = Vec::with_capacity(self.path.len() + 1);
         path.extend_from_slice(&self.path);
         path.push(task);
         // Count before publishing, so a thief finishing the task quickly can
         // never drive `outstanding` to zero while the spawn is mid-flight.
-        shared.outstanding.fetch_add(1, Ordering::Relaxed);
-        shared
+        shared.outstanding.0.fetch_add(1, Ordering::Relaxed);
+        if !shared
             .queues
-            .push(self.worker as usize, SubtreeTask { path });
+            .push(self.worker as usize, &SubtreeTask { path })
+        {
+            // The bounded ring is full: withdraw the reservation and explore
+            // the subtree inline instead of blocking or growing the ring.
+            shared.outstanding.0.fetch_sub(1, Ordering::Release);
+            return false;
+        }
         true
     }
 

@@ -19,28 +19,32 @@
 //! * [`engine`] — the allocation-free DFS hot loop: flattened instance data,
 //!   undo-stack state restoration, pooled candidate buffers, bound passes.
 //! * [`dominance`] — the flat open-addressing dominance tables: one private
-//!   table for the serial search, a lock-striped sharded table shared by
-//!   parallel workers.
-//! * [`frontier`] — subtree tasks and the per-worker deques of the
-//!   work-stealing scheduler.
+//!   table for the serial search, a lock-free CAS-claimed table shared by
+//!   parallel workers (SIMD-friendly vector compares live in [`simd`]).
+//! * [`frontier`] — subtree tasks and the per-worker Chase–Lev steal deques
+//!   of the work-stealing scheduler.
 //! * [`parallel`] — the work-stealing worker pool: seeding, stealing,
 //!   termination detection and result merging.
 //!
 //! # Parallel search
 //!
 //! With [`SolverConfig::threads`] > 1 the search runs **work-stealing**: the
-//! root frontier seeds per-worker deques, workers publish shallow subtrees as
-//! stealable tasks ([`SolverConfig::steal_depth`]) and steal from peers when
-//! their own deque drains, and *all* workers prune against one **shared
-//! sharded dominance table** ([`SolverConfig::dominance_shards`]) plus an
-//! atomic incumbent bound. Every thread count proves the same optimal
-//! makespan; only the tie-breaking among equally good schedules may differ.
-//! See [`parallel`] for the full design.
+//! root frontier seeds per-worker lock-free deques, workers publish shallow
+//! subtrees as stealable tasks ([`SolverConfig::steal_depth`]) and steal from
+//! peers when their own deque drains, and *all* workers prune against one
+//! **lock-free shared dominance table** plus an atomic incumbent bound —
+//! no mutex or blocking lock sits anywhere on the search hot path. Small
+//! instances skip the pool entirely: a bounded serial probe
+//! ([`SolverConfig::serial_warmstart_nodes`]) solves them before any worker
+//! thread is spawned. Every thread count proves the same optimal makespan;
+//! only the tie-breaking among equally good schedules may differ. See
+//! [`parallel`] for the full design.
 
 mod dominance;
 mod engine;
 mod frontier;
 mod parallel;
+mod simd;
 
 use crate::cancel::Abort;
 use crate::greedy::{greedy_schedule, GreedyPriority};
@@ -68,6 +72,22 @@ fn default_threads() -> usize {
     })
 }
 
+/// The serial-warmstart budget [`SolverConfig::default`] starts from: 4096
+/// nodes, or `0` (probe disabled) when `TESSEL_TEST_THREADS` is set — the CI
+/// matrix sets that variable precisely to force every default-configured
+/// solve through the work-stealing parallel paths, which the probe would
+/// otherwise short-circuit for small instances.
+fn default_serial_warmstart() -> u64 {
+    static OVERRIDE: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    *OVERRIDE.get_or_init(|| {
+        if std::env::var_os("TESSEL_TEST_THREADS").is_some() {
+            0
+        } else {
+            4096
+        }
+    })
+}
+
 /// Configuration of the branch-and-bound search.
 #[derive(Debug, Clone)]
 pub struct SolverConfig {
@@ -78,8 +98,10 @@ pub struct SolverConfig {
     /// Optional wall-clock limit for a single solve call.
     pub time_limit: Option<Duration>,
     /// Maximum number of finish-time vectors kept in the dominance memo (`0`
-    /// disables dominance pruning). In parallel mode the limit spans the
-    /// *shared* table (split evenly across its shards).
+    /// disables dominance pruning). In parallel mode the limit sizes the
+    /// *shared* lock-free table, whose bounded-probe insertion may memoise
+    /// slightly fewer states than the limit under heavy hash clustering
+    /// (dropped memos only forfeit pruning, never correctness).
     pub dominance_memo_limit: usize,
     /// Number of worker threads running the work-stealing parallel search.
     ///
@@ -97,11 +119,22 @@ pub struct SolverConfig {
     /// loop. Larger values create finer-grained (smaller, more numerous)
     /// tasks. Ignored by the single-threaded search.
     pub steal_depth: usize,
-    /// Number of lock-striped shards of the shared dominance table (rounded
-    /// up to a power of two). More shards reduce cross-worker contention at
-    /// a small fixed memory cost. Ignored by the single-threaded search,
-    /// which keeps a private unsharded table.
+    /// **Compatibility no-op.** Earlier releases striped the shared dominance
+    /// table into this many mutex-guarded shards; the table is now a single
+    /// lock-free structure with no shards to configure. The knob is kept so
+    /// existing configurations (and serialized configs) keep working; its
+    /// value no longer affects the search.
     pub dominance_shards: usize,
+    /// Node budget of the **serial warmstart probe**: with multiple threads
+    /// configured, the search first runs single-threaded for up to this many
+    /// nodes and only spawns the worker pool if the instance survives the
+    /// probe. Small instances — the bulk of Tessel's repetend enumeration
+    /// probes — finish inside the budget and skip thread spawning, worker
+    /// forking and shared-table setup entirely, which previously made tiny
+    /// 4-thread solves ~5× slower than 1-thread ones. `0` disables the probe.
+    /// The default (4096) can be suppressed by setting `TESSEL_TEST_THREADS`,
+    /// which CI uses to force the parallel paths. Ignored when `threads <= 1`.
+    pub serial_warmstart_nodes: u64,
     /// External abort conditions (cancellation token and/or wall-clock
     /// deadline), checked cooperatively at node-batch boundaries — by every
     /// parallel worker, inside stolen subtrees and while idling for work. An
@@ -123,6 +156,7 @@ impl Default for SolverConfig {
             threads: default_threads(),
             steal_depth: 4,
             dominance_shards: 64,
+            serial_warmstart_nodes: default_serial_warmstart(),
             abort: Abort::none(),
             stats_sink: None,
         }
@@ -141,6 +175,7 @@ impl PartialEq for SolverConfig {
             && self.threads == other.threads
             && self.steal_depth == other.steal_depth
             && self.dominance_shards == other.dominance_shards
+            && self.serial_warmstart_nodes == other.serial_warmstart_nodes
     }
 }
 
@@ -187,11 +222,20 @@ impl SolverConfig {
         self
     }
 
-    /// Returns a copy with a different shared-memo shard count (see
-    /// [`SolverConfig::dominance_shards`]).
+    /// Returns a copy with a different shard count for the former striped
+    /// dominance table (see [`SolverConfig::dominance_shards`]; now a
+    /// compatibility no-op).
     #[must_use]
     pub fn with_dominance_shards(mut self, shards: usize) -> Self {
         self.dominance_shards = shards;
+        self
+    }
+
+    /// Returns a copy with a different serial-warmstart budget (see
+    /// [`SolverConfig::serial_warmstart_nodes`]).
+    #[must_use]
+    pub fn with_serial_warmstart(mut self, nodes: u64) -> Self {
+        self.serial_warmstart_nodes = nodes;
         self
     }
 
@@ -336,6 +380,42 @@ impl Solver {
         Ok(outcome)
     }
 
+    /// Runs the bounded serial warmstart probe before a parallel solve (see
+    /// [`SolverConfig::serial_warmstart_nodes`]).
+    ///
+    /// Returns `Some(complete)` if the probe settled the solve — exhausted
+    /// the search space, satisfied the deadline, or hit a *real* limit
+    /// (node/time budget, external abort) — and `None` if only the probe
+    /// budget ran out, in which case the context is reset to the root state
+    /// (the DFS unwinds its undo stack on return) with any incumbent the
+    /// probe found kept as a pruning bound for the parallel search.
+    fn warmstart_probe(&self, ctx: &mut SearchContext<'_>, started: Instant) -> Option<bool> {
+        let probe = self.config.serial_warmstart_nodes;
+        if probe == 0 {
+            return None;
+        }
+        ctx.node_cap = ctx.stats.nodes.saturating_add(probe);
+        ctx.dfs(0);
+        ctx.node_cap = u64::MAX;
+        if !ctx.stop {
+            return Some(true);
+        }
+        if ctx.deadline_satisfied() {
+            return Some(true);
+        }
+        let real_limit = ctx.stats.nodes >= self.config.max_nodes
+            || self.config.abort.should_stop()
+            || self
+                .config
+                .time_limit
+                .is_some_and(|limit| started.elapsed() > limit);
+        if real_limit {
+            return Some(false);
+        }
+        ctx.stop = false;
+        None
+    }
+
     fn run_inner(
         &self,
         instance: &Instance,
@@ -397,7 +477,12 @@ impl Solver {
 
         let threads = self.config.effective_threads();
         let complete = if threads > 1 {
-            parallel::run_parallel(&mut ctx, threads)
+            match self.warmstart_probe(&mut ctx, started) {
+                // Small instance: the bounded serial probe settled it without
+                // spawning a single worker thread.
+                Some(done) => done,
+                None => parallel::run_parallel(&mut ctx, threads),
+            }
         } else {
             ctx.dfs(0);
             !ctx.stop || ctx.deadline_satisfied()
@@ -669,9 +754,13 @@ mod tests {
                 assert!(serial.is_optimal());
                 let serial_sol = serial.solution().unwrap();
                 for threads in [2usize, 4, 8] {
-                    let parallel = Solver::new(SolverConfig::default().with_threads(threads))
-                        .minimize(&inst)
-                        .unwrap();
+                    // Warmstart disabled: this test must drive the instances
+                    // through the actual work-stealing pool at every thread
+                    // count, not the serial probe shortcut.
+                    let config = SolverConfig::default()
+                        .with_threads(threads)
+                        .with_serial_warmstart(0);
+                    let parallel = Solver::new(config).minimize(&inst).unwrap();
                     assert!(parallel.is_optimal());
                     let parallel_sol = parallel.solution().unwrap();
                     parallel_sol.validate(&inst).unwrap();
@@ -694,9 +783,13 @@ mod tests {
         let serial = Solver::new(SolverConfig::exhaustive().with_threads(1))
             .minimize(&inst)
             .unwrap();
-        let parallel = Solver::new(SolverConfig::exhaustive().with_threads(4))
-            .minimize(&inst)
-            .unwrap();
+        let parallel = Solver::new(
+            SolverConfig::exhaustive()
+                .with_threads(4)
+                .with_serial_warmstart(0),
+        )
+        .minimize(&inst)
+        .unwrap();
         assert!(serial.is_optimal() && parallel.is_optimal());
         assert_eq!(
             serial.solution().unwrap().makespan(),
@@ -720,7 +813,11 @@ mod tests {
     fn parallel_satisfy_and_infeasibility_agree_with_serial() {
         let inst = v_shape(2, 2, 2, None);
         let serial = Solver::new(SolverConfig::default().with_threads(1));
-        let parallel = Solver::new(SolverConfig::default().with_threads(3));
+        let parallel = Solver::new(
+            SolverConfig::default()
+                .with_threads(3)
+                .with_serial_warmstart(0),
+        );
         let best = serial
             .minimize(&inst)
             .unwrap()
@@ -746,6 +843,7 @@ mod tests {
             time_limit: None,
             dominance_memo_limit: 0,
             threads: 4,
+            serial_warmstart_nodes: 0,
             ..SolverConfig::default()
         };
         let outcome = Solver::new(config).minimize(&inst).unwrap();
@@ -799,6 +897,7 @@ mod tests {
             max_nodes: u64::MAX,
             time_limit: None,
             threads: 3,
+            serial_warmstart_nodes: 0,
             abort: Abort::at(Instant::now()),
             ..SolverConfig::default()
         };
@@ -820,6 +919,7 @@ mod tests {
             max_nodes: u64::MAX,
             time_limit: None,
             threads: 4,
+            serial_warmstart_nodes: 0,
             abort: Abort::at(Instant::now() + Duration::from_millis(50)),
             ..SolverConfig::default()
         };
@@ -848,6 +948,76 @@ mod tests {
         assert_eq!(a, c);
         assert_ne!(a, SolverConfig::default().with_steal_depth(9));
         assert_ne!(a, SolverConfig::default().with_dominance_shards(2));
+        assert_ne!(
+            a,
+            SolverConfig::default().with_serial_warmstart(a.serial_warmstart_nodes + 1)
+        );
+    }
+
+    #[test]
+    fn warmstart_probe_solves_small_instances_without_stealing() {
+        // A tiny instance finishes inside the probe budget: the result is
+        // still proved optimal, and no subtree was ever stolen because no
+        // worker pool ran.
+        let inst = v_shape(2, 2, 2, None);
+        let config = SolverConfig::default()
+            .with_threads(4)
+            .with_serial_warmstart(1_000_000);
+        let outcome = Solver::new(config).minimize(&inst).unwrap();
+        assert!(outcome.is_optimal());
+        assert_eq!(outcome.stats().steals, 0);
+        assert_eq!(outcome.stats().steal_failures, 0);
+        let reference = Solver::new(SolverConfig::default().with_threads(1))
+            .minimize(&inst)
+            .unwrap();
+        assert_eq!(
+            outcome.solution().unwrap().makespan(),
+            reference.solution().unwrap().makespan()
+        );
+    }
+
+    #[test]
+    fn warmstart_probe_escalates_to_the_pool_and_stays_exact() {
+        // A probe budget of 1 node cannot finish anything: the solve must
+        // fall through to the parallel pool and still prove the optimum.
+        let inst = v_shape(3, 3, 2, None);
+        let reference = Solver::new(SolverConfig::default().with_threads(1))
+            .minimize(&inst)
+            .unwrap();
+        let config = SolverConfig::default()
+            .with_threads(4)
+            .with_serial_warmstart(1);
+        let outcome = Solver::new(config).minimize(&inst).unwrap();
+        assert!(outcome.is_optimal());
+        assert_eq!(
+            outcome.solution().unwrap().makespan(),
+            reference.solution().unwrap().makespan()
+        );
+    }
+
+    #[test]
+    fn warmstart_probe_respects_the_real_node_budget() {
+        // When the configured node budget is smaller than the probe budget,
+        // the probe must report the limit stop instead of escalating and
+        // spending the budget a second time.
+        let inst = v_shape(3, 5, 2, None);
+        let config = SolverConfig {
+            max_nodes: 100,
+            time_limit: None,
+            dominance_memo_limit: 0,
+            threads: 4,
+            serial_warmstart_nodes: 1_000_000,
+            ..SolverConfig::default()
+        };
+        let outcome = Solver::new(config).minimize(&inst).unwrap();
+        let stats = outcome.stats();
+        assert!(!stats.complete);
+        assert!(
+            stats.nodes <= 200,
+            "expanded {} nodes against a budget of 100",
+            stats.nodes
+        );
+        outcome.solution().unwrap().validate(&inst).unwrap();
     }
 
     #[test]
@@ -871,7 +1041,8 @@ mod tests {
                 let config = SolverConfig::default()
                     .with_threads(4)
                     .with_steal_depth(steal_depth)
-                    .with_dominance_shards(shards);
+                    .with_dominance_shards(shards)
+                    .with_serial_warmstart(0);
                 let outcome = Solver::new(config).minimize(&inst).unwrap();
                 assert!(outcome.is_optimal(), "steal_depth={steal_depth}");
                 assert_eq!(

@@ -1,18 +1,20 @@
 //! The work-stealing parallel search.
 //!
 //! With [`SolverConfig::threads`] > 1 the search runs on a worker pool wired
-//! together by three pieces of shared state:
+//! together by three pieces of shared state — all of them lock-free:
 //!
-//! * **per-worker deques of subtree tasks** ([`super::frontier`]): the root
-//!   frontier seeds the deques round-robin, and workers exploring shallow
-//!   nodes publish later siblings as stealable tasks while the queues run
-//!   below the spawn cap. A worker whose deque empties steals the oldest
-//!   (largest) task from a peer, so load balances far below the root even
-//!   when the root frontier is narrow or lopsided;
-//! * **a shared sharded dominance table** ([`super::dominance`]): all workers
-//!   prune against (and feed) one lock-striped memo, so a state explored by
-//!   any worker is never re-explored by another — per-worker private memos
-//!   previously re-explored ~2.7× the serial node count at 4 threads;
+//! * **per-worker Chase–Lev deques of subtree tasks** ([`super::frontier`]):
+//!   the root frontier seeds the deques round-robin, and workers exploring
+//!   shallow nodes publish later siblings as stealable tasks while the
+//!   queues run below the spawn cap. A worker whose deque empties steals the
+//!   oldest (largest) task from a peer by CASing the victim's `top`, so load
+//!   balances far below the root even when the root frontier is narrow or
+//!   lopsided;
+//! * **a lock-free shared dominance table** ([`super::dominance`]): all
+//!   workers prune against (and feed) one CAS-claimed open-addressing memo,
+//!   so a state explored by any worker is never re-explored by another —
+//!   per-worker private memos previously re-explored ~2.7× the serial node
+//!   count at 4 threads;
 //! * **an atomic incumbent bound**: a makespan proved by one worker
 //!   immediately prunes every other worker's subtrees.
 //!
@@ -24,13 +26,17 @@
 //! Every thread count proves the same optimal makespan: the search is exact
 //! (each subtree is explored once, by whichever worker dequeues it, against
 //! a monotonically tightening shared bound), so only tie-breaking among
-//! equally good schedules may differ between runs.
+//! equally good schedules may differ between runs. The lock-free structures
+//! keep that invariant because every race they admit is *prune-only*: a
+//! reader can miss a memo entry or lose a steal CAS, but can never observe a
+//! half-written record (see [`super::dominance`] and [`super::frontier`] for
+//! the ordering arguments).
 //!
 //! [`SolverConfig::threads`]: super::SolverConfig::threads
 
 use super::dominance::SharedDominanceTable;
 use super::engine::{SearchContext, FLUSH_INTERVAL};
-use super::frontier::{SubtreeTask, TaskQueues};
+use super::frontier::{CachePadded, SubtreeTask, TaskQueues};
 use crate::stats::SolveStats;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Duration;
@@ -43,11 +49,16 @@ const SPAWN_BUFFER_PER_WORKER: usize = 8;
 const IDLE_NAP: Duration = Duration::from_micros(50);
 
 /// State shared between the parallel workers of one solve.
+///
+/// The two words every worker touches on (nearly) every node — the incumbent
+/// bound and the flushed node counter — sit on their own cache lines; false
+/// sharing between them would turn each incumbent read into a miss whenever
+/// any worker flushes its node batch.
 pub(super) struct SharedSearch {
     /// Exclusive incumbent bound; monotonically non-increasing.
-    pub(super) upper: AtomicU64,
+    pub(super) upper: CachePadded<AtomicU64>,
     /// Nodes expanded across all workers (flushed in batches).
-    pub(super) nodes: AtomicU64,
+    pub(super) nodes: CachePadded<AtomicU64>,
     /// Set when the whole search should stop successfully (satisfiability
     /// deadline met).
     pub(super) stop: AtomicBool,
@@ -56,10 +67,11 @@ pub(super) struct SharedSearch {
     pub(super) limit_stop: AtomicBool,
     /// Subtree tasks created but not yet fully processed. Zero means no work
     /// exists anywhere and none can appear: workers may exit.
-    pub(super) outstanding: AtomicUsize,
-    /// The per-worker task deques.
+    pub(super) outstanding: CachePadded<AtomicUsize>,
+    /// The per-worker Chase–Lev task deques.
     pub(super) queues: TaskQueues,
-    /// The shared dominance memo (`None` when dominance pruning is off).
+    /// The lock-free shared dominance memo (`None` when dominance pruning is
+    /// off).
     pub(super) dominance: Option<SharedDominanceTable>,
     /// Per-worker write-batching interval for `nodes`, shrunk for small node
     /// budgets so the shared `max_nodes` cap stays tight.
@@ -95,33 +107,36 @@ pub(super) fn run_parallel(ctx: &mut SearchContext<'_>, threads: usize) -> bool 
     }
 
     let workers = threads;
+    let spawn_cap = workers * SPAWN_BUFFER_PER_WORKER;
     let shared = SharedSearch {
-        upper: AtomicU64::new(ctx.upper),
-        nodes: AtomicU64::new(ctx.stats.nodes),
+        upper: CachePadded(AtomicU64::new(ctx.upper)),
+        nodes: CachePadded(AtomicU64::new(ctx.stats.nodes)),
         stop: AtomicBool::new(false),
         limit_stop: AtomicBool::new(false),
-        outstanding: AtomicUsize::new(roots.len()),
-        queues: TaskQueues::new(workers),
+        outstanding: CachePadded(AtomicUsize::new(roots.len())),
+        // Deque capacity: the round-robin seed share plus everything the
+        // spawn throttle can have in flight at once, so a seed push can
+        // never overflow (asserted below) and offload pushes rarely do.
+        queues: TaskQueues::new(workers, roots.len().div_ceil(workers) + spawn_cap + workers),
         dominance: (ctx.config.dominance_memo_limit > 0).then(|| {
-            SharedDominanceTable::new(
-                ctx.flat.num_devices,
-                ctx.config.dominance_memo_limit,
-                ctx.config.dominance_shards,
-            )
+            SharedDominanceTable::new(ctx.flat.num_devices, ctx.config.dominance_memo_limit)
         }),
         flush_interval: FLUSH_INTERVAL
             .min(ctx.config.max_nodes / (workers as u64 * 2).max(1))
             .max(1),
-        spawn_cap: workers * SPAWN_BUFFER_PER_WORKER,
+        spawn_cap,
     };
 
     // Seed the root frontier round-robin across the deques so every worker
     // starts with local work; stealing takes over once the split turns out
     // lopsided.
     for (idx, &(_, _, i)) in roots.iter().enumerate() {
-        shared
+        let pushed = shared
             .queues
-            .push(idx % workers, SubtreeTask { path: vec![i] });
+            .push(idx % workers, &SubtreeTask { path: vec![i] });
+        // A lost seed would leave `outstanding` above zero forever (the
+        // workers would never exit); the capacity above rules it out.
+        assert!(pushed, "root seed exceeded deque capacity");
     }
 
     let results: Vec<WorkerResult> = std::thread::scope(|scope| {
@@ -139,14 +154,14 @@ pub(super) fn run_parallel(ctx: &mut SearchContext<'_>, threads: usize) -> bool 
                             break;
                         }
                         let task = shared.queues.pop(w).or_else(|| {
-                            let stolen = shared.queues.steal(w);
+                            let stolen = shared.queues.steal(w, &mut worker.stats.steal_failures);
                             if stolen.is_some() {
                                 worker.stats.steals += 1;
                             }
                             stolen
                         });
                         let Some(task) = task else {
-                            if shared.outstanding.load(Ordering::Acquire) == 0 {
+                            if shared.outstanding.0.load(Ordering::Acquire) == 0 {
                                 break;
                             }
                             // Cooperative cancellation reaches idle workers
@@ -172,10 +187,11 @@ pub(super) fn run_parallel(ctx: &mut SearchContext<'_>, threads: usize) -> bool 
                         };
                         idle_spins = 0;
                         worker.run_task(&task);
-                        shared.outstanding.fetch_sub(1, Ordering::Release);
+                        shared.outstanding.0.fetch_sub(1, Ordering::Release);
                     }
                     shared
                         .nodes
+                        .0
                         .fetch_add(worker.nodes_since_flush, Ordering::Relaxed);
                     WorkerResult {
                         stats: worker.stats,
@@ -201,6 +217,9 @@ pub(super) fn run_parallel(ctx: &mut SearchContext<'_>, threads: usize) -> bool 
         ctx.stats.incumbents += result.stats.incumbents;
         ctx.stats.steals += result.stats.steals;
         ctx.stats.shared_memo_hits += result.stats.shared_memo_hits;
+        ctx.stats.cas_retries += result.stats.cas_retries;
+        ctx.stats.steal_failures += result.stats.steal_failures;
+        ctx.stats.memo_insert_drops += result.stats.memo_insert_drops;
         deadline_found |= result.best_makespan.is_some() && ctx.deadline.is_some();
     }
     // Deterministic winner: the smallest makespan, first worker on ties.

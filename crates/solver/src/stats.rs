@@ -25,6 +25,25 @@ pub struct SolveStats {
     /// *different* worker — the exploration the shared dominance table
     /// deduplicated across threads (0 for single-threaded solves).
     pub shared_memo_hits: u64,
+    /// Number of compare-and-swap attempts that lost a race in the lock-free
+    /// shared structures — dominance-slot claims beaten by another worker and
+    /// arena segments observed mid-publication. High values relative to
+    /// `nodes` indicate genuine many-core contention (0 for single-threaded
+    /// solves).
+    #[serde(default)]
+    pub cas_retries: u64,
+    /// Number of steal attempts that raced another thief (or the owner) for
+    /// the same task and lost the `top` CAS of a Chase–Lev deque (0 for
+    /// single-threaded solves).
+    #[serde(default)]
+    pub steal_failures: u64,
+    /// Number of finish vectors the bounded-probe lock-free dominance table
+    /// declined to memoise (probe window exhausted or capacity reached). The
+    /// search stays exact — a dropped memo only forfeits future pruning (0
+    /// for single-threaded solves, whose private table reports drops the
+    /// same way as capacity evictions: silently).
+    #[serde(default)]
+    pub memo_insert_drops: u64,
     /// Wall-clock time spent in the search.
     #[serde(with = "duration_serde")]
     pub elapsed: Duration,
@@ -61,6 +80,18 @@ pub struct SolverTotals {
     pub steals: u64,
     /// Dominance prunes served by a record another worker inserted.
     pub shared_memo_hits: u64,
+    /// Lost CAS races in the lock-free shared structures (see
+    /// [`SolveStats::cas_retries`]).
+    #[serde(default)]
+    pub cas_retries: u64,
+    /// Steal attempts that lost the deque-`top` race (see
+    /// [`SolveStats::steal_failures`]).
+    #[serde(default)]
+    pub steal_failures: u64,
+    /// Finish vectors the bounded-probe shared dominance table declined to
+    /// memoise (see [`SolveStats::memo_insert_drops`]).
+    #[serde(default)]
+    pub memo_insert_drops: u64,
 }
 
 impl SolverTotals {
@@ -72,6 +103,9 @@ impl SolverTotals {
         self.pruned_dominance += stats.pruned_dominance;
         self.steals += stats.steals;
         self.shared_memo_hits += stats.shared_memo_hits;
+        self.cas_retries += stats.cas_retries;
+        self.steal_failures += stats.steal_failures;
+        self.memo_insert_drops += stats.memo_insert_drops;
     }
 
     /// Adds another totals record (e.g. from a different search run).
@@ -82,6 +116,9 @@ impl SolverTotals {
         self.pruned_dominance += other.pruned_dominance;
         self.steals += other.steals;
         self.shared_memo_hits += other.shared_memo_hits;
+        self.cas_retries += other.cas_retries;
+        self.steal_failures += other.steal_failures;
+        self.memo_insert_drops += other.memo_insert_drops;
     }
 }
 
@@ -156,6 +193,9 @@ mod tests {
             incumbents: 3,
             steals: 6,
             shared_memo_hits: 5,
+            cas_retries: 9,
+            steal_failures: 8,
+            memo_insert_drops: 7,
             elapsed: Duration::from_millis(1500),
             complete: true,
         };
@@ -164,8 +204,25 @@ mod tests {
         assert_eq!(back.nodes, 10);
         assert_eq!(back.steals, 6);
         assert_eq!(back.shared_memo_hits, 5);
+        assert_eq!(back.cas_retries, 9);
+        assert_eq!(back.steal_failures, 8);
+        assert_eq!(back.memo_insert_drops, 7);
         assert!(back.complete);
         assert!((back.elapsed.as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn contention_counters_default_when_absent() {
+        // Documents persisted before the lock-free counters existed (daemon
+        // journals, cached bench sections) must keep deserializing, with the
+        // new counters defaulting to zero.
+        let json = r#"{"solves":2,"nodes":100,"pruned_bound":10,
+                       "pruned_dominance":20,"steals":3,"shared_memo_hits":7}"#;
+        let back: SolverTotals = serde_json::from_str(json).unwrap();
+        assert_eq!(back.nodes, 100);
+        assert_eq!(back.cas_retries, 0);
+        assert_eq!(back.steal_failures, 0);
+        assert_eq!(back.memo_insert_drops, 0);
     }
 
     #[test]
@@ -188,6 +245,9 @@ mod tests {
             pruned_dominance: 3,
             steals: 4,
             shared_memo_hits: 1,
+            cas_retries: 6,
+            steal_failures: 7,
+            memo_insert_drops: 8,
             ..SolveStats::default()
         });
         sink.record(&SolveStats {
@@ -201,12 +261,18 @@ mod tests {
         assert_eq!(totals.pruned_dominance, 3);
         assert_eq!(totals.steals, 4);
         assert_eq!(totals.shared_memo_hits, 1);
+        assert_eq!(totals.cas_retries, 6);
+        assert_eq!(totals.steal_failures, 7);
+        assert_eq!(totals.memo_insert_drops, 8);
 
         let mut merged = SolverTotals::default();
         merged.merge(&totals);
         merged.merge(&totals);
         assert_eq!(merged.solves, 4);
         assert_eq!(merged.nodes, 30);
+        assert_eq!(merged.cas_retries, 12);
+        assert_eq!(merged.steal_failures, 14);
+        assert_eq!(merged.memo_insert_drops, 16);
     }
 
     #[test]
@@ -218,6 +284,9 @@ mod tests {
             pruned_dominance: 20,
             steals: 3,
             shared_memo_hits: 7,
+            cas_retries: 1,
+            steal_failures: 2,
+            memo_insert_drops: 3,
         };
         let json = serde_json::to_string(&totals).unwrap();
         let back: SolverTotals = serde_json::from_str(&json).unwrap();
