@@ -44,7 +44,7 @@ pub struct ServiceMetrics {
     pub solver_steals: AtomicU64,
     /// Dominance prunes served by a record another solver worker inserted.
     pub solver_shared_memo_hits: AtomicU64,
-    /// Lost CAS races in the solver's lock-free shared structures.
+    /// Contention events (lost CAS races, discarded seqlock reads, skipped mid-build segments) in the solver's lock-free shared structures.
     pub solver_cas_retries: AtomicU64,
     /// Solver steal attempts that lost the deque-`top` race.
     pub solver_steal_failures: AtomicU64,
@@ -85,7 +85,7 @@ pub struct MetricsSnapshot {
     pub solver_steals: u64,
     /// Dominance prunes served by a record another solver worker inserted.
     pub solver_shared_memo_hits: u64,
-    /// Lost CAS races in the solver's lock-free shared structures.
+    /// Contention events (lost CAS races, discarded seqlock reads, skipped mid-build segments) in the solver's lock-free shared structures.
     #[serde(default)]
     pub solver_cas_retries: u64,
     /// Solver steal attempts that lost the deque-`top` race.
@@ -312,7 +312,7 @@ impl MetricsSnapshot {
         );
         counter(
             "solver_cas_retries_total",
-            "Lost CAS races in the solver's lock-free shared structures.",
+            "Contention events (lost CAS races, discarded seqlock reads, skipped mid-build segments) in the solver's lock-free shared structures.",
             self.solver_cas_retries as f64,
         );
         counter(

@@ -18,10 +18,18 @@
 //! version. Writers claim a slot by CAS (`0 → 1` for a fresh insert, an even
 //! version `v → v + 1` to *upgrade* a record their vector strictly
 //! dominates), fill the record with relaxed stores, then publish with a
-//! release store of the next even version. Readers load the word with
-//! acquire ordering, copy the record out, then re-load the word (behind an
-//! acquire fence): if the version moved, a concurrent upgrade may have torn
-//! the copy, and the reader simply discards it. This gives the two
+//! release store of the next even version. An upgrade writer additionally
+//! issues a **release fence between winning the CAS and rewriting the
+//! payload**: the CAS orders nothing after its own store, so without the
+//! fence a weakly-ordered machine could make the new payload words visible
+//! to a reader whose version words still read `v` on both sides of its
+//! copy. Readers load the word with acquire ordering, copy the record out,
+//! then re-load the word behind an acquire fence: if the version moved, a
+//! concurrent upgrade may have torn the copy, and the reader simply
+//! discards it. The two fences pair fence-to-fence — a reader whose copy
+//! includes any store sequenced after the writer's release fence must, after
+//! its own acquire fence, observe the version at `v + 1` or later and
+//! discard — so a copy that *validates* is never torn. This gives the two
 //! properties the search leans on:
 //!
 //! * **Scan termination** — probing stops at the bounded window's end; an
@@ -450,6 +458,14 @@ impl SharedDominanceTable {
                     Ordering::Relaxed,
                 ) {
                     Ok(_) => {
+                        // Release fence before the payload rewrite: the CAS
+                        // above orders nothing *after* its own store, so
+                        // without this fence a weakly-ordered machine may
+                        // make the relaxed stores below visible while a
+                        // reader's revalidation still observes `version` —
+                        // a torn copy that validates. The fence pairs with
+                        // the reader's acquire fence (see the module docs).
+                        fence(Ordering::Release);
                         seg.data[base].store(u64::from(owner), Ordering::Relaxed);
                         for (word, &f) in
                             seg.data[base + 3..base + 3 + devices].iter().zip(finishes)

@@ -60,32 +60,29 @@ use std::time::{Duration, Instant};
 /// The thread count [`SolverConfig::default`] starts from: `1`, unless the
 /// `TESSEL_TEST_THREADS` environment variable overrides it (used by the CI
 /// matrix to force every default-configured solve through the work-stealing
-/// parallel paths).
+/// parallel paths). Read afresh on every call — config construction is off
+/// the hot path, and latching the first lookup would hand a stale value to
+/// any consumer that changes the variable mid-process.
 fn default_threads() -> usize {
-    static OVERRIDE: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *OVERRIDE.get_or_init(|| {
-        std::env::var("TESSEL_TEST_THREADS")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or(1)
-    })
+    std::env::var("TESSEL_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1)
 }
 
 /// The serial-warmstart budget [`SolverConfig::default`] starts from: 4096
 /// nodes, or `0` (probe disabled) when `TESSEL_TEST_THREADS` is set — the CI
 /// matrix sets that variable precisely to force every default-configured
 /// solve through the work-stealing parallel paths, which the probe would
-/// otherwise short-circuit for small instances.
+/// otherwise short-circuit for small instances. Like [`default_threads`],
+/// the variable is read afresh on every call.
 fn default_serial_warmstart() -> u64 {
-    static OVERRIDE: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
-    *OVERRIDE.get_or_init(|| {
-        if std::env::var_os("TESSEL_TEST_THREADS").is_some() {
-            0
-        } else {
-            4096
-        }
-    })
+    if std::env::var_os("TESSEL_TEST_THREADS").is_some() {
+        0
+    } else {
+        4096
+    }
 }
 
 /// Configuration of the branch-and-bound search.
@@ -109,9 +106,9 @@ pub struct SolverConfig {
     /// [`std::thread::available_parallelism`]. All thread counts prove the
     /// same optimal makespan; only the tie-breaking among equally good
     /// schedules may differ. The default can be overridden with the
-    /// `TESSEL_TEST_THREADS` environment variable (read once per process),
-    /// which the CI matrix uses to exercise the parallel paths in every
-    /// default-configured test.
+    /// `TESSEL_TEST_THREADS` environment variable (read at each
+    /// `SolverConfig::default()` call), which the CI matrix uses to exercise
+    /// the parallel paths in every default-configured test.
     pub threads: usize,
     /// Steal granularity: parallel workers publish the later siblings of
     /// nodes at depths *below* this limit as stealable subtree tasks (subject

@@ -25,11 +25,13 @@ pub struct SolveStats {
     /// *different* worker — the exploration the shared dominance table
     /// deduplicated across threads (0 for single-threaded solves).
     pub shared_memo_hits: u64,
-    /// Number of compare-and-swap attempts that lost a race in the lock-free
-    /// shared structures — dominance-slot claims beaten by another worker and
-    /// arena segments observed mid-publication. High values relative to
-    /// `nodes` indicate genuine many-core contention (0 for single-threaded
-    /// solves).
+    /// Number of contention events in the lock-free shared structures:
+    /// compare-and-swap attempts that lost a race (dominance-slot claims and
+    /// in-place upgrades beaten by another worker), seqlock record copies
+    /// discarded because the slot version moved mid-read, and slot segments
+    /// skipped while another worker was still zeroing them. High values
+    /// relative to `nodes` indicate genuine many-core contention (0 for
+    /// single-threaded solves).
     #[serde(default)]
     pub cas_retries: u64,
     /// Number of steal attempts that raced another thief (or the owner) for
@@ -80,7 +82,8 @@ pub struct SolverTotals {
     pub steals: u64,
     /// Dominance prunes served by a record another worker inserted.
     pub shared_memo_hits: u64,
-    /// Lost CAS races in the lock-free shared structures (see
+    /// Contention events — lost CAS races, discarded seqlock reads, skipped
+    /// mid-build segments — in the lock-free shared structures (see
     /// [`SolveStats::cas_retries`]).
     #[serde(default)]
     pub cas_retries: u64,
