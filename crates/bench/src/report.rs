@@ -25,6 +25,10 @@
 //! * `service_throughput` — requests/s and cache hit rate of the in-process
 //!   schedule-search service under repeat traffic (written by the
 //!   `bench_service` binary).
+//! * `request_stage_latency` — per-stage median latency of the same repeat
+//!   workload, computed from the service's flight recorder (the per-request
+//!   stage breakdowns behind `GET /v1/debug/requests`); shows *where* the
+//!   request time goes, not just how much there is.
 //! * `http_transport` — socket-level daemon throughput with a fresh TCP
 //!   connection per request vs one kept-alive connection (also written by
 //!   `bench_service`).
@@ -269,7 +273,7 @@ pub fn solver_parallel_scaling_rows() -> Vec<ParallelScalingRow> {
 /// The 1→N wall-clock curve of the lock-free work-stealing solver, with the
 /// contention counters that explain it: `steals` (successful load balancing),
 /// `steal_failures` (lost deque-`top` races), `cas_retries` (lost claims in
-/// the shared dominance table) and `memo_insert_drops` (bounded-probe memo
+/// the shared dominance table) and `memo_drops` (bounded-probe memo
 /// drops). Wall-clock speedups need a multi-core host — interpret `seconds`
 /// against the recorded `host.cpus`; on a single core the curve only shows
 /// the synchronisation overhead floor, which the lock-free structures keep
@@ -296,7 +300,7 @@ pub struct ThreadScalingRow {
     /// Lost CAS races in the lock-free shared dominance table.
     pub cas_retries: u64,
     /// Finish vectors the bounded-probe table declined to memoise.
-    pub memo_insert_drops: u64,
+    pub memo_drops: u64,
     /// Proved optimal makespan — must be identical across thread counts.
     pub makespan: Option<u64>,
 }
@@ -335,7 +339,7 @@ pub fn solver_thread_scaling_rows() -> Vec<ThreadScalingRow> {
                     steals: stats.steals,
                     steal_failures: stats.steal_failures,
                     cas_retries: stats.cas_retries,
-                    memo_insert_drops: stats.memo_insert_drops,
+                    memo_drops: stats.memo_drops,
                     makespan: outcome.solution().map(tessel_solver::Solution::makespan),
                 };
                 if best.as_ref().is_none_or(|b| row.seconds < b.seconds) {
@@ -374,7 +378,7 @@ pub fn emit_thread_scaling() {
             row.steals,
             row.steal_failures,
             row.cas_retries,
-            row.memo_insert_drops,
+            row.memo_drops,
             row.makespan
         );
     }
@@ -456,17 +460,45 @@ pub struct ServiceThroughputRow {
     pub p99_ms: f64,
 }
 
+/// One row of the `request_stage_latency` section: the latency distribution
+/// of a single request stage across the whole repeat workload, read back
+/// from the service's flight recorder.
+#[derive(Debug, Clone, Serialize)]
+pub struct StageLatencyRow {
+    /// Stage name (the span taxonomy in `docs/ARCHITECTURE.md`).
+    pub stage: String,
+    /// Requests whose flight record contains the stage.
+    pub samples: u64,
+    /// Median stage latency in milliseconds.
+    pub median_ms: f64,
+    /// Worst stage latency in milliseconds.
+    pub max_ms: f64,
+}
+
+/// The two result sets of the in-process service workload: aggregate
+/// throughput per shape plus the per-stage latency medians recovered from
+/// the flight recorder afterwards.
+#[derive(Debug, Clone)]
+pub struct ServiceBenchResults {
+    /// The `service_throughput` section rows.
+    pub throughput: Vec<ServiceThroughputRow>,
+    /// The `request_stage_latency` section rows.
+    pub stage_latency: Vec<StageLatencyRow>,
+}
+
 /// Measures the in-process schedule-search service under repeat traffic:
 /// every synthetic 4-device shape is requested `repeats` times — the first
 /// request pays the full search, later ones (including device-permuted
 /// variants) must hit the canonical-fingerprint cache — and the aggregate
-/// requests/s and hit rate are recorded.
+/// requests/s and hit rate are recorded. After each shape's workload the
+/// service's flight recorder is drained into per-stage latency samples.
 #[must_use]
-pub fn service_rows(repeats: usize) -> Vec<ServiceThroughputRow> {
+pub fn service_rows(repeats: usize) -> ServiceBenchResults {
     use tessel_service::wire::SearchRequest;
     use tessel_service::{ScheduleService, ServiceConfig};
 
     let mut rows = Vec::new();
+    let mut stage_samples: Vec<(String, Vec<u64>)> = Vec::new();
     for shape in [
         ShapeKind::V,
         ShapeKind::X,
@@ -511,7 +543,60 @@ pub fn service_rows(repeats: usize) -> Vec<ServiceThroughputRow> {
             p50_ms: snapshot.latency_p50_ms,
             p99_ms: snapshot.latency_p99_ms,
         });
+        // Drain this shape's flight records into the per-stage sample pools
+        // before the service (and its recorder) is dropped.
+        for record in service.flight_recorder().recent() {
+            for stage in &record.stages {
+                match stage_samples
+                    .iter_mut()
+                    .find(|(name, _)| *name == stage.name)
+                {
+                    Some((_, samples)) => samples.push(stage.micros),
+                    None => stage_samples.push((stage.name.clone(), vec![stage.micros])),
+                }
+            }
+        }
     }
+    ServiceBenchResults {
+        throughput: rows,
+        stage_latency: stage_latency_rows(stage_samples),
+    }
+}
+
+/// Collapses per-stage sample pools into [`StageLatencyRow`]s, ordered by the
+/// canonical stage taxonomy (unknown stage names sort last, alphabetically).
+fn stage_latency_rows(stage_samples: Vec<(String, Vec<u64>)>) -> Vec<StageLatencyRow> {
+    use tessel_service::metrics::STAGE_LABELS;
+
+    let mut rows: Vec<StageLatencyRow> = stage_samples
+        .into_iter()
+        .map(|(stage, mut samples)| {
+            samples.sort_unstable();
+            let mid = samples.len() / 2;
+            let median_micros = if samples.len() % 2 == 0 {
+                (samples[mid - 1] + samples[mid]) as f64 / 2.0
+            } else {
+                samples[mid] as f64
+            };
+            StageLatencyRow {
+                stage,
+                samples: samples.len() as u64,
+                median_ms: median_micros / 1e3,
+                max_ms: *samples.last().expect("non-empty sample pool") as f64 / 1e3,
+            }
+        })
+        .collect();
+    let rank = |stage: &str| {
+        STAGE_LABELS
+            .iter()
+            .position(|&known| known == stage)
+            .unwrap_or(STAGE_LABELS.len())
+    };
+    rows.sort_by(|a, b| {
+        rank(&a.stage)
+            .cmp(&rank(&b.stage))
+            .then_with(|| a.stage.cmp(&b.stage))
+    });
     rows
 }
 
@@ -617,12 +702,19 @@ pub fn transport_rows(requests: usize) -> Vec<TransportThroughputRow> {
 /// their `BENCH_search.json` sections.
 pub fn emit_service() {
     write_section("host", &HostInfo::capture());
-    let rows = service_rows(16);
-    write_section("service_throughput", &rows);
-    for row in &rows {
+    let results = service_rows(16);
+    write_section("service_throughput", &results.throughput);
+    for row in &results.throughput {
         println!(
             "service_throughput {:<24} {:>3} reqs hit_rate={:.2} {:>8.1} req/s p50={:.3}ms p99={:.3}ms",
             row.workload, row.requests, row.hit_rate, row.requests_per_sec, row.p50_ms, row.p99_ms
+        );
+    }
+    write_section("request_stage_latency", &results.stage_latency);
+    for row in &results.stage_latency {
+        println!(
+            "request_stage_latency {:<18} {:>4} samples median={:.3}ms max={:.3}ms",
+            row.stage, row.samples, row.median_ms, row.max_ms
         );
     }
     let transport = transport_rows(200);
@@ -642,6 +734,10 @@ pub fn emit_service() {
 pub struct HostInfo {
     /// Available hardware parallelism.
     pub cpus: usize,
+    /// `git rev-parse HEAD` of the workspace at measurement time
+    /// (`"unknown"` outside a git checkout), so a snapshot can be tied back
+    /// to the exact code it measured.
+    pub git_commit: String,
     /// How the snapshot was produced.
     pub generated_by: String,
 }
@@ -652,9 +748,26 @@ impl HostInfo {
     pub fn capture() -> Self {
         HostInfo {
             cpus: std::thread::available_parallelism().map_or(1, usize::from),
+            git_commit: git_commit_hash(),
             generated_by: "cargo run --release -p tessel-bench --bin bench_search".into(),
         }
     }
+}
+
+/// The workspace's current commit hash, or `"unknown"`. Anchored to the
+/// manifest directory: bench binaries may run with an arbitrary working
+/// directory (`cargo bench` uses the package dir).
+fn git_commit_hash() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|hash| hash.trim().to_string())
+        .filter(|hash| !hash.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
 }
 
 /// Drains the criterion measurements recorded so far in this process into
@@ -714,6 +827,31 @@ pub fn emit_all() {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stage_latency_rows_compute_medians_in_taxonomy_order() {
+        let rows = stage_latency_rows(vec![
+            ("serialize".to_string(), vec![40, 10, 20]),
+            ("parse".to_string(), vec![2, 4]),
+            ("mystery".to_string(), vec![7]),
+        ]);
+        let names: Vec<&str> = rows.iter().map(|r| r.stage.as_str()).collect();
+        // Taxonomy order (parse before serialize), unknown stages last.
+        assert_eq!(names, ["parse", "serialize", "mystery"]);
+        assert_eq!(rows[0].median_ms, 0.003); // even count: mean of middles
+        assert_eq!(rows[1].median_ms, 0.020); // odd count: middle sample
+        assert_eq!(rows[1].max_ms, 0.040);
+        assert_eq!(rows[1].samples, 3);
+    }
+
+    #[test]
+    fn host_info_records_the_git_commit() {
+        let host = HostInfo::capture();
+        // This workspace is a git checkout, so the stamp must be a real
+        // 40-hex commit hash, not the fallback.
+        assert_eq!(host.git_commit.len(), 40, "{}", host.git_commit);
+        assert!(host.git_commit.chars().all(|c| c.is_ascii_hexdigit()));
+    }
 
     #[test]
     fn sections_merge_instead_of_clobbering() {

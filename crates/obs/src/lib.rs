@@ -1,0 +1,656 @@
+//! Observability substrate for the Tessel workspace.
+//!
+//! The build environment has no registry access, so — like the
+//! `crates/compat/*` substitutes — this crate hand-rolls the narrow slice of
+//! observability the daemon needs, with zero dependencies:
+//!
+//! * **Structured, leveled logging** ([`log`], [`error`]/[`warn`]/[`info`]/
+//!   [`debug`]): one line per event on stderr, in logfmt-style text or JSON
+//!   ([`LogFormat`]), filtered by a process-wide [`Level`]. Every event
+//!   emitted while a request context is active automatically carries that
+//!   request's `trace_id`, so grepping one ID reconstructs one request's
+//!   whole story — including what it triggered on *other* daemons.
+//! * **Request-scoped trace IDs** ([`TraceId`]): 32 lowercase hex
+//!   characters, minted per request or adopted from a validated
+//!   `X-Tessel-Trace-Id` header so a trace spans the cluster tier.
+//! * **Stage timing** ([`begin_request`], [`stage`], [`record_stage`],
+//!   [`end_request`]): a thread-local span collector the request pipeline
+//!   feeds per-stage wall-clock into; the transport harvests it to build
+//!   flight-recorder entries, `Server-Timing` headers and per-stage
+//!   histograms. All recording calls are no-ops when no request context is
+//!   active, so library callers pay one thread-local read.
+//! * **Log-bucketed histograms** ([`Histogram`]): atomic fixed-bucket
+//!   duration histograms on a 1–2.5–5 ladder from 100µs to 60s, rendered as
+//!   real Prometheus `_bucket`/`_sum`/`_count` series
+//!   ([`render_prometheus_histogram`]).
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::collections::hash_map::RandomState;
+use std::fmt;
+use std::hash::{BuildHasher, Hasher};
+use std::io::Write;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+// ---------------------------------------------------------------------------
+// Levels and formats
+// ---------------------------------------------------------------------------
+
+/// Log severity, most to least severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// The daemon cannot do what was asked of it.
+    Error = 0,
+    /// Something degraded (a peer down, a journal unwritable) but handled.
+    Warn = 1,
+    /// Request-level lifecycle events; the default.
+    Info = 2,
+    /// Per-stage detail useful when chasing one request.
+    Debug = 3,
+    /// Everything, including hot-path chatter.
+    Trace = 4,
+}
+
+impl Level {
+    /// The lowercase name used on the wire and in `--log-level`.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    fn from_u8(raw: u8) -> Level {
+        match raw {
+            0 => Level::Error,
+            1 => Level::Warn,
+            3 => Level::Debug,
+            4 => Level::Trace,
+            _ => Level::Info,
+        }
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Ok(Level::Error),
+            "warn" | "warning" => Ok(Level::Warn),
+            "info" => Ok(Level::Info),
+            "debug" => Ok(Level::Debug),
+            "trace" => Ok(Level::Trace),
+            other => Err(format!(
+                "unknown log level `{other}` (expected error|warn|info|debug|trace)"
+            )),
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Output encoding of log lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LogFormat {
+    /// `ts=… level=… target=… msg="…" key="value"` — human-greppable.
+    #[default]
+    Text,
+    /// One JSON object per line — machine-parseable.
+    Json,
+}
+
+impl FromStr for LogFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "text" => Ok(LogFormat::Text),
+            "json" => Ok(LogFormat::Json),
+            other => Err(format!("unknown log format `{other}` (expected text|json)")),
+        }
+    }
+}
+
+/// Process-wide minimum level (a [`Level`] discriminant).
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+/// Process-wide format (0 = text, 1 = JSON).
+static FORMAT: AtomicU8 = AtomicU8::new(0);
+
+/// Sets the process-wide log level and format. Callable any number of times,
+/// from any thread; later events use the latest configuration.
+pub fn init(level: Level, format: LogFormat) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+    FORMAT.store(
+        match format {
+            LogFormat::Text => 0,
+            LogFormat::Json => 1,
+        },
+        Ordering::Relaxed,
+    );
+}
+
+/// The current process-wide log level.
+#[must_use]
+pub fn level() -> Level {
+    Level::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// `true` when events at `at` currently pass the level filter.
+#[must_use]
+pub fn enabled(at: Level) -> bool {
+    at <= level()
+}
+
+// ---------------------------------------------------------------------------
+// Event emission
+// ---------------------------------------------------------------------------
+
+/// Emits one structured event to stderr (if `level` passes the filter).
+///
+/// `fields` are appended after the message; when a request context is active
+/// on this thread its `trace_id` is appended automatically unless `fields`
+/// already carries one.
+pub fn log(level: Level, target: &str, message: &str, fields: &[(&str, &str)]) {
+    if !enabled(level) {
+        return;
+    }
+    let trace = if fields.iter().any(|(k, _)| *k == "trace_id") {
+        None
+    } else {
+        current_trace_id()
+    };
+    let ts = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_secs_f64())
+        .unwrap_or(0.0);
+    let json = FORMAT.load(Ordering::Relaxed) == 1;
+    let mut line = String::with_capacity(128);
+    if json {
+        line.push_str(&format!(
+            "{{\"ts\":{ts:.3},\"level\":\"{}\",\"target\":\"{}\",\"msg\":\"{}\"",
+            level.as_str(),
+            json_escape(target),
+            json_escape(message)
+        ));
+        for (key, value) in fields {
+            line.push_str(&format!(
+                ",\"{}\":\"{}\"",
+                json_escape(key),
+                json_escape(value)
+            ));
+        }
+        if let Some(trace) = &trace {
+            line.push_str(&format!(",\"trace_id\":\"{trace}\""));
+        }
+        line.push('}');
+    } else {
+        line.push_str(&format!(
+            "ts={ts:.3} level={} target={} msg=\"{}\"",
+            level.as_str(),
+            target,
+            text_escape(message)
+        ));
+        for (key, value) in fields {
+            line.push_str(&format!(" {key}=\"{}\"", text_escape(value)));
+        }
+        if let Some(trace) = &trace {
+            line.push_str(&format!(" trace_id={trace}"));
+        }
+    }
+    line.push('\n');
+    // One write per line: concurrent threads interleave whole lines, never
+    // fragments.
+    let _ = std::io::stderr().lock().write_all(line.as_bytes());
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(target: &str, message: &str, fields: &[(&str, &str)]) {
+    log(Level::Error, target, message, fields);
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(target: &str, message: &str, fields: &[(&str, &str)]) {
+    log(Level::Warn, target, message, fields);
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(target: &str, message: &str, fields: &[(&str, &str)]) {
+    log(Level::Info, target, message, fields);
+}
+
+/// [`log`] at [`Level::Debug`].
+pub fn debug(target: &str, message: &str, fields: &[(&str, &str)]) {
+    log(Level::Debug, target, message, fields);
+}
+
+fn json_escape(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn text_escape(raw: &str) -> String {
+    raw.chars()
+        .map(|c| match c {
+            '"' => '\'',
+            '\n' | '\r' | '\t' => ' ',
+            c => c,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Trace IDs
+// ---------------------------------------------------------------------------
+
+/// A request-scoped trace identifier: exactly 32 lowercase hex characters
+/// (128 bits), propagated across the cluster via `X-Tessel-Trace-Id`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId([u8; 32]);
+
+/// Distinguishes the two 64-bit halves mixed into one generated ID.
+const TRACE_SALT: u64 = 0x9e37_79b9_7f4a_7c15;
+
+static TRACE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl TraceId {
+    /// Mints a fresh, effectively unique ID: 128 bits drawn from the
+    /// process's `RandomState` keys (OS-seeded), the wall clock and a global
+    /// counter, whitened through a hash round.
+    #[must_use]
+    pub fn generate() -> Self {
+        let count = TRACE_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let hi = Self::entropy(count);
+        let lo = Self::entropy(count ^ TRACE_SALT);
+        let mut hex = [0u8; 32];
+        for (i, byte) in hi.to_be_bytes().iter().chain(&lo.to_be_bytes()).enumerate() {
+            const DIGITS: &[u8; 16] = b"0123456789abcdef";
+            hex[2 * i] = DIGITS[(byte >> 4) as usize];
+            hex[2 * i + 1] = DIGITS[(byte & 0xf) as usize];
+        }
+        TraceId(hex)
+    }
+
+    fn entropy(salt: u64) -> u64 {
+        let mut hasher = RandomState::new().build_hasher();
+        hasher.write_u64(salt);
+        hasher.write_u128(
+            SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0),
+        );
+        hasher.finish()
+    }
+
+    /// Parses a trace ID, accepting **only** the canonical form: exactly 32
+    /// ASCII characters, each `0-9` or lowercase `a-f`. Anything else —
+    /// wrong length, uppercase, separators, control bytes — returns `None`;
+    /// callers mint a fresh ID instead of reflecting attacker-controlled
+    /// header bytes into logs and responses.
+    #[must_use]
+    pub fn parse(raw: &str) -> Option<Self> {
+        let bytes = raw.as_bytes();
+        if bytes.len() != 32 {
+            return None;
+        }
+        let mut hex = [0u8; 32];
+        for (slot, &b) in hex.iter_mut().zip(bytes) {
+            if !(b.is_ascii_digit() || (b'a'..=b'f').contains(&b)) {
+                return None;
+            }
+            *slot = b;
+        }
+        Some(TraceId(hex))
+    }
+
+    /// The 32-character lowercase hex form.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        // Construction only ever stores ASCII hex digits.
+        std::str::from_utf8(&self.0).unwrap_or("00000000000000000000000000000000")
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TraceId({})", self.as_str())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request context and stage timing
+// ---------------------------------------------------------------------------
+
+struct ActiveRequest {
+    trace_id: TraceId,
+    stages: Vec<(&'static str, u64)>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<ActiveRequest>> = const { RefCell::new(None) };
+}
+
+/// A completed request context: the trace ID plus every recorded stage, in
+/// first-recorded order (repeated stages merged by summing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FinishedRequest {
+    /// The request's trace ID.
+    pub trace_id: TraceId,
+    /// `(stage name, wall-clock microseconds)` rows.
+    pub stages: Vec<(&'static str, u64)>,
+}
+
+impl FinishedRequest {
+    /// Microseconds recorded for `name` (0 when the stage never ran).
+    #[must_use]
+    pub fn stage_micros(&self, name: &str) -> u64 {
+        self.stages
+            .iter()
+            .find(|(stage, _)| *stage == name)
+            .map_or(0, |(_, micros)| *micros)
+    }
+}
+
+/// Opens a request context on this thread. Stages recorded until the matching
+/// [`end_request`] accumulate under `trace_id`; log events carry it
+/// automatically. Re-entrant calls replace the previous context (the
+/// transport is the one caller and never nests).
+pub fn begin_request(trace_id: TraceId) {
+    CURRENT.with(|current| {
+        *current.borrow_mut() = Some(ActiveRequest {
+            trace_id,
+            stages: Vec::with_capacity(8),
+        });
+    });
+}
+
+/// The trace ID of the request context active on this thread, if any.
+#[must_use]
+pub fn current_trace_id() -> Option<TraceId> {
+    CURRENT.with(|current| current.borrow().as_ref().map(|active| active.trace_id))
+}
+
+/// Adds `micros` to stage `name` of the active request context (no-op when
+/// none is active). Repeated recordings of one stage sum.
+pub fn record_stage(name: &'static str, micros: u64) {
+    CURRENT.with(|current| {
+        if let Some(active) = current.borrow_mut().as_mut() {
+            match active.stages.iter_mut().find(|(stage, _)| *stage == name) {
+                Some((_, total)) => *total += micros,
+                None => active.stages.push((name, micros)),
+            }
+        }
+    });
+}
+
+/// Runs `f`, recording its wall-clock as stage `name` of the active request
+/// context (still runs `f`, un-timed in effect, when none is active).
+pub fn stage<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let started = Instant::now();
+    let result = f();
+    record_stage(name, started.elapsed().as_micros() as u64);
+    result
+}
+
+/// Closes the request context on this thread and returns what it collected
+/// (`None` when none was active).
+pub fn end_request() -> Option<FinishedRequest> {
+    CURRENT.with(|current| {
+        current.borrow_mut().take().map(|active| FinishedRequest {
+            trace_id: active.trace_id,
+            stages: active.stages,
+        })
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Log-bucketed histograms
+// ---------------------------------------------------------------------------
+
+/// Upper bounds (microseconds) of the duration histogram buckets: a
+/// 1–2.5–5 ladder from 100µs to 60s. Observations above the last bound land
+/// in the implicit `+Inf` bucket.
+pub const DURATION_BUCKET_BOUNDS_MICROS: [u64; 18] = [
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000, 2_500_000, 5_000_000, 10_000_000, 25_000_000, 60_000_000,
+];
+
+/// Bucket count including the `+Inf` overflow bucket.
+const BUCKETS: usize = DURATION_BUCKET_BOUNDS_MICROS.len() + 1;
+
+/// A fixed-bucket duration histogram with atomic counters, shaped for
+/// Prometheus exposition: per-bucket counts on the
+/// [`DURATION_BUCKET_BOUNDS_MICROS`] ladder plus a running sum and count.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum_micros: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one observation of `micros` microseconds.
+    pub fn observe_micros(&self, micros: u64) {
+        let index = DURATION_BUCKET_BOUNDS_MICROS
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(BUCKETS - 1);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded observations, in seconds.
+    #[must_use]
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Cumulative bucket counts (`le` semantics), one per bound plus the
+    /// final `+Inf` entry.
+    #[must_use]
+    pub fn cumulative_counts(&self) -> [u64; BUCKETS] {
+        let mut counts = [0u64; BUCKETS];
+        let mut running = 0u64;
+        for (slot, bucket) in counts.iter_mut().zip(&self.buckets) {
+            running += bucket.load(Ordering::Relaxed);
+            *slot = running;
+        }
+        counts
+    }
+}
+
+/// Appends one Prometheus histogram series to `out`: the
+/// `name_bucket{…le="…"}` ladder, then `name_sum` and `name_count`.
+///
+/// `labels` is either empty or a `key="value"` list **without** the trailing
+/// comma (e.g. `endpoint="/v1/search"`); the `le` label is appended after it.
+/// The caller emits the family's `# HELP`/`# TYPE name histogram` header once
+/// before the first series.
+pub fn render_prometheus_histogram(
+    out: &mut String,
+    name: &str,
+    labels: &str,
+    histogram: &Histogram,
+) {
+    let cumulative = histogram.cumulative_counts();
+    let sep = if labels.is_empty() { "" } else { "," };
+    for (bound, count) in DURATION_BUCKET_BOUNDS_MICROS.iter().zip(&cumulative) {
+        let le = *bound as f64 / 1e6;
+        out.push_str(&format!(
+            "{name}_bucket{{{labels}{sep}le=\"{le}\"}} {count}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}\n",
+        cumulative[BUCKETS - 1]
+    ));
+    let suffix_labels = if labels.is_empty() {
+        String::new()
+    } else {
+        format!("{{{labels}}}")
+    };
+    out.push_str(&format!(
+        "{name}_sum{suffix_labels} {}\n",
+        histogram.sum_seconds()
+    ));
+    out.push_str(&format!(
+        "{name}_count{suffix_labels} {}\n",
+        cumulative[BUCKETS - 1]
+    ));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!("info".parse::<Level>().unwrap(), Level::Info);
+        assert_eq!("WARN".parse::<Level>().unwrap(), Level::Warn);
+        assert!("verbose".parse::<Level>().is_err());
+        assert!(Level::Error < Level::Trace);
+        assert_eq!("json".parse::<LogFormat>().unwrap(), LogFormat::Json);
+        assert!("xml".parse::<LogFormat>().is_err());
+    }
+
+    #[test]
+    fn trace_ids_are_canonical_and_unique() {
+        let a = TraceId::generate();
+        let b = TraceId::generate();
+        assert_ne!(a, b);
+        assert_eq!(a.as_str().len(), 32);
+        assert!(a
+            .as_str()
+            .bytes()
+            .all(|c| c.is_ascii_digit() || (b'a'..=b'f').contains(&c)));
+        // Round trip.
+        assert_eq!(TraceId::parse(a.as_str()), Some(a));
+    }
+
+    #[test]
+    fn trace_id_parsing_is_strict() {
+        assert!(TraceId::parse("0123456789abcdef0123456789abcdef").is_some());
+        // Wrong length.
+        assert!(TraceId::parse("").is_none());
+        assert!(TraceId::parse("abc").is_none());
+        assert!(TraceId::parse(&"a".repeat(33)).is_none());
+        assert!(TraceId::parse(&"a".repeat(4096)).is_none());
+        // Uppercase, non-hex, separators, control bytes.
+        assert!(TraceId::parse("0123456789ABCDEF0123456789ABCDEF").is_none());
+        assert!(TraceId::parse("0123456789abcdeg0123456789abcdef").is_none());
+        assert!(TraceId::parse("01234567-89ab-cdef-0123-456789abcd").is_none());
+        assert!(TraceId::parse("0123456789abcde\u{7}0123456789abcdef").is_none());
+    }
+
+    #[test]
+    fn stages_accumulate_and_merge_per_request() {
+        let trace = TraceId::generate();
+        begin_request(trace);
+        assert_eq!(current_trace_id(), Some(trace));
+        record_stage("cache_lookup", 10);
+        let value = stage("solve", || 42);
+        assert_eq!(value, 42);
+        record_stage("cache_lookup", 5);
+        let finished = end_request().unwrap();
+        assert_eq!(finished.trace_id, trace);
+        assert_eq!(finished.stage_micros("cache_lookup"), 15);
+        assert_eq!(finished.stage_micros("missing"), 0);
+        assert_eq!(finished.stages[0].0, "cache_lookup");
+        // The context is gone; further recording is a no-op.
+        assert_eq!(current_trace_id(), None);
+        record_stage("late", 1);
+        assert!(end_request().is_none());
+    }
+
+    #[test]
+    fn histogram_buckets_and_rendering() {
+        let h = Histogram::new();
+        h.observe_micros(50); // le=100
+        h.observe_micros(100); // le=100 (inclusive)
+        h.observe_micros(150_000); // le=250000
+        h.observe_micros(120_000_000); // +Inf
+        assert_eq!(h.count(), 4);
+        let cumulative = h.cumulative_counts();
+        assert_eq!(cumulative[0], 2);
+        assert_eq!(*cumulative.last().unwrap(), 4);
+        assert!((h.sum_seconds() - 120.15015).abs() < 1e-6);
+
+        let mut out = String::new();
+        render_prometheus_histogram(&mut out, "tessel_test_seconds", "stage=\"solve\"", &h);
+        assert!(out.contains("tessel_test_seconds_bucket{stage=\"solve\",le=\"0.0001\"} 2"));
+        assert!(out.contains("tessel_test_seconds_bucket{stage=\"solve\",le=\"+Inf\"} 4"));
+        assert!(out.contains("tessel_test_seconds_sum{stage=\"solve\"} "));
+        assert!(out.contains("tessel_test_seconds_count{stage=\"solve\"} 4"));
+
+        let mut bare = String::new();
+        render_prometheus_histogram(&mut bare, "plain_seconds", "", &h);
+        assert!(bare.contains("plain_seconds_bucket{le=\"0.0001\"} 2"));
+        assert!(bare.contains("plain_seconds_count 4"));
+    }
+
+    #[test]
+    fn log_lines_do_not_panic_in_either_format() {
+        // Smoke: exotic content must escape, not crash (output goes to
+        // stderr and is not captured here).
+        init(Level::Debug, LogFormat::Json);
+        log(
+            Level::Info,
+            "test",
+            "quote \" backslash \\ newline \n tab \t",
+            &[("key", "value \u{1} with control")],
+        );
+        init(Level::Info, LogFormat::Text);
+        debug("test", "filtered out", &[]);
+        warn("test", "visible", &[("k", "v\"w")]);
+    }
+}

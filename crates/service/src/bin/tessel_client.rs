@@ -4,6 +4,7 @@
 //! tessel-client --addr 127.0.0.1:7700 health
 //! tessel-client search --shape v4 --micro-batches 8
 //! tessel-client search --shape v4 --repeat 3
+//! tessel-client search --shape v4 --timing
 //! tessel-client search --placement-file my_placement.json --deadline-ms 500
 //! tessel-client cache
 //! tessel-client inspect 1a2b3c4d5e6f7081
@@ -40,10 +41,13 @@ fn usage() -> ! {
          \x20 search [--placement-file PATH | --shape KINDn]\n\
          \x20        [--rotate-devices N]\n\
          \x20        [--micro-batches N] [--max-repetend N] [--deadline-ms MS]\n\
-         \x20        [--solver-threads N] [--repeat N]\n\
+         \x20        [--solver-threads N] [--repeat N] [--timing]\n\
          \n\
          search --repeat N issues the request N times over one kept-alive\n\
          TCP connection (later repeats hit the daemon's result cache).\n\
+         search --timing prints each response's Server-Timing per-stage\n\
+         breakdown (and trace ID) to stderr, one line per request; stdout\n\
+         stays pure response JSON.\n\
          search --rotate-devices N relabels the placement's devices by a\n\
          rotation of N before sending — the daemon still answers from the\n\
          canonical-fingerprint cache and translates the schedule back."
@@ -102,6 +106,35 @@ fn parse_shape(spec: &str) -> Option<tessel_core::ir::PlacementSpec> {
     };
     let devices: usize = devices.parse().ok()?;
     synthetic_placement(kind, devices).ok()
+}
+
+/// Prints one `--timing` line to stderr: the request's trace ID and the
+/// `Server-Timing` per-stage breakdown
+/// (`timing[<trace>]: parse=0.012ms solve=3.400ms ...`).
+fn print_timing(headers: &[(String, String)]) {
+    let lookup = |wanted: &str| {
+        headers
+            .iter()
+            .find(|(name, _)| name.eq_ignore_ascii_case(wanted))
+            .map(|(_, value)| value.as_str())
+    };
+    let trace = lookup("x-tessel-trace-id").unwrap_or("-");
+    match lookup("server-timing") {
+        Some(value) => {
+            let stages: Vec<String> = value
+                .split(',')
+                .map(|part| {
+                    let part = part.trim();
+                    match part.split_once(";dur=") {
+                        Some((name, ms)) => format!("{name}={ms}ms"),
+                        None => part.to_string(),
+                    }
+                })
+                .collect();
+            eprintln!("timing[{trace}]: {}", stages.join(" "));
+        }
+        None => eprintln!("timing[{trace}]: (no Server-Timing header in response)"),
+    }
 }
 
 fn call(addr: &str, method: &str, path: &str, body: Option<&str>) -> ! {
@@ -183,6 +216,7 @@ fn main() {
             let mut deadline_ms = None;
             let mut solver_threads = None;
             let mut repeat = 1usize;
+            let mut timing = false;
             let mut it = rest.iter();
             while let Some(flag) = it.next() {
                 match flag.as_str() {
@@ -215,6 +249,7 @@ fn main() {
                     "--solver-threads" => {
                         solver_threads = it.next().and_then(|v| v.parse().ok());
                     }
+                    "--timing" => timing = true,
                     "--repeat" => {
                         repeat = match it.next().and_then(|v| v.parse().ok()) {
                             Some(n) if n >= 1 => n,
@@ -276,9 +311,12 @@ fn main() {
             };
             let mut all_ok = true;
             for _ in 0..repeat {
-                match client.call("POST", "/v1/search", Some(&body)) {
-                    Ok((status, response)) => {
+                match client.call_with_headers("POST", "/v1/search", Some(&body), &[]) {
+                    Ok((status, headers, response)) => {
                         println!("{response}");
+                        if timing {
+                            print_timing(&headers);
+                        }
                         all_ok &= (200..300).contains(&status);
                     }
                     Err(e) => {

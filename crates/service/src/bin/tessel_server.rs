@@ -36,6 +36,11 @@ fn usage() -> ! {
          \x20                  [--node-id ID] [--peer ID=HOST:PORT]...\n\
          \x20                  [--cluster-vnodes N] [--probe-interval-ms MS]\n\
          \x20                  [--peer-timeout-ms MS] [--circuit-cooldown-ms MS]\n\
+         \x20                  [--log-level error|warn|info|debug|trace]\n\
+         \x20                  [--log-format text|json]\n\
+         \n\
+         logging goes to stderr; --log-format json emits one JSON object\n\
+         per line (each served request logs one line carrying its trace ID).\n\
          \n\
          cluster mode: give this daemon a --node-id and one --peer flag per\n\
          sibling; the fleet then shares one logical cache sharded by a\n\
@@ -57,6 +62,8 @@ fn parse_value<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
 fn main() {
     let mut server_config = ServerConfig::default();
     let mut service_config = ServiceConfig::default();
+    let mut log_level = tessel_obs::Level::Info;
+    let mut log_format = tessel_obs::LogFormat::Text;
     let mut node_id: Option<String> = None;
     let mut peers: Vec<PeerConfig> = Vec::new();
     let mut cluster_vnodes: Option<usize> = None;
@@ -112,6 +119,8 @@ fn main() {
                 service_config.default_deadline =
                     Some(Duration::from_millis(parse_value(&flag, args.next())));
             }
+            "--log-level" => log_level = parse_value(&flag, args.next()),
+            "--log-format" => log_format = parse_value(&flag, args.next()),
             "--node-id" => node_id = Some(parse_value(&flag, args.next())),
             "--peer" => {
                 let spec: String = parse_value(&flag, args.next());
@@ -141,6 +150,8 @@ fn main() {
             }
         }
     }
+
+    tessel_obs::init(log_level, log_format);
 
     match &node_id {
         Some(node_id) => {
@@ -177,7 +188,11 @@ fn main() {
     let service = match ScheduleService::new(service_config) {
         Ok(service) => Arc::new(service),
         Err(e) => {
-            eprintln!("error: cannot initialise service: {e}");
+            tessel_obs::error(
+                "server",
+                "cannot initialise service",
+                &[("error", &e.to_string())],
+            );
             exit(1);
         }
     };
@@ -185,29 +200,45 @@ fn main() {
     let server = match HttpServer::serve(service.clone(), &server_config) {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("error: cannot bind {}: {e}", server_config.addr);
+            tessel_obs::error(
+                "server",
+                "cannot bind listen address",
+                &[("addr", &server_config.addr), ("error", &e.to_string())],
+            );
             exit(1);
         }
     };
+    // Stdout keeps the one line scripts grep for (`--addr 127.0.0.1:0`
+    // discovery); everything else goes through the structured logger.
     println!("tessel-server listening on http://{}", server.local_addr());
+    tessel_obs::info(
+        "server",
+        "listening",
+        &[("addr", &server.local_addr().to_string())],
+    );
     if warm > 0 {
-        println!("cache warm-started with {warm} entries");
+        tessel_obs::info(
+            "server",
+            "cache warm-started from journal",
+            &[("entries", &warm.to_string())],
+        );
     }
     if let Some(cluster) = service.cluster() {
-        println!(
-            "cluster node `{}` in a ring of {:?}",
-            cluster.node_id(),
-            cluster.ring().nodes()
+        tessel_obs::info(
+            "server",
+            "cluster member starting",
+            &[
+                ("node", cluster.node_id()),
+                ("ring", &format!("{:?}", cluster.ring().nodes())),
+            ],
         );
         // Warm this node's shard of the logical cache from its peers without
         // delaying readiness: the daemon serves (solving if needed) while
-        // the stream runs.
+        // the stream runs. (`warm_from_peers` logs the summary, with the
+        // warm-up trace ID.)
         let warmer = service.clone();
         std::thread::spawn(move || {
-            let warmed = warmer.warm_cache_from_peers();
-            if warmed > 0 {
-                println!("cluster warm-up streamed {warmed} entries from peers");
-            }
+            warmer.warm_cache_from_peers();
         });
     }
     // Serve until the process is killed.

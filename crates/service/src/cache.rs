@@ -348,9 +348,13 @@ impl ShardedCache {
                     ));
                 }
                 Err(_) => {
-                    eprintln!(
-                        "warning: cache journal {} has a torn tail; recovered {restored} records",
-                        path.display()
+                    tessel_obs::warn(
+                        "cache",
+                        "cache journal has a torn tail; stopping at the last good record",
+                        &[
+                            ("path", &path.display().to_string()),
+                            ("recovered", &restored.to_string()),
+                        ],
                     );
                     break;
                 }

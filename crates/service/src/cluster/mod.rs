@@ -208,7 +208,15 @@ impl Cluster {
             return RemoteFetch::LocalOwner;
         };
         let path = format!("/v1/cache/{fingerprint}");
-        match peer.call("GET", &path, None) {
+        // Propagate the originating request's trace ID so the owner's flight
+        // recorder and logs correlate with the requester's.
+        let trace = tessel_obs::current_trace_id();
+        let headers: Vec<(&str, &str)> = trace
+            .as_ref()
+            .map(|id| ("X-Tessel-Trace-Id", id.as_str()))
+            .into_iter()
+            .collect();
+        match peer.call_with_headers("GET", &path, None, &headers) {
             Ok((200, body)) => match serde_json::from_str::<CacheExchange>(&body) {
                 Ok(exchange) => {
                     let usable = exchange.entries.into_iter().find(|entry| {
@@ -262,9 +270,22 @@ impl Cluster {
     /// entries were warmed.
     pub fn warm_from_peers(&self, mut insert: impl FnMut(CachedSearch)) -> usize {
         let path = format!("/v1/cluster/export/{}", self.config.node_id);
+        // One trace ID spans the whole warm-up sweep, so every peer's export
+        // request (and flight-recorder entry) correlates to this startup.
+        let trace = tessel_obs::TraceId::generate();
+        let headers = [("X-Tessel-Trace-Id", trace.as_str())];
         let mut warmed = 0usize;
         for peer in self.peers.peers() {
-            let Ok((200, body)) = peer.call("GET", &path, None) else {
+            let Ok((200, body)) = peer.call_with_headers("GET", &path, None, &headers) else {
+                tessel_obs::debug(
+                    "cluster",
+                    "warm-up export unavailable from peer",
+                    &[
+                        ("peer", peer.node_id()),
+                        ("addr", peer.addr()),
+                        ("trace_id", trace.as_str()),
+                    ],
+                );
                 continue; // unreachable or pre-cluster peer: warm from the rest
             };
             let Ok(exchanges) = serde_json::from_str::<Vec<CacheExchange>>(&body) else {
@@ -295,6 +316,15 @@ impl Cluster {
         self.metrics
             .warmup_entries
             .fetch_add(warmed as u64, Ordering::Relaxed);
+        tessel_obs::info(
+            "cluster",
+            "warm-up from peers finished",
+            &[
+                ("node", &self.config.node_id),
+                ("entries", &warmed.to_string()),
+                ("trace_id", trace.as_str()),
+            ],
+        );
         warmed
     }
 

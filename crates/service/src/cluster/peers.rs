@@ -131,10 +131,28 @@ impl Peer {
         path: &str,
         body: Option<&str>,
     ) -> Result<(u16, String), PeerError> {
+        self.call_with_headers(method, path, body, &[])
+    }
+
+    /// Like [`Peer::call`], but sends `extra_headers` with the request — the
+    /// cluster tier uses this to propagate the originating request's
+    /// `X-Tessel-Trace-Id` so remote fetches, replication PUTs and warm-up
+    /// streams join one trace across daemons.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Peer::call`].
+    pub fn call_with_headers(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> Result<(u16, String), PeerError> {
         if self.circuit_open() {
             return Err(PeerError::CircuitOpen);
         }
-        self.call_bypassing_circuit(method, path, body)
+        self.execute(method, path, body, extra_headers)
     }
 
     /// Issues one request even while the circuit is open — the prober uses
@@ -149,14 +167,24 @@ impl Peer {
         path: &str,
         body: Option<&str>,
     ) -> Result<(u16, String), PeerError> {
+        self.execute(method, path, body, &[])
+    }
+
+    fn execute(
+        &self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> Result<(u16, String), PeerError> {
         let result = {
             let mut client = self.client.lock().expect("peer client lock");
-            client.call(method, path, body)
+            client.call_with_headers(method, path, body, extra_headers)
         };
         match result {
-            Ok(response) => {
+            Ok((status, _headers, payload)) => {
                 self.record_success();
-                Ok(response)
+                Ok((status, payload))
             }
             Err(e) => {
                 self.record_failure(&e.to_string());
@@ -167,10 +195,19 @@ impl Peer {
 
     fn record_success(&self) {
         let mut health = self.health.lock().expect("peer health lock");
+        let recovered = health.circuit_open_until.is_some();
         health.healthy = true;
         health.consecutive_failures = 0;
         health.circuit_open_until = None;
         health.last_error = None;
+        drop(health);
+        if recovered {
+            tessel_obs::info(
+                "cluster",
+                "peer circuit closed",
+                &[("peer", self.node_id()), ("addr", self.addr())],
+            );
+        }
     }
 
     fn record_failure(&self, error: &str) {
@@ -178,8 +215,28 @@ impl Peer {
         health.healthy = false;
         health.consecutive_failures += 1;
         health.last_error = Some(error.to_string());
+        let mut opened = false;
         if health.consecutive_failures >= self.failure_threshold {
+            // Only the closed-to-open transition is logged; re-arming an
+            // already open circuit (the prober re-failing) stays quiet.
+            opened = health
+                .circuit_open_until
+                .is_none_or(|until| Instant::now() >= until);
             health.circuit_open_until = Some(Instant::now() + self.circuit_cooldown);
+        }
+        let failures = health.consecutive_failures;
+        drop(health);
+        if opened {
+            tessel_obs::warn(
+                "cluster",
+                "peer circuit opened",
+                &[
+                    ("peer", self.node_id()),
+                    ("addr", self.addr()),
+                    ("failures", &failures.to_string()),
+                    ("error", error),
+                ],
+            );
         }
     }
 

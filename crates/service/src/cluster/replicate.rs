@@ -23,6 +23,10 @@ use tessel_core::fingerprint::Fingerprint;
 struct Job {
     fingerprint: Fingerprint,
     entry: Arc<CachedSearch>,
+    /// Trace ID of the request whose solve produced the entry, captured at
+    /// enqueue time (the worker thread has no request context of its own)
+    /// and attached to the PUT so the owner's records join that trace.
+    origin_trace: Option<tessel_obs::TraceId>,
 }
 
 /// The background replication worker and its bounded queue.
@@ -67,16 +71,42 @@ impl Replicator {
                     }
                 };
                 let path = format!("/v1/cache/{}", job.fingerprint);
-                match peer.call("PUT", &path, Some(&body)) {
+                let headers: Vec<(&str, &str)> = job
+                    .origin_trace
+                    .as_ref()
+                    .map(|id| ("X-Tessel-Trace-Id", id.as_str()))
+                    .into_iter()
+                    .collect();
+                let outcome = peer.call_with_headers("PUT", &path, Some(&body), &headers);
+                match outcome {
                     Ok((status, _)) if (200..300).contains(&status) => {
                         worker_metrics
                             .replications_sent
                             .fetch_add(1, Ordering::Relaxed);
                     }
-                    _ => {
+                    other => {
                         worker_metrics
                             .replication_errors
                             .fetch_add(1, Ordering::Relaxed);
+                        let detail = match &other {
+                            Ok((status, _)) => format!("owner answered {status}"),
+                            Err(e) => e.to_string(),
+                        };
+                        let trace = job
+                            .origin_trace
+                            .as_ref()
+                            .map(|id| id.as_str().to_string())
+                            .unwrap_or_default();
+                        tessel_obs::warn(
+                            "cluster",
+                            "replication to owner failed",
+                            &[
+                                ("owner", owner),
+                                ("fingerprint", &job.fingerprint.to_string()),
+                                ("error", &detail),
+                                ("trace_id", &trace),
+                            ],
+                        );
                     }
                 }
             }
@@ -96,7 +126,11 @@ impl Replicator {
         let Some(tx) = tx.as_ref() else {
             return; // shut down
         };
-        match tx.try_send(Job { fingerprint, entry }) {
+        match tx.try_send(Job {
+            fingerprint,
+            entry,
+            origin_trace: tessel_obs::current_trace_id(),
+        }) {
             Ok(()) => {}
             Err(TrySendError::Full(_) | TrySendError::Disconnected(_)) => {
                 self.metrics

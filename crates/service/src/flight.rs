@@ -1,0 +1,259 @@
+//! In-memory flight recorder: the last N completed requests with per-stage
+//! timing breakdowns, plus a slowest-requests leaderboard.
+//!
+//! Every completed request — HTTP or in-process — deposits one
+//! [`FlightRecord`] here. The recorder keeps two bounded views:
+//!
+//! * **recent** — a ring buffer of the last [`FlightRecorder::capacity`]
+//!   requests, newest first, for "what just happened" debugging;
+//! * **slowest** — the [`SLOWEST_CAPACITY`] slowest requests seen since
+//!   startup, sorted by total duration, for "where did my tail latency go".
+//!
+//! Both views serve `GET /v1/debug/requests`. Memory is strictly bounded:
+//! records are `Arc`-shared between the two views, and each record holds only
+//! the trace ID, request line, status and a short stage vector — roughly 200
+//! bytes each, so the default configuration retains well under 64 KiB.
+
+use crate::wire::{DebugRequestsResponse, FlightRecordInfo, StageTimingInfo};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Current wall clock as Unix milliseconds (the `start_unix_ms` stamp).
+#[must_use]
+pub fn now_unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Default number of recent requests retained.
+pub const RECENT_CAPACITY: usize = 128;
+
+/// Number of slowest-request slots retained.
+pub const SLOWEST_CAPACITY: usize = 16;
+
+/// One per-stage timing row of a completed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTiming {
+    /// Stage name (see the span taxonomy in `docs/ARCHITECTURE.md`).
+    pub name: String,
+    /// Wall-clock microseconds spent in the stage.
+    pub micros: u64,
+}
+
+/// A completed request as retained by the flight recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightRecord {
+    /// The request's trace ID (32 lowercase hex characters).
+    pub trace_id: String,
+    /// HTTP method (`"POST"`), or `"CALL"` for in-process searches.
+    pub method: String,
+    /// Request path (`"/v1/search"`).
+    pub path: String,
+    /// Response status code (200 for in-process searches that succeed).
+    pub status: u16,
+    /// Unix milliseconds when the request started.
+    pub start_unix_ms: u64,
+    /// Total wall-clock microseconds, accept to write.
+    pub total_micros: u64,
+    /// Per-stage breakdown, in execution order.
+    pub stages: Vec<StageTiming>,
+}
+
+impl FlightRecord {
+    /// Microseconds recorded for stage `name` (0 when it never ran).
+    #[must_use]
+    pub fn stage_micros(&self, name: &str) -> u64 {
+        self.stages
+            .iter()
+            .find(|stage| stage.name == name)
+            .map_or(0, |stage| stage.micros)
+    }
+
+    fn to_wire(&self) -> FlightRecordInfo {
+        FlightRecordInfo {
+            trace_id: self.trace_id.clone(),
+            method: self.method.clone(),
+            path: self.path.clone(),
+            status: self.status,
+            start_unix_ms: self.start_unix_ms,
+            total_micros: self.total_micros,
+            stages: self
+                .stages
+                .iter()
+                .map(|stage| StageTimingInfo {
+                    name: stage.name.clone(),
+                    micros: stage.micros,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Bounded two-view store of completed requests (see the module docs).
+///
+/// Both views sit behind plain mutexes: they are touched once per *completed*
+/// request, far off the hot path, and contention is bounded by request
+/// throughput.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    recent: Mutex<VecDeque<Arc<FlightRecord>>>,
+    slowest: Mutex<Vec<Arc<FlightRecord>>>,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(RECENT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// Creates a recorder retaining the last `capacity` requests (minimum 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity: capacity.max(1),
+            recent: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            slowest: Mutex::new(Vec::with_capacity(SLOWEST_CAPACITY)),
+        }
+    }
+
+    /// The ring-buffer capacity of the recent view.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Deposits one completed request into both views.
+    pub fn record(&self, record: FlightRecord) {
+        let record = Arc::new(record);
+        {
+            let mut recent = self.recent.lock().expect("flight recorder lock");
+            if recent.len() == self.capacity {
+                recent.pop_front();
+            }
+            recent.push_back(Arc::clone(&record));
+        }
+        let mut slowest = self.slowest.lock().expect("flight recorder lock");
+        if slowest.len() < SLOWEST_CAPACITY
+            || slowest
+                .last()
+                .is_some_and(|tail| record.total_micros > tail.total_micros)
+        {
+            slowest.push(record);
+            slowest.sort_by_key(|record| std::cmp::Reverse(record.total_micros));
+            slowest.truncate(SLOWEST_CAPACITY);
+        }
+    }
+
+    /// The recent view, newest first.
+    #[must_use]
+    pub fn recent(&self) -> Vec<Arc<FlightRecord>> {
+        let recent = self.recent.lock().expect("flight recorder lock");
+        recent.iter().rev().cloned().collect()
+    }
+
+    /// The slowest view, slowest first.
+    #[must_use]
+    pub fn slowest(&self) -> Vec<Arc<FlightRecord>> {
+        self.slowest.lock().expect("flight recorder lock").clone()
+    }
+
+    /// Snapshot of both views in wire form, for `GET /v1/debug/requests`.
+    #[must_use]
+    pub fn snapshot(&self) -> DebugRequestsResponse {
+        DebugRequestsResponse {
+            capacity: self.capacity as u64,
+            recent: self.recent().iter().map(|r| r.to_wire()).collect(),
+            slowest: self.slowest().iter().map(|r| r.to_wire()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(trace: &str, total: u64) -> FlightRecord {
+        FlightRecord {
+            trace_id: trace.to_string(),
+            method: "POST".to_string(),
+            path: "/v1/search".to_string(),
+            status: 200,
+            start_unix_ms: 1_700_000_000_000,
+            total_micros: total,
+            stages: vec![
+                StageTiming {
+                    name: "solve".to_string(),
+                    micros: total / 2,
+                },
+                StageTiming {
+                    name: "serialize".to_string(),
+                    micros: total / 4,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn recent_is_a_ring_buffer_newest_first() {
+        let recorder = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            recorder.record(record(&format!("{i:032}"), 100 + i));
+        }
+        let recent = recorder.recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].trace_id, format!("{:032}", 4));
+        assert_eq!(recent[2].trace_id, format!("{:032}", 2));
+    }
+
+    #[test]
+    fn slowest_keeps_the_global_tail_sorted() {
+        let recorder = FlightRecorder::new(2);
+        // Old-but-slow entries must survive ring-buffer eviction.
+        recorder.record(record("slow", 9_000_000));
+        for i in 0..10u64 {
+            recorder.record(record(&format!("fast{i}"), 10 + i));
+        }
+        let slowest = recorder.slowest();
+        assert_eq!(slowest[0].trace_id, "slow");
+        assert!(slowest.len() <= SLOWEST_CAPACITY);
+        for pair in slowest.windows(2) {
+            assert!(pair[0].total_micros >= pair[1].total_micros);
+        }
+        // The slow entry is gone from recent (capacity 2) but kept above.
+        assert!(recorder.recent().iter().all(|r| r.trace_id != "slow"));
+    }
+
+    #[test]
+    fn slowest_is_bounded() {
+        let recorder = FlightRecorder::new(4);
+        for i in 0..100u64 {
+            recorder.record(record(&format!("r{i}"), i));
+        }
+        assert_eq!(recorder.slowest().len(), SLOWEST_CAPACITY);
+        assert_eq!(recorder.slowest()[0].total_micros, 99);
+    }
+
+    #[test]
+    fn stage_micros_looks_up_by_name() {
+        let r = record("t", 100);
+        assert_eq!(r.stage_micros("solve"), 50);
+        assert_eq!(r.stage_micros("serialize"), 25);
+        assert_eq!(r.stage_micros("absent"), 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_wire_types() {
+        let recorder = FlightRecorder::new(8);
+        recorder.record(record("a".repeat(32).as_str(), 1234));
+        let snap = recorder.snapshot();
+        assert_eq!(snap.capacity, 8);
+        assert_eq!(snap.recent.len(), 1);
+        assert_eq!(snap.recent[0].total_micros, 1234);
+        assert_eq!(snap.recent[0].stages.len(), 2);
+        assert_eq!(snap.slowest[0].trace_id, snap.recent[0].trace_id);
+    }
+}

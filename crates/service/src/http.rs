@@ -43,14 +43,21 @@
 //! | PUT    | `/v1/cache/{fp}`            | accept a replicated entry (cluster)|
 //! | GET    | `/v1/cluster`               | ring membership and peer health    |
 //! | GET    | `/v1/cluster/export/{node}` | warm-up stream of `{node}`'s shard |
+//! | GET    | `/v1/debug/requests`        | flight recorder (recent + slowest) |
 //! | GET    | `/metrics`                  | Prometheus text metrics            |
 //! | GET    | `/healthz`                  | liveness probe                     |
+//!
+//! Every response carries an `X-Tessel-Trace-Id` header (the request-scoped
+//! trace ID, joined from a valid inbound `X-Tessel-Trace-Id` or freshly
+//! minted) and a `Server-Timing` header with the per-stage breakdown; the
+//! same stages land in the flight recorder behind `/v1/debug/requests`.
 //!
 //! [`HttpClient`] is the matching keep-alive client used by `tessel-client`
 //! and the end-to-end tests; [`http_call`] is the one-shot
 //! (connection-per-request) convenience wrapper.
 
-use crate::metrics::TransportMetrics;
+use crate::flight::{now_unix_ms, FlightRecord, StageTiming};
+use crate::metrics::{ServiceMetrics, TransportMetrics};
 use crate::service::{ScheduleService, ServiceError};
 use crate::sys::{Event, Interest, Poller};
 use crate::wire::ErrorBody;
@@ -78,6 +85,12 @@ const WRITE_BACKPRESSURE_BYTES: usize = 256 * 1024;
 /// Reads drained from one connection per readiness event before yielding to
 /// the other connections (level-triggered epoll re-arms automatically).
 const READS_PER_EVENT: usize = 16;
+/// Longest inbound `X-Tessel-Trace-Id` header value considered at all; a
+/// longer value is dropped before validation so a hostile peer cannot make
+/// the daemon buffer or log an arbitrarily large header. (Valid trace IDs
+/// are exactly 32 characters; the slack only exists to keep the cutoff far
+/// from the legitimate size.)
+const MAX_TRACE_HEADER_BYTES: usize = 128;
 
 /// Event-loop registration token of the listener socket.
 const TOKEN_LISTENER: u64 = 0;
@@ -85,6 +98,11 @@ const TOKEN_LISTENER: u64 = 0;
 const TOKEN_WAKER: u64 = 1;
 /// First token handed to an accepted connection.
 const TOKEN_FIRST_CONN: u64 = 2;
+
+/// Response headers as they appeared on the wire: `(name, value)` pairs in
+/// arrival order, names keeping their wire casing (look up
+/// case-insensitively).
+pub type ResponseHeaders = Vec<(String, String)>;
 
 /// Configuration of the HTTP server.
 #[derive(Debug, Clone)]
@@ -186,8 +204,76 @@ impl HttpServer {
                     let Ok(job) = job else {
                         break; // sender dropped: shutdown
                     };
+                    // A valid inbound trace ID joins the request to the
+                    // originating trace (cluster-internal calls); anything
+                    // else — absent, malformed, oversized — mints a fresh ID
+                    // and the raw header value is never reflected back.
+                    let trace_id = job
+                        .request
+                        .trace_header
+                        .as_deref()
+                        .and_then(tessel_obs::TraceId::parse)
+                        .unwrap_or_else(tessel_obs::TraceId::generate);
+                    let started = Instant::now();
+                    let start_unix_ms = now_unix_ms();
+                    tessel_obs::begin_request(trace_id);
+                    tessel_obs::record_stage("parse", job.parse_micros);
+                    tessel_obs::record_stage(
+                        "queue_wait",
+                        job.enqueued.elapsed().as_micros() as u64,
+                    );
                     let response = route(&service, &transport, &job.request);
-                    let bytes = encode_response(&response, !job.request.close);
+                    let finished = tessel_obs::end_request();
+                    let total_micros = started.elapsed().as_micros() as u64;
+                    let mut extra_headers = vec![(
+                        "X-Tessel-Trace-Id".to_string(),
+                        trace_id.as_str().to_string(),
+                    )];
+                    let flight = finished.map(|done| {
+                        let timing = done
+                            .stages
+                            .iter()
+                            .map(|(name, micros)| {
+                                format!("{name};dur={:.3}", *micros as f64 / 1000.0)
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        if !timing.is_empty() {
+                            extra_headers.push(("Server-Timing".to_string(), timing));
+                        }
+                        Box::new(PendingFlight {
+                            service: service.clone(),
+                            record: FlightRecord {
+                                trace_id: done.trace_id.as_str().to_string(),
+                                method: job.request.method.clone(),
+                                path: job.request.path.clone(),
+                                status: response.status,
+                                start_unix_ms,
+                                total_micros,
+                                stages: done
+                                    .stages
+                                    .iter()
+                                    .map(|&(name, micros)| StageTiming {
+                                        name: name.to_string(),
+                                        micros,
+                                    })
+                                    .collect(),
+                            },
+                            created: Instant::now(),
+                        })
+                    });
+                    tessel_obs::info(
+                        "http",
+                        "request completed",
+                        &[
+                            ("method", job.request.method.as_str()),
+                            ("path", job.request.path.as_str()),
+                            ("status", &response.status.to_string()),
+                            ("micros", &total_micros.to_string()),
+                            ("trace_id", trace_id.as_str()),
+                        ],
+                    );
+                    let bytes = encode_response(&response, !job.request.close, &extra_headers);
                     completions
                         .lock()
                         .expect("completion lock")
@@ -196,6 +282,7 @@ impl HttpServer {
                             seq: job.seq,
                             bytes,
                             close: job.request.close,
+                            flight,
                         });
                     // One byte per completion; the event loop drains in
                     // batches, so a full (64 KiB) pipe is unreachable in
@@ -270,6 +357,10 @@ struct ParsedRequest {
     /// The connection must close after this request's response (explicit
     /// `Connection: close`, or HTTP/1.0 without `keep-alive`).
     close: bool,
+    /// Raw `X-Tessel-Trace-Id` header value, if one arrived within the size
+    /// cap. Validated by the worker ([`tessel_obs::TraceId::parse`]); an
+    /// invalid value mints a fresh ID and is never echoed back.
+    trace_header: Option<String>,
 }
 
 /// A unit of work for the pool: which connection, which slot in its response
@@ -278,6 +369,12 @@ struct Job {
     token: u64,
     seq: u64,
     request: ParsedRequest,
+    /// Microseconds the final (completing) parse pass took; the `parse`
+    /// stage of the request's trace.
+    parse_micros: u64,
+    /// When the job entered the worker queue; the gap to worker pickup is
+    /// the `queue_wait` stage.
+    enqueued: Instant,
 }
 
 /// A finished response travelling back to the event loop.
@@ -286,6 +383,19 @@ struct Completion {
     seq: u64,
     bytes: Vec<u8>,
     close: bool,
+    /// Flight-recorder entry finalized once the event loop's write pass has
+    /// run for this response (`None` for transport-level error responses).
+    flight: Option<Box<PendingFlight>>,
+}
+
+/// A worker-built flight record waiting for its `write` stage: the event
+/// loop stamps `created.elapsed()` after flushing the response and deposits
+/// the record. This measures completion-to-write-pass, an approximation of
+/// time-to-wire that never blocks on a slow peer draining the socket.
+struct PendingFlight {
+    service: Arc<ScheduleService>,
+    record: FlightRecord,
+    created: Instant,
 }
 
 /// Per-connection state machine.
@@ -532,6 +642,7 @@ impl EventLoop {
                 completion.seq,
                 completion.bytes,
                 completion.close,
+                completion.flight,
             );
         }
         // Completions freed pipelining capacity: parse any requests already
@@ -546,31 +657,61 @@ impl EventLoop {
     }
 
     /// Records a finished response for `seq`, moves every response that is
-    /// now in request order into the write buffer and flushes what the
-    /// socket accepts.
-    fn deliver(&mut self, token: u64, seq: u64, bytes: Vec<u8>, close: bool) {
-        let Some(conn) = self.conns.get_mut(&token) else {
-            return; // connection is gone; drop the orphaned response
-        };
-        conn.in_flight -= 1;
-        let became_idle = conn.idle();
-        if became_idle {
-            self.transport
-                .connections_idle
-                .fetch_add(1, Ordering::Relaxed);
+    /// now in request order into the write buffer, flushes what the socket
+    /// accepts, then finalizes the request's flight-recorder entry (the
+    /// `write` stage is the worker-completion-to-write-pass gap).
+    fn deliver(
+        &mut self,
+        token: u64,
+        seq: u64,
+        bytes: Vec<u8>,
+        close: bool,
+        flight: Option<Box<PendingFlight>>,
+    ) {
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.in_flight -= 1;
+            let became_idle = conn.idle();
+            if became_idle {
+                self.transport
+                    .connections_idle
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            if close {
+                conn.draining = true;
+            }
+            conn.pending.insert(seq, bytes);
+            while let Some(ready) = conn.pending.remove(&conn.next_to_send) {
+                conn.write_buf.extend_from_slice(&ready);
+                conn.next_to_send += 1;
+            }
+            if became_idle {
+                self.note_idle();
+            }
+            self.flush(token);
         }
-        if close {
-            conn.draining = true;
+        // The record is deposited even when the connection is gone: the
+        // request *was* served, and the trace is most interesting exactly
+        // when the client gave up waiting for it.
+        if let Some(pending) = flight {
+            let pending = *pending;
+            let write_micros = pending.created.elapsed().as_micros() as u64;
+            let mut record = pending.record;
+            record.total_micros += write_micros;
+            record.stages.push(StageTiming {
+                name: "write".to_string(),
+                micros: write_micros,
+            });
+            let path = record
+                .path
+                .split_once('?')
+                .map_or(record.path.as_str(), |(p, _)| p);
+            let label = ServiceMetrics::endpoint_label(path);
+            pending
+                .service
+                .metrics()
+                .observe_endpoint_micros(label, record.total_micros);
+            pending.service.record_flight(record);
         }
-        conn.pending.insert(seq, bytes);
-        while let Some(ready) = conn.pending.remove(&conn.next_to_send) {
-            conn.write_buf.extend_from_slice(&ready);
-            conn.next_to_send += 1;
-        }
-        if became_idle {
-            self.note_idle();
-        }
-        self.flush(token);
     }
 
     /// Writes as much of the connection's write buffer as the socket
@@ -672,6 +813,11 @@ impl EventLoop {
                 if conn.draining || conn.in_flight >= self.max_pipelined {
                     return;
                 }
+                // Only the completing pass is timed: a request trickling in
+                // across many read events re-enters here per event, but the
+                // `parse` stage records the cost of the scan that produced
+                // the request, not the waiting in between.
+                let parse_started = Instant::now();
                 match try_parse(&conn.read_buf, &mut conn.cursor) {
                     ParseStatus::NeedMore => return,
                     ParseStatus::Error(message) => {
@@ -683,9 +829,12 @@ impl EventLoop {
                         }
                         let seq = conn.next_seq;
                         conn.next_seq += 1;
-                        let bytes =
-                            encode_response(&error_response(400, "bad_request", &message), false);
-                        self.deliver(token, seq, bytes, true);
+                        let bytes = encode_response(
+                            &error_response(400, "bad_request", &message),
+                            false,
+                            &[],
+                        );
+                        self.deliver(token, seq, bytes, true, None);
                         return;
                     }
                     ParseStatus::Request(request, consumed) => {
@@ -713,16 +862,18 @@ impl EventLoop {
                         if request.close {
                             conn.draining = true;
                         }
-                        (seq, request)
+                        (seq, request, parse_started.elapsed().as_micros() as u64)
                     }
                 }
             };
-            let (seq, request) = parsed;
+            let (seq, request, parse_micros) = parsed;
             let close = request.close;
             match self.job_tx.try_send(Job {
                 token,
                 seq,
                 request,
+                parse_micros,
+                enqueued: Instant::now(),
             }) {
                 Ok(()) => {}
                 Err(TrySendError::Full(_)) => {
@@ -731,8 +882,9 @@ impl EventLoop {
                     let bytes = encode_response(
                         &error_response(503, "unavailable", "request queue is full"),
                         !close,
+                        &[],
                     );
-                    self.deliver(token, seq, bytes, close);
+                    self.deliver(token, seq, bytes, close, None);
                 }
                 Err(TrySendError::Disconnected(_)) => {
                     self.close_conn(token);
@@ -870,6 +1022,7 @@ fn try_parse(buf: &[u8], cursor: &mut ParseCursor) -> ParseStatus {
     let mut content_length = 0usize;
     let mut chunked = false;
     let mut connection = String::new();
+    let mut trace_header = None;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             let name = name.trim();
@@ -889,6 +1042,14 @@ fn try_parse(buf: &[u8], cursor: &mut ParseCursor) -> ParseStatus {
                 }
             } else if name.eq_ignore_ascii_case("connection") {
                 connection = value.trim().to_ascii_lowercase();
+            } else if name.eq_ignore_ascii_case("x-tessel-trace-id") {
+                // Oversized values are dropped here (treated as absent, so
+                // a fresh ID is minted); everything else is kept raw for
+                // the worker to validate.
+                let value = value.trim();
+                if !value.is_empty() && value.len() <= MAX_TRACE_HEADER_BYTES {
+                    trace_header = Some(value.to_string());
+                }
             }
         }
     }
@@ -935,6 +1096,7 @@ fn try_parse(buf: &[u8], cursor: &mut ParseCursor) -> ParseStatus {
             path,
             body,
             close,
+            trace_header,
         },
         consumed,
     )
@@ -1069,7 +1231,7 @@ fn route(
                 Ok(response) => Response {
                     status: 200,
                     content_type: "application/json",
-                    body: render_json(&response),
+                    body: tessel_obs::stage("serialize", || render_json(&response)),
                 },
                 Err(e) => service_error_response(&e),
             },
@@ -1158,8 +1320,16 @@ fn route(
                 ),
             }
         }
+        // The flight recorder: the last N completed requests with per-stage
+        // timing breakdowns, plus the slowest requests seen since startup.
+        ("GET", "/v1/debug/requests") => Response {
+            status: 200,
+            content_type: "application/json",
+            body: render_json(&service.debug_requests()),
+        },
         ("GET", "/metrics") => {
             let mut body = service.metrics_snapshot().render_prometheus()
+                + &service.metrics().render_histograms()
                 + &transport.snapshot().render_prometheus();
             if let Some(cluster) = service.cluster_snapshot() {
                 body += &cluster.render_prometheus();
@@ -1217,17 +1387,28 @@ fn status_text(status: u16) -> &'static str {
     }
 }
 
-fn encode_response(response: &Response, keep_alive: bool) -> Vec<u8> {
-    format!(
-        "HTTP/1.1 {status} {text}\r\nContent-Type: {content_type}\r\nContent-Length: {length}\r\nConnection: {connection}\r\n\r\n{body}",
+fn encode_response(
+    response: &Response,
+    keep_alive: bool,
+    extra_headers: &[(String, String)],
+) -> Vec<u8> {
+    let mut encoded = format!(
+        "HTTP/1.1 {status} {text}\r\nContent-Type: {content_type}\r\nContent-Length: {length}\r\nConnection: {connection}\r\n",
         status = response.status,
         text = status_text(response.status),
         content_type = response.content_type,
         length = response.body.len(),
         connection = if keep_alive { "keep-alive" } else { "close" },
-        body = response.body,
-    )
-    .into_bytes()
+    );
+    for (name, value) in extra_headers {
+        encoded.push_str(name);
+        encoded.push_str(": ");
+        encoded.push_str(value);
+        encoded.push_str("\r\n");
+    }
+    encoded.push_str("\r\n");
+    encoded.push_str(&response.body);
+    encoded.into_bytes()
 }
 
 /// A keep-alive HTTP/1.1 client: one TCP connection reused across calls.
@@ -1312,13 +1493,34 @@ impl HttpClient {
         path: &str,
         body: Option<&str>,
     ) -> std::io::Result<(u16, String)> {
+        self.call_with_headers(method, path, body, &[])
+            .map(|(status, _headers, payload)| (status, payload))
+    }
+
+    /// Like [`HttpClient::call`], but sends `extra_headers` with the request
+    /// (e.g. `X-Tessel-Trace-Id` to join the originating trace) and returns
+    /// the response headers alongside status and body. Used by the cluster
+    /// tier for trace propagation and by `tessel-client --timing` to read
+    /// the `Server-Timing` breakdown.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors and malformed responses, with the same
+    /// one-retry behaviour as [`HttpClient::call`].
+    pub fn call_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<(u16, ResponseHeaders, String)> {
         let reused = self.stream.is_some();
-        match self.call_once(method, path, body) {
+        match self.call_once(method, path, body, extra_headers) {
             Ok(result) => Ok(result),
             Err(e) if reused && retriable(&e) => {
                 // The server dropped the idle connection; retry fresh.
                 self.stream = None;
-                self.call_once(method, path, body)
+                self.call_once(method, path, body, extra_headers)
             }
             Err(e) => {
                 self.stream = None;
@@ -1332,24 +1534,33 @@ impl HttpClient {
         method: &str,
         path: &str,
         body: Option<&str>,
-    ) -> std::io::Result<(u16, String)> {
+        extra_headers: &[(&str, &str)],
+    ) -> std::io::Result<(u16, ResponseHeaders, String)> {
         if self.stream.is_none() {
             self.stream = Some(self.open()?);
         }
         let stream = self.stream.as_mut().expect("connection just opened");
         let body = body.unwrap_or("");
         // HTTP/1.1 defaults to keep-alive: no Connection header needed.
-        let request = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: application/json\r\nContent-Length: {length}\r\n\r\n{body}",
+        let mut request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Type: application/json\r\nContent-Length: {length}\r\n",
             host = self.host,
             length = body.len(),
         );
+        for (name, value) in extra_headers {
+            request.push_str(name);
+            request.push_str(": ");
+            request.push_str(value);
+            request.push_str("\r\n");
+        }
+        request.push_str("\r\n");
+        request.push_str(body);
         stream.write_all(request.as_bytes())?;
-        let (status, close, payload) = read_response(stream)?;
+        let (status, close, headers, payload) = read_response_full(stream)?;
         if close {
             self.stream = None;
         }
-        Ok((status, payload))
+        Ok((status, headers, payload))
     }
 }
 
@@ -1364,10 +1575,20 @@ fn retriable(error: &std::io::Error) -> bool {
     )
 }
 
+/// Reads one HTTP response from `stream`, discarding the response headers.
+/// Returns `(status, server_wants_close, body)`.
+fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, bool, String)> {
+    read_response_full(stream).map(|(status, close, _headers, body)| (status, close, body))
+}
+
 /// Reads one HTTP response from `stream`: head, then exactly
 /// `Content-Length` body bytes (the connection may stay open, so reading to
-/// EOF is not an option). Returns `(status, server_wants_close, body)`.
-fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, bool, String)> {
+/// EOF is not an option). Returns
+/// `(status, server_wants_close, headers, body)`; header names keep their
+/// wire casing, so callers look them up case-insensitively.
+fn read_response_full(
+    stream: &mut TcpStream,
+) -> std::io::Result<(u16, bool, ResponseHeaders, String)> {
     let mut buffer: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     let header_end = loop {
@@ -1400,15 +1621,18 @@ fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, bool, String)>
         })?;
     let mut content_length = 0usize;
     let mut close = false;
+    let mut headers: Vec<(String, String)> = Vec::new();
     for line in head.split("\r\n").skip(1) {
         if let Some((name, value)) = line.split_once(':') {
             let name = name.trim();
+            let value = value.trim();
+            headers.push((name.to_string(), value.to_string()));
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
+                content_length = value.parse().map_err(|_| {
                     std::io::Error::new(std::io::ErrorKind::InvalidData, "bad Content-Length")
                 })?;
             } else if name.eq_ignore_ascii_case("connection") {
-                close = value.trim().eq_ignore_ascii_case("close");
+                close = value.eq_ignore_ascii_case("close");
             }
         }
     }
@@ -1427,7 +1651,7 @@ fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, bool, String)>
     body.truncate(content_length);
     let body = String::from_utf8(body)
         .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "body is not UTF-8"))?;
-    Ok((status, close, body))
+    Ok((status, close, headers, body))
 }
 
 /// Issues one HTTP request against `addr` on a throwaway connection and
@@ -1492,15 +1716,56 @@ mod tests {
             content_type: "application/json",
             body: "{}".into(),
         };
-        let keep = String::from_utf8(encode_response(&response, true)).unwrap();
+        let keep = String::from_utf8(encode_response(&response, true, &[])).unwrap();
         assert!(keep.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(keep.contains("Content-Length: 2\r\n"));
         assert!(keep.contains("Connection: keep-alive\r\n"));
         assert!(keep.ends_with("\r\n\r\n{}"));
-        let close = String::from_utf8(encode_response(&response, false)).unwrap();
+        let close = String::from_utf8(encode_response(&response, false, &[])).unwrap();
         assert!(close.contains("Connection: close\r\n"));
         assert_eq!(status_text(408), "Request Timeout");
         assert_eq!(status_text(599), "Internal Server Error");
+        // Extra headers land between the fixed head and the blank line.
+        let traced = encode_response(
+            &response,
+            true,
+            &[
+                ("X-Tessel-Trace-Id".to_string(), "a".repeat(32)),
+                ("Server-Timing".to_string(), "solve;dur=1.500".to_string()),
+            ],
+        );
+        let traced = String::from_utf8(traced).unwrap();
+        assert!(traced.contains(&format!("X-Tessel-Trace-Id: {}\r\n", "a".repeat(32))));
+        assert!(traced.contains("Server-Timing: solve;dur=1.500\r\n"));
+        assert!(traced.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn trace_id_header_is_captured_with_a_size_cap() {
+        let with =
+            b"GET /healthz HTTP/1.1\r\nx-tessel-trace-id: 0123456789abcdef0123456789abcdef\r\n\r\n";
+        let (requests, _) = parse_all(with);
+        assert_eq!(
+            requests[0].trace_header.as_deref(),
+            Some("0123456789abcdef0123456789abcdef")
+        );
+        let without = b"GET /healthz HTTP/1.1\r\n\r\n";
+        let (requests, _) = parse_all(without);
+        assert!(requests[0].trace_header.is_none());
+        // An oversized value is dropped at parse time (treated as absent),
+        // so it can never reach a log line or be reflected in a response.
+        let oversized = format!(
+            "GET /healthz HTTP/1.1\r\nX-Tessel-Trace-Id: {}\r\n\r\n",
+            "f".repeat(MAX_TRACE_HEADER_BYTES + 1)
+        );
+        let (requests, _) = parse_all(oversized.as_bytes());
+        assert!(requests[0].trace_header.is_none());
+        // A malformed-but-small value is kept raw; the worker's validation
+        // (`TraceId::parse`) rejects it and mints a fresh ID.
+        let garbage = b"GET /healthz HTTP/1.1\r\nX-Tessel-Trace-Id: not-hex!\r\n\r\n";
+        let (requests, _) = parse_all(garbage);
+        assert_eq!(requests[0].trace_header.as_deref(), Some("not-hex!"));
+        assert!(tessel_obs::TraceId::parse("not-hex!").is_none());
     }
 
     #[test]

@@ -26,6 +26,10 @@
 //!   daemons (static `--node-id`/`--peer` membership) shares one logical
 //!   cache, fetching misses from the fingerprint's ring owner, replicating
 //!   local solves to it asynchronously and warming restarts from peers.
+//! * [`flight`] — the in-memory flight recorder behind
+//!   `GET /v1/debug/requests`: the last N completed requests with per-stage
+//!   timing breakdowns plus a slowest-requests view, correlated by the
+//!   request-scoped trace IDs of [`tessel_obs`].
 //! * [`wire`] — the JSON request/response types.
 //!
 //! Two binaries ship with the crate: `tessel-server` (the daemon) and
@@ -64,6 +68,7 @@
 
 pub mod cache;
 pub mod cluster;
+pub mod flight;
 pub mod http;
 pub mod metrics;
 pub mod service;
@@ -74,6 +79,7 @@ pub mod wire;
 
 pub use cache::{CacheConfig, CacheJournal, CachedSearch, ShardedCache};
 pub use cluster::{peers::PeerConfig, ring::HashRing, Cluster, ClusterConfig};
+pub use flight::{FlightRecord, FlightRecorder, StageTiming};
 pub use http::{HttpClient, HttpServer, ServerConfig};
 pub use metrics::{
     ClusterMetrics, ClusterSnapshot, MetricsSnapshot, ServiceMetrics, TransportMetrics,

@@ -1,19 +1,54 @@
-//! Daemon metrics: request counters, in-flight gauge and latency quantiles.
+//! Daemon metrics: request counters, in-flight gauge, latency quantiles and
+//! real Prometheus histograms.
 //!
 //! Counters are plain relaxed atomics (the hot path adds a handful of
-//! `fetch_add`s per request). Latency is tracked in a fixed power-of-two
-//! histogram — bucket `i` counts requests that finished in
-//! `[2^i, 2^(i+1))` microseconds — from which p50/p99 are estimated as the
-//! upper bound of the bucket containing the quantile. The whole struct
-//! renders to Prometheus text exposition format for `GET /metrics`.
+//! `fetch_add`s per request). Latency is tracked two ways: a fixed
+//! power-of-two histogram — bucket `i` counts requests that finished in
+//! `[2^i, 2^(i+1))` microseconds — from which the JSON snapshot's p50/p99
+//! estimates derive, plus [`tessel_obs::Histogram`] families with per-endpoint
+//! (`tessel_http_request_duration_seconds`) and per-stage
+//! (`tessel_request_stage_duration_seconds`) labels, exported as
+//! `_bucket`/`_sum`/`_count` series. The whole struct renders to Prometheus
+//! text exposition format for `GET /metrics`.
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+use tessel_obs::{render_prometheus_histogram, Histogram};
 use tessel_solver::SolverTotals;
 
 /// Number of power-of-two latency buckets (`2^39` µs ≈ 6.4 days).
 const BUCKETS: usize = 40;
+
+/// The fixed label set of the per-endpoint request-duration histogram family.
+///
+/// Paths are coarsened to this set by [`ServiceMetrics::endpoint_label`] so an
+/// attacker probing random URLs cannot mint unbounded label values.
+pub const ENDPOINT_LABELS: [&str; 7] = [
+    "/v1/search",
+    "/v1/cache",
+    "/v1/cluster",
+    "/v1/debug/requests",
+    "/metrics",
+    "/healthz",
+    "other",
+];
+
+/// The fixed label set of the per-stage duration histogram family — the span
+/// taxonomy of the request lifecycle (see `docs/ARCHITECTURE.md`).
+pub const STAGE_LABELS: [&str; 11] = [
+    "parse",
+    "queue_wait",
+    "cache_lookup",
+    "singleflight_wait",
+    "remote_fetch",
+    "solve",
+    "solver_warmstart",
+    "solver_parallel",
+    "translate",
+    "serialize",
+    "write",
+];
 
 /// Live metrics of a [`crate::ScheduleService`].
 #[derive(Debug)]
@@ -52,6 +87,10 @@ pub struct ServiceMetrics {
     /// memoise.
     pub solver_memo_drops: AtomicU64,
     latency_buckets: [AtomicU64; BUCKETS],
+    /// Request-duration histograms, one per [`ENDPOINT_LABELS`] entry.
+    endpoint_durations: [Histogram; ENDPOINT_LABELS.len()],
+    /// Stage-duration histograms, one per [`STAGE_LABELS`] entry.
+    stage_durations: [Histogram; STAGE_LABELS.len()],
 }
 
 /// Point-in-time snapshot of [`ServiceMetrics`] (plus cache gauges), served
@@ -127,6 +166,8 @@ impl Default for ServiceMetrics {
             solver_steal_failures: AtomicU64::new(0),
             solver_memo_drops: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            endpoint_durations: std::array::from_fn(|_| Histogram::new()),
+            stage_durations: std::array::from_fn(|_| Histogram::new()),
         }
     }
 }
@@ -157,7 +198,7 @@ impl ServiceMetrics {
         self.solver_steal_failures
             .fetch_add(totals.steal_failures, Ordering::Relaxed);
         self.solver_memo_drops
-            .fetch_add(totals.memo_insert_drops, Ordering::Relaxed);
+            .fetch_add(totals.memo_drops, Ordering::Relaxed);
     }
 
     /// Records one completed request's wall-clock latency.
@@ -165,6 +206,79 @@ impl ServiceMetrics {
         let micros = elapsed.as_micros().max(1) as u64;
         let bucket = (63 - micros.leading_zeros() as usize).min(BUCKETS - 1);
         self.latency_buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Coarsens a request path to its [`ENDPOINT_LABELS`] entry.
+    #[must_use]
+    pub fn endpoint_label(path: &str) -> &'static str {
+        if path == "/v1/search" {
+            "/v1/search"
+        } else if path == "/v1/cache" || path.starts_with("/v1/cache/") {
+            "/v1/cache"
+        } else if path == "/v1/cluster" || path.starts_with("/v1/cluster/") {
+            "/v1/cluster"
+        } else if path == "/v1/debug/requests" {
+            "/v1/debug/requests"
+        } else if path == "/metrics" {
+            "/metrics"
+        } else if path == "/healthz" {
+            "/healthz"
+        } else {
+            "other"
+        }
+    }
+
+    /// Records one completed request into the per-endpoint duration
+    /// histogram. `label` must come from [`ServiceMetrics::endpoint_label`];
+    /// anything else lands under `other`.
+    pub fn observe_endpoint_micros(&self, label: &str, micros: u64) {
+        let index = ENDPOINT_LABELS
+            .iter()
+            .position(|&known| known == label)
+            .unwrap_or(ENDPOINT_LABELS.len() - 1);
+        self.endpoint_durations[index].observe_micros(micros);
+    }
+
+    /// Records one stage duration into the per-stage histogram family.
+    /// Stages outside [`STAGE_LABELS`] are dropped — the label set stays
+    /// fixed by construction.
+    pub fn observe_stage_micros(&self, stage: &str, micros: u64) {
+        if let Some(index) = STAGE_LABELS.iter().position(|&known| known == stage) {
+            self.stage_durations[index].observe_micros(micros);
+        }
+    }
+
+    /// Renders the request-duration and stage-duration histogram families in
+    /// Prometheus text exposition format (appended to `GET /metrics` after
+    /// the counter blocks).
+    #[must_use]
+    pub fn render_histograms(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "# HELP tessel_http_request_duration_seconds End-to-end request duration by endpoint.\n",
+        );
+        out.push_str("# TYPE tessel_http_request_duration_seconds histogram\n");
+        for (label, histogram) in ENDPOINT_LABELS.iter().zip(&self.endpoint_durations) {
+            render_prometheus_histogram(
+                &mut out,
+                "tessel_http_request_duration_seconds",
+                &format!("endpoint=\"{label}\""),
+                histogram,
+            );
+        }
+        out.push_str(
+            "# HELP tessel_request_stage_duration_seconds Time spent per request-lifecycle stage.\n",
+        );
+        out.push_str("# TYPE tessel_request_stage_duration_seconds histogram\n");
+        for (label, histogram) in STAGE_LABELS.iter().zip(&self.stage_durations) {
+            render_prometheus_histogram(
+                &mut out,
+                "tessel_request_stage_duration_seconds",
+                &format!("stage=\"{label}\""),
+                histogram,
+            );
+        }
+        out
     }
 
     /// Estimates the `q`-quantile (0..=1) of recorded latencies in
@@ -698,7 +812,9 @@ mod tests {
             shared_memo_hits: 9,
             cas_retries: 11,
             steal_failures: 12,
-            memo_insert_drops: 13,
+            memo_drops: 13,
+            warmstart_micros: 14,
+            parallel_micros: 15,
         });
         let snap = m.snapshot(4, 1);
         assert_eq!(snap.requests, 3);
@@ -725,5 +841,176 @@ mod tests {
         let json = serde_json::to_string(&snap).unwrap();
         let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
         assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn endpoint_labels_coarsen_to_a_fixed_set() {
+        assert_eq!(ServiceMetrics::endpoint_label("/v1/search"), "/v1/search");
+        assert_eq!(ServiceMetrics::endpoint_label("/v1/cache"), "/v1/cache");
+        assert_eq!(
+            ServiceMetrics::endpoint_label("/v1/cache/deadbeef"),
+            "/v1/cache"
+        );
+        assert_eq!(
+            ServiceMetrics::endpoint_label("/v1/cluster/export/a"),
+            "/v1/cluster"
+        );
+        assert_eq!(
+            ServiceMetrics::endpoint_label("/v1/debug/requests"),
+            "/v1/debug/requests"
+        );
+        assert_eq!(ServiceMetrics::endpoint_label("/metrics"), "/metrics");
+        assert_eq!(ServiceMetrics::endpoint_label("/../../etc/passwd"), "other");
+        assert_eq!(ServiceMetrics::endpoint_label("/v1/searchx"), "other");
+    }
+
+    #[test]
+    fn histogram_families_render_bucket_series() {
+        let m = ServiceMetrics::new();
+        m.observe_endpoint_micros("/v1/search", 3_000);
+        m.observe_endpoint_micros("no-such-endpoint", 10); // lands in `other`
+        m.observe_stage_micros("solve", 2_500);
+        m.observe_stage_micros("write", 80);
+        m.observe_stage_micros("not-a-stage", 1); // dropped
+        let text = m.render_histograms();
+        assert!(text.contains("# TYPE tessel_http_request_duration_seconds histogram"));
+        assert!(text.contains(
+            "tessel_http_request_duration_seconds_bucket{endpoint=\"/v1/search\",le=\"0.005\"} 1"
+        ));
+        assert!(
+            text.contains("tessel_http_request_duration_seconds_count{endpoint=\"/v1/search\"} 1")
+        );
+        assert!(text.contains("tessel_http_request_duration_seconds_count{endpoint=\"other\"} 1"));
+        assert!(text.contains(
+            "tessel_request_stage_duration_seconds_bucket{stage=\"solve\",le=\"0.0025\"} 1"
+        ));
+        assert!(text.contains("tessel_request_stage_duration_seconds_count{stage=\"write\"} 1"));
+        // The unknown stage was dropped, not folded anywhere.
+        let total: u64 = STAGE_LABELS
+            .iter()
+            .map(|label| {
+                let needle =
+                    format!("tessel_request_stage_duration_seconds_count{{stage=\"{label}\"}} ");
+                text.lines()
+                    .find(|line| line.starts_with(&needle))
+                    .and_then(|line| line.rsplit(' ').next())
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(total, 2);
+    }
+
+    /// Asserts `text` is valid Prometheus text exposition: every sample's
+    /// family has exactly one preceding `# HELP` and `# TYPE`, histogram
+    /// samples use only `_bucket`/`_sum`/`_count` suffixes, and sample lines
+    /// parse as `name{labels} value`.
+    fn assert_valid_exposition(text: &str) {
+        use std::collections::{HashMap, HashSet};
+        let mut helped: HashSet<String> = HashSet::new();
+        let mut typed: HashMap<String, String> = HashMap::new();
+        for line in text.lines() {
+            assert!(!line.trim().is_empty(), "blank line in exposition");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap().to_string();
+                assert!(helped.insert(name.clone()), "duplicate HELP for {name}");
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().unwrap().to_string();
+                let kind = parts.next().expect("TYPE line missing kind").to_string();
+                assert!(
+                    matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+                    "bad TYPE kind {kind} for {name}"
+                );
+                assert!(
+                    helped.contains(&name),
+                    "TYPE before HELP (or missing HELP) for {name}"
+                );
+                assert!(
+                    typed.insert(name.clone(), kind).is_none(),
+                    "duplicate TYPE for {name}"
+                );
+                continue;
+            }
+            assert!(!line.starts_with('#'), "unknown comment line: {line}");
+            // Sample line: name[{labels}] value
+            let (series, value) = line.rsplit_once(' ').expect("sample missing value");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in {line}");
+            let name = series.split('{').next().unwrap();
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "invalid metric name {name}"
+            );
+            if let Some(labels) = series
+                .split_once('{')
+                .map(|(_, rest)| rest.strip_suffix('}').expect("unterminated label set"))
+            {
+                for pair in labels.split(',') {
+                    let (key, val) = pair.split_once('=').expect("label without =");
+                    assert!(!key.is_empty() && val.starts_with('"') && val.ends_with('"'));
+                }
+            }
+            // Resolve the family: histogram suffixes strip to the declared
+            // family name, everything else must be declared verbatim.
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suffix| {
+                    name.strip_suffix(suffix)
+                        .filter(|base| typed.get(*base).map(String::as_str) == Some("histogram"))
+                })
+                .unwrap_or(name);
+            let kind = typed
+                .get(family)
+                .unwrap_or_else(|| panic!("sample {name} has no TYPE"));
+            assert!(helped.contains(family), "sample {name} has no HELP");
+            if kind == "histogram" {
+                assert_ne!(
+                    name, family,
+                    "histogram family {family} sampled without a suffix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_page_is_valid_prometheus_exposition() {
+        // Exactly the concatenation `GET /metrics` serves, cluster mode on.
+        let service = ServiceMetrics::new();
+        service.requests.fetch_add(2, Ordering::Relaxed);
+        service.record_latency(Duration::from_millis(3));
+        service.observe_endpoint_micros("/v1/search", 3_000);
+        service.observe_stage_micros("solve", 2_000);
+        let transport = TransportMetrics::new();
+        transport.connections_open.fetch_add(1, Ordering::Relaxed);
+        let cluster = ClusterMetrics::new();
+        cluster.remote_hits.fetch_add(4, Ordering::Relaxed);
+        let page = format!(
+            "{}{}{}{}",
+            service.snapshot(0, 0).render_prometheus(),
+            service.render_histograms(),
+            transport.snapshot().render_prometheus(),
+            cluster.snapshot(2, 2, 0).render_prometheus()
+        );
+        assert_valid_exposition(&page);
+    }
+
+    #[test]
+    fn exposition_validator_rejects_malformed_pages() {
+        let ok = "# HELP m_total h\n# TYPE m_total counter\nm_total 1\n";
+        assert_valid_exposition(ok);
+        for bad in [
+            "m_total 1\n",                   // no HELP/TYPE
+            "# HELP m_total h\nm_total 1\n", // no TYPE
+            "# HELP m_total h\n# HELP m_total h\n# TYPE m_total counter\nm_total 1\n",
+            "# HELP m_total h\n# TYPE m_total counter\nm_total one\n",
+        ] {
+            assert!(
+                std::panic::catch_unwind(|| assert_valid_exposition(bad)).is_err(),
+                "validator accepted: {bad:?}"
+            );
+        }
     }
 }

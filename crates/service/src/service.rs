@@ -20,11 +20,12 @@
 
 use crate::cache::{CacheConfig, CacheJournal, CacheKey, CacheParams, CachedSearch, ShardedCache};
 use crate::cluster::{Cluster, ClusterConfig, ClusterSnapshot, RemoteFetch};
+use crate::flight::{now_unix_ms, FlightRecord, FlightRecorder, StageTiming};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::singleflight::{Joined, SingleFlight};
 use crate::wire::{
-    CacheEntryInfo, CacheExchange, ClusterStatusResponse, InspectResponse, ReplicationAck,
-    SearchRequest, SearchResponse,
+    CacheEntryInfo, CacheExchange, ClusterStatusResponse, DebugRequestsResponse, InspectResponse,
+    ReplicationAck, SearchRequest, SearchResponse,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -173,6 +174,7 @@ pub struct ScheduleService {
     cluster: Option<Cluster>,
     metrics: ServiceMetrics,
     flights: SingleFlight<Result<Arc<CachedSearch>, ServiceError>>,
+    recorder: FlightRecorder,
 }
 
 /// RAII guard for the in-flight gauge.
@@ -236,9 +238,13 @@ impl ScheduleService {
             match journal.replay(&cache) {
                 Ok(_) => {}
                 Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-                    eprintln!(
-                        "warning: ignoring incompatible cache journal {}: {e}",
-                        journal.path().display()
+                    tessel_obs::warn(
+                        "cache",
+                        "ignoring incompatible cache journal",
+                        &[
+                            ("path", &journal.path().display().to_string()),
+                            ("error", &e.to_string()),
+                        ],
                     );
                 }
                 Err(e) => return Err(e),
@@ -250,9 +256,13 @@ impl ScheduleService {
             // and bounds replay cost for daemons restarted more often than
             // the in-process compaction threshold fires.
             if let Err(e) = journal.compact(&cache) {
-                eprintln!(
-                    "warning: cannot compact cache journal {}: {e}",
-                    journal.path().display()
+                tessel_obs::warn(
+                    "cache",
+                    "cannot compact cache journal",
+                    &[
+                        ("path", &journal.path().display().to_string()),
+                        ("error", &e.to_string()),
+                    ],
                 );
             }
         }
@@ -267,6 +277,7 @@ impl ScheduleService {
             cluster,
             metrics: ServiceMetrics::new(),
             flights: SingleFlight::new(),
+            recorder: FlightRecorder::default(),
         })
     }
 
@@ -285,6 +296,15 @@ impl ScheduleService {
     /// infeasible searches.
     pub fn search(&self, request: &SearchRequest) -> Result<SearchResponse, ServiceError> {
         let arrived = Instant::now();
+        let started_unix_ms = now_unix_ms();
+        // The HTTP worker opens the request context (with the client's or a
+        // freshly minted trace ID) before calling in. In-process callers —
+        // benches, tests, `--in-process` — have no transport, so the service
+        // hosts a context of its own and deposits the flight record itself.
+        let owns_context = tessel_obs::current_trace_id().is_none();
+        if owns_context {
+            tessel_obs::begin_request(tessel_obs::TraceId::generate());
+        }
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
         let result = self.search_inner(request, arrived);
         match &result {
@@ -297,6 +317,30 @@ impl ScheduleService {
             }
         }
         self.metrics.record_latency(arrived.elapsed());
+        if owns_context {
+            if let Some(finished) = tessel_obs::end_request() {
+                let status = match &result {
+                    Ok(_) => 200,
+                    Err(e) => e.http_status(),
+                };
+                self.record_flight(FlightRecord {
+                    trace_id: finished.trace_id.as_str().to_string(),
+                    method: "CALL".to_string(),
+                    path: "/v1/search".to_string(),
+                    status,
+                    start_unix_ms: started_unix_ms,
+                    total_micros: arrived.elapsed().as_micros() as u64,
+                    stages: finished
+                        .stages
+                        .iter()
+                        .map(|(name, micros)| StageTiming {
+                            name: (*name).to_string(),
+                            micros: *micros,
+                        })
+                        .collect(),
+                });
+            }
+        }
         result
     }
 
@@ -319,12 +363,16 @@ impl ScheduleService {
         let canon = request.placement.canonicalize();
         let key = CacheKey::new(canon.fingerprint, &params);
 
-        if let Some(entry) = self.cache_lookup(key, &canon, &params) {
+        if let Some(entry) =
+            tessel_obs::stage("cache_lookup", || self.cache_lookup(key, &canon, &params))
+        {
             self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(self.respond(&entry, &canon, &request.placement, true, false));
         }
 
-        match self.flights.join(key.raw(), deadline) {
+        match tessel_obs::stage("singleflight_wait", || {
+            self.flights.join(key.raw(), deadline)
+        }) {
             Joined::Leader => {
                 // The flight MUST complete even if the search panics —
                 // otherwise the key is blackholed and every later identical
@@ -340,17 +388,26 @@ impl ScheduleService {
                 // may already hold this schedule.
                 let mut remote_hit = false;
                 let mut inserted = false;
-                let result = match self.cache_lookup(key, &canon, &params) {
+                let result = match tessel_obs::stage("cache_lookup", || {
+                    self.cache_lookup(key, &canon, &params)
+                }) {
                     Some(entry) => Ok(entry),
-                    None => match self.cluster_fetch(key, &canon, &params) {
+                    // The stage only exists in cluster mode: standalone
+                    // flight records carry no zero-length `remote_fetch` row.
+                    None => match self.cluster.as_ref().and_then(|_| {
+                        tessel_obs::stage("remote_fetch", || {
+                            self.cluster_fetch(key, &canon, &params)
+                        })
+                    }) {
                         Some(entry) => {
                             remote_hit = true;
                             inserted = true;
                             Ok(entry)
                         }
                         None => {
-                            let solved =
-                                self.run_search(&canon, &params, key, deadline, solver_threads);
+                            let solved = tessel_obs::stage("solve", || {
+                                self.run_search(&canon, &params, key, deadline, solver_threads)
+                            });
                             inserted = solved.is_ok();
                             solved
                         }
@@ -509,6 +566,15 @@ impl ScheduleService {
             })?;
         let search_millis = started.elapsed().as_millis() as u64;
         self.metrics.record_solver(&outcome.stats.solver);
+        // Solver sub-phases, summed across the search's many solver
+        // invocations, become spans of the surrounding request. Zero totals
+        // (single-threaded solves have neither phase) are omitted.
+        if outcome.stats.solver.warmstart_micros > 0 {
+            tessel_obs::record_stage("solver_warmstart", outcome.stats.solver.warmstart_micros);
+        }
+        if outcome.stats.solver.parallel_micros > 0 {
+            tessel_obs::record_stage("solver_parallel", outcome.stats.solver.parallel_micros);
+        }
 
         // Simulate the schedule on the reference cluster for the
         // machine-readable utilization summary.
@@ -543,6 +609,19 @@ impl ScheduleService {
     /// Translates a cached (canonical-labeled) entry into the request's own
     /// device labeling and stage numbering.
     fn respond(
+        &self,
+        entry: &CachedSearch,
+        canon: &CanonicalPlacement,
+        original: &PlacementSpec,
+        cached: bool,
+        coalesced: bool,
+    ) -> SearchResponse {
+        tessel_obs::stage("translate", || {
+            self.respond_inner(entry, canon, original, cached, coalesced)
+        })
+    }
+
+    fn respond_inner(
         &self,
         entry: &CachedSearch,
         canon: &CanonicalPlacement,
@@ -599,9 +678,13 @@ impl ScheduleService {
     fn persist_insert(&self, key: CacheKey, entry: &CachedSearch) {
         if let Some(journal) = &self.journal {
             if let Err(e) = journal.append(&self.cache, key, entry) {
-                eprintln!(
-                    "warning: cannot append to cache journal {}: {e}",
-                    journal.path().display()
+                tessel_obs::warn(
+                    "cache",
+                    "cannot append to cache journal",
+                    &[
+                        ("path", &journal.path().display().to_string()),
+                        ("error", &e.to_string()),
+                    ],
                 );
             }
         }
@@ -633,6 +716,36 @@ impl ScheduleService {
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.metrics
             .snapshot(self.cache.len() as u64, self.cache.evictions())
+    }
+
+    /// The live service metrics (the HTTP transport records per-endpoint and
+    /// per-stage histograms through this).
+    #[must_use]
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// The flight recorder of completed requests.
+    #[must_use]
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.recorder
+    }
+
+    /// The `GET /v1/debug/requests` response body.
+    #[must_use]
+    pub fn debug_requests(&self) -> DebugRequestsResponse {
+        self.recorder.snapshot()
+    }
+
+    /// Deposits one completed request into the flight recorder and folds its
+    /// per-stage timings into the stage-duration histograms. Called by the
+    /// HTTP transport once per request (after the response write) and by
+    /// [`ScheduleService::search`] for in-process callers.
+    pub fn record_flight(&self, record: FlightRecord) {
+        for stage in &record.stages {
+            self.metrics.observe_stage_micros(&stage.name, stage.micros);
+        }
+        self.recorder.record(record);
     }
 
     /// Compacts the cache journal now (inserts append to it continuously
@@ -1099,6 +1212,45 @@ mod tests {
         let service = ScheduleService::new(config).unwrap();
         assert!(service.search(&request).unwrap().cached);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn in_process_searches_populate_the_flight_recorder() {
+        let service = quick_service();
+        let request = SearchRequest::for_placement(v_shape(2));
+        service.search(&request).unwrap(); // miss: solves
+        service.search(&request).unwrap(); // hit: cache only
+        let debug = service.debug_requests();
+        assert_eq!(debug.recent.len(), 2, "{debug:?}");
+        let hit = &debug.recent[0]; // newest first
+        let miss = &debug.recent[1];
+        for record in [hit, miss] {
+            assert_eq!(record.method, "CALL");
+            assert_eq!(record.path, "/v1/search");
+            assert_eq!(record.status, 200);
+            assert_eq!(record.trace_id.len(), 32);
+            assert!(record.start_unix_ms > 0);
+        }
+        assert_ne!(hit.trace_id, miss.trace_id);
+        let stage = |r: &crate::wire::FlightRecordInfo, name: &str| {
+            r.stages.iter().find(|s| s.name == name).map(|s| s.micros)
+        };
+        assert!(
+            stage(miss, "solve").is_some_and(|micros| micros > 0),
+            "{miss:?}"
+        );
+        assert!(stage(miss, "translate").is_some(), "{miss:?}");
+        assert!(stage(hit, "solve").is_none(), "hits never solve: {hit:?}");
+        assert!(stage(hit, "cache_lookup").is_some(), "{hit:?}");
+        // The slowest view holds both, slowest first; the miss dominates.
+        assert_eq!(debug.slowest.len(), 2);
+        assert_eq!(debug.slowest[0].trace_id, miss.trace_id);
+        // Stage timings reached the per-stage histogram family.
+        let histograms = service.metrics().render_histograms();
+        assert!(
+            histograms.contains("tessel_request_stage_duration_seconds_count{stage=\"solve\"} 1"),
+            "{histograms}"
+        );
     }
 
     #[test]

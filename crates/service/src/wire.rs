@@ -221,6 +221,46 @@ pub struct ClusterStatusResponse {
     pub owner: Option<OwnerInfo>,
 }
 
+/// One per-stage timing row of a flight-recorder entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageTimingInfo {
+    /// Stage name (see the span taxonomy in `docs/ARCHITECTURE.md`).
+    pub name: String,
+    /// Wall-clock microseconds spent in the stage.
+    pub micros: u64,
+}
+
+/// One completed request in the `GET /v1/debug/requests` response.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlightRecordInfo {
+    /// The request's trace ID (32 lowercase hex characters).
+    pub trace_id: String,
+    /// HTTP method, or `"CALL"` for in-process searches.
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Response status code.
+    pub status: u16,
+    /// Unix milliseconds when the request started.
+    pub start_unix_ms: u64,
+    /// Total wall-clock microseconds.
+    pub total_micros: u64,
+    /// Per-stage breakdown, in execution order.
+    pub stages: Vec<StageTimingInfo>,
+}
+
+/// The `GET /v1/debug/requests` response body: the flight recorder's two
+/// bounded views.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DebugRequestsResponse {
+    /// Ring-buffer capacity of the recent view.
+    pub capacity: u64,
+    /// The last requests, newest first.
+    pub recent: Vec<FlightRecordInfo>,
+    /// The slowest requests since startup, slowest first.
+    pub slowest: Vec<FlightRecordInfo>,
+}
+
 /// An error response body (any non-2xx status).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ErrorBody {

@@ -1,0 +1,278 @@
+//! End-to-end tests of the tracing tentpole, over real sockets:
+//!
+//! * a search POSTed to daemon B that remote-hits its owner A produces
+//!   flight-recorder entries on BOTH daemons sharing one trace ID, with B's
+//!   entry showing a non-zero `remote_fetch` stage and B's `/metrics`
+//!   exporting per-stage histogram buckets;
+//! * malformed or oversized inbound `X-Tessel-Trace-Id` headers are
+//!   rejected: a fresh ID is minted and the raw header value is never
+//!   reflected anywhere in the response.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use tessel_core::ir::{BlockKind, PlacementSpec};
+use tessel_service::wire::{DebugRequestsResponse, SearchRequest};
+use tessel_service::{
+    ClusterConfig, HashRing, HttpClient, HttpServer, PeerConfig, ScheduleService, ServerConfig,
+    ServiceConfig,
+};
+
+const VNODES: usize = 32;
+
+fn v_shape(devices: usize) -> PlacementSpec {
+    let mut b = PlacementSpec::builder(format!("v{devices}"), devices);
+    b.set_memory_capacity(Some(devices as i64 + 1));
+    let mut prev: Option<usize> = None;
+    for d in 0..devices {
+        let deps: Vec<usize> = prev.into_iter().collect();
+        prev = Some(
+            b.add_block(format!("f{d}"), BlockKind::Forward, [d], 1, 1, deps)
+                .unwrap(),
+        );
+    }
+    for d in (0..devices).rev() {
+        let deps: Vec<usize> = prev.into_iter().collect();
+        prev = Some(
+            b.add_block(format!("b{d}"), BlockKind::Backward, [d], 2, -1, deps)
+                .unwrap(),
+        );
+    }
+    b.build().unwrap()
+}
+
+fn start_node(
+    node_id: &str,
+    listener: TcpListener,
+    peers: Vec<PeerConfig>,
+) -> (HttpServer, Arc<ScheduleService>) {
+    let mut cluster = ClusterConfig::new(node_id, peers);
+    cluster.vnodes = VNODES;
+    cluster.probe_interval = std::time::Duration::from_millis(200);
+    let service = Arc::new(
+        ScheduleService::new(ServiceConfig {
+            default_micro_batches: 4,
+            default_max_repetend: 3,
+            cluster: Some(cluster),
+            ..ServiceConfig::default()
+        })
+        .unwrap(),
+    );
+    let server = HttpServer::serve_listener(
+        service.clone(),
+        listener,
+        &ServerConfig {
+            workers: 2,
+            queue_depth: 16,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    (server, service)
+}
+
+fn debug_requests(client: &mut HttpClient) -> DebugRequestsResponse {
+    let (status, body) = client.call("GET", "/v1/debug/requests", None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    serde_json::from_str(&body).unwrap()
+}
+
+fn header<'a>(headers: &'a [(String, String)], wanted: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(name, _)| name.eq_ignore_ascii_case(wanted))
+        .map(|(_, value)| value.as_str())
+}
+
+#[test]
+fn remote_fetch_joins_the_requesters_trace_across_daemons() {
+    // Bind both listeners first so each node can name the other's real
+    // address in its peer config, and pick ids so A owns the placement.
+    let listener_a = TcpListener::bind("127.0.0.1:0").unwrap();
+    let listener_b = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr_a = listener_a.local_addr().unwrap().to_string();
+    let addr_b = listener_b.local_addr().unwrap().to_string();
+    let placement = v_shape(3);
+    let fingerprint = placement.canonicalize().fingerprint;
+    let ring = HashRing::new(["alpha", "beta"], VNODES);
+    let (id_a, id_b) = if ring.owner_of(fingerprint) == "alpha" {
+        ("alpha", "beta")
+    } else {
+        ("beta", "alpha")
+    };
+    let (server_a, service_a) = start_node(
+        id_a,
+        listener_a,
+        vec![PeerConfig {
+            node_id: id_b.into(),
+            addr: addr_b.clone(),
+        }],
+    );
+    let (server_b, service_b) = start_node(
+        id_b,
+        listener_b,
+        vec![PeerConfig {
+            node_id: id_a.into(),
+            addr: addr_a.clone(),
+        }],
+    );
+    assert!(service_a.cluster().unwrap().owns(fingerprint));
+    assert!(!service_b.cluster().unwrap().owns(fingerprint));
+
+    // Seed the owner, then ask B with a caller-chosen trace ID. B misses
+    // locally and fetches from A; both daemons' records must join the trace.
+    let mut client_a = HttpClient::new(&addr_a).unwrap();
+    let mut client_b = HttpClient::new(&addr_b).unwrap();
+    let body = serde_json::to_string(&SearchRequest::for_placement(placement.clone())).unwrap();
+    let (status, _, _) = client_a
+        .call_with_headers("POST", "/v1/search", Some(&body), &[])
+        .unwrap();
+    assert_eq!(status, 200);
+
+    let trace = "0123456789abcdef0123456789abcdef";
+    let order: Vec<usize> = (0..placement.num_blocks()).collect();
+    let permuted = placement.permuted(&[2, 0, 1], &order).unwrap();
+    let permuted_body =
+        serde_json::to_string(&SearchRequest::for_placement(permuted.clone())).unwrap();
+    let (status, headers, response) = client_b
+        .call_with_headers(
+            "POST",
+            "/v1/search",
+            Some(&permuted_body),
+            &[("X-Tessel-Trace-Id", trace)],
+        )
+        .unwrap();
+    assert_eq!(status, 200, "{response}");
+    assert!(response.contains("\"cached\":true"), "{response}");
+
+    // The response carries the caller's trace ID and a Server-Timing
+    // breakdown that includes the remote_fetch stage.
+    assert_eq!(header(&headers, "x-tessel-trace-id"), Some(trace));
+    let timing = header(&headers, "server-timing").expect("Server-Timing header");
+    assert!(timing.contains("remote_fetch;dur="), "{timing}");
+
+    // B's flight recorder: the search entry, under the caller's trace ID,
+    // with a non-zero remote_fetch stage.
+    let debug_b = debug_requests(&mut client_b);
+    let entry_b = debug_b
+        .recent
+        .iter()
+        .find(|entry| entry.trace_id == trace && entry.path == "/v1/search")
+        .expect("B's flight recorder holds the traced search");
+    let remote_fetch = entry_b
+        .stages
+        .iter()
+        .find(|stage| stage.name == "remote_fetch")
+        .expect("the traced search crossed the cluster");
+    assert!(remote_fetch.micros > 0, "remote fetch took real time");
+    assert_eq!(entry_b.status, 200);
+
+    // A's flight recorder: the owner-side cache GET, SAME trace ID.
+    let debug_a = debug_requests(&mut client_a);
+    let entry_a = debug_a
+        .recent
+        .iter()
+        .find(|entry| entry.trace_id == trace)
+        .expect("A's flight recorder joined the requester's trace");
+    assert_eq!(entry_a.method, "GET");
+    assert!(entry_a.path.starts_with("/v1/cache/"), "{}", entry_a.path);
+
+    // B exports per-stage and per-endpoint histogram buckets.
+    let (status, metrics) = client_b.call("GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("tessel_request_stage_duration_seconds_bucket{stage=\"remote_fetch\""),
+        "per-stage buckets missing"
+    );
+    assert!(
+        metrics.contains("tessel_http_request_duration_seconds_bucket{endpoint=\"/v1/search\""),
+        "per-endpoint buckets missing"
+    );
+
+    server_a.shutdown();
+    server_b.shutdown();
+}
+
+/// Reads everything the server sends on `stream` (the request asked for
+/// `Connection: close`) and returns it as text.
+fn raw_exchange(addr: &str, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).unwrap();
+    String::from_utf8_lossy(&response).into_owned()
+}
+
+/// The `X-Tessel-Trace-Id` response-header value in a raw response text.
+fn response_trace_id(response: &str) -> &str {
+    response
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("x-tessel-trace-id")
+                .then(|| value.trim())
+        })
+        .expect("every response carries X-Tessel-Trace-Id")
+}
+
+#[test]
+fn bad_inbound_trace_headers_mint_fresh_ids_and_are_never_reflected() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let service = Arc::new(ScheduleService::new(ServiceConfig::default()).unwrap());
+    let server = HttpServer::serve_listener(service, listener, &ServerConfig::default()).unwrap();
+
+    // A valid inbound ID is adopted verbatim.
+    let valid = "deadbeefdeadbeefdeadbeefdeadbeef";
+    let response = raw_exchange(
+        &addr,
+        &format!(
+            "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Tessel-Trace-Id: {valid}\r\nConnection: close\r\n\r\n"
+        ),
+    );
+    assert_eq!(response_trace_id(&response), valid);
+
+    // Malformed (wrong charset / length): fresh ID, no reflection.
+    for bad in [
+        "not-hex!",
+        "UPPERCASEHEXISREJECTED0123456789",
+        "deadbeef",
+        "<script>alert(1)</script>",
+    ] {
+        let response = raw_exchange(
+            &addr,
+            &format!(
+                "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Tessel-Trace-Id: {bad}\r\nConnection: close\r\n\r\n"
+            ),
+        );
+        let minted = response_trace_id(&response);
+        assert_ne!(minted, bad);
+        assert_eq!(minted.len(), 32, "minted ID is a real trace ID");
+        assert!(minted.chars().all(|c| c.is_ascii_hexdigit()));
+        assert!(
+            !response.contains(bad),
+            "raw header value must never be reflected: {response}"
+        );
+    }
+
+    // Oversized: dropped before validation, fresh ID, no reflection.
+    let oversized = "f".repeat(300);
+    let response = raw_exchange(
+        &addr,
+        &format!(
+            "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Tessel-Trace-Id: {oversized}\r\nConnection: close\r\n\r\n"
+        ),
+    );
+    let minted = response_trace_id(&response);
+    assert_eq!(minted.len(), 32);
+    assert!(!response.contains(&oversized));
+
+    // Distinct requests mint distinct IDs.
+    let again = raw_exchange(
+        &addr,
+        "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Tessel-Trace-Id: nope\r\nConnection: close\r\n\r\n",
+    );
+    assert_ne!(response_trace_id(&again), minted);
+
+    server.shutdown();
+}

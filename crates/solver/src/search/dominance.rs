@@ -48,7 +48,7 @@
 //!
 //! Insertion is bounded-probe: if every slot in the window is taken by an
 //! incomparable record the vector is simply not memoised
-//! (`memo_insert_drops` counts these). The table never blocks, never
+//! (`memo_drops` counts these). The table never blocks, never
 //! reallocates a slot array concurrently, and stores finish vectors inline
 //! in the slot record — contiguous with the key words, so a dominance check
 //! touches one cache line for typical device counts. The in-place upgrade
@@ -374,7 +374,7 @@ impl SharedDominanceTable {
     /// upgrading a strictly-dominated record of the same mask in place, or
     /// claiming a free slot of the window — counting lost CAS races and
     /// discarded torn reads in `stats.cas_retries` and a full window in
-    /// `stats.memo_insert_drops`.
+    /// `stats.memo_drops`.
     ///
     /// `scratch` is a caller-owned buffer the candidate record is copied
     /// into before comparing — the copy turns per-word atomic loads into a
@@ -518,7 +518,7 @@ impl SharedDominanceTable {
 
         // Window exhausted: don't memoise. The search stays exact, this
         // state just won't prune a future revisit.
-        stats.memo_insert_drops += 1;
+        stats.memo_drops += 1;
         None
     }
 }
@@ -597,7 +597,7 @@ mod tests {
         assert_eq!(shared_check(&shared, 0b11, &[4, 4], 0, &mut stats), Some(0));
         // No contention in a single-threaded test.
         assert_eq!(stats.cas_retries, 0);
-        assert_eq!(stats.memo_insert_drops, 0);
+        assert_eq!(stats.memo_drops, 0);
     }
 
     #[test]
@@ -610,14 +610,14 @@ mod tests {
         for i in 0..PROBE_WINDOW as u64 {
             assert!(shared_check(&shared, 0b1, &[i, 100 - i], 0, &mut stats).is_none());
         }
-        assert_eq!(stats.memo_insert_drops, 0);
+        assert_eq!(stats.memo_drops, 0);
         let overflow = PROBE_WINDOW as u64;
         assert!(shared_check(&shared, 0b1, &[overflow, 100 - overflow], 0, &mut stats).is_none());
-        assert_eq!(stats.memo_insert_drops, 1);
+        assert_eq!(stats.memo_drops, 1);
         // The dropped vector was not memoised: an identical revisit is not
         // pruned (and drops again).
         assert!(shared_check(&shared, 0b1, &[overflow, 100 - overflow], 0, &mut stats).is_none());
-        assert_eq!(stats.memo_insert_drops, 2);
+        assert_eq!(stats.memo_drops, 2);
         // A vector dominated by a *stored* record still prunes.
         assert_eq!(
             shared_check(&shared, 0b1, &[0, 101], 1, &mut stats),
@@ -645,7 +645,7 @@ mod tests {
         assert_eq!(shared_check(&shared, 0b11, &[2, 9], 1, &mut stats), Some(0));
         // Single-threaded: every upgrade CAS wins first try.
         assert_eq!(stats.cas_retries, 0);
-        assert_eq!(stats.memo_insert_drops, 0);
+        assert_eq!(stats.memo_drops, 0);
     }
 
     proptest! {
@@ -677,7 +677,7 @@ mod tests {
                     mask,
                     finishes
                 );
-                if stats.memo_insert_drops > 0 {
+                if stats.memo_drops > 0 {
                     // A dropped memo is the one sanctioned divergence; the
                     // decision that *caused* the drop was still identical
                     // (asserted above), later ones may legitimately differ.

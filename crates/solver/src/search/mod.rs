@@ -474,11 +474,19 @@ impl Solver {
 
         let threads = self.config.effective_threads();
         let complete = if threads > 1 {
-            match self.warmstart_probe(&mut ctx, started) {
+            let probe_started = Instant::now();
+            let probed = self.warmstart_probe(&mut ctx, started);
+            ctx.stats.warmstart_micros += probe_started.elapsed().as_micros() as u64;
+            match probed {
                 // Small instance: the bounded serial probe settled it without
                 // spawning a single worker thread.
                 Some(done) => done,
-                None => parallel::run_parallel(&mut ctx, threads),
+                None => {
+                    let parallel_started = Instant::now();
+                    let done = parallel::run_parallel(&mut ctx, threads);
+                    ctx.stats.parallel_micros += parallel_started.elapsed().as_micros() as u64;
+                    done
+                }
             }
         } else {
             ctx.dfs(0);

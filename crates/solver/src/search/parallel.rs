@@ -219,7 +219,7 @@ pub(super) fn run_parallel(ctx: &mut SearchContext<'_>, threads: usize) -> bool 
         ctx.stats.shared_memo_hits += result.stats.shared_memo_hits;
         ctx.stats.cas_retries += result.stats.cas_retries;
         ctx.stats.steal_failures += result.stats.steal_failures;
-        ctx.stats.memo_insert_drops += result.stats.memo_insert_drops;
+        ctx.stats.memo_drops += result.stats.memo_drops;
         deadline_found |= result.best_makespan.is_some() && ctx.deadline.is_some();
     }
     // Deterministic winner: the smallest makespan, first worker on ties.

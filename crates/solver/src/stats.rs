@@ -45,7 +45,17 @@ pub struct SolveStats {
     /// for single-threaded solves, whose private table reports drops the
     /// same way as capacity evictions: silently).
     #[serde(default)]
-    pub memo_insert_drops: u64,
+    pub memo_drops: u64,
+    /// Wall-clock microseconds spent in the bounded serial warm-start probe
+    /// that runs before the worker pool spins up (0 for single-threaded
+    /// solves, which have no probe phase).
+    #[serde(default)]
+    pub warmstart_micros: u64,
+    /// Wall-clock microseconds spent in the parallel search phase proper —
+    /// pool spin-up through the last worker joining (0 for single-threaded
+    /// solves and for probes that finish the search serially).
+    #[serde(default)]
+    pub parallel_micros: u64,
     /// Wall-clock time spent in the search.
     #[serde(with = "duration_serde")]
     pub elapsed: Duration,
@@ -92,9 +102,17 @@ pub struct SolverTotals {
     #[serde(default)]
     pub steal_failures: u64,
     /// Finish vectors the bounded-probe shared dominance table declined to
-    /// memoise (see [`SolveStats::memo_insert_drops`]).
+    /// memoise (see [`SolveStats::memo_drops`]).
     #[serde(default)]
-    pub memo_insert_drops: u64,
+    pub memo_drops: u64,
+    /// Microseconds spent in serial warm-start probes (see
+    /// [`SolveStats::warmstart_micros`]).
+    #[serde(default)]
+    pub warmstart_micros: u64,
+    /// Microseconds spent in parallel search phases (see
+    /// [`SolveStats::parallel_micros`]).
+    #[serde(default)]
+    pub parallel_micros: u64,
 }
 
 impl SolverTotals {
@@ -108,7 +126,9 @@ impl SolverTotals {
         self.shared_memo_hits += stats.shared_memo_hits;
         self.cas_retries += stats.cas_retries;
         self.steal_failures += stats.steal_failures;
-        self.memo_insert_drops += stats.memo_insert_drops;
+        self.memo_drops += stats.memo_drops;
+        self.warmstart_micros += stats.warmstart_micros;
+        self.parallel_micros += stats.parallel_micros;
     }
 
     /// Adds another totals record (e.g. from a different search run).
@@ -121,7 +141,9 @@ impl SolverTotals {
         self.shared_memo_hits += other.shared_memo_hits;
         self.cas_retries += other.cas_retries;
         self.steal_failures += other.steal_failures;
-        self.memo_insert_drops += other.memo_insert_drops;
+        self.memo_drops += other.memo_drops;
+        self.warmstart_micros += other.warmstart_micros;
+        self.parallel_micros += other.parallel_micros;
     }
 }
 
@@ -198,7 +220,9 @@ mod tests {
             shared_memo_hits: 5,
             cas_retries: 9,
             steal_failures: 8,
-            memo_insert_drops: 7,
+            memo_drops: 7,
+            warmstart_micros: 120,
+            parallel_micros: 4500,
             elapsed: Duration::from_millis(1500),
             complete: true,
         };
@@ -209,7 +233,9 @@ mod tests {
         assert_eq!(back.shared_memo_hits, 5);
         assert_eq!(back.cas_retries, 9);
         assert_eq!(back.steal_failures, 8);
-        assert_eq!(back.memo_insert_drops, 7);
+        assert_eq!(back.memo_drops, 7);
+        assert_eq!(back.warmstart_micros, 120);
+        assert_eq!(back.parallel_micros, 4500);
         assert!(back.complete);
         assert!((back.elapsed.as_secs_f64() - 1.5).abs() < 1e-9);
     }
@@ -225,7 +251,9 @@ mod tests {
         assert_eq!(back.nodes, 100);
         assert_eq!(back.cas_retries, 0);
         assert_eq!(back.steal_failures, 0);
-        assert_eq!(back.memo_insert_drops, 0);
+        assert_eq!(back.memo_drops, 0);
+        assert_eq!(back.warmstart_micros, 0);
+        assert_eq!(back.parallel_micros, 0);
     }
 
     #[test]
@@ -250,7 +278,7 @@ mod tests {
             shared_memo_hits: 1,
             cas_retries: 6,
             steal_failures: 7,
-            memo_insert_drops: 8,
+            memo_drops: 8,
             ..SolveStats::default()
         });
         sink.record(&SolveStats {
@@ -266,7 +294,7 @@ mod tests {
         assert_eq!(totals.shared_memo_hits, 1);
         assert_eq!(totals.cas_retries, 6);
         assert_eq!(totals.steal_failures, 7);
-        assert_eq!(totals.memo_insert_drops, 8);
+        assert_eq!(totals.memo_drops, 8);
 
         let mut merged = SolverTotals::default();
         merged.merge(&totals);
@@ -275,7 +303,7 @@ mod tests {
         assert_eq!(merged.nodes, 30);
         assert_eq!(merged.cas_retries, 12);
         assert_eq!(merged.steal_failures, 14);
-        assert_eq!(merged.memo_insert_drops, 16);
+        assert_eq!(merged.memo_drops, 16);
     }
 
     #[test]
@@ -289,7 +317,9 @@ mod tests {
             shared_memo_hits: 7,
             cas_retries: 1,
             steal_failures: 2,
-            memo_insert_drops: 3,
+            memo_drops: 3,
+            warmstart_micros: 4,
+            parallel_micros: 5,
         };
         let json = serde_json::to_string(&totals).unwrap();
         let back: SolverTotals = serde_json::from_str(&json).unwrap();
