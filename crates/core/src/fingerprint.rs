@@ -1,4 +1,4 @@
-//! Canonical placement fingerprinting.
+//! Canonical placement fingerprinting — exact individualisation-refinement.
 //!
 //! Two placements that differ only in how devices are numbered or in the
 //! order their blocks were added describe the *same* scheduling problem: the
@@ -9,19 +9,39 @@
 //! that is invariant under both symmetries — plus a stable 64-bit
 //! [`Fingerprint`] of that form.
 //!
-//! The canonicalization is a colour-refinement (Weisfeiler–Leman style)
-//! partition of the block/device incidence structure, followed by
-//! individualisation rounds that break residual ties deterministically. Block
-//! names and the placement name are deliberately excluded: they are arbitrary
-//! labels with no scheduling meaning. Costs (time, memory, FLOPs, output
-//! bytes), block kinds, dependencies, device sets and the memory capacity are
-//! all part of the fingerprint.
+//! Unlike the first-generation implementation (colour refinement with greedy
+//! tie-breaking — Weisfeiler–Leman strength, retained as
+//! [`PlacementSpec::wl_fingerprint`]), canonicalization is now an **exact**
+//! nauty-style search:
 //!
-//! Fingerprint equality is (as with any hash) necessary but not sufficient
-//! for equivalence; callers that must rule out collisions compare the
-//! canonical [`PlacementSpec`]s, which *are* equal exactly when the inputs
-//! are isomorphic under the refinement's power (complete on every placement
-//! shape in this repository).
+//! 1. **Refine** the block/device colouring to a stable partition (hash-based
+//!    1-WL over the dependency DAG and the block↔device incidence relation).
+//! 2. If the partition is not discrete, pick a **target cell** invariantly
+//!    (smallest ambiguous colour class) and branch: **individualise** each
+//!    member in turn and recurse.
+//! 3. Every discrete leaf yields a candidate labeling; its serialized
+//!    **leaf form** is compared and the lexicographic minimum (of the
+//!    node-invariant trace, then the form) wins.
+//! 4. Two leaves with equal forms differ by an **automorphism** of the
+//!    placement; verified generators prune sibling branches (orbit pruning),
+//!    and a best-leaf trace comparison prunes subtrees that can no longer
+//!    produce the minimum.
+//!
+//! The minimum is taken over a set of labelings that is itself invariant
+//! under relabeling, so the canonical form — and hence the fingerprint — is
+//! identical for any two isomorphic placements and different for any two
+//! non-isomorphic ones (the search is exact, not refinement-bounded). Block
+//! names and the placement name are deliberately excluded: they are
+//! arbitrary labels with no scheduling meaning. Costs (time, memory, FLOPs,
+//! output bytes), block kinds, dependencies, device sets and the memory
+//! capacity are all part of the fingerprint.
+//!
+//! Because the labeling is exact, fingerprint equality is trusted across the
+//! cache tiers: equal fingerprints imply equal canonical forms up to 64-bit
+//! hash collision of two *non-isomorphic* forms (probability ~2⁻⁶⁴ per pair,
+//! and a collision degrades to a wrong cache hit that schedule validation
+//! rejects). The service keeps a `--paranoid-fingerprints` escape hatch that
+//! re-checks full canonical-form equality and counts any mismatch.
 
 use crate::error::CoreError;
 use crate::ir::{BlockKind, BlockSpec, PlacementSpec};
@@ -118,6 +138,18 @@ impl CanonicalPlacement {
     }
 }
 
+/// Statistics from one canonical-labeling search. Exposed so tests (and
+/// diagnostics) can pin the effect of automorphism pruning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CanonStats {
+    /// Search-tree nodes visited (root included).
+    pub nodes: u64,
+    /// Discrete leaves whose candidate labeling was evaluated.
+    pub leaves: u64,
+    /// Verified non-identity automorphism generators discovered.
+    pub automorphisms: u64,
+}
+
 // ---------------------------------------------------------------------------
 // Hash primitives
 // ---------------------------------------------------------------------------
@@ -164,9 +196,22 @@ fn kind_word(kind: BlockKind) -> u64 {
     }
 }
 
+/// Colour mixed into a vertex when the search individualises it.
+const INDIVIDUALISE: u64 = 0x1e5e_11ed;
+/// Generator cap: enough to collapse every symmetric cell seen in practice,
+/// small enough that orbit computation stays trivial.
+const MAX_GENERATORS: usize = 64;
+
 // ---------------------------------------------------------------------------
 // Colour refinement
 // ---------------------------------------------------------------------------
+
+/// The joint block/device colouring the search refines and individualises.
+#[derive(Clone)]
+struct Colouring {
+    blocks: Vec<u64>,
+    devices: Vec<u64>,
+}
 
 /// Longest-path depth of every block (0 for blocks without dependencies).
 /// Invariant under both symmetries and compatible with topological order:
@@ -224,207 +269,543 @@ fn refine_round(
     device_colors.copy_from_slice(&new_devices);
 }
 
-/// Runs a fixed number of refinement rounds (enough for colours to stabilise
-/// on any placement of `k` blocks and `d` devices). The round count depends
-/// only on invariant quantities, so the result is relabeling-invariant.
-fn refine(
+/// Distinct colour counts (blocks, devices) — the partition-size pair that
+/// decides when refinement has stabilised.
+fn class_counts(col: &Colouring, scratch: &mut Vec<u64>) -> (usize, usize) {
+    scratch.extend_from_slice(&col.blocks);
+    scratch.sort_unstable();
+    scratch.dedup();
+    let blocks = scratch.len();
+    scratch.clear();
+    scratch.extend_from_slice(&col.devices);
+    scratch.sort_unstable();
+    scratch.dedup();
+    let devices = scratch.len();
+    scratch.clear();
+    (blocks, devices)
+}
+
+/// Refines until the induced partition stops splitting (plus one confirming
+/// round), with a hard round cap. The round count depends only on the
+/// partition evolution — an isomorphism invariant — so the final colour
+/// values are relabeling-invariant.
+fn refine_stable(
     placement: &PlacementSpec,
     dependents: &[Vec<usize>],
-    block_colors: &mut [u64],
-    device_colors: &mut [u64],
+    col: &mut Colouring,
+    scratch: &mut Vec<u64>,
 ) {
-    let rounds = placement.num_blocks() + placement.num_devices() + 2;
-    let mut scratch = Vec::new();
-    for _ in 0..rounds.min(64) {
+    let cap = (placement.num_blocks() + placement.num_devices() + 2).min(64);
+    let mut classes = class_counts(col, scratch);
+    for _ in 0..cap {
         refine_round(
             placement,
             dependents,
-            block_colors,
-            device_colors,
-            &mut scratch,
+            &mut col.blocks,
+            &mut col.devices,
+            scratch,
         );
+        let now = class_counts(col, scratch);
+        if now == classes {
+            break;
+        }
+        classes = now;
     }
 }
 
-/// The global colouring signature used to pick among individualisation
-/// choices: sorted `(depth, colour)` pairs plus sorted device colours.
-fn signature(depths: &[usize], block_colors: &[u64], device_colors: &[u64]) -> Vec<u64> {
-    let mut sig: Vec<u64> = depths
+/// Initial colours from relabeling-invariant attributes only: block costs,
+/// kind, depth and device-set size; devices start uniform.
+fn initial_colouring(placement: &PlacementSpec, depths: &[usize]) -> Colouring {
+    let blocks: Vec<u64> = placement
+        .blocks()
         .iter()
-        .zip(block_colors)
-        .map(|(&d, &c)| mix(d as u64, c))
+        .zip(depths)
+        .map(|(b, &depth)| {
+            let mut h = mix(kind_word(b.kind), b.time);
+            h = mix(h, i64_word(b.memory));
+            h = mix(h, b.output_bytes);
+            h = mix(h, b.flops.to_bits());
+            h = mix(h, depth as u64);
+            mix(h, b.devices.len() as u64)
+        })
         .collect();
-    sig.sort_unstable();
-    let mut devs: Vec<u64> = device_colors.to_vec();
-    devs.sort_unstable();
-    sig.extend(devs);
-    sig
+    Colouring {
+        blocks,
+        devices: vec![0x6465_7631; placement.num_devices()],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Individualisation-refinement search
+// ---------------------------------------------------------------------------
+
+/// A fully evaluated discrete leaf of the search tree.
+#[derive(Clone)]
+struct Leaf {
+    /// Node-invariant hashes along the root-to-leaf path (root included).
+    trace: Vec<u64>,
+    /// Serialized canonical candidate (see [`Searcher::leaf_form`]).
+    form: Vec<u64>,
+    /// `block_perm[original] = candidate position`.
+    block_perm: Vec<usize>,
+    /// `device_perm[original] = candidate label`.
+    device_perm: Vec<usize>,
+}
+
+/// A verified automorphism of the placement, as original→original maps.
+struct Automorphism {
+    blocks: Vec<usize>,
+    devices: Vec<usize>,
+}
+
+/// `true` when every leaf whose trace extends `prefix` is strictly greater
+/// than `best` — i.e. the subtree below `prefix` cannot contain the minimum
+/// and may be pruned. Equal-so-far prefixes of equal length are *not* pruned:
+/// the child may itself be a leaf tying on trace and winning on form.
+fn prefix_beats(prefix: &[u64], best: &[u64]) -> bool {
+    for (a, b) in prefix.iter().zip(best) {
+        if a < b {
+            return false;
+        }
+        if a > b {
+            return true;
+        }
+    }
+    prefix.len() > best.len()
+}
+
+struct Searcher<'a> {
+    placement: &'a PlacementSpec,
+    depths: Vec<usize>,
+    dependents: Vec<Vec<usize>>,
+    /// Enables automorphism (orbit) pruning and best-leaf trace pruning.
+    /// Both searches optimise the same objective, so disabling pruning
+    /// changes only the explored-leaf count, never the canonical form.
+    prune: bool,
+    best: Option<Leaf>,
+    /// First leaf reached — the reference labeling automorphisms are
+    /// discovered against.
+    reference: Option<Leaf>,
+    generators: Vec<Automorphism>,
+    stats: CanonStats,
+    scratch: Vec<u64>,
+}
+
+impl<'a> Searcher<'a> {
+    fn new(placement: &'a PlacementSpec, prune: bool) -> Self {
+        let k = placement.num_blocks();
+        Searcher {
+            placement,
+            depths: block_depths(placement),
+            dependents: (0..k).map(|i| placement.dependents(i)).collect(),
+            prune,
+            best: None,
+            reference: None,
+            generators: Vec::new(),
+            stats: CanonStats::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn refine(&mut self, col: &mut Colouring) {
+        refine_stable(self.placement, &self.dependents, col, &mut self.scratch);
+    }
+
+    /// Isomorphism-invariant hash of a node's colouring: the multiset of
+    /// `(depth, colour)` block pairs followed by the device-colour multiset.
+    fn node_invariant(&mut self, col: &Colouring) -> u64 {
+        self.scratch.extend(
+            col.blocks
+                .iter()
+                .zip(&self.depths)
+                .map(|(&c, &d)| mix(d as u64, c)),
+        );
+        let h = mix_multiset(0x7261_6365, &mut self.scratch);
+        self.scratch.extend_from_slice(&col.devices);
+        mix_multiset(h, &mut self.scratch)
+    }
+
+    /// The cell the search branches on: the smallest ambiguous colour class
+    /// (ties: blocks before devices, then smallest colour value). Every
+    /// component of the choice is relabeling-invariant. `None` means the
+    /// colouring is discrete — a leaf.
+    fn target_cell(&mut self, col: &Colouring) -> Option<(bool, Vec<usize>)> {
+        let mut best: Option<(usize, u64, u64, Vec<usize>)> = None;
+        for (is_block, colors) in [(true, &col.blocks), (false, &col.devices)] {
+            let mut keyed: Vec<(u64, usize)> =
+                colors.iter().enumerate().map(|(i, &c)| (c, i)).collect();
+            keyed.sort_unstable();
+            let mut start = 0;
+            while start < keyed.len() {
+                let mut end = start + 1;
+                while end < keyed.len() && keyed[end].0 == keyed[start].0 {
+                    end += 1;
+                }
+                if end - start >= 2 {
+                    let members: Vec<usize> = keyed[start..end].iter().map(|&(_, i)| i).collect();
+                    let key = (end - start, u64::from(!is_block), keyed[start].0);
+                    if best.as_ref().is_none_or(|(l, t, c, _)| key < (*l, *t, *c)) {
+                        best = Some((key.0, key.1, key.2, members));
+                    }
+                }
+                start = end;
+            }
+        }
+        best.map(|(_, type_rank, _, members)| (type_rank == 0, members))
+    }
+
+    /// Serializes the candidate labeling of a discrete leaf. Two leaves have
+    /// equal forms iff their canonical `PlacementSpec`s are equal; the
+    /// fingerprint is an FNV-1a hash of exactly these words.
+    fn leaf_form(&self, order: &[usize], block_perm: &[usize], device_perm: &[usize]) -> Vec<u64> {
+        let p = self.placement;
+        let mut form = Vec::with_capacity(4 + p.num_blocks() * 10);
+        form.push(p.num_devices() as u64);
+        match p.memory_capacity() {
+            Some(cap) => {
+                form.push(1);
+                form.push(i64_word(cap));
+            }
+            None => form.push(0),
+        }
+        form.push(p.num_blocks() as u64);
+        for &orig in order {
+            let b = p.block(orig);
+            form.push(kind_word(b.kind));
+            form.push(b.time);
+            form.push(i64_word(b.memory));
+            form.push(b.output_bytes);
+            form.push(b.flops.to_bits());
+            let mut devices: Vec<u64> = b.devices.iter().map(|&d| device_perm[d] as u64).collect();
+            devices.sort_unstable();
+            form.push(devices.len() as u64);
+            form.extend(devices);
+            let mut deps: Vec<u64> = b.deps.iter().map(|&q| block_perm[q] as u64).collect();
+            deps.sort_unstable();
+            form.push(deps.len() as u64);
+            form.extend(deps);
+        }
+        form
+    }
+
+    /// Checks that `(blocks, devices)` really is an automorphism: every block
+    /// maps to a block with identical attributes whose device set and
+    /// dependency set are the images of its own.
+    fn verify_automorphism(&self, blocks: &[usize], devices: &[usize]) -> bool {
+        let p = self.placement;
+        for i in 0..p.num_blocks() {
+            let a = p.block(i);
+            let b = p.block(blocks[i]);
+            if a.kind != b.kind
+                || a.time != b.time
+                || a.memory != b.memory
+                || a.output_bytes != b.output_bytes
+                || a.flops.to_bits() != b.flops.to_bits()
+            {
+                return false;
+            }
+            let mut da: Vec<usize> = a.devices.iter().map(|&d| devices[d]).collect();
+            da.sort_unstable();
+            let mut db = b.devices.clone();
+            db.sort_unstable();
+            if da != db {
+                return false;
+            }
+            let mut pa: Vec<usize> = a.deps.iter().map(|&q| blocks[q]).collect();
+            pa.sort_unstable();
+            let mut pb = b.deps.clone();
+            pb.sort_unstable();
+            if pa != pb {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Composes two equal-form leaves into the automorphism relating them:
+    /// vertex `v` of the new leaf maps to the vertex the reference leaf put
+    /// at the same canonical position.
+    fn compose(reference: &Leaf, new: &Leaf) -> (Vec<usize>, Vec<usize>) {
+        let mut inv_blocks = vec![0usize; reference.block_perm.len()];
+        for (orig, &canon) in reference.block_perm.iter().enumerate() {
+            inv_blocks[canon] = orig;
+        }
+        let mut inv_devices = vec![0usize; reference.device_perm.len()];
+        for (orig, &canon) in reference.device_perm.iter().enumerate() {
+            inv_devices[canon] = orig;
+        }
+        let blocks: Vec<usize> = new.block_perm.iter().map(|&c| inv_blocks[c]).collect();
+        let devices: Vec<usize> = new.device_perm.iter().map(|&c| inv_devices[c]).collect();
+        (blocks, devices)
+    }
+
+    fn record_automorphism(&mut self, blocks: Vec<usize>, devices: Vec<usize>) {
+        if self.generators.len() >= MAX_GENERATORS {
+            return;
+        }
+        let identity = blocks.iter().enumerate().all(|(i, &m)| i == m)
+            && devices.iter().enumerate().all(|(i, &m)| i == m);
+        if identity {
+            return;
+        }
+        if self
+            .generators
+            .iter()
+            .any(|g| g.blocks == blocks && g.devices == devices)
+        {
+            return;
+        }
+        if !self.verify_automorphism(&blocks, &devices) {
+            return;
+        }
+        self.generators.push(Automorphism { blocks, devices });
+        self.stats.automorphisms += 1;
+    }
+
+    /// `true` when `member` is in the same orbit as an already-explored
+    /// sibling under the subgroup of discovered automorphisms that pointwise
+    /// fix the individualised path prefix — its subtree is the image of an
+    /// explored one and contains exactly the same leaf keys.
+    fn in_explored_orbit(
+        &self,
+        is_block: bool,
+        member: usize,
+        explored: &[usize],
+        path: &[(bool, usize)],
+    ) -> bool {
+        if explored.is_empty() || self.generators.is_empty() {
+            return false;
+        }
+        let applicable: Vec<&Automorphism> = self
+            .generators
+            .iter()
+            .filter(|g| {
+                path.iter().all(|&(pb, v)| {
+                    if pb {
+                        g.blocks[v] == v
+                    } else {
+                        g.devices[v] == v
+                    }
+                })
+            })
+            .collect();
+        if applicable.is_empty() {
+            return false;
+        }
+        let n = if is_block {
+            self.placement.num_blocks()
+        } else {
+            self.placement.num_devices()
+        };
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut [usize], mut v: usize) -> usize {
+            while parent[v] != v {
+                parent[v] = parent[parent[v]];
+                v = parent[v];
+            }
+            v
+        }
+        // Close the union-find under the generators: each generator is a
+        // permutation, so unioning every vertex with its image partitions the
+        // range into orbits of the generated subgroup.
+        for g in &applicable {
+            let map = if is_block { &g.blocks } else { &g.devices };
+            for (v, &image) in map.iter().enumerate() {
+                let a = find(&mut parent, v);
+                let b = find(&mut parent, image);
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+        let root = find(&mut parent, member);
+        explored.iter().any(|&e| find(&mut parent, e) == root)
+    }
+
+    /// Evaluates a discrete colouring: derives the candidate permutations,
+    /// serializes the form, harvests automorphisms against earlier leaves and
+    /// keeps the `(trace, form)` minimum.
+    fn evaluate_leaf(&mut self, col: &Colouring, trace: &[u64]) {
+        self.stats.leaves += 1;
+        let k = self.placement.num_blocks();
+        let d = self.placement.num_devices();
+        // Depth-major order is topological (dependencies strictly increase
+        // depth); colours are pairwise distinct here, so the order is total
+        // and the index tie-break never decides.
+        let mut order: Vec<usize> = (0..k).collect();
+        order.sort_unstable_by_key(|&i| (self.depths[i], col.blocks[i], i));
+        let mut block_perm = vec![0usize; k];
+        for (canon, &orig) in order.iter().enumerate() {
+            block_perm[orig] = canon;
+        }
+        let mut device_order: Vec<usize> = (0..d).collect();
+        device_order.sort_unstable_by_key(|&dev| (col.devices[dev], dev));
+        let mut device_perm = vec![0usize; d];
+        for (canon, &orig) in device_order.iter().enumerate() {
+            device_perm[orig] = canon;
+        }
+        let form = self.leaf_form(&order, &block_perm, &device_perm);
+        let leaf = Leaf {
+            trace: trace.to_vec(),
+            form,
+            block_perm,
+            device_perm,
+        };
+
+        if self.prune {
+            let mut candidates: Vec<(Vec<usize>, Vec<usize>)> = Vec::new();
+            if let Some(r) = &self.reference {
+                if r.form == leaf.form {
+                    candidates.push(Self::compose(r, &leaf));
+                }
+            }
+            if let Some(b) = &self.best {
+                if b.form == leaf.form {
+                    candidates.push(Self::compose(b, &leaf));
+                }
+            }
+            for (blocks, devices) in candidates {
+                self.record_automorphism(blocks, devices);
+            }
+        }
+
+        let better = match &self.best {
+            None => true,
+            Some(b) => (leaf.trace.as_slice(), leaf.form.as_slice()) < (&b.trace[..], &b.form[..]),
+        };
+        if self.reference.is_none() {
+            self.reference = Some(leaf.clone());
+        }
+        if better {
+            self.best = Some(leaf);
+        }
+    }
+
+    fn search(&mut self, col: Colouring, path: &mut Vec<(bool, usize)>, trace: &mut Vec<u64>) {
+        self.stats.nodes += 1;
+        let Some((is_block, members)) = self.target_cell(&col) else {
+            self.evaluate_leaf(&col, trace);
+            return;
+        };
+        let mut explored: Vec<usize> = Vec::new();
+        for &m in &members {
+            if self.prune && self.in_explored_orbit(is_block, m, &explored, path) {
+                continue;
+            }
+            let mut child = col.clone();
+            if is_block {
+                child.blocks[m] = mix(child.blocks[m], INDIVIDUALISE);
+            } else {
+                child.devices[m] = mix(child.devices[m], INDIVIDUALISE);
+            }
+            self.refine(&mut child);
+            trace.push(self.node_invariant(&child));
+            let pruned = self.prune
+                && self
+                    .best
+                    .as_ref()
+                    .is_some_and(|b| prefix_beats(trace, &b.trace));
+            if !pruned {
+                path.push((is_block, m));
+                self.search(child, path, trace);
+                path.pop();
+            }
+            trace.pop();
+            explored.push(m);
+        }
+    }
+
+    fn run(mut self) -> (Leaf, CanonStats) {
+        let mut col = initial_colouring(self.placement, &self.depths);
+        self.refine(&mut col);
+        let mut trace = vec![self.node_invariant(&col)];
+        let mut path = Vec::new();
+        self.search(col, &mut path, &mut trace);
+        let best = self.best.take().expect("search reaches at least one leaf");
+        (best, self.stats)
+    }
 }
 
 impl PlacementSpec {
-    /// Computes the canonical form of this placement: blocks reordered into a
-    /// canonical topological order, devices relabeled canonically, and the
-    /// stable [`Fingerprint`] of the result. See the module docs for the
-    /// invariances and their limits.
-    #[must_use]
-    pub fn canonicalize(&self) -> CanonicalPlacement {
-        let k = self.num_blocks();
-        let depths = block_depths(self);
-        let dependents: Vec<Vec<usize>> = (0..k).map(|i| self.dependents(i)).collect();
+    fn canonical_search(&self, prune: bool) -> (CanonicalPlacement, CanonStats) {
+        let (best, stats) = Searcher::new(self, prune).run();
 
-        // Initial colours from relabeling-invariant block attributes.
-        let mut block_colors: Vec<u64> = self
-            .blocks()
-            .iter()
-            .zip(&depths)
-            .map(|(b, &depth)| {
-                let mut h = mix(kind_word(b.kind), b.time);
-                h = mix(h, i64_word(b.memory));
-                h = mix(h, b.output_bytes);
-                h = mix(h, b.flops.to_bits());
-                h = mix(h, depth as u64);
-                mix(h, b.devices.len() as u64)
-            })
-            .collect();
-        let mut device_colors: Vec<u64> = vec![0x6465_7631; self.num_devices()];
-        refine(self, &dependents, &mut block_colors, &mut device_colors);
-
-        // Individualisation: while two blocks share a (depth, colour) key,
-        // deterministically split the smallest ambiguous class. Each member is
-        // tentatively individualised; the one whose refined global signature
-        // is smallest wins (members with equal signatures are symmetric under
-        // the refinement and interchangeable).
-        loop {
-            let mut keys: Vec<(usize, u64, usize)> =
-                (0..k).map(|i| (depths[i], block_colors[i], i)).collect();
-            keys.sort_unstable();
-            let Some(pos) = (1..k).find(|&p| {
-                let (da, ca, _) = keys[p - 1];
-                let (db, cb, _) = keys[p];
-                da == db && ca == cb
-            }) else {
-                break;
-            };
-            let (depth, color, _) = keys[pos];
-            let members: Vec<usize> = keys
-                .iter()
-                .filter(|&&(d, c, _)| d == depth && c == color)
-                .map(|&(_, _, i)| i)
-                .collect();
-            let mut best: Option<(Vec<u64>, Vec<u64>, Vec<u64>)> = None;
-            for &m in &members {
-                let mut bc = block_colors.clone();
-                let mut dc = device_colors.clone();
-                bc[m] = mix(bc[m], 0x1e5e_11ed);
-                refine(self, &dependents, &mut bc, &mut dc);
-                let sig = signature(&depths, &bc, &dc);
-                if best.as_ref().is_none_or(|(s, _, _)| sig < *s) {
-                    best = Some((sig, bc, dc));
-                }
-            }
-            let (_, bc, dc) = best.expect("ambiguous class is non-empty");
-            block_colors = bc;
-            device_colors = dc;
-        }
-
-        // Canonical block order: by (depth, colour) — a topological order
-        // because every dependency increases depth.
-        let mut order: Vec<usize> = (0..k).collect();
-        order.sort_unstable_by_key(|&i| (depths[i], block_colors[i], i));
-        let mut block_perm = vec![0usize; k];
-        for (canonical, &orig) in order.iter().enumerate() {
-            block_perm[orig] = canonical;
-        }
-
-        // Canonical device order: devices sorted by the set of canonical
-        // block positions they host. Devices with identical usage sets are
-        // genuinely interchangeable (every block uses both or neither).
-        let device_keys: Vec<Vec<usize>> = (0..self.num_devices())
-            .map(|d| {
-                let mut key: Vec<usize> = self
-                    .blocks()
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, b)| b.uses_device(d))
-                    .map(|(i, _)| block_perm[i])
-                    .collect();
-                key.sort_unstable();
-                key
-            })
-            .collect();
-        let mut device_order: Vec<usize> = (0..self.num_devices()).collect();
-        device_order.sort_by(|&a, &b| device_keys[a].cmp(&device_keys[b]));
-        let mut device_perm = vec![0usize; self.num_devices()];
-        for (canonical, &orig) in device_order.iter().enumerate() {
-            device_perm[orig] = canonical;
-        }
-
-        // Fingerprint over the canonical structure (FNV-1a), then the
-        // canonical spec itself.
+        // The fingerprint hashes exactly the winning leaf form, so equal
+        // canonical forms always produce equal fingerprints.
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        h = fnv_word(h, self.num_devices() as u64);
-        match self.memory_capacity() {
-            Some(cap) => {
-                h = fnv_word(h, 1);
-                h = fnv_word(h, i64_word(cap));
-            }
-            None => h = fnv_word(h, 0),
+        for &word in &best.form {
+            h = fnv_word(h, word);
         }
-        let canonical_blocks: Vec<BlockSpec> = order
-            .iter()
-            .enumerate()
-            .map(|(canonical, &orig)| {
-                let b = self.block(orig);
-                let mut devices: Vec<usize> = b.devices.iter().map(|&d| device_perm[d]).collect();
-                devices.sort_unstable();
-                let mut deps: Vec<usize> = b.deps.iter().map(|&p| block_perm[p]).collect();
-                deps.sort_unstable();
-                h = fnv_word(h, kind_word(b.kind));
-                h = fnv_word(h, b.time);
-                h = fnv_word(h, i64_word(b.memory));
-                h = fnv_word(h, b.output_bytes);
-                h = fnv_word(h, b.flops.to_bits());
-                h = fnv_word(h, devices.len() as u64);
-                for &d in &devices {
-                    h = fnv_word(h, d as u64);
-                }
-                h = fnv_word(h, deps.len() as u64);
-                for &p in &deps {
-                    h = fnv_word(h, p as u64);
-                }
-                let prefix = if b.kind.is_forward() { 'f' } else { 'b' };
-                BlockSpec::new(
-                    format!("{prefix}{canonical}"),
-                    b.kind,
-                    devices,
-                    b.time,
-                    b.memory,
-                )
-                .with_deps(deps)
-                .with_flops(b.flops)
-                .with_output_bytes(b.output_bytes)
-            })
-            .collect();
         let fingerprint = Fingerprint(h);
 
+        let mut order = vec![0usize; self.num_blocks()];
+        for (orig, &canon) in best.block_perm.iter().enumerate() {
+            order[canon] = orig;
+        }
         let mut builder =
             PlacementSpec::builder(format!("canonical-{fingerprint}"), self.num_devices());
         builder.set_memory_capacity(self.memory_capacity());
-        for block in canonical_blocks {
+        for (canonical, &orig) in order.iter().enumerate() {
+            let b = self.block(orig);
+            let mut devices: Vec<usize> = b.devices.iter().map(|&d| best.device_perm[d]).collect();
+            devices.sort_unstable();
+            let mut deps: Vec<usize> = b.deps.iter().map(|&p| best.block_perm[p]).collect();
+            deps.sort_unstable();
+            let prefix = if b.kind.is_forward() { 'f' } else { 'b' };
             builder
-                .push_block(block)
+                .push_block(
+                    BlockSpec::new(
+                        format!("{prefix}{canonical}"),
+                        b.kind,
+                        devices,
+                        b.time,
+                        b.memory,
+                    )
+                    .with_deps(deps)
+                    .with_flops(b.flops)
+                    .with_output_bytes(b.output_bytes),
+                )
                 .expect("canonical blocks are valid by construction");
         }
         let placement = builder
             .build()
             .expect("canonical order is topological by construction");
 
-        CanonicalPlacement {
-            placement,
-            fingerprint,
-            block_perm,
-            device_perm,
-        }
+        (
+            CanonicalPlacement {
+                placement,
+                fingerprint,
+                block_perm: best.block_perm,
+                device_perm: best.device_perm,
+            },
+            stats,
+        )
+    }
+
+    /// Computes the canonical form of this placement via the exact
+    /// individualisation-refinement search: blocks reordered into a canonical
+    /// topological order, devices relabeled canonically, and the stable
+    /// [`Fingerprint`] of the result. Invariant under device relabeling and
+    /// block reordering; distinct for non-isomorphic placements.
+    #[must_use]
+    pub fn canonicalize(&self) -> CanonicalPlacement {
+        self.canonical_search(true).0
+    }
+
+    /// [`PlacementSpec::canonicalize`] plus the search statistics.
+    #[must_use]
+    pub fn canonicalize_with_stats(&self) -> (CanonicalPlacement, CanonStats) {
+        self.canonical_search(true)
+    }
+
+    /// The canonical search with automorphism and best-leaf pruning disabled:
+    /// every leaf of the individualisation-refinement tree is evaluated.
+    /// Produces the identical canonical form (both searches minimise the same
+    /// objective over the same tree) at brute-force cost — exposed so the
+    /// pruning-soundness tests can compare against it.
+    #[must_use]
+    pub fn canonicalize_unpruned(&self) -> (CanonicalPlacement, CanonStats) {
+        self.canonical_search(false)
     }
 
     /// The stable 64-bit fingerprint of this placement's canonical form.
@@ -435,6 +816,50 @@ impl PlacementSpec {
     #[must_use]
     pub fn fingerprint(&self) -> Fingerprint {
         self.canonicalize().fingerprint
+    }
+
+    /// The colour-refinement-strength (1-WL) fingerprint: a hash of the
+    /// stable refined colouring's multiset plus the global attributes, with
+    /// no individualisation search. This is the identity strength of the
+    /// first-generation fingerprint — placements that WL cannot distinguish
+    /// (e.g. CFI-style gadget pairs) collide here while
+    /// [`PlacementSpec::fingerprint`] separates them. Retained as the
+    /// baseline for the differential test battery and as a cheap
+    /// pre-filter.
+    #[must_use]
+    pub fn wl_fingerprint(&self) -> Fingerprint {
+        let depths = block_depths(self);
+        let dependents: Vec<Vec<usize>> =
+            (0..self.num_blocks()).map(|i| self.dependents(i)).collect();
+        let mut col = initial_colouring(self, &depths);
+        let mut scratch = Vec::new();
+        refine_stable(self, &dependents, &mut col, &mut scratch);
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        h = fnv_word(h, self.num_devices() as u64);
+        match self.memory_capacity() {
+            Some(cap) => {
+                h = fnv_word(h, 1);
+                h = fnv_word(h, i64_word(cap));
+            }
+            None => h = fnv_word(h, 0),
+        }
+        h = fnv_word(h, self.num_blocks() as u64);
+        let mut blocks: Vec<u64> = col
+            .blocks
+            .iter()
+            .zip(&depths)
+            .map(|(&c, &d)| mix(d as u64, c))
+            .collect();
+        blocks.sort_unstable();
+        for w in blocks {
+            h = fnv_word(h, w);
+        }
+        let mut devices = col.devices;
+        devices.sort_unstable();
+        for w in devices {
+            h = fnv_word(h, w);
+        }
+        Fingerprint(h)
     }
 
     /// Returns a structurally identical copy with devices relabeled through
@@ -675,5 +1100,61 @@ mod tests {
         assert!(p.permuted(&[0, 1], &[0, 0, 1, 2]).is_err());
         // Non-topological order: b0 before its dependency b1.
         assert!(p.permuted(&[0, 1], &[3, 2, 1, 0]).is_err());
+    }
+
+    #[test]
+    fn attribute_rich_placements_discretize_at_the_root() {
+        // A pipeline chain has no symmetry: refinement alone separates every
+        // vertex and the search evaluates exactly one leaf.
+        let (_, stats) = v_shape(4).canonicalize_with_stats();
+        assert_eq!(stats.leaves, 1, "chain should refine to a single leaf");
+        assert_eq!(stats.nodes, 1);
+    }
+
+    #[test]
+    fn wl_fingerprint_is_relabeling_invariant() {
+        let p = v_shape(4);
+        let permuted = p
+            .permuted(&[3, 1, 0, 2], &(0..p.num_blocks()).collect::<Vec<_>>())
+            .unwrap();
+        assert_eq!(p.wl_fingerprint(), permuted.wl_fingerprint());
+        // WL separates the shapes WL can see apart.
+        assert_ne!(v_shape(3).wl_fingerprint(), v_shape(4).wl_fingerprint());
+    }
+
+    #[test]
+    fn symmetric_placements_prune_with_automorphisms() {
+        // Three cost-identical independent chains: any chain permutation is
+        // an automorphism, so the pruned search must explore fewer leaves
+        // than the unpruned one (which walks all 3! chain orderings) and
+        // still find the same form.
+        let mut b = PlacementSpec::builder("triplet-chains", 6);
+        for chain in 0..3usize {
+            let mut prev: Option<usize> = None;
+            for step in 0..2usize {
+                let deps: Vec<usize> = prev.into_iter().collect();
+                prev = Some(
+                    b.add_block(
+                        format!("c{chain}s{step}"),
+                        BlockKind::Forward,
+                        [chain * 2 + step],
+                        5,
+                        1,
+                        deps,
+                    )
+                    .unwrap(),
+                );
+            }
+        }
+        let p = b.build().unwrap();
+        let (pruned, pruned_stats) = p.canonicalize_with_stats();
+        let (unpruned, unpruned_stats) = p.canonicalize_unpruned();
+        assert_eq!(pruned.fingerprint, unpruned.fingerprint);
+        assert_eq!(pruned.placement, unpruned.placement);
+        assert!(pruned_stats.automorphisms > 0, "{pruned_stats:?}");
+        assert!(
+            pruned_stats.leaves < unpruned_stats.leaves,
+            "pruned {pruned_stats:?} vs unpruned {unpruned_stats:?}"
+        );
     }
 }

@@ -74,8 +74,11 @@ pub struct CachedSearch {
     pub fingerprint: Fingerprint,
     /// Parameters the search ran with.
     pub params: CacheParams,
-    /// The canonical placement (kept to rule out fingerprint collisions and
-    /// to serve the inspect endpoint).
+    /// The canonical placement. Kept *locally* to translate the schedule into
+    /// a requester's labeling and to back `--paranoid-fingerprints`
+    /// re-verification; the exact canonical labeling makes fingerprint
+    /// equality trustworthy, so remote cache hits no longer ship it (see
+    /// [`crate::wire::WireSearchEntry`]).
     pub canonical_placement: PlacementSpec,
     /// The composed schedule, in canonical labeling.
     pub schedule: Schedule,

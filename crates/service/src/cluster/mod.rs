@@ -7,9 +7,12 @@
 //!
 //! * Every fingerprint has one **owner** daemon. A local cache miss on a
 //!   non-owner consults the owner (`GET /v1/cache/{fp}` over the keep-alive
-//!   [`crate::HttpClient`]) before solving; a hit comes back in canonical
-//!   labeling and is translated into the requester's labeling exactly like a
-//!   local hit, then cached locally so the next identical request is local.
+//!   [`crate::HttpClient`]) before solving; a hit comes back **slim** — the
+//!   exact canonical labeling makes fingerprint equality trustworthy, so the
+//!   owner ships only the canonical-labeled schedule, the requester pairs it
+//!   with its *own* canonical placement and translates it into its labeling
+//!   exactly like a local hit, then caches it locally so the next identical
+//!   request is local.
 //! * A node that solves a placement it does not own **replicates** the entry
 //!   to the owner asynchronously ([`replicate`]) — the requester never waits.
 //! * On startup a node **warms** itself by streaming the entries it owns from
@@ -29,7 +32,7 @@ pub mod ring;
 
 use crate::cache::{CacheParams, CachedSearch};
 pub use crate::metrics::{ClusterMetrics, ClusterSnapshot};
-use crate::wire::{CacheExchange, ClusterStatusResponse, OwnerInfo};
+use crate::wire::{CacheExchange, ClusterStatusResponse, OwnerInfo, WireSearchEntry};
 use peers::{PeerConfig, PeerSet};
 use replicate::Replicator;
 use ring::HashRing;
@@ -189,10 +192,12 @@ impl Cluster {
     /// when a remote daemon owns it, fetches the entry from the owner.
     ///
     /// A returned [`RemoteFetch::Hit`] has already been validated: the
-    /// fingerprint, parameters and canonical placement match the request
-    /// (the same collision guard the local cache applies) and the schedule
-    /// validates against the placement, so a confused or corrupted peer can
-    /// never inject a bogus schedule.
+    /// fingerprint and parameters match the request, and — because the
+    /// exact canonical labeling makes fingerprint equality trustworthy —
+    /// the slim wire entry (no placement shipped) is adopted against the
+    /// *requester's own* canonical placement. The remote schedule must
+    /// validate against that local placement, so a confused or corrupted
+    /// peer can never inject a bogus schedule.
     #[must_use]
     pub fn fetch_from_owner(
         &self,
@@ -222,13 +227,12 @@ impl Cluster {
                     let usable = exchange.entries.into_iter().find(|entry| {
                         entry.fingerprint == fingerprint
                             && entry.params == *params
-                            && entry.canonical_placement == canon.placement
-                            && entry.schedule.validate(&entry.canonical_placement).is_ok()
+                            && entry.schedule.validate(&canon.placement).is_ok()
                     });
                     match usable {
                         Some(entry) => {
                             self.metrics.remote_hits.fetch_add(1, Ordering::Relaxed);
-                            RemoteFetch::Hit(Arc::new(entry))
+                            RemoteFetch::Hit(Arc::new(entry.into_cached(canon.placement.clone())))
                         }
                         None => {
                             // The owner has the fingerprint but not these
@@ -266,9 +270,14 @@ impl Cluster {
     }
 
     /// Streams this node's ring-owned entries from every peer (startup
-    /// warm-up), handing each validated entry to `insert`. Returns how many
-    /// entries were warmed.
-    pub fn warm_from_peers(&self, mut insert: impl FnMut(CachedSearch)) -> usize {
+    /// warm-up), handing each full wire entry to `adopt` along with the
+    /// fingerprint the exchange claims for it. The caller validates and
+    /// inserts (same bar as `PUT /v1/cache/{fp}`) and returns whether the
+    /// entry was adopted. Returns how many entries were warmed.
+    pub fn warm_from_peers(
+        &self,
+        mut adopt: impl FnMut(Fingerprint, WireSearchEntry) -> bool,
+    ) -> usize {
         let path = format!("/v1/cluster/export/{}", self.config.node_id);
         // One trace ID spans the whole warm-up sweep, so every peer's export
         // request (and flight-recorder entry) correlates to this startup.
@@ -293,21 +302,7 @@ impl Cluster {
             };
             for exchange in exchanges {
                 for entry in exchange.entries {
-                    // Verify, then adopt — same bar as `PUT /v1/cache/{fp}`:
-                    // the embedded placement must re-canonicalize to exactly
-                    // the claimed fingerprint, so a confused peer cannot
-                    // seed this cache (and its journal) with mislabeled
-                    // entries.
-                    let valid = entry.fingerprint == exchange.fingerprint
-                        && self.owns(entry.fingerprint)
-                        && entry.params.num_micro_batches > 0
-                        && entry.params.max_repetend_micro_batches > 0
-                        && entry.canonical_placement.validate().is_ok()
-                        && entry.canonical_placement.canonicalize().fingerprint
-                            == entry.fingerprint
-                        && entry.schedule.validate(&entry.canonical_placement).is_ok();
-                    if valid {
-                        insert(entry);
+                    if adopt(exchange.fingerprint, entry) {
                         warmed += 1;
                     }
                 }

@@ -12,7 +12,7 @@
 use super::ring::HashRing;
 use super::{peers::PeerSet, ClusterMetrics};
 use crate::cache::CachedSearch;
-use crate::wire::CacheExchange;
+use crate::wire::{CacheExchange, WireSearchEntry};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
@@ -57,9 +57,13 @@ impl Replicator {
                     // with shutdown is harmless — just skip.
                     continue;
                 };
+                // Replication ships the *full* entry (placement included):
+                // unlike a remote hit, the owner has no local canonical
+                // placement to pair a slim entry with, and a paranoid owner
+                // re-canonicalizes the shipped placement before adopting.
                 let exchange = CacheExchange {
                     fingerprint: job.fingerprint,
-                    entries: vec![(*job.entry).clone()],
+                    entries: vec![WireSearchEntry::full(&job.entry)],
                 };
                 let body = match serde_json::to_string(&exchange) {
                     Ok(body) => body,

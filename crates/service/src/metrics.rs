@@ -86,6 +86,10 @@ pub struct ServiceMetrics {
     /// Finish vectors the solver's bounded-probe dominance table declined to
     /// memoise.
     pub solver_memo_drops: AtomicU64,
+    /// Canonical-form mismatches caught by `--paranoid-fingerprints` that
+    /// trusted fingerprint equality would have accepted. Any nonzero value
+    /// means the exact canonical labeling broke its contract.
+    pub fingerprint_paranoia_mismatches: AtomicU64,
     latency_buckets: [AtomicU64; BUCKETS],
     /// Request-duration histograms, one per [`ENDPOINT_LABELS`] entry.
     endpoint_durations: [Histogram; ENDPOINT_LABELS.len()],
@@ -134,6 +138,10 @@ pub struct MetricsSnapshot {
     /// memoise.
     #[serde(default)]
     pub solver_memo_drops: u64,
+    /// Canonical-form mismatches caught by `--paranoid-fingerprints` that
+    /// trusted fingerprint equality would have accepted.
+    #[serde(default)]
+    pub fingerprint_paranoia_mismatches: u64,
     /// Cache hit rate over all completed requests (0 when idle).
     pub hit_rate: f64,
     /// Entries currently cached.
@@ -165,6 +173,7 @@ impl Default for ServiceMetrics {
             solver_cas_retries: AtomicU64::new(0),
             solver_steal_failures: AtomicU64::new(0),
             solver_memo_drops: AtomicU64::new(0),
+            fingerprint_paranoia_mismatches: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             endpoint_durations: std::array::from_fn(|_| Histogram::new()),
             stage_durations: std::array::from_fn(|_| Histogram::new()),
@@ -331,6 +340,9 @@ impl ServiceMetrics {
             solver_cas_retries: self.solver_cas_retries.load(Ordering::Relaxed),
             solver_steal_failures: self.solver_steal_failures.load(Ordering::Relaxed),
             solver_memo_drops: self.solver_memo_drops.load(Ordering::Relaxed),
+            fingerprint_paranoia_mismatches: self
+                .fingerprint_paranoia_mismatches
+                .load(Ordering::Relaxed),
             hit_rate: if served == 0 {
                 0.0
             } else {
@@ -438,6 +450,11 @@ impl MetricsSnapshot {
             "solver_memo_drops_total",
             "Finish vectors the bounded-probe dominance table declined to memoise.",
             self.solver_memo_drops as f64,
+        );
+        counter(
+            "fingerprint_paranoia_mismatches_total",
+            "Canonical-form mismatches caught by --paranoid-fingerprints that trusted fingerprint equality would have accepted.",
+            self.fingerprint_paranoia_mismatches as f64,
         );
         counter("cache_hit_rate", "Cache hit rate.", self.hit_rate);
         counter(

@@ -25,7 +25,7 @@ use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::singleflight::{Joined, SingleFlight};
 use crate::wire::{
     CacheEntryInfo, CacheExchange, ClusterStatusResponse, DebugRequestsResponse, InspectResponse,
-    ReplicationAck, SearchRequest, SearchResponse,
+    ReplicationAck, SearchRequest, SearchResponse, WireSearchEntry,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -133,6 +133,13 @@ pub struct ServiceConfig {
     pub journal_compact_every: usize,
     /// Cluster membership; `None` runs the daemon standalone.
     pub cluster: Option<ClusterConfig>,
+    /// Distrust fingerprint equality: re-compare full canonical forms on
+    /// cache lookups and re-canonicalize replicated/warmed entries, counting
+    /// every mismatch trusted mode would have accepted in
+    /// `tessel_fingerprint_paranoia_mismatches_total`. The exact canonical
+    /// labeling makes this redundant; the flag is the escape hatch that
+    /// proves it.
+    pub paranoid_fingerprints: bool,
 }
 
 impl Default for ServiceConfig {
@@ -153,6 +160,7 @@ impl Default for ServiceConfig {
             default_deadline: Some(Duration::from_secs(60)),
             journal_compact_every: 64,
             cluster: None,
+            paranoid_fingerprints: false,
         }
     }
 }
@@ -449,8 +457,12 @@ impl ScheduleService {
         }
     }
 
-    /// Cache lookup guarded against key collisions: the stored canonical
-    /// placement *and* the stored parameters must match the request's.
+    /// Cache lookup trusting fingerprint equality: the exact canonical
+    /// labeling guarantees equal fingerprints mean equal canonical forms, so
+    /// only the stored parameters are re-checked. Under
+    /// `--paranoid-fingerprints` the full canonical-placement comparison is
+    /// reinstated; a mismatch counts in
+    /// `tessel_fingerprint_paranoia_mismatches_total` and degrades to a miss.
     fn cache_lookup(
         &self,
         key: CacheKey,
@@ -458,7 +470,21 @@ impl ScheduleService {
         params: &CacheParams,
     ) -> Option<Arc<CachedSearch>> {
         let entry = self.cache.get(key)?;
-        (entry.params == *params && entry.canonical_placement == canon.placement).then_some(entry)
+        if entry.params != *params || entry.fingerprint != canon.fingerprint {
+            return None;
+        }
+        if self.config.paranoid_fingerprints && entry.canonical_placement != canon.placement {
+            self.metrics
+                .fingerprint_paranoia_mismatches
+                .fetch_add(1, Ordering::Relaxed);
+            tessel_obs::warn(
+                "cache",
+                "fingerprint paranoia: canonical form mismatch on lookup",
+                &[("fingerprint", &canon.fingerprint.to_string())],
+            );
+            return None;
+        }
+        Some(entry)
     }
 
     /// Consults the ring owner for a locally missed request. A validated
@@ -697,7 +723,9 @@ impl ScheduleService {
     }
 
     /// Every cached entry for `fingerprint`, in canonical labeling
-    /// (`GET /v1/cache/{fingerprint}`).
+    /// (`GET /v1/cache/{fingerprint}`), in the slim wire form: the canonical
+    /// placement stays home — remote fetchers trust fingerprint equality and
+    /// already hold their own canonicalization.
     #[must_use]
     pub fn inspect(&self, fingerprint: Fingerprint) -> InspectResponse {
         InspectResponse {
@@ -705,8 +733,8 @@ impl ScheduleService {
             entries: self
                 .cache
                 .entries_for(fingerprint)
-                .into_iter()
-                .map(|e| (*e).clone())
+                .iter()
+                .map(|e| WireSearchEntry::slim(e))
                 .collect(),
         }
     }
@@ -784,13 +812,65 @@ impl ScheduleService {
         self.cluster.as_ref().map(Cluster::snapshot)
     }
 
+    /// Validates one full wire entry claimed to belong to `fingerprint`
+    /// before adopting it into the local cache (replication and warm-up
+    /// share this bar): this node must own the fingerprint per its own ring,
+    /// the entry must carry a structurally valid canonical placement, the
+    /// schedule must validate against that placement and the parameters must
+    /// be sane. Under `--paranoid-fingerprints` the placement is additionally
+    /// re-canonicalized and must hash to exactly `fingerprint`; a mismatch is
+    /// counted in `tessel_fingerprint_paranoia_mismatches_total` and the
+    /// entry is rejected.
+    fn validate_wire_entry(
+        &self,
+        fingerprint: Fingerprint,
+        entry: &WireSearchEntry,
+    ) -> Option<CachedSearch> {
+        let owns = self
+            .cluster
+            .as_ref()
+            .is_some_and(|cluster| cluster.owns(fingerprint));
+        let placement = entry.canonical_placement.as_ref()?;
+        let structurally_valid = owns
+            && entry.fingerprint == fingerprint
+            && placement.validate().is_ok()
+            && entry.schedule.validate(placement).is_ok()
+            && entry.params.num_micro_batches > 0
+            && entry.params.max_repetend_micro_batches > 0;
+        if !structurally_valid {
+            return None;
+        }
+        if self.config.paranoid_fingerprints {
+            let actual = placement.canonicalize().fingerprint;
+            if actual != fingerprint {
+                self.metrics
+                    .fingerprint_paranoia_mismatches
+                    .fetch_add(1, Ordering::Relaxed);
+                tessel_obs::warn(
+                    "cluster",
+                    "fingerprint paranoia: shipped placement does not re-canonicalize to its claimed fingerprint",
+                    &[
+                        ("claimed", &fingerprint.to_string()),
+                        ("actual", &actual.to_string()),
+                    ],
+                );
+                return None;
+            }
+        }
+        Some(entry.clone().into_cached(placement.clone()))
+    }
+
     /// Accepts entries replicated by a non-owner daemon
-    /// (`PUT /v1/cache/{fp}`). Each entry is re-validated from scratch — the
-    /// fingerprint must be one this node owns per its own ring, the
-    /// canonical placement must re-canonicalize to exactly `fingerprint` and
-    /// the schedule must validate against it — so a confused peer (or a
-    /// fleet misconfigured with divergent `--peer` lists) can never poison
-    /// this cache or park entries where no warm-up will ever find them.
+    /// (`PUT /v1/cache/{fp}`). Each entry is validated — the fingerprint must
+    /// be one this node owns per its own ring, the shipped canonical
+    /// placement must be structurally valid and the schedule must validate
+    /// against it — so a confused peer (or a fleet misconfigured with
+    /// divergent `--peer` lists) can never poison this cache or park entries
+    /// where no warm-up will ever find them. The expensive
+    /// re-canonicalization ("does the placement really hash to
+    /// `fingerprint`?") runs only under `--paranoid-fingerprints`; trusted
+    /// mode relies on the exact canonical labeling, and any paranoid
+    /// mismatch counts in `tessel_fingerprint_paranoia_mismatches_total`.
     #[must_use]
     pub fn accept_replication(
         &self,
@@ -801,27 +881,18 @@ impl ScheduleService {
             accepted: 0,
             rejected: 0,
         };
-        let owns = self
-            .cluster
-            .as_ref()
-            .is_some_and(|cluster| cluster.owns(fingerprint));
         for entry in &exchange.entries {
-            let valid = owns
-                && entry.fingerprint == fingerprint
-                && exchange.fingerprint == fingerprint
-                && entry.canonical_placement.validate().is_ok()
-                && entry.canonical_placement.canonicalize().fingerprint == fingerprint
-                && entry.schedule.validate(&entry.canonical_placement).is_ok()
-                && entry.params.num_micro_batches > 0
-                && entry.params.max_repetend_micro_batches > 0;
-            if !valid {
+            let cached = (exchange.fingerprint == fingerprint)
+                .then(|| self.validate_wire_entry(fingerprint, entry))
+                .flatten();
+            let Some(cached) = cached else {
                 ack.rejected += 1;
                 continue;
-            }
-            let key = CacheKey::new(fingerprint, &entry.params);
-            let entry = Arc::new(entry.clone());
-            self.cache.insert(key, entry.clone());
-            self.persist_insert(key, &entry);
+            };
+            let key = CacheKey::new(fingerprint, &cached.params);
+            let cached = Arc::new(cached);
+            self.cache.insert(key, cached.clone());
+            self.persist_insert(key, &cached);
             ack.accepted += 1;
         }
         if let Some(cluster) = &self.cluster {
@@ -848,14 +919,16 @@ impl ScheduleService {
         if !cluster.ring().nodes().iter().any(|n| n == node_id) {
             return None;
         }
-        let mut by_fingerprint: std::collections::BTreeMap<u64, Vec<CachedSearch>> =
+        let mut by_fingerprint: std::collections::BTreeMap<u64, Vec<WireSearchEntry>> =
             std::collections::BTreeMap::new();
         for (_key, entry) in self.cache.export() {
             if cluster.ring().owner_of(entry.fingerprint) == node_id {
+                // Full form: the warm-up receiver may be paranoid and want to
+                // re-canonicalize the placement.
                 by_fingerprint
                     .entry(entry.fingerprint.0)
                     .or_default()
-                    .push((*entry).clone());
+                    .push(WireSearchEntry::full(&entry));
             }
         }
         Some(
@@ -877,11 +950,15 @@ impl ScheduleService {
         let Some(cluster) = &self.cluster else {
             return 0;
         };
-        cluster.warm_from_peers(|entry| {
-            let key = CacheKey::new(entry.fingerprint, &entry.params);
-            let entry = Arc::new(entry);
-            self.cache.insert(key, entry.clone());
-            self.persist_insert(key, &entry);
+        cluster.warm_from_peers(|fingerprint, entry| {
+            let Some(cached) = self.validate_wire_entry(fingerprint, &entry) else {
+                return false;
+            };
+            let key = CacheKey::new(cached.fingerprint, &cached.params);
+            let cached = Arc::new(cached);
+            self.cache.insert(key, cached.clone());
+            self.persist_insert(key, &cached);
+            true
         })
     }
 }
@@ -1167,13 +1244,14 @@ mod tests {
         let entries: Vec<_> = service
             .cache_entries()
             .iter()
-            .map(|row| service.inspect(row.fingerprint).entries[0].clone())
+            .flat_map(|row| service.cache.entries_for(row.fingerprint))
             .collect();
         for entry in entries {
             let fp = entry.fingerprint;
+            // Replication PUTs carry the full entry, placement included.
             let exchange = CacheExchange {
                 fingerprint: fp,
-                entries: vec![entry],
+                entries: vec![WireSearchEntry::full(&entry)],
             };
             let ack = service.accept_replication(fp, &exchange);
             if cluster.owns(fp) {

@@ -4,11 +4,13 @@
 //! responses serialize every field, deterministically, so identical cached
 //! results render to byte-identical JSON.
 
+use crate::cache::{CacheParams, CachedSearch};
 use serde::{field, field_or_null, Deserialize, Error as SerdeError, Serialize, Value};
 use tessel_core::fingerprint::Fingerprint;
 use tessel_core::ir::PlacementSpec;
 use tessel_core::schedule::Schedule;
 use tessel_runtime::metrics::UtilizationSummary;
+use tessel_solver::SolverTotals;
 
 /// A `POST /v1/search` request body.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,14 +142,145 @@ pub struct CacheEntryInfo {
     pub search_millis: u64,
 }
 
+/// One cache entry as it crosses the wire between daemons (and as the
+/// inspect endpoint serves it): a [`CachedSearch`] whose canonical placement
+/// is **optional** and omitted from the JSON entirely when absent.
+///
+/// Since the exact canonical labeling landed, fingerprint equality is trusted
+/// across the cache tiers, so `GET /v1/cache/{fp}` responses (remote cache
+/// hits) no longer ship the canonical placement at all — the fetching daemon
+/// already holds its own canonicalization of the same fingerprint.
+/// Replication `PUT`s and warm-up exports still include the placement so the
+/// accepting daemon can re-canonicalize it in `--paranoid-fingerprints` mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireSearchEntry {
+    /// Canonical fingerprint of the placement.
+    pub fingerprint: Fingerprint,
+    /// Parameters the search ran with.
+    pub params: CacheParams,
+    /// The canonical placement; `None` on the slim remote-hit path.
+    pub canonical_placement: Option<PlacementSpec>,
+    /// The composed schedule, in canonical labeling.
+    pub schedule: Schedule,
+    /// Winning repetend period `t_R`.
+    pub period: u64,
+    /// `NR` of the winning repetend.
+    pub repetend_micro_batches: usize,
+    /// Steady-state bubble rate of the repetend.
+    pub bubble_rate: f64,
+    /// Simulated per-device utilization, in canonical labeling.
+    pub utilization: UtilizationSummary,
+    /// Aggregate solver effort of the original search.
+    pub solver: SolverTotals,
+    /// Wall-clock milliseconds the search took.
+    pub search_millis: u64,
+}
+
+impl WireSearchEntry {
+    /// The slim form: everything but the canonical placement. What remote
+    /// cache hits ship.
+    #[must_use]
+    pub fn slim(entry: &CachedSearch) -> Self {
+        let mut wire = Self::full(entry);
+        wire.canonical_placement = None;
+        wire
+    }
+
+    /// The full form, placement included. What replication and warm-up
+    /// exports ship so paranoid receivers can re-canonicalize.
+    #[must_use]
+    pub fn full(entry: &CachedSearch) -> Self {
+        WireSearchEntry {
+            fingerprint: entry.fingerprint,
+            params: entry.params,
+            canonical_placement: Some(entry.canonical_placement.clone()),
+            schedule: entry.schedule.clone(),
+            period: entry.period,
+            repetend_micro_batches: entry.repetend_micro_batches,
+            bubble_rate: entry.bubble_rate,
+            utilization: entry.utilization.clone(),
+            solver: entry.solver,
+            search_millis: entry.search_millis,
+        }
+    }
+
+    /// Rebuilds a local cache entry, supplying the canonical placement the
+    /// wire omitted (the receiver's own canonicalization on the trusted
+    /// remote-hit path, or the shipped one on the replication path).
+    #[must_use]
+    pub fn into_cached(self, canonical_placement: PlacementSpec) -> CachedSearch {
+        CachedSearch {
+            fingerprint: self.fingerprint,
+            params: self.params,
+            canonical_placement,
+            schedule: self.schedule,
+            period: self.period,
+            repetend_micro_batches: self.repetend_micro_batches,
+            bubble_rate: self.bubble_rate,
+            utilization: self.utilization,
+            solver: self.solver,
+            search_millis: self.search_millis,
+        }
+    }
+}
+
+impl Serialize for WireSearchEntry {
+    fn to_value(&self) -> Value {
+        let mut map: Vec<(String, Value)> = vec![
+            ("fingerprint".into(), self.fingerprint.to_value()),
+            ("params".into(), self.params.to_value()),
+        ];
+        if let Some(placement) = &self.canonical_placement {
+            map.push(("canonical_placement".into(), placement.to_value()));
+        }
+        map.extend([
+            ("schedule".into(), self.schedule.to_value()),
+            ("period".into(), self.period.to_value()),
+            (
+                "repetend_micro_batches".into(),
+                self.repetend_micro_batches.to_value(),
+            ),
+            ("bubble_rate".into(), self.bubble_rate.to_value()),
+            ("utilization".into(), self.utilization.to_value()),
+            ("solver".into(), self.solver.to_value()),
+            ("search_millis".into(), self.search_millis.to_value()),
+        ]);
+        Value::Map(map)
+    }
+}
+
+impl Deserialize for WireSearchEntry {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let map = value
+            .as_map()
+            .ok_or_else(|| SerdeError::custom("expected object for WireSearchEntry"))?;
+        Ok(WireSearchEntry {
+            fingerprint: Fingerprint::from_value(field(map, "fingerprint")?)?,
+            params: CacheParams::from_value(field(map, "params")?)?,
+            canonical_placement: Deserialize::from_value(field_or_null(
+                map,
+                "canonical_placement",
+            ))?,
+            schedule: Schedule::from_value(field(map, "schedule")?)?,
+            period: Deserialize::from_value(field(map, "period")?)?,
+            repetend_micro_batches: Deserialize::from_value(field(map, "repetend_micro_batches")?)?,
+            bubble_rate: Deserialize::from_value(field(map, "bubble_rate")?)?,
+            utilization: UtilizationSummary::from_value(field(map, "utilization")?)?,
+            solver: SolverTotals::from_value(field(map, "solver")?)?,
+            search_millis: Deserialize::from_value(field(map, "search_millis")?)?,
+        })
+    }
+}
+
 /// A `GET /v1/cache/{fingerprint}` response body: every cached entry for the
-/// fingerprint (one per parameter combination), in canonical labeling.
+/// fingerprint (one per parameter combination), in canonical labeling —
+/// **without** the canonical placement (trusted-fingerprint slim form).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InspectResponse {
     /// The fingerprint that was looked up.
     pub fingerprint: Fingerprint,
-    /// Cached entries, most recently used first.
-    pub entries: Vec<crate::cache::CachedSearch>,
+    /// Cached entries, most recently used first, in slim wire form.
+    pub entries: Vec<WireSearchEntry>,
 }
 
 /// The cluster cache-exchange document: every cached entry of one canonical
@@ -156,17 +289,18 @@ pub struct InspectResponse {
 ///
 /// This is the wire format of the **internal** cluster endpoints: the body a
 /// non-owner daemon `PUT`s to `/v1/cache/{fp}` when replicating a locally
-/// solved entry to its ring owner, the shape a remote-fetching daemon parses
-/// back from `GET /v1/cache/{fp}` (the public inspect response serializes to
-/// exactly this layout), and the element type of the warm-up export
+/// solved entry to its ring owner (full entries, placement included), the
+/// shape a remote-fetching daemon parses back from `GET /v1/cache/{fp}`
+/// (slim entries — the public inspect response serializes to exactly this
+/// layout), and the element type of the warm-up export
 /// (`GET /v1/cluster/export/{node}` returns a JSON array of these, one per
-/// fingerprint).
+/// fingerprint, full entries).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CacheExchange {
     /// Canonical fingerprint every entry below belongs to.
     pub fingerprint: Fingerprint,
     /// The entries (one per parameter combination), in canonical labeling.
-    pub entries: Vec<crate::cache::CachedSearch>,
+    pub entries: Vec<WireSearchEntry>,
 }
 
 /// Acknowledgement body of `PUT /v1/cache/{fp}`.

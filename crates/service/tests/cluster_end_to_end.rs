@@ -15,8 +15,11 @@ use std::net::TcpListener;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tessel_core::ir::{BlockKind, PlacementSpec};
+use tessel_service::cache::CacheParams;
 use tessel_service::http::http_call;
-use tessel_service::wire::{SearchRequest, SearchResponse};
+use tessel_service::wire::{
+    CacheExchange, ReplicationAck, SearchRequest, SearchResponse, WireSearchEntry,
+};
 use tessel_service::{
     ClusterConfig, HashRing, HttpServer, PeerConfig, ScheduleService, ServerConfig, ServiceConfig,
 };
@@ -95,11 +98,21 @@ fn start_node(
     listener: TcpListener,
     peers: Vec<PeerConfig>,
 ) -> (HttpServer, Arc<ScheduleService>) {
+    start_node_with(node_id, listener, peers, false)
+}
+
+fn start_node_with(
+    node_id: &str,
+    listener: TcpListener,
+    peers: Vec<PeerConfig>,
+    paranoid_fingerprints: bool,
+) -> (HttpServer, Arc<ScheduleService>) {
     let service = Arc::new(
         ScheduleService::new(ServiceConfig {
             default_micro_batches: 4,
             default_max_repetend: 3,
             cluster: Some(cluster_config(node_id, peers)),
+            paranoid_fingerprints,
             ..ServiceConfig::default()
         })
         .unwrap(),
@@ -212,6 +225,21 @@ fn fleet_shares_one_logical_cache_and_degrades_without_failures() {
     // Correctly translated: the schedule is valid in the REQUEST's labeling.
     second.schedule.validate(&permuted).unwrap();
     first.schedule.validate(&placement).unwrap();
+
+    // The wire payload is SLIM: the owner's `GET /v1/cache/{fp}` body — the
+    // exact bytes the remote hit consumed — carries no canonical placement
+    // (no key, no block lists), only the canonical-labeled schedule.
+    let (status, raw) =
+        http_call(&addr_a, "GET", &format!("/v1/cache/{fingerprint}"), None).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        !raw.contains("canonical_placement"),
+        "remote hits must not ship the canonical placement: {raw}"
+    );
+    assert!(
+        !raw.contains("\"deps\""),
+        "remote hits must not ship placement blocks: {raw}"
+    );
 
     let metrics_b = metrics_text(&addr_b);
     assert_eq!(
@@ -330,4 +358,225 @@ fn fleet_shares_one_logical_cache_and_degrades_without_failures() {
     );
 
     server_b.shutdown();
+}
+
+/// PUTs one exchange to `addr` and returns the owner's ack (the route
+/// answers 200 when anything was accepted, 400 with the same ack body when
+/// every entry was rejected).
+fn put_replication(addr: &str, exchange: &CacheExchange) -> ReplicationAck {
+    let body = serde_json::to_string(exchange).unwrap();
+    let path = format!("/v1/cache/{}", exchange.fingerprint);
+    let (status, response) = http_call(addr, "PUT", &path, Some(&body)).unwrap();
+    assert!(status == 200 || status == 400, "{status}: {response}");
+    serde_json::from_str(&response).unwrap()
+}
+
+/// A full wire entry built from a search of `canon_placement` ITSELF — the
+/// request labeling then *is* canonical labeling, so the schedule slots
+/// straight into a replication payload.
+fn full_entry_from_search(
+    fingerprint: tessel_core::fingerprint::Fingerprint,
+    canon_placement: &PlacementSpec,
+    response: &SearchResponse,
+) -> WireSearchEntry {
+    WireSearchEntry {
+        fingerprint,
+        params: CacheParams {
+            num_micro_batches: response.num_micro_batches,
+            max_repetend_micro_batches: 3,
+        },
+        canonical_placement: Some(canon_placement.clone()),
+        schedule: response.schedule.clone(),
+        period: response.period,
+        repetend_micro_batches: response.repetend_micro_batches,
+        bubble_rate: response.bubble_rate,
+        utilization: response.utilization.clone(),
+        solver: tessel_solver::SolverTotals::default(),
+        search_millis: response.search_millis,
+    }
+}
+
+/// With `--paranoid-fingerprints` on every node the fleet still round-trips:
+/// remote hits, replication and warm-up all succeed, and the paranoia
+/// counter stays at zero — the exact labeling gives it nothing to catch. A
+/// poisoned replication payload (a *consistent* entry whose placement simply
+/// is not the claimed fingerprint's placement) passes every structural check
+/// and is caught ONLY by paranoid re-canonicalization.
+#[test]
+fn paranoid_mode_round_trips_and_catches_mislabeled_replication() {
+    let listener_a = TcpListener::bind("127.0.0.1:0").unwrap();
+    let listener_b = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr_a = listener_a.local_addr().unwrap().to_string();
+    let addr_b = listener_b.local_addr().unwrap().to_string();
+    let placement = v_shape(3);
+    let fingerprint = placement.canonicalize().fingerprint;
+    let ring = HashRing::new(["alpha", "beta"], VNODES);
+    let (id_a, id_b) = if ring.owner_of(fingerprint) == "alpha" {
+        ("alpha", "beta")
+    } else {
+        ("beta", "alpha")
+    };
+    let (server_a, service_a) = start_node_with(
+        id_a,
+        listener_a,
+        vec![PeerConfig {
+            node_id: id_b.into(),
+            addr: addr_b.clone(),
+        }],
+        true,
+    );
+    let (server_b, _service_b) = start_node_with(
+        id_b,
+        listener_b,
+        vec![PeerConfig {
+            node_id: id_a.into(),
+            addr: addr_a.clone(),
+        }],
+        true,
+    );
+    assert!(service_a.cluster().unwrap().owns(fingerprint));
+
+    // Remote hit: solve on the owner, fetch a relabeled variant via the peer.
+    let (_, first) = post_search(&addr_a, &placement);
+    assert!(!first.cached);
+    let order: Vec<usize> = (0..placement.num_blocks()).collect();
+    let permuted = placement.permuted(&[2, 0, 1], &order).unwrap();
+    let (_, second) = post_search(&addr_b, &permuted);
+    assert!(second.cached, "paranoid remote hit must still hit");
+    assert_eq!(second.period, first.period);
+    second.schedule.validate(&permuted).unwrap();
+
+    // Replication: solve an A-owned placement on B, owner adopts it.
+    let (_, chain_a) = chain_owned_by(&HashRing::new([id_a, id_b], VNODES), id_a, 1);
+    let chain_a_fp = chain_a.canonicalize().fingerprint;
+    post_search(&addr_b, &chain_a);
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            let (status, _) =
+                http_call(&addr_a, "GET", &format!("/v1/cache/{chain_a_fp}"), None).unwrap();
+            status == 200
+        }),
+        "paranoid owner never accepted the replicated entry"
+    );
+
+    // A local re-request of the adopted entries exercises the paranoid
+    // lookup path (canonical-form re-comparison) — still a hit.
+    let (_, again) = post_search(&addr_b, &permuted);
+    assert!(again.cached);
+
+    for addr in [&addr_a, &addr_b] {
+        assert_eq!(
+            metric_value(
+                &metrics_text(addr),
+                "tessel_fingerprint_paranoia_mismatches_total"
+            ),
+            0,
+            "honest traffic must not trip the paranoia counter"
+        );
+    }
+
+    // Poison: claim fingerprint F (owned by A) for an entry whose placement
+    // and schedule really belong to a DIFFERENT chain G. Every structural
+    // check passes — only re-canonicalization exposes the lie.
+    let ring_ab = HashRing::new([id_a, id_b], VNODES);
+    let (tag_f, chain_f) = chain_owned_by(&ring_ab, id_a, 50);
+    let fp_f = chain_f.canonicalize().fingerprint;
+    let canon_g = chain_owned_by(&ring_ab, id_a, tag_f + 1).1.canonicalize();
+    let (_, solved_g) = post_search(&addr_b, &canon_g.placement);
+    let poisoned = full_entry_from_search(fp_f, &canon_g.placement, &solved_g);
+    let ack = put_replication(
+        &addr_a,
+        &CacheExchange {
+            fingerprint: fp_f,
+            entries: vec![poisoned],
+        },
+    );
+    assert_eq!(
+        (ack.accepted, ack.rejected),
+        (0, 1),
+        "poisoned entry adopted"
+    );
+    assert_eq!(
+        metric_value(
+            &metrics_text(&addr_a),
+            "tessel_fingerprint_paranoia_mismatches_total"
+        ),
+        1,
+        "the catch must be visible in the paranoia metric"
+    );
+
+    server_a.shutdown();
+    server_b.shutdown();
+}
+
+/// Corrupted replication payloads are rejected by structural validation in
+/// DEFAULT mode (no paranoia needed): a slim entry with no placement, an
+/// entry whose inner fingerprint contradicts the exchange, and a tampered
+/// schedule that does not validate against the shipped placement.
+#[test]
+fn corrupted_replication_payloads_are_rejected() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    // A single-member ring owns every fingerprint, so ownership never gets
+    // in the way of the corruption checks.
+    let (server, _service) = start_node("solo", listener, Vec::new());
+
+    let canon = chain_shape(7).canonicalize();
+    let fp = canon.fingerprint;
+    let (_, solved) = post_search(&addr, &canon.placement);
+    let valid = full_entry_from_search(fp, &canon.placement, &solved);
+
+    // Sanity: the hand-built full entry passes the same validation gate.
+    let ack = put_replication(
+        &addr,
+        &CacheExchange {
+            fingerprint: fp,
+            entries: vec![valid.clone()],
+        },
+    );
+    assert_eq!((ack.accepted, ack.rejected), (1, 0), "valid entry rejected");
+
+    // Corruption 1: a slim entry (placement stripped) on the PUT path — the
+    // owner has nothing to validate the schedule against, so it must reject.
+    let mut slim = valid.clone();
+    slim.canonical_placement = None;
+    // Corruption 2: the inner fingerprint contradicts the exchange header.
+    let mut mislabeled = valid.clone();
+    mislabeled.fingerprint = tessel_core::fingerprint::Fingerprint(fp.0 ^ 1);
+    // Corruption 3: a tampered schedule — durations from a different chain —
+    // that no longer validates against the shipped placement.
+    let other = chain_shape(8).canonicalize();
+    let (_, other_solved) = post_search(&addr, &other.placement);
+    let mut tampered = valid.clone();
+    tampered.schedule = other_solved.schedule.clone();
+
+    for (what, entry) in [
+        ("slim entry", slim),
+        ("mislabeled fingerprint", mislabeled),
+        ("tampered schedule", tampered),
+    ] {
+        let ack = put_replication(
+            &addr,
+            &CacheExchange {
+                fingerprint: fp,
+                entries: vec![entry],
+            },
+        );
+        assert_eq!(
+            (ack.accepted, ack.rejected),
+            (0, 1),
+            "{what} must be rejected"
+        );
+    }
+    // Rejections never trip the paranoia counter: this node runs in default
+    // mode and structural validation alone caught everything.
+    assert_eq!(
+        metric_value(
+            &metrics_text(&addr),
+            "tessel_fingerprint_paranoia_mismatches_total"
+        ),
+        0
+    );
+
+    server.shutdown();
 }
