@@ -42,6 +42,20 @@
 //! and a collision degrades to a wrong cache hit that schedule validation
 //! rejects). The service keeps a `--paranoid-fingerprints` escape hatch that
 //! re-checks full canonical-form equality and counts any mismatch.
+//!
+//! The search carries a **node budget** ([`DEFAULT_NODE_BUDGET`] unless the
+//! caller picks one): individualisation-refinement is exponential in the
+//! worst case (CFI-style gadgets), and the canonicalization runs on every
+//! service request, so an adversarial placement must not buy unbounded CPU.
+//! Past the budget the search stops branching and descends **greedily** (one
+//! child per node) to a single leaf, setting [`CanonStats::budget_exhausted`].
+//! Greedy completion keeps the hard guarantees asymmetric in the safe
+//! direction: the emitted leaf form is still a faithful serialization of
+//! *this* placement's structure, so two non-isomorphic placements can never
+//! be merged by exhaustion — but two isomorphic ones may **split** into
+//! different fingerprints (the greedy tie-break is no longer
+//! relabeling-invariant), which degrades to a cache miss, never a wrong hit.
+//! The result stays deterministic for byte-identical inputs.
 
 use crate::error::CoreError;
 use crate::ir::{BlockKind, BlockSpec, PlacementSpec};
@@ -148,6 +162,11 @@ pub struct CanonStats {
     pub leaves: u64,
     /// Verified non-identity automorphism generators discovered.
     pub automorphisms: u64,
+    /// `true` when the search hit its node budget and completed greedily.
+    /// The fingerprint is still sound (non-isomorphic placements never
+    /// merge) but isomorphic relabelings of this placement may no longer
+    /// map to the same fingerprint.
+    pub budget_exhausted: bool,
 }
 
 // ---------------------------------------------------------------------------
@@ -201,6 +220,11 @@ const INDIVIDUALISE: u64 = 0x1e5e_11ed;
 /// Generator cap: enough to collapse every symmetric cell seen in practice,
 /// small enough that orbit computation stays trivial.
 const MAX_GENERATORS: usize = 64;
+/// Default node budget of the canonical-labeling search. Real placements
+/// discretize within a handful of nodes (a pipeline chain takes exactly
+/// one); the budget only exists so a WL-hard adversarial input degrades to a
+/// bounded greedy completion instead of exponential backtracking.
+pub const DEFAULT_NODE_BUDGET: u64 = 50_000;
 
 // ---------------------------------------------------------------------------
 // Colour refinement
@@ -382,6 +406,9 @@ struct Searcher<'a> {
     /// Both searches optimise the same objective, so disabling pruning
     /// changes only the explored-leaf count, never the canonical form.
     prune: bool,
+    /// Node cap: past it the search stops branching and descends greedily
+    /// (see the module docs on budget exhaustion).
+    node_budget: u64,
     best: Option<Leaf>,
     /// First leaf reached — the reference labeling automorphisms are
     /// discovered against.
@@ -392,13 +419,14 @@ struct Searcher<'a> {
 }
 
 impl<'a> Searcher<'a> {
-    fn new(placement: &'a PlacementSpec, prune: bool) -> Self {
+    fn new(placement: &'a PlacementSpec, prune: bool, node_budget: u64) -> Self {
         let k = placement.num_blocks();
         Searcher {
             placement,
             depths: block_depths(placement),
             dependents: (0..k).map(|i| placement.dependents(i)).collect(),
             prune,
+            node_budget,
             best: None,
             reference: None,
             generators: Vec::new(),
@@ -687,6 +715,14 @@ impl<'a> Searcher<'a> {
             self.evaluate_leaf(&col, trace);
             return;
         };
+        // Budget exhaustion: take the first branch only, so the remaining
+        // descent is a straight line to one leaf (depth is bounded by the
+        // vertex count). The first descent is never best-leaf-pruned —
+        // `best` is still empty — so the search always produces a leaf.
+        let exhausted = self.stats.nodes > self.node_budget;
+        if exhausted {
+            self.stats.budget_exhausted = true;
+        }
         let mut explored: Vec<usize> = Vec::new();
         for &m in &members {
             if self.prune && self.in_explored_orbit(is_block, m, &explored, path) {
@@ -712,6 +748,9 @@ impl<'a> Searcher<'a> {
             }
             trace.pop();
             explored.push(m);
+            if exhausted {
+                break;
+            }
         }
     }
 
@@ -727,8 +766,8 @@ impl<'a> Searcher<'a> {
 }
 
 impl PlacementSpec {
-    fn canonical_search(&self, prune: bool) -> (CanonicalPlacement, CanonStats) {
-        let (best, stats) = Searcher::new(self, prune).run();
+    fn canonical_search(&self, prune: bool, node_budget: u64) -> (CanonicalPlacement, CanonStats) {
+        let (best, stats) = Searcher::new(self, prune, node_budget).run();
 
         // The fingerprint hashes exactly the winning leaf form, so equal
         // canonical forms always produce equal fingerprints.
@@ -786,26 +825,41 @@ impl PlacementSpec {
     /// individualisation-refinement search: blocks reordered into a canonical
     /// topological order, devices relabeled canonically, and the stable
     /// [`Fingerprint`] of the result. Invariant under device relabeling and
-    /// block reordering; distinct for non-isomorphic placements.
+    /// block reordering; distinct for non-isomorphic placements. Runs under
+    /// [`DEFAULT_NODE_BUDGET`]; see [`PlacementSpec::canonicalize_budgeted`]
+    /// for the exhaustion semantics.
     #[must_use]
     pub fn canonicalize(&self) -> CanonicalPlacement {
-        self.canonical_search(true).0
+        self.canonical_search(true, DEFAULT_NODE_BUDGET).0
     }
 
     /// [`PlacementSpec::canonicalize`] plus the search statistics.
     #[must_use]
     pub fn canonicalize_with_stats(&self) -> (CanonicalPlacement, CanonStats) {
-        self.canonical_search(true)
+        self.canonical_search(true, DEFAULT_NODE_BUDGET)
+    }
+
+    /// The canonical search under an explicit node budget. Past the budget
+    /// the search completes greedily and sets
+    /// [`CanonStats::budget_exhausted`]: the fingerprint stays deterministic
+    /// and never merges non-isomorphic placements, but relabeled variants of
+    /// the same placement may stop mapping to the same fingerprint (a cache
+    /// split, not a correctness failure). Callers that *require* the
+    /// isomorphism-invariance guarantee must check the flag.
+    #[must_use]
+    pub fn canonicalize_budgeted(&self, node_budget: u64) -> (CanonicalPlacement, CanonStats) {
+        self.canonical_search(true, node_budget)
     }
 
     /// The canonical search with automorphism and best-leaf pruning disabled:
-    /// every leaf of the individualisation-refinement tree is evaluated.
-    /// Produces the identical canonical form (both searches minimise the same
-    /// objective over the same tree) at brute-force cost — exposed so the
-    /// pruning-soundness tests can compare against it.
+    /// every leaf of the individualisation-refinement tree is evaluated
+    /// (no node budget — this is the brute-force reference, only sensible on
+    /// small instances). Produces the identical canonical form (both
+    /// searches minimise the same objective over the same tree) — exposed so
+    /// the pruning-soundness tests can compare against it.
     #[must_use]
     pub fn canonicalize_unpruned(&self) -> (CanonicalPlacement, CanonStats) {
-        self.canonical_search(false)
+        self.canonical_search(false, u64::MAX)
     }
 
     /// The stable 64-bit fingerprint of this placement's canonical form.
@@ -1122,12 +1176,8 @@ mod tests {
         assert_ne!(v_shape(3).wl_fingerprint(), v_shape(4).wl_fingerprint());
     }
 
-    #[test]
-    fn symmetric_placements_prune_with_automorphisms() {
-        // Three cost-identical independent chains: any chain permutation is
-        // an automorphism, so the pruned search must explore fewer leaves
-        // than the unpruned one (which walks all 3! chain orderings) and
-        // still find the same form.
+    /// Three cost-identical independent chains (symmetric: branching needed).
+    fn triplet_chains() -> PlacementSpec {
         let mut b = PlacementSpec::builder("triplet-chains", 6);
         for chain in 0..3usize {
             let mut prev: Option<usize> = None;
@@ -1146,7 +1196,62 @@ mod tests {
                 );
             }
         }
-        let p = b.build().unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn node_budget_degrades_to_greedy_completion() {
+        let p = triplet_chains();
+        // The symmetric instance needs more than one node; a budget of 1
+        // forces greedy completion.
+        let (canon_a, stats_a) = p.canonicalize_budgeted(1);
+        assert!(stats_a.budget_exhausted, "{stats_a:?}");
+        assert!(stats_a.leaves >= 1, "exhaustion must still reach a leaf");
+        // Deterministic: the same input exhausts to the same fingerprint.
+        let (canon_b, stats_b) = p.canonicalize_budgeted(1);
+        assert_eq!(stats_a, stats_b);
+        assert_eq!(canon_a.fingerprint, canon_b.fingerprint);
+        assert_eq!(canon_a.placement, canon_b.placement);
+        // The greedy form is still a faithful serialization: a placement
+        // with different costs cannot collide even under exhaustion.
+        let mut other = PlacementSpec::builder("triplet-slow", 6);
+        for chain in 0..3usize {
+            let mut prev: Option<usize> = None;
+            for step in 0..2usize {
+                let deps: Vec<usize> = prev.into_iter().collect();
+                prev = Some(
+                    other
+                        .add_block(
+                            format!("c{chain}s{step}"),
+                            BlockKind::Forward,
+                            [chain * 2 + step],
+                            9,
+                            1,
+                            deps,
+                        )
+                        .unwrap(),
+                );
+            }
+        }
+        let other = other.build().unwrap();
+        assert_ne!(
+            canon_a.fingerprint,
+            other.canonicalize_budgeted(1).0.fingerprint
+        );
+        // The default budget is generous enough that the same instance
+        // completes exactly, matching the brute-force reference.
+        let (exact, exact_stats) = p.canonicalize_with_stats();
+        assert!(!exact_stats.budget_exhausted, "{exact_stats:?}");
+        assert_eq!(exact.fingerprint, p.canonicalize_unpruned().0.fingerprint);
+    }
+
+    #[test]
+    fn symmetric_placements_prune_with_automorphisms() {
+        // Three cost-identical independent chains: any chain permutation is
+        // an automorphism, so the pruned search must explore fewer leaves
+        // than the unpruned one (which walks all 3! chain orderings) and
+        // still find the same form.
+        let p = triplet_chains();
         let (pruned, pruned_stats) = p.canonicalize_with_stats();
         let (unpruned, unpruned_stats) = p.canonicalize_unpruned();
         assert_eq!(pruned.fingerprint, unpruned.fingerprint);

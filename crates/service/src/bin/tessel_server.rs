@@ -36,7 +36,7 @@ fn usage() -> ! {
          \x20                  [--node-id ID] [--peer ID=HOST:PORT]...\n\
          \x20                  [--cluster-vnodes N] [--probe-interval-ms MS]\n\
          \x20                  [--peer-timeout-ms MS] [--circuit-cooldown-ms MS]\n\
-         \x20                  [--paranoid-fingerprints]\n\
+         \x20                  [--paranoid-fingerprints] [--canon-node-budget N]\n\
          \x20                  [--log-level error|warn|info|debug|trace]\n\
          \x20                  [--log-format text|json]\n\
          \n\
@@ -121,6 +121,9 @@ fn main() {
                     Some(Duration::from_millis(parse_value(&flag, args.next())));
             }
             "--paranoid-fingerprints" => service_config.paranoid_fingerprints = true,
+            "--canon-node-budget" => {
+                service_config.canon_node_budget = parse_value(&flag, args.next());
+            }
             "--log-level" => log_level = parse_value(&flag, args.next()),
             "--log-format" => log_format = parse_value(&flag, args.next()),
             "--node-id" => node_id = Some(parse_value(&flag, args.next())),

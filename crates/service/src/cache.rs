@@ -75,9 +75,11 @@ pub struct CachedSearch {
     /// Parameters the search ran with.
     pub params: CacheParams,
     /// The canonical placement. Kept *locally* to translate the schedule into
-    /// a requester's labeling and to back `--paranoid-fingerprints`
-    /// re-verification; the exact canonical labeling makes fingerprint
-    /// equality trustworthy, so remote cache hits no longer ship it (see
+    /// a requester's labeling, to back `--paranoid-fingerprints` lookup
+    /// re-verification, and to ship with replication/warm-up (whose receiver
+    /// always re-canonicalizes it); the exact canonical labeling makes
+    /// fingerprint equality trustworthy between fingerprints a node computed
+    /// itself, so remote cache hits no longer ship it (see
     /// [`crate::wire::WireSearchEntry`]).
     pub canonical_placement: PlacementSpec,
     /// The composed schedule, in canonical labeling.

@@ -59,7 +59,7 @@ impl Replicator {
                 };
                 // Replication ships the *full* entry (placement included):
                 // unlike a remote hit, the owner has no local canonical
-                // placement to pair a slim entry with, and a paranoid owner
+                // placement to pair a slim entry with, and the owner
                 // re-canonicalizes the shipped placement before adopting.
                 let exchange = CacheExchange {
                     fingerprint: job.fingerprint,

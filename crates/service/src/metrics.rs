@@ -86,10 +86,19 @@ pub struct ServiceMetrics {
     /// Finish vectors the solver's bounded-probe dominance table declined to
     /// memoise.
     pub solver_memo_drops: AtomicU64,
-    /// Canonical-form mismatches caught by `--paranoid-fingerprints` that
-    /// trusted fingerprint equality would have accepted. Any nonzero value
-    /// means the exact canonical labeling broke its contract.
+    /// Canonical-form mismatches caught by the `--paranoid-fingerprints`
+    /// lookup re-comparison that trusted fingerprint equality would have
+    /// accepted. Any nonzero value means the exact canonical labeling broke
+    /// its contract.
     pub fingerprint_paranoia_mismatches: AtomicU64,
+    /// Replication/warm-up entries rejected because the shipped placement
+    /// did not re-canonicalize to its claimed fingerprint. This check runs
+    /// unconditionally (it is the only defence against a consistent but
+    /// mislabeled peer payload); nonzero means a peer is confused or hostile.
+    pub fingerprint_wire_mismatches: AtomicU64,
+    /// Canonical-labeling searches that hit the node budget and completed
+    /// greedily (see `tessel_core::fingerprint::DEFAULT_NODE_BUDGET`).
+    pub canon_budget_exhausted: AtomicU64,
     latency_buckets: [AtomicU64; BUCKETS],
     /// Request-duration histograms, one per [`ENDPOINT_LABELS`] entry.
     endpoint_durations: [Histogram; ENDPOINT_LABELS.len()],
@@ -138,10 +147,19 @@ pub struct MetricsSnapshot {
     /// memoise.
     #[serde(default)]
     pub solver_memo_drops: u64,
-    /// Canonical-form mismatches caught by `--paranoid-fingerprints` that
-    /// trusted fingerprint equality would have accepted.
+    /// Canonical-form mismatches caught by the `--paranoid-fingerprints`
+    /// lookup re-comparison that trusted fingerprint equality would have
+    /// accepted.
     #[serde(default)]
     pub fingerprint_paranoia_mismatches: u64,
+    /// Replication/warm-up entries rejected because the shipped placement
+    /// did not re-canonicalize to its claimed fingerprint (always checked).
+    #[serde(default)]
+    pub fingerprint_wire_mismatches: u64,
+    /// Canonical-labeling searches that hit the node budget and completed
+    /// greedily.
+    #[serde(default)]
+    pub canon_budget_exhausted: u64,
     /// Cache hit rate over all completed requests (0 when idle).
     pub hit_rate: f64,
     /// Entries currently cached.
@@ -174,6 +192,8 @@ impl Default for ServiceMetrics {
             solver_steal_failures: AtomicU64::new(0),
             solver_memo_drops: AtomicU64::new(0),
             fingerprint_paranoia_mismatches: AtomicU64::new(0),
+            fingerprint_wire_mismatches: AtomicU64::new(0),
+            canon_budget_exhausted: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             endpoint_durations: std::array::from_fn(|_| Histogram::new()),
             stage_durations: std::array::from_fn(|_| Histogram::new()),
@@ -343,6 +363,8 @@ impl ServiceMetrics {
             fingerprint_paranoia_mismatches: self
                 .fingerprint_paranoia_mismatches
                 .load(Ordering::Relaxed),
+            fingerprint_wire_mismatches: self.fingerprint_wire_mismatches.load(Ordering::Relaxed),
+            canon_budget_exhausted: self.canon_budget_exhausted.load(Ordering::Relaxed),
             hit_rate: if served == 0 {
                 0.0
             } else {
@@ -453,8 +475,18 @@ impl MetricsSnapshot {
         );
         counter(
             "fingerprint_paranoia_mismatches_total",
-            "Canonical-form mismatches caught by --paranoid-fingerprints that trusted fingerprint equality would have accepted.",
+            "Canonical-form mismatches caught by the --paranoid-fingerprints lookup re-comparison that trusted fingerprint equality would have accepted.",
             self.fingerprint_paranoia_mismatches as f64,
+        );
+        counter(
+            "fingerprint_wire_mismatches_total",
+            "Replication/warm-up entries rejected because the shipped placement did not re-canonicalize to its claimed fingerprint (always checked).",
+            self.fingerprint_wire_mismatches as f64,
+        );
+        counter(
+            "fingerprint_canon_budget_exhausted_total",
+            "Canonical-labeling searches that hit the node budget and completed greedily.",
+            self.canon_budget_exhausted as f64,
         );
         counter("cache_hit_rate", "Cache hit rate.", self.hit_rate);
         counter(

@@ -133,13 +133,21 @@ pub struct ServiceConfig {
     pub journal_compact_every: usize,
     /// Cluster membership; `None` runs the daemon standalone.
     pub cluster: Option<ClusterConfig>,
-    /// Distrust fingerprint equality: re-compare full canonical forms on
-    /// cache lookups and re-canonicalize replicated/warmed entries, counting
-    /// every mismatch trusted mode would have accepted in
+    /// Distrust fingerprint equality on **cache lookups**: re-compare the
+    /// full canonical form on every hit, counting every mismatch trusted
+    /// mode would have accepted in
     /// `tessel_fingerprint_paranoia_mismatches_total`. The exact canonical
     /// labeling makes this redundant; the flag is the escape hatch that
-    /// proves it.
+    /// proves it. (Replicated/warmed entries are re-canonicalized
+    /// *unconditionally*, regardless of this flag — exact labeling can only
+    /// vouch for fingerprints this node computed itself, not for a peer's
+    /// claim.)
     pub paranoid_fingerprints: bool,
+    /// Node budget of the canonical-labeling search run per request. Past
+    /// it the search completes greedily — bounded latency at the cost of
+    /// possible cache splits between relabeled variants — and the event
+    /// counts in `tessel_fingerprint_canon_budget_exhausted_total`.
+    pub canon_node_budget: u64,
 }
 
 impl Default for ServiceConfig {
@@ -161,6 +169,7 @@ impl Default for ServiceConfig {
             journal_compact_every: 64,
             cluster: None,
             paranoid_fingerprints: false,
+            canon_node_budget: tessel_core::fingerprint::DEFAULT_NODE_BUDGET,
         }
     }
 }
@@ -368,7 +377,7 @@ impl ScheduleService {
             .map(|ms| arrived + Duration::from_millis(ms))
             .or_else(|| self.config.default_deadline.map(|d| arrived + d));
 
-        let canon = request.placement.canonicalize();
+        let canon = self.canonicalize_budgeted(&request.placement);
         let key = CacheKey::new(canon.fingerprint, &params);
 
         if let Some(entry) =
@@ -455,6 +464,29 @@ impl ScheduleService {
                 "timed out waiting for an identical in-flight search".into(),
             )),
         }
+    }
+
+    /// Canonicalizes a placement under the configured node budget. A search
+    /// that hits the budget completes greedily (bounded latency; relabeled
+    /// variants may land on different fingerprints and miss each other's
+    /// cache entries) and counts in
+    /// `tessel_fingerprint_canon_budget_exhausted_total`.
+    fn canonicalize_budgeted(&self, placement: &PlacementSpec) -> CanonicalPlacement {
+        let (canon, stats) = placement.canonicalize_budgeted(self.config.canon_node_budget);
+        if stats.budget_exhausted {
+            self.metrics
+                .canon_budget_exhausted
+                .fetch_add(1, Ordering::Relaxed);
+            tessel_obs::warn(
+                "fingerprint",
+                "canonical-labeling node budget exhausted; labeling completed greedily",
+                &[
+                    ("fingerprint", &canon.fingerprint.to_string()),
+                    ("budget", &self.config.canon_node_budget.to_string()),
+                ],
+            );
+        }
+        canon
     }
 
     /// Cache lookup trusting fingerprint equality: the exact canonical
@@ -816,11 +848,18 @@ impl ScheduleService {
     /// before adopting it into the local cache (replication and warm-up
     /// share this bar): this node must own the fingerprint per its own ring,
     /// the entry must carry a structurally valid canonical placement, the
-    /// schedule must validate against that placement and the parameters must
-    /// be sane. Under `--paranoid-fingerprints` the placement is additionally
-    /// re-canonicalized and must hash to exactly `fingerprint`; a mismatch is
-    /// counted in `tessel_fingerprint_paranoia_mismatches_total` and the
-    /// entry is rejected.
+    /// schedule must validate against that placement, the parameters must be
+    /// sane, **and** the shipped placement must re-canonicalize to exactly
+    /// `fingerprint`. The last check runs unconditionally — exact labeling
+    /// only guarantees that correct nodes agree on a fingerprint they each
+    /// compute; it cannot vouch for a peer's *claim*, and a consistent but
+    /// mislabeled entry passes every structural check. Replication and
+    /// warm-up are off the request hot path, so the re-canonicalization is
+    /// cheap insurance; a mismatch is counted in
+    /// `tessel_fingerprint_wire_mismatches_total` and the entry is rejected,
+    /// as is an entry whose re-canonicalization blows the node budget (a
+    /// fingerprint this node cannot reproduce exactly is a fingerprint it
+    /// cannot trust).
     fn validate_wire_entry(
         &self,
         fingerprint: Fingerprint,
@@ -840,22 +879,31 @@ impl ScheduleService {
         if !structurally_valid {
             return None;
         }
-        if self.config.paranoid_fingerprints {
-            let actual = placement.canonicalize().fingerprint;
-            if actual != fingerprint {
-                self.metrics
-                    .fingerprint_paranoia_mismatches
-                    .fetch_add(1, Ordering::Relaxed);
-                tessel_obs::warn(
-                    "cluster",
-                    "fingerprint paranoia: shipped placement does not re-canonicalize to its claimed fingerprint",
-                    &[
-                        ("claimed", &fingerprint.to_string()),
-                        ("actual", &actual.to_string()),
-                    ],
-                );
-                return None;
-            }
+        let (canon, stats) = placement.canonicalize_budgeted(self.config.canon_node_budget);
+        if stats.budget_exhausted {
+            self.metrics
+                .canon_budget_exhausted
+                .fetch_add(1, Ordering::Relaxed);
+            tessel_obs::warn(
+                "cluster",
+                "rejecting wire entry: canonical-labeling budget exhausted while re-verifying the claimed fingerprint",
+                &[("claimed", &fingerprint.to_string())],
+            );
+            return None;
+        }
+        if canon.fingerprint != fingerprint {
+            self.metrics
+                .fingerprint_wire_mismatches
+                .fetch_add(1, Ordering::Relaxed);
+            tessel_obs::warn(
+                "cluster",
+                "rejecting wire entry: shipped placement does not re-canonicalize to its claimed fingerprint",
+                &[
+                    ("claimed", &fingerprint.to_string()),
+                    ("actual", &canon.fingerprint.to_string()),
+                ],
+            );
+            return None;
         }
         Some(entry.clone().into_cached(placement.clone()))
     }
@@ -863,14 +911,14 @@ impl ScheduleService {
     /// Accepts entries replicated by a non-owner daemon
     /// (`PUT /v1/cache/{fp}`). Each entry is validated — the fingerprint must
     /// be one this node owns per its own ring, the shipped canonical
-    /// placement must be structurally valid and the schedule must validate
-    /// against it — so a confused peer (or a fleet misconfigured with
-    /// divergent `--peer` lists) can never poison this cache or park entries
-    /// where no warm-up will ever find them. The expensive
-    /// re-canonicalization ("does the placement really hash to
-    /// `fingerprint`?") runs only under `--paranoid-fingerprints`; trusted
-    /// mode relies on the exact canonical labeling, and any paranoid
-    /// mismatch counts in `tessel_fingerprint_paranoia_mismatches_total`.
+    /// placement must be structurally valid, the schedule must validate
+    /// against it, and the placement must re-canonicalize to exactly the
+    /// claimed fingerprint (always, not just in paranoid mode; see
+    /// [`ScheduleService::validate_wire_entry`]) — so a confused peer (or a
+    /// fleet misconfigured with divergent `--peer` lists) can never poison
+    /// this cache or park entries where no warm-up will ever find them. Any
+    /// mislabeling caught counts in
+    /// `tessel_fingerprint_wire_mismatches_total`.
     #[must_use]
     pub fn accept_replication(
         &self,
@@ -923,8 +971,8 @@ impl ScheduleService {
             std::collections::BTreeMap::new();
         for (_key, entry) in self.cache.export() {
             if cluster.ring().owner_of(entry.fingerprint) == node_id {
-                // Full form: the warm-up receiver may be paranoid and want to
-                // re-canonicalize the placement.
+                // Full form: the warm-up receiver re-canonicalizes the
+                // placement before adopting it.
                 by_fingerprint
                     .entry(entry.fingerprint.0)
                     .or_default()

@@ -150,8 +150,10 @@ pub struct CacheEntryInfo {
 /// across the cache tiers, so `GET /v1/cache/{fp}` responses (remote cache
 /// hits) no longer ship the canonical placement at all — the fetching daemon
 /// already holds its own canonicalization of the same fingerprint.
-/// Replication `PUT`s and warm-up exports still include the placement so the
-/// accepting daemon can re-canonicalize it in `--paranoid-fingerprints` mode.
+/// Replication `PUT`s and warm-up exports still include the placement: the
+/// accepting daemon always re-canonicalizes it and rejects any entry whose
+/// placement does not hash back to the claimed fingerprint (the only defence
+/// against a consistent but mislabeled peer payload).
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireSearchEntry {
     /// Canonical fingerprint of the placement.
@@ -187,7 +189,7 @@ impl WireSearchEntry {
     }
 
     /// The full form, placement included. What replication and warm-up
-    /// exports ship so paranoid receivers can re-canonicalize.
+    /// exports ship so the receiver can re-canonicalize before adopting.
     #[must_use]
     pub fn full(entry: &CachedSearch) -> Self {
         WireSearchEntry {

@@ -398,10 +398,11 @@ fn full_entry_from_search(
 
 /// With `--paranoid-fingerprints` on every node the fleet still round-trips:
 /// remote hits, replication and warm-up all succeed, and the paranoia
-/// counter stays at zero — the exact labeling gives it nothing to catch. A
-/// poisoned replication payload (a *consistent* entry whose placement simply
-/// is not the claimed fingerprint's placement) passes every structural check
-/// and is caught ONLY by paranoid re-canonicalization.
+/// counter (lookup re-comparison) stays at zero — the exact labeling gives
+/// it nothing to catch. A poisoned replication payload (a *consistent*
+/// entry whose placement simply is not the claimed fingerprint's placement)
+/// passes every structural check and is caught by the unconditional wire
+/// re-canonicalization, which runs in every mode.
 #[test]
 fn paranoid_mode_round_trips_and_catches_mislabeled_replication() {
     let listener_a = TcpListener::bind("127.0.0.1:0").unwrap();
@@ -465,13 +466,16 @@ fn paranoid_mode_round_trips_and_catches_mislabeled_replication() {
     assert!(again.cached);
 
     for addr in [&addr_a, &addr_b] {
+        let text = metrics_text(addr);
         assert_eq!(
-            metric_value(
-                &metrics_text(addr),
-                "tessel_fingerprint_paranoia_mismatches_total"
-            ),
+            metric_value(&text, "tessel_fingerprint_paranoia_mismatches_total"),
             0,
             "honest traffic must not trip the paranoia counter"
+        );
+        assert_eq!(
+            metric_value(&text, "tessel_fingerprint_wire_mismatches_total"),
+            0,
+            "honest traffic must not trip the wire-mismatch counter"
         );
     }
 
@@ -499,10 +503,10 @@ fn paranoid_mode_round_trips_and_catches_mislabeled_replication() {
     assert_eq!(
         metric_value(
             &metrics_text(&addr_a),
-            "tessel_fingerprint_paranoia_mismatches_total"
+            "tessel_fingerprint_wire_mismatches_total"
         ),
         1,
-        "the catch must be visible in the paranoia metric"
+        "the catch must be visible in the wire-mismatch metric"
     );
 
     server_a.shutdown();
@@ -568,15 +572,52 @@ fn corrupted_replication_payloads_are_rejected() {
             "{what} must be rejected"
         );
     }
-    // Rejections never trip the paranoia counter: this node runs in default
-    // mode and structural validation alone caught everything.
+    // Structural rejections trip neither re-canonicalization counter: the
+    // three payloads above never reach the fingerprint re-verification.
+    let text = metrics_text(&addr);
     assert_eq!(
-        metric_value(
-            &metrics_text(&addr),
-            "tessel_fingerprint_paranoia_mismatches_total"
-        ),
+        metric_value(&text, "tessel_fingerprint_paranoia_mismatches_total"),
         0
     );
+    assert_eq!(
+        metric_value(&text, "tessel_fingerprint_wire_mismatches_total"),
+        0
+    );
+
+    // Corruption 4 — the cache-poisoning regression: a fully *consistent*
+    // entry (chain-8's placement with chain-8's valid schedule) claiming
+    // chain-7's fingerprint. Every structural check passes; in DEFAULT mode
+    // the unconditional re-canonicalization must still reject it, or a later
+    // request for chain-7 would be served chain-8's schedule.
+    let poisoned = full_entry_from_search(fp, &other.placement, &other_solved);
+    let ack = put_replication(
+        &addr,
+        &CacheExchange {
+            fingerprint: fp,
+            entries: vec![poisoned],
+        },
+    );
+    assert_eq!(
+        (ack.accepted, ack.rejected),
+        (0, 1),
+        "consistent-but-mislabeled entry must be rejected in default mode"
+    );
+    let text = metrics_text(&addr);
+    assert_eq!(
+        metric_value(&text, "tessel_fingerprint_wire_mismatches_total"),
+        1,
+        "the catch must be visible in the wire-mismatch metric"
+    );
+    assert_eq!(
+        metric_value(&text, "tessel_fingerprint_paranoia_mismatches_total"),
+        0,
+        "the lookup paranoia counter is not involved on the wire path"
+    );
+    // The poison left no trace in the cache: chain-7's fingerprint still
+    // serves chain-7's own schedule.
+    let (_, again) = post_search(&addr, &canon.placement);
+    assert!(again.cached, "the real entry must still be served");
+    again.schedule.validate(&canon.placement).unwrap();
 
     server.shutdown();
 }
