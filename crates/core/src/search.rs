@@ -21,7 +21,9 @@ use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use tessel_solver::{Abort, CancelToken, Solver, SolverConfig, SolverTotals, StatsSink};
+use tessel_solver::{
+    Abort, CancelToken, IncumbentSink, Solver, SolverConfig, SolverTotals, StatsSink,
+};
 
 /// Configuration of the Tessel search.
 #[derive(Debug, Clone)]
@@ -62,6 +64,16 @@ pub struct SearchConfig {
     /// solver's branch loop. Cancelling it aborts the run with
     /// [`CoreError::DeadlineExceeded`].
     pub cancel: CancelToken,
+    /// Optional callback receiving anytime progress: every improving
+    /// incumbent makespan found while solving repetend candidates. Each
+    /// reported value upper-bounds the period of a repetend the search has
+    /// already found feasible work towards, so a caller can act on a good
+    /// schedule bound long before the proof completes. Values are *not*
+    /// globally monotone across portfolio workers; callers wanting a strictly
+    /// decreasing stream should filter (the daemon does). Attached only to
+    /// repetend solves — warmup/cooldown phase solves optimise a different
+    /// objective and stay silent. The default reports nothing.
+    pub incumbent_sink: Option<IncumbentSink>,
 }
 
 impl Default for SearchConfig {
@@ -76,12 +88,14 @@ impl Default for SearchConfig {
             portfolio_threads: 1,
             time_budget: None,
             cancel: CancelToken::new(),
+            incumbent_sink: None,
         }
     }
 }
 
-/// Equality ignores the [`SearchConfig::cancel`] handle (it has identity, not
-/// value, semantics); every other field participates.
+/// Equality ignores the [`SearchConfig::cancel`] and
+/// [`SearchConfig::incumbent_sink`] handles (they have identity, not value,
+/// semantics); every other field participates.
 impl PartialEq for SearchConfig {
     fn eq(&self, other: &Self) -> bool {
         self.num_micro_batches == other.num_micro_batches
@@ -152,6 +166,14 @@ impl SearchConfig {
     #[must_use]
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = cancel;
+        self
+    }
+
+    /// Returns a copy reporting anytime incumbent progress into `sink` (see
+    /// [`SearchConfig::incumbent_sink`]).
+    #[must_use]
+    pub fn with_incumbent_sink(mut self, sink: IncumbentSink) -> Self {
+        self.incumbent_sink = Some(sink);
         self
     }
 
@@ -286,7 +308,7 @@ impl TesselSearch {
         // Every solver this run creates reports its effort into one shared
         // sink, aggregated into `SearchStats::solver` at the end.
         let sink = StatsSink::new();
-        let phase_solver = solver_for_run(&self.config.phase_solver, &abort, &sink);
+        let phase_solver = solver_for_run(&self.config.phase_solver, &abort, &sink, None);
 
         // Lines 1-6 of Algorithm 1: bounds and the in-flight micro-batch cap.
         let mut optimal = placement.total_block_time() + 1;
@@ -397,9 +419,14 @@ impl TesselSearch {
         abort: &Abort,
         sink: &StatsSink,
     ) -> Result<(Option<Repetend>, Option<(PhasePlan, PhasePlan)>), CoreError> {
-        let repetend_solver = solver_for_run(&self.config.repetend_solver, abort, sink);
-        let phase_solver = solver_for_run(&self.config.phase_solver, abort, sink);
-        let probe_solver = solver_for_run(&SolverConfig::probe(), abort, sink);
+        let repetend_solver = solver_for_run(
+            &self.config.repetend_solver,
+            abort,
+            sink,
+            self.config.incumbent_sink.as_ref(),
+        );
+        let phase_solver = solver_for_run(&self.config.phase_solver, abort, sink, None);
+        let probe_solver = solver_for_run(&SolverConfig::probe(), abort, sink, None);
         let mut best: Option<Repetend> = None;
         let mut best_phases: Option<(PhasePlan, PhasePlan)> = None;
 
@@ -561,10 +588,16 @@ impl TesselSearch {
                     let timed_out = &timed_out;
                     let best_win = &best_win;
                     scope.spawn(move || -> Result<WorkerTally, CoreError> {
-                        let repetend_solver =
-                            solver_for_run(&self.config.repetend_solver, abort, sink);
-                        let phase_solver = solver_for_run(&self.config.phase_solver, abort, sink);
-                        let probe_solver = solver_for_run(&SolverConfig::probe(), abort, sink);
+                        let repetend_solver = solver_for_run(
+                            &self.config.repetend_solver,
+                            abort,
+                            sink,
+                            self.config.incumbent_sink.as_ref(),
+                        );
+                        let phase_solver =
+                            solver_for_run(&self.config.phase_solver, abort, sink, None);
+                        let probe_solver =
+                            solver_for_run(&SolverConfig::probe(), abort, sink, None);
                         let mut tally = WorkerTally::default();
                         loop {
                             if stop.load(Ordering::Relaxed) {
@@ -731,12 +764,19 @@ impl TesselSearch {
     }
 }
 
-/// Clones a solver configuration with the run's abort conditions and
-/// statistics sink attached.
-fn solver_for_run(config: &SolverConfig, abort: &Abort, sink: &StatsSink) -> Solver {
+/// Clones a solver configuration with the run's abort conditions, statistics
+/// sink and (for repetend solvers only) the anytime incumbent observer
+/// attached.
+fn solver_for_run(
+    config: &SolverConfig,
+    abort: &Abort,
+    sink: &StatsSink,
+    incumbent: Option<&IncumbentSink>,
+) -> Solver {
     let mut config = config.clone();
     config.abort = abort.clone();
     config.stats_sink = Some(sink.clone());
+    config.incumbent_sink = incumbent.cloned();
     Solver::new(config)
 }
 
@@ -803,6 +843,7 @@ impl Iterator for PortfolioStream<'_> {
 mod tests {
     use super::*;
     use crate::ir::{BlockKind, PlacementSpec};
+    use std::sync::Arc;
 
     /// V-shape placement: one forward and one backward block per device,
     /// sequential stages (Fig. 1a).
@@ -884,6 +925,25 @@ mod tests {
         // repetend gets close to that bound.
         assert!(outcome.repetend.period <= p.total_block_time());
         assert!(outcome.repetend.period >= p.repetend_lower_bound());
+    }
+
+    #[test]
+    fn incumbent_sink_observes_improving_makespans() {
+        let p = v_shape(3, 1, 2, Some(4));
+        let seen: Arc<std::sync::Mutex<Vec<u64>>> = Arc::default();
+        let sink = {
+            let seen = seen.clone();
+            IncumbentSink::new(move |value| seen.lock().unwrap().push(value))
+        };
+        let config = SearchConfig::default()
+            .with_micro_batches(8)
+            .with_incumbent_sink(sink);
+        let outcome = TesselSearch::new(config).run(&p).unwrap();
+        let seen = seen.lock().unwrap();
+        // At least the greedy seed (the first incumbent) must be reported,
+        // and every reported makespan upper-bounds the final period.
+        assert!(!seen.is_empty(), "no incumbents reported");
+        assert!(seen.iter().all(|&v| v >= outcome.repetend.period));
     }
 
     #[test]

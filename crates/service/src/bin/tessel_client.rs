@@ -5,6 +5,8 @@
 //! tessel-client search --shape v4 --micro-batches 8
 //! tessel-client search --shape v4 --repeat 3
 //! tessel-client search --shape v4 --timing
+//! tessel-client search --shape v6 --stream
+//! tessel-client search --batch-file requests.json
 //! tessel-client search --placement-file my_placement.json --deadline-ms 500
 //! tessel-client cache
 //! tessel-client inspect 1a2b3c4d5e6f7081
@@ -18,11 +20,21 @@
 //! keep-alive transport serves them all on a single socket; repeats after
 //! the first are expected to report `"cached":true`). Each response body is
 //! printed on its own line; any non-2xx status exits non-zero.
+//!
+//! `search --stream` asks the daemon for anytime incumbent streaming
+//! (`POST /v1/search?stream=1`): each improving incumbent prints to stderr
+//! with its elapsed time the moment the daemon proves it, and the final
+//! (proved or deadline-best) response JSON prints to stdout.
+//!
+//! `search --batch-file PATH` posts many searches in one request
+//! (`POST /v1/search/batch`); the file holds either a JSON array of search
+//! requests or a `{"requests": [...]}` object. Placements sharing a
+//! canonical fingerprint are deduplicated daemon-side onto one solve.
 
 use std::process::exit;
 use tessel_placement::shapes::{synthetic_placement, ShapeKind};
-use tessel_service::http::http_call;
-use tessel_service::wire::SearchRequest;
+use tessel_service::http::{http_call, http_call_streaming};
+use tessel_service::wire::{SearchRequest, StreamEvent};
 use tessel_service::HttpClient;
 
 fn usage() -> ! {
@@ -38,10 +50,11 @@ fn usage() -> ! {
          \x20 fingerprint [--placement-file PATH | --shape KINDn]\n\
          \x20                                     print the canonical fingerprint\n\
          \x20                                     (computed locally, no daemon)\n\
-         \x20 search [--placement-file PATH | --shape KINDn]\n\
+         \x20 search [--placement-file PATH | --shape KINDn | --batch-file PATH]\n\
          \x20        [--rotate-devices N]\n\
          \x20        [--micro-batches N] [--max-repetend N] [--deadline-ms MS]\n\
-         \x20        [--solver-threads N] [--repeat N] [--timing]\n\
+         \x20        [--solver-threads N] [--priority N] [--repeat N]\n\
+         \x20        [--timing] [--stream] [--dry-run]\n\
          \n\
          search --repeat N issues the request N times over one kept-alive\n\
          TCP connection (later repeats hit the daemon's result cache).\n\
@@ -50,7 +63,18 @@ fn usage() -> ! {
          stays pure response JSON.\n\
          search --rotate-devices N relabels the placement's devices by a\n\
          rotation of N before sending — the daemon still answers from the\n\
-         canonical-fingerprint cache and translates the schedule back."
+         canonical-fingerprint cache and translates the schedule back.\n\
+         search --stream streams improving incumbents to stderr as the\n\
+         daemon proves them (value + elapsed ms); the final response JSON\n\
+         prints to stdout when the search completes.\n\
+         search --batch-file PATH posts every request in the file (a JSON\n\
+         array, or {{\"requests\": [...]}}) as one /v1/search/batch call;\n\
+         duplicate placements are deduplicated onto a single solve.\n\
+         search --priority N raises (or, negative, lowers) the request's\n\
+         admission priority under daemon overload.\n\
+         search --dry-run prints the request body JSON that would be sent\n\
+         (single or batch) without contacting the daemon — handy for piping\n\
+         to curl or building batch files."
     );
     exit(2)
 }
@@ -215,14 +239,22 @@ fn main() {
             let mut request_max_repetend = None;
             let mut deadline_ms = None;
             let mut solver_threads = None;
+            let mut priority = None;
             let mut repeat = 1usize;
             let mut timing = false;
+            let mut stream = false;
+            let mut dry_run = false;
+            let mut batch_file: Option<String> = None;
             let mut it = rest.iter();
             while let Some(flag) = it.next() {
                 match flag.as_str() {
                     "--placement-file" => {
                         let Some(path) = it.next() else { usage() };
                         placement_file = Some(path.as_str());
+                    }
+                    "--batch-file" => {
+                        let Some(path) = it.next() else { usage() };
+                        batch_file = Some(path.clone());
                     }
                     "--shape" => {
                         let Some(spec) = it.next() else { usage() };
@@ -249,7 +281,12 @@ fn main() {
                     "--solver-threads" => {
                         solver_threads = it.next().and_then(|v| v.parse().ok());
                     }
+                    "--priority" => {
+                        priority = it.next().and_then(|v| v.parse().ok());
+                    }
                     "--timing" => timing = true,
+                    "--stream" => stream = true,
+                    "--dry-run" => dry_run = true,
                     "--repeat" => {
                         repeat = match it.next().and_then(|v| v.parse().ok()) {
                             Some(n) if n >= 1 => n,
@@ -265,8 +302,52 @@ fn main() {
                     }
                 }
             }
+            if let Some(path) = batch_file {
+                // Batch mode: the file carries the requests; every other
+                // shaping flag is ignored.
+                let text = match std::fs::read_to_string(&path) {
+                    Ok(text) => text,
+                    Err(e) => {
+                        eprintln!("error: cannot read {path}: {e}");
+                        exit(1)
+                    }
+                };
+                // Accept either a full batch body or a bare array of
+                // requests (wrapped here).
+                let body =
+                    match serde_json::from_str::<tessel_service::wire::BatchSearchRequest>(&text) {
+                        Ok(batch) => match serde_json::to_string(&batch) {
+                            Ok(body) => body,
+                            Err(e) => {
+                                eprintln!("error: cannot serialize batch: {e}");
+                                exit(1)
+                            }
+                        },
+                        Err(_) => match serde_json::from_str::<Vec<SearchRequest>>(&text) {
+                            Ok(requests) => {
+                                let batch = tessel_service::wire::BatchSearchRequest { requests };
+                                match serde_json::to_string(&batch) {
+                                    Ok(body) => body,
+                                    Err(e) => {
+                                        eprintln!("error: cannot serialize batch: {e}");
+                                        exit(1)
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                eprintln!("error: {path} is not a batch of search requests: {e}");
+                                exit(1)
+                            }
+                        },
+                    };
+                if dry_run {
+                    println!("{body}");
+                    exit(0)
+                }
+                call(&addr, "POST", "/v1/search/batch", Some(&body))
+            }
             let Some(mut placement) = placement_from_flags(placement_file, shape) else {
-                eprintln!("error: search needs --placement-file or --shape");
+                eprintln!("error: search needs --placement-file, --shape or --batch-file");
                 usage()
             };
             if rotate_devices > 0 {
@@ -291,6 +372,7 @@ fn main() {
                 max_repetend_micro_batches: request_max_repetend,
                 deadline_ms,
                 solver_threads,
+                priority,
             };
             let body = match serde_json::to_string(&request) {
                 Ok(body) => body,
@@ -299,6 +381,54 @@ fn main() {
                     exit(1)
                 }
             };
+            if dry_run {
+                println!("{body}");
+                exit(0)
+            }
+            if stream {
+                // Anytime mode: incumbents narrate on stderr as the daemon
+                // proves them; stdout stays pure final-response JSON.
+                let begun = std::time::Instant::now();
+                let outcome = http_call_streaming(&addr, "/v1/search?stream=1", &body, |event| {
+                    if let Ok(StreamEvent::Incumbent { value, elapsed_ms }) =
+                        serde_json::from_str::<StreamEvent>(event)
+                    {
+                        eprintln!(
+                            "incumbent: period<={value} server={elapsed_ms}ms client={}ms",
+                            begun.elapsed().as_millis()
+                        );
+                    }
+                });
+                match outcome {
+                    Ok((status, last)) => match serde_json::from_str::<StreamEvent>(&last) {
+                        Ok(StreamEvent::Result(response)) => {
+                            match serde_json::to_string(&response) {
+                                Ok(rendered) => println!("{rendered}"),
+                                Err(_) => println!("{last}"),
+                            }
+                            exit(0)
+                        }
+                        Ok(StreamEvent::Error { status, body }) => {
+                            eprintln!("error: search failed with status {status}");
+                            match serde_json::to_string(&body) {
+                                Ok(rendered) => println!("{rendered}"),
+                                Err(_) => println!("{last}"),
+                            }
+                            exit(1)
+                        }
+                        // A non-streamed transport error (shed, queue full):
+                        // the payload is a plain error body.
+                        _ => {
+                            println!("{last}");
+                            exit(i32::from(!(200..300).contains(&status)))
+                        }
+                    },
+                    Err(e) => {
+                        eprintln!("error: streaming request failed: {e}");
+                        exit(1)
+                    }
+                }
+            }
             // One kept-alive connection carries every repeat: the first
             // request warms the daemon's cache, later ones exercise the
             // keep-alive transport and report `"cached":true`.

@@ -25,6 +25,7 @@ use tessel_service::{
 fn usage() -> ! {
     eprintln!(
         "usage: tessel-server [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
+         \x20                  [--shed-policy least-valuable|reject-newest]\n\
          \x20                  [--idle-timeout-ms MS] [--max-pipelined N]\n\
          \x20                  [--max-conns-per-ip N]\n\
          \x20                  [--cache-file PATH] [--cache-capacity N] [--cache-shards N]\n\
@@ -45,7 +46,12 @@ fn usage() -> ! {
          \n\
          cluster mode: give this daemon a --node-id and one --peer flag per\n\
          sibling; the fleet then shares one logical cache sharded by a\n\
-         consistent-hash ring over the canonical placement fingerprint."
+         consistent-hash ring over the canonical placement fingerprint.\n\
+         \n\
+         --shed-policy picks what a full request queue does: least-valuable\n\
+         (default) admits the newcomer and sheds the waiting request with\n\
+         the lowest priority / largest queue share / latest deadline (429 +\n\
+         Retry-After); reject-newest refuses the newcomer with 503."
     );
     exit(2)
 }
@@ -78,6 +84,7 @@ fn main() {
             "--addr" => server_config.addr = parse_value(&flag, args.next()),
             "--workers" => server_config.workers = parse_value(&flag, args.next()),
             "--queue-depth" => server_config.queue_depth = parse_value(&flag, args.next()),
+            "--shed-policy" => server_config.shed_policy = parse_value(&flag, args.next()),
             "--idle-timeout-ms" => {
                 server_config.idle_timeout = Duration::from_millis(parse_value(&flag, args.next()));
             }

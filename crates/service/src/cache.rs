@@ -334,19 +334,38 @@ impl ShardedCache {
     /// *first* record is unreadable fails with `InvalidData` (an incompatible
     /// format, e.g. a pre-journal whole-file snapshot).
     pub fn load(&self, path: &Path) -> std::io::Result<usize> {
+        let outcome = self.load_filtered(path, &mut |_| true)?;
+        Ok(outcome.restored)
+    }
+
+    /// As [`ShardedCache::load`], but each decoded record is offered to
+    /// `keep` before insertion; records it rejects are counted in
+    /// [`LoadOutcome::dropped`] instead of restored. Rejected records still
+    /// count as "good" for torn-tail detection — a stale entry is a valid
+    /// record we choose not to trust, not corruption.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedCache::load`].
+    pub fn load_filtered(
+        &self,
+        path: &Path,
+        keep: &mut dyn FnMut(&CachedSearch) -> bool,
+    ) -> std::io::Result<LoadOutcome> {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(LoadOutcome::default()),
             Err(e) => return Err(e),
         };
-        let mut restored = 0usize;
+        let mut outcome = LoadOutcome::default();
+        let mut decoded = 0usize;
         for line in text.lines() {
             if line.trim().is_empty() {
                 continue;
             }
             let record: PersistedEntry = match serde_json::from_str(line) {
                 Ok(record) => record,
-                Err(e) if restored == 0 => {
+                Err(e) if decoded == 0 => {
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::InvalidData,
                         format!("unreadable journal record: {e}"),
@@ -358,22 +377,36 @@ impl ShardedCache {
                         "cache journal has a torn tail; stopping at the last good record",
                         &[
                             ("path", &path.display().to_string()),
-                            ("recovered", &restored.to_string()),
+                            ("recovered", &decoded.to_string()),
                         ],
                     );
                     break;
                 }
             };
+            decoded += 1;
+            if !keep(&record.entry) {
+                outcome.dropped += 1;
+                continue;
+            }
             let key = CacheKey(record.key);
             self.insert(key, Arc::new(record.entry));
             let mut shard = self.shard(key).lock().expect("cache shard lock");
             if let Some(entry) = shard.entries.get_mut(&record.key) {
                 entry.hits = record.hits;
             }
-            restored += 1;
+            outcome.restored += 1;
         }
-        Ok(restored)
+        Ok(outcome)
     }
+}
+
+/// What [`ShardedCache::load_filtered`] restored and rejected.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct LoadOutcome {
+    /// Records inserted into the cache.
+    pub restored: usize,
+    /// Valid records rejected by the caller's filter.
+    pub dropped: usize,
 }
 
 /// Append-only journal persistence for a [`ShardedCache`].
@@ -421,6 +454,23 @@ impl CacheJournal {
     /// As [`ShardedCache::load`].
     pub fn replay(&self, cache: &ShardedCache) -> std::io::Result<usize> {
         cache.load(&self.path)
+    }
+
+    /// Replays the journal into `cache`, dropping records rejected by `keep`
+    /// (see [`ShardedCache::load_filtered`]). Used at startup to shed
+    /// dead-weight entries whose stored fingerprint no longer matches what
+    /// re-canonicalization produces — e.g. keys minted by an older labeling
+    /// scheme.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedCache::load`].
+    pub fn replay_filtered(
+        &self,
+        cache: &ShardedCache,
+        keep: &mut dyn FnMut(&CachedSearch) -> bool,
+    ) -> std::io::Result<LoadOutcome> {
+        cache.load_filtered(&self.path, keep)
     }
 
     /// Appends one freshly inserted entry, compacting from `cache` when the

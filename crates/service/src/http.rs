@@ -19,10 +19,24 @@
 //!   honoured), and a client may pipeline several requests back-to-back —
 //!   responses are reordered to request order before they are written.
 //! * **The worker pool still runs the searches.** Parsed requests are handed
-//!   to a bounded pool through a `sync_channel` (a full queue turns into
-//!   `503`, not unbounded buffering); finished responses come back through a
-//!   completion list plus a wakeup-pipe byte that rouses the event loop. A
-//!   slow solve therefore never blocks connection handling.
+//!   to a bounded pool through a deadline/priority-aware `AdmissionQueue`:
+//!   workers pop the most urgent waiting request (fewest-served client
+//!   first, then highest priority, then earliest deadline), and a full queue
+//!   sheds the *least valuable* waiting request — lowest priority, largest
+//!   queue share, latest deadline — with `429` + `Retry-After` instead of
+//!   refusing the newest arrival (set [`ServerConfig::shed_policy`] to
+//!   [`ShedPolicy::RejectNewest`] for the classic `503`-the-newcomer
+//!   behaviour). Finished responses come back through a completion list plus
+//!   a wakeup-pipe byte that rouses the event loop. A slow solve therefore
+//!   never blocks connection handling.
+//! * **Anytime streaming**: `POST /v1/search?stream=1` answers with a
+//!   chunked `text/event-stream`. Each improving incumbent the solver proves
+//!   becomes a `data: {"event":"incumbent",...}` frame the moment it is
+//!   found; the final frame carries the full result (or error) and the
+//!   stream closes the connection. Incumbent frames are *droppable*: when a
+//!   slow consumer's write backlog passes the backpressure bound they are
+//!   discarded rather than buffered without limit — the terminal frame never
+//!   is.
 //! * **Idle timeouts**: connections with no request in flight are closed
 //!   after [`ServerConfig::idle_timeout`], which also reaps slow-loris peers
 //!   that trickle a request forever.
@@ -38,6 +52,8 @@
 //! | Method | Path                        | Handler                            |
 //! |--------|-----------------------------|------------------------------------|
 //! | POST   | `/v1/search`                | run or fetch a schedule search     |
+//! | POST   | `/v1/search?stream=1`       | same, streaming incumbents (SSE)   |
+//! | POST   | `/v1/search/batch`          | many searches, deduped in-batch    |
 //! | GET    | `/v1/cache`                 | list cache entries                 |
 //! | GET    | `/v1/cache/{fp}`            | inspect one fingerprint            |
 //! | PUT    | `/v1/cache/{fp}`            | accept a replicated entry (cluster)|
@@ -60,15 +76,14 @@ use crate::flight::{now_unix_ms, FlightRecord, StageTiming};
 use crate::metrics::{ServiceMetrics, TransportMetrics};
 use crate::service::{ScheduleService, ServiceError};
 use crate::sys::{Event, Interest, Poller};
-use crate::wire::ErrorBody;
+use crate::wire::{ErrorBody, StreamEvent};
 use serde::Serialize;
 use std::collections::{BTreeMap, HashMap};
 use std::io::{PipeReader, PipeWriter, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::fd::AsRawFd;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use tessel_core::fingerprint::Fingerprint;
@@ -121,6 +136,8 @@ pub struct ServerConfig {
     /// the cap is closed at accept (counted in
     /// `tessel_http_rejected_per_ip_total`). `0` disables the cap.
     pub max_conns_per_ip: usize,
+    /// What happens when the admission queue is full (see [`ShedPolicy`]).
+    pub shed_policy: ShedPolicy,
 }
 
 impl Default for ServerConfig {
@@ -132,6 +149,36 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(60),
             max_pipelined: 32,
             max_conns_per_ip: 0,
+            shed_policy: ShedPolicy::LeastValuable,
+        }
+    }
+}
+
+/// Overload behaviour of the admission queue when a request arrives while
+/// [`ServerConfig::queue_depth`] requests are already waiting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Admit the newcomer and shed the least valuable *waiting* request
+    /// instead: lowest priority first, then the client holding the most
+    /// queue slots, then the latest deadline (no deadline sorts latest),
+    /// then the newest arrival. The victim gets `429 Too Many Requests`
+    /// with `Retry-After: 1`.
+    #[default]
+    LeastValuable,
+    /// Classic tail-drop: refuse the newcomer with `503` and keep the
+    /// queue as-is. The pre-admission-control baseline, kept for the
+    /// overload benchmark comparison.
+    RejectNewest,
+}
+
+impl std::str::FromStr for ShedPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "least-valuable" | "least_valuable" => Ok(ShedPolicy::LeastValuable),
+            "reject-newest" | "reject_newest" => Ok(ShedPolicy::RejectNewest),
+            other => Err(format!("unknown shed policy `{other}`")),
         }
     }
 }
@@ -184,110 +231,131 @@ impl HttpServer {
         poller.add(wake_rx.as_raw_fd(), TOKEN_WAKER, Interest::READABLE)?;
 
         let workers = config.workers.max(1);
-        let (job_tx, job_rx): (SyncSender<Job>, Receiver<Job>) =
-            sync_channel(config.queue_depth.max(1));
-        let job_rx = Arc::new(Mutex::new(job_rx));
+        let admission = Arc::new(AdmissionQueue::new(
+            config.queue_depth.max(1),
+            config.shed_policy,
+            transport.clone(),
+        ));
         let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
 
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|_| {
-                let job_rx = job_rx.clone();
+                let admission = admission.clone();
                 let service = service.clone();
                 let transport = transport.clone();
                 let completions = completions.clone();
-                let mut waker = wake_tx.try_clone()?;
-                Ok(std::thread::spawn(move || loop {
-                    let job = {
-                        let job_rx = job_rx.lock().expect("worker queue lock");
-                        job_rx.recv()
-                    };
-                    let Ok(job) = job else {
-                        break; // sender dropped: shutdown
-                    };
-                    // A valid inbound trace ID joins the request to the
-                    // originating trace (cluster-internal calls); anything
-                    // else — absent, malformed, oversized — mints a fresh ID
-                    // and the raw header value is never reflected back.
-                    let trace_id = job
-                        .request
-                        .trace_header
-                        .as_deref()
-                        .and_then(tessel_obs::TraceId::parse)
-                        .unwrap_or_else(tessel_obs::TraceId::generate);
-                    let started = Instant::now();
-                    let start_unix_ms = now_unix_ms();
-                    tessel_obs::begin_request(trace_id);
-                    tessel_obs::record_stage("parse", job.parse_micros);
-                    tessel_obs::record_stage(
-                        "queue_wait",
-                        job.enqueued.elapsed().as_micros() as u64,
-                    );
-                    let response = route(&service, &transport, &job.request);
-                    let finished = tessel_obs::end_request();
-                    let total_micros = started.elapsed().as_micros() as u64;
-                    let mut extra_headers = vec![(
-                        "X-Tessel-Trace-Id".to_string(),
-                        trace_id.as_str().to_string(),
-                    )];
-                    let flight = finished.map(|done| {
-                        let timing = done
-                            .stages
-                            .iter()
-                            .map(|(name, micros)| {
-                                format!("{name};dur={:.3}", *micros as f64 / 1000.0)
-                            })
-                            .collect::<Vec<_>>()
-                            .join(", ");
-                        if !timing.is_empty() {
-                            extra_headers.push(("Server-Timing".to_string(), timing));
+                // Shared (not per-worker-owned): the streaming incumbent
+                // sink clones it into solver-thread callbacks.
+                let waker = Arc::new(Mutex::new(wake_tx.try_clone()?));
+                // The loop ends when `pop` returns `None`: queue closed and
+                // drained, i.e. shutdown.
+                Ok(std::thread::spawn(move || {
+                    while let Some(job) = admission.pop() {
+                        // A valid inbound trace ID joins the request to the
+                        // originating trace (cluster-internal calls); anything
+                        // else — absent, malformed, oversized — mints a fresh ID
+                        // and the raw header value is never reflected back.
+                        let trace_id = job
+                            .request
+                            .trace_header
+                            .as_deref()
+                            .and_then(tessel_obs::TraceId::parse)
+                            .unwrap_or_else(tessel_obs::TraceId::generate);
+                        let started = Instant::now();
+                        let start_unix_ms = now_unix_ms();
+                        tessel_obs::begin_request(trace_id);
+                        tessel_obs::record_stage("parse", job.parse_micros);
+                        tessel_obs::record_stage(
+                            "queue_wait",
+                            job.enqueued.elapsed().as_micros() as u64,
+                        );
+                        if stream_requested(&job.request) {
+                            // A body that does not even parse degrades to the
+                            // ordinary (non-streamed) 400 below via `route`.
+                            if let Ok(search_request) =
+                                serde_json::from_str::<crate::wire::SearchRequest>(
+                                    &job.request.body,
+                                )
+                            {
+                                run_streaming(
+                                    &service,
+                                    &completions,
+                                    &waker,
+                                    &job,
+                                    &search_request,
+                                    trace_id,
+                                    started,
+                                    start_unix_ms,
+                                );
+                                continue;
+                            }
                         }
-                        Box::new(PendingFlight {
-                            service: service.clone(),
-                            record: FlightRecord {
-                                trace_id: done.trace_id.as_str().to_string(),
-                                method: job.request.method.clone(),
-                                path: job.request.path.clone(),
-                                status: response.status,
-                                start_unix_ms,
-                                total_micros,
-                                stages: done
-                                    .stages
-                                    .iter()
-                                    .map(|&(name, micros)| StageTiming {
-                                        name: name.to_string(),
-                                        micros,
-                                    })
-                                    .collect(),
-                            },
-                            created: Instant::now(),
-                        })
-                    });
-                    tessel_obs::info(
-                        "http",
-                        "request completed",
-                        &[
-                            ("method", job.request.method.as_str()),
-                            ("path", job.request.path.as_str()),
-                            ("status", &response.status.to_string()),
-                            ("micros", &total_micros.to_string()),
-                            ("trace_id", trace_id.as_str()),
-                        ],
-                    );
-                    let bytes = encode_response(&response, !job.request.close, &extra_headers);
-                    completions
-                        .lock()
-                        .expect("completion lock")
-                        .push(Completion {
-                            token: job.token,
-                            seq: job.seq,
-                            bytes,
-                            close: job.request.close,
-                            flight,
+                        let response = route(&service, &transport, &job.request);
+                        let finished = tessel_obs::end_request();
+                        let total_micros = started.elapsed().as_micros() as u64;
+                        let mut extra_headers = vec![(
+                            "X-Tessel-Trace-Id".to_string(),
+                            trace_id.as_str().to_string(),
+                        )];
+                        let flight = finished.map(|done| {
+                            let timing = done
+                                .stages
+                                .iter()
+                                .map(|(name, micros)| {
+                                    format!("{name};dur={:.3}", *micros as f64 / 1000.0)
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            if !timing.is_empty() {
+                                extra_headers.push(("Server-Timing".to_string(), timing));
+                            }
+                            Box::new(PendingFlight {
+                                service: service.clone(),
+                                record: FlightRecord {
+                                    trace_id: done.trace_id.as_str().to_string(),
+                                    method: job.request.method.clone(),
+                                    path: job.request.path.clone(),
+                                    status: response.status,
+                                    start_unix_ms,
+                                    total_micros,
+                                    stages: done
+                                        .stages
+                                        .iter()
+                                        .map(|&(name, micros)| StageTiming {
+                                            name: name.to_string(),
+                                            micros,
+                                        })
+                                        .collect(),
+                                },
+                                created: Instant::now(),
+                            })
                         });
-                    // One byte per completion; the event loop drains in
-                    // batches, so a full (64 KiB) pipe is unreachable in
-                    // practice and a short block here is harmless anyway.
-                    let _ = waker.write(&[1]);
+                        tessel_obs::info(
+                            "http",
+                            "request completed",
+                            &[
+                                ("method", job.request.method.as_str()),
+                                ("path", job.request.path.as_str()),
+                                ("status", &response.status.to_string()),
+                                ("micros", &total_micros.to_string()),
+                                ("trace_id", trace_id.as_str()),
+                            ],
+                        );
+                        let bytes = encode_response(&response, !job.request.close, &extra_headers);
+                        push_completion(
+                            &completions,
+                            &waker,
+                            Completion {
+                                token: job.token,
+                                seq: job.seq,
+                                bytes,
+                                close: job.request.close,
+                                fin: true,
+                                droppable: false,
+                                flight,
+                            },
+                        );
+                    }
                 }))
             })
             .collect::<std::io::Result<_>>()?;
@@ -299,7 +367,7 @@ impl HttpServer {
             conns: HashMap::new(),
             per_ip: HashMap::new(),
             next_token: TOKEN_FIRST_CONN,
-            job_tx,
+            admission,
             completions,
             transport: transport.clone(),
             stop: stop.clone(),
@@ -340,8 +408,8 @@ impl HttpServer {
         if let Some(handle) = self.loop_handle.take() {
             let _ = handle.join();
         }
-        // The event loop dropped the job sender on exit, which unblocks the
-        // workers once the queue is empty.
+        // The event loop closed the admission queue on exit, which unblocks
+        // the workers once the queue is empty.
         for handle in self.worker_handles.drain(..) {
             let _ = handle.join();
         }
@@ -375,17 +443,223 @@ struct Job {
     /// When the job entered the worker queue; the gap to worker pickup is
     /// the `queue_wait` stage.
     enqueued: Instant,
+    /// Source IP, the admission queue's fairness unit.
+    client: Option<IpAddr>,
+    /// Admission priority scanned from the request body (`"priority"`);
+    /// higher pops first. Defaults to 0.
+    priority: i64,
+    /// Absolute admission deadline derived from the body's `"deadline_ms"`;
+    /// earlier pops first among equal priorities, and a later deadline is
+    /// shed first under overload.
+    deadline: Option<Instant>,
 }
 
-/// A finished response travelling back to the event loop.
+/// A finished response (or response fragment) travelling back to the event
+/// loop.
 struct Completion {
     token: u64,
     seq: u64,
     bytes: Vec<u8>,
     close: bool,
+    /// This completion finishes its request slot. Streaming responses send
+    /// many `fin: false` fragments (head, incumbent events) before one final
+    /// `fin: true` completion; everything else is a single `fin: true`.
+    fin: bool,
+    /// The fragment may be discarded when the connection's unflushed write
+    /// backlog passes [`WRITE_BACKPRESSURE_BYTES`] — used for lossy
+    /// incumbent events, never for heads or terminal frames (which are
+    /// always `droppable: false`, and a droppable fragment is never `fin`).
+    droppable: bool,
     /// Flight-recorder entry finalized once the event loop's write pass has
     /// run for this response (`None` for transport-level error responses).
     flight: Option<Box<PendingFlight>>,
+}
+
+impl Completion {
+    /// An ordinary single-shot response: finishes the slot, never dropped.
+    fn full(token: u64, seq: u64, bytes: Vec<u8>, close: bool) -> Self {
+        Completion {
+            token,
+            seq,
+            bytes,
+            close,
+            fin: true,
+            droppable: false,
+            flight: None,
+        }
+    }
+}
+
+/// One request waiting for a worker, with its admission bookkeeping.
+struct Waiting {
+    job: Job,
+    /// Monotone admission counter; the final tie-breaker for both pop
+    /// (oldest first) and shed (newest first).
+    arrival: u64,
+}
+
+/// State behind the [`AdmissionQueue`] lock.
+struct AdmissionState {
+    waiting: Vec<Waiting>,
+    /// Requests handed to workers so far, per client — the fairness
+    /// account: the client with the fewest served requests pops first.
+    served: HashMap<Option<IpAddr>, u64>,
+    arrivals: u64,
+    closed: bool,
+}
+
+/// What [`AdmissionQueue::offer`] did with a parsed request.
+enum OfferOutcome {
+    /// The request is waiting for a worker. Under [`ShedPolicy::LeastValuable`]
+    /// admitting into a full queue evicts the least valuable waiting request,
+    /// returned here so the event loop can answer it with `429`.
+    Admitted { shed: Option<Job> },
+    /// [`ShedPolicy::RejectNewest`]: the queue is full and the newcomer is
+    /// handed back for a `503`.
+    Rejected(Job),
+    /// The server is shutting down; the job was dropped unserved.
+    Closed,
+}
+
+/// Deadline/priority-aware bounded admission queue between the event loop
+/// and the worker pool (replaces a plain FIFO channel).
+///
+/// Pop order: fewest-served client first (round-robin fairness across
+/// source IPs), then highest priority, then earliest deadline (none sorts
+/// last), then oldest arrival. Overload sheds per [`ShedPolicy`].
+struct AdmissionQueue {
+    state: Mutex<AdmissionState>,
+    available: Condvar,
+    capacity: usize,
+    policy: ShedPolicy,
+    transport: Arc<TransportMetrics>,
+}
+
+impl AdmissionQueue {
+    fn new(capacity: usize, policy: ShedPolicy, transport: Arc<TransportMetrics>) -> Self {
+        AdmissionQueue {
+            state: Mutex::new(AdmissionState {
+                waiting: Vec::new(),
+                served: HashMap::new(),
+                arrivals: 0,
+                closed: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+            policy,
+            transport,
+        }
+    }
+
+    /// Ranks `deadline`s with "no deadline" as the latest possible one.
+    fn deadline_or_max(deadline: Option<Instant>) -> (bool, Option<Instant>) {
+        // `(true, _)` (no deadline) orders after every `(false, Some(_))`.
+        (deadline.is_none(), deadline)
+    }
+
+    fn offer(&self, job: Job) -> OfferOutcome {
+        let mut state = self.state.lock().expect("admission lock");
+        if state.closed {
+            return OfferOutcome::Closed;
+        }
+        if self.policy == ShedPolicy::RejectNewest && state.waiting.len() >= self.capacity {
+            return OfferOutcome::Rejected(job);
+        }
+        let arrival = state.arrivals;
+        state.arrivals += 1;
+        state.waiting.push(Waiting { job, arrival });
+        let shed = if state.waiting.len() > self.capacity {
+            // Least valuable first: lowest priority, then the client
+            // hogging the most slots, then the latest deadline, then the
+            // newest arrival. (The newcomer itself is a candidate — a
+            // low-priority late-deadline arrival into a queue of urgent
+            // work sheds itself.)
+            let mut share: HashMap<Option<IpAddr>, usize> = HashMap::new();
+            for w in &state.waiting {
+                *share.entry(w.job.client).or_insert(0) += 1;
+            }
+            let victim = state
+                .waiting
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    b.job
+                        .priority
+                        .cmp(&a.job.priority)
+                        .then_with(|| share.get(&a.job.client).cmp(&share.get(&b.job.client)))
+                        .then_with(|| {
+                            Self::deadline_or_max(a.job.deadline)
+                                .cmp(&Self::deadline_or_max(b.job.deadline))
+                        })
+                        .then_with(|| a.arrival.cmp(&b.arrival))
+                })
+                .map(|(index, _)| index)
+                .expect("non-empty waiting list");
+            Some(state.waiting.swap_remove(victim).job)
+        } else {
+            None
+        };
+        self.transport
+            .admission_queue_depth
+            .store(state.waiting.len() as u64, Ordering::Relaxed);
+        drop(state);
+        self.available.notify_one();
+        OfferOutcome::Admitted { shed }
+    }
+
+    /// Blocks until a request is available (or `None` after [`close`] once
+    /// the queue has drained) and returns the most urgent waiting request.
+    fn pop(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("admission lock");
+        loop {
+            if let Some(index) = Self::select(&state) {
+                let picked = state.waiting.swap_remove(index);
+                *state.served.entry(picked.job.client).or_insert(0) += 1;
+                self.transport
+                    .admission_queue_depth
+                    .store(state.waiting.len() as u64, Ordering::Relaxed);
+                self.transport
+                    .admission_wait
+                    .observe_micros(picked.job.enqueued.elapsed().as_micros() as u64);
+                return Some(picked.job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("admission lock");
+        }
+    }
+
+    /// Index of the most urgent waiting request: fewest-served client,
+    /// then highest priority, then earliest deadline, then oldest arrival.
+    fn select(state: &AdmissionState) -> Option<usize> {
+        state
+            .waiting
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let served_a = state.served.get(&a.job.client).copied().unwrap_or(0);
+                let served_b = state.served.get(&b.job.client).copied().unwrap_or(0);
+                served_a
+                    .cmp(&served_b)
+                    .then_with(|| b.job.priority.cmp(&a.job.priority))
+                    .then_with(|| {
+                        Self::deadline_or_max(a.job.deadline)
+                            .cmp(&Self::deadline_or_max(b.job.deadline))
+                    })
+                    .then_with(|| a.arrival.cmp(&b.arrival))
+            })
+            .map(|(index, _)| index)
+    }
+
+    /// Marks the queue closed and wakes every worker; waiting requests
+    /// still drain before `pop` starts returning `None`.
+    fn close(&self) {
+        let mut state = self.state.lock().expect("admission lock");
+        state.closed = true;
+        drop(state);
+        self.available.notify_all();
+    }
 }
 
 /// A worker-built flight record waiting for its `write` stage: the event
@@ -415,8 +689,10 @@ struct Conn {
     /// Sequence number whose response goes out next (pipelined responses are
     /// reordered to request order).
     next_to_send: u64,
-    /// Completed responses that arrived out of order.
-    pending: BTreeMap<u64, Vec<u8>>,
+    /// Response bytes per sequence number that cannot be written yet (out of
+    /// order, or an in-progress stream). The flag marks the slot finished;
+    /// an unfinished slot forwards bytes but holds its place in the order.
+    pending: BTreeMap<u64, (Vec<u8>, bool)>,
     /// Requests dispatched but not yet completed.
     in_flight: usize,
     /// Last socket activity, for the idle-timeout sweep.
@@ -462,7 +738,7 @@ struct EventLoop {
     /// Open connections per source IP (entries removed at zero).
     per_ip: HashMap<std::net::IpAddr, usize>,
     next_token: u64,
-    job_tx: SyncSender<Job>,
+    admission: Arc<AdmissionQueue>,
     completions: Arc<Mutex<Vec<Completion>>>,
     transport: Arc<TransportMetrics>,
     stop: Arc<AtomicBool>,
@@ -524,12 +800,13 @@ impl EventLoop {
                 self.sweep_idle();
             }
         }
-        // Shutdown: close every connection and drop the job sender so the
+        // Shutdown: close every connection and the admission queue so the
         // workers drain and exit.
         let tokens: Vec<u64> = self.conns.keys().copied().collect();
         for token in tokens {
             self.close_conn(token);
         }
+        self.admission.close();
     }
 
     /// The wait timeout: time until the (lower bound on the) earliest idle
@@ -637,13 +914,7 @@ impl EventLoop {
             if !tokens.contains(&completion.token) {
                 tokens.push(completion.token);
             }
-            self.deliver(
-                completion.token,
-                completion.seq,
-                completion.bytes,
-                completion.close,
-                completion.flight,
-            );
+            self.deliver(completion);
         }
         // Completions freed pipelining capacity: parse any requests already
         // sitting in the read buffer. Without this, a client that pipelined
@@ -656,32 +927,57 @@ impl EventLoop {
         }
     }
 
-    /// Records a finished response for `seq`, moves every response that is
-    /// now in request order into the write buffer, flushes what the socket
-    /// accepts, then finalizes the request's flight-recorder entry (the
-    /// `write` stage is the worker-completion-to-write-pass gap).
-    fn deliver(
-        &mut self,
-        token: u64,
-        seq: u64,
-        bytes: Vec<u8>,
-        close: bool,
-        flight: Option<Box<PendingFlight>>,
-    ) {
+    /// Records a finished response (or streaming fragment) for `seq`, moves
+    /// every byte that is now in request order into the write buffer,
+    /// flushes what the socket accepts, then finalizes the request's
+    /// flight-recorder entry (the `write` stage is the
+    /// worker-completion-to-write-pass gap).
+    fn deliver(&mut self, completion: Completion) {
+        let Completion {
+            token,
+            seq,
+            bytes,
+            close,
+            fin,
+            droppable,
+            flight,
+        } = completion;
         if let Some(conn) = self.conns.get_mut(&token) {
-            conn.in_flight -= 1;
-            let became_idle = conn.idle();
-            if became_idle {
-                self.transport
-                    .connections_idle
-                    .fetch_add(1, Ordering::Relaxed);
+            // Lossy fragments (incumbent events) are discarded when the
+            // peer is not draining its socket, so a stalled stream consumer
+            // costs bounded memory. `fin` bookkeeping below still runs —
+            // droppable fragments are never `fin` by construction.
+            let backlogged = conn.write_buf.len() - conn.written >= WRITE_BACKPRESSURE_BYTES;
+            if !(droppable && backlogged) {
+                let slot = conn
+                    .pending
+                    .entry(seq)
+                    .or_insert_with(|| (Vec::new(), false));
+                slot.0.extend_from_slice(&bytes);
+                slot.1 |= fin;
             }
-            if close {
-                conn.draining = true;
+            let mut became_idle = false;
+            if fin {
+                conn.in_flight -= 1;
+                became_idle = conn.idle();
+                if became_idle {
+                    self.transport
+                        .connections_idle
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                if close {
+                    conn.draining = true;
+                }
             }
-            conn.pending.insert(seq, bytes);
-            while let Some(ready) = conn.pending.remove(&conn.next_to_send) {
-                conn.write_buf.extend_from_slice(&ready);
+            // Drain in request order. An unfinished slot (an in-progress
+            // stream) forwards the bytes it has and stays put, blocking
+            // later responses until its terminal fragment arrives.
+            while let Some(slot) = conn.pending.get_mut(&conn.next_to_send) {
+                conn.write_buf.append(&mut slot.0);
+                if !slot.1 {
+                    break;
+                }
+                conn.pending.remove(&conn.next_to_send);
                 conn.next_to_send += 1;
             }
             if became_idle {
@@ -834,7 +1130,7 @@ impl EventLoop {
                             false,
                             &[],
                         );
-                        self.deliver(token, seq, bytes, true, None);
+                        self.deliver(Completion::full(token, seq, bytes, true));
                         return;
                     }
                     ParseStatus::Request(request, consumed) => {
@@ -859,34 +1155,72 @@ impl EventLoop {
                                 .connections_idle
                                 .fetch_sub(1, Ordering::Relaxed);
                         }
-                        if request.close {
+                        if request.close || stream_requested(&request) {
+                            // A streaming response owns the connection until
+                            // its terminal frame; stop parsing further
+                            // pipelined requests behind it.
                             conn.draining = true;
                         }
-                        (seq, request, parse_started.elapsed().as_micros() as u64)
+                        (
+                            seq,
+                            request,
+                            parse_started.elapsed().as_micros() as u64,
+                            conn.peer_ip,
+                        )
                     }
                 }
             };
-            let (seq, request, parse_micros) = parsed;
-            let close = request.close;
-            match self.job_tx.try_send(Job {
+            let (seq, request, parse_micros, client) = parsed;
+            let priority = scan_json_integer(&request.body, "priority").unwrap_or(0);
+            let deadline = scan_json_integer(&request.body, "deadline_ms")
+                .filter(|&ms| ms >= 0)
+                .map(|ms| Instant::now() + Duration::from_millis(ms as u64));
+            let job = Job {
                 token,
                 seq,
                 request,
                 parse_micros,
                 enqueued: Instant::now(),
-            }) {
-                Ok(()) => {}
-                Err(TrySendError::Full(_)) => {
-                    // Bounded pool: shed load instead of queueing without
-                    // limit.
+                client,
+                priority,
+                deadline,
+            };
+            match self.admission.offer(job) {
+                OfferOutcome::Admitted { shed: None } => {}
+                OfferOutcome::Admitted { shed: Some(victim) } => {
+                    // Overload: the least valuable *waiting* request is
+                    // answered with 429 + Retry-After so the newcomer (or a
+                    // more urgent waiter) keeps its slot.
+                    self.transport
+                        .admission_shed
+                        .fetch_add(1, Ordering::Relaxed);
+                    let close = victim.request.close;
+                    let bytes = encode_response(
+                        &error_response(
+                            429,
+                            "overloaded",
+                            "shed by admission control: retry shortly",
+                        ),
+                        !close,
+                        &[("Retry-After".to_string(), "1".to_string())],
+                    );
+                    self.deliver(Completion::full(victim.token, victim.seq, bytes, close));
+                }
+                OfferOutcome::Rejected(job) => {
+                    // Tail-drop baseline: shed load instead of queueing
+                    // without limit.
+                    self.transport
+                        .admission_shed
+                        .fetch_add(1, Ordering::Relaxed);
+                    let close = job.request.close;
                     let bytes = encode_response(
                         &error_response(503, "unavailable", "request queue is full"),
                         !close,
                         &[],
                     );
-                    self.deliver(token, seq, bytes, close, None);
+                    self.deliver(Completion::full(job.token, job.seq, bytes, close));
                 }
-                Err(TrySendError::Disconnected(_)) => {
+                OfferOutcome::Closed => {
                     self.close_conn(token);
                     return;
                 }
@@ -1237,6 +1571,19 @@ fn route(
             },
             Err(e) => error_response(400, "bad_request", &format!("invalid request body: {e}")),
         },
+        ("POST", "/v1/search/batch") => {
+            match serde_json::from_str::<crate::wire::BatchSearchRequest>(&request.body) {
+                Ok(batch) => {
+                    let response = service.search_batch(&batch);
+                    Response {
+                        status: 200,
+                        content_type: "application/json",
+                        body: tessel_obs::stage("serialize", || render_json(&response)),
+                    }
+                }
+                Err(e) => error_response(400, "bad_request", &format!("invalid request body: {e}")),
+            }
+        }
         ("GET", "/v1/cache") => Response {
             status: 200,
             content_type: "application/json",
@@ -1330,7 +1677,8 @@ fn route(
         ("GET", "/metrics") => {
             let mut body = service.metrics_snapshot().render_prometheus()
                 + &service.metrics().render_histograms()
-                + &transport.snapshot().render_prometheus();
+                + &transport.snapshot().render_prometheus()
+                + &transport.render_admission_wait();
             if let Some(cluster) = service.cluster_snapshot() {
                 body += &cluster.render_prometheus();
             }
@@ -1382,6 +1730,7 @@ fn status_text(status: u16) -> &'static str {
         404 => "Not Found",
         408 => "Request Timeout",
         422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     }
@@ -1409,6 +1758,207 @@ fn encode_response(
     encoded.push_str("\r\n");
     encoded.push_str(&response.body);
     encoded.into_bytes()
+}
+
+/// `true` when the request asks for anytime incumbent streaming:
+/// `POST /v1/search?stream=1`.
+fn stream_requested(request: &ParsedRequest) -> bool {
+    request.method == "POST"
+        && request.path.split_once('?').is_some_and(|(path, query)| {
+            path == "/v1/search" && query.split('&').any(|pair| pair == "stream=1")
+        })
+}
+
+/// Extracts a top-level integer field from a JSON body without a full parse:
+/// finds `"name"` followed by `:` and an optionally signed integer. Good
+/// enough for admission hints (`priority`, `deadline_ms`) — the worker
+/// re-parses the body properly, and a false positive from a pathological
+/// nested key only perturbs queue order, never correctness.
+fn scan_json_integer(body: &str, name: &str) -> Option<i64> {
+    let needle = format!("\"{name}\"");
+    let mut from = 0;
+    while let Some(found) = body[from..].find(&needle) {
+        let after = from + found + needle.len();
+        let rest = body[after..].trim_start();
+        if let Some(rest) = rest.strip_prefix(':') {
+            let rest = rest.trim_start();
+            let end = rest
+                .char_indices()
+                .find(|&(i, c)| !(c.is_ascii_digit() || (i == 0 && c == '-')))
+                .map_or(rest.len(), |(i, _)| i);
+            return rest[..end].parse().ok();
+        }
+        from = after;
+    }
+    None
+}
+
+/// Queues a completion and rouses the event loop. One wakeup byte per
+/// completion; the loop drains in batches, so a full (64 KiB) pipe is
+/// unreachable in practice and a short block here is harmless anyway.
+fn push_completion(
+    completions: &Mutex<Vec<Completion>>,
+    waker: &Mutex<PipeWriter>,
+    completion: Completion,
+) {
+    completions
+        .lock()
+        .expect("completion lock")
+        .push(completion);
+    let _ = waker.lock().expect("waker lock").write(&[1]);
+}
+
+/// Encodes one SSE event (`data: <json>\n\n`) as an HTTP chunk.
+fn encode_stream_chunk(event: &StreamEvent) -> Vec<u8> {
+    let payload = format!("data: {}\n\n", render_json(event));
+    let mut out = format!("{:x}\r\n", payload.len()).into_bytes();
+    out.extend_from_slice(payload.as_bytes());
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// Serves one `POST /v1/search?stream=1` request: sends a chunked SSE head
+/// immediately, pushes a (droppable) `incumbent` event for every improving
+/// makespan the solver reports, and terminates the stream with a `result`
+/// (or `error`) event followed by the last-chunk. Streaming responses
+/// always close the connection.
+#[allow(clippy::too_many_arguments)]
+fn run_streaming(
+    service: &Arc<ScheduleService>,
+    completions: &Arc<Mutex<Vec<Completion>>>,
+    waker: &Arc<Mutex<PipeWriter>>,
+    job: &Job,
+    search_request: &crate::wire::SearchRequest,
+    trace_id: tessel_obs::TraceId,
+    started: Instant,
+    start_unix_ms: u64,
+) {
+    let token = job.token;
+    let seq = job.seq;
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nTransfer-Encoding: chunked\r\nConnection: close\r\nX-Tessel-Trace-Id: {}\r\n\r\n",
+        trace_id.as_str()
+    );
+    push_completion(
+        completions,
+        waker,
+        Completion {
+            token,
+            seq,
+            bytes: head.into_bytes(),
+            close: false,
+            fin: false,
+            droppable: false,
+            flight: None,
+        },
+    );
+    // Portfolio workers report incumbents concurrently and not globally in
+    // order; a CAS-min filter keeps the stream strictly improving.
+    let best = Arc::new(AtomicU64::new(u64::MAX));
+    let sink = {
+        let completions = completions.clone();
+        let waker = waker.clone();
+        let best = best.clone();
+        tessel_solver::IncumbentSink::new(move |value| {
+            let mut current = best.load(Ordering::Relaxed);
+            loop {
+                if value >= current {
+                    return;
+                }
+                match best.compare_exchange_weak(
+                    current,
+                    value,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => current = seen,
+                }
+            }
+            let event = StreamEvent::Incumbent {
+                value,
+                elapsed_ms: started.elapsed().as_millis() as u64,
+            };
+            push_completion(
+                &completions,
+                &waker,
+                Completion {
+                    token,
+                    seq,
+                    bytes: encode_stream_chunk(&event),
+                    close: false,
+                    fin: false,
+                    droppable: true,
+                    flight: None,
+                },
+            );
+        })
+    };
+    let result = service.search_streamed(search_request, &sink);
+    let status = match &result {
+        Ok(_) => 200,
+        Err(e) => e.http_status(),
+    };
+    let terminal = match result {
+        Ok(response) => StreamEvent::Result(response),
+        Err(e) => StreamEvent::Error {
+            status,
+            body: ErrorBody {
+                kind: e.kind().into(),
+                error: e.to_string(),
+            },
+        },
+    };
+    let mut bytes = encode_stream_chunk(&terminal);
+    bytes.extend_from_slice(b"0\r\n\r\n");
+    let finished = tessel_obs::end_request();
+    let total_micros = started.elapsed().as_micros() as u64;
+    let flight = finished.map(|done| {
+        Box::new(PendingFlight {
+            service: service.clone(),
+            record: FlightRecord {
+                trace_id: done.trace_id.as_str().to_string(),
+                method: job.request.method.clone(),
+                path: job.request.path.clone(),
+                status,
+                start_unix_ms,
+                total_micros,
+                stages: done
+                    .stages
+                    .iter()
+                    .map(|&(name, micros)| StageTiming {
+                        name: name.to_string(),
+                        micros,
+                    })
+                    .collect(),
+            },
+            created: Instant::now(),
+        })
+    });
+    tessel_obs::info(
+        "http",
+        "streamed request completed",
+        &[
+            ("method", job.request.method.as_str()),
+            ("path", job.request.path.as_str()),
+            ("status", &status.to_string()),
+            ("micros", &total_micros.to_string()),
+            ("trace_id", trace_id.as_str()),
+        ],
+    );
+    push_completion(
+        completions,
+        waker,
+        Completion {
+            token,
+            seq,
+            bytes,
+            close: true,
+            fin: true,
+            droppable: false,
+            flight,
+        },
+    );
 }
 
 /// A keep-alive HTTP/1.1 client: one TCP connection reused across calls.
@@ -1686,6 +2236,152 @@ pub fn http_call(
     Ok((status, payload))
 }
 
+/// Issues one streaming request against `addr` on a throwaway connection
+/// and decodes the chunked SSE response incrementally: `on_event` is
+/// invoked with each `data:` payload (JSON text) the moment its frame is
+/// complete, terminal event included. Returns `(status, last_payload)` —
+/// for a streamed response the last payload is the terminal `result` /
+/// `error` event; a non-chunked response (transport-level errors like `429`
+/// or `503`) is returned whole as the payload with no events.
+///
+/// Used by `tessel-client search --stream`.
+///
+/// # Errors
+///
+/// Propagates socket errors and malformed responses.
+pub fn http_call_streaming(
+    addr: &str,
+    path: &str,
+    body: &str,
+    mut on_event: impl FnMut(&str),
+) -> std::io::Result<(u16, String)> {
+    let socket_addr = addr.to_socket_addrs()?.next().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "unresolvable addr")
+    })?;
+    let mut stream = TcpStream::connect_timeout(&socket_addr, Duration::from_secs(10))?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let request = format!(
+        "POST {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+
+    let mut buffer: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buffer, 0) {
+            break pos;
+        }
+        if buffer.len() > MAX_HEADER_BYTES {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "response headers too large",
+            ));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        buffer.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buffer[..header_end]).into_owned();
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "missing status code")
+        })?;
+    let mut chunked = false;
+    let mut content_length = 0usize;
+    for line in head.split("\r\n").skip(1) {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim();
+            let value = value.trim();
+            if name.eq_ignore_ascii_case("transfer-encoding") {
+                chunked = value.eq_ignore_ascii_case("chunked");
+            } else if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad Content-Length")
+                })?;
+            }
+        }
+    }
+    let body_start = header_end + 4;
+
+    if !chunked {
+        // Transport-level error (shed, queue-full, malformed body): a plain
+        // Content-Length response with no events.
+        let mut payload = buffer[body_start..].to_vec();
+        while payload.len() < content_length {
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ));
+            }
+            payload.extend_from_slice(&chunk[..n]);
+        }
+        payload.truncate(content_length);
+        let payload = String::from_utf8(payload).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "body is not UTF-8")
+        })?;
+        return Ok((status, payload));
+    }
+
+    // Incremental chunked decode reusing the server parser's checkpointing:
+    // decoded bytes accumulate in `progress.body`; complete SSE frames
+    // (`data: ...\n\n`) are emitted as they appear.
+    let mut progress = ChunkProgress {
+        pos: body_start,
+        body: Vec::new(),
+    };
+    let mut emitted = 0usize;
+    let mut last_event = String::new();
+    loop {
+        let done = match decode_chunked(&buffer, &mut progress) {
+            ChunkStatus::Done { .. } => true,
+            ChunkStatus::NeedMore => false,
+            ChunkStatus::Error(message) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    message,
+                ));
+            }
+        };
+        while let Some(end) = progress.body[emitted..]
+            .windows(2)
+            .position(|w| w == b"\n\n")
+        {
+            let frame = String::from_utf8_lossy(&progress.body[emitted..emitted + end]);
+            emitted += end + 2;
+            for line in frame.lines() {
+                if let Some(data) = line.strip_prefix("data: ") {
+                    last_event.clear();
+                    last_event.push_str(data);
+                    on_event(data);
+                }
+            }
+        }
+        if done {
+            return Ok((status, last_event));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-stream",
+            ));
+        }
+        buffer.extend_from_slice(&chunk[..n]);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1960,6 +2656,199 @@ mod tests {
             }
             _ => panic!("expected a complete request"),
         }
+    }
+
+    #[test]
+    fn stream_flag_is_detected_in_the_query() {
+        let request = |path: &str, method: &str| ParsedRequest {
+            method: method.into(),
+            path: path.into(),
+            body: String::new(),
+            close: false,
+            trace_header: None,
+        };
+        assert!(stream_requested(&request("/v1/search?stream=1", "POST")));
+        assert!(stream_requested(&request(
+            "/v1/search?foo=bar&stream=1",
+            "POST"
+        )));
+        assert!(!stream_requested(&request("/v1/search", "POST")));
+        assert!(!stream_requested(&request("/v1/search?stream=0", "POST")));
+        assert!(!stream_requested(&request("/v1/search?stream=1", "GET")));
+        assert!(!stream_requested(&request("/v1/cache?stream=1", "POST")));
+    }
+
+    #[test]
+    fn json_integer_scan_finds_admission_hints() {
+        let body = r#"{"placement":{"priority_map":[1,2]},"priority":7,"deadline_ms":1500}"#;
+        assert_eq!(scan_json_integer(body, "priority"), Some(7));
+        assert_eq!(scan_json_integer(body, "deadline_ms"), Some(1500));
+        assert_eq!(scan_json_integer(body, "absent"), None);
+        assert_eq!(
+            scan_json_integer(r#"{"priority":-3}"#, "priority"),
+            Some(-3)
+        );
+        // A null (the serializer always writes the key) reads as absent.
+        assert_eq!(scan_json_integer(r#"{"priority":null}"#, "priority"), None);
+        // A quoted key that is only a prefix of another key must not match
+        // that other key's value.
+        assert_eq!(
+            scan_json_integer(r#"{"priority_class":2,"priority": 4}"#, "priority"),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn stream_chunks_are_well_formed_sse_frames() {
+        let event = StreamEvent::Incumbent {
+            value: 42,
+            elapsed_ms: 7,
+        };
+        let chunk = encode_stream_chunk(&event);
+        let text = String::from_utf8(chunk).unwrap();
+        // `hex-size\r\n data \r\n`, payload `data: {...}\n\n`.
+        let (size_line, rest) = text.split_once("\r\n").unwrap();
+        let size = usize::from_str_radix(size_line, 16).unwrap();
+        let payload = &rest[..size];
+        assert!(rest[size..].starts_with("\r\n"));
+        assert!(payload.starts_with("data: {"));
+        assert!(payload.ends_with("\n\n"));
+        assert!(payload.contains("\"event\":\"incumbent\""));
+        assert!(payload.contains("\"value\":42"));
+    }
+
+    fn admission_job(client: Option<IpAddr>, priority: i64, deadline: Option<Instant>) -> Job {
+        Job {
+            token: 0,
+            seq: 0,
+            request: ParsedRequest {
+                method: "POST".into(),
+                path: "/v1/search".into(),
+                body: String::new(),
+                close: false,
+                trace_header: None,
+            },
+            parse_micros: 0,
+            enqueued: Instant::now(),
+            client,
+            priority,
+            deadline,
+        }
+    }
+
+    #[test]
+    fn admission_pops_by_fairness_priority_then_deadline() {
+        let queue = AdmissionQueue::new(
+            8,
+            ShedPolicy::LeastValuable,
+            Arc::new(TransportMetrics::new()),
+        );
+        let a: IpAddr = "10.0.0.1".parse().unwrap();
+        let b: IpAddr = "10.0.0.2".parse().unwrap();
+        let now = Instant::now();
+        // Same client, differing priority and deadline.
+        assert!(matches!(
+            queue.offer(admission_job(
+                Some(a),
+                0,
+                Some(now + Duration::from_secs(9))
+            )),
+            OfferOutcome::Admitted { shed: None }
+        ));
+        assert!(matches!(
+            queue.offer(admission_job(Some(a), 5, None)),
+            OfferOutcome::Admitted { shed: None }
+        ));
+        assert!(matches!(
+            queue.offer(admission_job(
+                Some(a),
+                0,
+                Some(now + Duration::from_secs(1))
+            )),
+            OfferOutcome::Admitted { shed: None }
+        ));
+        assert!(matches!(
+            queue.offer(admission_job(Some(b), 0, None)),
+            OfferOutcome::Admitted { shed: None }
+        ));
+        // Highest priority first (within client `a`), but after the first
+        // pop client `a` has been served once, so client `b` goes next.
+        let first = queue.pop().unwrap();
+        assert_eq!((first.client, first.priority), (Some(a), 5));
+        let second = queue.pop().unwrap();
+        assert_eq!(second.client, Some(b));
+        // Back to `a`: earliest deadline among its equal-priority waiters.
+        let third = queue.pop().unwrap();
+        assert_eq!(third.deadline, Some(now + Duration::from_secs(1)));
+        let fourth = queue.pop().unwrap();
+        assert_eq!(fourth.deadline, Some(now + Duration::from_secs(9)));
+    }
+
+    #[test]
+    fn overload_sheds_the_least_valuable_waiting_request() {
+        let queue = AdmissionQueue::new(
+            2,
+            ShedPolicy::LeastValuable,
+            Arc::new(TransportMetrics::new()),
+        );
+        let now = Instant::now();
+        let a: IpAddr = "10.0.0.1".parse().unwrap();
+        let b: IpAddr = "10.0.0.2".parse().unwrap();
+        queue.offer(admission_job(
+            Some(a),
+            0,
+            Some(now + Duration::from_secs(1)),
+        ));
+        queue.offer(admission_job(Some(a), 0, None)); // no deadline = latest
+                                                      // The overflowing urgent arrival evicts the deadline-less waiter,
+                                                      // not itself and not the earlier-deadline one.
+        match queue.offer(admission_job(
+            Some(b),
+            0,
+            Some(now + Duration::from_secs(2)),
+        )) {
+            OfferOutcome::Admitted { shed: Some(victim) } => {
+                assert_eq!(victim.client, Some(a));
+                assert!(victim.deadline.is_none());
+            }
+            _ => panic!("expected a shed victim"),
+        }
+        // Priority outranks deadline: a low-priority urgent request is shed
+        // before a high-priority lazy one.
+        let queue = AdmissionQueue::new(
+            1,
+            ShedPolicy::LeastValuable,
+            Arc::new(TransportMetrics::new()),
+        );
+        queue.offer(admission_job(Some(a), 9, None));
+        match queue.offer(admission_job(
+            Some(b),
+            -1,
+            Some(now + Duration::from_millis(5)),
+        )) {
+            OfferOutcome::Admitted { shed: Some(victim) } => {
+                assert_eq!(victim.priority, -1, "the newcomer itself is shed");
+            }
+            _ => panic!("expected a shed victim"),
+        }
+    }
+
+    #[test]
+    fn reject_newest_policy_refuses_the_newcomer() {
+        let queue = AdmissionQueue::new(
+            1,
+            ShedPolicy::RejectNewest,
+            Arc::new(TransportMetrics::new()),
+        );
+        queue.offer(admission_job(None, 0, None));
+        assert!(matches!(
+            queue.offer(admission_job(None, 9, None)),
+            OfferOutcome::Rejected(_)
+        ));
+        // Closing drains the waiter, then pops return None.
+        queue.close();
+        assert!(queue.pop().is_some());
+        assert!(queue.pop().is_none());
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub mod wire;
 pub use cache::{CacheConfig, CacheJournal, CachedSearch, ShardedCache};
 pub use cluster::{peers::PeerConfig, ring::HashRing, Cluster, ClusterConfig};
 pub use flight::{FlightRecord, FlightRecorder, StageTiming};
-pub use http::{HttpClient, HttpServer, ServerConfig};
+pub use http::{http_call_streaming, HttpClient, HttpServer, ServerConfig, ShedPolicy};
 pub use metrics::{
     ClusterMetrics, ClusterSnapshot, MetricsSnapshot, ServiceMetrics, TransportMetrics,
     TransportSnapshot,

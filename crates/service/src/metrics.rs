@@ -24,8 +24,9 @@ const BUCKETS: usize = 40;
 ///
 /// Paths are coarsened to this set by [`ServiceMetrics::endpoint_label`] so an
 /// attacker probing random URLs cannot mint unbounded label values.
-pub const ENDPOINT_LABELS: [&str; 7] = [
+pub const ENDPOINT_LABELS: [&str; 8] = [
     "/v1/search",
+    "/v1/search/batch",
     "/v1/cache",
     "/v1/cluster",
     "/v1/debug/requests",
@@ -99,6 +100,14 @@ pub struct ServiceMetrics {
     /// Canonical-labeling searches that hit the node budget and completed
     /// greedily (see `tessel_core::fingerprint::DEFAULT_NODE_BUDGET`).
     pub canon_budget_exhausted: AtomicU64,
+    /// Batch-search members answered by another member of the same batch
+    /// (same canonical fingerprint — the solver ran at most once for the
+    /// whole group).
+    pub batch_deduped: AtomicU64,
+    /// Journal records dropped at startup because their stored fingerprint no
+    /// longer matched re-canonicalization of the stored placement (dead
+    /// weight from an older labeling scheme).
+    pub journal_stale_dropped: AtomicU64,
     latency_buckets: [AtomicU64; BUCKETS],
     /// Request-duration histograms, one per [`ENDPOINT_LABELS`] entry.
     endpoint_durations: [Histogram; ENDPOINT_LABELS.len()],
@@ -160,6 +169,12 @@ pub struct MetricsSnapshot {
     /// greedily.
     #[serde(default)]
     pub canon_budget_exhausted: u64,
+    /// Batch-search members deduplicated within their batch.
+    #[serde(default)]
+    pub batch_deduped: u64,
+    /// Stale journal records dropped by startup compaction.
+    #[serde(default)]
+    pub journal_stale_dropped: u64,
     /// Cache hit rate over all completed requests (0 when idle).
     pub hit_rate: f64,
     /// Entries currently cached.
@@ -194,6 +209,8 @@ impl Default for ServiceMetrics {
             fingerprint_paranoia_mismatches: AtomicU64::new(0),
             fingerprint_wire_mismatches: AtomicU64::new(0),
             canon_budget_exhausted: AtomicU64::new(0),
+            batch_deduped: AtomicU64::new(0),
+            journal_stale_dropped: AtomicU64::new(0),
             latency_buckets: std::array::from_fn(|_| AtomicU64::new(0)),
             endpoint_durations: std::array::from_fn(|_| Histogram::new()),
             stage_durations: std::array::from_fn(|_| Histogram::new()),
@@ -242,6 +259,8 @@ impl ServiceMetrics {
     pub fn endpoint_label(path: &str) -> &'static str {
         if path == "/v1/search" {
             "/v1/search"
+        } else if path == "/v1/search/batch" {
+            "/v1/search/batch"
         } else if path == "/v1/cache" || path.starts_with("/v1/cache/") {
             "/v1/cache"
         } else if path == "/v1/cluster" || path.starts_with("/v1/cluster/") {
@@ -365,6 +384,8 @@ impl ServiceMetrics {
                 .load(Ordering::Relaxed),
             fingerprint_wire_mismatches: self.fingerprint_wire_mismatches.load(Ordering::Relaxed),
             canon_budget_exhausted: self.canon_budget_exhausted.load(Ordering::Relaxed),
+            batch_deduped: self.batch_deduped.load(Ordering::Relaxed),
+            journal_stale_dropped: self.journal_stale_dropped.load(Ordering::Relaxed),
             hit_rate: if served == 0 {
                 0.0
             } else {
@@ -488,6 +509,16 @@ impl MetricsSnapshot {
             "Canonical-labeling searches that hit the node budget and completed greedily.",
             self.canon_budget_exhausted as f64,
         );
+        counter(
+            "batch_deduped_total",
+            "Batch-search members deduplicated within their batch (fingerprint-identical to another member).",
+            self.batch_deduped as f64,
+        );
+        counter(
+            "cache_journal_stale_dropped_total",
+            "Journal records dropped at startup because re-canonicalization no longer reproduces their stored fingerprint.",
+            self.journal_stale_dropped as f64,
+        );
         counter("cache_hit_rate", "Cache hit rate.", self.hit_rate);
         counter(
             "cache_entries",
@@ -538,6 +569,14 @@ pub struct TransportMetrics {
     /// Connections rejected at accept because their source IP already held
     /// the per-IP connection cap.
     pub rejected_per_ip: AtomicU64,
+    /// Requests currently waiting in the admission queue (gauge).
+    pub admission_queue_depth: AtomicU64,
+    /// Requests shed by the admission queue under overload (answered with
+    /// 429 or 503 instead of being served).
+    pub admission_shed: AtomicU64,
+    /// Time requests spent waiting in the admission queue before a worker
+    /// picked them up.
+    pub admission_wait: Histogram,
 }
 
 /// Point-in-time snapshot of [`TransportMetrics`].
@@ -557,6 +596,12 @@ pub struct TransportSnapshot {
     pub idle_closed: u64,
     /// Connections rejected by the per-IP accept cap.
     pub rejected_per_ip: u64,
+    /// Requests currently waiting in the admission queue.
+    #[serde(default)]
+    pub admission_queue_depth: u64,
+    /// Requests shed by the admission queue under overload.
+    #[serde(default)]
+    pub admission_shed: u64,
 }
 
 impl TransportMetrics {
@@ -577,7 +622,28 @@ impl TransportMetrics {
             pipelined_requests: self.pipelined_requests.load(Ordering::Relaxed),
             idle_closed: self.idle_closed.load(Ordering::Relaxed),
             rejected_per_ip: self.rejected_per_ip.load(Ordering::Relaxed),
+            admission_queue_depth: self.admission_queue_depth.load(Ordering::Relaxed),
+            admission_shed: self.admission_shed.load(Ordering::Relaxed),
         }
+    }
+
+    /// Renders the admission-queue wait-time histogram in Prometheus text
+    /// exposition format (appended to `GET /metrics` after the transport
+    /// counters).
+    #[must_use]
+    pub fn render_admission_wait(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "# HELP tessel_admission_wait_seconds Time requests waited in the admission queue.\n",
+        );
+        out.push_str("# TYPE tessel_admission_wait_seconds histogram\n");
+        render_prometheus_histogram(
+            &mut out,
+            "tessel_admission_wait_seconds",
+            "",
+            &self.admission_wait,
+        );
+        out
     }
 }
 
@@ -632,6 +698,25 @@ impl TransportSnapshot {
             "Connections rejected by the per-IP accept cap.",
             self.rejected_per_ip,
         );
+        // Admission-control series live under `tessel_admission_` (not
+        // `tessel_http_`): they describe queueing policy, not the socket
+        // layer, and the bench tooling greps for them by that prefix.
+        out.push_str(
+            "# HELP tessel_admission_queue_depth Requests currently waiting in the admission queue.\n",
+        );
+        out.push_str("# TYPE tessel_admission_queue_depth gauge\n");
+        out.push_str(&format!(
+            "tessel_admission_queue_depth {}\n",
+            self.admission_queue_depth
+        ));
+        out.push_str(
+            "# HELP tessel_admission_shed_total Requests shed by the admission queue under overload.\n",
+        );
+        out.push_str("# TYPE tessel_admission_shed_total counter\n");
+        out.push_str(&format!(
+            "tessel_admission_shed_total {}\n",
+            self.admission_shed
+        ));
         out
     }
 }
@@ -895,6 +980,10 @@ mod tests {
     #[test]
     fn endpoint_labels_coarsen_to_a_fixed_set() {
         assert_eq!(ServiceMetrics::endpoint_label("/v1/search"), "/v1/search");
+        assert_eq!(
+            ServiceMetrics::endpoint_label("/v1/search/batch"),
+            "/v1/search/batch"
+        );
         assert_eq!(ServiceMetrics::endpoint_label("/v1/cache"), "/v1/cache");
         assert_eq!(
             ServiceMetrics::endpoint_label("/v1/cache/deadbeef"),
@@ -1034,15 +1123,21 @@ mod tests {
         service.observe_stage_micros("solve", 2_000);
         let transport = TransportMetrics::new();
         transport.connections_open.fetch_add(1, Ordering::Relaxed);
+        transport.admission_shed.fetch_add(2, Ordering::Relaxed);
+        transport.admission_wait.observe_micros(1_500);
         let cluster = ClusterMetrics::new();
         cluster.remote_hits.fetch_add(4, Ordering::Relaxed);
         let page = format!(
-            "{}{}{}{}",
+            "{}{}{}{}{}",
             service.snapshot(0, 0).render_prometheus(),
             service.render_histograms(),
             transport.snapshot().render_prometheus(),
+            transport.render_admission_wait(),
             cluster.snapshot(2, 2, 0).render_prometheus()
         );
+        assert!(page.contains("tessel_admission_shed_total 2"));
+        assert!(page.contains("tessel_admission_queue_depth 0"));
+        assert!(page.contains("tessel_admission_wait_seconds_count 1"));
         assert_valid_exposition(&page);
     }
 

@@ -24,8 +24,9 @@ use crate::flight::{now_unix_ms, FlightRecord, FlightRecorder, StageTiming};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::singleflight::{Joined, SingleFlight};
 use crate::wire::{
-    CacheEntryInfo, CacheExchange, ClusterStatusResponse, DebugRequestsResponse, InspectResponse,
-    ReplicationAck, SearchRequest, SearchResponse, WireSearchEntry,
+    BatchSearchItem, BatchSearchRequest, BatchSearchResponse, CacheEntryInfo, CacheExchange,
+    ClusterStatusResponse, DebugRequestsResponse, ErrorBody, InspectResponse, ReplicationAck,
+    SearchRequest, SearchResponse, WireSearchEntry,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -39,6 +40,7 @@ use tessel_core::schedule::{scheduled_block, Schedule};
 use tessel_core::search::{SearchConfig, TesselSearch};
 use tessel_core::CoreError;
 use tessel_runtime::{instantiate, simulate, ClusterSpec, CommMode};
+use tessel_solver::IncumbentSink;
 
 /// Errors surfaced to clients of the service.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -194,6 +196,15 @@ pub struct ScheduleService {
     recorder: FlightRecorder,
 }
 
+/// How a cache entry was obtained, before translation into the requester's
+/// labeling. `cached`/`coalesced` carry through to the response's
+/// bookkeeping fields with the same semantics the inline flow always had.
+struct Obtained {
+    entry: Arc<CachedSearch>,
+    cached: bool,
+    coalesced: bool,
+}
+
 /// RAII guard for the in-flight gauge.
 struct InFlightGuard<'a>(&'a ServiceMetrics);
 
@@ -247,13 +258,41 @@ impl ScheduleService {
         // request relying on the default would be rejected.
         config.max_repetend_ceiling = config.max_repetend_ceiling.max(config.default_max_repetend);
         let cache = ShardedCache::new(&config.cache);
+        let metrics = ServiceMetrics::new();
         let journal = config
             .cache_path
             .clone()
             .map(|path| CacheJournal::new(path, config.journal_compact_every));
         if let Some(journal) = &journal {
-            match journal.replay(&cache) {
-                Ok(_) => {}
+            // Replay with a freshness check: an entry whose stored placement
+            // no longer re-canonicalizes to its stored fingerprint was keyed
+            // by an older labeling scheme — it can never be hit again (every
+            // lookup re-derives the fingerprint) and would only bloat the
+            // journal forever. Drop it here; the startup compaction below
+            // then persists the cleaned set.
+            let canon_budget = config.canon_node_budget;
+            match journal.replay_filtered(&cache, &mut |entry: &CachedSearch| {
+                let (canon, stats) = entry
+                    .canonical_placement
+                    .canonicalize_budgeted(canon_budget);
+                !stats.budget_exhausted && canon.fingerprint == entry.fingerprint
+            }) {
+                Ok(outcome) => {
+                    if outcome.dropped > 0 {
+                        metrics
+                            .journal_stale_dropped
+                            .fetch_add(outcome.dropped as u64, Ordering::Relaxed);
+                        tessel_obs::warn(
+                            "cache",
+                            "dropped stale cache-journal entries whose fingerprints no longer re-canonicalize",
+                            &[
+                                ("path", &journal.path().display().to_string()),
+                                ("dropped", &outcome.dropped.to_string()),
+                                ("restored", &outcome.restored.to_string()),
+                            ],
+                        );
+                    }
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
                     tessel_obs::warn(
                         "cache",
@@ -292,7 +331,7 @@ impl ScheduleService {
             cache,
             journal,
             cluster,
-            metrics: ServiceMetrics::new(),
+            metrics,
             flights: SingleFlight::new(),
             recorder: FlightRecorder::default(),
         })
@@ -312,6 +351,33 @@ impl ScheduleService {
     /// Returns [`ServiceError`] for malformed requests, deadline timeouts and
     /// infeasible searches.
     pub fn search(&self, request: &SearchRequest) -> Result<SearchResponse, ServiceError> {
+        self.search_with_sink(request, None)
+    }
+
+    /// As [`ScheduleService::search`], but streams improving incumbents: when
+    /// this request leads a solve, every strictly improving repetend makespan
+    /// the solver proves is reported through `sink` while the search runs.
+    /// Coalesced followers and cache hits report nothing (the transport still
+    /// gets the terminal result). Portfolio workers report concurrently, so
+    /// values are monotone per worker but not globally — a consumer wanting a
+    /// strictly decreasing stream must filter (the HTTP transport does).
+    ///
+    /// # Errors
+    ///
+    /// As [`ScheduleService::search`].
+    pub fn search_streamed(
+        &self,
+        request: &SearchRequest,
+        sink: &IncumbentSink,
+    ) -> Result<SearchResponse, ServiceError> {
+        self.search_with_sink(request, Some(sink))
+    }
+
+    fn search_with_sink(
+        &self,
+        request: &SearchRequest,
+        sink: Option<&IncumbentSink>,
+    ) -> Result<SearchResponse, ServiceError> {
         let arrived = Instant::now();
         let started_unix_ms = now_unix_ms();
         // The HTTP worker opens the request context (with the client's or a
@@ -323,7 +389,7 @@ impl ScheduleService {
             tessel_obs::begin_request(tessel_obs::TraceId::generate());
         }
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
-        let result = self.search_inner(request, arrived);
+        let result = self.search_inner(request, arrived, sink);
         match &result {
             Ok(_) => {}
             Err(ServiceError::Timeout(_)) => {
@@ -365,6 +431,7 @@ impl ScheduleService {
         &self,
         request: &SearchRequest,
         arrived: Instant,
+        sink: Option<&IncumbentSink>,
     ) -> Result<SearchResponse, ServiceError> {
         request
             .placement
@@ -379,12 +446,40 @@ impl ScheduleService {
 
         let canon = self.canonicalize_budgeted(&request.placement);
         let key = CacheKey::new(canon.fingerprint, &params);
+        let obtained = self.obtain_entry(key, &canon, &params, deadline, solver_threads, sink)?;
+        Ok(self.respond(
+            &obtained.entry,
+            &canon,
+            &request.placement,
+            obtained.cached,
+            obtained.coalesced,
+        ))
+    }
 
+    /// Resolves a canonicalized request to its cached entry: cache lookup,
+    /// single-flight election and — for the leader — the remote fetch and
+    /// solve. Shared by the single-search path and the batch path (which
+    /// calls it once per distinct cache key and fans the entry out to every
+    /// fingerprint-identical member). Counts hits/misses/coalesces exactly
+    /// as the historical inline flow did.
+    fn obtain_entry(
+        &self,
+        key: CacheKey,
+        canon: &CanonicalPlacement,
+        params: &CacheParams,
+        deadline: Option<Instant>,
+        solver_threads: usize,
+        sink: Option<&IncumbentSink>,
+    ) -> Result<Obtained, ServiceError> {
         if let Some(entry) =
-            tessel_obs::stage("cache_lookup", || self.cache_lookup(key, &canon, &params))
+            tessel_obs::stage("cache_lookup", || self.cache_lookup(key, canon, params))
         {
             self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(self.respond(&entry, &canon, &request.placement, true, false));
+            return Ok(Obtained {
+                entry,
+                cached: true,
+                coalesced: false,
+            });
         }
 
         match tessel_obs::stage("singleflight_wait", || {
@@ -406,15 +501,13 @@ impl ScheduleService {
                 let mut remote_hit = false;
                 let mut inserted = false;
                 let result = match tessel_obs::stage("cache_lookup", || {
-                    self.cache_lookup(key, &canon, &params)
+                    self.cache_lookup(key, canon, params)
                 }) {
                     Some(entry) => Ok(entry),
                     // The stage only exists in cluster mode: standalone
                     // flight records carry no zero-length `remote_fetch` row.
                     None => match self.cluster.as_ref().and_then(|_| {
-                        tessel_obs::stage("remote_fetch", || {
-                            self.cluster_fetch(key, &canon, &params)
-                        })
+                        tessel_obs::stage("remote_fetch", || self.cluster_fetch(key, canon, params))
                     }) {
                         Some(entry) => {
                             remote_hit = true;
@@ -423,7 +516,7 @@ impl ScheduleService {
                         }
                         None => {
                             let solved = tessel_obs::stage("solve", || {
-                                self.run_search(&canon, &params, key, deadline, solver_threads)
+                                self.run_search(canon, params, key, deadline, solver_threads, sink)
                             });
                             inserted = solved.is_ok();
                             solved
@@ -446,10 +539,18 @@ impl ScheduleService {
                             // a hit for the client, counted under
                             // `tessel_cluster_remote_hits_total` rather than
                             // the local hit/miss pair.
-                            Ok(self.respond(&entry, &canon, &request.placement, true, false))
+                            Ok(Obtained {
+                                entry,
+                                cached: true,
+                                coalesced: false,
+                            })
                         } else {
                             self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
-                            Ok(self.respond(&entry, &canon, &request.placement, false, false))
+                            Ok(Obtained {
+                                entry,
+                                cached: false,
+                                coalesced: false,
+                            })
                         }
                     }
                     Err(e) => Err(e),
@@ -457,12 +558,170 @@ impl ScheduleService {
             }
             Joined::Done(result) => {
                 self.metrics.coalesced.fetch_add(1, Ordering::Relaxed);
-                let entry = result?;
-                Ok(self.respond(&entry, &canon, &request.placement, false, true))
+                Ok(Obtained {
+                    entry: result?,
+                    cached: false,
+                    coalesced: true,
+                })
             }
             Joined::TimedOut => Err(ServiceError::Timeout(
                 "timed out waiting for an identical in-flight search".into(),
             )),
+        }
+    }
+
+    /// Handles a `POST /v1/search/batch` body: every member placement is
+    /// canonicalized up front, members sharing a (fingerprint, parameters)
+    /// cache key are grouped, each distinct group is resolved **once**
+    /// through the ordinary cache / single-flight / solve pipeline, and the
+    /// one entry fans out to every member translated into that member's own
+    /// labeling. A batch of N identical (even relabeled) placements touches
+    /// the solver once; the N-1 shared members count in
+    /// `tessel_batch_deduped_total` instead of the hit/miss pair.
+    #[must_use]
+    pub fn search_batch(&self, batch: &BatchSearchRequest) -> BatchSearchResponse {
+        let arrived = Instant::now();
+        struct Prepared {
+            canon: CanonicalPlacement,
+            params: CacheParams,
+            key: CacheKey,
+            deadline: Option<Instant>,
+            solver_threads: usize,
+        }
+        self.metrics
+            .requests
+            .fetch_add(batch.requests.len() as u64, Ordering::Relaxed);
+        // Canonicalize everything first: dedup needs every member's key
+        // before the first solve starts. Invalid members fail alone without
+        // sinking the batch.
+        let prepared: Vec<Result<Prepared, ServiceError>> = batch
+            .requests
+            .iter()
+            .map(|request| {
+                request
+                    .placement
+                    .validate()
+                    .map_err(|e| ServiceError::BadRequest(format!("invalid placement: {e}")))?;
+                let params = self.resolve_params(request)?;
+                let canon = self.canonicalize_budgeted(&request.placement);
+                let key = CacheKey::new(canon.fingerprint, &params);
+                Ok(Prepared {
+                    canon,
+                    params,
+                    key,
+                    deadline: request
+                        .deadline_ms
+                        .map(|ms| arrived + Duration::from_millis(ms))
+                        .or_else(|| self.config.default_deadline.map(|d| arrived + d)),
+                    solver_threads: self.resolve_solver_threads(request),
+                })
+            })
+            .collect();
+        // Group members by cache key; the first member of each group is the
+        // representative that pays for the resolve.
+        let mut groups: std::collections::HashMap<u64, Vec<usize>> =
+            std::collections::HashMap::new();
+        let mut group_order: Vec<u64> = Vec::new();
+        for (index, prep) in prepared.iter().enumerate() {
+            if let Ok(prep) = prep {
+                let slot = groups.entry(prep.key.raw()).or_default();
+                if slot.is_empty() {
+                    group_order.push(prep.key.raw());
+                }
+                slot.push(index);
+            }
+        }
+        let mut results: Vec<Option<BatchSearchItem>> = vec![None; batch.requests.len()];
+        let mut deduped_total = 0usize;
+        for raw_key in &group_order {
+            let members = &groups[raw_key];
+            let rep = &prepared[members[0]];
+            let Ok(rep) = rep else { unreachable!() };
+            let obtained = self.obtain_entry(
+                rep.key,
+                &rep.canon,
+                &rep.params,
+                rep.deadline,
+                rep.solver_threads,
+                None,
+            );
+            match obtained {
+                Ok(obtained) => {
+                    for (position, &index) in members.iter().enumerate() {
+                        let Ok(prep) = &prepared[index] else {
+                            unreachable!()
+                        };
+                        let deduped = position > 0;
+                        let response = self.respond(
+                            &obtained.entry,
+                            &prep.canon,
+                            &batch.requests[index].placement,
+                            obtained.cached,
+                            // Shared members are coalesced in spirit: they
+                            // rode the representative's resolve.
+                            obtained.coalesced || deduped,
+                        );
+                        results[index] = Some(BatchSearchItem {
+                            ok: Some(response),
+                            error: None,
+                            deduped,
+                        });
+                    }
+                    deduped_total += members.len() - 1;
+                }
+                Err(e) => {
+                    // The whole group shares the representative's failure:
+                    // they asked for the same solve.
+                    match &e {
+                        ServiceError::Timeout(_) => {
+                            self.metrics
+                                .timeouts
+                                .fetch_add(members.len() as u64, Ordering::Relaxed);
+                        }
+                        _ => {
+                            self.metrics
+                                .errors
+                                .fetch_add(members.len() as u64, Ordering::Relaxed);
+                        }
+                    }
+                    for &index in members {
+                        results[index] = Some(BatchSearchItem {
+                            ok: None,
+                            error: Some(ErrorBody {
+                                kind: e.kind().to_string(),
+                                error: e.to_string(),
+                            }),
+                            deduped: false,
+                        });
+                    }
+                }
+            }
+        }
+        // Members that failed preparation (and never joined a group).
+        for (index, prep) in prepared.iter().enumerate() {
+            if let Err(e) = prep {
+                self.metrics.errors.fetch_add(1, Ordering::Relaxed);
+                results[index] = Some(BatchSearchItem {
+                    ok: None,
+                    error: Some(ErrorBody {
+                        kind: e.kind().to_string(),
+                        error: e.to_string(),
+                    }),
+                    deduped: false,
+                });
+            }
+        }
+        self.metrics
+            .batch_deduped
+            .fetch_add(deduped_total as u64, Ordering::Relaxed);
+        self.metrics.record_latency(arrived.elapsed());
+        BatchSearchResponse {
+            results: results
+                .into_iter()
+                .map(|item| item.expect("every batch member resolved"))
+                .collect(),
+            unique_solves: group_order.len(),
+            deduped: deduped_total,
         }
     }
 
@@ -588,6 +847,7 @@ impl ScheduleService {
         key: CacheKey,
         deadline: Option<Instant>,
         solver_threads: usize,
+        sink: Option<&IncumbentSink>,
     ) -> Result<Arc<CachedSearch>, ServiceError> {
         self.metrics.in_flight.fetch_add(1, Ordering::Relaxed);
         let _guard = InFlightGuard(&self.metrics);
@@ -608,6 +868,9 @@ impl ScheduleService {
             .with_solver_threads(solver_threads)
             .with_time_budget(budget);
         config.candidate_limit = self.config.candidate_limit;
+        if let Some(sink) = sink {
+            config = config.with_incumbent_sink(sink.clone());
+        }
         // The parallel-solver tuning knobs apply to both solver roles.
         for solver in [&mut config.repetend_solver, &mut config.phase_solver] {
             solver.steal_depth = self.config.solver_steal_depth;
@@ -914,7 +1177,7 @@ impl ScheduleService {
     /// placement must be structurally valid, the schedule must validate
     /// against it, and the placement must re-canonicalize to exactly the
     /// claimed fingerprint (always, not just in paranoid mode; see
-    /// [`ScheduleService::validate_wire_entry`]) — so a confused peer (or a
+    /// `ScheduleService::validate_wire_entry`) — so a confused peer (or a
     /// fleet misconfigured with divergent `--peer` lists) can never poison
     /// this cache or park entries where no warm-up will ever find them. Any
     /// mislabeling caught counts in
@@ -1402,6 +1665,93 @@ mod tests {
         let second = service.search(&request).unwrap();
         assert!(second.cached, "restarted daemon should hit its snapshot");
         assert_eq!(first.schedule, second.schedule);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn batch_requests_dedup_to_one_solve() {
+        let service = quick_service();
+        let placement = v_shape(3);
+        let order: Vec<usize> = (0..placement.num_blocks()).collect();
+        let relabeled = placement.permuted(&[2, 0, 1], &order).unwrap();
+        let mut invalid = SearchRequest::for_placement(v_shape(2));
+        invalid.num_micro_batches = Some(0);
+        let batch = BatchSearchRequest {
+            requests: vec![
+                SearchRequest::for_placement(placement.clone()),
+                SearchRequest::for_placement(placement),
+                SearchRequest::for_placement(relabeled.clone()),
+                invalid,
+            ],
+        };
+        let response = service.search_batch(&batch);
+        assert_eq!(response.results.len(), 4);
+        // Two byte-identical members plus a relabeled one share a single
+        // solve; the invalid member fails alone.
+        assert_eq!(response.unique_solves, 1);
+        assert_eq!(response.deduped, 2);
+        let first = response.results[0].ok.as_ref().unwrap();
+        assert!(!response.results[0].deduped);
+        for item in &response.results[1..3] {
+            assert!(item.deduped);
+            let ok = item.ok.as_ref().unwrap();
+            assert_eq!(ok.period, first.period);
+            assert_eq!(ok.fingerprint, first.fingerprint);
+            assert!(ok.coalesced, "shared members ride the representative");
+        }
+        // The relabeled member's schedule is valid in its *own* labeling.
+        response.results[2]
+            .ok
+            .as_ref()
+            .unwrap()
+            .schedule
+            .validate(&relabeled)
+            .unwrap();
+        assert!(response.results[3].error.is_some());
+        // The CI smoke asserts on exactly these deltas: one real miss, no
+        // hits, the shared members counted only as deduped.
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.cache_misses, 1, "{snap:?}");
+        assert_eq!(snap.cache_hits, 0, "{snap:?}");
+        assert_eq!(snap.batch_deduped, 2, "{snap:?}");
+        assert_eq!(snap.errors, 1, "{snap:?}");
+    }
+
+    #[test]
+    fn stale_journal_entries_are_dropped_on_replay() {
+        let dir =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/service-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("stale-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let config = ServiceConfig {
+            cache_path: Some(path.clone()),
+            default_micro_batches: 4,
+            default_max_repetend: 3,
+            ..ServiceConfig::default()
+        };
+        let request = SearchRequest::for_placement(v_shape(2));
+        let fingerprint = {
+            let service = ScheduleService::new(config.clone()).unwrap();
+            service.search(&request).unwrap().fingerprint
+        };
+        // Tamper the journal: rewrite the stored fingerprint to a different
+        // (well-formed) value, as if the entry had been keyed by an older
+        // labeling scheme. Re-canonicalization at replay must disagree.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let stale = Fingerprint(fingerprint.0 ^ 1);
+        assert!(text.contains(&fingerprint.to_string()));
+        let tampered = text.replace(&fingerprint.to_string(), &stale.to_string());
+        std::fs::write(&path, tampered).unwrap();
+        let service = ScheduleService::new(config).unwrap();
+        assert_eq!(service.cache_entries().len(), 0, "stale entry must drop");
+        let snap = service.metrics_snapshot();
+        assert_eq!(snap.journal_stale_dropped, 1, "{snap:?}");
+        // The same placement solves cleanly afterwards (no poisoned state),
+        // and the startup compaction already purged the dead record.
+        assert!(!service.search(&request).unwrap().cached);
+        let compacted = std::fs::read_to_string(&path).unwrap();
+        assert!(!compacted.contains(&stale.to_string()));
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -34,6 +34,11 @@ pub struct SearchRequest {
     /// Does not participate in cache identity — every thread count proves
     /// the same optimum.
     pub solver_threads: Option<usize>,
+    /// Admission priority. Higher values are admitted first; among equal
+    /// priorities the earliest deadline wins. Under overload, the lowest
+    /// priority / latest deadline waiting request is shed first. Defaults to
+    /// `0`; does not participate in cache identity.
+    pub priority: Option<i64>,
 }
 
 impl SearchRequest {
@@ -47,6 +52,7 @@ impl SearchRequest {
             max_repetend_micro_batches: None,
             deadline_ms: None,
             solver_threads: None,
+            priority: None,
         }
     }
 }
@@ -65,6 +71,7 @@ impl Serialize for SearchRequest {
             ),
             ("deadline_ms".into(), self.deadline_ms.to_value()),
             ("solver_threads".into(), self.solver_threads.to_value()),
+            ("priority".into(), self.priority.to_value()),
         ])
     }
 }
@@ -83,6 +90,7 @@ impl Deserialize for SearchRequest {
             ))?,
             deadline_ms: Deserialize::from_value(field_or_null(map, "deadline_ms"))?,
             solver_threads: Deserialize::from_value(field_or_null(map, "solver_threads"))?,
+            priority: Deserialize::from_value(field_or_null(map, "priority"))?,
         })
     }
 }
@@ -117,6 +125,154 @@ pub struct SearchResponse {
     /// Wall-clock milliseconds the underlying search took (0 for pure cache
     /// hits).
     pub search_millis: u64,
+}
+
+/// A `POST /v1/search/batch` request body: many searches admitted, solved
+/// and answered as one unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSearchRequest {
+    /// The member searches, answered in order.
+    pub requests: Vec<SearchRequest>,
+}
+
+impl Serialize for BatchSearchRequest {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![("requests".into(), self.requests.to_value())])
+    }
+}
+
+impl Deserialize for BatchSearchRequest {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let map = value
+            .as_map()
+            .ok_or_else(|| SerdeError::custom("expected object for BatchSearchRequest"))?;
+        Ok(BatchSearchRequest {
+            requests: Deserialize::from_value(field(map, "requests")?)?,
+        })
+    }
+}
+
+/// One member result of a `POST /v1/search/batch` response: exactly one of
+/// `ok` / `error` is present.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSearchItem {
+    /// The member's search response, translated into its own labeling.
+    pub ok: Option<SearchResponse>,
+    /// The member's failure, when the search could not be answered.
+    pub error: Option<ErrorBody>,
+    /// `true` when this member shared another member's solve (same canonical
+    /// fingerprint and parameters) instead of running its own.
+    pub deduped: bool,
+}
+
+impl Serialize for BatchSearchItem {
+    fn to_value(&self) -> Value {
+        let mut map: Vec<(String, Value)> = Vec::new();
+        if let Some(ok) = &self.ok {
+            map.push(("ok".into(), ok.to_value()));
+        }
+        if let Some(error) = &self.error {
+            map.push(("error".into(), error.to_value()));
+        }
+        map.push(("deduped".into(), self.deduped.to_value()));
+        Value::Map(map)
+    }
+}
+
+impl Deserialize for BatchSearchItem {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let map = value
+            .as_map()
+            .ok_or_else(|| SerdeError::custom("expected object for BatchSearchItem"))?;
+        Ok(BatchSearchItem {
+            ok: Deserialize::from_value(field_or_null(map, "ok"))?,
+            error: Deserialize::from_value(field_or_null(map, "error"))?,
+            deduped: Deserialize::from_value(field_or_null(map, "deduped")).unwrap_or(false),
+        })
+    }
+}
+
+/// A `POST /v1/search/batch` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchSearchResponse {
+    /// Per-member results, in request order.
+    pub results: Vec<BatchSearchItem>,
+    /// Distinct (fingerprint, parameters) groups the batch resolved.
+    pub unique_solves: usize,
+    /// Members answered by another member's group (batch-level dedup).
+    pub deduped: usize,
+}
+
+/// One server-sent event of a streaming `POST /v1/search?stream=1` response.
+///
+/// Incumbent events arrive while the search runs; exactly one terminal event
+/// ([`StreamEvent::Result`] or [`StreamEvent::Error`]) ends the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamEvent {
+    /// The search found an improving schedule: `value` upper-bounds the
+    /// period of the best repetend found so far.
+    Incumbent {
+        /// Makespan of the improving repetend solve (an upper bound on the
+        /// final period).
+        value: u64,
+        /// Milliseconds since the search started.
+        elapsed_ms: u64,
+    },
+    /// Terminal: the completed search response.
+    Result(SearchResponse),
+    /// Terminal: the search failed with the given HTTP status and error.
+    Error {
+        /// The HTTP status the non-streaming endpoint would have returned.
+        status: u16,
+        /// The error body.
+        body: ErrorBody,
+    },
+}
+
+impl Serialize for StreamEvent {
+    fn to_value(&self) -> Value {
+        match self {
+            StreamEvent::Incumbent { value, elapsed_ms } => Value::Map(vec![
+                ("event".into(), Value::Str("incumbent".into())),
+                ("value".into(), value.to_value()),
+                ("elapsed_ms".into(), elapsed_ms.to_value()),
+            ]),
+            StreamEvent::Result(response) => Value::Map(vec![
+                ("event".into(), Value::Str("result".into())),
+                ("response".into(), response.to_value()),
+            ]),
+            StreamEvent::Error { status, body } => Value::Map(vec![
+                ("event".into(), Value::Str("error".into())),
+                ("status".into(), status.to_value()),
+                ("body".into(), body.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for StreamEvent {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let map = value
+            .as_map()
+            .ok_or_else(|| SerdeError::custom("expected object for StreamEvent"))?;
+        let event = String::from_value(field(map, "event")?)?;
+        match event.as_str() {
+            "incumbent" => Ok(StreamEvent::Incumbent {
+                value: Deserialize::from_value(field(map, "value")?)?,
+                elapsed_ms: Deserialize::from_value(field(map, "elapsed_ms")?)?,
+            }),
+            "result" => Ok(StreamEvent::Result(SearchResponse::from_value(field(
+                map, "response",
+            )?)?)),
+            "error" => Ok(StreamEvent::Error {
+                status: Deserialize::from_value(field(map, "status")?)?,
+                body: ErrorBody::from_value(field(map, "body")?)?,
+            }),
+            other => Err(SerdeError::custom(format!(
+                "unknown stream event `{other}`"
+            ))),
+        }
+    }
 }
 
 /// One row of the `GET /v1/cache` listing.
@@ -430,6 +586,7 @@ mod tests {
             max_repetend_micro_batches: Some(3),
             deadline_ms: Some(250),
             solver_threads: Some(4),
+            priority: Some(-2),
         };
         let json = serde_json::to_string(&full).unwrap();
         let back: SearchRequest = serde_json::from_str(&json).unwrap();
@@ -445,8 +602,77 @@ mod tests {
         assert_eq!(parsed.num_micro_batches, None);
         assert_eq!(parsed.deadline_ms, None);
         assert_eq!(parsed.solver_threads, None);
+        assert_eq!(parsed.priority, None);
 
         let missing: Result<SearchRequest, _> = serde_json::from_str("{}");
         assert!(missing.is_err());
+    }
+
+    #[test]
+    fn batch_request_and_response_round_trip() {
+        let batch = BatchSearchRequest {
+            requests: vec![
+                SearchRequest::for_placement(v2()),
+                SearchRequest {
+                    priority: Some(3),
+                    deadline_ms: Some(100),
+                    ..SearchRequest::for_placement(v2())
+                },
+            ],
+        };
+        let json = serde_json::to_string(&batch).unwrap();
+        let back: BatchSearchRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, batch);
+
+        let response = BatchSearchResponse {
+            results: vec![
+                BatchSearchItem {
+                    ok: None,
+                    error: Some(ErrorBody {
+                        kind: "bad_request".into(),
+                        error: "nope".into(),
+                    }),
+                    deduped: false,
+                },
+                BatchSearchItem {
+                    ok: None,
+                    error: None,
+                    deduped: true,
+                },
+            ],
+            unique_solves: 1,
+            deduped: 1,
+        };
+        let json = serde_json::to_string(&response).unwrap();
+        let back: BatchSearchResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, response);
+    }
+
+    #[test]
+    fn stream_events_round_trip() {
+        let incumbent = StreamEvent::Incumbent {
+            value: 17,
+            elapsed_ms: 4,
+        };
+        let json = serde_json::to_string(&incumbent).unwrap();
+        assert!(
+            json.contains("\"event\": \"incumbent\"") || json.contains("\"event\":\"incumbent\"")
+        );
+        let back: StreamEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, incumbent);
+
+        let error = StreamEvent::Error {
+            status: 408,
+            body: ErrorBody {
+                kind: "timeout".into(),
+                error: "deadline exceeded".into(),
+            },
+        };
+        let back: StreamEvent =
+            serde_json::from_str(&serde_json::to_string(&error).unwrap()).unwrap();
+        assert_eq!(back, error);
+
+        let unknown: Result<StreamEvent, _> = serde_json::from_str("{\"event\":\"nope\"}");
+        assert!(unknown.is_err());
     }
 }

@@ -1,14 +1,17 @@
 //! Socket-level tests of the readiness-based transport: keep-alive reuse
 //! (two sequential search requests over one persisted TCP connection),
-//! pipelined requests, idle-timeout closes, and slow-loris isolation.
+//! pipelined requests, idle-timeout closes, slow-loris isolation,
+//! deadline-aware admission control (shedding, per-client fairness) and
+//! anytime incumbent streaming.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tessel_core::ir::{BlockKind, PlacementSpec};
-use tessel_service::http::http_call;
-use tessel_service::wire::SearchRequest;
+use tessel_placement::shapes::{synthetic_placement, ShapeKind};
+use tessel_service::http::{http_call, http_call_streaming};
+use tessel_service::wire::{SearchRequest, StreamEvent};
 use tessel_service::{HttpClient, HttpServer, ScheduleService, ServerConfig, ServiceConfig};
 
 fn v_shape(devices: usize) -> PlacementSpec {
@@ -56,6 +59,13 @@ fn ephemeral_config() -> ServerConfig {
 /// Reads exactly one HTTP response (head + `Content-Length` body) without
 /// touching bytes of any later response on the same connection.
 fn read_one_response(stream: &mut TcpStream) -> (u16, String) {
+    let (status, _head, body) = read_one_response_with_head(stream);
+    (status, body)
+}
+
+/// [`read_one_response`], also returning the raw response head for tests
+/// that assert on headers.
+fn read_one_response_with_head(stream: &mut TcpStream) -> (u16, String, String) {
     let mut buffer: Vec<u8> = Vec::new();
     let mut byte = [0u8; 1];
     while !buffer.ends_with(b"\r\n\r\n") {
@@ -80,7 +90,7 @@ fn read_one_response(stream: &mut TcpStream) -> (u16, String) {
         .expect("Content-Length header");
     let mut body = vec![0u8; content_length];
     stream.read_exact(&mut body).expect("read response body");
-    (status, String::from_utf8(body).expect("UTF-8 body"))
+    (status, head, String::from_utf8(body).expect("UTF-8 body"))
 }
 
 fn search_body() -> String {
@@ -464,6 +474,313 @@ fn wait_until_rejected(server: &HttpServer, at_least: u64) -> bool {
         std::thread::sleep(Duration::from_millis(20));
     }
     false
+}
+
+/// An admission-test daemon: one worker, a small queue, and a
+/// single-threaded solver so one hard request occupies the worker for a
+/// predictable window while followers pile up in the admission queue.
+fn start_admission_server(queue_depth: usize) -> (HttpServer, String) {
+    let service = ScheduleService::new(ServiceConfig {
+        default_micro_batches: 4,
+        default_max_repetend: 3,
+        portfolio_threads: 1,
+        solver_threads: 1,
+        ..ServiceConfig::default()
+    })
+    .unwrap();
+    let server = HttpServer::serve(
+        Arc::new(service),
+        &ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 1,
+            queue_depth,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    (server, addr)
+}
+
+/// A search the single worker chews on for ~2.5 s: the 8-device X-shape
+/// portfolio explores for tens of seconds single-threaded, so the request
+/// deadline is what ends it — a worker that is busy for a predictable
+/// window, then frees up.
+fn occupier_body() -> String {
+    let placement = synthetic_placement(ShapeKind::X, 8).expect("placement");
+    let mut request = SearchRequest::for_placement(placement);
+    request.num_micro_batches = Some(8);
+    request.max_repetend_micro_batches = Some(4);
+    request.solver_threads = Some(1);
+    request.deadline_ms = Some(2500);
+    serde_json::to_string(&request).unwrap()
+}
+
+/// A fast 2-device search carrying the given admission hints.
+fn hinted_search_body(deadline_ms: Option<u64>, priority: Option<i64>) -> String {
+    let mut request = SearchRequest::for_placement(v_shape(2));
+    request.deadline_ms = deadline_ms;
+    request.priority = priority;
+    serde_json::to_string(&request).unwrap()
+}
+
+/// Connects to the server with the client socket bound to a chosen loopback
+/// source address (any 127.0.0.0/8 address is local on Linux), so the
+/// per-client admission fairness — keyed on the peer IP — sees two distinct
+/// clients from one test process. `std::net` cannot bind before connecting,
+/// so this declares the C-library calls it needs, mirroring the transport's
+/// own `sys` shim.
+mod src_bind {
+    use std::io;
+    use std::net::TcpStream;
+    use std::os::fd::FromRawFd;
+    use std::os::raw::c_int;
+
+    #[repr(C)]
+    struct SockaddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+        fn bind(fd: c_int, addr: *const SockaddrIn, len: u32) -> c_int;
+        fn connect(fd: c_int, addr: *const SockaddrIn, len: u32) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    const AF_INET: u16 = 2;
+    const SOCK_STREAM: c_int = 1;
+
+    fn sockaddr(ip: [u8; 4], port: u16) -> SockaddrIn {
+        SockaddrIn {
+            sin_family: AF_INET,
+            sin_port: port.to_be(),
+            sin_addr: u32::from_be_bytes(ip).to_be(),
+            sin_zero: [0; 8],
+        }
+    }
+
+    pub fn connect_from(src: [u8; 4], dst: [u8; 4], port: u16) -> io::Result<TcpStream> {
+        let len = u32::try_from(std::mem::size_of::<SockaddrIn>()).unwrap();
+        // SAFETY: plain C socket calls on a fd this function owns until the
+        // TcpStream takes it over; the sockaddr pointers outlive each call.
+        unsafe {
+            let fd = socket(c_int::from(AF_INET), SOCK_STREAM, 0);
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            let src = sockaddr(src, 0);
+            if bind(fd, &src, len) < 0 {
+                let err = io::Error::last_os_error();
+                close(fd);
+                return Err(err);
+            }
+            let dst = sockaddr(dst, port);
+            if connect(fd, &dst, len) < 0 {
+                let err = io::Error::last_os_error();
+                close(fd);
+                return Err(err);
+            }
+            Ok(TcpStream::from_raw_fd(fd))
+        }
+    }
+}
+
+/// Under overload the admission queue sheds the least valuable *waiting*
+/// request — here the latest-deadline one — with `429` + `Retry-After`,
+/// while the earlier-deadline requests already queued complete normally.
+#[test]
+fn saturated_queue_sheds_the_latest_deadline_request() {
+    let (server, addr) = start_admission_server(2);
+
+    // Occupy the single worker for ~2.5 s.
+    let mut occupier = TcpStream::connect(&addr).unwrap();
+    occupier
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    occupier
+        .write_all(&post_search_bytes(&occupier_body()))
+        .unwrap();
+    // Let the worker pop it, leaving the queue empty.
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Two earlier-deadline requests fill the queue.
+    let mut earlier = Vec::new();
+    for _ in 0..2 {
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream
+            .write_all(&post_search_bytes(&hinted_search_body(Some(15_000), None)))
+            .unwrap();
+        earlier.push(stream);
+    }
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The queue is full: a latest-deadline newcomer is the least valuable
+    // waiting request, so it is the one shed — immediately, with a hint to
+    // come back.
+    let mut victim = TcpStream::connect(&addr).unwrap();
+    victim
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    victim
+        .write_all(&post_search_bytes(&hinted_search_body(Some(60_000), None)))
+        .unwrap();
+    let (status, head, body) = read_one_response_with_head(&mut victim);
+    assert_eq!(status, 429, "{body}");
+    assert!(head.to_ascii_lowercase().contains("retry-after"), "{head}");
+    assert!(body.contains("shed"), "{body}");
+
+    // The earlier-deadline requests were untouched and complete.
+    for stream in &mut earlier {
+        let (status, body) = read_one_response(stream);
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"period\""), "{body}");
+    }
+    // The occupier comes back too (a deadline timeout, not a shed).
+    let (status, body) = read_one_response(&mut occupier);
+    assert_ne!(status, 429, "{body}");
+
+    let (status, metrics) = http_call(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("tessel_admission_shed_total 1"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("tessel_admission_wait_seconds"),
+        "{metrics}"
+    );
+
+    server.shutdown();
+}
+
+/// A greedy client cannot squeeze a polite one out of a saturated queue: the
+/// shed victim comes from the client holding the most queue slots, even
+/// though the polite client's no-deadline request would be the least
+/// valuable by deadline alone.
+#[test]
+fn greedy_client_is_shed_before_a_polite_one() {
+    let (server, addr) = start_admission_server(4);
+    let port: u16 = addr.rsplit(':').next().unwrap().parse().unwrap();
+
+    let mut occupier = TcpStream::connect(&addr).unwrap();
+    occupier
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    occupier
+        .write_all(&post_search_bytes(&occupier_body()))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Three greedy requests (from 127.0.0.1) wait with tight deadlines …
+    let mut greedy = Vec::new();
+    for _ in 0..3 {
+        let mut stream = TcpStream::connect(&addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        stream
+            .write_all(&post_search_bytes(&hinted_search_body(Some(30_000), None)))
+            .unwrap();
+        greedy.push(stream);
+    }
+    // … and one polite request (from 127.0.0.2) waits with no deadline.
+    let mut polite = src_bind::connect_from([127, 0, 0, 2], [127, 0, 0, 1], port).unwrap();
+    polite
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    polite
+        .write_all(&post_search_bytes(&hinted_search_body(None, None)))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // A fourth greedy request overflows the queue. The victim must come out
+    // of the greedy client's allocation, not the polite client's.
+    let mut newcomer = TcpStream::connect(&addr).unwrap();
+    newcomer
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    newcomer
+        .write_all(&post_search_bytes(&hinted_search_body(Some(30_000), None)))
+        .unwrap();
+    greedy.push(newcomer);
+
+    let (status, body) = read_one_response(&mut polite);
+    assert_eq!(
+        status, 200,
+        "the polite client's request must survive: {body}"
+    );
+
+    let mut outcomes = Vec::new();
+    for stream in &mut greedy {
+        let (status, _body) = read_one_response(stream);
+        outcomes.push(status);
+    }
+    assert_eq!(
+        outcomes.iter().filter(|&&s| s == 429).count(),
+        1,
+        "exactly one greedy request is shed: {outcomes:?}"
+    );
+    assert_eq!(
+        outcomes.iter().filter(|&&s| s == 200).count(),
+        3,
+        "{outcomes:?}"
+    );
+    let (_status, body) = read_one_response(&mut occupier);
+    assert!(!body.is_empty());
+
+    let (status, metrics) = http_call(&addr, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        metrics.contains("tessel_admission_shed_total 1"),
+        "{metrics}"
+    );
+
+    server.shutdown();
+}
+
+/// `POST /v1/search?stream=1` delivers at least one incumbent event before
+/// the terminal result event, over chunked SSE framing.
+#[test]
+fn streamed_search_delivers_incumbents_then_the_result() {
+    let (server, addr) = start_server(ephemeral_config());
+
+    let mut events: Vec<String> = Vec::new();
+    let (status, last) =
+        http_call_streaming(&addr, "/v1/search?stream=1", &search_body(), |event| {
+            events.push(event.to_string());
+        })
+        .unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        events.len() >= 2,
+        "expected at least one incumbent before the terminal event: {events:?}"
+    );
+    assert_eq!(events.last().unwrap(), &last);
+
+    let terminal: StreamEvent = serde_json::from_str(&last).unwrap();
+    match terminal {
+        StreamEvent::Result(response) => {
+            assert!(response.period > 0);
+            assert!(!response.cached);
+        }
+        other => panic!("expected a terminal result event, got {other:?}"),
+    }
+    for event in &events[..events.len() - 1] {
+        let parsed: StreamEvent = serde_json::from_str(event).unwrap();
+        assert!(
+            matches!(parsed, StreamEvent::Incumbent { .. }),
+            "non-terminal events must be incumbents: {event}"
+        );
+    }
+
+    server.shutdown();
 }
 
 /// The keep-alive client reuses its connection across calls and survives the

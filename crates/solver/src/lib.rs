@@ -69,7 +69,7 @@ pub use lower_bound::{critical_path_lower_bound, device_load_lower_bound, makesp
 pub use propagate::TimeWindows;
 pub use search::{SolveOutcome, Solver, SolverConfig};
 pub use solution::{Solution, SolutionViolation};
-pub use stats::{SolveStats, SolverTotals, StatsSink};
+pub use stats::{IncumbentSink, SolveStats, SolverTotals, StatsSink};
 pub use task::{Task, TaskId};
 
 /// Result alias used throughout the solver crate.

@@ -399,7 +399,13 @@ impl<'a> SearchContext<'a> {
         self.best_makespan = Some(makespan);
         self.best_starts.copy_from_slice(&self.starts);
         self.stats.incumbents += 1;
+        // Serial improvements are globally best by definition; a parallel
+        // worker's improvement only counts if it wins the shared-bound CAS,
+        // so the incumbent sink observes a strictly decreasing sequence
+        // rather than per-worker noise.
+        let mut globally_best = true;
         if let Some(shared) = self.shared {
+            globally_best = false;
             let mut current = shared.upper.0.load(Ordering::Relaxed);
             while makespan < current {
                 match shared.upper.0.compare_exchange_weak(
@@ -408,9 +414,17 @@ impl<'a> SearchContext<'a> {
                     Ordering::Relaxed,
                     Ordering::Relaxed,
                 ) {
-                    Ok(_) => break,
+                    Ok(_) => {
+                        globally_best = true;
+                        break;
+                    }
                     Err(observed) => current = observed,
                 }
+            }
+        }
+        if globally_best {
+            if let Some(sink) = &self.config.incumbent_sink {
+                sink.report(makespan);
             }
         }
         if self.deadline.is_some() {

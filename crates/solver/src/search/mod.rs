@@ -52,7 +52,7 @@ use crate::instance::Instance;
 use crate::lower_bound::makespan_lower_bound;
 use crate::propagate::TimeWindows;
 use crate::solution::Solution;
-use crate::stats::{SolveStats, StatsSink};
+use crate::stats::{IncumbentSink, SolveStats, StatsSink};
 use crate::Result;
 use engine::{FlatInstance, SearchContext};
 use std::time::{Duration, Instant};
@@ -142,6 +142,13 @@ pub struct SolverConfig {
     /// [`SolveStats`]; higher-level searches attach one to aggregate solver
     /// effort across many invocations. The default records nothing.
     pub stats_sink: Option<StatsSink>,
+    /// Optional callback receiving every strictly improving incumbent
+    /// makespan this solve finds (greedy seeds included); the hook behind
+    /// the service's anytime result streaming. In parallel mode only
+    /// improvements that win the shared-bound compare-and-swap are
+    /// reported, so the observed sequence is strictly decreasing. The
+    /// default reports nothing.
+    pub incumbent_sink: Option<IncumbentSink>,
 }
 
 impl Default for SolverConfig {
@@ -156,14 +163,16 @@ impl Default for SolverConfig {
             serial_warmstart_nodes: default_serial_warmstart(),
             abort: Abort::none(),
             stats_sink: None,
+            incumbent_sink: None,
         }
     }
 }
 
-/// Equality ignores the [`SolverConfig::abort`] and
-/// [`SolverConfig::stats_sink`] handles: two configurations that explore the
-/// search space identically compare equal even if they are attached to
-/// different cancellation tokens or statistics accumulators.
+/// Equality ignores the [`SolverConfig::abort`], [`SolverConfig::stats_sink`]
+/// and [`SolverConfig::incumbent_sink`] handles: two configurations that
+/// explore the search space identically compare equal even if they are
+/// attached to different cancellation tokens, statistics accumulators or
+/// incumbent observers.
 impl PartialEq for SolverConfig {
     fn eq(&self, other: &Self) -> bool {
         self.max_nodes == other.max_nodes
@@ -241,6 +250,14 @@ impl SolverConfig {
     #[must_use]
     pub fn with_stats_sink(mut self, sink: StatsSink) -> Self {
         self.stats_sink = Some(sink);
+        self
+    }
+
+    /// Returns a copy reporting every improving incumbent into `sink` (see
+    /// [`SolverConfig::incumbent_sink`]).
+    #[must_use]
+    pub fn with_incumbent_sink(mut self, sink: IncumbentSink) -> Self {
+        self.incumbent_sink = Some(sink);
         self
     }
 
@@ -447,6 +464,9 @@ impl Solver {
                         ctx.best_makespan = Some(sol.makespan());
                         ctx.best_starts.copy_from_slice(sol.starts());
                         ctx.stats.incumbents += 1;
+                        if let Some(sink) = &self.config.incumbent_sink {
+                            sink.report(sol.makespan());
+                        }
                     }
                 }
             }
@@ -951,6 +971,8 @@ mod tests {
         assert_eq!(a, b);
         let c = SolverConfig::default().with_stats_sink(StatsSink::new());
         assert_eq!(a, c);
+        let d = SolverConfig::default().with_incumbent_sink(IncumbentSink::new(|_| {}));
+        assert_eq!(a, d);
         assert_ne!(a, SolverConfig::default().with_steal_depth(9));
         assert_ne!(a, SolverConfig::default().with_dominance_shards(2));
         assert_ne!(

@@ -181,6 +181,46 @@ impl StatsSink {
     }
 }
 
+/// Callback invoked whenever a solve records a strictly improving incumbent.
+///
+/// Attach a clone via [`SolverConfig::incumbent_sink`] and the solver reports
+/// every genuine improvement of its best-known makespan — the greedy seeds at
+/// the root and each incumbent the branch loop records. In the work-stealing
+/// parallel search only improvements that win the shared atomic-bound
+/// compare-and-swap are reported, so callbacks observe a strictly decreasing
+/// makespan sequence per solve rather than per-worker noise. The callback runs
+/// on the solver thread that found the incumbent: keep it non-blocking (push
+/// into a bounded channel, update an atomic) — incumbents are rare relative
+/// to node expansions, but a slow callback still stalls that worker.
+///
+/// Like [`StatsSink`], cloning shares the underlying callback.
+///
+/// [`SolverConfig::incumbent_sink`]: crate::SolverConfig::incumbent_sink
+#[derive(Clone)]
+pub struct IncumbentSink {
+    callback: Arc<dyn Fn(u64) + Send + Sync>,
+}
+
+impl IncumbentSink {
+    /// Wraps a callback receiving each improving makespan.
+    pub fn new(callback: impl Fn(u64) + Send + Sync + 'static) -> Self {
+        IncumbentSink {
+            callback: Arc::new(callback),
+        }
+    }
+
+    /// Reports one improving incumbent makespan.
+    pub fn report(&self, makespan: u64) {
+        (self.callback)(makespan);
+    }
+}
+
+impl std::fmt::Debug for IncumbentSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IncumbentSink").finish_non_exhaustive()
+    }
+}
+
 mod duration_serde {
     use serde::{Deserialize, Error, Serialize, Value};
     use std::time::Duration;
@@ -304,6 +344,21 @@ mod tests {
         assert_eq!(merged.cas_retries, 12);
         assert_eq!(merged.steal_failures, 14);
         assert_eq!(merged.memo_drops, 16);
+    }
+
+    #[test]
+    fn incumbent_sink_shares_the_callback_across_clones() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink = {
+            let seen = Arc::clone(&seen);
+            IncumbentSink::new(move |m| seen.lock().unwrap().push(m))
+        };
+        let clone = sink.clone();
+        sink.report(10);
+        clone.report(7);
+        assert_eq!(*seen.lock().unwrap(), vec![10, 7]);
+        // Debug must not try to print the closure.
+        assert!(format!("{sink:?}").contains("IncumbentSink"));
     }
 
     #[test]
