@@ -1060,6 +1060,118 @@ pub fn anytime_streaming_row() -> AnytimeStreamingRow {
     }
 }
 
+/// One mode of the `observability_overhead` section: the cache-hit repeat
+/// workload with the live-plane sampler on or off.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObservabilityOverheadRow {
+    /// `sampler-off` or `sampler-<interval>ms`.
+    pub mode: String,
+    /// Keep-alive requests measured (cache hits, transport-bound).
+    pub requests: u64,
+    /// Wall-clock seconds of the best pass.
+    pub seconds: f64,
+    /// Requests per second of the best pass.
+    pub requests_per_sec: f64,
+}
+
+/// The `observability_overhead` section: sampler-on vs sampler-off
+/// throughput on the same workload, with the relative delta the live plane
+/// costs.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObservabilityOverheadSection {
+    /// Both modes' best-of-`passes` measurements.
+    pub rows: Vec<ObservabilityOverheadRow>,
+    /// `(off - on) / off`: the throughput fraction the sampler costs
+    /// (negative means the difference sank below run-to-run noise).
+    pub delta_fraction: f64,
+    /// The budget this section is tracked against.
+    pub target_max_fraction: f64,
+}
+
+/// Measures the live-plane sampler's overhead: the same keep-alive
+/// cache-hit repeat workload against one daemon with the sampler off and
+/// one sampling aggressively (10 ms — 100× the default cadence), best of
+/// `passes` passes each, interleaved so drift hits both modes equally.
+#[must_use]
+pub fn observability_overhead_rows(requests: usize, passes: usize) -> ObservabilityOverheadSection {
+    use std::sync::Arc;
+    use tessel_service::http::http_call;
+    use tessel_service::wire::SearchRequest;
+    use tessel_service::{HttpClient, HttpServer, ScheduleService, ServerConfig, ServiceConfig};
+
+    const SAMPLE_INTERVAL_MS: u64 = 10;
+    let requests = requests.max(1);
+    let placement = synthetic_placement(ShapeKind::V, 4).expect("placement");
+    let body = serde_json::to_string(&SearchRequest::for_placement(placement)).expect("request");
+
+    let start_daemon = |sample_interval_ms: u64| {
+        let service = ScheduleService::new(ServiceConfig {
+            default_micro_batches: 8,
+            default_max_repetend: 3,
+            candidate_limit: Some(600),
+            ..ServiceConfig::default()
+        })
+        .expect("service");
+        let server = HttpServer::serve(
+            Arc::new(service),
+            &ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                sample_interval_ms,
+                ..ServerConfig::default()
+            },
+        )
+        .expect("server");
+        let addr = server.local_addr().to_string();
+        // Warm the cache so every measured request is a transport-bound hit.
+        let (status, warm) = http_call(&addr, "POST", "/v1/search", Some(&body)).expect("warmup");
+        assert_eq!(status, 200, "warmup failed: {warm}");
+        (server, addr)
+    };
+
+    let (server_off, addr_off) = start_daemon(0);
+    let (server_on, addr_on) = start_daemon(SAMPLE_INTERVAL_MS);
+    let mut best_off = f64::INFINITY;
+    let mut best_on = f64::INFINITY;
+    for _ in 0..passes.max(1) {
+        for (addr, best) in [(&addr_off, &mut best_off), (&addr_on, &mut best_on)] {
+            let mut client = HttpClient::new(addr).expect("client");
+            let started = Instant::now();
+            for _ in 0..requests {
+                let (status, _) = client
+                    .call("POST", "/v1/search", Some(&body))
+                    .expect("repeat call");
+                assert_eq!(status, 200);
+            }
+            let seconds = started.elapsed().as_secs_f64();
+            if seconds < *best {
+                *best = seconds;
+            }
+        }
+    }
+    server_off.shutdown();
+    server_on.shutdown();
+
+    let rate = |seconds: f64| requests as f64 / seconds.max(1e-9);
+    ObservabilityOverheadSection {
+        rows: vec![
+            ObservabilityOverheadRow {
+                mode: "sampler-off".into(),
+                requests: requests as u64,
+                seconds: best_off,
+                requests_per_sec: rate(best_off),
+            },
+            ObservabilityOverheadRow {
+                mode: format!("sampler-{SAMPLE_INTERVAL_MS}ms"),
+                requests: requests as u64,
+                seconds: best_on,
+                requests_per_sec: rate(best_on),
+            },
+        ],
+        delta_fraction: (rate(best_off) - rate(best_on)) / rate(best_off).max(1e-9),
+        target_max_fraction: 0.02,
+    }
+}
+
 /// Runs the service workloads (in-process and socket-level) and updates
 /// their `BENCH_search.json` sections.
 pub fn emit_service() {
@@ -1111,6 +1223,19 @@ pub fn emit_service() {
         streaming.total_ms,
         streaming.first_incumbent_fraction * 100.0,
         streaming.incumbents
+    );
+    let overhead = observability_overhead_rows(2000, 5);
+    write_section("observability_overhead", &overhead);
+    for row in &overhead.rows {
+        println!(
+            "observability_overhead {:<14} {:>4} reqs {:>8.1} req/s",
+            row.mode, row.requests, row.requests_per_sec
+        );
+    }
+    println!(
+        "observability_overhead delta={:.2}% (target <{:.0}%)",
+        overhead.delta_fraction * 100.0,
+        overhead.target_max_fraction * 100.0
     );
 }
 

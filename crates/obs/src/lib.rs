@@ -142,6 +142,14 @@ pub fn init(level: Level, format: LogFormat) {
     );
 }
 
+/// Changes only the process-wide log level (the format is untouched) and
+/// returns the level that was active before the change — the runtime
+/// log-level endpoint logs the switch at the *old* level so the change
+/// itself is visible in the stream it is leaving behind.
+pub fn set_level(level: Level) -> Level {
+    Level::from_u8(LEVEL.swap(level as u8, Ordering::Relaxed))
+}
+
 /// The current process-wide log level.
 #[must_use]
 pub fn level() -> Level {
@@ -549,6 +557,200 @@ pub fn render_prometheus_histogram(
     ));
 }
 
+// ---------------------------------------------------------------------------
+// Time series rings
+// ---------------------------------------------------------------------------
+
+/// A fixed-capacity ring of per-tick samples for a set of named series.
+///
+/// The live-observability sampler derives one gauge value per series per tick
+/// (rates from cumulative-counter deltas, plain gauges copied as-is) and
+/// pushes them here; `GET /v1/debug/timeseries` reads windows back out. The
+/// memory bound is `capacity × (series + 1)` `f64`/`u64` slots, fixed at
+/// construction — an idle daemon and one under load hold the same ring.
+///
+/// Writers and readers meet on a plain mutex: samples arrive on one
+/// background ticker (per second, typically) and reads come from debug
+/// endpoints, so this is nowhere near any hot path.
+#[derive(Debug)]
+pub struct TimeSeries {
+    interval_ms: u64,
+    capacity: usize,
+    inner: std::sync::Mutex<TimeSeriesInner>,
+}
+
+#[derive(Debug)]
+struct TimeSeriesInner {
+    /// Total ticks ever pushed (not capped by capacity).
+    ticks: u64,
+    /// Unix-milliseconds stamp per retained tick, oldest first.
+    stamps: std::collections::VecDeque<u64>,
+    /// One sample ring per series, index-aligned with `names`.
+    rings: Vec<std::collections::VecDeque<f64>>,
+    names: Vec<String>,
+}
+
+/// One series' slice of a [`TimeSeries::window`] read: the retained samples
+/// (oldest first) plus summary statistics over them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesWindow {
+    /// Series name as declared at construction.
+    pub name: String,
+    /// Samples inside the window, oldest first.
+    pub samples: Vec<f64>,
+    /// Most recent sample (0.0 when the window is empty).
+    pub last: f64,
+    /// Minimum over the window (0.0 when empty).
+    pub min: f64,
+    /// Maximum over the window (0.0 when empty).
+    pub max: f64,
+    /// Mean over the window (0.0 when empty).
+    pub avg: f64,
+    /// 50th percentile over the window (0.0 when empty).
+    pub p50: f64,
+    /// 95th percentile over the window (0.0 when empty).
+    pub p95: f64,
+}
+
+/// A consistent multi-series read of the ring (see [`TimeSeries::window`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeriesWindow {
+    /// Sampling cadence the ring was constructed with.
+    pub interval_ms: u64,
+    /// Ticks actually inside this window (≤ the requested count).
+    pub ticks: usize,
+    /// Unix-milliseconds stamp of the newest tick (0 when empty).
+    pub latest_unix_ms: u64,
+    /// Per-series windows, in declaration order.
+    pub series: Vec<SeriesWindow>,
+}
+
+impl TimeSeries {
+    /// Creates a ring holding `capacity` ticks for the given series names,
+    /// sampled every `interval_ms` (recorded for consumers; the ring itself
+    /// does not tick — the caller's sampler thread does).
+    #[must_use]
+    pub fn new(names: &[&str], capacity: usize, interval_ms: u64) -> Self {
+        let capacity = capacity.max(1);
+        TimeSeries {
+            interval_ms,
+            capacity,
+            inner: std::sync::Mutex::new(TimeSeriesInner {
+                ticks: 0,
+                stamps: std::collections::VecDeque::with_capacity(capacity),
+                rings: names
+                    .iter()
+                    .map(|_| std::collections::VecDeque::with_capacity(capacity))
+                    .collect(),
+                names: names.iter().map(|n| (*n).to_string()).collect(),
+            }),
+        }
+    }
+
+    /// The sampling cadence declared at construction.
+    #[must_use]
+    pub fn interval_ms(&self) -> u64 {
+        self.interval_ms
+    }
+
+    /// Pushes one tick of samples (index-aligned with the constructor's
+    /// series names; extra values are ignored, missing ones record 0.0).
+    /// `unix_ms` stamps the tick for consumers aligning multiple daemons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal mutex is poisoned.
+    pub fn push(&self, unix_ms: u64, values: &[f64]) {
+        let mut inner = self.inner.lock().expect("timeseries lock");
+        inner.ticks += 1;
+        if inner.stamps.len() == self.capacity {
+            inner.stamps.pop_front();
+        }
+        inner.stamps.push_back(unix_ms);
+        for (index, ring) in inner.rings.iter_mut().enumerate() {
+            if ring.len() == self.capacity {
+                ring.pop_front();
+            }
+            ring.push_back(values.get(index).copied().unwrap_or(0.0));
+        }
+    }
+
+    /// Reads the newest `ticks` samples of every series (all retained ticks
+    /// when `ticks` exceeds the retention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal mutex is poisoned.
+    #[must_use]
+    pub fn window(&self, ticks: usize) -> TimeSeriesWindow {
+        let inner = self.inner.lock().expect("timeseries lock");
+        let available = inner.stamps.len();
+        let take = ticks.min(available);
+        let skip = available - take;
+        let series = inner
+            .names
+            .iter()
+            .zip(&inner.rings)
+            .map(|(name, ring)| {
+                let samples: Vec<f64> = ring.iter().skip(skip).copied().collect();
+                let mut sorted = samples.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                // Nearest-rank percentile: the smallest sample with at least
+                // q of the window at or below it.
+                let pick = |q: f64| -> f64 {
+                    if sorted.is_empty() {
+                        0.0
+                    } else {
+                        let rank = (sorted.len() as f64 * q).ceil() as usize;
+                        sorted[rank.max(1).min(sorted.len()) - 1]
+                    }
+                };
+                SeriesWindow {
+                    name: name.clone(),
+                    last: samples.last().copied().unwrap_or(0.0),
+                    min: sorted.first().copied().unwrap_or(0.0),
+                    max: sorted.last().copied().unwrap_or(0.0),
+                    avg: if samples.is_empty() {
+                        0.0
+                    } else {
+                        samples.iter().sum::<f64>() / samples.len() as f64
+                    },
+                    p50: pick(0.50),
+                    p95: pick(0.95),
+                    samples,
+                }
+            })
+            .collect();
+        TimeSeriesWindow {
+            interval_ms: self.interval_ms,
+            ticks: take,
+            latest_unix_ms: inner.stamps.back().copied().unwrap_or(0),
+            series,
+        }
+    }
+
+    /// Appends the most recent sample of every series to `out` as one
+    /// Prometheus gauge family (`tessel_timeseries_last{series="…"}`), so the
+    /// live-plane rates are scrapeable alongside the cumulative counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the internal mutex is poisoned.
+    pub fn render_prometheus(&self, out: &mut String) {
+        let inner = self.inner.lock().expect("timeseries lock");
+        out.push_str(
+            "# HELP tessel_timeseries_last Most recent live-plane sample per series.\n\
+             # TYPE tessel_timeseries_last gauge\n",
+        );
+        for (name, ring) in inner.names.iter().zip(&inner.rings) {
+            let last = ring.back().copied().unwrap_or(0.0);
+            out.push_str(&format!(
+                "tessel_timeseries_last{{series=\"{name}\"}} {last}\n"
+            ));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -636,6 +838,153 @@ mod tests {
         render_prometheus_histogram(&mut bare, "plain_seconds", "", &h);
         assert!(bare.contains("plain_seconds_bucket{le=\"0.0001\"} 2"));
         assert!(bare.contains("plain_seconds_count 4"));
+    }
+
+    #[test]
+    fn set_level_returns_the_previous_level() {
+        init(Level::Info, LogFormat::Text);
+        assert_eq!(set_level(Level::Debug), Level::Info);
+        assert_eq!(level(), Level::Debug);
+        assert!(enabled(Level::Debug));
+        assert_eq!(set_level(Level::Warn), Level::Debug);
+        assert!(!enabled(Level::Info));
+        set_level(Level::Info);
+    }
+
+    #[test]
+    fn histogram_routes_sub_minimum_observations_to_the_first_bucket() {
+        let h = Histogram::new();
+        h.observe_micros(0);
+        h.observe_micros(1);
+        h.observe_micros(99);
+        let cumulative = h.cumulative_counts();
+        assert_eq!(cumulative[0], 3, "0, 1 and 99µs all land in le=100µs");
+        assert_eq!(*cumulative.last().unwrap(), 3);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum_seconds() - 100e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_routes_oversized_observations_to_inf_only() {
+        let h = Histogram::new();
+        let last_bound = *DURATION_BUCKET_BOUNDS_MICROS.last().unwrap();
+        h.observe_micros(last_bound); // inclusive: last finite bucket
+        h.observe_micros(last_bound + 1); // first value past the ladder
+        h.observe_micros(u64::MAX / 4); // absurd but must not panic
+        let cumulative = h.cumulative_counts();
+        assert_eq!(
+            cumulative[BUCKETS - 2],
+            1,
+            "only the bound itself is finite"
+        );
+        assert_eq!(cumulative[BUCKETS - 1], 3);
+    }
+
+    #[test]
+    fn histogram_concurrent_observe_keeps_sum_and_count_monotone() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..2_000u64 {
+                        h.observe_micros(50 + (w * 13 + i * 7) % 200_000);
+                    }
+                })
+            })
+            .collect();
+        // Concurrent reader: every snapshot pair must be monotone — a render
+        // never observes count or sum going backwards.
+        let mut last_count = 0u64;
+        let mut last_sum = 0.0f64;
+        for _ in 0..200 {
+            let count = h.count();
+            let sum = h.sum_seconds();
+            assert!(
+                count >= last_count,
+                "count regressed: {last_count} -> {count}"
+            );
+            assert!(sum >= last_sum - 1e-9, "sum regressed: {last_sum} -> {sum}");
+            last_count = count;
+            last_sum = sum;
+            std::thread::yield_now();
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(h.count(), 8_000);
+        assert_eq!(*h.cumulative_counts().last().unwrap(), 8_000);
+    }
+
+    #[test]
+    fn timeseries_ring_caps_retention_and_reports_windows() {
+        let ts = TimeSeries::new(&["req_rate", "queue_depth"], 4, 1000);
+        assert_eq!(ts.interval_ms(), 1000);
+        // Empty ring: well-formed zeroed window.
+        let empty = ts.window(10);
+        assert_eq!(empty.ticks, 0);
+        assert_eq!(empty.series.len(), 2);
+        assert_eq!(empty.series[0].last, 0.0);
+        for tick in 0..6u64 {
+            ts.push(1_000 + tick, &[tick as f64, 10.0 - tick as f64]);
+        }
+        // Capacity 4: ticks 2..=5 retained.
+        let window = ts.window(100);
+        assert_eq!(window.ticks, 4);
+        assert_eq!(window.latest_unix_ms, 1_005);
+        assert_eq!(window.series[0].samples, vec![2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(window.series[0].last, 5.0);
+        assert_eq!(window.series[0].min, 2.0);
+        assert_eq!(window.series[0].max, 5.0);
+        assert!((window.series[0].avg - 3.5).abs() < 1e-12);
+        assert_eq!(window.series[1].samples, vec![8.0, 7.0, 6.0, 5.0]);
+        // A narrower window takes only the newest ticks.
+        let narrow = ts.window(2);
+        assert_eq!(narrow.ticks, 2);
+        assert_eq!(narrow.series[0].samples, vec![4.0, 5.0]);
+        assert_eq!(narrow.series[0].p50, 4.0);
+        assert_eq!(narrow.series[0].p95, 5.0);
+    }
+
+    #[test]
+    fn timeseries_percentiles_cover_the_window() {
+        let ts = TimeSeries::new(&["v"], 100, 500);
+        for i in 1..=100u64 {
+            ts.push(i, &[i as f64]);
+        }
+        let w = ts.window(100);
+        let series = &w.series[0];
+        assert_eq!(series.p50, 50.0);
+        assert_eq!(series.p95, 95.0);
+        assert_eq!(series.min, 1.0);
+        assert_eq!(series.max, 100.0);
+    }
+
+    #[test]
+    fn timeseries_short_rows_record_zeroes() {
+        let ts = TimeSeries::new(&["a", "b", "c"], 4, 1000);
+        ts.push(1, &[1.0]); // b and c missing
+        let w = ts.window(4);
+        assert_eq!(w.series[0].samples, vec![1.0]);
+        assert_eq!(w.series[1].samples, vec![0.0]);
+        assert_eq!(w.series[2].samples, vec![0.0]);
+    }
+
+    #[test]
+    fn timeseries_prometheus_gauges_are_well_formed() {
+        let ts = TimeSeries::new(&["req_rate", "cache_hit_ratio"], 8, 1000);
+        ts.push(1, &[3.5, 0.75]);
+        let mut out = String::new();
+        ts.render_prometheus(&mut out);
+        assert!(out.contains("# TYPE tessel_timeseries_last gauge"));
+        assert!(out.contains("tessel_timeseries_last{series=\"req_rate\"} 3.5"));
+        assert!(out.contains("tessel_timeseries_last{series=\"cache_hit_ratio\"} 0.75"));
+        // Every non-comment line is `name{labels} value` with a float value.
+        for line in out.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+            value.parse::<f64>().expect("gauge value parses as f64");
+        }
     }
 
     #[test]

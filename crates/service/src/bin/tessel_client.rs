@@ -47,6 +47,13 @@ fn usage() -> ! {
          \x20 inspect FINGERPRINT                 inspect one fingerprint\n\
          \x20 cluster [--fp FINGERPRINT]          ring membership and peer health\n\
          \x20                                     (--fp also reports the owner)\n\
+         \x20 top [--interval-ms MS] [--window N] [--cluster] [--once]\n\
+         \x20                                     live terminal dashboard of the\n\
+         \x20                                     daemon's sampled rates and\n\
+         \x20                                     in-flight requests; --cluster\n\
+         \x20                                     fans out to every ring member,\n\
+         \x20                                     --once prints one frame and\n\
+         \x20                                     exits (for scripts/CI)\n\
          \x20 fingerprint [--placement-file PATH | --shape KINDn]\n\
          \x20                                     print the canonical fingerprint\n\
          \x20                                     (computed locally, no daemon)\n\
@@ -161,6 +168,129 @@ fn print_timing(headers: &[(String, String)]) {
     }
 }
 
+/// One dashboard frame for one daemon: its sampled rate/gauge window plus
+/// the live in-flight table. Unreachable daemons render as a one-line note
+/// so a dying fleet member never kills the dashboard.
+fn render_top_frame(addr: &str, window: usize, out: &mut String) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "── {addr} ──");
+    match http_call(
+        addr,
+        "GET",
+        &format!("/v1/debug/timeseries?window={window}"),
+        None,
+    ) {
+        Ok((200, body)) => {
+            match serde_json::from_str::<tessel_service::wire::TimeseriesResponse>(&body) {
+                Ok(series) => {
+                    let _ = writeln!(
+                        out,
+                        "  {:<20} {:>10} {:>10} {:>10} {:>10}",
+                        "series", "last", "avg", "p95", "max"
+                    );
+                    for s in &series.series {
+                        let _ = writeln!(
+                            out,
+                            "  {:<20} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+                            s.name, s.last, s.avg, s.p95, s.max
+                        );
+                    }
+                    let _ = writeln!(
+                        out,
+                        "  ({} ticks @ {} ms)",
+                        series.ticks, series.interval_ms
+                    );
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "  (unparseable timeseries: {e})");
+                }
+            }
+        }
+        Ok((404, _)) => {
+            let _ = writeln!(out, "  (sampler disabled on this daemon)");
+        }
+        Ok((status, _)) => {
+            let _ = writeln!(out, "  (timeseries returned status {status})");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "  (unreachable: {e})");
+            return;
+        }
+    }
+    match http_call(addr, "GET", "/v1/debug/inflight", None) {
+        Ok((200, body)) => {
+            match serde_json::from_str::<tessel_service::wire::InflightResponse>(&body) {
+                Ok(inflight) if inflight.inflight.is_empty() => {
+                    let _ = writeln!(out, "  in-flight: none");
+                }
+                Ok(inflight) => {
+                    let _ = writeln!(
+                        out,
+                        "  {:<12} {:<22} {:<17} {:>9} {:>9} {:>12} {:>10}",
+                        "trace", "request", "stage", "elapsed", "deadline", "nodes", "incumbent"
+                    );
+                    for entry in &inflight.inflight {
+                        let trace = entry.trace_id.get(..12).unwrap_or(&entry.trace_id);
+                        let deadline = entry
+                            .deadline_remaining_ms
+                            .map_or_else(|| "-".to_string(), |ms| format!("{ms}ms"));
+                        let incumbent = entry
+                            .incumbent
+                            .map_or_else(|| "-".to_string(), |value| value.to_string());
+                        let _ = writeln!(
+                            out,
+                            "  {:<12} {:<22} {:<17} {:>8}ms {:>9} {:>12} {:>10}",
+                            trace,
+                            format!("{} {}", entry.method, entry.path),
+                            entry.stage,
+                            entry.elapsed_ms,
+                            deadline,
+                            entry.nodes,
+                            incumbent
+                        );
+                    }
+                }
+                Err(e) => {
+                    let _ = writeln!(out, "  (unparseable inflight: {e})");
+                }
+            }
+        }
+        Ok((status, _)) => {
+            let _ = writeln!(out, "  (inflight returned status {status})");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "  (unreachable: {e})");
+        }
+    }
+}
+
+/// The daemon addresses the `top` dashboard polls: just `addr`, or — with
+/// `--cluster` — `addr` plus every peer the daemon's `/v1/cluster` lists.
+fn top_targets(addr: &str, cluster: bool) -> Vec<String> {
+    let mut targets = vec![addr.to_string()];
+    if !cluster {
+        return targets;
+    }
+    match http_call(addr, "GET", "/v1/cluster", None) {
+        Ok((200, body)) => {
+            match serde_json::from_str::<tessel_service::wire::ClusterStatusResponse>(&body) {
+                Ok(status) => {
+                    for peer in status.peers {
+                        if !targets.contains(&peer.addr) {
+                            targets.push(peer.addr);
+                        }
+                    }
+                }
+                Err(e) => eprintln!("warning: unparseable /v1/cluster response: {e}"),
+            }
+        }
+        Ok((404, _)) => eprintln!("warning: {addr} is not in cluster mode; watching it alone"),
+        Ok((status, _)) => eprintln!("warning: /v1/cluster returned status {status}"),
+        Err(e) => eprintln!("warning: cannot reach {addr} for membership: {e}"),
+    }
+    targets
+}
+
 fn call(addr: &str, method: &str, path: &str, body: Option<&str>) -> ! {
     match http_call(addr, method, path, body) {
         Ok((status, body)) => {
@@ -209,6 +339,58 @@ fn main() {
                 }
             };
             call(&addr, "GET", &path, None)
+        }
+        "top" => {
+            let mut interval_ms = 1000u64;
+            let mut window = 60usize;
+            let mut cluster = false;
+            let mut once = false;
+            let mut it = rest.iter();
+            while let Some(flag) = it.next() {
+                match flag.as_str() {
+                    "--interval-ms" => {
+                        interval_ms = match it.next().and_then(|v| v.parse().ok()) {
+                            Some(ms) => ms,
+                            None => {
+                                eprintln!("error: --interval-ms needs a millisecond count");
+                                usage()
+                            }
+                        };
+                    }
+                    "--window" => {
+                        window = match it.next().and_then(|v| v.parse().ok()) {
+                            Some(n) if n >= 1 => n,
+                            _ => {
+                                eprintln!("error: --window needs a tick count of at least 1");
+                                usage()
+                            }
+                        };
+                    }
+                    "--cluster" => cluster = true,
+                    "--once" => once = true,
+                    other => {
+                        eprintln!("error: unknown top flag `{other}`");
+                        usage()
+                    }
+                }
+            }
+            let targets = top_targets(&addr, cluster);
+            loop {
+                let mut frame = String::new();
+                for target in &targets {
+                    render_top_frame(target, window, &mut frame);
+                }
+                if once {
+                    print!("{frame}");
+                    exit(0)
+                }
+                // One ANSI clear + home per refresh keeps the dashboard
+                // in place instead of scrolling.
+                print!("\x1b[2J\x1b[H{frame}");
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+                std::thread::sleep(std::time::Duration::from_millis(interval_ms.max(100)));
+            }
         }
         "fingerprint" => {
             let mut placement_file = None;

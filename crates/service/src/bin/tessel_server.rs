@@ -27,7 +27,7 @@ fn usage() -> ! {
         "usage: tessel-server [--addr HOST:PORT] [--workers N] [--queue-depth N]\n\
          \x20                  [--shed-policy least-valuable|reject-newest]\n\
          \x20                  [--idle-timeout-ms MS] [--max-pipelined N]\n\
-         \x20                  [--max-conns-per-ip N]\n\
+         \x20                  [--max-conns-per-ip N] [--sample-interval-ms MS]\n\
          \x20                  [--cache-file PATH] [--cache-capacity N] [--cache-shards N]\n\
          \x20                  [--journal-compact-every N]\n\
          \x20                  [--portfolio-threads N] [--micro-batches N] [--max-repetend N]\n\
@@ -51,7 +51,11 @@ fn usage() -> ! {
          --shed-policy picks what a full request queue does: least-valuable\n\
          (default) admits the newcomer and sheds the waiting request with\n\
          the lowest priority / largest queue share / latest deadline (429 +\n\
-         Retry-After); reject-newest refuses the newcomer with 503."
+         Retry-After); reject-newest refuses the newcomer with 503.\n\
+         \n\
+         --sample-interval-ms sets the live-plane sampling cadence behind\n\
+         GET /v1/debug/timeseries and `tessel-client top` (default 1000;\n\
+         0 disables the sampler)."
     );
     exit(2)
 }
@@ -91,6 +95,9 @@ fn main() {
             "--max-pipelined" => server_config.max_pipelined = parse_value(&flag, args.next()),
             "--max-conns-per-ip" => {
                 server_config.max_conns_per_ip = parse_value(&flag, args.next());
+            }
+            "--sample-interval-ms" => {
+                server_config.sample_interval_ms = parse_value(&flag, args.next());
             }
             "--cache-file" => {
                 service_config.cache_path = Some(parse_value::<String>(&flag, args.next()).into());

@@ -170,6 +170,12 @@ impl Cluster {
         &self.ring
     }
 
+    /// The peer table, in `--peer` order (trace assembly fans out over it).
+    #[must_use]
+    pub fn peers(&self) -> &[Arc<peers::Peer>] {
+        self.peers.peers()
+    }
+
     /// The live cluster counters.
     #[must_use]
     pub fn metrics(&self) -> &ClusterMetrics {

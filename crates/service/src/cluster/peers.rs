@@ -61,6 +61,10 @@ struct PeerHealth {
     consecutive_failures: u64,
     circuit_open_until: Option<Instant>,
     last_error: Option<String>,
+    /// Estimated peer clock minus local clock, in milliseconds, from the
+    /// most recent successful probe (peer `/healthz` timestamp vs. the probe
+    /// RTT midpoint). `None` until the first successful probe.
+    clock_offset_ms: Option<i64>,
 }
 
 /// One peer: its config, its keep-alive client and its health record.
@@ -90,6 +94,7 @@ impl Peer {
                 consecutive_failures: 0,
                 circuit_open_until: None,
                 last_error: None,
+                clock_offset_ms: None,
             }),
             failure_threshold,
             circuit_cooldown,
@@ -240,6 +245,27 @@ impl Peer {
         }
     }
 
+    /// Records a clock-offset estimate from a successful probe: the peer's
+    /// reported wall clock minus the probe's local RTT midpoint. Accurate to
+    /// roughly half the RTT plus millisecond rounding — good enough to line
+    /// up spans across daemons, not for ordering sub-millisecond events.
+    pub fn record_clock_offset(&self, offset_ms: i64) {
+        self.health
+            .lock()
+            .expect("peer health lock")
+            .clock_offset_ms = Some(offset_ms);
+    }
+
+    /// The latest probe-estimated peer clock offset (peer minus local),
+    /// milliseconds. `None` before the first successful probe.
+    #[must_use]
+    pub fn clock_offset_ms(&self) -> Option<i64> {
+        self.health
+            .lock()
+            .expect("peer health lock")
+            .clock_offset_ms
+    }
+
     /// Point-in-time status row for `/v1/cluster`.
     #[must_use]
     pub fn status(&self) -> PeerStatusInfo {
@@ -253,6 +279,7 @@ impl Peer {
                 .is_some_and(|until| Instant::now() < until),
             consecutive_failures: health.consecutive_failures,
             last_error: health.last_error.clone(),
+            clock_offset_ms: health.clock_offset_ms,
         }
     }
 }
@@ -349,8 +376,23 @@ impl Drop for PeerSet {
     }
 }
 
+/// Extracts the `unix_ms` integer a daemon's `/healthz` body reports.
+fn parse_unix_ms(body: &str) -> Option<u64> {
+    let rest = &body[body.find("\"unix_ms\"")? + "\"unix_ms\"".len()..];
+    let rest = rest.trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// Probes every peer's `/healthz` each interval. Sleeps in short slices so
 /// shutdown is prompt even with a long interval.
+///
+/// A successful probe doubles as a clock-offset measurement: the peer's
+/// `unix_ms` stamp is compared against the probe's local send time plus half
+/// the measured RTT (the classic NTP midpoint estimate), and the offset
+/// feeds fleet-wide trace assembly.
 fn probe_loop(peers: &[Arc<Peer>], stop: &AtomicBool, interval: Duration) {
     let slice = Duration::from_millis(25);
     loop {
@@ -360,7 +402,15 @@ fn probe_loop(peers: &[Arc<Peer>], stop: &AtomicBool, interval: Duration) {
             }
             // Bypass the circuit: probing an open circuit is how recovery is
             // detected before the cooldown expires.
-            let _ = peer.call_bypassing_circuit("GET", "/healthz", None);
+            let sent_unix_ms = crate::flight::now_unix_ms();
+            let sent = Instant::now();
+            if let Ok((200, body)) = peer.call_bypassing_circuit("GET", "/healthz", None) {
+                let rtt_ms = sent.elapsed().as_millis() as u64;
+                if let Some(peer_unix_ms) = parse_unix_ms(&body) {
+                    let midpoint = sent_unix_ms + rtt_ms / 2;
+                    peer.record_clock_offset(peer_unix_ms as i64 - midpoint as i64);
+                }
+            }
         }
         let mut slept = Duration::ZERO;
         while slept < interval {
@@ -431,6 +481,24 @@ mod tests {
             peer.call("GET", "/healthz", None),
             Err(PeerError::Io(_))
         ));
+    }
+
+    #[test]
+    fn clock_offsets_parse_and_round_trip() {
+        assert_eq!(
+            parse_unix_ms("{\"status\": \"ok\", \"unix_ms\": 1700000000123}"),
+            Some(1_700_000_000_123)
+        );
+        assert_eq!(parse_unix_ms("{\"unix_ms\":7}"), Some(7));
+        assert_eq!(parse_unix_ms("{\"status\": \"ok\"}"), None);
+        assert_eq!(parse_unix_ms("{\"unix_ms\": \"nope\"}"), None);
+
+        let peer = lone_peer(3, Duration::from_secs(1));
+        assert_eq!(peer.clock_offset_ms(), None);
+        assert_eq!(peer.status().clock_offset_ms, None);
+        peer.record_clock_offset(-42);
+        assert_eq!(peer.clock_offset_ms(), Some(-42));
+        assert_eq!(peer.status().clock_offset_ms, Some(-42));
     }
 
     #[test]

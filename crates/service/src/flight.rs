@@ -61,6 +61,45 @@ pub struct FlightRecord {
     pub stages: Vec<StageTiming>,
 }
 
+/// Filter predicate for `GET /v1/debug/requests` query parameters. Every
+/// populated field must match; an empty query matches everything.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlightQuery {
+    /// Exact response status (`?status=408`).
+    pub status: Option<u16>,
+    /// Minimum total duration in microseconds (`?min_micros=50000`).
+    pub min_micros: Option<u64>,
+    /// Exact request path (`?endpoint=/v1/search`).
+    pub endpoint: Option<String>,
+    /// Exact trace ID (`?trace=HEX32`).
+    pub trace: Option<String>,
+}
+
+impl FlightQuery {
+    /// `true` when no filter field is populated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == FlightQuery::default()
+    }
+
+    /// `true` when `record` satisfies every populated filter field.
+    #[must_use]
+    pub fn matches(&self, record: &FlightRecord) -> bool {
+        self.status.is_none_or(|status| record.status == status)
+            && self
+                .min_micros
+                .is_none_or(|floor| record.total_micros >= floor)
+            && self
+                .endpoint
+                .as_deref()
+                .is_none_or(|endpoint| record.path == endpoint)
+            && self
+                .trace
+                .as_deref()
+                .is_none_or(|trace| record.trace_id == trace)
+    }
+}
+
 impl FlightRecord {
     /// Microseconds recorded for stage `name` (0 when it never ran).
     #[must_use]
@@ -164,11 +203,47 @@ impl FlightRecorder {
     /// Snapshot of both views in wire form, for `GET /v1/debug/requests`.
     #[must_use]
     pub fn snapshot(&self) -> DebugRequestsResponse {
+        self.snapshot_filtered(&FlightQuery::default())
+    }
+
+    /// Snapshot of both views restricted to records matching `query`.
+    #[must_use]
+    pub fn snapshot_filtered(&self, query: &FlightQuery) -> DebugRequestsResponse {
         DebugRequestsResponse {
             capacity: self.capacity as u64,
-            recent: self.recent().iter().map(|r| r.to_wire()).collect(),
-            slowest: self.slowest().iter().map(|r| r.to_wire()).collect(),
+            recent: self
+                .recent()
+                .iter()
+                .filter(|r| query.matches(r))
+                .map(|r| r.to_wire())
+                .collect(),
+            slowest: self
+                .slowest()
+                .iter()
+                .filter(|r| query.matches(r))
+                .map(|r| r.to_wire())
+                .collect(),
         }
+    }
+
+    /// Every retained record carrying `trace_id`, oldest first, deduplicated
+    /// across the two views (a record can sit in both). Trace assembly walks
+    /// this to rebuild a request's span timeline.
+    #[must_use]
+    pub fn find_by_trace(&self, trace_id: &str) -> Vec<Arc<FlightRecord>> {
+        let mut found: Vec<Arc<FlightRecord>> = Vec::new();
+        {
+            let recent = self.recent.lock().expect("flight recorder lock");
+            found.extend(recent.iter().filter(|r| r.trace_id == trace_id).cloned());
+        }
+        let slowest = self.slowest.lock().expect("flight recorder lock");
+        for record in slowest.iter() {
+            if record.trace_id == trace_id && !found.iter().any(|seen| Arc::ptr_eq(seen, record)) {
+                found.push(Arc::clone(record));
+            }
+        }
+        found.sort_by_key(|r| r.start_unix_ms);
+        found
     }
 }
 
@@ -243,6 +318,148 @@ mod tests {
         assert_eq!(r.stage_micros("solve"), 50);
         assert_eq!(r.stage_micros("serialize"), 25);
         assert_eq!(r.stage_micros("absent"), 0);
+    }
+
+    #[test]
+    fn query_filters_compose_conjunctively() {
+        let recorder = FlightRecorder::new(8);
+        let mut timeout = record(&"a".repeat(32), 80_000);
+        timeout.status = 408;
+        recorder.record(timeout);
+        let mut fast_ok = record(&"b".repeat(32), 900);
+        fast_ok.path = "/v1/search/batch".to_string();
+        recorder.record(fast_ok);
+        recorder.record(record(&"c".repeat(32), 60_000));
+
+        // Empty query matches everything.
+        assert!(FlightQuery::default().is_empty());
+        assert_eq!(
+            recorder
+                .snapshot_filtered(&FlightQuery::default())
+                .recent
+                .len(),
+            3
+        );
+
+        // Single-field filters.
+        let by_status = FlightQuery {
+            status: Some(408),
+            ..FlightQuery::default()
+        };
+        let snap = recorder.snapshot_filtered(&by_status);
+        assert_eq!(snap.recent.len(), 1);
+        assert_eq!(snap.recent[0].trace_id, "a".repeat(32));
+
+        let by_floor = FlightQuery {
+            min_micros: Some(50_000),
+            ..FlightQuery::default()
+        };
+        assert_eq!(recorder.snapshot_filtered(&by_floor).recent.len(), 2);
+
+        let by_endpoint = FlightQuery {
+            endpoint: Some("/v1/search/batch".to_string()),
+            ..FlightQuery::default()
+        };
+        let snap = recorder.snapshot_filtered(&by_endpoint);
+        assert_eq!(snap.recent.len(), 1);
+        assert_eq!(snap.recent[0].trace_id, "b".repeat(32));
+
+        let by_trace = FlightQuery {
+            trace: Some("c".repeat(32)),
+            ..FlightQuery::default()
+        };
+        assert_eq!(recorder.snapshot_filtered(&by_trace).recent.len(), 1);
+
+        // Conjunction: status AND min_micros AND endpoint.
+        let combo = FlightQuery {
+            status: Some(408),
+            min_micros: Some(50_000),
+            endpoint: Some("/v1/search".to_string()),
+            trace: None,
+        };
+        let snap = recorder.snapshot_filtered(&combo);
+        assert_eq!(snap.recent.len(), 1);
+        assert_eq!(snap.recent[0].status, 408);
+        // Flipping any leg to a non-matching value empties the result.
+        let miss = FlightQuery {
+            min_micros: Some(90_000),
+            ..combo
+        };
+        assert!(recorder.snapshot_filtered(&miss).recent.is_empty());
+        assert!(recorder.snapshot_filtered(&miss).slowest.is_empty());
+    }
+
+    #[test]
+    fn find_by_trace_dedups_across_views_and_orders_by_start() {
+        let recorder = FlightRecorder::new(2);
+        let trace = "d".repeat(32);
+        // Slow enough to live in both views at first.
+        let mut early = record(&trace, 5_000_000);
+        early.start_unix_ms = 1_700_000_000_000;
+        recorder.record(early);
+        let mut late = record(&trace, 40);
+        late.start_unix_ms = 1_700_000_000_500;
+        recorder.record(late);
+        recorder.record(record(&"e".repeat(32), 50));
+
+        let found = recorder.find_by_trace(&trace);
+        assert_eq!(
+            found.len(),
+            2,
+            "one per request, no double-count from slowest"
+        );
+        assert!(found[0].start_unix_ms <= found[1].start_unix_ms);
+
+        // Evict both trace records from the recent ring; they must still be
+        // reachable via the slowest view (which holds everything while under
+        // SLOWEST_CAPACITY), still deduplicated and ordered by start time.
+        recorder.record(record(&"f".repeat(32), 60));
+        recorder.record(record(&"g".repeat(32), 70));
+        let found = recorder.find_by_trace(&trace);
+        assert_eq!(found.len(), 2);
+        assert_eq!(found[0].total_micros, 5_000_000);
+        assert_eq!(found[1].total_micros, 40);
+        assert!(recorder.find_by_trace(&"h".repeat(32)).is_empty());
+    }
+
+    #[test]
+    fn slowest_eviction_is_correct_under_concurrent_insert() {
+        let recorder = std::sync::Arc::new(FlightRecorder::new(16));
+        let threads = 4u32;
+        let per_thread = 200u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let recorder = std::sync::Arc::clone(&recorder);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        let total = u64::from(t) * per_thread + i;
+                        recorder.record(record(&format!("t{t}i{i}"), total));
+                    }
+                });
+            }
+        });
+        let slowest = recorder.slowest();
+        assert_eq!(slowest.len(), SLOWEST_CAPACITY);
+        for pair in slowest.windows(2) {
+            assert!(pair[0].total_micros >= pair[1].total_micros);
+        }
+        // The global maximum always survives: it is never racing anything
+        // slower for its slot.
+        let max = u64::from(threads) * per_thread - 1;
+        assert_eq!(slowest[0].total_micros, max);
+        // Every retained entry beats everything evicted: the 16 retained
+        // totals must be 16 of the top totals overall. Concurrent inserts may
+        // interleave, but each record() holds the slowest lock exclusively,
+        // so the sorted-truncate can never drop a slower record for a faster
+        // one.
+        let floor = slowest.last().unwrap().total_micros;
+        let beaten = (0..u64::from(threads) * per_thread)
+            .filter(|total| *total > floor)
+            .count();
+        assert!(
+            beaten < SLOWEST_CAPACITY,
+            "floor {floor} excludes too little"
+        );
     }
 
     #[test]

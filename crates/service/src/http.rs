@@ -60,8 +60,17 @@
 //! | GET    | `/v1/cluster`               | ring membership and peer health    |
 //! | GET    | `/v1/cluster/export/{node}` | warm-up stream of `{node}`'s shard |
 //! | GET    | `/v1/debug/requests`        | flight recorder (recent + slowest) |
+//! | GET    | `/v1/debug/inflight`        | live in-flight requests + progress |
+//! | GET    | `/v1/debug/timeseries`      | sampled rate/gauge window (JSON)   |
+//! | GET    | `/v1/debug/trace/{id}`      | fleet-wide assembled span timeline |
+//! | GET    | `/v1/debug/loglevel`        | current log level                  |
+//! | PUT    | `/v1/debug/loglevel`        | change the log level at runtime    |
 //! | GET    | `/metrics`                  | Prometheus text metrics            |
-//! | GET    | `/healthz`                  | liveness probe                     |
+//! | GET    | `/healthz`                  | liveness probe (+ `unix_ms` clock) |
+//!
+//! `GET /v1/debug/requests` accepts `?status=`, `?min_micros=`, `?endpoint=`
+//! and `?trace=` filters (conjunctive); `GET /v1/debug/timeseries` accepts
+//! `?window=N` to bound the returned tick count.
 //!
 //! Every response carries an `X-Tessel-Trace-Id` header (the request-scoped
 //! trace ID, joined from a valid inbound `X-Tessel-Trace-Id` or freshly
@@ -138,6 +147,11 @@ pub struct ServerConfig {
     pub max_conns_per_ip: usize,
     /// What happens when the admission queue is full (see [`ShedPolicy`]).
     pub shed_policy: ShedPolicy,
+    /// Milliseconds between live-plane samples (requests/s, shed/s, cache
+    /// hit ratio, solver nodes/s, queue depth, open connections) taken by
+    /// the background sampler for `GET /v1/debug/timeseries`. `0` disables
+    /// the sampler entirely (the endpoint then answers `404`).
+    pub sample_interval_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -150,9 +164,24 @@ impl Default for ServerConfig {
             max_pipelined: 32,
             max_conns_per_ip: 0,
             shed_policy: ShedPolicy::LeastValuable,
+            sample_interval_ms: 1000,
         }
     }
 }
+
+/// Series sampled by the live-plane sampler thread, in ring order.
+const SAMPLER_SERIES: [&str; 6] = [
+    "requests_per_s",
+    "shed_per_s",
+    "cache_hit_ratio",
+    "solver_nodes_per_s",
+    "queue_depth",
+    "connections_open",
+];
+
+/// Ticks retained by the sampler ring (10 minutes at the default 1 s
+/// cadence; six series of f64 keep this under 30 KiB).
+const TIMESERIES_CAPACITY: usize = 600;
 
 /// Overload behaviour of the admission queue when a request arrives while
 /// [`ServerConfig::queue_depth`] requests are already waiting.
@@ -192,6 +221,8 @@ pub struct HttpServer {
     waker: PipeWriter,
     loop_handle: Option<JoinHandle<()>>,
     worker_handles: Vec<JoinHandle<()>>,
+    sampler_handle: Option<JoinHandle<()>>,
+    timeseries: Option<Arc<tessel_obs::TimeSeries>>,
     transport: Arc<TransportMetrics>,
 }
 
@@ -238,11 +269,30 @@ impl HttpServer {
         ));
         let completions: Arc<Mutex<Vec<Completion>>> = Arc::new(Mutex::new(Vec::new()));
 
+        let timeseries = (config.sample_interval_ms > 0).then(|| {
+            Arc::new(tessel_obs::TimeSeries::new(
+                &SAMPLER_SERIES,
+                TIMESERIES_CAPACITY,
+                config.sample_interval_ms,
+            ))
+        });
+        let sampler_handle = timeseries.as_ref().map(|timeseries| {
+            let timeseries = Arc::clone(timeseries);
+            let service = service.clone();
+            let transport = transport.clone();
+            let stop = stop.clone();
+            let interval = Duration::from_millis(config.sample_interval_ms);
+            std::thread::spawn(move || {
+                sampler_loop(&timeseries, &service, &transport, &stop, interval)
+            })
+        });
+
         let worker_handles: Vec<JoinHandle<()>> = (0..workers)
             .map(|_| {
                 let admission = admission.clone();
                 let service = service.clone();
                 let transport = transport.clone();
+                let timeseries = timeseries.clone();
                 let completions = completions.clone();
                 // Shared (not per-worker-owned): the streaming incumbent
                 // sink clones it into solver-thread callbacks.
@@ -269,6 +319,15 @@ impl HttpServer {
                             "queue_wait",
                             job.enqueued.elapsed().as_micros() as u64,
                         );
+                        // Live registration: the request shows up on
+                        // `GET /v1/debug/inflight` (with its solver progress
+                        // board) until the guard drops at the end of this
+                        // iteration.
+                        let _inflight = service.register_inflight(
+                            &job.request.method,
+                            &job.request.path,
+                            job.client.map(|ip| ip.to_string()),
+                        );
                         if stream_requested(&job.request) {
                             // A body that does not even parse degrades to the
                             // ordinary (non-streamed) 400 below via `route`.
@@ -290,7 +349,8 @@ impl HttpServer {
                                 continue;
                             }
                         }
-                        let response = route(&service, &transport, &job.request);
+                        let response =
+                            route(&service, &transport, timeseries.as_deref(), &job.request);
                         let finished = tessel_obs::end_request();
                         let total_micros = started.elapsed().as_micros() as u64;
                         let mut extra_headers = vec![(
@@ -384,8 +444,17 @@ impl HttpServer {
             waker: wake_tx,
             loop_handle: Some(loop_handle),
             worker_handles,
+            sampler_handle,
+            timeseries,
             transport,
         })
+    }
+
+    /// The live-plane sample ring, when the sampler is enabled
+    /// (`sample_interval_ms > 0`).
+    #[must_use]
+    pub fn timeseries(&self) -> Option<&Arc<tessel_obs::TimeSeries>> {
+        self.timeseries.as_ref()
     }
 
     /// The address the server actually listens on (resolves `:0`).
@@ -413,6 +482,56 @@ impl HttpServer {
         for handle in self.worker_handles.drain(..) {
             let _ = handle.join();
         }
+        if let Some(handle) = self.sampler_handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Body of the live-plane sampler thread: once per `interval`, reads the
+/// cumulative service/transport counters, converts them into per-second
+/// rates (and point-in-time gauges) and pushes one tick into the ring.
+/// Sleeps in short slices so shutdown never waits a full interval.
+fn sampler_loop(
+    timeseries: &tessel_obs::TimeSeries,
+    service: &ScheduleService,
+    transport: &TransportMetrics,
+    stop: &AtomicBool,
+    interval: Duration,
+) {
+    let mut prev = service.metrics_snapshot();
+    let mut prev_shed = transport.admission_shed.load(Ordering::Relaxed);
+    let mut last_tick = Instant::now();
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(interval.min(Duration::from_millis(50)));
+        if last_tick.elapsed() < interval {
+            continue;
+        }
+        let elapsed_s = last_tick.elapsed().as_secs_f64().max(1e-3);
+        last_tick = Instant::now();
+        let now = service.metrics_snapshot();
+        let shed = transport.admission_shed.load(Ordering::Relaxed);
+        let requests = now.requests.saturating_sub(prev.requests);
+        let hits = now.cache_hits.saturating_sub(prev.cache_hits);
+        let misses = now.cache_misses.saturating_sub(prev.cache_misses);
+        let looked_up = hits + misses;
+        timeseries.push(
+            now_unix_ms(),
+            &[
+                requests as f64 / elapsed_s,
+                shed.saturating_sub(prev_shed) as f64 / elapsed_s,
+                if looked_up == 0 {
+                    0.0
+                } else {
+                    hits as f64 / looked_up as f64
+                },
+                now.solver_nodes.saturating_sub(prev.solver_nodes) as f64 / elapsed_s,
+                transport.admission_queue_depth.load(Ordering::Relaxed) as f64,
+                transport.connections_open.load(Ordering::Relaxed) as f64,
+            ],
+        );
+        prev = now;
+        prev_shed = shed;
     }
 }
 
@@ -1553,6 +1672,7 @@ struct Response {
 fn route(
     service: &ScheduleService,
     transport: &TransportMetrics,
+    timeseries: Option<&tessel_obs::TimeSeries>,
     request: &ParsedRequest,
 ) -> Response {
     let (path, query) = request
@@ -1669,11 +1789,125 @@ fn route(
         }
         // The flight recorder: the last N completed requests with per-stage
         // timing breakdowns, plus the slowest requests seen since startup.
-        ("GET", "/v1/debug/requests") => Response {
+        // Filterable: `?status=408&min_micros=50000&endpoint=/v1/search&trace=…`.
+        ("GET", "/v1/debug/requests") => match parse_flight_query(query) {
+            Ok(flight_query) => Response {
+                status: 200,
+                content_type: "application/json",
+                body: render_json(&service.debug_requests_filtered(&flight_query)),
+            },
+            Err(message) => error_response(400, "bad_request", &message),
+        },
+        // Live in-flight requests with their solver progress boards.
+        ("GET", "/v1/debug/inflight") => Response {
             status: 200,
             content_type: "application/json",
-            body: render_json(&service.debug_requests()),
+            body: render_json(&service.debug_inflight()),
         },
+        // Windowed live-plane rates and gauges (`?window=N` ticks, default
+        // the whole retained ring).
+        ("GET", "/v1/debug/timeseries") => match timeseries {
+            Some(timeseries) => {
+                let window = match query
+                    .split('&')
+                    .find_map(|pair| pair.strip_prefix("window="))
+                {
+                    Some(raw) => match raw.parse::<usize>() {
+                        Ok(ticks) if ticks > 0 => ticks,
+                        _ => {
+                            return error_response(
+                                400,
+                                "bad_request",
+                                &format!("invalid window `{raw}`"),
+                            )
+                        }
+                    },
+                    None => TIMESERIES_CAPACITY,
+                };
+                let window = timeseries.window(window);
+                let response = crate::wire::TimeseriesResponse {
+                    interval_ms: window.interval_ms,
+                    ticks: window.ticks as u64,
+                    latest_unix_ms: window.latest_unix_ms,
+                    series: window
+                        .series
+                        .into_iter()
+                        .map(|series| crate::wire::SeriesWindowInfo {
+                            name: series.name,
+                            samples: series.samples,
+                            last: series.last,
+                            min: series.min,
+                            max: series.max,
+                            avg: series.avg,
+                            p50: series.p50,
+                            p95: series.p95,
+                        })
+                        .collect(),
+                };
+                Response {
+                    status: 200,
+                    content_type: "application/json",
+                    body: render_json(&response),
+                }
+            }
+            None => error_response(
+                404,
+                "not_found",
+                "the live-plane sampler is disabled (sample_interval_ms = 0)",
+            ),
+        },
+        // Fleet-wide trace assembly: local flight records plus every healthy
+        // peer's, merged into one clock-adjusted span timeline.
+        ("GET", path) if path.starts_with("/v1/debug/trace/") => {
+            let raw = &path["/v1/debug/trace/".len()..];
+            match tessel_obs::TraceId::parse(raw) {
+                Some(trace_id) => Response {
+                    status: 200,
+                    content_type: "application/json",
+                    body: render_json(&service.assemble_trace(trace_id.as_str())),
+                },
+                None => error_response(400, "bad_request", &format!("invalid trace id `{raw}`")),
+            }
+        }
+        ("GET", "/v1/debug/loglevel") => Response {
+            status: 200,
+            content_type: "application/json",
+            body: render_json(&crate::wire::LogLevelBody {
+                level: tessel_obs::level().as_str().to_string(),
+            }),
+        },
+        // Runtime log-level control. The change is announced at the *old*
+        // level so turning logging down leaves one last trace of who did it.
+        ("PUT", "/v1/debug/loglevel") => {
+            match serde_json::from_str::<crate::wire::LogLevelBody>(&request.body) {
+                Ok(body) => match body.level.parse::<tessel_obs::Level>() {
+                    Ok(level) => {
+                        let previous = tessel_obs::set_level(level);
+                        tessel_obs::log(
+                            previous,
+                            "http",
+                            "log level changed",
+                            &[("from", previous.as_str()), ("to", level.as_str())],
+                        );
+                        Response {
+                            status: 200,
+                            content_type: "application/json",
+                            body: format!(
+                                "{{\"level\":\"{}\",\"previous\":\"{}\"}}",
+                                level.as_str(),
+                                previous.as_str()
+                            ),
+                        }
+                    }
+                    Err(_) => error_response(
+                        400,
+                        "bad_request",
+                        &format!("unknown log level `{}`", body.level),
+                    ),
+                },
+                Err(e) => error_response(400, "bad_request", &format!("invalid body: {e}")),
+            }
+        }
         ("GET", "/metrics") => {
             let mut body = service.metrics_snapshot().render_prometheus()
                 + &service.metrics().render_histograms()
@@ -1682,19 +1916,54 @@ fn route(
             if let Some(cluster) = service.cluster_snapshot() {
                 body += &cluster.render_prometheus();
             }
+            if let Some(timeseries) = timeseries {
+                timeseries.render_prometheus(&mut body);
+            }
             Response {
                 status: 200,
                 content_type: "text/plain; version=0.0.4",
                 body,
             }
         }
+        // The `unix_ms` clock stamp feeds peer clock-offset estimation: the
+        // health prober reads it against its own send time and probe RTT.
         ("GET", "/healthz") => Response {
             status: 200,
             content_type: "application/json",
-            body: "{\"status\":\"ok\"}".into(),
+            body: format!("{{\"status\":\"ok\",\"unix_ms\":{}}}", now_unix_ms()),
         },
         (_, path) => error_response(404, "not_found", &format!("no route for {path}")),
     }
+}
+
+/// Parses the `GET /v1/debug/requests` filter query
+/// (`status=…&min_micros=…&endpoint=…&trace=…`); unknown keys are ignored,
+/// unparseable numbers are an error.
+fn parse_flight_query(query: &str) -> Result<crate::flight::FlightQuery, String> {
+    let mut flight_query = crate::flight::FlightQuery::default();
+    for pair in query.split('&').filter(|pair| !pair.is_empty()) {
+        let (key, value) = pair.split_once('=').unwrap_or((pair, ""));
+        match key {
+            "status" => {
+                flight_query.status = Some(
+                    value
+                        .parse::<u16>()
+                        .map_err(|_| format!("invalid status `{value}`"))?,
+                );
+            }
+            "min_micros" => {
+                flight_query.min_micros = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| format!("invalid min_micros `{value}`"))?,
+                );
+            }
+            "endpoint" => flight_query.endpoint = Some(value.to_string()),
+            "trace" => flight_query.trace = Some(value.to_string()),
+            _ => {}
+        }
+    }
+    Ok(flight_query)
 }
 
 fn service_error_response(error: &ServiceError) -> Response {

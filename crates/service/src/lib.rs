@@ -29,7 +29,11 @@
 //! * [`flight`] — the in-memory flight recorder behind
 //!   `GET /v1/debug/requests`: the last N completed requests with per-stage
 //!   timing breakdowns plus a slowest-requests view, correlated by the
-//!   request-scoped trace IDs of [`tessel_obs`].
+//!   request-scoped trace IDs of [`tessel_obs`], filterable by status /
+//!   duration / endpoint / trace.
+//! * [`inflight`] — the live registry behind `GET /v1/debug/inflight`:
+//!   every admitted-but-unanswered request with its pipeline stage,
+//!   deadline remaining and relaxed-atomic solver progress.
 //! * [`wire`] — the JSON request/response types.
 //!
 //! Two binaries ship with the crate: `tessel-server` (the daemon) and
@@ -70,6 +74,7 @@ pub mod cache;
 pub mod cluster;
 pub mod flight;
 pub mod http;
+pub mod inflight;
 pub mod metrics;
 pub mod service;
 pub mod singleflight;
@@ -79,8 +84,9 @@ pub mod wire;
 
 pub use cache::{CacheConfig, CacheJournal, CachedSearch, ShardedCache};
 pub use cluster::{peers::PeerConfig, ring::HashRing, Cluster, ClusterConfig};
-pub use flight::{FlightRecord, FlightRecorder, StageTiming};
+pub use flight::{FlightQuery, FlightRecord, FlightRecorder, StageTiming};
 pub use http::{http_call_streaming, HttpClient, HttpServer, ServerConfig, ShedPolicy};
+pub use inflight::{InflightGuard, InflightRegistry};
 pub use metrics::{
     ClusterMetrics, ClusterSnapshot, MetricsSnapshot, ServiceMetrics, TransportMetrics,
     TransportSnapshot,

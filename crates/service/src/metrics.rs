@@ -24,12 +24,16 @@ const BUCKETS: usize = 40;
 ///
 /// Paths are coarsened to this set by [`ServiceMetrics::endpoint_label`] so an
 /// attacker probing random URLs cannot mint unbounded label values.
-pub const ENDPOINT_LABELS: [&str; 8] = [
+pub const ENDPOINT_LABELS: [&str; 12] = [
     "/v1/search",
     "/v1/search/batch",
     "/v1/cache",
     "/v1/cluster",
     "/v1/debug/requests",
+    "/v1/debug/inflight",
+    "/v1/debug/timeseries",
+    "/v1/debug/trace",
+    "/v1/debug/loglevel",
     "/metrics",
     "/healthz",
     "other",
@@ -267,6 +271,14 @@ impl ServiceMetrics {
             "/v1/cluster"
         } else if path == "/v1/debug/requests" {
             "/v1/debug/requests"
+        } else if path == "/v1/debug/inflight" {
+            "/v1/debug/inflight"
+        } else if path == "/v1/debug/timeseries" {
+            "/v1/debug/timeseries"
+        } else if path == "/v1/debug/trace" || path.starts_with("/v1/debug/trace/") {
+            "/v1/debug/trace"
+        } else if path == "/v1/debug/loglevel" {
+            "/v1/debug/loglevel"
         } else if path == "/metrics" {
             "/metrics"
         } else if path == "/healthz" {
@@ -997,6 +1009,23 @@ mod tests {
             ServiceMetrics::endpoint_label("/v1/debug/requests"),
             "/v1/debug/requests"
         );
+        assert_eq!(
+            ServiceMetrics::endpoint_label("/v1/debug/inflight"),
+            "/v1/debug/inflight"
+        );
+        assert_eq!(
+            ServiceMetrics::endpoint_label("/v1/debug/timeseries"),
+            "/v1/debug/timeseries"
+        );
+        assert_eq!(
+            ServiceMetrics::endpoint_label(&format!("/v1/debug/trace/{}", "a".repeat(32))),
+            "/v1/debug/trace"
+        );
+        assert_eq!(
+            ServiceMetrics::endpoint_label("/v1/debug/loglevel"),
+            "/v1/debug/loglevel"
+        );
+        assert_eq!(ServiceMetrics::endpoint_label("/v1/debug/nope"), "other");
         assert_eq!(ServiceMetrics::endpoint_label("/metrics"), "/metrics");
         assert_eq!(ServiceMetrics::endpoint_label("/../../etc/passwd"), "other");
         assert_eq!(ServiceMetrics::endpoint_label("/v1/searchx"), "other");
@@ -1127,17 +1156,25 @@ mod tests {
         transport.admission_wait.observe_micros(1_500);
         let cluster = ClusterMetrics::new();
         cluster.remote_hits.fetch_add(4, Ordering::Relaxed);
+        // The sampler's ring-derived gauges join the page too.
+        let timeseries =
+            tessel_obs::TimeSeries::new(&["requests_per_s", "cache_hit_ratio"], 8, 1000);
+        timeseries.push(1_700_000_000_000, &[2.0, 0.5]);
+        let mut sampled = String::new();
+        timeseries.render_prometheus(&mut sampled);
         let page = format!(
-            "{}{}{}{}{}",
+            "{}{}{}{}{}{}",
             service.snapshot(0, 0).render_prometheus(),
             service.render_histograms(),
             transport.snapshot().render_prometheus(),
             transport.render_admission_wait(),
-            cluster.snapshot(2, 2, 0).render_prometheus()
+            cluster.snapshot(2, 2, 0).render_prometheus(),
+            sampled
         );
         assert!(page.contains("tessel_admission_shed_total 2"));
         assert!(page.contains("tessel_admission_queue_depth 0"));
         assert!(page.contains("tessel_admission_wait_seconds_count 1"));
+        assert!(page.contains("tessel_timeseries_last{series=\"requests_per_s\"} 2"));
         assert_valid_exposition(&page);
     }
 

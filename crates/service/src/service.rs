@@ -20,13 +20,15 @@
 
 use crate::cache::{CacheConfig, CacheJournal, CacheKey, CacheParams, CachedSearch, ShardedCache};
 use crate::cluster::{Cluster, ClusterConfig, ClusterSnapshot, RemoteFetch};
-use crate::flight::{now_unix_ms, FlightRecord, FlightRecorder, StageTiming};
+use crate::flight::{now_unix_ms, FlightQuery, FlightRecord, FlightRecorder, StageTiming};
+use crate::inflight::{self, InflightGuard, InflightRegistry};
 use crate::metrics::{MetricsSnapshot, ServiceMetrics};
 use crate::singleflight::{Joined, SingleFlight};
 use crate::wire::{
     BatchSearchItem, BatchSearchRequest, BatchSearchResponse, CacheEntryInfo, CacheExchange,
-    ClusterStatusResponse, DebugRequestsResponse, ErrorBody, InspectResponse, ReplicationAck,
-    SearchRequest, SearchResponse, WireSearchEntry,
+    ClusterStatusResponse, DebugRequestsResponse, ErrorBody, FlightRecordInfo, InflightResponse,
+    InspectResponse, ReplicationAck, SearchRequest, SearchResponse, TraceAssemblyResponse,
+    TraceSpanInfo, WireSearchEntry,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -194,6 +196,7 @@ pub struct ScheduleService {
     metrics: ServiceMetrics,
     flights: SingleFlight<Result<Arc<CachedSearch>, ServiceError>>,
     recorder: FlightRecorder,
+    inflight: InflightRegistry,
 }
 
 /// How a cache entry was obtained, before translation into the requester's
@@ -240,6 +243,50 @@ impl Drop for FlightGuard<'_> {
                 )),
             );
         }
+    }
+}
+
+/// Times `f` as a trace stage **and** marks it as the calling request's live
+/// pipeline stage on the in-flight registry, so `GET /v1/debug/inflight`
+/// shows where each request currently is.
+fn live_stage<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    inflight::with_current(|entry| entry.set_stage(name));
+    tessel_obs::stage(name, f)
+}
+
+/// Expands one flight record into assembled-trace spans: a whole-request
+/// envelope span named `request`, then one span per recorded stage laid out
+/// back-to-back from the request's start. `offset_ms` is the recording
+/// node's clock minus the assembling node's clock — remote starts are
+/// shifted by it so all spans share one timeline.
+fn push_record_spans(
+    spans: &mut Vec<TraceSpanInfo>,
+    node: &str,
+    record: &FlightRecordInfo,
+    offset_ms: i64,
+) {
+    let base = (record.start_unix_ms as i64 - offset_ms).max(0) as u64;
+    spans.push(TraceSpanInfo {
+        node: node.to_string(),
+        name: "request".to_string(),
+        start_unix_ms: base,
+        micros: record.total_micros,
+        method: record.method.clone(),
+        path: record.path.clone(),
+        status: record.status,
+    });
+    let mut cursor_micros = 0u64;
+    for stage in &record.stages {
+        spans.push(TraceSpanInfo {
+            node: node.to_string(),
+            name: stage.name.clone(),
+            start_unix_ms: base + cursor_micros / 1000,
+            micros: stage.micros,
+            method: record.method.clone(),
+            path: record.path.clone(),
+            status: record.status,
+        });
+        cursor_micros += stage.micros;
     }
 }
 
@@ -334,6 +381,7 @@ impl ScheduleService {
             metrics,
             flights: SingleFlight::new(),
             recorder: FlightRecorder::default(),
+            inflight: InflightRegistry::default(),
         })
     }
 
@@ -388,6 +436,10 @@ impl ScheduleService {
         if owns_context {
             tessel_obs::begin_request(tessel_obs::TraceId::generate());
         }
+        // The HTTP worker registers its requests (with peer and queue wait)
+        // before routing in; in-process callers are registered here, by the
+        // same ownership rule as the trace context above.
+        let _inflight = owns_context.then(|| self.register_inflight("CALL", "/v1/search", None));
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
         let result = self.search_inner(request, arrived, sink);
         match &result {
@@ -443,6 +495,7 @@ impl ScheduleService {
             .deadline_ms
             .map(|ms| arrived + Duration::from_millis(ms))
             .or_else(|| self.config.default_deadline.map(|d| arrived + d));
+        inflight::with_current(|entry| entry.set_deadline(deadline));
 
         let canon = self.canonicalize_budgeted(&request.placement);
         let key = CacheKey::new(canon.fingerprint, &params);
@@ -471,9 +524,7 @@ impl ScheduleService {
         solver_threads: usize,
         sink: Option<&IncumbentSink>,
     ) -> Result<Obtained, ServiceError> {
-        if let Some(entry) =
-            tessel_obs::stage("cache_lookup", || self.cache_lookup(key, canon, params))
-        {
+        if let Some(entry) = live_stage("cache_lookup", || self.cache_lookup(key, canon, params)) {
             self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Obtained {
                 entry,
@@ -482,7 +533,7 @@ impl ScheduleService {
             });
         }
 
-        match tessel_obs::stage("singleflight_wait", || {
+        match live_stage("singleflight_wait", || {
             self.flights.join(key.raw(), deadline)
         }) {
             Joined::Leader => {
@@ -500,14 +551,14 @@ impl ScheduleService {
                 // may already hold this schedule.
                 let mut remote_hit = false;
                 let mut inserted = false;
-                let result = match tessel_obs::stage("cache_lookup", || {
+                let result = match live_stage("cache_lookup", || {
                     self.cache_lookup(key, canon, params)
                 }) {
                     Some(entry) => Ok(entry),
                     // The stage only exists in cluster mode: standalone
                     // flight records carry no zero-length `remote_fetch` row.
                     None => match self.cluster.as_ref().and_then(|_| {
-                        tessel_obs::stage("remote_fetch", || self.cluster_fetch(key, canon, params))
+                        live_stage("remote_fetch", || self.cluster_fetch(key, canon, params))
                     }) {
                         Some(entry) => {
                             remote_hit = true;
@@ -515,7 +566,7 @@ impl ScheduleService {
                             Ok(entry)
                         }
                         None => {
-                            let solved = tessel_obs::stage("solve", || {
+                            let solved = live_stage("solve", || {
                                 self.run_search(canon, params, key, deadline, solver_threads, sink)
                             });
                             inserted = solved.is_ok();
@@ -871,10 +922,16 @@ impl ScheduleService {
         if let Some(sink) = sink {
             config = config.with_incumbent_sink(sink.clone());
         }
-        // The parallel-solver tuning knobs apply to both solver roles.
+        // The parallel-solver tuning knobs apply to both solver roles; so
+        // does the live progress board of the leading request, when one is
+        // registered — core's per-run config cloning preserves the handle,
+        // so every solve of this search publishes into it at its existing
+        // node-batch flush boundaries (relaxed atomics, no added locks).
+        let board = inflight::with_current(|entry| entry.board().clone());
         for solver in [&mut config.repetend_solver, &mut config.phase_solver] {
             solver.steal_depth = self.config.solver_steal_depth;
             solver.dominance_shards = self.config.solver_memo_shards;
+            solver.progress = board.clone();
         }
 
         let outcome = TesselSearch::new(config)
@@ -937,7 +994,7 @@ impl ScheduleService {
         cached: bool,
         coalesced: bool,
     ) -> SearchResponse {
-        tessel_obs::stage("translate", || {
+        live_stage("translate", || {
             self.respond_inner(entry, canon, original, cached, coalesced)
         })
     }
@@ -1058,6 +1115,128 @@ impl ScheduleService {
     #[must_use]
     pub fn debug_requests(&self) -> DebugRequestsResponse {
         self.recorder.snapshot()
+    }
+
+    /// The `GET /v1/debug/requests` response body restricted to records
+    /// matching `query` (`?status=…&min_micros=…&endpoint=…&trace=…`).
+    #[must_use]
+    pub fn debug_requests_filtered(&self, query: &FlightQuery) -> DebugRequestsResponse {
+        self.recorder.snapshot_filtered(query)
+    }
+
+    /// Registers one admitted request on the live in-flight registry under
+    /// the calling thread's current trace ID. The HTTP transport calls this
+    /// right after popping a job off the admission queue; in-process
+    /// searches register themselves. Hold the guard until the request is
+    /// answered.
+    #[must_use]
+    pub fn register_inflight(
+        &self,
+        method: &str,
+        path: &str,
+        peer: Option<String>,
+    ) -> InflightGuard<'_> {
+        let trace_id =
+            tessel_obs::current_trace_id().map_or_else(String::new, |id| id.as_str().to_string());
+        self.inflight
+            .register(trace_id, method.to_string(), path.to_string(), peer)
+    }
+
+    /// The `GET /v1/debug/inflight` response body: every admitted request
+    /// not yet answered, oldest first, with live solver progress.
+    #[must_use]
+    pub fn debug_inflight(&self) -> InflightResponse {
+        self.inflight.snapshot()
+    }
+
+    /// Assembles the fleet-wide span timeline of one trace
+    /// (`GET /v1/debug/trace/{trace_id}`): every record the local flight
+    /// recorder retains for the trace, merged with the matching records of
+    /// every healthy peer's recorder, as one start-sorted span list. Remote
+    /// span starts are shifted into this daemon's clock by the peer clock
+    /// offset the health prober estimates from probe RTT midpoints; stage
+    /// spans are laid out back-to-back after their request's start, which
+    /// is exact for the sequential pipeline stages and approximate for
+    /// overlapping solver sub-phases.
+    #[must_use]
+    pub fn assemble_trace(&self, trace_id: &str) -> TraceAssemblyResponse {
+        let local_node = self
+            .cluster
+            .as_ref()
+            .map_or_else(|| "local".to_string(), |c| c.node_id().to_string());
+        let mut nodes: Vec<String> = Vec::new();
+        let mut unreachable: Vec<String> = Vec::new();
+        let mut spans: Vec<TraceSpanInfo> = Vec::new();
+
+        for record in self.recorder.find_by_trace(trace_id) {
+            let info = FlightRecordInfo {
+                trace_id: record.trace_id.clone(),
+                method: record.method.clone(),
+                path: record.path.clone(),
+                status: record.status,
+                start_unix_ms: record.start_unix_ms,
+                total_micros: record.total_micros,
+                stages: record
+                    .stages
+                    .iter()
+                    .map(|s| crate::wire::StageTimingInfo {
+                        name: s.name.clone(),
+                        micros: s.micros,
+                    })
+                    .collect(),
+            };
+            push_record_spans(&mut spans, &local_node, &info, 0);
+        }
+        if !spans.is_empty() {
+            nodes.push(local_node);
+        }
+
+        if let Some(cluster) = &self.cluster {
+            let query = format!("/v1/debug/requests?trace={trace_id}");
+            for peer in cluster.peers() {
+                let status = peer.status();
+                if !status.healthy {
+                    unreachable.push(peer.node_id().to_string());
+                    continue;
+                }
+                match peer.call("GET", &query, None) {
+                    Ok((200, body)) => {
+                        let Ok(remote) = serde_json::from_str::<DebugRequestsResponse>(&body)
+                        else {
+                            unreachable.push(peer.node_id().to_string());
+                            continue;
+                        };
+                        let offset_ms = peer.clock_offset_ms().unwrap_or(0);
+                        let mut contributed = false;
+                        let mut seen: Vec<&FlightRecordInfo> = Vec::new();
+                        for record in remote.recent.iter().chain(remote.slowest.iter()) {
+                            if seen.contains(&record) {
+                                continue;
+                            }
+                            seen.push(record);
+                            push_record_spans(&mut spans, peer.node_id(), record, offset_ms);
+                            contributed = true;
+                        }
+                        if contributed {
+                            nodes.push(peer.node_id().to_string());
+                        }
+                    }
+                    _ => unreachable.push(peer.node_id().to_string()),
+                }
+            }
+        }
+
+        spans.sort_by(|a, b| {
+            a.start_unix_ms
+                .cmp(&b.start_unix_ms)
+                .then_with(|| a.node.cmp(&b.node))
+        });
+        TraceAssemblyResponse {
+            trace_id: trace_id.to_string(),
+            nodes,
+            unreachable,
+            spans,
+        }
     }
 
     /// Deposits one completed request into the flight recorder and folds its

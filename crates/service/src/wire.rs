@@ -485,6 +485,10 @@ pub struct PeerStatusInfo {
     pub consecutive_failures: u64,
     /// The most recent failure, if the peer is unhealthy.
     pub last_error: Option<String>,
+    /// Estimated peer clock minus local clock in milliseconds, from the
+    /// latest health probe's RTT midpoint; `None` before the first
+    /// successful probe. Trace assembly shifts remote spans by this.
+    pub clock_offset_ms: Option<i64>,
 }
 
 /// Ring-ownership lookup embedded in `GET /v1/cluster?fp=HEX`.
@@ -551,6 +555,172 @@ pub struct DebugRequestsResponse {
     pub recent: Vec<FlightRecordInfo>,
     /// The slowest requests since startup, slowest first.
     pub slowest: Vec<FlightRecordInfo>,
+}
+
+/// One in-flight request in the `GET /v1/debug/inflight` response.
+///
+/// Solver progress fields (`nodes`, `incumbent`, …) are relaxed-atomic
+/// snapshots of the request's live progress board; they read as zero while a
+/// request is still queued or waiting on the cache tiers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InflightInfo {
+    /// The request's trace ID.
+    pub trace_id: String,
+    /// HTTP method, or `"CALL"` for in-process searches.
+    pub method: String,
+    /// Request path.
+    pub path: String,
+    /// Peer address of the client connection, when known.
+    pub peer: Option<String>,
+    /// The pipeline stage the request is currently in (`queued`,
+    /// `cache_lookup`, `singleflight_wait`, `remote_fetch`, `solve`,
+    /// `translate`).
+    pub stage: String,
+    /// Milliseconds since the request was admitted.
+    pub elapsed_ms: u64,
+    /// Milliseconds until the request's deadline, when it has one. Zero when
+    /// the deadline has already passed.
+    pub deadline_remaining_ms: Option<u64>,
+    /// Search nodes explored so far by this request's solves.
+    pub nodes: u64,
+    /// Best makespan proved so far, when any incumbent exists.
+    pub incumbent: Option<u64>,
+    /// Incumbent improvements so far.
+    pub incumbents: u64,
+    /// Work-stealing steals so far.
+    pub steals: u64,
+    /// Current DFS depth of each active solver worker.
+    pub worker_depths: Vec<u64>,
+}
+
+impl Serialize for InflightInfo {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("trace_id".into(), self.trace_id.to_value()),
+            ("method".into(), self.method.to_value()),
+            ("path".into(), self.path.to_value()),
+            ("peer".into(), self.peer.to_value()),
+            ("stage".into(), self.stage.to_value()),
+            ("elapsed_ms".into(), self.elapsed_ms.to_value()),
+            (
+                "deadline_remaining_ms".into(),
+                self.deadline_remaining_ms.to_value(),
+            ),
+            ("nodes".into(), self.nodes.to_value()),
+            ("incumbent".into(), self.incumbent.to_value()),
+            ("incumbents".into(), self.incumbents.to_value()),
+            ("steals".into(), self.steals.to_value()),
+            ("worker_depths".into(), self.worker_depths.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for InflightInfo {
+    fn from_value(value: &Value) -> Result<Self, SerdeError> {
+        let map = value
+            .as_map()
+            .ok_or_else(|| SerdeError::custom("expected object for InflightInfo"))?;
+        Ok(InflightInfo {
+            trace_id: Deserialize::from_value(field(map, "trace_id")?)?,
+            method: Deserialize::from_value(field(map, "method")?)?,
+            path: Deserialize::from_value(field(map, "path")?)?,
+            peer: Deserialize::from_value(field_or_null(map, "peer"))?,
+            stage: Deserialize::from_value(field(map, "stage")?)?,
+            elapsed_ms: Deserialize::from_value(field(map, "elapsed_ms")?)?,
+            deadline_remaining_ms: Deserialize::from_value(field_or_null(
+                map,
+                "deadline_remaining_ms",
+            ))?,
+            nodes: Deserialize::from_value(field(map, "nodes")?)?,
+            incumbent: Deserialize::from_value(field_or_null(map, "incumbent"))?,
+            incumbents: Deserialize::from_value(field(map, "incumbents")?)?,
+            steals: Deserialize::from_value(field(map, "steals")?)?,
+            worker_depths: Deserialize::from_value(field(map, "worker_depths")?)?,
+        })
+    }
+}
+
+/// The `GET /v1/debug/inflight` response body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InflightResponse {
+    /// Every admitted-but-unanswered request, oldest first.
+    pub inflight: Vec<InflightInfo>,
+}
+
+/// One sampled series of the `GET /v1/debug/timeseries` response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesWindowInfo {
+    /// Series name (`requests_per_s`, `solver_nodes_per_s`, …).
+    pub name: String,
+    /// The raw samples of the window, oldest first.
+    pub samples: Vec<f64>,
+    /// Most recent sample.
+    pub last: f64,
+    /// Window minimum.
+    pub min: f64,
+    /// Window maximum.
+    pub max: f64,
+    /// Window mean.
+    pub avg: f64,
+    /// Window median (nearest-rank).
+    pub p50: f64,
+    /// Window 95th percentile (nearest-rank).
+    pub p95: f64,
+}
+
+/// The `GET /v1/debug/timeseries` response body: a window over the daemon's
+/// sampled counters and gauges.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeseriesResponse {
+    /// Milliseconds between samples.
+    pub interval_ms: u64,
+    /// Samples actually returned per series (the window may exceed history).
+    pub ticks: u64,
+    /// Unix milliseconds of the newest sample (0 before the first tick).
+    pub latest_unix_ms: u64,
+    /// The sampled series.
+    pub series: Vec<SeriesWindowInfo>,
+}
+
+/// One span of an assembled trace timeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSpanInfo {
+    /// Node ID of the daemon that recorded the span.
+    pub node: String,
+    /// Stage name, or `"request"` for a whole-request envelope span.
+    pub name: String,
+    /// Span start in the *requesting* daemon's clock, Unix milliseconds
+    /// (remote spans are shifted by the estimated peer clock offset).
+    pub start_unix_ms: u64,
+    /// Wall-clock microseconds the span lasted.
+    pub micros: u64,
+    /// HTTP method of the request the span belongs to.
+    pub method: String,
+    /// Path of the request the span belongs to.
+    pub path: String,
+    /// Status of the request the span belongs to.
+    pub status: u16,
+}
+
+/// The `GET /v1/debug/trace/{trace_id}` response body: one merged multi-node
+/// span timeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceAssemblyResponse {
+    /// The trace that was assembled.
+    pub trace_id: String,
+    /// Node IDs that contributed spans, requester first.
+    pub nodes: Vec<String>,
+    /// Peers that could not be queried (unhealthy or failed), if any.
+    pub unreachable: Vec<String>,
+    /// All spans, sorted by adjusted start time.
+    pub spans: Vec<TraceSpanInfo>,
+}
+
+/// The `GET`/`PUT /v1/debug/loglevel` body: the daemon's live log level.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogLevelBody {
+    /// Level name: `error`, `warn`, `info`, `debug` or `trace`.
+    pub level: String,
 }
 
 /// An error response body (any non-2xx status).
@@ -674,5 +844,88 @@ mod tests {
 
         let unknown: Result<StreamEvent, _> = serde_json::from_str("{\"event\":\"nope\"}");
         assert!(unknown.is_err());
+    }
+
+    #[test]
+    fn observability_bodies_round_trip() {
+        let inflight = InflightResponse {
+            inflight: vec![
+                InflightInfo {
+                    trace_id: "f".repeat(32),
+                    method: "POST".into(),
+                    path: "/v1/search".into(),
+                    peer: Some("127.0.0.1:50000".into()),
+                    stage: "solve".into(),
+                    elapsed_ms: 42,
+                    deadline_remaining_ms: Some(958),
+                    nodes: 12_345,
+                    incumbent: Some(17),
+                    incumbents: 3,
+                    steals: 2,
+                    worker_depths: vec![4, 9],
+                },
+                InflightInfo {
+                    trace_id: "0".repeat(32),
+                    method: "CALL".into(),
+                    path: "/v1/search".into(),
+                    peer: None,
+                    stage: "queued".into(),
+                    elapsed_ms: 1,
+                    deadline_remaining_ms: None,
+                    nodes: 0,
+                    incumbent: None,
+                    incumbents: 0,
+                    steals: 0,
+                    worker_depths: vec![],
+                },
+            ],
+        };
+        let json = serde_json::to_string(&inflight).unwrap();
+        let back: InflightResponse = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, inflight);
+
+        let timeseries = TimeseriesResponse {
+            interval_ms: 1000,
+            ticks: 2,
+            latest_unix_ms: 1_700_000_002_000,
+            series: vec![SeriesWindowInfo {
+                name: "requests_per_s".into(),
+                samples: vec![1.0, 3.0],
+                last: 3.0,
+                min: 1.0,
+                max: 3.0,
+                avg: 2.0,
+                p50: 1.0,
+                p95: 3.0,
+            }],
+        };
+        let back: TimeseriesResponse =
+            serde_json::from_str(&serde_json::to_string(&timeseries).unwrap()).unwrap();
+        assert_eq!(back, timeseries);
+
+        let trace = TraceAssemblyResponse {
+            trace_id: "a".repeat(32),
+            nodes: vec!["alpha".into(), "beta".into()],
+            unreachable: vec!["gamma".into()],
+            spans: vec![TraceSpanInfo {
+                node: "alpha".into(),
+                name: "cache_lookup".into(),
+                start_unix_ms: 1_700_000_000_000,
+                micros: 55,
+                method: "POST".into(),
+                path: "/v1/search".into(),
+                status: 200,
+            }],
+        };
+        let back: TraceAssemblyResponse =
+            serde_json::from_str(&serde_json::to_string(&trace).unwrap()).unwrap();
+        assert_eq!(back, trace);
+
+        let level = LogLevelBody {
+            level: "debug".into(),
+        };
+        let back: LogLevelBody =
+            serde_json::from_str(&serde_json::to_string(&level).unwrap()).unwrap();
+        assert_eq!(back, level);
     }
 }

@@ -55,6 +55,7 @@ mod error;
 mod greedy;
 mod instance;
 mod lower_bound;
+mod progress;
 mod propagate;
 mod search;
 mod solution;
@@ -66,6 +67,7 @@ pub use error::SolverError;
 pub use greedy::{greedy_schedule, GreedyPriority};
 pub use instance::{Instance, InstanceBuilder};
 pub use lower_bound::{critical_path_lower_bound, device_load_lower_bound, makespan_lower_bound};
+pub use progress::{ProgressBoard, ProgressSnapshot, MAX_PROGRESS_WORKERS};
 pub use propagate::TimeWindows;
 pub use search::{SolveOutcome, Solver, SolverConfig};
 pub use solution::{Solution, SolutionViolation};

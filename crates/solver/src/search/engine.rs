@@ -294,6 +294,9 @@ impl<'a> SearchContext<'a> {
                     .nodes
                     .0
                     .fetch_add(self.nodes_since_flush, Ordering::Relaxed);
+                if let Some(board) = &self.config.progress {
+                    board.add_nodes(self.nodes_since_flush);
+                }
                 self.nodes_since_flush = 0;
                 shared.limit_stop.store(true, Ordering::Relaxed);
                 return true;
@@ -303,6 +306,12 @@ impl<'a> SearchContext<'a> {
                     .nodes
                     .0
                     .fetch_add(self.nodes_since_flush, Ordering::Relaxed);
+                // Live progress rides the same batch boundary: two relaxed
+                // stores per flush, nothing per node.
+                if let Some(board) = &self.config.progress {
+                    board.add_nodes(self.nodes_since_flush);
+                    board.set_worker_depth(self.worker, self.path.len() as u64);
+                }
                 self.nodes_since_flush = 0;
                 if let Some(limit) = self.config.time_limit {
                     if self.started.elapsed() > limit {
@@ -325,12 +334,20 @@ impl<'a> SearchContext<'a> {
             }
             false
         } else {
+            self.nodes_since_flush += 1;
             if self.stats.nodes >= self.config.max_nodes.min(self.node_cap) {
                 return true;
             }
             // Clock reads and abort checks are sampled at batch boundaries;
             // checking them on every node would be wasteful.
             if self.stats.nodes.is_multiple_of(FLUSH_INTERVAL) {
+                // Live progress publishes at the same cadence (the leftover
+                // sub-batch is flushed when the solve returns).
+                if let Some(board) = &self.config.progress {
+                    board.add_nodes(self.nodes_since_flush);
+                    board.set_worker_depth(self.worker, self.path.len() as u64);
+                }
+                self.nodes_since_flush = 0;
                 if let Some(limit) = self.config.time_limit {
                     if self.started.elapsed() > limit {
                         return true;
@@ -423,6 +440,9 @@ impl<'a> SearchContext<'a> {
             }
         }
         if globally_best {
+            if let Some(board) = &self.config.progress {
+                board.record_incumbent(makespan);
+            }
             if let Some(sink) = &self.config.incumbent_sink {
                 sink.report(makespan);
             }

@@ -50,6 +50,7 @@ use crate::cancel::Abort;
 use crate::greedy::{greedy_schedule, GreedyPriority};
 use crate::instance::Instance;
 use crate::lower_bound::makespan_lower_bound;
+use crate::progress::ProgressBoard;
 use crate::propagate::TimeWindows;
 use crate::solution::Solution;
 use crate::stats::{IncumbentSink, SolveStats, StatsSink};
@@ -149,6 +150,12 @@ pub struct SolverConfig {
     /// reported, so the observed sequence is strictly decreasing. The
     /// default reports nothing.
     pub incumbent_sink: Option<IncumbentSink>,
+    /// Optional live-progress board the solve publishes into at its existing
+    /// node-batch boundaries — nodes explored, current incumbent, steals,
+    /// per-worker depth — with relaxed atomic stores only; the hook behind
+    /// the service's `/v1/debug/inflight` view of running solves. The
+    /// default publishes nothing.
+    pub progress: Option<ProgressBoard>,
 }
 
 impl Default for SolverConfig {
@@ -164,15 +171,16 @@ impl Default for SolverConfig {
             abort: Abort::none(),
             stats_sink: None,
             incumbent_sink: None,
+            progress: None,
         }
     }
 }
 
-/// Equality ignores the [`SolverConfig::abort`], [`SolverConfig::stats_sink`]
-/// and [`SolverConfig::incumbent_sink`] handles: two configurations that
-/// explore the search space identically compare equal even if they are
-/// attached to different cancellation tokens, statistics accumulators or
-/// incumbent observers.
+/// Equality ignores the [`SolverConfig::abort`], [`SolverConfig::stats_sink`],
+/// [`SolverConfig::incumbent_sink`] and [`SolverConfig::progress`] handles:
+/// two configurations that explore the search space identically compare equal
+/// even if they are attached to different cancellation tokens, statistics
+/// accumulators, incumbent observers or progress boards.
 impl PartialEq for SolverConfig {
     fn eq(&self, other: &Self) -> bool {
         self.max_nodes == other.max_nodes
@@ -258,6 +266,14 @@ impl SolverConfig {
     #[must_use]
     pub fn with_incumbent_sink(mut self, sink: IncumbentSink) -> Self {
         self.incumbent_sink = Some(sink);
+        self
+    }
+
+    /// Returns a copy publishing live progress into `board` (see
+    /// [`SolverConfig::progress`]).
+    #[must_use]
+    pub fn with_progress(mut self, board: ProgressBoard) -> Self {
+        self.progress = Some(board);
         self
     }
 
@@ -464,6 +480,9 @@ impl Solver {
                         ctx.best_makespan = Some(sol.makespan());
                         ctx.best_starts.copy_from_slice(sol.starts());
                         ctx.stats.incumbents += 1;
+                        if let Some(board) = &self.config.progress {
+                            board.record_incumbent(sol.makespan());
+                        }
                         if let Some(sink) = &self.config.incumbent_sink {
                             sink.report(sol.makespan());
                         }
@@ -514,6 +533,12 @@ impl Solver {
         };
         ctx.stats.elapsed = started.elapsed();
         ctx.stats.complete = complete;
+        // Publish the final sub-batch so a finished solve's board matches
+        // its node count even when the solve never reached a flush boundary.
+        if let Some(board) = &self.config.progress {
+            board.add_nodes(ctx.nodes_since_flush);
+            ctx.nodes_since_flush = 0;
+        }
 
         let stats = ctx.stats.clone();
         Ok(match (ctx.best_makespan, stats.complete) {
@@ -973,6 +998,8 @@ mod tests {
         assert_eq!(a, c);
         let d = SolverConfig::default().with_incumbent_sink(IncumbentSink::new(|_| {}));
         assert_eq!(a, d);
+        let e = SolverConfig::default().with_progress(ProgressBoard::new());
+        assert_eq!(a, e);
         assert_ne!(a, SolverConfig::default().with_steal_depth(9));
         assert_ne!(a, SolverConfig::default().with_dominance_shards(2));
         assert_ne!(
@@ -1045,6 +1072,49 @@ mod tests {
             stats.nodes
         );
         outcome.solution().unwrap().validate(&inst).unwrap();
+    }
+
+    #[test]
+    fn progress_board_tracks_a_serial_solve_exactly() {
+        let board = ProgressBoard::new();
+        let inst = v_shape(2, 3, 2, None);
+        let config = SolverConfig::default()
+            .with_threads(1)
+            .with_progress(board.clone());
+        let outcome = Solver::new(config).minimize(&inst).unwrap();
+        let snap = board.snapshot();
+        // Serial: every node passes the batch counter, and the final
+        // sub-batch is flushed on return, so the board matches the stats.
+        assert_eq!(snap.nodes, outcome.stats().nodes);
+        assert_eq!(snap.incumbent, Some(outcome.solution().unwrap().makespan()));
+        assert!(snap.incumbents >= 1);
+        assert_eq!(snap.steals, 0);
+    }
+
+    #[test]
+    fn progress_board_tracks_a_parallel_solve() {
+        let board = ProgressBoard::new();
+        let inst = v_shape(3, 4, 2, None);
+        let config = SolverConfig::default()
+            .with_threads(4)
+            .with_serial_warmstart(0)
+            .with_progress(board.clone());
+        let outcome = Solver::new(config).minimize(&inst).unwrap();
+        assert!(outcome.is_optimal());
+        let stats = outcome.stats();
+        let snap = board.snapshot();
+        // Every flushed worker batch lands on the board; only the root
+        // bookkeeping node in `run_parallel` bypasses the flush path.
+        assert!(
+            snap.nodes >= stats.nodes.saturating_sub(1) && snap.nodes <= stats.nodes,
+            "board shows {} nodes, stats {}",
+            snap.nodes,
+            stats.nodes
+        );
+        assert_eq!(snap.incumbent, Some(outcome.solution().unwrap().makespan()));
+        assert_eq!(snap.steals, stats.steals);
+        // Workers retire their depth slots when the pool winds down.
+        assert!(snap.worker_depths.is_empty());
     }
 
     #[test]

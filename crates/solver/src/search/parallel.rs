@@ -157,6 +157,9 @@ pub(super) fn run_parallel(ctx: &mut SearchContext<'_>, threads: usize) -> bool 
                             let stolen = shared.queues.steal(w, &mut worker.stats.steal_failures);
                             if stolen.is_some() {
                                 worker.stats.steals += 1;
+                                if let Some(board) = &worker.config.progress {
+                                    board.add_steal();
+                                }
                             }
                             stolen
                         });
@@ -193,6 +196,10 @@ pub(super) fn run_parallel(ctx: &mut SearchContext<'_>, threads: usize) -> bool 
                         .nodes
                         .0
                         .fetch_add(worker.nodes_since_flush, Ordering::Relaxed);
+                    if let Some(board) = &worker.config.progress {
+                        board.add_nodes(worker.nodes_since_flush);
+                        board.clear_worker(w as u32);
+                    }
                     WorkerResult {
                         stats: worker.stats,
                         best_makespan: worker.best_makespan,
